@@ -1,0 +1,161 @@
+//! Shared types and the [`GpuIndex`] trait implemented by all baselines.
+
+use gpu_device::{Device, KernelStats};
+
+/// Reserved rowID written into the result array when a lookup misses.
+pub const MISS: u32 = u32::MAX;
+
+/// Result of a single lookup within a batch (mirrors the result-array
+/// semantics of the paper's methodology).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BaselineLookupResult {
+    /// RowID of the first qualifying entry, or [`MISS`].
+    pub first_row: u32,
+    /// Number of qualifying entries.
+    pub hit_count: u32,
+    /// Sum of the values fetched for all qualifying rowIDs (0 without a
+    /// value column).
+    pub value_sum: u64,
+}
+
+impl BaselineLookupResult {
+    /// A miss result.
+    pub fn miss() -> Self {
+        BaselineLookupResult { first_row: MISS, hit_count: 0, value_sum: 0 }
+    }
+
+    /// True when the lookup found at least one qualifying entry.
+    pub fn is_hit(&self) -> bool {
+        self.hit_count > 0
+    }
+}
+
+/// Result of a batched lookup against a baseline index.
+#[derive(Debug, Clone, Default)]
+pub struct BaselineBatch {
+    /// One result per lookup, in submission order.
+    pub results: Vec<BaselineLookupResult>,
+    /// Merged hardware counters of the lookup kernel.
+    pub kernel: KernelStats,
+    /// Simulated device time of the kernel.
+    pub simulated_time_s: f64,
+    /// Host wall-clock time of the software execution.
+    pub host_time: std::time::Duration,
+}
+
+impl BaselineBatch {
+    /// Number of lookups that found at least one qualifying entry.
+    pub fn hit_count(&self) -> usize {
+        self.results.iter().filter(|r| r.is_hit()).count()
+    }
+
+    /// Sum of all per-lookup value sums.
+    pub fn total_value_sum(&self) -> u64 {
+        self.results.iter().map(|r| r.value_sum).fold(0u64, u64::wrapping_add)
+    }
+
+    /// Merges another batch's metrics and results into this one.
+    pub fn merge(&mut self, mut other: BaselineBatch) {
+        self.results.append(&mut other.results);
+        self.kernel.merge(&other.kernel);
+        self.simulated_time_s += other.simulated_time_s;
+        self.host_time += other.host_time;
+    }
+}
+
+/// Metrics of a baseline index build.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BaselineBuildMetrics {
+    /// Host wall-clock build time.
+    pub host_build_time: std::time::Duration,
+    /// Simulated device build time.
+    pub simulated_time_s: f64,
+    /// Temporary device memory used during the build (released afterwards).
+    pub scratch_bytes: u64,
+}
+
+/// The interface shared by HT, B+ and SA so the experiment harness can drive
+/// them uniformly.
+pub trait GpuIndex: Send + Sync {
+    /// Short display name ("HT", "B+", "SA").
+    fn name(&self) -> &'static str;
+
+    /// Number of indexed keys.
+    fn key_count(&self) -> usize;
+
+    /// Device memory the index occupies after construction.
+    fn memory_bytes(&self) -> u64;
+
+    /// Metrics captured while building.
+    fn build_metrics(&self) -> BaselineBuildMetrics;
+
+    /// Whether the index supports range lookups (HT does not).
+    fn supports_range(&self) -> bool;
+
+    /// Whether the index supports duplicate keys (B+ does not).
+    fn supports_duplicates(&self) -> bool;
+
+    /// Whether the index supports 64-bit keys (B+ does not).
+    fn supports_64bit_keys(&self) -> bool;
+
+    /// Batched point lookups, optionally aggregating a value column.
+    fn point_lookup_batch(
+        &self,
+        device: &Device,
+        queries: &[u64],
+        values: Option<&[u64]>,
+    ) -> BaselineBatch;
+
+    /// Batched inclusive range lookups; `None` when unsupported.
+    fn range_lookup_batch(
+        &self,
+        device: &Device,
+        ranges: &[(u64, u64)],
+        values: Option<&[u64]>,
+    ) -> Option<BaselineBatch>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_constructor_and_predicates() {
+        let m = BaselineLookupResult::miss();
+        assert_eq!(m.first_row, MISS);
+        assert!(!m.is_hit());
+        let h = BaselineLookupResult { first_row: 3, hit_count: 2, value_sum: 10 };
+        assert!(h.is_hit());
+    }
+
+    #[test]
+    fn batch_aggregations() {
+        let batch = BaselineBatch {
+            results: vec![
+                BaselineLookupResult { first_row: 0, hit_count: 1, value_sum: 5 },
+                BaselineLookupResult::miss(),
+                BaselineLookupResult { first_row: 2, hit_count: 3, value_sum: 7 },
+            ],
+            ..Default::default()
+        };
+        assert_eq!(batch.hit_count(), 2);
+        assert_eq!(batch.total_value_sum(), 12);
+    }
+
+    #[test]
+    fn batch_merge_concatenates() {
+        let mut a = BaselineBatch {
+            results: vec![BaselineLookupResult::miss()],
+            simulated_time_s: 1.0,
+            ..Default::default()
+        };
+        let b = BaselineBatch {
+            results: vec![BaselineLookupResult { first_row: 1, hit_count: 1, value_sum: 2 }],
+            simulated_time_s: 0.5,
+            ..Default::default()
+        };
+        a.merge(b);
+        assert_eq!(a.results.len(), 2);
+        assert!((a.simulated_time_s - 1.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,34 @@
+//! # gpu-baselines
+//!
+//! The three traditional GPU-resident index structures the paper compares
+//! RTIndeX against (Section 4.1), plus the radix sort they rely on:
+//!
+//! * **HT** — [`WarpHashTable`]: a WarpCore-style open-addressing hash table
+//!   with cooperative probing groups of 8 slots and a target load factor of
+//!   0.8. Fastest point lookups; no range lookups.
+//! * **B+** — [`BPlusTree`]: a bulk-loaded GPU B+-tree with 16-entry nodes
+//!   and linked leaves (modelled after Awad et al.). Best range lookups;
+//!   32-bit keys only, no duplicates.
+//! * **SA** — [`SortedArray`]: a sorted array with binary search, the
+//!   simplest order-preserving baseline.
+//! * [`radix_sort`] — an LSD radix sort standing in for CUB's
+//!   `DeviceRadixSort`, used by the SA/B+ builds and for sorting lookup
+//!   batches.
+//!
+//! All baselines run their lookups through the same [`gpu_device`] kernel
+//! executor and report the same counters as the raytracing pipeline, so the
+//! experiment harness can compare RX and the baselines on simulated device
+//! time, memory traffic, instructions and footprint.
+
+pub mod bplus_tree;
+pub mod common;
+pub mod hash_table;
+pub mod kernel;
+pub mod radix_sort;
+pub mod sorted_array;
+
+pub use bplus_tree::BPlusTree;
+pub use common::{BaselineBatch, BaselineBuildMetrics, BaselineLookupResult, GpuIndex, MISS};
+pub use hash_table::WarpHashTable;
+pub use radix_sort::{radix_sort_pairs, RadixSortMetrics};
+pub use sorted_array::SortedArray;

@@ -1,0 +1,131 @@
+//! # gpu-device
+//!
+//! A software model of an NVIDIA RTX GPU, used by the RTIndeX reproduction in
+//! place of real hardware.
+//!
+//! The paper evaluates RTIndeX on four RTX GPUs (4090, A6000, 3090, 2080 Ti)
+//! and explains every observed effect through hardware counters collected
+//! with Nsight Systems / Nsight Compute: DRAM traffic, L1/L2 hit rates,
+//! executed instructions, active warps per SM, and the throughput of the
+//! dedicated raytracing cores. This crate models exactly those quantities:
+//!
+//! * [`DeviceSpec`] — the static description of a GPU (SMs, RT cores and
+//!   their generation, memory bandwidth, L2 size, …) with presets for the
+//!   four GPUs of Table 8;
+//! * [`MemoryTracker`] / [`DeviceBuffer`] — device-memory accounting that
+//!   reproduces the footprint numbers of Table 6 (current vs. peak usage);
+//! * [`KernelStats`] / [`Profiler`] — the per-kernel counters that both the
+//!   raytracing pipeline and the baseline indexes report;
+//! * [`occupancy`] — the active-warps-per-SM and bandwidth-utilisation model
+//!   behind Table 5;
+//! * [`CostModel`] — converts counters into a *simulated* execution time for
+//!   a given [`DeviceSpec`], which is what the experiment harness reports
+//!   alongside host wall-clock time;
+//! * [`executor`] — a parallel work launcher that mimics a CUDA kernel
+//!   launch: a grid of logical threads is executed by a pool of host worker
+//!   threads, and each logical thread's counters are merged into the kernel's
+//!   [`KernelStats`].
+//!
+//! Nothing in this crate knows about raytracing or indexing; it is the shared
+//! substrate below `optix-sim`, `rtindex-core` and `gpu-baselines`.
+
+pub mod access;
+pub mod cost;
+pub mod executor;
+pub mod memory;
+pub mod occupancy;
+pub mod profiler;
+pub mod spec;
+
+pub use access::AccessClassifier;
+pub use cost::{CostModel, SimulatedTime};
+pub use executor::{launch_kernel, ThreadCtx};
+pub use memory::{DeviceBuffer, MemoryTracker};
+pub use occupancy::OccupancyModel;
+pub use profiler::{KernelStats, Profiler};
+pub use spec::{DeviceSpec, RtCoreGeneration};
+
+/// Convenience bundle representing one simulated GPU: its spec, its memory
+/// tracker and its profiler.
+///
+/// Every index structure in the reproduction is built against a [`Device`] so
+/// that footprint and counter reporting is uniform across RX and the
+/// baselines.
+#[derive(Debug, Clone)]
+pub struct Device {
+    spec: DeviceSpec,
+    memory: MemoryTracker,
+    profiler: Profiler,
+}
+
+impl Device {
+    /// Creates a device with the given spec and fresh counters.
+    pub fn new(spec: DeviceSpec) -> Self {
+        Device { spec, memory: MemoryTracker::new(), profiler: Profiler::new() }
+    }
+
+    /// Creates the default evaluation device (RTX 4090, the paper's system S1).
+    pub fn default_eval() -> Self {
+        Device::new(DeviceSpec::rtx_4090())
+    }
+
+    /// The static GPU description.
+    pub fn spec(&self) -> &DeviceSpec {
+        &self.spec
+    }
+
+    /// The device-memory tracker.
+    pub fn memory(&self) -> &MemoryTracker {
+        &self.memory
+    }
+
+    /// The profiler collecting kernel statistics.
+    pub fn profiler(&self) -> &Profiler {
+        &self.profiler
+    }
+
+    /// Allocates a device buffer of `len` default-initialised elements,
+    /// accounted against this device's memory tracker.
+    pub fn alloc<T: Clone + Default>(&self, len: usize) -> DeviceBuffer<T> {
+        DeviceBuffer::zeroed(len, self.memory.clone())
+    }
+
+    /// Allocates a device buffer holding a copy of `data`.
+    pub fn upload<T: Clone>(&self, data: &[T]) -> DeviceBuffer<T> {
+        DeviceBuffer::from_slice(data, self.memory.clone())
+    }
+
+    /// The cost model for this device.
+    pub fn cost_model(&self) -> CostModel {
+        CostModel::new(self.spec.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn device_tracks_allocations() {
+        let dev = Device::default_eval();
+        assert_eq!(dev.memory().current_bytes(), 0);
+        let buf = dev.alloc::<u64>(1024);
+        assert_eq!(dev.memory().current_bytes(), 1024 * 8);
+        drop(buf);
+        assert_eq!(dev.memory().current_bytes(), 0);
+        assert_eq!(dev.memory().peak_bytes(), 1024 * 8);
+    }
+
+    #[test]
+    fn upload_copies_data() {
+        let dev = Device::default_eval();
+        let buf = dev.upload(&[1u32, 2, 3]);
+        assert_eq!(buf.as_slice(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn default_eval_is_ada_lovelace() {
+        let dev = Device::default_eval();
+        assert_eq!(dev.spec().rt_core_generation, RtCoreGeneration::Gen3);
+    }
+}

@@ -1,0 +1,231 @@
+//! Static GPU descriptions.
+//!
+//! The presets correspond to the four systems of Table 8 in the paper. The
+//! figures (SM counts, RT core counts, bandwidth, L2 size) are public
+//! specifications; the per-generation RT-core throughput factors follow
+//! NVIDIA's architecture whitepapers, which state that ray/triangle
+//! intersection throughput doubled with every RT core generation.
+
+/// The raytracing-core generation of a GPU architecture.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RtCoreGeneration {
+    /// Turing (RTX 20x0) — 1st generation RT cores.
+    Gen1,
+    /// Ampere (RTX 30x0, A6000) — 2nd generation RT cores.
+    Gen2,
+    /// Ada Lovelace (RTX 40x0) — 3rd generation RT cores.
+    Gen3,
+}
+
+impl RtCoreGeneration {
+    /// Relative ray/triangle intersection throughput per RT core and clock,
+    /// normalised to the first generation. NVIDIA's whitepapers claim a 2×
+    /// improvement per generation.
+    pub fn triangle_throughput_factor(self) -> f64 {
+        match self {
+            RtCoreGeneration::Gen1 => 1.0,
+            RtCoreGeneration::Gen2 => 2.0,
+            RtCoreGeneration::Gen3 => 4.0,
+        }
+    }
+
+    /// Human-readable architecture name.
+    pub fn architecture_name(self) -> &'static str {
+        match self {
+            RtCoreGeneration::Gen1 => "Turing",
+            RtCoreGeneration::Gen2 => "Ampere",
+            RtCoreGeneration::Gen3 => "Ada Lovelace",
+        }
+    }
+}
+
+/// Static description of a simulated GPU.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceSpec {
+    /// Marketing name, e.g. `"RTX 4090"`.
+    pub name: String,
+    /// Streaming-multiprocessor count.
+    pub sm_count: u32,
+    /// Number of raytracing cores.
+    pub rt_cores: u32,
+    /// RT core generation.
+    pub rt_core_generation: RtCoreGeneration,
+    /// Number of CUDA cores (used for the instruction-throughput term).
+    pub cuda_cores: u32,
+    /// Boost clock in Hz.
+    pub clock_hz: f64,
+    /// Device memory capacity in bytes.
+    pub vram_bytes: u64,
+    /// Peak device-memory bandwidth in bytes per second.
+    pub mem_bandwidth: f64,
+    /// L2 cache size in bytes.
+    pub l2_bytes: u64,
+    /// Threads per warp (32 on every NVIDIA architecture).
+    pub warp_size: u32,
+    /// Maximum warps the scheduler keeps resident per SM for the raytracing
+    /// pipeline (the paper measures a limit of 16 for RX).
+    pub max_warps_per_sm: u32,
+    /// Fixed overhead of launching one kernel, in seconds.
+    pub kernel_launch_overhead_s: f64,
+    /// Average instructions retired per CUDA core per clock (a throughput
+    /// fudge factor of the cost model; < 1 accounts for stalls).
+    pub ipc_per_core: f64,
+}
+
+impl DeviceSpec {
+    /// NVIDIA RTX 4090 (Ada Lovelace) — the paper's primary system S1.
+    pub fn rtx_4090() -> Self {
+        DeviceSpec {
+            name: "RTX 4090".to_string(),
+            sm_count: 128,
+            rt_cores: 128,
+            rt_core_generation: RtCoreGeneration::Gen3,
+            cuda_cores: 16384,
+            clock_hz: 2.52e9,
+            vram_bytes: 24 * (1 << 30),
+            mem_bandwidth: 1008.0e9,
+            l2_bytes: 72 * (1 << 20),
+            warp_size: 32,
+            max_warps_per_sm: 16,
+            kernel_launch_overhead_s: 5.0e-6,
+            ipc_per_core: 0.45,
+        }
+    }
+
+    /// NVIDIA RTX A6000 (Ampere) — system S2a.
+    pub fn rtx_a6000() -> Self {
+        DeviceSpec {
+            name: "RTX A6000".to_string(),
+            sm_count: 84,
+            rt_cores: 84,
+            rt_core_generation: RtCoreGeneration::Gen2,
+            cuda_cores: 10752,
+            clock_hz: 1.80e9,
+            vram_bytes: 48 * (1 << 30),
+            mem_bandwidth: 768.0e9,
+            l2_bytes: 6 * (1 << 20),
+            warp_size: 32,
+            max_warps_per_sm: 16,
+            kernel_launch_overhead_s: 5.0e-6,
+            ipc_per_core: 0.45,
+        }
+    }
+
+    /// NVIDIA RTX 3090 (Ampere) — system S2b.
+    pub fn rtx_3090() -> Self {
+        DeviceSpec {
+            name: "RTX 3090".to_string(),
+            sm_count: 82,
+            rt_cores: 82,
+            rt_core_generation: RtCoreGeneration::Gen2,
+            cuda_cores: 10496,
+            clock_hz: 1.70e9,
+            vram_bytes: 24 * (1 << 30),
+            mem_bandwidth: 936.0e9,
+            l2_bytes: 6 * (1 << 20),
+            warp_size: 32,
+            max_warps_per_sm: 16,
+            kernel_launch_overhead_s: 5.0e-6,
+            ipc_per_core: 0.45,
+        }
+    }
+
+    /// NVIDIA RTX 2080 Ti (Turing) — system S3.
+    pub fn rtx_2080ti() -> Self {
+        DeviceSpec {
+            name: "RTX 2080 Ti".to_string(),
+            sm_count: 68,
+            rt_cores: 68,
+            rt_core_generation: RtCoreGeneration::Gen1,
+            cuda_cores: 4352,
+            clock_hz: 1.545e9,
+            vram_bytes: 11 * (1 << 30),
+            mem_bandwidth: 616.0e9,
+            l2_bytes: (55 * (1 << 20)) / 10, // 5.5 MiB
+            warp_size: 32,
+            max_warps_per_sm: 16,
+            kernel_launch_overhead_s: 5.0e-6,
+            ipc_per_core: 0.45,
+        }
+    }
+
+    /// All four presets of Table 8, ordered oldest to newest.
+    pub fn table8_presets() -> Vec<DeviceSpec> {
+        vec![Self::rtx_2080ti(), Self::rtx_3090(), Self::rtx_a6000(), Self::rtx_4090()]
+    }
+
+    /// Maximum number of warps that can be resident on the whole device.
+    pub fn max_resident_warps(&self) -> u64 {
+        self.sm_count as u64 * self.max_warps_per_sm as u64
+    }
+
+    /// Maximum number of threads that can be resident on the whole device.
+    pub fn max_resident_threads(&self) -> u64 {
+        self.max_resident_warps() * self.warp_size as u64
+    }
+
+    /// Peak instruction throughput in instructions per second.
+    pub fn peak_instruction_throughput(&self) -> f64 {
+        self.cuda_cores as f64 * self.clock_hz * self.ipc_per_core
+    }
+
+    /// Peak ray/triangle intersection-test throughput in tests per second.
+    pub fn peak_rt_intersection_throughput(&self) -> f64 {
+        // Baseline: a 1st-gen RT core retires roughly one box/triangle test
+        // per clock.
+        self.rt_cores as f64
+            * self.clock_hz
+            * self.rt_core_generation.triangle_throughput_factor()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_table8() {
+        let s1 = DeviceSpec::rtx_4090();
+        assert_eq!(s1.rt_cores, 128);
+        assert_eq!(s1.vram_bytes, 24 * (1 << 30));
+        assert_eq!(s1.rt_core_generation, RtCoreGeneration::Gen3);
+
+        let s2a = DeviceSpec::rtx_a6000();
+        assert_eq!(s2a.rt_cores, 84);
+        assert_eq!(s2a.vram_bytes, 48 * (1 << 30));
+
+        let s2b = DeviceSpec::rtx_3090();
+        assert_eq!(s2b.rt_cores, 82);
+
+        let s3 = DeviceSpec::rtx_2080ti();
+        assert_eq!(s3.rt_cores, 68);
+        assert_eq!(s3.rt_core_generation, RtCoreGeneration::Gen1);
+        assert_eq!(DeviceSpec::table8_presets().len(), 4);
+    }
+
+    #[test]
+    fn generation_throughput_doubles() {
+        assert_eq!(RtCoreGeneration::Gen1.triangle_throughput_factor(), 1.0);
+        assert_eq!(RtCoreGeneration::Gen2.triangle_throughput_factor(), 2.0);
+        assert_eq!(RtCoreGeneration::Gen3.triangle_throughput_factor(), 4.0);
+        assert_eq!(RtCoreGeneration::Gen3.architecture_name(), "Ada Lovelace");
+    }
+
+    #[test]
+    fn newer_devices_have_more_rt_throughput() {
+        let presets = DeviceSpec::table8_presets();
+        let throughputs: Vec<f64> =
+            presets.iter().map(|s| s.peak_rt_intersection_throughput()).collect();
+        for w in throughputs.windows(2) {
+            assert!(w[0] < w[1], "RT throughput must increase across generations");
+        }
+    }
+
+    #[test]
+    fn resident_thread_budget() {
+        let s1 = DeviceSpec::rtx_4090();
+        assert_eq!(s1.max_resident_warps(), 128 * 16);
+        assert_eq!(s1.max_resident_threads(), 128 * 16 * 32);
+        assert!(s1.peak_instruction_throughput() > 1e12);
+    }
+}

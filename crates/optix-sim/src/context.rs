@@ -1,0 +1,69 @@
+//! The device context: entry point of the simulated OptiX API.
+
+use gpu_device::{Device, DeviceSpec};
+
+use crate::accel::{AccelBuildOptions, GeometryAccel};
+use crate::build_input::BuildInput;
+
+/// Simulated `OptixDeviceContext`: owns the device the acceleration
+/// structures and pipelines run on.
+#[derive(Debug, Clone)]
+pub struct DeviceContext {
+    device: Device,
+}
+
+impl DeviceContext {
+    /// Creates a context for the given device spec.
+    pub fn new(spec: DeviceSpec) -> Self {
+        DeviceContext { device: Device::new(spec) }
+    }
+
+    /// Creates a context for the paper's primary evaluation GPU (RTX 4090).
+    pub fn default_eval() -> Self {
+        DeviceContext { device: Device::default_eval() }
+    }
+
+    /// Creates a context wrapping an existing device.
+    pub fn from_device(device: Device) -> Self {
+        DeviceContext { device }
+    }
+
+    /// The underlying simulated device.
+    pub fn device(&self) -> &Device {
+        &self.device
+    }
+
+    /// Builds an acceleration structure over `input` (our
+    /// `optixAccelBuild`).
+    pub fn accel_build(&self, input: BuildInput, options: &AccelBuildOptions) -> GeometryAccel {
+        GeometryAccel::build(&self.device, input, options)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build_input::BuildInput;
+    use rtx_math::Vec3f;
+
+    #[test]
+    fn context_builds_accel_structures() {
+        let ctx = DeviceContext::default_eval();
+        let centers: Vec<Vec3f> = (0..10).map(|i| Vec3f::new(i as f32, 0.0, 0.0)).collect();
+        let gas = ctx.accel_build(
+            BuildInput::triangles_from_centers(&centers, 0.4),
+            &AccelBuildOptions::default(),
+        );
+        assert_eq!(gas.primitive_count(), 10);
+        assert!(ctx.device().memory().current_bytes() > 0);
+    }
+
+    #[test]
+    fn context_exposes_spec() {
+        let ctx = DeviceContext::new(DeviceSpec::rtx_3090());
+        assert_eq!(ctx.device().spec().name, "RTX 3090");
+        let dev = gpu_device::Device::new(DeviceSpec::rtx_2080ti());
+        let ctx2 = DeviceContext::from_device(dev);
+        assert_eq!(ctx2.device().spec().name, "RTX 2080 Ti");
+    }
+}

@@ -1,0 +1,389 @@
+//! The raytracing pipeline: ray-generation + any-hit programs and
+//! `optixLaunch`.
+//!
+//! A pipeline launch spawns one logical thread per launch index (one per
+//! lookup for RTIndeX). Each logical thread runs the user's ray-generation
+//! program, which converts its lookup into one or more rays and passes them
+//! to [`Tracer::trace`] — our `optixTrace()`. The traversal runs on the BVH of
+//! the [`GeometryAccel`] and invokes the user's any-hit program for every
+//! intersection, handing it the primitive index (the rowID).
+//!
+//! While executing, the launch accumulates the hardware counters the cost
+//! model needs: instructions for the programmable parts (ray generation,
+//! software intersection, any-hit), RT-core work (box and triangle tests),
+//! and memory traffic classified by the [`AccessClassifier`].
+
+use gpu_device::{Device, KernelStats, SimulatedTime, ThreadCtx};
+use rtx_bvh::{traverse, AnyHitControl, TraversalStats};
+use rtx_math::Ray;
+
+use crate::accel::GeometryAccel;
+use gpu_device::AccessClassifier;
+
+/// Instruction-cost constants for the programmable pipeline stages. These are
+/// the calibration knobs of the reproduction; their ratios (not absolute
+/// values) drive the shapes of the paper's figures.
+pub mod cost_constants {
+    /// Instructions charged per launch index (ray-generation overhead).
+    pub const RAYGEN_BASE: u64 = 30;
+    /// Instructions charged per `optixTrace` call (setup + handoff).
+    pub const TRACE_SETUP: u64 = 20;
+    /// Instructions charged per software intersection-program invocation.
+    /// The value is deliberately large: a custom intersection program stalls
+    /// the fixed-function traversal, diverges within the warp and re-enters
+    /// the SM pipeline, which on real hardware costs far more than the
+    /// arithmetic of the test itself (this is what makes spheres/AABBs lose
+    /// against hardware-tested triangles in Figure 7a).
+    pub const SW_INTERSECTION: u64 = 600;
+    /// Instructions charged per any-hit program invocation.
+    pub const ANY_HIT: u64 = 10;
+    /// Bytes read per visited BVH node.
+    pub const NODE_BYTES: u64 = 32;
+}
+
+/// The user-programmable parts of a pipeline, i.e. the OptiX "program groups"
+/// RTIndeX provides.
+pub trait ProgramSet: Sync {
+    /// Per-ray payload handed to the any-hit program.
+    type Payload: Default;
+    /// Per-launch-index result written to the output buffer.
+    type Output: Send + Default + Clone;
+
+    /// Ray-generation program: convert launch index `idx` into rays, trace
+    /// them, and produce the thread's output value.
+    fn ray_gen(&self, idx: usize, tracer: &mut Tracer<'_, Self>) -> Self::Output;
+
+    /// Any-hit program: called for every reported intersection with the
+    /// primitive index (= rowID) and the hit parameter.
+    fn any_hit(&self, payload: &mut Self::Payload, prim_index: u32, t: f32) -> AnyHitControl;
+}
+
+/// Handle passed to the ray-generation program; wraps `optixTrace` and
+/// data-buffer reads so that all device work is accounted.
+pub struct Tracer<'a, PS: ProgramSet + ?Sized> {
+    gas: &'a GeometryAccel,
+    programs: &'a PS,
+    ctx: &'a mut ThreadCtx,
+    classifier: &'a mut AccessClassifier,
+    traversal: TraversalStats,
+    traces: u64,
+}
+
+impl<'a, PS: ProgramSet + ?Sized> Tracer<'a, PS> {
+    /// Casts `ray` against the acceleration structure, invoking the program
+    /// set's any-hit for every intersection. Returns the per-ray traversal
+    /// statistics.
+    pub fn trace(&mut self, ray: &Ray, payload: &mut PS::Payload) -> TraversalStats {
+        self.traces += 1;
+        self.ctx.add_instructions(cost_constants::TRACE_SETUP);
+
+        let prims = self.gas.primitives();
+        let programs = self.programs;
+        let stats = traverse(self.gas.bvh(), prims, ray, |prim, t| {
+            programs.any_hit(payload, prim, t)
+        });
+
+        // Memory traffic: nodes + primitive data, attributed by locality.
+        // The region token groups rays that enter the tree near each other
+        // (quantised origin), which is what produces cache reuse for sorted
+        // or skewed lookup batches.
+        let token = quantize_origin(ray);
+        self.classifier.access(
+            self.ctx,
+            token,
+            stats.nodes_visited * cost_constants::NODE_BYTES,
+        );
+        let prim_bytes = stats.prim_tests() * prims.bytes_per_primitive();
+        if prim_bytes > 0 {
+            self.classifier.access(self.ctx, token.wrapping_add(1), prim_bytes);
+        }
+
+        // Programmable-core work.
+        self.ctx.add_instructions(
+            stats.sw_prim_tests * cost_constants::SW_INTERSECTION
+                + stats.any_hit_invocations * cost_constants::ANY_HIT,
+        );
+        // Fixed-function work. RT cores fetch a node and test all of its
+        // children in one step, so the charged unit is the visited node, not
+        // the individual child-box test.
+        self.ctx.stats.rt_box_tests += stats.nodes_visited;
+        self.ctx.stats.rt_triangle_tests += stats.hw_prim_tests;
+        self.ctx.stats.sw_intersection_tests += stats.sw_prim_tests;
+        self.ctx.stats.bvh_nodes_visited += stats.nodes_visited;
+        self.ctx.stats.any_hit_invocations += stats.any_hit_invocations;
+        self.ctx.stats.early_aborts += stats.aborted_at_root;
+
+        self.traversal.merge(&stats);
+        stats
+    }
+
+    /// Records a data-dependent read of `bytes` from a device buffer (e.g.
+    /// fetching the projected value for a rowID). `token` identifies the
+    /// touched region (such as `rowID / 8`) so that neighbouring fetches can
+    /// hit the cache.
+    pub fn read_buffer(&mut self, token: u64, bytes: u64) {
+        self.ctx.add_instructions(2);
+        self.classifier.access(self.ctx, token.wrapping_mul(2654435761).rotate_left(17), bytes);
+    }
+
+    /// Records `n` additional instructions of per-thread work (key
+    /// conversion, result encoding, …).
+    pub fn add_instructions(&mut self, n: u64) {
+        self.ctx.add_instructions(n);
+    }
+
+    /// Number of `trace` calls made through this tracer so far.
+    pub fn trace_count(&self) -> u64 {
+        self.traces
+    }
+
+    /// Aggregated traversal statistics of the rays traced so far.
+    pub fn traversal_stats(&self) -> TraversalStats {
+        self.traversal
+    }
+}
+
+/// Groups rays whose origins are close together; used as the locality token.
+fn quantize_origin(ray: &Ray) -> u64 {
+    let q = |v: f32| ((v / 64.0).floor() as i64) as u64;
+    q(ray.origin.x) ^ q(ray.origin.y).rotate_left(21) ^ q(ray.origin.z).rotate_left(42)
+}
+
+/// Result of a pipeline launch.
+#[derive(Debug, Clone, Default)]
+pub struct LaunchMetrics {
+    /// Merged hardware counters of the launch.
+    pub kernel: KernelStats,
+    /// Aggregated BVH traversal statistics.
+    pub traversal: TraversalStats,
+    /// Simulated device time of the launch.
+    pub simulated_time_s: f64,
+    /// Host wall-clock time of the (software) launch.
+    pub host_time: std::time::Duration,
+}
+
+impl LaunchMetrics {
+    /// Simulated time as a typed value.
+    pub fn simulated_time(&self) -> SimulatedTime {
+        SimulatedTime::from_seconds(self.simulated_time_s)
+    }
+
+    /// Merges the metrics of a subsequent launch (used when a workload is
+    /// split into several batches).
+    pub fn merge(&mut self, other: &LaunchMetrics) {
+        self.kernel.merge(&other.kernel);
+        self.traversal.merge(&other.traversal);
+        self.simulated_time_s += other.simulated_time_s;
+        self.host_time += other.host_time;
+    }
+}
+
+/// Launches the pipeline: runs `programs.ray_gen` for every launch index in
+/// `0..width`, writing each result into `out[idx]`.
+///
+/// `extra_working_set_bytes` describes device data outside the acceleration
+/// structure that lookups touch (the projected value column), so the memory
+/// model sees the true working-set size.
+pub fn launch<PS: ProgramSet>(
+    device: &Device,
+    gas: &GeometryAccel,
+    programs: &PS,
+    width: usize,
+    extra_working_set_bytes: u64,
+    out: &mut [PS::Output],
+) -> LaunchMetrics {
+    assert!(out.len() >= width, "output buffer too small: {} < {width}", out.len());
+    let start = std::time::Instant::now();
+
+    let mut merged = KernelStats {
+        threads_launched: width as u64,
+        kernel_launches: 1,
+        ..KernelStats::new()
+    };
+    let mut traversal = TraversalStats::default();
+
+    if width > 0 {
+        let workers = gpu_device::executor::worker_count().min(width);
+        let chunk = width.div_ceil(workers);
+        let working_set = gas.memory_bytes() + extra_working_set_bytes;
+        let l2 = device.spec().l2_bytes;
+
+        let out_chunks: Vec<&mut [PS::Output]> = out[..width].chunks_mut(chunk).collect();
+        let partials = crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(workers);
+            for (w, out_chunk) in out_chunks.into_iter().enumerate() {
+                handles.push(scope.spawn(move |_| {
+                    let start_idx = w * chunk;
+                    let mut ctx = ThreadCtx::new();
+                    let mut classifier = AccessClassifier::new(l2, working_set);
+                    let mut local_traversal = TraversalStats::default();
+                    for (j, slot) in out_chunk.iter_mut().enumerate() {
+                        ctx.add_instructions(cost_constants::RAYGEN_BASE);
+                        let mut tracer = Tracer {
+                            gas,
+                            programs,
+                            ctx: &mut ctx,
+                            classifier: &mut classifier,
+                            traversal: TraversalStats::default(),
+                            traces: 0,
+                        };
+                        *slot = programs.ray_gen(start_idx + j, &mut tracer);
+                        local_traversal.merge(&tracer.traversal);
+                    }
+                    (ctx.stats, local_traversal)
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("pipeline worker panicked"))
+                .collect::<Vec<_>>()
+        })
+        .expect("pipeline scope panicked");
+
+        for (stats, trav) in partials {
+            merged.merge(&stats);
+            traversal.merge(&trav);
+        }
+        merged.threads_launched = width as u64;
+        merged.kernel_launches = 1;
+    }
+
+    let simulated = device.cost_model().simulated_time(&merged);
+    device.profiler().record_kernel(merged);
+
+    LaunchMetrics {
+        kernel: merged,
+        traversal,
+        simulated_time_s: simulated.as_seconds(),
+        host_time: start.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::accel::AccelBuildOptions;
+    use crate::build_input::{BuildInput, PrimitiveKind};
+    use rtx_math::Vec3f;
+
+    /// A minimal program set: each launch index looks up key `idx` with a
+    /// perpendicular ray and returns the hit rowID (or u32::MAX on miss).
+    struct PointLookup;
+
+    #[derive(Default)]
+    struct HitPayload {
+        row: Option<u32>,
+    }
+
+    impl ProgramSet for PointLookup {
+        type Payload = HitPayload;
+        type Output = u32;
+
+        fn ray_gen(&self, idx: usize, tracer: &mut Tracer<'_, Self>) -> u32 {
+            let ray = Ray::new(
+                Vec3f::new(idx as f32, 0.0, -0.5),
+                Vec3f::new(0.0, 0.0, 1.0),
+                0.0,
+                1.0,
+            );
+            let mut payload = HitPayload::default();
+            tracer.trace(&ray, &mut payload);
+            payload.row.unwrap_or(u32::MAX)
+        }
+
+        fn any_hit(&self, payload: &mut HitPayload, prim: u32, _t: f32) -> AnyHitControl {
+            payload.row = Some(prim);
+            AnyHitControl::Continue
+        }
+    }
+
+    fn build_gas(device: &Device, n: usize) -> GeometryAccel {
+        let centers: Vec<Vec3f> = (0..n).map(|i| Vec3f::new(i as f32, 0.0, 0.0)).collect();
+        GeometryAccel::build(
+            device,
+            BuildInput::from_centers(PrimitiveKind::Triangle, &centers),
+            &AccelBuildOptions::default(),
+        )
+    }
+
+    #[test]
+    fn launch_returns_correct_rowids() {
+        let device = Device::default_eval();
+        let gas = build_gas(&device, 512);
+        let mut out = vec![0u32; 512];
+        let metrics = launch(&device, &gas, &PointLookup, 512, 0, &mut out);
+        for (i, &row) in out.iter().enumerate() {
+            assert_eq!(row, i as u32, "lookup {i}");
+        }
+        assert_eq!(metrics.kernel.threads_launched, 512);
+        assert_eq!(metrics.kernel.kernel_launches, 1);
+        assert!(metrics.kernel.instructions > 0);
+        assert!(metrics.kernel.rt_triangle_tests > 0);
+        assert!(metrics.traversal.any_hit_invocations == 512);
+        assert!(metrics.simulated_time_s > 0.0);
+    }
+
+    #[test]
+    fn launch_records_misses_without_hits() {
+        let device = Device::default_eval();
+        let gas = build_gas(&device, 16);
+        // Launch indices 0..64: indices >= 16 are misses.
+        let mut out = vec![0u32; 64];
+        let metrics = launch(&device, &gas, &PointLookup, 64, 0, &mut out);
+        for i in 0..16 {
+            assert_eq!(out[i], i as u32);
+        }
+        for i in 16..64 {
+            assert_eq!(out[i], u32::MAX);
+        }
+        assert!(metrics.kernel.early_aborts > 0, "far misses abort at the root");
+    }
+
+    #[test]
+    fn empty_launch_is_safe() {
+        let device = Device::default_eval();
+        let gas = build_gas(&device, 4);
+        let mut out: Vec<u32> = vec![];
+        let metrics = launch(&device, &gas, &PointLookup, 0, 0, &mut out);
+        assert_eq!(metrics.kernel.threads_launched, 0);
+        assert_eq!(metrics.traversal.nodes_visited, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "output buffer too small")]
+    fn launch_rejects_short_output() {
+        let device = Device::default_eval();
+        let gas = build_gas(&device, 4);
+        let mut out = vec![0u32; 2];
+        let _ = launch(&device, &gas, &PointLookup, 4, 0, &mut out);
+    }
+
+    #[test]
+    fn metrics_merge_accumulates() {
+        let device = Device::default_eval();
+        let gas = build_gas(&device, 64);
+        let mut out = vec![0u32; 64];
+        let mut total = LaunchMetrics::default();
+        for _ in 0..4 {
+            let m = launch(&device, &gas, &PointLookup, 64, 0, &mut out);
+            total.merge(&m);
+        }
+        assert_eq!(total.kernel.kernel_launches, 4);
+        assert_eq!(total.kernel.threads_launched, 256);
+        assert!(total.simulated_time().as_seconds() > 0.0);
+    }
+
+    #[test]
+    fn small_build_served_from_cache_large_build_from_dram() {
+        let device = Device::default_eval();
+        let small = build_gas(&device, 256);
+        let mut out = vec![0u32; 256];
+        let m_small = launch(&device, &small, &PointLookup, 256, 0, &mut out);
+        assert_eq!(m_small.kernel.dram_bytes_read, 0, "small index fits in L2");
+
+        // A working set much larger than the 72 MiB L2 of the 4090 —
+        // simulate by claiming a huge extra working set.
+        let m_large = launch(&device, &small, &PointLookup, 256, 10 << 30, &mut out);
+        assert!(m_large.kernel.dram_bytes_read > 0, "large working set must hit DRAM");
+    }
+}

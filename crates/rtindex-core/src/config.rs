@@ -1,0 +1,146 @@
+//! Index configuration: the five design dimensions of Section 3.
+
+use optix_sim::PrimitiveKind;
+use rtx_bvh::BuilderKind;
+
+use crate::key_mode::KeyMode;
+use crate::ray_strategy::{PointRayStrategy, RangeRayStrategy};
+
+/// Complete configuration of an [`RtIndex`](crate::index::RtIndex).
+///
+/// The default value is the configuration the paper selects after evaluating
+/// all five design dimensions:
+///
+/// * 3D key mode with decomposition 23+23+18,
+/// * triangle primitives (hardware intersection),
+/// * perpendicular rays for point lookups,
+/// * parallel-from-offset rays for range lookups,
+/// * compacted BVH,
+/// * updates via full rebuild (refitting disabled).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RtIndexConfig {
+    /// How keys become float32 coordinates.
+    pub key_mode: KeyMode,
+    /// Scene primitive per key.
+    pub primitive: PrimitiveKind,
+    /// Ray shape for point lookups.
+    pub point_ray: PointRayStrategy,
+    /// Ray shape for range lookups.
+    pub range_ray: RangeRayStrategy,
+    /// Whether to compact the BVH after building.
+    pub compact: bool,
+    /// Whether to allow refitting updates (disables compaction, as in OptiX).
+    pub allow_update: bool,
+    /// BVH construction algorithm of the simulated driver.
+    pub builder: BuilderKind,
+    /// Maximum primitives per BVH leaf.
+    pub max_leaf_size: usize,
+}
+
+impl Default for RtIndexConfig {
+    fn default() -> Self {
+        RtIndexConfig {
+            key_mode: KeyMode::three_d_default(),
+            primitive: PrimitiveKind::Triangle,
+            point_ray: PointRayStrategy::Perpendicular,
+            range_ray: RangeRayStrategy::ParallelFromOffset,
+            compact: true,
+            allow_update: false,
+            builder: BuilderKind::Lbvh,
+            max_leaf_size: 4,
+        }
+    }
+}
+
+impl RtIndexConfig {
+    /// The paper's selected configuration (same as `Default`).
+    pub fn paper_default() -> Self {
+        Self::default()
+    }
+
+    /// Returns the configuration with a different key mode.
+    pub fn with_key_mode(mut self, mode: KeyMode) -> Self {
+        self.key_mode = mode;
+        self
+    }
+
+    /// Returns the configuration with a different primitive kind.
+    pub fn with_primitive(mut self, primitive: PrimitiveKind) -> Self {
+        self.primitive = primitive;
+        self
+    }
+
+    /// Returns the configuration with a different point-lookup ray strategy.
+    pub fn with_point_ray(mut self, strategy: PointRayStrategy) -> Self {
+        self.point_ray = strategy;
+        self
+    }
+
+    /// Returns the configuration with a different range-lookup ray strategy.
+    pub fn with_range_ray(mut self, strategy: RangeRayStrategy) -> Self {
+        self.range_ray = strategy;
+        self
+    }
+
+    /// Returns the configuration with compaction enabled or disabled.
+    pub fn with_compaction(mut self, compact: bool) -> Self {
+        self.compact = compact;
+        self
+    }
+
+    /// Returns the configuration with refitting updates enabled (this also
+    /// disables compaction, mirroring the OptiX flag interaction).
+    pub fn updatable(mut self) -> Self {
+        self.allow_update = true;
+        self.compact = false;
+        self
+    }
+
+    /// Returns the configuration with a different BVH builder.
+    pub fn with_builder(mut self, builder: BuilderKind) -> Self {
+        self.builder = builder;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decomposition::Decomposition;
+
+    #[test]
+    fn default_matches_paper_selection() {
+        let c = RtIndexConfig::default();
+        assert_eq!(c.key_mode, KeyMode::ThreeD(Decomposition::DEFAULT));
+        assert_eq!(c.primitive, PrimitiveKind::Triangle);
+        assert_eq!(c.point_ray, PointRayStrategy::Perpendicular);
+        assert_eq!(c.range_ray, RangeRayStrategy::ParallelFromOffset);
+        assert!(c.compact);
+        assert!(!c.allow_update);
+        assert_eq!(RtIndexConfig::paper_default(), c);
+    }
+
+    #[test]
+    fn builder_style_setters() {
+        let c = RtIndexConfig::default()
+            .with_key_mode(KeyMode::Naive)
+            .with_primitive(PrimitiveKind::Aabb)
+            .with_point_ray(PointRayStrategy::ParallelFromZero)
+            .with_range_ray(RangeRayStrategy::ParallelFromZero)
+            .with_compaction(false)
+            .with_builder(BuilderKind::Sah);
+        assert_eq!(c.key_mode, KeyMode::Naive);
+        assert_eq!(c.primitive, PrimitiveKind::Aabb);
+        assert_eq!(c.point_ray, PointRayStrategy::ParallelFromZero);
+        assert_eq!(c.range_ray, RangeRayStrategy::ParallelFromZero);
+        assert!(!c.compact);
+        assert_eq!(c.builder, BuilderKind::Sah);
+    }
+
+    #[test]
+    fn updatable_disables_compaction() {
+        let c = RtIndexConfig::default().updatable();
+        assert!(c.allow_update);
+        assert!(!c.compact);
+    }
+}

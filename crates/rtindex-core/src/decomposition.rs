@@ -1,0 +1,260 @@
+//! Key decomposition for 3D Mode (Section 3.4 of the paper).
+//!
+//! A 64-bit key is split into three smaller unsigned integers that become the
+//! x, y and z coordinate of the key's primitive. The paper's default is
+//! `x = k[22:0]`, `y = k[45:23]`, `z = k[63:46]` (written 23+23+18); Figures 8
+//! and 9 sweep alternative splits, which is why the decomposition is a
+//! first-class configurable value here.
+
+/// A decomposition of key bits onto the three coordinate axes.
+///
+/// `x_bits` holds the least significant bits, `y_bits` the next group and
+/// `z_bits` the most significant group. Each axis is limited to 23 bits so
+/// that the resulting integer coordinate (and the ±0.5 gap next to it) is
+/// exactly representable as a float32.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Decomposition {
+    /// Bits assigned to the x axis (least significant).
+    pub x_bits: u32,
+    /// Bits assigned to the y axis.
+    pub y_bits: u32,
+    /// Bits assigned to the z axis (most significant).
+    pub z_bits: u32,
+}
+
+/// Maximum bits a single float32 axis can hold without losing the ±0.5 gap.
+pub const MAX_AXIS_BITS: u32 = 23;
+
+impl Decomposition {
+    /// The paper's default decomposition: x = k\[22:0\], y = k\[45:23\],
+    /// z = k\[63:46\].
+    pub const DEFAULT: Decomposition = Decomposition { x_bits: 23, y_bits: 23, z_bits: 18 };
+
+    /// Creates a decomposition after validating the axis limits.
+    ///
+    /// # Panics
+    /// Panics when an axis exceeds 23 bits (22 bits + gap for z would still
+    /// be fine, but the paper never exceeds 23 either) or when the total
+    /// exceeds 64 bits.
+    pub fn new(x_bits: u32, y_bits: u32, z_bits: u32) -> Self {
+        assert!(
+            x_bits <= MAX_AXIS_BITS && y_bits <= MAX_AXIS_BITS && z_bits <= MAX_AXIS_BITS,
+            "every axis is limited to {MAX_AXIS_BITS} bits to stay exactly representable in float32"
+        );
+        assert!(x_bits + y_bits + z_bits <= 64, "decomposition cannot cover more than 64 bits");
+        assert!(x_bits > 0, "the x axis must receive at least one bit");
+        Decomposition { x_bits, y_bits, z_bits }
+    }
+
+    /// Total number of key bits covered by the decomposition.
+    pub fn total_bits(&self) -> u32 {
+        self.x_bits + self.y_bits + self.z_bits
+    }
+
+    /// Largest key this decomposition can represent.
+    pub fn max_key(&self) -> u64 {
+        if self.total_bits() >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.total_bits()) - 1
+        }
+    }
+
+    /// Splits a key into its (x, y, z) integer components.
+    pub fn split(&self, key: u64) -> (u64, u64, u64) {
+        let x = key & mask(self.x_bits);
+        let y = (key >> self.x_bits) & mask(self.y_bits);
+        let z = (key >> (self.x_bits + self.y_bits)) & mask(self.z_bits);
+        (x, y, z)
+    }
+
+    /// Recombines (x, y, z) components into the original key.
+    pub fn join(&self, x: u64, y: u64, z: u64) -> u64 {
+        x | (y << self.x_bits) | (z << (self.x_bits + self.y_bits))
+    }
+
+    /// The combined y/z part of the key (the "row" a key lives in). Range
+    /// lookups must fire one ray per row between `row(l)` and `row(u)`.
+    pub fn row(&self, key: u64) -> u64 {
+        key >> self.x_bits
+    }
+
+    /// Splits a row id back into its (y, z) components.
+    pub fn row_to_yz(&self, row: u64) -> (u64, u64) {
+        (row & mask(self.y_bits), (row >> self.y_bits) & mask(self.z_bits))
+    }
+
+    /// Largest x component value.
+    pub fn max_x(&self) -> u64 {
+        mask(self.x_bits)
+    }
+
+    /// Number of rays a range lookup `[l, u]` needs: one per row touched.
+    pub fn rays_for_range(&self, lower: u64, upper: u64) -> u64 {
+        self.row(upper) - self.row(lower) + 1
+    }
+
+    /// Short label used by experiment output, e.g. `"23+23+18"`.
+    pub fn label(&self) -> String {
+        format!("{}+{}+{}", self.x_bits, self.y_bits, self.z_bits)
+    }
+
+    /// The decompositions swept by Figure 8 (point lookups): x+y+z with the
+    /// listed bit counts.
+    pub fn figure8_sweep() -> Vec<Decomposition> {
+        vec![
+            Decomposition::new(23, 3, 0),
+            Decomposition::new(22, 4, 0),
+            Decomposition::new(21, 5, 0),
+            Decomposition::new(20, 6, 0),
+            Decomposition::new(19, 7, 0),
+            Decomposition::new(18, 8, 0),
+            Decomposition::new(17, 9, 0),
+            Decomposition::new(16, 10, 0),
+            Decomposition::new(23, 0, 3),
+            Decomposition::new(22, 0, 4),
+            Decomposition::new(21, 0, 5),
+            Decomposition::new(20, 0, 6),
+            Decomposition::new(19, 0, 7),
+            Decomposition::new(18, 0, 8),
+            Decomposition::new(17, 0, 9),
+            Decomposition::new(16, 0, 10),
+        ]
+    }
+
+    /// The decompositions swept by Figure 9 (range lookups).
+    pub fn figure9_sweep() -> Vec<Decomposition> {
+        vec![
+            Decomposition::new(16, 10, 0),
+            Decomposition::new(17, 9, 0),
+            Decomposition::new(18, 8, 0),
+            Decomposition::new(19, 7, 0),
+            Decomposition::new(20, 6, 0),
+            Decomposition::new(21, 5, 0),
+            Decomposition::new(22, 4, 0),
+            Decomposition::new(23, 3, 0),
+        ]
+    }
+}
+
+impl Default for Decomposition {
+    fn default() -> Self {
+        Decomposition::DEFAULT
+    }
+}
+
+#[inline]
+fn mask(bits: u32) -> u64 {
+    if bits == 0 {
+        0
+    } else if bits >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << bits) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn default_matches_paper() {
+        let d = Decomposition::default();
+        assert_eq!((d.x_bits, d.y_bits, d.z_bits), (23, 23, 18));
+        assert_eq!(d.total_bits(), 64);
+        assert_eq!(d.max_key(), u64::MAX);
+        assert_eq!(d.label(), "23+23+18");
+    }
+
+    #[test]
+    fn split_and_join_default() {
+        let d = Decomposition::DEFAULT;
+        let key = 0xDEAD_BEEF_CAFE_BABEu64;
+        let (x, y, z) = d.split(key);
+        assert!(x < (1 << 23));
+        assert!(y < (1 << 23));
+        assert!(z < (1 << 18));
+        assert_eq!(d.join(x, y, z), key);
+    }
+
+    #[test]
+    fn split_matches_bit_ranges() {
+        let d = Decomposition::new(2, 2, 2);
+        // key = 0b10_01_11 -> x = 0b11, y = 0b01, z = 0b10
+        let key = 0b10_01_11u64;
+        assert_eq!(d.split(key), (0b11, 0b01, 0b10));
+        assert_eq!(d.max_key(), 63);
+        assert_eq!(d.max_x(), 3);
+    }
+
+    #[test]
+    fn rows_and_ranges() {
+        let d = Decomposition::new(2, 4, 0);
+        // Keys 0..=3 share row 0, 4..=7 row 1, …
+        assert_eq!(d.row(0), 0);
+        assert_eq!(d.row(3), 0);
+        assert_eq!(d.row(4), 1);
+        assert_eq!(d.rays_for_range(0, 3), 1);
+        assert_eq!(d.rays_for_range(2, 5), 2);
+        assert_eq!(d.rays_for_range(0, 15), 4);
+        assert_eq!(d.row_to_yz(5), (5, 0));
+    }
+
+    #[test]
+    fn row_to_yz_splits_both_axes() {
+        let d = Decomposition::new(8, 4, 4);
+        let key = d.join(0x12, 0xA, 0x5);
+        let row = d.row(key);
+        assert_eq!(d.row_to_yz(row), (0xA, 0x5));
+    }
+
+    #[test]
+    fn figure_sweeps_have_expected_sizes() {
+        assert_eq!(Decomposition::figure8_sweep().len(), 16);
+        assert_eq!(Decomposition::figure9_sweep().len(), 8);
+        for d in Decomposition::figure8_sweep() {
+            assert_eq!(d.total_bits(), 26, "figure 8 uses 2^26 dense keys");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "limited to 23 bits")]
+    fn axis_limit_enforced() {
+        let _ = Decomposition::new(24, 0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bit")]
+    fn x_axis_needs_bits() {
+        let _ = Decomposition::new(0, 10, 10);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_split_join_roundtrip(key in any::<u64>()) {
+            let d = Decomposition::DEFAULT;
+            let (x, y, z) = d.split(key);
+            prop_assert_eq!(d.join(x, y, z), key);
+        }
+
+        #[test]
+        fn prop_split_respects_axis_widths(key in any::<u64>(), x_bits in 1u32..=23, y_bits in 0u32..=23, z_bits in 0u32..=18) {
+            let d = Decomposition::new(x_bits, y_bits, z_bits);
+            let key = key & d.max_key();
+            let (x, y, z) = d.split(key);
+            prop_assert!(x <= d.max_x());
+            prop_assert!(y < (1u64 << y_bits.max(1)) || y_bits == 0 && y == 0);
+            prop_assert!(z < (1u64 << z_bits.max(1)) || z_bits == 0 && z == 0);
+            prop_assert_eq!(d.join(x, y, z), key);
+        }
+
+        #[test]
+        fn prop_row_ordering_is_monotone(a in any::<u64>(), b in any::<u64>()) {
+            let d = Decomposition::DEFAULT;
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(d.row(lo) <= d.row(hi));
+        }
+    }
+}

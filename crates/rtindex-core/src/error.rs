@@ -1,0 +1,137 @@
+//! Error types of the RTIndeX core crate.
+
+use crate::key_mode::KeyMode;
+use optix_sim::PrimitiveKind;
+
+/// Errors reported when building, updating or querying an [`RtIndex`].
+///
+/// [`RtIndex`]: crate::index::RtIndex
+#[derive(Debug, Clone, PartialEq)]
+pub enum RtIndexError {
+    /// A key exceeds the range representable by the configured key mode.
+    KeyOutOfRange {
+        /// The offending key.
+        key: u64,
+        /// The configured mode.
+        mode: KeyMode,
+        /// The largest key the mode supports.
+        max_key: u64,
+    },
+    /// The configured primitive type is not supported by the configured key
+    /// mode (e.g. spheres in Extended Mode, Table 1 of the paper).
+    UnsupportedPrimitive {
+        /// The configured mode.
+        mode: KeyMode,
+        /// The unsupported primitive kind.
+        primitive: PrimitiveKind,
+    },
+    /// A range lookup would require more rays than the configured limit
+    /// (only possible for gigantic ranges in 3D Mode).
+    RangeTooWide {
+        /// Lower bound of the offending range.
+        lower: u64,
+        /// Upper bound of the offending range.
+        upper: u64,
+        /// Number of rays that would be required.
+        rays_required: u64,
+        /// The per-lookup ray limit.
+        limit: u64,
+    },
+    /// An update supplied a key buffer whose length differs from the indexed
+    /// key count (OptiX updates cannot add or remove primitives).
+    KeyCountChanged {
+        /// Keys in the existing index.
+        expected: usize,
+        /// Keys supplied to the update.
+        actual: usize,
+    },
+    /// Updates were requested on an index built without `allow_update`.
+    UpdatesNotEnabled,
+    /// A lookup supplied a value column whose length does not match the
+    /// number of indexed keys.
+    ValueColumnLengthMismatch {
+        /// Number of indexed keys (and expected values).
+        expected: usize,
+        /// Values supplied.
+        actual: usize,
+    },
+    /// A range lookup was supplied with `lower > upper`.
+    InvalidRange {
+        /// Lower bound.
+        lower: u64,
+        /// Upper bound.
+        upper: u64,
+    },
+}
+
+impl std::fmt::Display for RtIndexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RtIndexError::KeyOutOfRange { key, mode, max_key } => write!(
+                f,
+                "key {key} exceeds the maximum key {max_key} supported by {} mode",
+                mode.name()
+            ),
+            RtIndexError::UnsupportedPrimitive { mode, primitive } => write!(
+                f,
+                "{} primitives are not supported in {} mode",
+                primitive.name(),
+                mode.name()
+            ),
+            RtIndexError::RangeTooWide { lower, upper, rays_required, limit } => write!(
+                f,
+                "range [{lower}, {upper}] requires {rays_required} rays, more than the limit of {limit}"
+            ),
+            RtIndexError::KeyCountChanged { expected, actual } => write!(
+                f,
+                "updates cannot add or remove keys (index holds {expected}, update supplied {actual})"
+            ),
+            RtIndexError::UpdatesNotEnabled => {
+                write!(f, "index was built without allow_update; rebuild instead")
+            }
+            RtIndexError::ValueColumnLengthMismatch { expected, actual } => write!(
+                f,
+                "value column has {actual} entries but the index holds {expected} keys"
+            ),
+            RtIndexError::InvalidRange { lower, upper } => {
+                write!(f, "invalid range lookup: lower {lower} > upper {upper}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RtIndexError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_human_readable_messages() {
+        let e = RtIndexError::KeyOutOfRange { key: 100, mode: KeyMode::Naive, max_key: 10 };
+        assert!(e.to_string().contains("key 100"));
+        assert!(e.to_string().contains("naive"));
+
+        let e = RtIndexError::UnsupportedPrimitive {
+            mode: KeyMode::Extended,
+            primitive: PrimitiveKind::Sphere,
+        };
+        assert!(e.to_string().contains("sphere"));
+        assert!(e.to_string().contains("ext mode"));
+
+        let e = RtIndexError::UpdatesNotEnabled;
+        assert!(e.to_string().contains("allow_update"));
+
+        let e = RtIndexError::InvalidRange { lower: 5, upper: 3 };
+        assert!(e.to_string().contains("lower 5"));
+
+        let e = RtIndexError::KeyCountChanged { expected: 4, actual: 5 };
+        assert!(e.to_string().contains('4') && e.to_string().contains('5'));
+
+        let e = RtIndexError::ValueColumnLengthMismatch { expected: 2, actual: 1 };
+        assert!(e.to_string().contains("value column"));
+
+        let e = RtIndexError::RangeTooWide { lower: 0, upper: u64::MAX, rays_required: 1 << 40, limit: 1024 };
+        assert!(e.to_string().contains("limit"));
+    }
+}

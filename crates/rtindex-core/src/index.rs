@@ -1,0 +1,667 @@
+//! The RTIndeX index structure (RX).
+//!
+//! An [`RtIndex`] is a secondary index over a GPU-resident column of `u64`
+//! keys. Building it converts every key into a scene primitive whose position
+//! in the primitive buffer equals the key's rowID, then builds (and usually
+//! compacts) a BVH over the scene. Point and range lookups are answered by
+//! launching one raytracing pipeline thread per lookup; the any-hit program
+//! records the rowIDs of all intersected primitives.
+//!
+//! The evaluation methodology of the paper is built in: a lookup can
+//! optionally be combined with a fetch from a value column of the same
+//! length, and the per-lookup sum of fetched values is returned, simulating
+//! the typical use of a secondary index.
+
+use gpu_device::{Device, DeviceBuffer};
+use optix_sim::{
+    launch, AccelBuildOptions, AnyHitControl, BuildInput, GeometryAccel, LaunchMetrics,
+    PrimitiveKind, ProgramSet, Tracer,
+};
+use rtx_bvh::AabbSet;
+use rtx_math::Aabb;
+
+use crate::config::RtIndexConfig;
+use crate::error::RtIndexError;
+use crate::key_mode::KeyMode;
+use crate::ray_strategy::{point_lookup_ray, range_lookup_rays};
+
+/// Reserved rowID written into the result array when a lookup misses.
+pub const MISS: u32 = u32::MAX;
+
+/// Result of a single lookup within a batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LookupResult {
+    /// RowID of the first qualifying entry, or [`MISS`].
+    pub first_row: u32,
+    /// Number of qualifying entries (0 on a miss; > 1 for duplicate keys or
+    /// range lookups).
+    pub hit_count: u32,
+    /// Sum of the values fetched for all qualifying rowIDs (0 when no value
+    /// column was supplied or on a miss).
+    pub value_sum: u64,
+}
+
+impl LookupResult {
+    /// True when the lookup found at least one qualifying entry.
+    pub fn is_hit(&self) -> bool {
+        self.hit_count > 0
+    }
+}
+
+/// Result of a batched lookup: per-lookup results plus the launch metrics of
+/// the underlying pipeline execution.
+#[derive(Debug, Clone, Default)]
+pub struct BatchOutcome {
+    /// One result per submitted lookup, in submission order.
+    pub results: Vec<LookupResult>,
+    /// Pipeline launch metrics (counters, simulated time, host time).
+    pub metrics: LaunchMetrics,
+}
+
+impl BatchOutcome {
+    /// Number of lookups that found at least one qualifying entry.
+    pub fn hit_count(&self) -> usize {
+        self.results.iter().filter(|r| r.is_hit()).count()
+    }
+
+    /// Sum of all per-lookup value sums (the aggregate the paper's
+    /// methodology computes).
+    pub fn total_value_sum(&self) -> u64 {
+        self.results.iter().map(|r| r.value_sum).fold(0u64, u64::wrapping_add)
+    }
+}
+
+/// The RTIndeX secondary index.
+#[derive(Debug)]
+pub struct RtIndex {
+    config: RtIndexConfig,
+    device: Device,
+    gas: GeometryAccel,
+    /// Device copy of the indexed key column (kept for updates/rebuilds and
+    /// for footprint accounting, like the key array of the paper's setup).
+    keys: DeviceBuffer<u64>,
+    key_count: usize,
+}
+
+impl RtIndex {
+    /// Builds an index over `keys` on `device` using `config`.
+    ///
+    /// The position of each key in the slice is its rowID.
+    pub fn build(device: &Device, keys: &[u64], config: RtIndexConfig) -> Result<Self, RtIndexError> {
+        if !config.key_mode.supports_primitive(config.primitive) {
+            return Err(RtIndexError::UnsupportedPrimitive {
+                mode: config.key_mode,
+                primitive: config.primitive,
+            });
+        }
+        let max_key = config.key_mode.max_key();
+        if let Some(&bad) = keys.iter().find(|&&k| k > max_key) {
+            return Err(RtIndexError::KeyOutOfRange { key: bad, mode: config.key_mode, max_key });
+        }
+
+        let keys_buffer = device.upload(keys);
+        let input = Self::build_input(&config, keys);
+        let options = AccelBuildOptions {
+            allow_update: config.allow_update,
+            compact: config.compact,
+            max_leaf_size: config.max_leaf_size,
+            builder: config.builder,
+        };
+        let gas = GeometryAccel::build(device, input, &options);
+
+        Ok(RtIndex {
+            config,
+            device: device.clone(),
+            gas,
+            keys: keys_buffer,
+            key_count: keys.len(),
+        })
+    }
+
+    /// Converts a key column into the build input of the configured
+    /// primitive kind and key mode.
+    fn build_input(config: &RtIndexConfig, keys: &[u64]) -> BuildInput {
+        let mode = &config.key_mode;
+        let centers = mode.centers(keys);
+        match config.primitive {
+            PrimitiveKind::Triangle => {
+                if matches!(mode, KeyMode::Extended) {
+                    let halves = mode.half_extent_list(keys);
+                    BuildInput::triangles_from_centers_anisotropic(&centers, &halves)
+                } else {
+                    BuildInput::triangles_from_centers(&centers, crate::key_mode::KEY_HALF_EXTENT)
+                }
+            }
+            PrimitiveKind::Sphere => BuildInput::spheres_from_centers(&centers),
+            PrimitiveKind::Aabb => {
+                if matches!(mode, KeyMode::Extended) {
+                    let halves = mode.half_extent_list(keys);
+                    BuildInput::Aabbs(AabbSet::new(
+                        centers
+                            .iter()
+                            .zip(halves.iter())
+                            .map(|(c, h)| Aabb::new(*c - *h, *c + *h))
+                            .collect(),
+                    ))
+                } else {
+                    BuildInput::aabbs_from_centers(&centers, crate::key_mode::KEY_HALF_EXTENT)
+                }
+            }
+        }
+    }
+
+    /// The configuration the index was built with.
+    pub fn config(&self) -> &RtIndexConfig {
+        &self.config
+    }
+
+    /// The device the index lives on.
+    pub fn device(&self) -> &Device {
+        &self.device
+    }
+
+    /// Number of indexed keys.
+    pub fn key_count(&self) -> usize {
+        self.key_count
+    }
+
+    /// The indexed key column (device copy).
+    pub fn keys(&self) -> &[u64] {
+        self.keys.as_slice()
+    }
+
+    /// The underlying acceleration structure.
+    pub fn accel(&self) -> &GeometryAccel {
+        &self.gas
+    }
+
+    /// Device memory occupied by the index structure itself (primitive
+    /// buffer + BVH), excluding the original key column.
+    pub fn index_memory_bytes(&self) -> u64 {
+        self.gas.memory_bytes()
+    }
+
+    /// Device memory occupied including the key column the index was built
+    /// from.
+    pub fn total_memory_bytes(&self) -> u64 {
+        self.gas.memory_bytes() + self.keys.size_bytes()
+    }
+
+    /// Build metrics of the most recent build or update.
+    pub fn build_metrics(&self) -> &optix_sim::BuildMetrics {
+        self.gas.metrics()
+    }
+
+    fn check_values(&self, values: Option<&[u64]>) -> Result<(), RtIndexError> {
+        if let Some(v) = values {
+            if v.len() != self.key_count {
+                return Err(RtIndexError::ValueColumnLengthMismatch {
+                    expected: self.key_count,
+                    actual: v.len(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Answers a batch of point lookups.
+    ///
+    /// Every query key is looked up with one pipeline thread. When `values`
+    /// is supplied (one value per rowID), the values of all qualifying rows
+    /// are fetched and summed per lookup, mirroring the paper's secondary-
+    /// index methodology.
+    pub fn point_lookup_batch(
+        &self,
+        queries: &[u64],
+        values: Option<&[u64]>,
+    ) -> Result<BatchOutcome, RtIndexError> {
+        self.check_values(values)?;
+        let program = PointLookupProgram { index: self, queries, values };
+        let mut results = vec![LookupResult::default(); queries.len()];
+        let metrics = launch(
+            &self.device,
+            &self.gas,
+            &program,
+            queries.len(),
+            self.lookup_working_set_bytes(values),
+            &mut results,
+        );
+        Ok(BatchOutcome { results, metrics })
+    }
+
+    /// Answers a batch of inclusive range lookups `[lower, upper]`.
+    pub fn range_lookup_batch(
+        &self,
+        ranges: &[(u64, u64)],
+        values: Option<&[u64]>,
+    ) -> Result<BatchOutcome, RtIndexError> {
+        self.check_values(values)?;
+        // Validate ranges up front so errors surface deterministically
+        // instead of inside worker threads.
+        for &(l, u) in ranges {
+            range_lookup_rays(&self.config.key_mode, self.config.range_ray, l, u)?;
+        }
+        let program = RangeLookupProgram { index: self, ranges, values };
+        let mut results = vec![LookupResult::default(); ranges.len()];
+        let metrics = launch(
+            &self.device,
+            &self.gas,
+            &program,
+            ranges.len(),
+            self.lookup_working_set_bytes(values),
+            &mut results,
+        );
+        Ok(BatchOutcome { results, metrics })
+    }
+
+    /// Bytes of device data a lookup batch touches besides the acceleration
+    /// structure (the value column, when supplied).
+    fn lookup_working_set_bytes(&self, values: Option<&[u64]>) -> u64 {
+        values.map(|v| (v.len() * 8) as u64).unwrap_or(0)
+    }
+
+    /// Applies an update by refitting the existing BVH to a new key buffer of
+    /// identical length (OptiX update semantics: no keys may be added or
+    /// removed, only changed).
+    ///
+    /// Requires the index to have been built with
+    /// [`RtIndexConfig::updatable`]. The paper finds this path degrades
+    /// lookup performance when keys move far and recommends
+    /// [`RtIndex::rebuild`] instead; both are provided so the trade-off can
+    /// be measured.
+    pub fn update_keys(&mut self, new_keys: &[u64]) -> Result<(), RtIndexError> {
+        if !self.config.allow_update {
+            return Err(RtIndexError::UpdatesNotEnabled);
+        }
+        if new_keys.len() != self.key_count {
+            return Err(RtIndexError::KeyCountChanged {
+                expected: self.key_count,
+                actual: new_keys.len(),
+            });
+        }
+        let max_key = self.config.key_mode.max_key();
+        if let Some(&bad) = new_keys.iter().find(|&&k| k > max_key) {
+            return Err(RtIndexError::KeyOutOfRange {
+                key: bad,
+                mode: self.config.key_mode,
+                max_key,
+            });
+        }
+        let input = Self::build_input(&self.config, new_keys);
+        self.gas.update(&self.device, input).map_err(|_| RtIndexError::UpdatesNotEnabled)?;
+        self.keys = self.device.upload(new_keys);
+        Ok(())
+    }
+
+    /// Rebuilds the index from scratch over a new key column (which may have
+    /// a different length). This is the update strategy the paper selects.
+    pub fn rebuild(&mut self, new_keys: &[u64]) -> Result<(), RtIndexError> {
+        let rebuilt = RtIndex::build(&self.device, new_keys, self.config)?;
+        *self = rebuilt;
+        Ok(())
+    }
+}
+
+/// Payload of the lookup programs: collects qualifying rowIDs.
+#[derive(Default)]
+struct HitCollector {
+    rows: Vec<u32>,
+}
+
+/// Ray-generation + any-hit programs for point lookups.
+struct PointLookupProgram<'a> {
+    index: &'a RtIndex,
+    queries: &'a [u64],
+    values: Option<&'a [u64]>,
+}
+
+impl ProgramSet for PointLookupProgram<'_> {
+    type Payload = HitCollector;
+    type Output = LookupResult;
+
+    fn ray_gen(&self, idx: usize, tracer: &mut Tracer<'_, Self>) -> LookupResult {
+        let key = self.queries[idx];
+        let mode = &self.index.config.key_mode;
+        // Keys outside the representable range can never have been inserted:
+        // report a miss without tracing (mirrors a bounds check in the real
+        // ray-generation program).
+        if !mode.supports_key(key) {
+            tracer.add_instructions(2);
+            return LookupResult { first_row: MISS, hit_count: 0, value_sum: 0 };
+        }
+        let ray = point_lookup_ray(mode, self.index.config.point_ray, key);
+        let mut payload = HitCollector::default();
+        tracer.trace(&ray, &mut payload);
+        finalize_result(&payload, self.values, tracer)
+    }
+
+    fn any_hit(&self, payload: &mut HitCollector, prim: u32, _t: f32) -> AnyHitControl {
+        payload.rows.push(prim);
+        AnyHitControl::Continue
+    }
+}
+
+/// Ray-generation + any-hit programs for range lookups.
+struct RangeLookupProgram<'a> {
+    index: &'a RtIndex,
+    ranges: &'a [(u64, u64)],
+    values: Option<&'a [u64]>,
+}
+
+impl ProgramSet for RangeLookupProgram<'_> {
+    type Payload = HitCollector;
+    type Output = LookupResult;
+
+    fn ray_gen(&self, idx: usize, tracer: &mut Tracer<'_, Self>) -> LookupResult {
+        let (lower, upper) = self.ranges[idx];
+        let config = &self.index.config;
+        let rays = match range_lookup_rays(&config.key_mode, config.range_ray, lower, upper) {
+            Ok(rays) => rays,
+            // Ranges were validated before the launch; a failure here would
+            // be a logic error, but misses are the safe degradation.
+            Err(_) => return LookupResult { first_row: MISS, hit_count: 0, value_sum: 0 },
+        };
+        let mut payload = HitCollector::default();
+        for ray in &rays {
+            tracer.trace(ray, &mut payload);
+        }
+        finalize_result(&payload, self.values, tracer)
+    }
+
+    fn any_hit(&self, payload: &mut HitCollector, prim: u32, _t: f32) -> AnyHitControl {
+        payload.rows.push(prim);
+        AnyHitControl::Continue
+    }
+}
+
+/// Turns collected rowIDs into a [`LookupResult`], fetching and summing the
+/// projected values when a value column is present.
+fn finalize_result<PS: ProgramSet + ?Sized>(
+    payload: &HitCollector,
+    values: Option<&[u64]>,
+    tracer: &mut Tracer<'_, PS>,
+) -> LookupResult {
+    if payload.rows.is_empty() {
+        return LookupResult { first_row: MISS, hit_count: 0, value_sum: 0 };
+    }
+    let mut sum = 0u64;
+    if let Some(values) = values {
+        for &row in &payload.rows {
+            // One cache line holds eight u64 values; neighbouring rowIDs
+            // share it, which the access classifier turns into cache hits.
+            tracer.read_buffer(row as u64 / 8, 8);
+            sum = sum.wrapping_add(values[row as usize]);
+        }
+    }
+    LookupResult {
+        first_row: *payload.rows.iter().min().expect("non-empty"),
+        hit_count: payload.rows.len() as u32,
+        value_sum: sum,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ray_strategy::{PointRayStrategy, RangeRayStrategy};
+
+    fn device() -> Device {
+        Device::default_eval()
+    }
+
+    /// A small shuffled dense key set: keys 0..n in a deterministic
+    /// pseudo-random order (rowID i holds key (i * 37 + 11) % n for prime n).
+    fn shuffled_keys(n: u64) -> Vec<u64> {
+        (0..n).map(|i| (i * 37 + 11) % n).collect()
+    }
+
+    #[test]
+    fn build_and_point_lookup_round_trip() {
+        let dev = device();
+        let keys = shuffled_keys(997);
+        let index = RtIndex::build(&dev, &keys, RtIndexConfig::default()).expect("build");
+        assert_eq!(index.key_count(), 997);
+
+        let queries: Vec<u64> = (0..997).collect();
+        let outcome = index.point_lookup_batch(&queries, None).expect("lookup");
+        assert_eq!(outcome.results.len(), 997);
+        assert_eq!(outcome.hit_count(), 997);
+        for (q, r) in queries.iter().zip(&outcome.results) {
+            assert_eq!(r.hit_count, 1, "key {q} must have exactly one match");
+            assert_eq!(keys[r.first_row as usize], *q, "rowID must point back at the key");
+        }
+    }
+
+    #[test]
+    fn misses_report_reserved_value() {
+        let dev = device();
+        let keys: Vec<u64> = (0..100).map(|i| i * 2).collect(); // even keys only
+        let index = RtIndex::build(&dev, &keys, RtIndexConfig::default()).expect("build");
+        let queries: Vec<u64> = vec![1, 3, 5, 201, 1_000_000];
+        let outcome = index.point_lookup_batch(&queries, None).expect("lookup");
+        for r in &outcome.results {
+            assert_eq!(r.first_row, MISS);
+            assert!(!r.is_hit());
+        }
+        assert_eq!(outcome.hit_count(), 0);
+    }
+
+    #[test]
+    fn value_aggregation_matches_ground_truth() {
+        let dev = device();
+        let keys = shuffled_keys(500);
+        let values: Vec<u64> = (0..500u64).map(|i| i * 10).collect();
+        let index = RtIndex::build(&dev, &keys, RtIndexConfig::default()).expect("build");
+        let queries: Vec<u64> = (0..500).collect();
+        let outcome = index.point_lookup_batch(&queries, Some(&values)).expect("lookup");
+        // Ground truth: for each query key, find its rowID and take the value.
+        let mut expected_total = 0u64;
+        for q in &queries {
+            let row = keys.iter().position(|k| k == q).unwrap();
+            expected_total += values[row];
+        }
+        assert_eq!(outcome.total_value_sum(), expected_total);
+    }
+
+    #[test]
+    fn duplicate_keys_return_all_rows() {
+        let dev = device();
+        // Every key appears 4 times.
+        let keys: Vec<u64> = (0..64u64).flat_map(|k| std::iter::repeat(k).take(4)).collect();
+        let values: Vec<u64> = vec![1; keys.len()];
+        let index = RtIndex::build(&dev, &keys, RtIndexConfig::default()).expect("build");
+        let outcome = index.point_lookup_batch(&[7, 13], Some(&values)).expect("lookup");
+        for r in &outcome.results {
+            assert_eq!(r.hit_count, 4);
+            assert_eq!(r.value_sum, 4);
+        }
+    }
+
+    #[test]
+    fn range_lookups_return_qualifying_counts() {
+        let dev = device();
+        let keys = shuffled_keys(1024);
+        let values: Vec<u64> = vec![1; 1024];
+        let index = RtIndex::build(&dev, &keys, RtIndexConfig::default()).expect("build");
+        let ranges = vec![(0u64, 0u64), (10, 19), (1000, 1023), (2000, 3000)];
+        let outcome = index.range_lookup_batch(&ranges, Some(&values)).expect("lookup");
+        assert_eq!(outcome.results[0].hit_count, 1);
+        assert_eq!(outcome.results[1].hit_count, 10);
+        assert_eq!(outcome.results[1].value_sum, 10);
+        assert_eq!(outcome.results[2].hit_count, 24);
+        assert_eq!(outcome.results[3].hit_count, 0, "range beyond the key domain misses");
+        assert_eq!(outcome.results[3].first_row, MISS);
+    }
+
+    #[test]
+    fn all_key_modes_answer_lookups_identically() {
+        let dev = device();
+        let keys = shuffled_keys(512);
+        let queries: Vec<u64> = (0..700).collect(); // includes misses >= 512
+        let mut reference: Option<Vec<bool>> = None;
+        for mode in KeyMode::all() {
+            let config = RtIndexConfig::default().with_key_mode(mode);
+            let index = RtIndex::build(&dev, &keys, config).expect("build");
+            let outcome = index.point_lookup_batch(&queries, None).expect("lookup");
+            let hits: Vec<bool> = outcome.results.iter().map(|r| r.is_hit()).collect();
+            match &reference {
+                None => reference = Some(hits),
+                Some(expected) => assert_eq!(&hits, expected, "mode {} differs", mode.name()),
+            }
+        }
+    }
+
+    #[test]
+    fn all_primitive_kinds_answer_lookups_identically() {
+        let dev = device();
+        let keys = shuffled_keys(256);
+        let queries: Vec<u64> = (0..300).collect();
+        for primitive in PrimitiveKind::all() {
+            let config = RtIndexConfig::default().with_primitive(primitive);
+            let index = RtIndex::build(&dev, &keys, config).expect("build");
+            let outcome = index.point_lookup_batch(&queries, None).expect("lookup");
+            for (q, r) in queries.iter().zip(&outcome.results) {
+                assert_eq!(r.is_hit(), *q < 256, "primitive {:?}, key {q}", primitive);
+            }
+        }
+    }
+
+    #[test]
+    fn all_ray_strategies_agree() {
+        let dev = device();
+        let keys = shuffled_keys(256);
+        let queries: Vec<u64> = (0..256).collect();
+        for strategy in [
+            PointRayStrategy::Perpendicular,
+            PointRayStrategy::ParallelFromOffset,
+            PointRayStrategy::ParallelFromZero,
+        ] {
+            let config = RtIndexConfig::default().with_point_ray(strategy);
+            let index = RtIndex::build(&dev, &keys, config).expect("build");
+            let outcome = index.point_lookup_batch(&queries, None).expect("lookup");
+            assert_eq!(outcome.hit_count(), 256, "strategy {:?}", strategy);
+        }
+        for strategy in [RangeRayStrategy::ParallelFromOffset, RangeRayStrategy::ParallelFromZero] {
+            let config = RtIndexConfig::default().with_range_ray(strategy);
+            let index = RtIndex::build(&dev, &keys, config).expect("build");
+            let outcome = index.range_lookup_batch(&[(64, 127)], None).expect("lookup");
+            assert_eq!(outcome.results[0].hit_count, 64, "strategy {:?}", strategy);
+        }
+    }
+
+    #[test]
+    fn sixty_four_bit_keys_work_in_3d_mode() {
+        let dev = device();
+        let keys: Vec<u64> = vec![
+            0,
+            u32::MAX as u64,
+            1 << 40,
+            (1 << 45) + 17,
+            u64::MAX - 1,
+            u64::MAX,
+        ];
+        let index = RtIndex::build(&dev, &keys, RtIndexConfig::default()).expect("build");
+        let outcome = index.point_lookup_batch(&keys, None).expect("lookup");
+        for (i, r) in outcome.results.iter().enumerate() {
+            assert!(r.is_hit(), "64-bit key #{i} must be found");
+            assert_eq!(keys[r.first_row as usize], keys[i]);
+        }
+        // A nearby key that was never inserted must miss.
+        let miss = index.point_lookup_batch(&[(1 << 40) + 1], None).expect("lookup");
+        assert!(!miss.results[0].is_hit());
+    }
+
+    #[test]
+    fn key_out_of_range_is_rejected_at_build() {
+        let dev = device();
+        let err = RtIndex::build(
+            &dev,
+            &[1 << 24],
+            RtIndexConfig::default().with_key_mode(KeyMode::Naive),
+        )
+        .unwrap_err();
+        assert!(matches!(err, RtIndexError::KeyOutOfRange { .. }));
+    }
+
+    #[test]
+    fn unsupported_primitive_is_rejected_at_build() {
+        let dev = device();
+        let err = RtIndex::build(
+            &dev,
+            &[1, 2, 3],
+            RtIndexConfig::default()
+                .with_key_mode(KeyMode::Extended)
+                .with_primitive(PrimitiveKind::Sphere),
+        )
+        .unwrap_err();
+        assert!(matches!(err, RtIndexError::UnsupportedPrimitive { .. }));
+    }
+
+    #[test]
+    fn value_column_length_is_validated() {
+        let dev = device();
+        let index = RtIndex::build(&dev, &[1, 2, 3], RtIndexConfig::default()).expect("build");
+        let err = index.point_lookup_batch(&[1], Some(&[10, 20])).unwrap_err();
+        assert!(matches!(err, RtIndexError::ValueColumnLengthMismatch { expected: 3, actual: 2 }));
+    }
+
+    #[test]
+    fn updates_require_updatable_config_and_equal_length() {
+        let dev = device();
+        let keys = shuffled_keys(64);
+        let mut read_only = RtIndex::build(&dev, &keys, RtIndexConfig::default()).expect("build");
+        assert!(matches!(read_only.update_keys(&keys), Err(RtIndexError::UpdatesNotEnabled)));
+
+        let mut updatable =
+            RtIndex::build(&dev, &keys, RtIndexConfig::default().updatable()).expect("build");
+        assert!(matches!(
+            updatable.update_keys(&keys[..32]),
+            Err(RtIndexError::KeyCountChanged { expected: 64, actual: 32 })
+        ));
+
+        // Swap two keys and update: lookups must see the new mapping.
+        let mut new_keys = keys.clone();
+        new_keys.swap(0, 1);
+        updatable.update_keys(&new_keys).expect("update");
+        let outcome = updatable.point_lookup_batch(&[new_keys[0]], None).expect("lookup");
+        assert_eq!(outcome.results[0].first_row, 0);
+        assert_eq!(updatable.keys()[0], new_keys[0]);
+    }
+
+    #[test]
+    fn rebuild_replaces_the_key_set() {
+        let dev = device();
+        let mut index =
+            RtIndex::build(&dev, &shuffled_keys(64), RtIndexConfig::default()).expect("build");
+        let new_keys: Vec<u64> = (1000..1100).collect();
+        index.rebuild(&new_keys).expect("rebuild");
+        assert_eq!(index.key_count(), 100);
+        let outcome = index.point_lookup_batch(&[1000, 1099, 50], None).expect("lookup");
+        assert!(outcome.results[0].is_hit());
+        assert!(outcome.results[1].is_hit());
+        assert!(!outcome.results[2].is_hit());
+    }
+
+    #[test]
+    fn memory_accounting_is_exposed() {
+        let dev = device();
+        let index = RtIndex::build(&dev, &shuffled_keys(4096), RtIndexConfig::default())
+            .expect("build");
+        assert!(index.index_memory_bytes() > 0);
+        assert!(index.total_memory_bytes() > index.index_memory_bytes());
+        assert!(index.build_metrics().simulated_time_s > 0.0);
+        // Triangle primitive buffer alone is 36 bytes per key.
+        assert!(index.index_memory_bytes() >= 4096 * 36);
+    }
+
+    #[test]
+    fn empty_index_reports_only_misses() {
+        let dev = device();
+        let index = RtIndex::build(&dev, &[], RtIndexConfig::default()).expect("build");
+        assert_eq!(index.key_count(), 0);
+        let outcome = index.point_lookup_batch(&[1, 2, 3], None).expect("lookup");
+        assert_eq!(outcome.hit_count(), 0);
+        let ranges = index.range_lookup_batch(&[(0, 100)], None).expect("lookup");
+        assert_eq!(ranges.results[0].hit_count, 0);
+    }
+}

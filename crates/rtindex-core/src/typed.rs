@@ -1,0 +1,143 @@
+//! Typed front-end over [`RtIndex`].
+//!
+//! The core index stores `u64` keys. The paper's "Handling other data types"
+//! paragraph describes how any natively ordered type can be mapped onto a
+//! `u64` while preserving order; [`TypedRtIndex`] packages that mapping so a
+//! user can index an `i64`, `f64` or string-prefix column directly.
+
+use gpu_device::Device;
+use rtx_math::key_encode::IndexableKey;
+
+use crate::config::RtIndexConfig;
+use crate::error::RtIndexError;
+use crate::index::{BatchOutcome, RtIndex};
+
+/// A secondary index over a column of `K` values, built by converting each
+/// value to its order-preserving `u64` key.
+#[derive(Debug)]
+pub struct TypedRtIndex<K: IndexableKey> {
+    inner: RtIndex,
+    _marker: std::marker::PhantomData<K>,
+}
+
+impl<K: IndexableKey> TypedRtIndex<K> {
+    /// Builds a typed index over `column` (rowID = position in the slice).
+    pub fn build(device: &Device, column: &[K], config: RtIndexConfig) -> Result<Self, RtIndexError> {
+        let keys: Vec<u64> = column.iter().map(|v| v.to_index_key()).collect();
+        Ok(TypedRtIndex { inner: RtIndex::build(device, &keys, config)?, _marker: std::marker::PhantomData })
+    }
+
+    /// The underlying untyped index.
+    pub fn raw(&self) -> &RtIndex {
+        &self.inner
+    }
+
+    /// Number of indexed rows.
+    pub fn len(&self) -> usize {
+        self.inner.key_count()
+    }
+
+    /// True when the index holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Batched point lookups over typed query values.
+    pub fn point_lookup_batch(
+        &self,
+        queries: &[K],
+        values: Option<&[u64]>,
+    ) -> Result<BatchOutcome, RtIndexError> {
+        let keys: Vec<u64> = queries.iter().map(|v| v.to_index_key()).collect();
+        self.inner.point_lookup_batch(&keys, values)
+    }
+
+    /// Batched inclusive range lookups over typed bounds.
+    ///
+    /// For types whose encoding is a strict prefix (e.g. string prefixes),
+    /// the caller is responsible for post-filtering ties beyond the encoded
+    /// prefix, exactly as the paper prescribes.
+    pub fn range_lookup_batch(
+        &self,
+        ranges: &[(K, K)],
+        values: Option<&[u64]>,
+    ) -> Result<BatchOutcome, RtIndexError> {
+        let encoded: Vec<(u64, u64)> =
+            ranges.iter().map(|(l, u)| (l.to_index_key(), u.to_index_key())).collect();
+        self.inner.range_lookup_batch(&encoded, values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn device() -> Device {
+        Device::default_eval()
+    }
+
+    #[test]
+    fn signed_integer_column_round_trips() {
+        let dev = device();
+        let column: Vec<i64> = vec![-1_000_000, -5, 0, 3, 77, 1 << 40];
+        let index = TypedRtIndex::build(&dev, &column, RtIndexConfig::default()).expect("build");
+        assert_eq!(index.len(), 6);
+        assert!(!index.is_empty());
+        let outcome = index.point_lookup_batch(&column, None).expect("lookup");
+        for (i, r) in outcome.results.iter().enumerate() {
+            assert!(r.is_hit());
+            assert_eq!(r.first_row as usize, i);
+        }
+        let miss = index.point_lookup_batch(&[42i64], None).expect("lookup");
+        assert!(!miss.results[0].is_hit());
+    }
+
+    #[test]
+    fn signed_range_lookup_respects_order() {
+        let dev = device();
+        let column: Vec<i64> = (-50..50).collect();
+        let values: Vec<u64> = vec![1; 100];
+        let index = TypedRtIndex::build(&dev, &column, RtIndexConfig::default()).expect("build");
+        let outcome = index.range_lookup_batch(&[(-10i64, 10i64)], Some(&values)).expect("lookup");
+        assert_eq!(outcome.results[0].hit_count, 21);
+    }
+
+    #[test]
+    fn float_column_point_lookups_and_wide_range_limit() {
+        let dev = device();
+        let column: Vec<f64> = vec![-2.5, -0.25, 0.0, 1.5, 3.25, 1e12];
+        let index = TypedRtIndex::build(&dev, &column, RtIndexConfig::default()).expect("build");
+        let outcome = index.point_lookup_batch(&column, None).expect("lookup");
+        assert_eq!(outcome.hit_count(), column.len());
+        // The float encoding is extremely sparse in u64 space, so even a
+        // narrow value range spans an enormous number of key rows. RX rejects
+        // such lookups instead of firing billions of rays; this is the
+        // documented limitation inherited from the paper's per-row ray model.
+        let err = index.range_lookup_batch(&[(-1.0f64, 2.0f64)], None).unwrap_err();
+        assert!(matches!(err, crate::error::RtIndexError::RangeTooWide { .. }));
+    }
+
+    #[test]
+    fn string_prefix_column_point_lookups_and_wide_range_limit() {
+        let dev = device();
+        let column: Vec<&str> = vec!["apple", "banana", "cherry", "date", "elderberry"];
+        let index = TypedRtIndex::build(&dev, &column, RtIndexConfig::default()).expect("build");
+        let hit = index.point_lookup_batch(&["cherry"], None).expect("lookup");
+        assert_eq!(hit.results[0].first_row, 2);
+        let miss = index.point_lookup_batch(&["fig"], None).expect("lookup");
+        assert!(!miss.results[0].is_hit());
+        // Like floats, string-prefix ranges span too many rows for the
+        // per-row ray model; RX reports the limitation explicitly.
+        let err = index.range_lookup_batch(&[("b", "d")], None).unwrap_err();
+        assert!(matches!(err, crate::error::RtIndexError::RangeTooWide { .. }));
+    }
+
+    #[test]
+    fn raw_access_exposes_untyped_index() {
+        let dev = device();
+        let column: Vec<u32> = vec![5, 10, 15];
+        let index = TypedRtIndex::build(&dev, &column, RtIndexConfig::default()).expect("build");
+        assert_eq!(index.raw().key_count(), 3);
+        assert_eq!(index.raw().keys(), &[5, 10, 15]);
+    }
+}

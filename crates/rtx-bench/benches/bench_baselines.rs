@@ -1,0 +1,84 @@
+//! Baseline benchmarks: HT / B+ / SA point and range lookups plus the radix
+//! sort they build on (the baseline sides of Figures 10–17).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gpu_device::Device;
+use gpu_baselines::{radix_sort_pairs, BPlusTree, GpuIndex, SortedArray, WarpHashTable};
+use rtx_workloads as wl;
+
+fn bench_baseline_point_lookups(c: &mut Criterion) {
+    let device = Device::default_eval();
+    let keys = wl::dense_shuffled(1 << 16, 42);
+    let values = wl::value_column(keys.len(), 43);
+    let queries = wl::point_lookups(&keys, 1 << 16, 44);
+
+    let ht = WarpHashTable::build(&device, &keys);
+    let bp = BPlusTree::build(&device, &keys).unwrap();
+    let sa = SortedArray::build(&device, &keys);
+    let indexes: Vec<(&str, &dyn GpuIndex)> = vec![("HT", &ht), ("B+", &bp), ("SA", &sa)];
+
+    let mut group = c.benchmark_group("baseline_point_lookups");
+    group.throughput(Throughput::Elements(queries.len() as u64));
+    for (name, index) in indexes {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &queries, |b, q| {
+            b.iter(|| index.point_lookup_batch(&device, q, Some(&values)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_baseline_range_lookups(c: &mut Criterion) {
+    let device = Device::default_eval();
+    let keys = wl::dense_shuffled(1 << 16, 42);
+    let values = wl::value_column(keys.len(), 43);
+    let ranges = wl::range_lookups(keys.len() as u64, 1 << 12, 64, 45);
+
+    let bp = BPlusTree::build(&device, &keys).unwrap();
+    let sa = SortedArray::build(&device, &keys);
+    let indexes: Vec<(&str, &dyn GpuIndex)> = vec![("B+", &bp), ("SA", &sa)];
+
+    let mut group = c.benchmark_group("baseline_range_lookups");
+    group.throughput(Throughput::Elements(ranges.len() as u64));
+    for (name, index) in indexes {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &ranges, |b, r| {
+            b.iter(|| index.range_lookup_batch(&device, r, Some(&values)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_radix_sort(c: &mut Criterion) {
+    let device = Device::default_eval();
+    let mut group = c.benchmark_group("radix_sort");
+    for exp in [14u32, 16] {
+        let keys = wl::dense_shuffled(1 << exp, 42);
+        let rowids: Vec<u32> = (0..keys.len() as u32).collect();
+        group.throughput(Throughput::Elements(keys.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(exp), &(), |b, _| {
+            b.iter(|| radix_sort_pairs(&device, &keys, &rowids))
+        });
+    }
+    group.finish();
+}
+
+
+/// Shared Criterion configuration: small sample counts and short measurement
+/// windows keep `cargo bench --workspace` runnable in CI while still
+/// producing stable medians for the simulated workloads.
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1500))
+}
+
+criterion_group!{
+    name = benches;
+    config = quick();
+    targets =
+    bench_baseline_point_lookups,
+    bench_baseline_range_lookups,
+    bench_radix_sort
+
+}
+criterion_main!(benches);

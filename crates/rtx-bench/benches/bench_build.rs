@@ -1,0 +1,71 @@
+//! Build-phase benchmarks: RX BVH construction vs. the baseline builds, plus
+//! refitting updates vs. rebuilds (Figure 7b, Figure 10c, Table 4).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpu_device::Device;
+use gpu_baselines::{BPlusTree, SortedArray, WarpHashTable};
+use rtindex_core::{RtIndex, RtIndexConfig};
+use rtx_workloads as wl;
+
+fn bench_index_builds(c: &mut Criterion) {
+    let device = Device::default_eval();
+    let mut group = c.benchmark_group("build");
+    for exp in [12u32, 14, 16] {
+        let keys = wl::dense_shuffled(1 << exp, 42);
+        group.bench_with_input(BenchmarkId::new("RX", exp), &keys, |b, keys| {
+            b.iter(|| RtIndex::build(&device, keys, RtIndexConfig::default()).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("HT", exp), &keys, |b, keys| {
+            b.iter(|| WarpHashTable::build(&device, keys))
+        });
+        group.bench_with_input(BenchmarkId::new("B+", exp), &keys, |b, keys| {
+            b.iter(|| BPlusTree::build(&device, keys).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("SA", exp), &keys, |b, keys| {
+            b.iter(|| SortedArray::build(&device, keys))
+        });
+    }
+    group.finish();
+}
+
+fn bench_update_vs_rebuild(c: &mut Criterion) {
+    let device = Device::default_eval();
+    let keys = wl::dense_shuffled(1 << 14, 42);
+    let mut swapped = keys.clone();
+    for pair in 0..swapped.len() / 2 {
+        swapped.swap(2 * pair, 2 * pair + 1);
+    }
+
+    let mut group = c.benchmark_group("update");
+    group.bench_function("refit_update", |b| {
+        b.iter_batched(
+            || {
+                RtIndex::build(&device, &keys, RtIndexConfig::default().updatable()).unwrap()
+            },
+            |mut index| index.update_keys(&swapped).unwrap(),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("full_rebuild", |b| {
+        b.iter(|| RtIndex::build(&device, &swapped, RtIndexConfig::default()).unwrap())
+    });
+    group.finish();
+}
+
+
+/// Shared Criterion configuration: small sample counts and short measurement
+/// windows keep `cargo bench --workspace` runnable in CI while still
+/// producing stable medians for the simulated workloads.
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1500))
+}
+
+criterion_group!{
+    name = benches;
+    config = quick();
+    targets = bench_index_builds, bench_update_vs_rebuild
+}
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! End-to-end experiment benchmarks: each target runs one full harness
+//! experiment at tiny scale, so regressions anywhere in the reproduction
+//! pipeline (workload generation, index builds, lookups, reporting) are
+//! caught by `cargo bench`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rtx_harness::{run_experiment, ExperimentScale};
+
+fn bench_experiments(c: &mut Criterion) {
+    let scale = ExperimentScale::tiny();
+    let mut group = c.benchmark_group("harness_experiments");
+    group.sample_size(10);
+    for name in ["fig6", "table3", "fig11", "fig14", "fig15", "table6"] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &name, |b, name| {
+            b.iter(|| run_experiment(name, &scale).expect("known experiment"))
+        });
+    }
+    group.finish();
+}
+
+
+/// Shared Criterion configuration: small sample counts and short measurement
+/// windows keep `cargo bench --workspace` runnable in CI while still
+/// producing stable medians for the simulated workloads.
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1500))
+}
+
+criterion_group!{
+    name = benches;
+    config = quick();
+    targets = bench_experiments
+}
+criterion_main!(benches);

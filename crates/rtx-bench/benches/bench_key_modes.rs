@@ -1,0 +1,83 @@
+//! Key-representation benchmarks: Naive vs. Extended vs. 3D mode (Figure 3a),
+//! key stride (Figure 3b) and decomposition of point lookups (Figure 8).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpu_device::Device;
+use rtindex_core::{Decomposition, KeyMode, RtIndex, RtIndexConfig};
+use rtx_workloads as wl;
+
+fn bench_key_modes(c: &mut Criterion) {
+    let device = Device::default_eval();
+    let keys = wl::dense_shuffled(1 << 16, 42);
+    let queries = wl::point_lookups(&keys, 1 << 16, 43);
+    let mut group = c.benchmark_group("key_mode_point_lookups");
+    for mode in KeyMode::all() {
+        let index =
+            RtIndex::build(&device, &keys, RtIndexConfig::default().with_key_mode(mode)).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(mode.name()), &queries, |b, q| {
+            b.iter(|| index.point_lookup_batch(q, None).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_key_stride(c: &mut Criterion) {
+    let device = Device::default_eval();
+    let mut group = c.benchmark_group("key_stride_extended_mode");
+    for stride in [1u64, 4] {
+        let keys = wl::with_stride(1 << 14, stride, 42);
+        let queries = wl::point_lookups(&keys, 1 << 14, 43);
+        let index = RtIndex::build(
+            &device,
+            &keys,
+            RtIndexConfig::default().with_key_mode(KeyMode::Extended),
+        )
+        .unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(stride), &queries, |b, q| {
+            b.iter(|| index.point_lookup_batch(q, None).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_decompositions(c: &mut Criterion) {
+    let device = Device::default_eval();
+    let bits = 16u32;
+    let keys = wl::dense_shuffled(1 << bits, 42);
+    let queries = wl::point_lookups(&keys, 1 << 16, 43);
+    let mut group = c.benchmark_group("decomposition_point_lookups");
+    for decomposition in [
+        Decomposition::new(bits - 3, 3, 0),
+        Decomposition::new(bits - 8, 8, 0),
+        Decomposition::new(bits - 8, 0, 8),
+    ] {
+        let index = RtIndex::build(
+            &device,
+            &keys,
+            RtIndexConfig::default().with_key_mode(KeyMode::ThreeD(decomposition)),
+        )
+        .unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(decomposition.label()), &queries, |b, q| {
+            b.iter(|| index.point_lookup_batch(q, None).unwrap())
+        });
+    }
+    group.finish();
+}
+
+
+/// Shared Criterion configuration: small sample counts and short measurement
+/// windows keep `cargo bench --workspace` runnable in CI while still
+/// producing stable medians for the simulated workloads.
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1500))
+}
+
+criterion_group!{
+    name = benches;
+    config = quick();
+    targets = bench_key_modes, bench_key_stride, bench_decompositions
+}
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Point-lookup benchmarks along the paper's workload dimensions: batch
+//! size (Figures 10a, 13), sortedness (Figure 12), hit rate (Figure 14) and
+//! skew (Figure 16).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rtx_bench::BenchFixture;
+use rtx_workloads as wl;
+
+fn bench_batch_sizes(c: &mut Criterion) {
+    let fixture = BenchFixture::default_size();
+    let mut group = c.benchmark_group("rx_point_lookup_batch_size");
+    for exp in [10u32, 13, 16] {
+        let queries = wl::point_lookups(&fixture.keys, 1 << exp, 7);
+        group.throughput(Throughput::Elements(queries.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(exp), &queries, |b, q| {
+            b.iter(|| fixture.rx.point_lookup_batch(q, Some(&fixture.values)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_sorted_vs_unsorted(c: &mut Criterion) {
+    let fixture = BenchFixture::default_size();
+    let sorted = wl::lookups::sorted_lookups(&fixture.point_queries);
+    let mut group = c.benchmark_group("rx_point_lookup_order");
+    group.throughput(Throughput::Elements(fixture.point_queries.len() as u64));
+    group.bench_function("unsorted", |b| {
+        b.iter(|| fixture.rx.point_lookup_batch(&fixture.point_queries, Some(&fixture.values)).unwrap())
+    });
+    group.bench_function("sorted", |b| {
+        b.iter(|| fixture.rx.point_lookup_batch(&sorted, Some(&fixture.values)).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_hit_rate(c: &mut Criterion) {
+    let fixture = BenchFixture::default_size();
+    let mut group = c.benchmark_group("rx_point_lookup_hit_rate");
+    for h in [1.0f64, 0.5, 0.0] {
+        let queries =
+            wl::point_lookups_with_hit_rate(&fixture.keys, fixture.point_queries.len(), h, 9);
+        group.bench_with_input(BenchmarkId::from_parameter(format!("h{h}")), &queries, |b, q| {
+            b.iter(|| fixture.rx.point_lookup_batch(q, Some(&fixture.values)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_skew(c: &mut Criterion) {
+    let fixture = BenchFixture::default_size();
+    let mut group = c.benchmark_group("rx_point_lookup_skew");
+    for theta in [0.0f64, 1.0, 2.0] {
+        let queries =
+            wl::point_lookups_zipf(&fixture.keys, fixture.point_queries.len(), theta, 11);
+        group.bench_with_input(BenchmarkId::from_parameter(format!("zipf{theta}")), &queries, |b, q| {
+            b.iter(|| fixture.rx.point_lookup_batch(q, Some(&fixture.values)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+
+/// Shared Criterion configuration: small sample counts and short measurement
+/// windows keep `cargo bench --workspace` runnable in CI while still
+/// producing stable medians for the simulated workloads.
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1500))
+}
+
+criterion_group!{
+    name = benches;
+    config = quick();
+    targets = bench_batch_sizes, bench_sorted_vs_unsorted, bench_hit_rate, bench_skew
+}
+criterion_main!(benches);

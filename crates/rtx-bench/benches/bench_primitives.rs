@@ -1,0 +1,55 @@
+//! Primitive-type benchmarks: triangles vs. spheres vs. AABBs, compacted vs.
+//! uncompacted (Figure 7).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpu_device::Device;
+use rtindex_core::{PrimitiveKind, RtIndex, RtIndexConfig};
+use rtx_workloads as wl;
+
+fn bench_primitive_lookups(c: &mut Criterion) {
+    let device = Device::default_eval();
+    let keys = wl::dense_shuffled(1 << 16, 42);
+    let queries = wl::point_lookups(&keys, 1 << 16, 43);
+    let mut group = c.benchmark_group("primitive_point_lookups");
+    for kind in PrimitiveKind::all() {
+        let index =
+            RtIndex::build(&device, &keys, RtIndexConfig::default().with_primitive(kind)).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &queries, |b, q| {
+            b.iter(|| index.point_lookup_batch(q, None).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_primitive_builds(c: &mut Criterion) {
+    let device = Device::default_eval();
+    let keys = wl::dense_shuffled(1 << 14, 42);
+    let mut group = c.benchmark_group("primitive_builds");
+    for kind in PrimitiveKind::all() {
+        for (label, compact) in [("compacted", true), ("uncompacted", false)] {
+            let config = RtIndexConfig::default().with_primitive(kind).with_compaction(compact);
+            group.bench_function(BenchmarkId::new(kind.name(), label), |b| {
+                b.iter(|| RtIndex::build(&device, &keys, config).unwrap())
+            });
+        }
+    }
+    group.finish();
+}
+
+
+/// Shared Criterion configuration: small sample counts and short measurement
+/// windows keep `cargo bench --workspace` runnable in CI while still
+/// producing stable medians for the simulated workloads.
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1500))
+}
+
+criterion_group!{
+    name = benches;
+    config = quick();
+    targets = bench_primitive_lookups, bench_primitive_builds
+}
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Range-lookup benchmarks: ray origin (Table 3), selectivity (Figure 17)
+//! and decomposition (Figure 9).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rtindex_core::{Decomposition, KeyMode, RangeRayStrategy, RtIndex, RtIndexConfig};
+use rtx_bench::BenchFixture;
+use rtx_workloads as wl;
+
+fn bench_selectivity(c: &mut Criterion) {
+    let fixture = BenchFixture::default_size();
+    let n = fixture.keys.len() as u64;
+    let mut group = c.benchmark_group("rx_range_lookup_selectivity");
+    for qualifying in [1u64, 16, 256] {
+        let ranges = wl::range_lookups(n, 1 << 12, qualifying, 5);
+        group.throughput(Throughput::Elements(ranges.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(qualifying), &ranges, |b, r| {
+            b.iter(|| fixture.rx.range_lookup_batch(r, Some(&fixture.values)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_ray_origin(c: &mut Criterion) {
+    let fixture = BenchFixture::default_size();
+    let n = fixture.keys.len() as u64;
+    let ranges = wl::range_lookups(n, 1 << 12, 64, 6);
+    let mut group = c.benchmark_group("rx_range_lookup_ray_origin");
+    for strategy in [RangeRayStrategy::ParallelFromOffset, RangeRayStrategy::ParallelFromZero] {
+        let index = RtIndex::build(
+            &fixture.device,
+            &fixture.keys,
+            RtIndexConfig::default().with_range_ray(strategy),
+        )
+        .unwrap();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(strategy.name()),
+            &ranges,
+            |b, r| b.iter(|| index.range_lookup_batch(r, Some(&fixture.values)).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_decomposition(c: &mut Criterion) {
+    let fixture = BenchFixture::default_size();
+    let n = fixture.keys.len() as u64;
+    let ranges = wl::range_lookups(n, 1 << 11, 128, 7);
+    let bits = 16u32;
+    let mut group = c.benchmark_group("rx_range_lookup_decomposition");
+    for decomposition in [Decomposition::new(bits - 3, 3, 0), Decomposition::new(8, bits - 8, 0)] {
+        let index = RtIndex::build(
+            &fixture.device,
+            &fixture.keys,
+            RtIndexConfig::default().with_key_mode(KeyMode::ThreeD(decomposition)),
+        )
+        .unwrap();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(decomposition.label()),
+            &ranges,
+            |b, r| b.iter(|| index.range_lookup_batch(r, Some(&fixture.values)).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+
+/// Shared Criterion configuration: small sample counts and short measurement
+/// windows keep `cargo bench --workspace` runnable in CI while still
+/// producing stable medians for the simulated workloads.
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1500))
+}
+
+criterion_group!{
+    name = benches;
+    config = quick();
+    targets = bench_selectivity, bench_ray_origin, bench_decomposition
+}
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! # rtx-bench
+//!
+//! Criterion benchmarks regenerating the hot paths behind every figure and
+//! table of the RTIndeX evaluation. The library part of the crate only holds
+//! shared fixtures; the benchmarks themselves live under `benches/`:
+//!
+//! | bench target | paper result |
+//! |---|---|
+//! | `bench_build` | Figure 7b, Figure 10c, Table 4 (build/update cost) |
+//! | `bench_point_lookup` | Figures 10a/10b, 12, 13, 14, 16, Table 5 |
+//! | `bench_range_lookup` | Table 3, Figures 9, 17 |
+//! | `bench_key_modes` | Figure 3a/3b, Figure 8 |
+//! | `bench_primitives` | Figure 7a |
+//! | `bench_baselines` | HT / B+ / SA sides of Figures 10–16 |
+//! | `bench_figures` | end-to-end experiment harness runs (Fig. 11, 15, 18, Table 6) |
+//!
+//! Criterion measures the *host* execution time of the simulation. The
+//! simulated device times that correspond to the paper's milliseconds are
+//! produced by `rtx-harness`; the benches exist to track the performance of
+//! this codebase itself and to stress the hot paths deterministically.
+
+use gpu_device::Device;
+use rtindex_core::{RtIndex, RtIndexConfig};
+use rtx_workloads as wl;
+
+/// A pre-built benchmark fixture: device, keys, values, lookups and the
+/// default RX index.
+pub struct BenchFixture {
+    /// Simulated device.
+    pub device: Device,
+    /// Indexed key column.
+    pub keys: Vec<u64>,
+    /// Projected value column.
+    pub values: Vec<u64>,
+    /// Point-lookup batch.
+    pub point_queries: Vec<u64>,
+    /// Range-lookup batch.
+    pub range_queries: Vec<(u64, u64)>,
+    /// RX built with the paper's default configuration.
+    pub rx: RtIndex,
+}
+
+impl BenchFixture {
+    /// Builds a fixture with `2^keys_exp` dense shuffled keys and
+    /// `2^lookups_exp` lookups.
+    pub fn new(keys_exp: u32, lookups_exp: u32) -> Self {
+        let device = Device::default_eval();
+        let keys = wl::dense_shuffled(1 << keys_exp, 42);
+        let values = wl::value_column(keys.len(), 43);
+        let point_queries = wl::point_lookups(&keys, 1 << lookups_exp, 44);
+        let range_queries = wl::range_lookups(keys.len() as u64, 1 << (lookups_exp - 3), 16, 45);
+        let rx = RtIndex::build(&device, &keys, RtIndexConfig::default()).expect("RX build");
+        BenchFixture { device, keys, values, point_queries, range_queries, rx }
+    }
+
+    /// The default benchmark size (2^16 keys, 2^16 lookups): large enough to
+    /// exercise the parallel pipeline, small enough for Criterion's
+    /// repetitions.
+    pub fn default_size() -> Self {
+        Self::new(16, 16)
+    }
+
+    /// A small fixture for quick smoke benches.
+    pub fn small() -> Self {
+        Self::new(12, 12)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixture_is_consistent() {
+        let f = BenchFixture::small();
+        assert_eq!(f.keys.len(), 1 << 12);
+        assert_eq!(f.values.len(), f.keys.len());
+        assert_eq!(f.point_queries.len(), 1 << 12);
+        assert!(!f.range_queries.is_empty());
+        let out = f.rx.point_lookup_batch(&f.point_queries, Some(&f.values)).unwrap();
+        assert_eq!(out.hit_count(), f.point_queries.len());
+    }
+}

@@ -1,0 +1,166 @@
+//! BVH quality metrics.
+//!
+//! The paper cannot inspect NVIDIA's proprietary BVH, so it infers quality
+//! degradation from cache counters. Our BVH is open, so experiments (and
+//! tests) can measure quality directly: the surface-area-heuristic cost of
+//! the tree, the average leaf size, and the overlap between sibling volumes.
+
+use rtx_math::Aabb;
+
+use crate::node::Bvh;
+
+/// Summary metrics describing how expensive a BVH is to traverse.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BvhQuality {
+    /// Surface-area-heuristic cost: Σ over nodes of
+    /// `area(node) / area(root) * (interior ? c_trav : prims * c_isect)`.
+    pub sah_cost: f64,
+    /// Number of leaves.
+    pub leaf_count: usize,
+    /// Average primitives per leaf.
+    pub avg_leaf_size: f64,
+    /// Maximum depth.
+    pub depth: usize,
+    /// Average fraction of a parent's surface area covered by the overlap of
+    /// its two children (0 = disjoint children, 1 = fully overlapping).
+    /// Rises sharply after destructive refits.
+    pub avg_child_overlap: f64,
+}
+
+/// Traversal cost constant for visiting an interior node.
+const C_TRAVERSE: f64 = 1.0;
+/// Intersection cost constant per primitive in a leaf.
+const C_INTERSECT: f64 = 1.5;
+
+impl BvhQuality {
+    /// Computes the quality metrics of `bvh`.
+    pub fn measure(bvh: &Bvh) -> BvhQuality {
+        if bvh.nodes.is_empty() {
+            return BvhQuality {
+                sah_cost: 0.0,
+                leaf_count: 0,
+                avg_leaf_size: 0.0,
+                depth: 0,
+                avg_child_overlap: 0.0,
+            };
+        }
+        let root_area = bvh.root_bounds().surface_area() as f64;
+        let norm = if root_area > 0.0 { root_area } else { 1.0 };
+
+        let mut sah_cost = 0.0;
+        let mut leaf_count = 0usize;
+        let mut leaf_prims = 0usize;
+        let mut overlap_sum = 0.0;
+        let mut interior_count = 0usize;
+
+        for (idx, node) in bvh.nodes.iter().enumerate() {
+            let rel_area = node.bounds.surface_area() as f64 / norm;
+            if node.is_leaf() {
+                sah_cost += rel_area * node.prim_count as f64 * C_INTERSECT;
+                leaf_count += 1;
+                leaf_prims += node.prim_count as usize;
+            } else {
+                sah_cost += rel_area * C_TRAVERSE;
+                interior_count += 1;
+                let left = &bvh.nodes[idx + 1].bounds;
+                let right = &bvh.nodes[node.right_child as usize].bounds;
+                let parent_area = node.bounds.surface_area() as f64;
+                if parent_area > 0.0 {
+                    overlap_sum += overlap_area(left, right) as f64 / parent_area;
+                }
+            }
+        }
+
+        BvhQuality {
+            sah_cost,
+            leaf_count,
+            avg_leaf_size: if leaf_count > 0 { leaf_prims as f64 / leaf_count as f64 } else { 0.0 },
+            depth: bvh.depth(),
+            avg_child_overlap: if interior_count > 0 {
+                overlap_sum / interior_count as f64
+            } else {
+                0.0
+            },
+        }
+    }
+}
+
+/// Surface area of the intersection of two boxes (0 when disjoint).
+fn overlap_area(a: &Aabb, b: &Aabb) -> f32 {
+    let min = a.min.max(b.min);
+    let max = a.max.min(b.max);
+    let inter = Aabb::new(min, max);
+    if inter.is_empty() {
+        0.0
+    } else {
+        inter.surface_area()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{build, BuildConfig};
+    use crate::node::{Bvh, BvhNode};
+    use crate::primitives::TriangleSet;
+    use rtx_math::{Triangle, Vec3f};
+
+    fn line_of_triangles(n: usize) -> TriangleSet {
+        TriangleSet::new(
+            (0..n)
+                .map(|i| Triangle::key_triangle(Vec3f::new(i as f32, 0.0, 0.0), 0.4))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn empty_bvh_has_zero_quality_metrics() {
+        let q = BvhQuality::measure(&Bvh::new(vec![], vec![], false));
+        assert_eq!(q.sah_cost, 0.0);
+        assert_eq!(q.leaf_count, 0);
+        assert_eq!(q.depth, 0);
+    }
+
+    #[test]
+    fn single_leaf_quality() {
+        let prims = line_of_triangles(3);
+        let bvh = build(&prims, &BuildConfig { max_leaf_size: 8, ..Default::default() });
+        let q = BvhQuality::measure(&bvh);
+        assert_eq!(q.leaf_count, 1);
+        assert_eq!(q.avg_leaf_size, 3.0);
+        assert_eq!(q.depth, 1);
+        assert_eq!(q.avg_child_overlap, 0.0);
+    }
+
+    #[test]
+    fn quality_metrics_reasonable_for_uniform_line() {
+        let prims = line_of_triangles(512);
+        let bvh = build(&prims, &BuildConfig::default());
+        let q = BvhQuality::measure(&bvh);
+        assert!(q.leaf_count >= 128);
+        assert!(q.avg_leaf_size <= 4.0);
+        assert!(q.sah_cost > 0.0);
+        // For well-separated primitives along a line, sibling overlap is low.
+        assert!(q.avg_child_overlap < 0.2, "overlap {}", q.avg_child_overlap);
+    }
+
+    #[test]
+    fn overlapping_children_detected() {
+        // Hand-built BVH whose two leaves cover the same region.
+        let bounds = rtx_math::Aabb::new(Vec3f::ZERO, Vec3f::new(1.0, 1.0, 1.0));
+        let leaf_a = BvhNode::leaf(bounds, 0, 1);
+        let leaf_b = BvhNode::leaf(bounds, 1, 1);
+        let root = BvhNode::interior(bounds, 2);
+        let bvh = Bvh::new(vec![root, leaf_a, leaf_b], vec![0, 1], false);
+        let q = BvhQuality::measure(&bvh);
+        assert!(q.avg_child_overlap > 0.99);
+    }
+
+    #[test]
+    fn overlap_area_disjoint_is_zero() {
+        let a = rtx_math::Aabb::new(Vec3f::ZERO, Vec3f::new(1.0, 1.0, 1.0));
+        let b = rtx_math::Aabb::new(Vec3f::new(2.0, 0.0, 0.0), Vec3f::new(3.0, 1.0, 1.0));
+        assert_eq!(overlap_area(&a, &b), 0.0);
+        assert!(overlap_area(&a, &a) > 0.0);
+    }
+}

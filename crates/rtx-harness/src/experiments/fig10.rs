@@ -1,0 +1,160 @@
+//! Figure 10: scaling behaviour of all four indexes.
+//!
+//! * 10a — throughput while varying the number of point lookups,
+//! * 10b — throughput while varying the number of indexed keys,
+//! * 10c — build time for sorted and unsorted inserts.
+//!
+//! Qualitative expectations from the paper: HT wins point lookups overall;
+//! RX is competitive with (and for small builds better than) the order-based
+//! indexes; RX's build is the most expensive and scales linearly.
+
+use rtindex_core::RtIndexConfig;
+use rtx_workloads as wl;
+
+use crate::indexes::build_all_indexes;
+use crate::report::{fmt_ms, fmt_throughput, Table};
+use crate::scale::ExperimentScale;
+
+/// Figure 10a: throughput vs. number of lookups (fixed build size).
+pub fn run_lookup_scaling(scale: &ExperimentScale) -> Vec<Table> {
+    let device = crate::scaled_device(scale);
+    let keys = wl::dense_shuffled(scale.default_keys(), scale.seed);
+    let values = wl::value_column(keys.len(), scale.seed + 7);
+    let indexes = build_all_indexes(&device, &keys, RtIndexConfig::default());
+
+    let mut table = Table::new(
+        "Figure 10a: throughput [lookups/s] vs. number of point lookups",
+        &["lookups [2^n]", "HT", "B+", "SA", "RX"],
+    );
+    for exp in scale.lookup_exponent_sweep(6) {
+        let lookups = wl::point_lookups(&keys, 1usize << exp, scale.seed + exp as u64);
+        let mut row = vec![exp.to_string()];
+        for name in ["HT", "B+", "SA", "RX"] {
+            let cell = indexes
+                .iter()
+                .find(|ix| ix.name() == name)
+                .map(|ix| {
+                    let m = ix.point_lookups(&device, &lookups, Some(&values));
+                    fmt_throughput(m.throughput(lookups.len()))
+                })
+                .unwrap_or_else(|| "N/A".to_string());
+            row.push(cell);
+        }
+        table.push_row(row);
+    }
+    vec![table]
+}
+
+/// Figure 10b: throughput vs. number of indexed keys (fixed lookup count).
+pub fn run_build_size_scaling(scale: &ExperimentScale) -> Vec<Table> {
+    let device = crate::scaled_device(scale);
+    let lookup_count = scale.default_lookups();
+
+    let mut table = Table::new(
+        "Figure 10b: throughput [lookups/s] vs. number of indexed keys",
+        &["keys [2^n]", "HT", "B+", "SA", "RX"],
+    );
+    for exp in scale.key_exponent_sweep(6) {
+        let keys = wl::dense_shuffled(1usize << exp, scale.seed);
+        let values = wl::value_column(keys.len(), scale.seed + 7);
+        let lookups = wl::point_lookups(&keys, lookup_count, scale.seed + exp as u64);
+        let indexes = build_all_indexes(&device, &keys, RtIndexConfig::default());
+        let mut row = vec![exp.to_string()];
+        for name in ["HT", "B+", "SA", "RX"] {
+            let cell = indexes
+                .iter()
+                .find(|ix| ix.name() == name)
+                .map(|ix| {
+                    let m = ix.point_lookups(&device, &lookups, Some(&values));
+                    fmt_throughput(m.throughput(lookups.len()))
+                })
+                .unwrap_or_else(|| "N/A".to_string());
+            row.push(cell);
+        }
+        table.push_row(row);
+    }
+    vec![table]
+}
+
+/// Figure 10c: simulated build time for sorted and unsorted key sets.
+pub fn run_build_time(scale: &ExperimentScale) -> Vec<Table> {
+    let device = crate::scaled_device(scale);
+    let mut table = Table::new(
+        "Figure 10c: build time [ms] (unsorted inserts / sorted inserts)",
+        &["keys [2^n]", "HT", "B+", "SA", "RX"],
+    );
+    for exp in [scale.keys_exp - 1, scale.keys_exp] {
+        let n = 1usize << exp;
+        let unsorted = wl::dense_shuffled(n, scale.seed);
+        let sorted = wl::keyset::dense_sorted(n);
+        let idx_unsorted = build_all_indexes(&device, &unsorted, RtIndexConfig::default());
+        let idx_sorted = build_all_indexes(&device, &sorted, RtIndexConfig::default());
+        let mut row = vec![exp.to_string()];
+        for name in ["HT", "B+", "SA", "RX"] {
+            let unsorted_ms = idx_unsorted
+                .iter()
+                .find(|ix| ix.name() == name)
+                .map(|ix| fmt_ms(ix.build_sim_ms()))
+                .unwrap_or_else(|| "N/A".to_string());
+            let sorted_ms = idx_sorted
+                .iter()
+                .find(|ix| ix.name() == name)
+                .map(|ix| fmt_ms(ix.build_sim_ms()))
+                .unwrap_or_else(|| "N/A".to_string());
+            row.push(format!("{unsorted_ms} / {sorted_ms}"));
+        }
+        table.push_row(row);
+    }
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::indexes::AnyIndex;
+
+    fn sim_ms(ix: &AnyIndex, device: &gpu_device::Device, lookups: &[u64], values: &[u64]) -> f64 {
+        ix.point_lookups(device, lookups, Some(values)).sim_ms
+    }
+
+    #[test]
+    fn ht_wins_point_lookups_and_rx_is_competitive_with_order_based() {
+        let device = crate::default_device();
+        let keys = wl::dense_shuffled(1 << 14, 1);
+        let values = wl::value_column(keys.len(), 2);
+        let lookups = wl::point_lookups(&keys, 1 << 14, 3);
+        let indexes = build_all_indexes(&device, &keys, RtIndexConfig::default());
+        let time =
+            |name: &str| sim_ms(indexes.iter().find(|i| i.name() == name).unwrap(), &device, &lookups, &values);
+        let (ht, bp, sa, rx) = (time("HT"), time("B+"), time("SA"), time("RX"));
+        assert!(ht <= rx, "HT must not lose to RX on uniform point lookups");
+        assert!(ht <= bp && ht <= sa, "HT wins overall");
+        // RX stays within a small factor of the order-based baselines.
+        assert!(rx <= 4.0 * bp.min(sa), "RX must stay competitive: rx={rx}, b+={bp}, sa={sa}");
+    }
+
+    #[test]
+    fn rx_build_is_most_expensive_and_scales_with_keys() {
+        let device = crate::default_device();
+        let small = build_all_indexes(&device, &wl::dense_shuffled(1 << 12, 1), RtIndexConfig::default());
+        let large = build_all_indexes(&device, &wl::dense_shuffled(1 << 14, 1), RtIndexConfig::default());
+        let build = |set: &[AnyIndex], name: &str| {
+            set.iter().find(|i| i.name() == name).unwrap().build_sim_ms()
+        };
+        assert!(build(&small, "RX") >= build(&small, "SA"));
+        assert!(build(&small, "RX") >= build(&small, "HT"));
+        // At these (deliberately small) test sizes the fixed kernel-launch
+        // overhead of the multi-pass BVH build dominates, so the growth is
+        // sub-linear; it must still be monotone and bounded.
+        let growth = build(&large, "RX") / build(&small, "RX");
+        assert!(growth >= 1.0 && growth < 8.0, "4x keys must not shrink the build, got {growth}");
+    }
+
+    #[test]
+    fn smoke_tables() {
+        let scale = ExperimentScale::tiny();
+        assert!(!run_lookup_scaling(&scale)[0].rows.is_empty());
+        assert!(!run_build_size_scaling(&scale)[0].rows.is_empty());
+        assert_eq!(run_build_time(&scale)[0].rows.len(), 2);
+    }
+}

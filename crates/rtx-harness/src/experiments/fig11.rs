@@ -1,0 +1,97 @@
+//! Figure 11: impact of key multiplicity on point lookups.
+//!
+//! Every key appears `2^m` times; the cumulative lookup time is normalised by
+//! the multiplicity (because each lookup returns that many rows). Duplicates
+//! favour all indexes; RX handles them especially well because co-located
+//! triangles do not grow the BVH, only the number of (hardware) intersection
+//! tests. B+ is excluded: it does not support duplicate keys.
+
+use rtindex_core::RtIndexConfig;
+use rtx_workloads as wl;
+
+use crate::indexes::build_all_indexes;
+use crate::report::{fmt_ms, Table};
+use crate::scale::ExperimentScale;
+
+/// Multiplicity exponents evaluated (the paper sweeps 2^0 .. 2^8).
+pub fn multiplicity_exponents(scale: &ExperimentScale) -> Vec<u32> {
+    let max = scale.keys_exp.saturating_sub(6).min(8);
+    (0..=max).step_by(2).collect()
+}
+
+/// Runs the key-multiplicity experiment.
+pub fn run(scale: &ExperimentScale) -> Vec<Table> {
+    let device = crate::scaled_device(scale);
+    let mut table = Table::new(
+        "Figure 11: key multiplicity, normalised cumulative lookup time [ms]",
+        &["multiplicity [2^m]", "HT", "SA", "RX"],
+    );
+    for m in multiplicity_exponents(scale) {
+        let multiplicity = 1usize << m;
+        let distinct = scale.default_keys() / multiplicity;
+        let keys = wl::with_multiplicity(distinct, multiplicity, scale.seed);
+        let values = wl::value_column(keys.len(), scale.seed + 7);
+        let distinct_keys: Vec<u64> = (0..distinct as u64).collect();
+        let lookups = wl::point_lookups(&distinct_keys, scale.default_lookups(), scale.seed + m as u64);
+        let indexes = build_all_indexes(&device, &keys, RtIndexConfig::default());
+        let mut row = vec![m.to_string()];
+        for name in ["HT", "SA", "RX"] {
+            let cell = indexes
+                .iter()
+                .find(|ix| ix.name() == name)
+                .map(|ix| {
+                    let meas = ix.point_lookups(&device, &lookups, Some(&values));
+                    fmt_ms(meas.sim_ms / multiplicity as f64)
+                })
+                .unwrap_or_else(|| "N/A".to_string());
+            row.push(cell);
+        }
+        table.push_row(row);
+    }
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtx_workloads::GroundTruth;
+
+    #[test]
+    fn duplicates_do_not_grow_the_rx_bvh_and_all_rows_are_returned() {
+        let device = crate::default_device();
+        let unique = wl::with_multiplicity(1 << 10, 1, 1);
+        let dup = wl::with_multiplicity(1 << 8, 4, 1);
+        let rx_unique =
+            rtindex_core::RtIndex::build(&device, &unique, RtIndexConfig::default()).unwrap();
+        let rx_dup = rtindex_core::RtIndex::build(&device, &dup, RtIndexConfig::default()).unwrap();
+        // Same total primitive count -> comparable structure sizes.
+        assert_eq!(unique.len(), dup.len());
+        let ratio = rx_dup.index_memory_bytes() as f64 / rx_unique.index_memory_bytes() as f64;
+        assert!(ratio < 1.2, "duplicates must not inflate the BVH, ratio {ratio}");
+
+        let values = wl::value_column(dup.len(), 3);
+        let truth = GroundTruth::new(&dup, Some(&values));
+        let out = rx_dup.point_lookup_batch(&[7, 13], Some(&values)).unwrap();
+        assert_eq!(out.results[0].hit_count, 4);
+        assert_eq!(out.results[0].value_sum, truth.point_value_sum(7));
+    }
+
+    #[test]
+    fn normalised_lookup_time_decreases_with_multiplicity_for_rx() {
+        let scale = ExperimentScale::tiny();
+        let tables = run(&scale);
+        let rx: Vec<f64> =
+            tables[0].column("RX").unwrap().iter().map(|v| v.parse().unwrap()).collect();
+        assert!(rx.len() >= 2);
+        assert!(
+            rx.last().unwrap() < rx.first().unwrap(),
+            "high multiplicity must reduce the normalised time: {rx:?}"
+        );
+    }
+
+    #[test]
+    fn bplus_is_absent_from_the_table() {
+        let tables = run(&ExperimentScale::tiny());
+        assert!(!tables[0].headers.iter().any(|h| h == "B+"));
+    }
+}

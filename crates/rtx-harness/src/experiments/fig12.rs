@@ -1,0 +1,111 @@
+//! Figure 12: impact of sorted inserts and/or sorted lookups.
+//!
+//! Sorting the build keys does not change lookup time (every index reorders
+//! keys internally anyway); sorting the lookup batch helps all indexes
+//! because neighbouring lookups touch neighbouring parts of the structure.
+
+use rtindex_core::RtIndexConfig;
+use rtx_workloads as wl;
+
+use crate::indexes::build_all_indexes;
+use crate::report::{fmt_ms, Table};
+use crate::scale::ExperimentScale;
+
+/// The four combinations evaluated by the figure.
+pub const COMBINATIONS: [&str; 4] =
+    ["both unsorted", "sorted inserts", "sorted lookups", "both sorted"];
+
+/// Runs the sortedness experiment.
+pub fn run(scale: &ExperimentScale) -> Vec<Table> {
+    let device = crate::scaled_device(scale);
+    let n = scale.default_keys();
+    let unsorted_keys = wl::dense_shuffled(n, scale.seed);
+    let sorted_keys = wl::keyset::dense_sorted(n);
+    let unsorted_lookups =
+        wl::point_lookups(&unsorted_keys, scale.default_lookups(), scale.seed + 1);
+    let sorted_lookups = wl::lookups::sorted_lookups(&unsorted_lookups);
+
+    let mut table = Table::new(
+        "Figure 12: sorted keys / sorted point lookups, cumulative lookup time [ms]",
+        &["combination", "HT", "B+", "SA", "RX"],
+    );
+    for combo in COMBINATIONS {
+        let keys = if combo.contains("inserts") || combo == "both sorted" {
+            &sorted_keys
+        } else {
+            &unsorted_keys
+        };
+        let lookups = if combo.contains("lookups") || combo == "both sorted" {
+            &sorted_lookups
+        } else {
+            &unsorted_lookups
+        };
+        let values = wl::value_column(n, scale.seed + 7);
+        let indexes = build_all_indexes(&device, keys, RtIndexConfig::default());
+        let mut row = vec![combo.to_string()];
+        for name in ["HT", "B+", "SA", "RX"] {
+            let cell = indexes
+                .iter()
+                .find(|ix| ix.name() == name)
+                .map(|ix| fmt_ms(ix.point_lookups(&device, lookups, Some(&values)).sim_ms))
+                .unwrap_or_else(|| "N/A".to_string());
+            row.push(cell);
+        }
+        table.push_row(row);
+    }
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorted_lookups_reduce_memory_traffic_for_rx() {
+        // Use the scaled device so the index does not fit entirely into the
+        // L2 cache at test size (as it does not at paper scale).
+        let device = crate::scaled_device(&ExperimentScale::tiny());
+        let keys = wl::dense_shuffled(1 << 14, 1);
+        let values = wl::value_column(keys.len(), 2);
+        let unsorted = wl::point_lookups(&keys, 1 << 14, 3);
+        let sorted = wl::lookups::sorted_lookups(&unsorted);
+        let index =
+            rtindex_core::RtIndex::build(&device, &keys, RtIndexConfig::default()).unwrap();
+        let out_unsorted = index.point_lookup_batch(&unsorted, Some(&values)).unwrap();
+        let out_sorted = index.point_lookup_batch(&sorted, Some(&values)).unwrap();
+        assert_eq!(out_unsorted.total_value_sum(), out_sorted.total_value_sum());
+        assert!(
+            out_sorted.metrics.kernel.dram_bytes_read
+                < out_unsorted.metrics.kernel.dram_bytes_read,
+            "sorted lookups must read less DRAM ({} vs {})",
+            out_sorted.metrics.kernel.dram_bytes_read,
+            out_unsorted.metrics.kernel.dram_bytes_read
+        );
+        assert!(out_sorted.metrics.simulated_time_s <= out_unsorted.metrics.simulated_time_s);
+    }
+
+    #[test]
+    fn build_order_does_not_change_rx_lookup_time_much() {
+        let device = crate::default_device();
+        let n = 1 << 13;
+        let unsorted_keys = wl::dense_shuffled(n, 1);
+        let sorted_keys = wl::keyset::dense_sorted(n);
+        let lookups = wl::point_lookups(&unsorted_keys, 1 << 13, 3);
+        let a = rtindex_core::RtIndex::build(&device, &unsorted_keys, RtIndexConfig::default())
+            .unwrap()
+            .point_lookup_batch(&lookups, None)
+            .unwrap();
+        let b = rtindex_core::RtIndex::build(&device, &sorted_keys, RtIndexConfig::default())
+            .unwrap()
+            .point_lookup_batch(&lookups, None)
+            .unwrap();
+        let ratio = a.metrics.simulated_time_s / b.metrics.simulated_time_s;
+        assert!((0.5..2.0).contains(&ratio), "insert order must not matter much, ratio {ratio}");
+    }
+
+    #[test]
+    fn smoke_has_four_rows() {
+        let tables = run(&ExperimentScale::tiny());
+        assert_eq!(tables[0].rows.len(), 4);
+    }
+}

@@ -1,0 +1,88 @@
+//! Figure 13: impact of splitting the lookups into many smaller batches.
+//!
+//! Few large batches keep the GPU saturated; many small batches underutilise
+//! it and accumulate kernel-launch overhead, degrading every index.
+
+use rtindex_core::RtIndexConfig;
+use rtx_workloads as wl;
+
+use crate::indexes::build_all_indexes;
+use crate::report::{fmt_ms, Table};
+use crate::scale::ExperimentScale;
+
+/// Batch-count exponents evaluated (the paper splits 2^27 lookups into up to
+/// 2^20 batches; we scale with the lookup count).
+pub fn batch_exponents(scale: &ExperimentScale) -> Vec<u32> {
+    let max = scale.lookups_exp.saturating_sub(4);
+    (0..=max).step_by(4).collect()
+}
+
+/// Runs the batch-size experiment (unsorted lookups).
+pub fn run(scale: &ExperimentScale) -> Vec<Table> {
+    let device = crate::scaled_device(scale);
+    let keys = wl::dense_shuffled(scale.default_keys(), scale.seed);
+    let values = wl::value_column(keys.len(), scale.seed + 7);
+    let lookups = wl::point_lookups(&keys, scale.default_lookups(), scale.seed + 1);
+    let indexes = build_all_indexes(&device, &keys, RtIndexConfig::default());
+
+    let mut table = Table::new(
+        "Figure 13: cumulative lookup time [ms] vs. number of batches",
+        &["batches [2^n]", "lookups per batch", "HT", "B+", "SA", "RX"],
+    );
+    for exp in batch_exponents(scale) {
+        let batch_count = 1usize << exp;
+        let batches = wl::split_batches(&lookups, batch_count);
+        let per_batch = batches.first().map(|b| b.len()).unwrap_or(0);
+        let mut row = vec![exp.to_string(), per_batch.to_string()];
+        for name in ["HT", "B+", "SA", "RX"] {
+            let cell = match indexes.iter().find(|ix| ix.name() == name) {
+                Some(ix) => {
+                    let mut total_ms = 0.0;
+                    for batch in &batches {
+                        total_ms += ix.point_lookups(&device, batch, Some(&values)).sim_ms;
+                    }
+                    fmt_ms(total_ms)
+                }
+                None => "N/A".to_string(),
+            };
+            row.push(cell);
+        }
+        table.push_row(row);
+    }
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn many_small_batches_are_slower_than_one_large_batch() {
+        let device = crate::default_device();
+        let keys = wl::dense_shuffled(1 << 12, 1);
+        let lookups = wl::point_lookups(&keys, 1 << 13, 2);
+        let index = rtindex_core::RtIndex::build(&device, &keys, RtIndexConfig::default()).unwrap();
+
+        let single = index.point_lookup_batch(&lookups, None).unwrap().metrics.simulated_time_s;
+        let mut many = 0.0;
+        for batch in wl::split_batches(&lookups, 1 << 7) {
+            many += index.point_lookup_batch(&batch, None).unwrap().metrics.simulated_time_s;
+        }
+        assert!(
+            many > single * 1.5,
+            "128 batches must be noticeably slower than one batch ({many} vs {single})"
+        );
+    }
+
+    #[test]
+    fn smoke_rows_follow_batch_exponents() {
+        let scale = ExperimentScale::tiny();
+        let tables = run(&scale);
+        assert_eq!(tables[0].rows.len(), batch_exponents(&scale).len());
+        // RX column must be monotically non-decreasing in the tail (more
+        // batches => more total time). Allow the first rows to be flat.
+        let rx: Vec<f64> =
+            tables[0].column("RX").unwrap().iter().map(|v| v.parse().unwrap()).collect();
+        assert!(rx.last().unwrap() >= rx.first().unwrap());
+    }
+}

@@ -1,0 +1,107 @@
+//! Figure 14: varying the hit rate of point lookups.
+//!
+//! Misses make the order-based indexes faster — RX disproportionately so,
+//! because BVH traversal can abort as soon as no bounding volume covers the
+//! searched key — while HT gets slower (misses lengthen its probe
+//! sequences).
+
+use rtindex_core::RtIndexConfig;
+use rtx_workloads as wl;
+
+use crate::indexes::build_all_indexes;
+use crate::report::{fmt_ms, Table};
+use crate::scale::ExperimentScale;
+
+/// Hit rates evaluated (as in the paper).
+pub const HIT_RATES: [f64; 9] = [1.0, 0.99, 0.9, 0.7, 0.5, 0.3, 0.1, 0.01, 0.0];
+
+/// Runs the hit-rate experiment for unsorted lookups.
+pub fn run(scale: &ExperimentScale) -> Vec<Table> {
+    let device = crate::scaled_device(scale);
+    let keys = wl::dense_shuffled(scale.default_keys(), scale.seed);
+    let values = wl::value_column(keys.len(), scale.seed + 7);
+    let indexes = build_all_indexes(&device, &keys, RtIndexConfig::default());
+
+    let mut table = Table::new(
+        "Figure 14: hit rate vs. cumulative lookup time [ms] (unsorted lookups)",
+        &["hit rate", "HT", "B+", "SA", "RX", "RX early aborts"],
+    );
+    for h in HIT_RATES {
+        let lookups = wl::point_lookups_with_hit_rate(
+            &keys,
+            scale.default_lookups(),
+            h,
+            scale.seed + (h * 100.0) as u64,
+        );
+        let mut row = vec![format!("{h}")];
+        let mut rx_aborts = 0u64;
+        for name in ["HT", "B+", "SA", "RX"] {
+            let cell = indexes
+                .iter()
+                .find(|ix| ix.name() == name)
+                .map(|ix| {
+                    let m = ix.point_lookups(&device, &lookups, Some(&values));
+                    if name == "RX" {
+                        rx_aborts = m.kernel.early_aborts;
+                    }
+                    fmt_ms(m.sim_ms)
+                })
+                .unwrap_or_else(|| "N/A".to_string());
+            row.push(cell);
+        }
+        row.push(rx_aborts.to_string());
+        table.push_row(row);
+    }
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn misses_speed_up_rx_and_trigger_early_aborts() {
+        let device = crate::default_device();
+        let keys = wl::dense_shuffled(1 << 14, 1);
+        let index = rtindex_core::RtIndex::build(&device, &keys, RtIndexConfig::default()).unwrap();
+        let all_hits = wl::point_lookups_with_hit_rate(&keys, 1 << 14, 1.0, 2);
+        let all_misses = wl::point_lookups_with_hit_rate(&keys, 1 << 14, 0.0, 3);
+        let out_hits = index.point_lookup_batch(&all_hits, None).unwrap();
+        let out_misses = index.point_lookup_batch(&all_misses, None).unwrap();
+        assert_eq!(out_hits.hit_count(), all_hits.len());
+        assert_eq!(out_misses.hit_count(), 0);
+        // Misses beyond the key domain abort at the root.
+        assert!(out_misses.metrics.kernel.early_aborts > (all_misses.len() as u64) / 2);
+        assert!(
+            out_misses.metrics.kernel.dram_bytes_read + out_misses.metrics.kernel.l2_hit_bytes
+                < out_hits.metrics.kernel.dram_bytes_read + out_hits.metrics.kernel.l2_hit_bytes,
+            "misses must touch less memory than hits"
+        );
+        assert!(
+            out_misses.metrics.simulated_time_s < out_hits.metrics.simulated_time_s,
+            "an all-miss workload must be faster for RX"
+        );
+    }
+
+    #[test]
+    fn misses_do_not_speed_up_the_hash_table() {
+        let device = crate::default_device();
+        let keys = wl::dense_shuffled(1 << 14, 1);
+        let ht = gpu_baselines::WarpHashTable::build(&device, &keys);
+        use gpu_baselines::GpuIndex;
+        let hits = wl::point_lookups_with_hit_rate(&keys, 1 << 14, 1.0, 2);
+        let misses = wl::point_lookups_with_hit_rate(&keys, 1 << 14, 0.0, 3);
+        let t_hits = ht.point_lookup_batch(&device, &hits, None).simulated_time_s;
+        let t_misses = ht.point_lookup_batch(&device, &misses, None).simulated_time_s;
+        assert!(
+            t_misses >= t_hits * 0.9,
+            "HT must not benefit from misses (hits {t_hits}, misses {t_misses})"
+        );
+    }
+
+    #[test]
+    fn smoke_has_one_row_per_hit_rate() {
+        let tables = run(&ExperimentScale::tiny());
+        assert_eq!(tables[0].rows.len(), HIT_RATES.len());
+    }
+}

@@ -1,0 +1,97 @@
+//! Figure 15: 32-bit vs. 64-bit keys.
+//!
+//! RX is unaffected by the key width (it converts both to the same triangle
+//! representation), while SA and HT slow down and grow because they store
+//! keys verbatim. B+ only supports 32-bit keys and appears as N/A in the
+//! 64-bit column.
+
+use rtindex_core::RtIndexConfig;
+use rtx_workloads as wl;
+
+use crate::indexes::build_all_indexes;
+use crate::report::{fmt_ms, Table};
+use crate::scale::ExperimentScale;
+
+/// Runs the key-size experiment: lookup time and memory footprint for keys
+/// drawn from the 32-bit and from the 64-bit domain.
+pub fn run(scale: &ExperimentScale) -> Vec<Table> {
+    let device = crate::scaled_device(scale);
+    let n = scale.default_keys();
+    let lookup_count = scale.default_lookups();
+
+    let mut time_table = Table::new(
+        "Figure 15a: key size vs. cumulative lookup time [ms]",
+        &["key size", "HT", "B+", "SA", "RX"],
+    );
+    let mut memory_table = Table::new(
+        "Figure 15b: key size vs. index size [MiB]",
+        &["key size", "HT", "B+", "SA", "RX"],
+    );
+
+    for (label, max_key) in [("32-bit", u32::MAX as u64), ("64-bit", u64::MAX / 2)] {
+        let keys = wl::sparse_uniform(n, max_key, scale.seed);
+        let values = wl::value_column(n, scale.seed + 7);
+        let lookups = wl::point_lookups(&keys, lookup_count, scale.seed + 1);
+        let indexes = build_all_indexes(&device, &keys, RtIndexConfig::default());
+        let mut time_row = vec![label.to_string()];
+        let mut memory_row = vec![label.to_string()];
+        for name in ["HT", "B+", "SA", "RX"] {
+            match indexes.iter().find(|ix| ix.name() == name) {
+                Some(ix) => {
+                    time_row.push(fmt_ms(ix.point_lookups(&device, &lookups, Some(&values)).sim_ms));
+                    memory_row.push(format!("{:.2}", ix.memory_bytes() as f64 / (1 << 20) as f64));
+                }
+                None => {
+                    time_row.push("N/A".to_string());
+                    memory_row.push("N/A".to_string());
+                }
+            }
+        }
+        time_table.push_row(time_row);
+        memory_table.push_row(memory_row);
+    }
+    vec![time_table, memory_table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rx_footprint_is_unchanged_by_key_width_while_baselines_grow_or_slow() {
+        let device = crate::default_device();
+        let n = 1 << 13;
+        let keys32 = wl::sparse_uniform(n, u32::MAX as u64, 1);
+        let keys64 = wl::sparse_uniform(n, u64::MAX / 2, 1);
+
+        let rx32 = rtindex_core::RtIndex::build(&device, &keys32, RtIndexConfig::default()).unwrap();
+        let rx64 = rtindex_core::RtIndex::build(&device, &keys64, RtIndexConfig::default()).unwrap();
+        let ratio = rx64.index_memory_bytes() as f64 / rx32.index_memory_bytes() as f64;
+        assert!(
+            (0.85..1.15).contains(&ratio),
+            "RX treats 32-bit keys like 64-bit keys, footprint ratio {ratio}"
+        );
+
+        // B+ refuses 64-bit keys entirely.
+        assert!(gpu_baselines::BPlusTree::build(&device, &keys64).is_err());
+        assert!(gpu_baselines::BPlusTree::build(&device, &keys32).is_ok());
+    }
+
+    #[test]
+    fn lookups_stay_correct_in_the_64bit_domain() {
+        let device = crate::default_device();
+        let keys = wl::sparse_uniform(1 << 12, u64::MAX / 2, 2);
+        let index = rtindex_core::RtIndex::build(&device, &keys, RtIndexConfig::default()).unwrap();
+        let out = index.point_lookup_batch(&keys, None).unwrap();
+        assert_eq!(out.hit_count(), keys.len());
+    }
+
+    #[test]
+    fn smoke_has_na_for_bplus_at_64bit() {
+        let tables = run(&ExperimentScale::tiny());
+        assert_eq!(tables.len(), 2);
+        let bplus_cells = tables[0].column("B+").unwrap();
+        assert_eq!(bplus_cells[1], "N/A");
+        assert_ne!(bplus_cells[0], "N/A");
+    }
+}

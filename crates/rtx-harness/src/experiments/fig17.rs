@@ -1,0 +1,120 @@
+//! Figure 17 and the Section 4.9 cost decomposition: range lookups while
+//! varying the number of qualifying entries.
+//!
+//! B+ wins range lookups (sideways leaf scans plus warp-level aggregation);
+//! RX beats SA for small ranges but loses its advantage as ranges widen,
+//! because it must intersect every qualifying triangle individually. Fitting
+//! `LookupTime(s) = TraversalTime + s * IntersectTime` with non-negative
+//! least squares decomposes RX's cost into the two phases, with traversal
+//! dominating.
+
+use rtindex_core::RtIndexConfig;
+use rtx_workloads as wl;
+
+use crate::indexes::build_all_indexes;
+use crate::nnls::nnls_two_term;
+use crate::report::{fmt_ms, Table};
+use crate::scale::ExperimentScale;
+
+/// Qualifying-entry exponents evaluated (the paper sweeps 2^0 .. 2^10).
+pub fn qualifying_exponents(scale: &ExperimentScale) -> Vec<u32> {
+    let max = scale.keys_exp.saturating_sub(4).min(10);
+    (0..=max).step_by(2).collect()
+}
+
+/// Runs the range-lookup scaling experiment and the NNLS cost decomposition.
+pub fn run(scale: &ExperimentScale) -> Vec<Table> {
+    let device = crate::scaled_device(scale);
+    let n = scale.default_keys();
+    let keys = wl::dense_shuffled(n, scale.seed);
+    let values = wl::value_column(n, scale.seed + 7);
+    let lookup_count = (scale.default_lookups() / 16).max(16);
+    let indexes = build_all_indexes(&device, &keys, RtIndexConfig::default());
+
+    let mut table = Table::new(
+        "Figure 17: range lookups, normalised cumulative lookup time [ms] per qualifying entry",
+        &["qualifying entries [2^n]", "B+", "SA", "RX", "RX raw [ms]"],
+    );
+    let mut spans = Vec::new();
+    let mut rx_raw_times = Vec::new();
+    for exp in qualifying_exponents(scale) {
+        let qualifying = 1u64 << exp;
+        let ranges = wl::range_lookups(n as u64, lookup_count, qualifying, scale.seed + exp as u64);
+        let mut row = vec![exp.to_string()];
+        for name in ["B+", "SA", "RX"] {
+            let cell = indexes
+                .iter()
+                .find(|ix| ix.name() == name)
+                .and_then(|ix| ix.range_lookups(&device, &ranges, Some(&values)))
+                .map(|m| {
+                    if name == "RX" {
+                        spans.push(qualifying as f64);
+                        rx_raw_times.push(m.sim_ms);
+                    }
+                    fmt_ms(m.sim_ms / qualifying as f64)
+                })
+                .unwrap_or_else(|| "N/A".to_string());
+            row.push(cell);
+        }
+        row.push(fmt_ms(*rx_raw_times.last().unwrap_or(&0.0)));
+        table.push_row(row);
+    }
+
+    let mut fit_table = Table::new(
+        "Section 4.9: non-negative least-squares decomposition of the RX range-lookup cost",
+        &["TraversalTime [ms]", "IntersectTime [ms per entry]", "residual"],
+    );
+    if spans.len() >= 2 {
+        let fit = nnls_two_term(&spans, &rx_raw_times);
+        fit_table.push_row(vec![
+            format!("{:.3}", fit.constant),
+            format!("{:.5}", fit.per_unit),
+            format!("{:.3e}", fit.residual),
+        ]);
+    }
+    vec![table, fit_table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bplus_wins_ranges_and_rx_normalised_time_decreases() {
+        let device = crate::default_device();
+        let n = 1usize << 13;
+        let keys = wl::dense_shuffled(n, 1);
+        let values = wl::value_column(n, 2);
+        let indexes = build_all_indexes(&device, &keys, RtIndexConfig::default());
+        let ranges_wide = wl::range_lookups(n as u64, 128, 256, 3);
+        let get = |name: &str| indexes.iter().find(|i| i.name() == name).unwrap();
+        let bp = get("B+").range_lookups(&device, &ranges_wide, Some(&values)).unwrap();
+        let rx = get("RX").range_lookups(&device, &ranges_wide, Some(&values)).unwrap();
+        assert_eq!(bp.value_sum, rx.value_sum, "answers must agree");
+        assert!(
+            bp.sim_ms <= rx.sim_ms,
+            "B+ must win wide range lookups (B+ {} vs RX {})",
+            bp.sim_ms,
+            rx.sim_ms
+        );
+
+        // RX's normalised (per-entry) time must drop as ranges widen:
+        // the traversal cost amortises over more qualifying entries.
+        let narrow = wl::range_lookups(n as u64, 128, 4, 4);
+        let rx_narrow = get("RX").range_lookups(&device, &narrow, Some(&values)).unwrap();
+        let per_entry_narrow = rx_narrow.sim_ms / 4.0;
+        let per_entry_wide = rx.sim_ms / 256.0;
+        assert!(per_entry_wide < per_entry_narrow);
+    }
+
+    #[test]
+    fn nnls_decomposition_has_positive_traversal_share() {
+        let tables = run(&ExperimentScale::tiny());
+        assert_eq!(tables.len(), 2);
+        let fit_row = &tables[1].rows[0];
+        let traversal: f64 = fit_row[0].parse().unwrap();
+        let intersect: f64 = fit_row[1].parse().unwrap();
+        assert!(traversal >= 0.0 && intersect >= 0.0);
+        assert!(traversal > 0.0, "the constant traversal term must be non-trivial");
+    }
+}

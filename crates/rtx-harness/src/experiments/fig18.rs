@@ -1,0 +1,104 @@
+//! Figure 18 / Table 8: hardware architectures (Turing, Ampere, Ada
+//! Lovelace).
+//!
+//! Running the same workload against the four device presets shows the
+//! generational improvement; RX improves faster than the baselines because
+//! RT-core throughput doubled with every generation while general memory
+//! bandwidth grew more slowly.
+
+use gpu_device::{Device, DeviceSpec};
+use rtindex_core::RtIndexConfig;
+use rtx_workloads as wl;
+
+use crate::indexes::build_all_indexes;
+use crate::report::{fmt_ms, Table};
+use crate::scale::ExperimentScale;
+
+/// Runs the architecture comparison for unsorted and sorted lookups.
+pub fn run(scale: &ExperimentScale) -> Vec<Table> {
+    let keys = wl::dense_shuffled(scale.default_keys(), scale.seed);
+    let values = wl::value_column(keys.len(), scale.seed + 7);
+    let unsorted = wl::point_lookups(&keys, scale.default_lookups(), scale.seed + 1);
+    let sorted = wl::lookups::sorted_lookups(&unsorted);
+
+    let mut spec_table = Table::new(
+        "Table 8: evaluated GPUs and architectures",
+        &["system", "GPU", "architecture", "VRAM [GiB]", "RT cores"],
+    );
+    for (sys, spec) in ["S3", "S2b", "S2a", "S1"].iter().zip(DeviceSpec::table8_presets()) {
+        spec_table.push_row(vec![
+            sys.to_string(),
+            spec.name.clone(),
+            spec.rt_core_generation.architecture_name().to_string(),
+            format!("{}", spec.vram_bytes / (1 << 30)),
+            spec.rt_cores.to_string(),
+        ]);
+    }
+
+    let mut timing = Table::new(
+        "Figure 18: cumulative lookup time [ms] per GPU (unsorted / sorted lookups)",
+        &["GPU", "HT", "B+", "SA", "RX"],
+    );
+    for spec in DeviceSpec::table8_presets() {
+        let device = Device::new(spec.clone());
+        let indexes = build_all_indexes(&device, &keys, RtIndexConfig::default());
+        let mut row = vec![spec.name.clone()];
+        for name in ["HT", "B+", "SA", "RX"] {
+            let cell = indexes
+                .iter()
+                .find(|ix| ix.name() == name)
+                .map(|ix| {
+                    let u = ix.point_lookups(&device, &unsorted, Some(&values)).sim_ms;
+                    let s = ix.point_lookups(&device, &sorted, Some(&values)).sim_ms;
+                    format!("{} / {}", fmt_ms(u), fmt_ms(s))
+                })
+                .unwrap_or_else(|| "N/A".to_string());
+            row.push(cell);
+        }
+        timing.push_row(row);
+    }
+    vec![spec_table, timing]
+}
+
+/// Measures one index's sorted-lookup time on the oldest and newest GPU and
+/// returns the improvement factor (old / new). Used by tests and benches.
+pub fn generational_improvement(index_name: &str, keys_exp: u32, lookups: usize, seed: u64) -> f64 {
+    let keys = wl::dense_shuffled(1 << keys_exp, seed);
+    let queries = wl::lookups::sorted_lookups(&wl::point_lookups(&keys, lookups, seed + 1));
+    let mut times = Vec::new();
+    for spec in [DeviceSpec::rtx_2080ti(), DeviceSpec::rtx_4090()] {
+        let device = Device::new(spec);
+        let indexes = build_all_indexes(&device, &keys, RtIndexConfig::default());
+        let ix = indexes.iter().find(|i| i.name() == index_name).expect("index present");
+        times.push(ix.point_lookups(&device, &queries, None).sim_ms);
+    }
+    times[0] / times[1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn newer_architectures_are_faster_for_every_index() {
+        let tables = run(&ExperimentScale::tiny());
+        assert_eq!(tables.len(), 2);
+        assert_eq!(tables[0].rows.len(), 4);
+        assert_eq!(tables[1].rows.len(), 4);
+    }
+
+    #[test]
+    fn rx_improves_across_generations_at_least_as_much_as_the_baselines() {
+        let rx = generational_improvement("RX", 13, 1 << 13, 1);
+        let sa = generational_improvement("SA", 13, 1 << 13, 1);
+        let ht = generational_improvement("HT", 13, 1 << 13, 1);
+        assert!(rx > 1.0, "RX must be faster on the 4090 than on the 2080 Ti, factor {rx}");
+        assert!(ht > 1.0 && sa > 1.0);
+        // The paper: RX shows the largest improvement for sorted lookups
+        // (3.23x vs at most 2.41x). Require RX to at least match the others.
+        assert!(
+            rx >= ht * 0.95 && rx >= sa * 0.95,
+            "RX must improve at least as fast as baselines (RX {rx:.2}, HT {ht:.2}, SA {sa:.2})"
+        );
+    }
+}

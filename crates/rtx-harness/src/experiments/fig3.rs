@@ -1,0 +1,116 @@
+//! Figure 3: effect of the key-representation mode on lookup time.
+//!
+//! * Figure 3a varies the build size and compares Naive, Extended and 3D
+//!   mode on dense keys (Naive/Extended become `N/A` once the build size
+//!   exceeds the mode's key range).
+//! * Figure 3b introduces a key *stride* to grow the value range `q` and
+//!   shows that Extended Mode degrades with the value range while 3D mode
+//!   stays stable.
+
+use rtindex_core::{KeyMode, RtIndex, RtIndexConfig};
+use rtx_workloads as wl;
+
+use crate::report::{fmt_ms, Table};
+use crate::scale::ExperimentScale;
+
+fn lookup_ms_for_mode(
+    device: &gpu_device::Device,
+    keys: &[u64],
+    lookups: &[u64],
+    mode: KeyMode,
+) -> Option<f64> {
+    let max = keys.iter().copied().max().unwrap_or(0);
+    if !mode.supports_key(max) {
+        return None;
+    }
+    let config = RtIndexConfig::default().with_key_mode(mode);
+    let index = RtIndex::build(device, keys, config).ok()?;
+    let out = index.point_lookup_batch(lookups, None).ok()?;
+    Some(out.metrics.simulated_time_s * 1e3)
+}
+
+/// Figure 3a: cumulative lookup time per key mode while varying the number
+/// of indexed keys.
+pub fn run_fig3a(scale: &ExperimentScale) -> Vec<Table> {
+    let device = crate::scaled_device(scale);
+    let mut table = Table::new(
+        "Figure 3a: key representations, cumulative lookup time [ms] (N/A = key range exceeded)",
+        &["keys [2^n]", "naive", "ext", "3d"],
+    );
+    for exp in scale.key_exponent_sweep(6) {
+        let n = 1usize << exp;
+        let keys = wl::dense_shuffled(n, scale.seed);
+        let lookups = wl::point_lookups(&keys, scale.default_lookups(), scale.seed + 1);
+        let mut row = vec![exp.to_string()];
+        for mode in KeyMode::all() {
+            row.push(
+                lookup_ms_for_mode(&device, &keys, &lookups, mode)
+                    .map(fmt_ms)
+                    .unwrap_or_else(|| "N/A".to_string()),
+            );
+        }
+        table.push_row(row);
+    }
+    vec![table]
+}
+
+/// Figure 3b: the same comparison with key stride 1, 2 and 4 for Extended
+/// and 3D mode.
+pub fn run_fig3b(scale: &ExperimentScale) -> Vec<Table> {
+    let device = crate::scaled_device(scale);
+    let mut table = Table::new(
+        "Figure 3b: key stride (value range) vs. lookup time [ms]",
+        &["keys [2^n]", "ext s=1", "ext s=2", "ext s=4", "3d s=1", "3d s=2", "3d s=4"],
+    );
+    for exp in scale.key_exponent_sweep(4) {
+        let n = 1usize << exp;
+        let mut row = vec![exp.to_string()];
+        for mode in [KeyMode::Extended, KeyMode::three_d_default()] {
+            for stride in [1u64, 2, 4] {
+                let keys = wl::with_stride(n, stride, scale.seed);
+                let lookups = wl::point_lookups(&keys, scale.default_lookups(), scale.seed + 1);
+                row.push(
+                    lookup_ms_for_mode(&device, &keys, &lookups, mode)
+                        .map(fmt_ms)
+                        .unwrap_or_else(|| "N/A".to_string()),
+                );
+            }
+        }
+        table.push_row(row);
+    }
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig3a_marks_unsupported_modes_and_reports_times() {
+        // Use a key count beyond the Naive range so the N/A column shows up.
+        let scale = ExperimentScale { keys_exp: 24, lookups_exp: 10, seed: 7 };
+        let device = crate::default_device();
+        let keys = wl::dense_shuffled(1 << 24, scale.seed);
+        let lookups = wl::point_lookups(&keys, 1 << 10, scale.seed);
+        assert!(lookup_ms_for_mode(&device, &keys, &lookups, KeyMode::Naive).is_none());
+        assert!(lookup_ms_for_mode(&device, &keys, &lookups, KeyMode::Extended).is_some());
+        assert!(lookup_ms_for_mode(&device, &keys, &lookups, KeyMode::three_d_default()).is_some());
+    }
+
+    #[test]
+    fn fig3a_smoke_produces_one_row_per_size() {
+        let scale = ExperimentScale::tiny();
+        let tables = run_fig3a(&scale);
+        assert_eq!(tables.len(), 1);
+        assert_eq!(tables[0].rows.len(), scale.key_exponent_sweep(6).len());
+        // At tiny scale every mode supports the keys: no N/A cells.
+        assert!(tables[0].rows.iter().all(|r| r.iter().all(|c| c != "N/A")));
+    }
+
+    #[test]
+    fn fig3b_smoke_has_stride_columns() {
+        let tables = run_fig3b(&ExperimentScale::tiny());
+        assert_eq!(tables[0].headers.len(), 7);
+        assert!(!tables[0].rows.is_empty());
+    }
+}

@@ -1,0 +1,122 @@
+//! Figure 7: primitive types (triangles vs. spheres vs. AABBs),
+//! uncompacted vs. compacted.
+//!
+//! Three sub-figures: (a) cumulative lookup time, (b) build time, (c) BVH
+//! memory footprint. The paper finds triangles fastest to look up (hardware
+//! intersection), AABBs cheapest to build, spheres smallest on the wire but
+//! largest after BVH construction, and compaction shrinking the footprint by
+//! up to ~50 % at negligible cost.
+
+use rtindex_core::{PrimitiveKind, RtIndex, RtIndexConfig};
+use rtx_workloads as wl;
+
+use crate::report::{fmt_ms, Table};
+use crate::scale::ExperimentScale;
+
+/// Runs the primitive-type comparison (lookup time, build time, memory).
+pub fn run(scale: &ExperimentScale) -> Vec<Table> {
+    let device = crate::scaled_device(scale);
+    let mut lookup_table = Table::new(
+        "Figure 7a: primitive types, cumulative lookup time [ms]",
+        &["keys [2^n]", "triangle", "sphere", "aabb"],
+    );
+    let mut build_table = Table::new(
+        "Figure 7b: primitive types, simulated build time [ms] (uncompacted / compacted)",
+        &["keys [2^n]", "triangle", "sphere", "aabb"],
+    );
+    let mut memory_table = Table::new(
+        "Figure 7c: primitive types, index size [MiB] (uncompacted / compacted)",
+        &["keys [2^n]", "triangle unc", "triangle cmp", "sphere unc", "sphere cmp", "aabb unc", "aabb cmp"],
+    );
+
+    for exp in scale.key_exponent_sweep(4) {
+        let n = 1usize << exp;
+        let keys = wl::dense_shuffled(n, scale.seed);
+        let lookups = wl::point_lookups(&keys, scale.default_lookups(), scale.seed + 1);
+
+        let mut lookup_row = vec![exp.to_string()];
+        let mut build_row = vec![exp.to_string()];
+        let mut memory_row = vec![exp.to_string()];
+        for kind in PrimitiveKind::all() {
+            let compacted_cfg = RtIndexConfig::default().with_primitive(kind);
+            let uncompacted_cfg = compacted_cfg.with_compaction(false);
+
+            let uncompacted = RtIndex::build(&device, &keys, uncompacted_cfg).expect("build");
+            let compacted = RtIndex::build(&device, &keys, compacted_cfg).expect("build");
+
+            let out = compacted.point_lookup_batch(&lookups, None).expect("lookup");
+            lookup_row.push(fmt_ms(out.metrics.simulated_time_s * 1e3));
+            build_row.push(format!(
+                "{} / {}",
+                fmt_ms(uncompacted.build_metrics().simulated_time_s * 1e3),
+                fmt_ms(compacted.build_metrics().simulated_time_s * 1e3)
+            ));
+            memory_row.push(format!("{:.2}", uncompacted.index_memory_bytes() as f64 / (1 << 20) as f64));
+            memory_row.push(format!("{:.2}", compacted.index_memory_bytes() as f64 / (1 << 20) as f64));
+        }
+        lookup_table.push_row(lookup_row);
+        build_table.push_row(build_row);
+        memory_table.push_row(memory_row);
+    }
+    vec![lookup_table, build_table, memory_table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triangles_use_hardware_and_win_lookup_time() {
+        let device = crate::default_device();
+        let keys = wl::dense_shuffled(1 << 12, 1);
+        let lookups = wl::point_lookups(&keys, 1 << 12, 2);
+        let mut sim_ms = std::collections::HashMap::new();
+        for kind in PrimitiveKind::all() {
+            let index =
+                RtIndex::build(&device, &keys, RtIndexConfig::default().with_primitive(kind))
+                    .expect("build");
+            let out = index.point_lookup_batch(&lookups, None).expect("lookup");
+            if kind == PrimitiveKind::Triangle {
+                assert!(out.metrics.kernel.rt_triangle_tests > 0);
+                assert_eq!(out.metrics.kernel.sw_intersection_tests, 0);
+            } else {
+                assert!(out.metrics.kernel.sw_intersection_tests > 0);
+            }
+            sim_ms.insert(kind.name(), out.metrics.simulated_time_s * 1e3);
+        }
+        // Paper: triangles perform best with a significant margin.
+        assert!(sim_ms["triangle"] <= sim_ms["sphere"]);
+        assert!(sim_ms["triangle"] <= sim_ms["aabb"]);
+    }
+
+    #[test]
+    fn compaction_halves_the_footprint_and_spheres_have_smallest_buffers() {
+        let device = crate::default_device();
+        let keys = wl::dense_shuffled(1 << 12, 1);
+        let tri_unc = RtIndex::build(
+            &device,
+            &keys,
+            RtIndexConfig::default().with_compaction(false),
+        )
+        .expect("build");
+        let tri_cmp = RtIndex::build(&device, &keys, RtIndexConfig::default()).expect("build");
+        assert!(tri_cmp.index_memory_bytes() < tri_unc.index_memory_bytes());
+        let sphere = RtIndex::build(
+            &device,
+            &keys,
+            RtIndexConfig::default().with_primitive(PrimitiveKind::Sphere),
+        )
+        .expect("build");
+        assert!(
+            sphere.accel().input().primitive_buffer_bytes()
+                < tri_cmp.accel().input().primitive_buffer_bytes()
+        );
+    }
+
+    #[test]
+    fn smoke_returns_three_tables() {
+        let tables = run(&ExperimentScale::tiny());
+        assert_eq!(tables.len(), 3);
+        assert!(!tables[0].rows.is_empty());
+    }
+}

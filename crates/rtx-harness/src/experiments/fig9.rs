@@ -1,0 +1,88 @@
+//! Figure 9: range lookups under varying key decompositions.
+//!
+//! The more bits the x axis receives, the fewer rays a range lookup needs
+//! (wide ranges stay within one "row"), so x-heavy decompositions win.
+
+use rtindex_core::{Decomposition, KeyMode, RtIndex, RtIndexConfig};
+use rtx_workloads as wl;
+
+use crate::report::{fmt_ms, Table};
+use crate::scale::ExperimentScale;
+
+/// Builds the figure-9 sweep scaled down to `total_bits` key bits: from an
+/// x-starved split to an x-rich split (all remaining bits on y).
+pub fn scaled_sweep(total_bits: u32) -> Vec<Decomposition> {
+    (3..=9)
+        .rev()
+        .filter_map(|deficit| {
+            let x = total_bits.checked_sub(deficit)?.min(23);
+            if x == 0 {
+                return None;
+            }
+            Some(Decomposition::new(x, total_bits - x, 0))
+        })
+        .collect()
+}
+
+/// Runs the range-lookup decomposition sweep for two range widths.
+pub fn run(scale: &ExperimentScale) -> Vec<Table> {
+    let device = crate::scaled_device(scale);
+    let n = scale.default_keys();
+    let keys = wl::dense_shuffled(n, scale.seed);
+    let lookup_count = (scale.default_lookups() / 16).max(16);
+    // Two range widths, scaled from the paper's 256 / 1024 hits.
+    let wide = (n as u64 / 64).max(4);
+    let wider = (n as u64 / 16).max(8);
+
+    let mut table = Table::new(
+        "Figure 9: range lookups under varying key decompositions, lookup time [ms]",
+        &["decomposition [x+y+z]", &format!("{wide} hits per ray"), &format!("{wider} hits per ray")],
+    );
+    for decomposition in scaled_sweep(scale.keys_exp) {
+        let mut row = vec![decomposition.label()];
+        for qualifying in [wide, wider] {
+            let ranges = wl::range_lookups(n as u64, lookup_count, qualifying, scale.seed + qualifying);
+            let config = RtIndexConfig::default().with_key_mode(KeyMode::ThreeD(decomposition));
+            let index = RtIndex::build(&device, &keys, config).expect("build");
+            let out = index.range_lookup_batch(&ranges, None).expect("lookup");
+            row.push(fmt_ms(out.metrics.simulated_time_s * 1e3));
+        }
+        table.push_row(row);
+    }
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn x_rich_decompositions_need_fewer_rays_for_ranges() {
+        let device = crate::default_device();
+        let bits = 12u32;
+        let n = 1usize << bits;
+        let keys = wl::dense_shuffled(n, 1);
+        let ranges = wl::range_lookups(n as u64, 256, 64, 2);
+        let measure = |d: Decomposition| {
+            let config = RtIndexConfig::default().with_key_mode(KeyMode::ThreeD(d));
+            let index = RtIndex::build(&device, &keys, config).expect("build");
+            let out = index.range_lookup_batch(&ranges, None).expect("lookup");
+            assert!(out.results.iter().all(|r| r.hit_count == 64));
+            (out.metrics.simulated_time_s, out.metrics.traversal.nodes_visited)
+        };
+        let (_, nodes_x_rich) = measure(Decomposition::new(9, 3, 0));
+        let (_, nodes_x_poor) = measure(Decomposition::new(3, 9, 0));
+        assert!(
+            nodes_x_poor > nodes_x_rich,
+            "x-starved splits must traverse more ({nodes_x_poor} vs {nodes_x_rich})"
+        );
+    }
+
+    #[test]
+    fn smoke_table_shape() {
+        let tables = run(&ExperimentScale::tiny());
+        assert_eq!(tables.len(), 1);
+        assert_eq!(tables[0].headers.len(), 3);
+        assert!(!tables[0].rows.is_empty());
+    }
+}

@@ -1,0 +1,75 @@
+//! Table 3: ray origin for range lookups (offset vs. zero).
+//!
+//! The paper compares rays originating just before the lower bound against
+//! rays originating at x = 0 with `tmin` clipping, for range lookups with
+//! 1 to 256 qualifying entries; the offset origin wins in all cases.
+
+use rtindex_core::{RangeRayStrategy, RtIndex, RtIndexConfig};
+use rtx_workloads as wl;
+
+use crate::report::{fmt_ms, Table};
+use crate::scale::ExperimentScale;
+
+/// Numbers of qualifying entries per range lookup (as in the paper).
+pub const HITS_PER_RANGE: [u64; 5] = [1, 4, 16, 64, 256];
+
+/// Runs the range-lookup ray-origin comparison (3D mode, dense keys).
+pub fn run(scale: &ExperimentScale) -> Vec<Table> {
+    let device = crate::scaled_device(scale);
+    let n = scale.default_keys();
+    let keys = wl::dense_shuffled(n, scale.seed);
+    // Fewer range lookups than point lookups: each returns many rows.
+    let lookup_count = (scale.default_lookups() / 8).max(16);
+
+    let mut table = Table::new(
+        "Table 3: range-lookup ray origin, cumulative lookup time [ms] (3D mode)",
+        &["hits per range", "parallel from offset", "parallel from zero"],
+    );
+    for hits in HITS_PER_RANGE {
+        if hits > n as u64 {
+            continue;
+        }
+        let ranges = wl::range_lookups(n as u64, lookup_count, hits, scale.seed + hits);
+        let mut row = vec![hits.to_string()];
+        for strategy in [RangeRayStrategy::ParallelFromOffset, RangeRayStrategy::ParallelFromZero] {
+            let config = RtIndexConfig::default().with_range_ray(strategy);
+            let index = RtIndex::build(&device, &keys, config).expect("build");
+            let out = index.range_lookup_batch(&ranges, None).expect("lookup");
+            row.push(fmt_ms(out.metrics.simulated_time_s * 1e3));
+        }
+        table.push_row(row);
+    }
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_origins_answer_ranges_correctly_and_cost_grows_with_hits() {
+        let device = crate::default_device();
+        let n = 1usize << 12;
+        let keys = wl::dense_shuffled(n, 3);
+        let small = wl::range_lookups(n as u64, 256, 4, 5);
+        let large = wl::range_lookups(n as u64, 256, 64, 6);
+        for strategy in [RangeRayStrategy::ParallelFromOffset, RangeRayStrategy::ParallelFromZero] {
+            let config = RtIndexConfig::default().with_range_ray(strategy);
+            let index = RtIndex::build(&device, &keys, config).expect("build");
+            let out_small = index.range_lookup_batch(&small, None).expect("lookup");
+            let out_large = index.range_lookup_batch(&large, None).expect("lookup");
+            assert!(out_small.results.iter().all(|r| r.hit_count == 4));
+            assert!(out_large.results.iter().all(|r| r.hit_count == 64));
+            assert!(
+                out_large.metrics.simulated_time_s > out_small.metrics.simulated_time_s,
+                "{strategy:?}: wider ranges must cost more"
+            );
+        }
+    }
+
+    #[test]
+    fn smoke_table_has_one_row_per_hit_count() {
+        let tables = run(&ExperimentScale::tiny());
+        assert_eq!(tables[0].rows.len(), HITS_PER_RANGE.len());
+    }
+}

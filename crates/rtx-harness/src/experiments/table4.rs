@@ -1,0 +1,182 @@
+//! Table 4: updates — swapping adjacent buffer positions vs. adjacent keys,
+//! refitting update vs. full rebuild.
+//!
+//! The paper's findings, all reproduced by this experiment:
+//!
+//! 1. update time is independent of the number of applied swaps (the whole
+//!    buffer is passed to the update routine either way),
+//! 2. updating (refitting) is cheaper than rebuilding,
+//! 3. swapping adjacent *positions* of a shuffled buffer moves primitives far
+//!    and degrades lookup time badly as the number of swaps grows, while
+//!    swapping adjacent *keys* barely changes the geometry and leaves lookup
+//!    time intact.
+
+use rtindex_core::{RtIndex, RtIndexConfig};
+use rtx_workloads as wl;
+
+use crate::report::{fmt_ms, Table};
+use crate::scale::ExperimentScale;
+
+/// Applies `swaps` swaps of adjacent buffer positions.
+pub fn swap_adjacent_positions(keys: &mut [u64], swaps: usize) {
+    for pair in 0..swaps.min(keys.len() / 2) {
+        keys.swap(2 * pair, 2 * pair + 1);
+    }
+}
+
+/// Applies `swaps` swaps of rank-adjacent keys (key k <-> key k+1), which on
+/// a dense key set changes each affected key by ±1.
+pub fn swap_adjacent_keys(keys: &mut [u64], swaps: usize) {
+    let n = keys.len() as u64;
+    let mut position_of = vec![0usize; keys.len()];
+    for (pos, &k) in keys.iter().enumerate() {
+        position_of[k as usize] = pos;
+    }
+    for pair in 0..swaps.min(keys.len() / 2) {
+        let a = (2 * pair) as u64;
+        let b = a + 1;
+        if b >= n {
+            break;
+        }
+        let pa = position_of[a as usize];
+        let pb = position_of[b as usize];
+        keys.swap(pa, pb);
+        position_of.swap(a as usize, b as usize);
+    }
+}
+
+struct UpdateRun {
+    update_ms: f64,
+    lookup_ms: f64,
+}
+
+fn run_update_workload(
+    scale: &ExperimentScale,
+    swaps: usize,
+    swap_positions: bool,
+) -> UpdateRun {
+    let device = crate::scaled_device(scale);
+    let n = scale.default_keys();
+    let mut keys = wl::dense_shuffled(n, scale.seed);
+    let lookups = wl::point_lookups(&keys, scale.default_lookups(), scale.seed + 1);
+
+    let mut index =
+        RtIndex::build(&device, &keys, RtIndexConfig::default().updatable()).expect("build");
+    if swap_positions {
+        swap_adjacent_positions(&mut keys, swaps);
+    } else {
+        swap_adjacent_keys(&mut keys, swaps);
+    }
+    index.update_keys(&keys).expect("update");
+    let update_ms = index.build_metrics().simulated_time_s * 1e3;
+    let out = index.point_lookup_batch(&lookups, None).expect("lookup");
+    assert_eq!(out.hit_count(), lookups.len(), "updates must not lose keys");
+    UpdateRun { update_ms, lookup_ms: out.metrics.simulated_time_s * 1e3 }
+}
+
+fn rebuild_reference(scale: &ExperimentScale) -> UpdateRun {
+    let device = crate::scaled_device(scale);
+    let n = scale.default_keys();
+    let keys = wl::dense_shuffled(n, scale.seed);
+    let lookups = wl::point_lookups(&keys, scale.default_lookups(), scale.seed + 1);
+    let index = RtIndex::build(&device, &keys, RtIndexConfig::default()).expect("build");
+    let out = index.point_lookup_batch(&lookups, None).expect("lookup");
+    UpdateRun {
+        update_ms: index.build_metrics().simulated_time_s * 1e3,
+        lookup_ms: out.metrics.simulated_time_s * 1e3,
+    }
+}
+
+/// Runs the update experiment.
+pub fn run(scale: &ExperimentScale) -> Vec<Table> {
+    let swap_counts: Vec<usize> =
+        [4u32, 8, 12, scale.keys_exp.saturating_sub(2)].iter().map(|&e| 1usize << e).collect();
+
+    let mut table = Table::new(
+        "Table 4: update and lookup time [ms] after swaps (refit) vs. full rebuild",
+        &["experiment", "phase", "2^4", "2^8", "2^12", "max swaps", "rebuild"],
+    );
+    let rebuild = rebuild_reference(scale);
+
+    for (label, swap_positions) in [("swap adj. positions", true), ("swap adj. keys", false)] {
+        let runs: Vec<UpdateRun> = swap_counts
+            .iter()
+            .map(|&s| run_update_workload(scale, s, swap_positions))
+            .collect();
+        let mut update_row = vec![label.to_string(), "updates".to_string()];
+        let mut lookup_row = vec![label.to_string(), "lookups".to_string()];
+        for r in &runs {
+            update_row.push(fmt_ms(r.update_ms));
+            lookup_row.push(fmt_ms(r.lookup_ms));
+        }
+        update_row.push(fmt_ms(rebuild.update_ms));
+        lookup_row.push(fmt_ms(rebuild.lookup_ms));
+        table.push_row(update_row);
+        table.push_row(lookup_row);
+    }
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn update_time_is_independent_of_swap_count_and_cheaper_than_rebuild() {
+        let scale = ExperimentScale::tiny();
+        let few = run_update_workload(&scale, 1 << 4, true);
+        let many = run_update_workload(&scale, 1 << 10, true);
+        let rebuild = rebuild_reference(&scale);
+        let ratio = many.update_ms / few.update_ms;
+        assert!(
+            (0.8..1.25).contains(&ratio),
+            "update cost must not depend on the swap count (ratio {ratio})"
+        );
+        assert!(
+            few.update_ms < rebuild.update_ms,
+            "refitting ({}) must be cheaper than rebuilding ({})",
+            few.update_ms,
+            rebuild.update_ms
+        );
+    }
+
+    #[test]
+    fn position_swaps_degrade_lookups_key_swaps_do_not() {
+        let scale = ExperimentScale::tiny();
+        let max_swaps = scale.default_keys() / 2;
+        let positions = run_update_workload(&scale, max_swaps, true);
+        let keys = run_update_workload(&scale, max_swaps, false);
+        let rebuild = rebuild_reference(&scale);
+        assert!(
+            positions.lookup_ms > keys.lookup_ms * 1.2,
+            "position swaps ({}) must hurt lookups much more than key swaps ({})",
+            positions.lookup_ms,
+            keys.lookup_ms
+        );
+        assert!(
+            keys.lookup_ms < rebuild.lookup_ms * 1.5,
+            "key swaps must keep lookups close to the rebuilt structure"
+        );
+    }
+
+    #[test]
+    fn swap_helpers_preserve_the_key_multiset() {
+        let mut a: Vec<u64> = (0..64).rev().collect();
+        let mut b = a.clone();
+        swap_adjacent_positions(&mut a, 10);
+        swap_adjacent_keys(&mut b, 10);
+        let mut sa = a.clone();
+        sa.sort_unstable();
+        let mut sb = b.clone();
+        sb.sort_unstable();
+        assert_eq!(sa, (0..64).collect::<Vec<u64>>());
+        assert_eq!(sb, (0..64).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn smoke_table_shape() {
+        let tables = run(&ExperimentScale::tiny());
+        assert_eq!(tables[0].rows.len(), 4);
+        assert_eq!(tables[0].headers.len(), 7);
+    }
+}

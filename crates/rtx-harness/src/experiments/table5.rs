@@ -1,0 +1,83 @@
+//! Table 5: warp occupancy and memory-bandwidth utilisation as the lookup
+//! count grows.
+//!
+//! Small launches cannot keep enough warps per SM resident to hide memory
+//! latency; the paper measures 3.89 active warps per SM at 2^13 lookups,
+//! saturating toward the scheduler limit of 16 (and ~79 % of peak bandwidth)
+//! at 2^21 lookups. Our occupancy model reproduces that curve directly.
+
+use gpu_device::OccupancyModel;
+use rtindex_core::{RtIndex, RtIndexConfig};
+use rtx_workloads as wl;
+
+use crate::report::{fmt_pct, Table};
+use crate::scale::ExperimentScale;
+
+/// Runs the occupancy experiment.
+pub fn run(scale: &ExperimentScale) -> Vec<Table> {
+    let device = crate::scaled_device(scale);
+    let occupancy = OccupancyModel::new(device.spec().clone());
+    let n = scale.default_keys();
+    let keys = wl::dense_shuffled(n, scale.seed);
+    let index = RtIndex::build(&device, &keys, RtIndexConfig::default()).expect("build");
+
+    let mut table = Table::new(
+        "Table 5: active warps per SM and % of peak memory bandwidth vs. lookup count",
+        &["lookups [2^n]", "active warps per SM", "memory BW [% of peak]", "throughput [lookups/s]"],
+    );
+    for exp in scale.lookup_exponent_sweep(5) {
+        let lookups = wl::point_lookups(&keys, 1usize << exp, scale.seed + exp as u64);
+        let out = index.point_lookup_batch(&lookups, None).expect("lookup");
+        let warps = occupancy.active_warps_per_sm(lookups.len() as u64);
+        let bw = occupancy.bandwidth_utilisation(lookups.len() as u64);
+        let throughput = lookups.len() as f64 / out.metrics.simulated_time_s.max(1e-12);
+        table.push_row(vec![
+            exp.to_string(),
+            format!("{warps:.2}"),
+            fmt_pct(bw),
+            format!("{throughput:.3e}"),
+        ]);
+    }
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn occupancy_and_bandwidth_grow_with_lookup_count() {
+        let tables = run(&ExperimentScale::tiny());
+        let warps: Vec<f64> = tables[0]
+            .column("active warps per SM")
+            .unwrap()
+            .iter()
+            .map(|v| v.parse().unwrap())
+            .collect();
+        assert!(warps.windows(2).all(|w| w[0] < w[1]), "warps must increase: {warps:?}");
+        assert!(*warps.last().unwrap() <= 16.0);
+        let bw: Vec<f64> = tables[0]
+            .column("memory BW [% of peak]")
+            .unwrap()
+            .iter()
+            .map(|v| v.parse().unwrap())
+            .collect();
+        assert!(bw.windows(2).all(|w| w[0] <= w[1]));
+        assert!(*bw.last().unwrap() <= 80.0 + 1e-9);
+    }
+
+    #[test]
+    fn throughput_saturates_for_large_batches() {
+        // At the default 4090 spec, throughput should grow steeply at small
+        // batch sizes and flatten near saturation — the Figure 10a shape.
+        let scale = ExperimentScale::tiny();
+        let tables = run(&scale);
+        let tp: Vec<f64> = tables[0]
+            .column("throughput [lookups/s]")
+            .unwrap()
+            .iter()
+            .map(|v| v.parse().unwrap())
+            .collect();
+        assert!(tp.first().unwrap() < tp.last().unwrap());
+    }
+}

@@ -1,0 +1,81 @@
+//! Table 6: memory footprint of all indexes (final size and build overhead).
+//!
+//! The paper reports that RX needs considerably more space than the
+//! traditional indexes, both during and after construction, because every
+//! key becomes a triangle plus its share of the BVH; SA has zero structural
+//! overhead after the build, HT over-allocates by 25 %.
+
+use rtindex_core::RtIndexConfig;
+use rtx_workloads as wl;
+
+use crate::indexes::build_all_indexes;
+use crate::report::Table;
+use crate::scale::ExperimentScale;
+
+/// Runs the footprint comparison.
+pub fn run(scale: &ExperimentScale) -> Vec<Table> {
+    let device = crate::scaled_device(scale);
+    let keys = wl::dense_shuffled(scale.default_keys(), scale.seed);
+    let indexes = build_all_indexes(&device, &keys, RtIndexConfig::default());
+
+    let mut table = Table::new(
+        format!("Table 6: memory footprint for 2^{} keys [MiB]", scale.keys_exp),
+        &["metric", "HT", "B+", "SA", "RX"],
+    );
+    let mib = |bytes: u64| format!("{:.2}", bytes as f64 / (1 << 20) as f64);
+    let mut final_row = vec!["final size".to_string()];
+    let mut overhead_row = vec!["overhead during build".to_string()];
+    for name in ["HT", "B+", "SA", "RX"] {
+        match indexes.iter().find(|ix| ix.name() == name) {
+            Some(ix) => {
+                final_row.push(mib(ix.memory_bytes()));
+                overhead_row.push(mib(ix.build_scratch_bytes()));
+            }
+            None => {
+                final_row.push("N/A".to_string());
+                overhead_row.push("N/A".to_string());
+            }
+        }
+    }
+    table.push_row(final_row);
+    table.push_row(overhead_row);
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rx_has_the_largest_footprint_and_sa_the_smallest_structural_one() {
+        let device = crate::default_device();
+        let keys = wl::dense_shuffled(1 << 14, 1);
+        let indexes = build_all_indexes(&device, &keys, RtIndexConfig::default());
+        let bytes = |name: &str| indexes.iter().find(|i| i.name() == name).unwrap().memory_bytes();
+        assert!(bytes("RX") > bytes("HT"), "RX must exceed HT");
+        assert!(bytes("RX") > bytes("B+"), "RX must exceed B+");
+        assert!(bytes("RX") > bytes("SA"), "RX must exceed SA");
+        assert!(bytes("SA") <= bytes("HT"), "SA stores keys + rowIDs only");
+    }
+
+    #[test]
+    fn build_overhead_exists_for_sort_based_builds_and_rx() {
+        let device = crate::default_device();
+        let keys = wl::dense_shuffled(1 << 13, 1);
+        let indexes = build_all_indexes(&device, &keys, RtIndexConfig::default());
+        let scratch = |name: &str| {
+            indexes.iter().find(|i| i.name() == name).unwrap().build_scratch_bytes()
+        };
+        assert_eq!(scratch("HT"), 0, "HT inserts in place");
+        assert!(scratch("SA") > 0, "SA sorts out of place");
+        assert!(scratch("B+") > 0);
+        assert!(scratch("RX") > 0, "the BVH build needs temporary memory");
+        assert!(scratch("RX") > scratch("SA"), "RX build overhead is the largest");
+    }
+
+    #[test]
+    fn smoke_table_has_two_rows() {
+        let tables = run(&ExperimentScale::tiny());
+        assert_eq!(tables[0].rows.len(), 2);
+    }
+}

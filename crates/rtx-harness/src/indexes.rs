@@ -1,0 +1,262 @@
+//! Uniform driver over RX and the three baseline indexes.
+//!
+//! Experiments compare the four index structures on identical workloads.
+//! [`AnyIndex`] wraps them behind one interface and converts their lookup
+//! outcomes into a common [`Measurement`] record carrying the simulated
+//! device time and the hardware counters the paper's analysis uses.
+
+use gpu_device::{Device, KernelStats};
+use gpu_baselines::{BPlusTree, GpuIndex, SortedArray, WarpHashTable};
+use rtindex_core::{RtIndex, RtIndexConfig};
+
+/// One measured lookup batch (or build phase) of one index.
+#[derive(Debug, Clone, Default)]
+pub struct Measurement {
+    /// Index name ("RX", "HT", "B+", "SA").
+    pub index: String,
+    /// Simulated device time in milliseconds.
+    pub sim_ms: f64,
+    /// Host wall-clock milliseconds of the software execution (not
+    /// comparable to the paper; reported for transparency).
+    pub host_ms: f64,
+    /// Number of lookups that found at least one qualifying row.
+    pub hits: usize,
+    /// Total value sum over the batch (checksum against the ground truth).
+    pub value_sum: u64,
+    /// Merged kernel counters.
+    pub kernel: KernelStats,
+}
+
+impl Measurement {
+    /// Lookup throughput in operations per second for a batch of `lookups`.
+    pub fn throughput(&self, lookups: usize) -> f64 {
+        if self.sim_ms <= 0.0 {
+            return 0.0;
+        }
+        lookups as f64 / (self.sim_ms / 1e3)
+    }
+}
+
+/// Any of the four evaluated index structures.
+pub enum AnyIndex {
+    /// RTIndeX.
+    Rx(RtIndex),
+    /// WarpCore-style hash table.
+    Ht(WarpHashTable),
+    /// GPU B+-tree.
+    Bp(BPlusTree),
+    /// Sorted array.
+    Sa(SortedArray),
+}
+
+impl AnyIndex {
+    /// Display name used in report tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AnyIndex::Rx(_) => "RX",
+            AnyIndex::Ht(_) => "HT",
+            AnyIndex::Bp(_) => "B+",
+            AnyIndex::Sa(_) => "SA",
+        }
+    }
+
+    /// Device memory the index occupies after construction.
+    pub fn memory_bytes(&self) -> u64 {
+        match self {
+            AnyIndex::Rx(ix) => ix.index_memory_bytes(),
+            AnyIndex::Ht(ix) => ix.memory_bytes(),
+            AnyIndex::Bp(ix) => ix.memory_bytes(),
+            AnyIndex::Sa(ix) => ix.memory_bytes(),
+        }
+    }
+
+    /// Simulated build time in milliseconds.
+    pub fn build_sim_ms(&self) -> f64 {
+        match self {
+            AnyIndex::Rx(ix) => ix.build_metrics().simulated_time_s * 1e3,
+            AnyIndex::Ht(ix) => ix.build_metrics().simulated_time_s * 1e3,
+            AnyIndex::Bp(ix) => ix.build_metrics().simulated_time_s * 1e3,
+            AnyIndex::Sa(ix) => ix.build_metrics().simulated_time_s * 1e3,
+        }
+    }
+
+    /// Temporary device memory the build needed beyond the final footprint.
+    pub fn build_scratch_bytes(&self) -> u64 {
+        match self {
+            AnyIndex::Rx(ix) => ix.build_metrics().scratch_bytes,
+            AnyIndex::Ht(ix) => ix.build_metrics().scratch_bytes,
+            AnyIndex::Bp(ix) => ix.build_metrics().scratch_bytes,
+            AnyIndex::Sa(ix) => ix.build_metrics().scratch_bytes,
+        }
+    }
+
+    /// Whether the index answers range lookups.
+    pub fn supports_range(&self) -> bool {
+        match self {
+            AnyIndex::Rx(_) => true,
+            AnyIndex::Ht(ix) => ix.supports_range(),
+            AnyIndex::Bp(ix) => ix.supports_range(),
+            AnyIndex::Sa(ix) => ix.supports_range(),
+        }
+    }
+
+    /// Answers a batch of point lookups and converts the outcome into a
+    /// [`Measurement`].
+    pub fn point_lookups(
+        &self,
+        device: &Device,
+        queries: &[u64],
+        values: Option<&[u64]>,
+    ) -> Measurement {
+        match self {
+            AnyIndex::Rx(ix) => {
+                let out = ix.point_lookup_batch(queries, values).expect("validated workload");
+                Measurement {
+                    index: self.name().to_string(),
+                    sim_ms: out.metrics.simulated_time_s * 1e3,
+                    host_ms: out.metrics.host_time.as_secs_f64() * 1e3,
+                    hits: out.hit_count(),
+                    value_sum: out.total_value_sum(),
+                    kernel: out.metrics.kernel,
+                }
+            }
+            AnyIndex::Ht(ix) => baseline_measurement(self.name(), ix.point_lookup_batch(device, queries, values)),
+            AnyIndex::Bp(ix) => baseline_measurement(self.name(), ix.point_lookup_batch(device, queries, values)),
+            AnyIndex::Sa(ix) => baseline_measurement(self.name(), ix.point_lookup_batch(device, queries, values)),
+        }
+    }
+
+    /// Answers a batch of range lookups, or `None` when unsupported (HT).
+    pub fn range_lookups(
+        &self,
+        device: &Device,
+        ranges: &[(u64, u64)],
+        values: Option<&[u64]>,
+    ) -> Option<Measurement> {
+        match self {
+            AnyIndex::Rx(ix) => {
+                let out = ix.range_lookup_batch(ranges, values).expect("validated workload");
+                Some(Measurement {
+                    index: self.name().to_string(),
+                    sim_ms: out.metrics.simulated_time_s * 1e3,
+                    host_ms: out.metrics.host_time.as_secs_f64() * 1e3,
+                    hits: out.hit_count(),
+                    value_sum: out.total_value_sum(),
+                    kernel: out.metrics.kernel,
+                })
+            }
+            AnyIndex::Ht(ix) => {
+                ix.range_lookup_batch(device, ranges, values).map(|b| baseline_measurement(self.name(), b))
+            }
+            AnyIndex::Bp(ix) => {
+                ix.range_lookup_batch(device, ranges, values).map(|b| baseline_measurement(self.name(), b))
+            }
+            AnyIndex::Sa(ix) => {
+                ix.range_lookup_batch(device, ranges, values).map(|b| baseline_measurement(self.name(), b))
+            }
+        }
+    }
+}
+
+fn baseline_measurement(name: &str, batch: gpu_baselines::BaselineBatch) -> Measurement {
+    Measurement {
+        index: name.to_string(),
+        sim_ms: batch.simulated_time_s * 1e3,
+        host_ms: batch.host_time.as_secs_f64() * 1e3,
+        hits: batch.hit_count(),
+        value_sum: batch.total_value_sum(),
+        kernel: batch.kernel,
+    }
+}
+
+/// Builds all four indexes over the same key column. The B+-tree is skipped
+/// (with a log line in the returned vector being absent) when the key set
+/// violates its restrictions (duplicates or 64-bit keys), exactly as the
+/// paper omits B+ from those experiments.
+pub fn build_all_indexes(device: &Device, keys: &[u64], rx_config: RtIndexConfig) -> Vec<AnyIndex> {
+    let mut indexes = Vec::with_capacity(4);
+    indexes.push(AnyIndex::Ht(WarpHashTable::build(device, keys)));
+    if let Ok(tree) = BPlusTree::build(device, keys) {
+        indexes.push(AnyIndex::Bp(tree));
+    }
+    indexes.push(AnyIndex::Sa(SortedArray::build(device, keys)));
+    indexes.push(AnyIndex::Rx(RtIndex::build(device, keys, rx_config).expect("RX build")));
+    indexes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtx_workloads::{dense_shuffled, point_lookups, range_lookups, value_column, GroundTruth};
+
+    #[test]
+    fn all_indexes_agree_with_ground_truth_on_points() {
+        let device = crate::default_device();
+        let keys = dense_shuffled(2048, 1);
+        let values = value_column(2048, 2);
+        let queries = point_lookups(&keys, 4096, 3);
+        let truth = GroundTruth::new(&keys, Some(&values));
+        let expected_sum = truth.batch_point_sum(&queries);
+        let expected_hits = truth.batch_point_hits(&queries);
+
+        let indexes = build_all_indexes(&device, &keys, RtIndexConfig::default());
+        assert_eq!(indexes.len(), 4, "unique 32-bit keys allow all four indexes");
+        for ix in &indexes {
+            let m = ix.point_lookups(&device, &queries, Some(&values));
+            assert_eq!(m.hits, expected_hits, "{} hit count", ix.name());
+            assert_eq!(m.value_sum, expected_sum, "{} value sum", ix.name());
+            assert!(m.sim_ms > 0.0, "{} must report simulated time", ix.name());
+            assert!(m.kernel.threads_launched >= 4096);
+        }
+    }
+
+    #[test]
+    fn all_order_based_indexes_agree_on_ranges() {
+        let device = crate::default_device();
+        let keys = dense_shuffled(2048, 1);
+        let values = value_column(2048, 2);
+        let ranges = range_lookups(2048, 512, 16, 4);
+        let truth = GroundTruth::new(&keys, Some(&values));
+        let expected_sum = truth.batch_range_sum(&ranges);
+
+        let indexes = build_all_indexes(&device, &keys, RtIndexConfig::default());
+        let mut range_capable = 0;
+        for ix in &indexes {
+            match ix.range_lookups(&device, &ranges, Some(&values)) {
+                Some(m) => {
+                    range_capable += 1;
+                    assert_eq!(m.value_sum, expected_sum, "{} range sum", ix.name());
+                }
+                None => assert_eq!(ix.name(), "HT", "only HT lacks range support"),
+            }
+        }
+        assert_eq!(range_capable, 3);
+    }
+
+    #[test]
+    fn bplus_is_skipped_for_unsupported_key_sets() {
+        let device = crate::default_device();
+        let keys_with_dup = vec![1u64, 2, 2, 3];
+        let indexes = build_all_indexes(&device, &keys_with_dup, RtIndexConfig::default());
+        assert_eq!(indexes.len(), 3);
+        assert!(indexes.iter().all(|ix| ix.name() != "B+"));
+
+        let keys_64bit = vec![1u64, 1 << 40];
+        let indexes = build_all_indexes(&device, &keys_64bit, RtIndexConfig::default());
+        assert!(indexes.iter().all(|ix| ix.name() != "B+"));
+    }
+
+    #[test]
+    fn metadata_accessors() {
+        let device = crate::default_device();
+        let keys = dense_shuffled(1024, 1);
+        let indexes = build_all_indexes(&device, &keys, RtIndexConfig::default());
+        for ix in &indexes {
+            assert!(ix.memory_bytes() > 0, "{}", ix.name());
+            assert!(ix.build_sim_ms() > 0.0, "{}", ix.name());
+            assert_eq!(ix.supports_range(), ix.name() != "HT");
+        }
+        let m = indexes[0].point_lookups(&device, &[keys[0]], None);
+        assert!(m.throughput(1) > 0.0);
+    }
+}

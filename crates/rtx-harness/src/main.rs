@@ -1,0 +1,98 @@
+//! Command-line entry point of the experiment harness.
+//!
+//! ```text
+//! rtx-harness <experiment|all|list> [--scale tiny|small|medium|paper] [--seed N]
+//! ```
+//!
+//! Every experiment prints the table(s) corresponding to one figure or table
+//! of the paper's evaluation.
+
+use rtx_harness::{experiment_names, run_experiment, ExperimentScale};
+
+fn print_usage() {
+    eprintln!("usage: rtx-harness <experiment|all|list> [--scale tiny|small|medium|paper] [--seed N]");
+    eprintln!("experiments: {}", experiment_names().join(", "));
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        print_usage();
+        std::process::exit(2);
+    }
+
+    let mut experiment = None;
+    let mut scale = ExperimentScale::small();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let name = iter.next().map(String::as_str).unwrap_or("");
+                match ExperimentScale::from_name(name) {
+                    Some(s) => scale = s,
+                    None => {
+                        eprintln!("unknown scale '{name}'");
+                        print_usage();
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--seed" => {
+                let value = iter.next().map(String::as_str).unwrap_or("");
+                match value.parse::<u64>() {
+                    Ok(seed) => scale.seed = seed,
+                    Err(_) => {
+                        eprintln!("invalid seed '{value}'");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--help" | "-h" => {
+                print_usage();
+                return;
+            }
+            name if experiment.is_none() => experiment = Some(name.to_string()),
+            other => {
+                eprintln!("unexpected argument '{other}'");
+                print_usage();
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let experiment = match experiment {
+        Some(e) => e,
+        None => {
+            print_usage();
+            std::process::exit(2);
+        }
+    };
+
+    match experiment.as_str() {
+        "list" => {
+            for name in experiment_names() {
+                println!("{name}");
+            }
+        }
+        "all" => {
+            for name in experiment_names() {
+                println!("### {name}");
+                for table in run_experiment(name, &scale).expect("listed experiment") {
+                    table.print();
+                }
+            }
+        }
+        name => match run_experiment(name, &scale) {
+            Some(tables) => {
+                for table in tables {
+                    table.print();
+                }
+            }
+            None => {
+                eprintln!("unknown experiment '{name}'");
+                print_usage();
+                std::process::exit(2);
+            }
+        },
+    }
+}

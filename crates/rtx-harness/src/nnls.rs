@@ -1,0 +1,111 @@
+//! Non-negative least squares for the Section 4.9 cost decomposition.
+//!
+//! The paper fits the model
+//! `LookupTime(2^n) = TraversalTime + 2^n * IntersectTime`
+//! to the measured range-lookup times using non-negative least squares and
+//! reports the two fitted constants. The model has two unknowns, so an exact
+//! solver is simple: solve the unconstrained 2×2 normal equations and, if a
+//! coefficient turns negative, clamp it to zero and re-fit the other.
+
+/// Result of fitting `y ≈ a + b * x` with `a, b >= 0`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TwoTermFit {
+    /// The constant term (the paper's TraversalTime).
+    pub constant: f64,
+    /// The per-unit term (the paper's IntersectTime).
+    pub per_unit: f64,
+    /// Residual sum of squares of the fit.
+    pub residual: f64,
+}
+
+/// Fits `y[i] ≈ constant + per_unit * x[i]` subject to both coefficients
+/// being non-negative.
+///
+/// # Panics
+/// Panics when the slices have different lengths or fewer than two points.
+pub fn nnls_two_term(x: &[f64], y: &[f64]) -> TwoTermFit {
+    assert_eq!(x.len(), y.len(), "x and y must have the same length");
+    assert!(x.len() >= 2, "need at least two observations");
+    let n = x.len() as f64;
+    let sx: f64 = x.iter().sum();
+    let sy: f64 = y.iter().sum();
+    let sxx: f64 = x.iter().map(|v| v * v).sum();
+    let sxy: f64 = x.iter().zip(y).map(|(a, b)| a * b).sum();
+
+    // Unconstrained ordinary least squares.
+    let det = n * sxx - sx * sx;
+    let (mut constant, mut per_unit) = if det.abs() < 1e-12 {
+        (sy / n, 0.0)
+    } else {
+        ((sy * sxx - sx * sxy) / det, (n * sxy - sx * sy) / det)
+    };
+
+    // Clamp-and-refit for the active constraints.
+    if per_unit < 0.0 {
+        per_unit = 0.0;
+        constant = (sy / n).max(0.0);
+    }
+    if constant < 0.0 {
+        constant = 0.0;
+        per_unit = if sxx > 0.0 { (sxy / sxx).max(0.0) } else { 0.0 };
+    }
+
+    let residual = x
+        .iter()
+        .zip(y)
+        .map(|(xv, yv)| {
+            let e = yv - (constant + per_unit * xv);
+            e * e
+        })
+        .sum();
+    TwoTermFit { constant, per_unit, residual }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_fit_recovers_coefficients() {
+        let x: Vec<f64> = vec![1.0, 4.0, 16.0, 64.0, 256.0];
+        let y: Vec<f64> = x.iter().map(|v| 100.0 + 3.5 * v).collect();
+        let fit = nnls_two_term(&x, &y);
+        assert!((fit.constant - 100.0).abs() < 1e-6);
+        assert!((fit.per_unit - 3.5).abs() < 1e-9);
+        assert!(fit.residual < 1e-9);
+    }
+
+    #[test]
+    fn negative_slope_is_clamped_to_zero() {
+        let x = vec![1.0, 2.0, 3.0, 4.0];
+        let y = vec![10.0, 8.0, 6.0, 4.0];
+        let fit = nnls_two_term(&x, &y);
+        assert_eq!(fit.per_unit, 0.0);
+        assert!((fit.constant - 7.0).abs() < 1e-9, "falls back to the mean");
+        assert!(fit.residual > 0.0);
+    }
+
+    #[test]
+    fn negative_intercept_is_clamped_to_zero() {
+        let x = vec![10.0, 20.0, 30.0];
+        let y = vec![5.0, 25.0, 45.0]; // OLS intercept would be -15
+        let fit = nnls_two_term(&x, &y);
+        assert_eq!(fit.constant, 0.0);
+        assert!(fit.per_unit > 0.0);
+    }
+
+    #[test]
+    fn noisy_data_still_close() {
+        let x: Vec<f64> = (0..10).map(|i| (1u64 << i) as f64).collect();
+        let y: Vec<f64> = x.iter().enumerate().map(|(i, v)| 50.0 + 2.0 * v + (i % 3) as f64).collect();
+        let fit = nnls_two_term(&x, &y);
+        assert!((fit.per_unit - 2.0).abs() < 0.05);
+        assert!((fit.constant - 50.0).abs() < 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "same length")]
+    fn mismatched_lengths_panic() {
+        let _ = nnls_two_term(&[1.0], &[1.0, 2.0]);
+    }
+}

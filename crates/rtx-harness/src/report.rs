@@ -1,0 +1,137 @@
+//! Plain-text report tables.
+//!
+//! Experiments produce [`Table`]s that render as aligned text, one per paper
+//! table/figure (or sub-figure). Keeping the output plain text (rather than
+//! JSON/CSV) makes `cargo run -p rtx-harness -- <experiment>` directly
+//! comparable with the rows the paper prints.
+
+/// A report table: a title, a header row and data rows.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Table {
+    /// Title shown above the table (e.g. "Figure 10a: lookup throughput").
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows; each row has one cell per header.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table with a title and headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a data row.
+    ///
+    /// # Panics
+    /// Panics when the row length does not match the header count.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row has {} cells but the table has {} columns",
+            cells.len(),
+            self.headers.len()
+        );
+        self.rows.push(cells);
+    }
+
+    /// Returns the values of one column (by header name), if present.
+    pub fn column(&self, header: &str) -> Option<Vec<&str>> {
+        let idx = self.headers.iter().position(|h| h == header)?;
+        Some(self.rows.iter().map(|r| r[idx].as_str()).collect())
+    }
+
+    /// Renders the table as aligned plain text.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>width$}", c, width = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the rendered table to stdout.
+    pub fn print(&self) {
+        println!("{}", self.render());
+    }
+}
+
+/// Formats a millisecond value with two decimals.
+pub fn fmt_ms(ms: f64) -> String {
+    format!("{ms:.2}")
+}
+
+/// Formats a throughput value (operations per second) in engineering
+/// notation.
+pub fn fmt_throughput(ops_per_s: f64) -> String {
+    format!("{ops_per_s:.3e}")
+}
+
+/// Formats a byte count as GiB with two decimals.
+pub fn fmt_gib(bytes: u64) -> String {
+    format!("{:.2}", bytes as f64 / (1u64 << 30) as f64)
+}
+
+/// Formats a ratio/percentage with one decimal.
+pub fn fmt_pct(fraction: f64) -> String {
+    format!("{:.1}", fraction * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned_text() {
+        let mut t = Table::new("Demo", &["index", "time [ms]"]);
+        t.push_row(vec!["RX".to_string(), "12.50".to_string()]);
+        t.push_row(vec!["HT".to_string(), "7.03".to_string()]);
+        let text = t.render();
+        assert!(text.contains("== Demo =="));
+        assert!(text.contains("index"));
+        assert!(text.contains("12.50"));
+        assert_eq!(t.column("index").unwrap(), vec!["RX", "HT"]);
+        assert!(t.column("missing").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "cells")]
+    fn mismatched_row_length_panics() {
+        let mut t = Table::new("Demo", &["a", "b"]);
+        t.push_row(vec!["only one".to_string()]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(fmt_ms(12.345), "12.35");
+        assert_eq!(fmt_gib(1 << 30), "1.00");
+        assert_eq!(fmt_pct(0.755), "75.5");
+        assert!(fmt_throughput(1.5e7).contains('e'));
+    }
+}

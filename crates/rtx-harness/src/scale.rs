@@ -1,0 +1,116 @@
+//! Experiment scaling.
+//!
+//! The paper indexes 2^26 keys and fires 2^27 lookups per experiment. The
+//! software simulation cannot process that volume in reasonable CI time, so
+//! every experiment is parameterised by an [`ExperimentScale`] that shifts
+//! all sizes down by a constant factor while preserving the relationships
+//! the experiments study (lookup count > key count, sweep ranges relative to
+//! the base sizes, and so on).
+
+/// Scaling parameters shared by all experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExperimentScale {
+    /// log2 of the default number of indexed keys (the paper: 26).
+    pub keys_exp: u32,
+    /// log2 of the default number of lookups per batch (the paper: 27).
+    pub lookups_exp: u32,
+    /// Seed for all workload generation.
+    pub seed: u64,
+}
+
+impl ExperimentScale {
+    /// The paper's original sizes (2^26 keys, 2^27 lookups). Only sensible on
+    /// a large machine with a lot of patience.
+    pub fn paper() -> Self {
+        ExperimentScale { keys_exp: 26, lookups_exp: 27, seed: 0x5EED }
+    }
+
+    /// Default simulation scale: 2^18 keys, 2^19 lookups. Runs every
+    /// experiment in seconds while leaving the scaling trends intact.
+    pub fn small() -> Self {
+        ExperimentScale { keys_exp: 18, lookups_exp: 19, seed: 0x5EED }
+    }
+
+    /// Medium scale for the benchmark harness: 2^20 keys, 2^21 lookups.
+    pub fn medium() -> Self {
+        ExperimentScale { keys_exp: 20, lookups_exp: 21, seed: 0x5EED }
+    }
+
+    /// Tiny scale used by unit tests: 2^12 keys, 2^13 lookups.
+    pub fn tiny() -> Self {
+        ExperimentScale { keys_exp: 12, lookups_exp: 13, seed: 0x5EED }
+    }
+
+    /// Parses a scale name (`paper`, `small`, `medium`, `tiny`).
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "paper" => Some(Self::paper()),
+            "small" => Some(Self::small()),
+            "medium" => Some(Self::medium()),
+            "tiny" => Some(Self::tiny()),
+            _ => None,
+        }
+    }
+
+    /// Default number of indexed keys.
+    pub fn default_keys(&self) -> usize {
+        1usize << self.keys_exp
+    }
+
+    /// Default number of lookups per batch.
+    pub fn default_lookups(&self) -> usize {
+        1usize << self.lookups_exp
+    }
+
+    /// A sweep of key-count exponents ending at the default key count,
+    /// containing `points` values (used by build-size sweeps). The lowest
+    /// exponent never drops below 8.
+    pub fn key_exponent_sweep(&self, points: u32) -> Vec<u32> {
+        let lo = self.keys_exp.saturating_sub(points - 1).max(8);
+        (lo..=self.keys_exp).collect()
+    }
+
+    /// A sweep of lookup-count exponents ending at the default lookup count.
+    pub fn lookup_exponent_sweep(&self, points: u32) -> Vec<u32> {
+        let lo = self.lookups_exp.saturating_sub(points - 1).max(6);
+        (lo..=self.lookups_exp).collect()
+    }
+}
+
+impl Default for ExperimentScale {
+    fn default() -> Self {
+        Self::small()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_scales() {
+        assert_eq!(ExperimentScale::from_name("paper").unwrap().keys_exp, 26);
+        assert_eq!(ExperimentScale::from_name("small").unwrap(), ExperimentScale::small());
+        assert_eq!(ExperimentScale::from_name("tiny").unwrap().default_keys(), 4096);
+        assert!(ExperimentScale::from_name("huge").is_none());
+        assert_eq!(ExperimentScale::default(), ExperimentScale::small());
+    }
+
+    #[test]
+    fn sizes_follow_exponents() {
+        let s = ExperimentScale::small();
+        assert_eq!(s.default_keys(), 1 << 18);
+        assert_eq!(s.default_lookups(), 1 << 19);
+    }
+
+    #[test]
+    fn sweeps_end_at_defaults_and_respect_floors() {
+        let s = ExperimentScale::tiny();
+        let sweep = s.key_exponent_sweep(6);
+        assert_eq!(*sweep.last().unwrap(), s.keys_exp);
+        assert!(sweep.len() <= 6);
+        assert!(*sweep.first().unwrap() >= 8);
+        let lsweep = s.lookup_exponent_sweep(4);
+        assert_eq!(*lsweep.last().unwrap(), s.lookups_exp);
+    }
+}

@@ -1,0 +1,195 @@
+//! Bit-level `f32` helpers used by the key-representation modes.
+//!
+//! The paper's *Extended Mode* (Section 3.2) maps the integer key `k` to the
+//! `2k`-th representable positive float via `bit_cast<float>(2k + C)` with
+//! `C = bit_cast<uint32_t>(0.5f)`, and uses `nextafter()` to find the gap
+//! values between adjacent keys. This module provides those primitives plus a
+//! couple of monotonicity helpers that the tests lean on.
+
+/// `bit_cast<uint32_t>(0.5f)` — the constant `C` from the paper's Extended
+/// Mode conversion formula.
+pub const EXTENDED_MODE_OFFSET: u32 = 0.5f32.to_bits();
+
+/// Reinterprets the bits of a `u32` as an `f32` (C++ `bit_cast<float>`).
+#[inline]
+pub fn bit_cast_f32(bits: u32) -> f32 {
+    f32::from_bits(bits)
+}
+
+/// Reinterprets the bits of an `f32` as a `u32` (C++ `bit_cast<uint32_t>`).
+#[inline]
+pub fn bit_cast_u32(value: f32) -> u32 {
+    value.to_bits()
+}
+
+/// The next representable `f32` after `x` in the direction of `toward`
+/// (C `nextafterf`). Used by Extended Mode to derive the gap values next to a
+/// key without the ±0.5 trick, which would not be representable there.
+#[inline]
+pub fn next_after(x: f32, toward: f32) -> f32 {
+    if x.is_nan() || toward.is_nan() {
+        return f32::NAN;
+    }
+    if x == toward {
+        return toward;
+    }
+    if x == 0.0 {
+        // Smallest subnormal with the sign of the direction.
+        return if toward > 0.0 { f32::from_bits(1) } else { -f32::from_bits(1) };
+    }
+    let bits = x.to_bits();
+    let next_bits = if (toward > x) == (x > 0.0) {
+        // Move away from zero.
+        bits + 1
+    } else {
+        // Move toward zero.
+        bits - 1
+    };
+    f32::from_bits(next_bits)
+}
+
+/// The next representable `f32` strictly greater than `x`.
+#[inline]
+pub fn next_up(x: f32) -> f32 {
+    next_after(x, f32::INFINITY)
+}
+
+/// The next representable `f32` strictly smaller than `x`.
+#[inline]
+pub fn next_down(x: f32) -> f32 {
+    next_after(x, f32::NEG_INFINITY)
+}
+
+/// Maps a finite, non-negative `f32` to an ordinal such that
+/// `ordinal(a) < ordinal(b) ⇔ a < b`. For non-negative floats the IEEE-754
+/// bit pattern itself is already monotone, which is exactly the property
+/// Extended Mode exploits.
+#[inline]
+pub fn non_negative_float_to_ordinal(value: f32) -> u32 {
+    debug_assert!(value >= 0.0 && !value.is_nan());
+    value.to_bits()
+}
+
+/// Inverse of [`non_negative_float_to_ordinal`].
+#[inline]
+pub fn ordinal_to_non_negative_float(ordinal: u32) -> f32 {
+    f32::from_bits(ordinal)
+}
+
+/// Returns the largest integer `n` such that all integers in `0..=n` are
+/// exactly representable as `f32` *and* `n + 0.5` is also exactly
+/// representable. This is the "conservative" Naive-Mode key-range limit the
+/// paper derives: 2^23 − 1.
+#[inline]
+pub const fn naive_mode_max_key() -> u64 {
+    (1u64 << 23) - 1
+}
+
+/// Returns the largest key Extended Mode supports with the offset constant
+/// `C = bit_cast<u32>(0.5f)`, as determined empirically in the paper: 2^29 − 1.
+#[inline]
+pub const fn extended_mode_max_key() -> u64 {
+    (1u64 << 29) - 1
+}
+
+/// Returns `true` when the integer `k` survives a round trip through `f32`
+/// unchanged (i.e. `k as f32 as u64 == k`).
+#[inline]
+pub fn is_exactly_representable(k: u64) -> bool {
+    let f = k as f32;
+    f.is_finite() && f >= 0.0 && f as u64 == k && (f as u64) as f32 == f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn extended_mode_offset_matches_half() {
+        assert_eq!(EXTENDED_MODE_OFFSET, 0x3F00_0000);
+        assert_eq!(bit_cast_f32(EXTENDED_MODE_OFFSET), 0.5);
+        assert_eq!(bit_cast_u32(0.5), EXTENDED_MODE_OFFSET);
+    }
+
+    #[test]
+    fn next_after_moves_one_ulp() {
+        let x = 1.0f32;
+        let up = next_after(x, 2.0);
+        assert!(up > x);
+        assert_eq!(up.to_bits(), x.to_bits() + 1);
+        let down = next_after(x, 0.0);
+        assert!(down < x);
+        assert_eq!(down.to_bits(), x.to_bits() - 1);
+    }
+
+    #[test]
+    fn next_after_at_zero_and_equal() {
+        assert_eq!(next_after(1.0, 1.0), 1.0);
+        assert!(next_after(0.0, 1.0) > 0.0);
+        assert!(next_after(0.0, -1.0) < 0.0);
+        assert!(next_after(f32::NAN, 1.0).is_nan());
+    }
+
+    #[test]
+    fn next_up_down_are_inverses_for_normals() {
+        for &v in &[0.5f32, 1.0, 123.456, 1e10, 3.4e38] {
+            assert_eq!(next_down(next_up(v)), v);
+            assert_eq!(next_up(next_down(v)), v);
+        }
+    }
+
+    #[test]
+    fn naive_mode_limit_is_tight() {
+        let max = naive_mode_max_key();
+        assert_eq!(max, (1 << 23) - 1);
+        // max + 0.5 must be representable…
+        let upper = max as f32 + 0.5;
+        assert_eq!(upper as f64, max as f64 + 0.5);
+        // …but (2^24 - 1) + 0.5 is not (it rounds to an integer).
+        let bad = ((1u64 << 24) - 1) as f32 + 0.5;
+        assert_eq!(bad.fract(), 0.0);
+    }
+
+    #[test]
+    fn representability_check() {
+        assert!(is_exactly_representable(0));
+        assert!(is_exactly_representable(1 << 23));
+        assert!(is_exactly_representable(1 << 24));
+        assert!(!is_exactly_representable((1 << 24) + 1));
+    }
+
+    #[test]
+    fn non_negative_ordinal_is_monotone_on_examples() {
+        let values = [0.0f32, 1e-20, 0.5, 1.0, 1.5, 2.0, 1e10, 3.0e38];
+        for w in values.windows(2) {
+            assert!(non_negative_float_to_ordinal(w[0]) < non_negative_float_to_ordinal(w[1]));
+        }
+        for &v in &values {
+            assert_eq!(ordinal_to_non_negative_float(non_negative_float_to_ordinal(v)), v);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_next_up_is_strictly_greater(v in prop::num::f32::NORMAL.prop_filter("finite", |x| x.is_finite() && x.abs() < 1e37)) {
+            let up = next_up(v);
+            prop_assert!(up > v);
+        }
+
+        #[test]
+        fn prop_ordinal_monotone(a in 0.0f32..1e30, b in 0.0f32..1e30) {
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(non_negative_float_to_ordinal(lo) <= non_negative_float_to_ordinal(hi));
+            if lo < hi {
+                prop_assert!(non_negative_float_to_ordinal(lo) < non_negative_float_to_ordinal(hi));
+            }
+        }
+
+        #[test]
+        fn prop_small_integers_round_trip(k in 0u64..(1u64 << 23)) {
+            prop_assert!(is_exactly_representable(k));
+            prop_assert!(is_exactly_representable(k) && (k as f32 + 0.5).fract() == 0.5);
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! # rtx-math
+//!
+//! Foundational float32 3-D geometry used by the RTIndeX reproduction.
+//!
+//! NVIDIA OptiX only supports single-precision floating-point coordinates, so
+//! every type in this crate is deliberately `f32`-based: the precision
+//! limitations that shape the paper's *Naive*, *Extended* and *3D* key modes
+//! (Section 3.2 of the paper) all originate here.
+//!
+//! The crate provides:
+//!
+//! * [`Vec3f`] — a minimal 3-component float32 vector,
+//! * [`Aabb`] — axis-aligned bounding boxes with slab-test ray intersection,
+//! * [`Ray`] — origin/direction rays with `tmin`/`tmax` clipping,
+//! * [`Triangle`] / [`Sphere`] — the scene primitives supported by OptiX,
+//! * [`float_bits`] — order-preserving bit tricks on `f32` (`bit_cast`,
+//!   `nextafter`, monotone integer↔float maps),
+//! * [`key_encode`] — order-preserving mappings from native column types
+//!   (signed integers, floats, strings, …) onto `u64` index keys, as described
+//!   in the paper's "Handling other data types" paragraph,
+//! * [`morton`] — Morton (Z-order) codes used by the LBVH builder.
+
+pub mod aabb;
+pub mod float_bits;
+pub mod key_encode;
+pub mod morton;
+pub mod ray;
+pub mod sphere;
+pub mod triangle;
+pub mod vec3;
+
+pub use aabb::Aabb;
+pub use ray::Ray;
+pub use sphere::Sphere;
+pub use triangle::Triangle;
+pub use vec3::Vec3f;
+
+/// A compact intersection record produced by the primitive intersection
+/// routines.
+///
+/// `t` is the ray parameter of the hit (`point = origin + t * direction`);
+/// the hit is only reported when `ray.tmin < t < ray.tmax`, mirroring the
+/// OptiX convention that interval end points are *exclusive* (which is why
+/// the index must leave gaps between primitives and ray end points).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Hit {
+    /// Ray parameter at the intersection point.
+    pub t: f32,
+}
+
+impl Hit {
+    /// Creates a hit at ray parameter `t`.
+    #[inline]
+    pub fn new(t: f32) -> Self {
+        Hit { t }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_stores_parameter() {
+        let h = Hit::new(1.5);
+        assert_eq!(h.t, 1.5);
+    }
+}

@@ -1,0 +1,114 @@
+//! Rays with `tmin`/`tmax` clipping, mirroring the parameters accepted by
+//! `optixTrace()`.
+
+use crate::vec3::Vec3f;
+
+/// A ray `p(t) = origin + t * direction`, restricted to the open interval
+/// `tmin < t < tmax`.
+///
+/// The open interval matches OptiX behaviour: intersections exactly at the
+/// interval end points are *not* reported, which is why RTIndeX always leaves
+/// a gap between ray end points and the primitives they should (or should
+/// not) hit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ray {
+    /// Ray origin.
+    pub origin: Vec3f,
+    /// Ray direction. Does not need to be normalised; `t` is expressed in
+    /// units of the direction's length, exactly as in OptiX.
+    pub direction: Vec3f,
+    /// Lower bound of the valid `t` interval (exclusive).
+    pub tmin: f32,
+    /// Upper bound of the valid `t` interval (exclusive).
+    pub tmax: f32,
+}
+
+impl Ray {
+    /// Creates a ray over the interval `(tmin, tmax)`.
+    #[inline]
+    pub fn new(origin: Vec3f, direction: Vec3f, tmin: f32, tmax: f32) -> Self {
+        Ray { origin, direction, tmin, tmax }
+    }
+
+    /// Creates a ray with the default interval `(0, +inf)`.
+    #[inline]
+    pub fn unbounded(origin: Vec3f, direction: Vec3f) -> Self {
+        Ray::new(origin, direction, 0.0, f32::INFINITY)
+    }
+
+    /// Point at parameter `t`.
+    #[inline]
+    pub fn at(&self, t: f32) -> Vec3f {
+        self.origin + self.direction * t
+    }
+
+    /// Returns whether `t` falls inside the ray's open interval.
+    #[inline]
+    pub fn contains(&self, t: f32) -> bool {
+        t > self.tmin && t < self.tmax
+    }
+
+    /// Reciprocal direction, used by the slab test. Components whose
+    /// direction is zero map to `±inf`, which the slab test handles
+    /// correctly thanks to IEEE-754 semantics.
+    #[inline]
+    pub fn inv_direction(&self) -> Vec3f {
+        Vec3f::new(1.0 / self.direction.x, 1.0 / self.direction.y, 1.0 / self.direction.z)
+    }
+
+    /// Returns a copy of the ray with a narrowed `tmax`. Used by closest-hit
+    /// traversal to shrink the search interval after each accepted hit.
+    #[inline]
+    pub fn with_tmax(&self, tmax: f32) -> Ray {
+        Ray { tmax, ..*self }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_evaluation() {
+        let r = Ray::unbounded(Vec3f::new(1.0, 0.0, 0.0), Vec3f::new(0.0, 2.0, 0.0));
+        assert_eq!(r.at(0.0), Vec3f::new(1.0, 0.0, 0.0));
+        assert_eq!(r.at(1.5), Vec3f::new(1.0, 3.0, 0.0));
+    }
+
+    #[test]
+    fn interval_is_open() {
+        let r = Ray::new(Vec3f::ZERO, Vec3f::new(1.0, 0.0, 0.0), 1.0, 2.0);
+        assert!(!r.contains(1.0));
+        assert!(!r.contains(2.0));
+        assert!(r.contains(1.5));
+        assert!(!r.contains(0.5));
+        assert!(!r.contains(2.5));
+    }
+
+    #[test]
+    fn unbounded_covers_positive_axis() {
+        let r = Ray::unbounded(Vec3f::ZERO, Vec3f::new(1.0, 0.0, 0.0));
+        assert!(r.contains(1e-30));
+        assert!(r.contains(1e30));
+        assert!(!r.contains(0.0));
+        assert!(!r.contains(-1.0));
+    }
+
+    #[test]
+    fn inv_direction_handles_zero_components() {
+        let r = Ray::unbounded(Vec3f::ZERO, Vec3f::new(1.0, 0.0, 0.0));
+        let inv = r.inv_direction();
+        assert_eq!(inv.x, 1.0);
+        assert!(inv.y.is_infinite());
+        assert!(inv.z.is_infinite());
+    }
+
+    #[test]
+    fn with_tmax_narrows_interval() {
+        let r = Ray::unbounded(Vec3f::ZERO, Vec3f::new(1.0, 0.0, 0.0));
+        let narrowed = r.with_tmax(5.0);
+        assert_eq!(narrowed.tmax, 5.0);
+        assert_eq!(narrowed.origin, r.origin);
+        assert_eq!(narrowed.tmin, r.tmin);
+    }
+}

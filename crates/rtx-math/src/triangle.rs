@@ -1,0 +1,241 @@
+//! Triangle primitives and ray/triangle intersection.
+//!
+//! Triangles are the primitive type RTIndeX ultimately selects (Section 3.5):
+//! the ray-triangle intersection test is the only one implemented in the RT
+//! cores themselves, which is the source of the primitive-type performance
+//! gap reproduced by the `fig7` experiment.
+
+use crate::aabb::Aabb;
+use crate::ray::Ray;
+use crate::vec3::Vec3f;
+use crate::Hit;
+
+/// A triangle described by its three vertices.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Triangle {
+    /// First vertex.
+    pub v0: Vec3f,
+    /// Second vertex.
+    pub v1: Vec3f,
+    /// Third vertex.
+    pub v2: Vec3f,
+}
+
+impl Triangle {
+    /// Creates a triangle from its vertices.
+    #[inline]
+    pub const fn new(v0: Vec3f, v1: Vec3f, v2: Vec3f) -> Self {
+        Triangle { v0, v1, v2 }
+    }
+
+    /// The triangle arrangement used by RTIndeX for a key located at
+    /// `center`.
+    ///
+    /// The paper (Section 2.1) offsets the three corners by ±0.5 in different
+    /// directions. We use the same idea but choose offsets such that the key
+    /// point `center` lies *strictly inside* the triangle and the triangle's
+    /// plane is transversal to both the x axis (range-lookup rays) and the
+    /// z axis (perpendicular point-lookup rays). With the paper's literal
+    /// corner choice, the perpendicular ray of Table 2 grazes the triangle
+    /// boundary exactly at `t = tmax`, which our (and OptiX') exclusive
+    /// interval semantics would drop — the offsets below avoid that corner
+    /// case while preserving every property the index relies on:
+    ///
+    /// * a ray along +x at the key's y/z coordinates intersects the triangle
+    ///   exactly at `x = center.x`,
+    /// * a ray along +z at the key's x/y coordinates intersects the triangle
+    ///   exactly at `z = center.z`,
+    /// * the triangle is confined to `center ± half` on every axis, so rays
+    ///   belonging to neighbouring keys can never intersect it.
+    #[inline]
+    pub fn key_triangle(center: Vec3f, half: f32) -> Self {
+        Triangle::key_triangle_anisotropic(center, Vec3f::splat(half))
+    }
+
+    /// [`Triangle::key_triangle`] with separate half-extents per axis.
+    ///
+    /// The Extended key mode needs this: along x, adjacent keys are only a
+    /// couple of ULPs apart, so the x half-extent must be derived with
+    /// `nextafter` while y/z keep absolute offsets.
+    #[inline]
+    pub fn key_triangle_anisotropic(center: Vec3f, half: Vec3f) -> Self {
+        Triangle::new(
+            Vec3f::new(center.x - half.x, center.y - half.y, center.z - half.z * 0.5),
+            Vec3f::new(center.x + half.x, center.y - half.y, center.z + half.z * 0.5),
+            Vec3f::new(center.x, center.y + half.y, center.z),
+        )
+    }
+
+    /// Tight bounding box of the triangle.
+    #[inline]
+    pub fn bounds(&self) -> Aabb {
+        Aabb::from_point(self.v0).union_point(self.v1).union_point(self.v2)
+    }
+
+    /// Centroid of the triangle.
+    #[inline]
+    pub fn centroid(&self) -> Vec3f {
+        (self.v0 + self.v1 + self.v2) / 3.0
+    }
+
+    /// (Unnormalised) geometric normal.
+    #[inline]
+    pub fn normal(&self) -> Vec3f {
+        (self.v1 - self.v0).cross(self.v2 - self.v0)
+    }
+
+    /// Twice the triangle's area; zero for degenerate triangles.
+    #[inline]
+    pub fn double_area(&self) -> f32 {
+        self.normal().length()
+    }
+
+    /// Möller–Trumbore ray/triangle intersection.
+    ///
+    /// Returns the hit parameter `t` when the ray crosses the triangle within
+    /// the open interval `(ray.tmin, ray.tmax)`. Back-face hits are reported
+    /// (OptiX culling is disabled in RTIndeX because rays may approach the
+    /// triangles from either side).
+    #[inline]
+    pub fn intersect(&self, ray: &Ray) -> Option<Hit> {
+        const EPS: f32 = 1e-9;
+        let e1 = self.v1 - self.v0;
+        let e2 = self.v2 - self.v0;
+        let pvec = ray.direction.cross(e2);
+        let det = e1.dot(pvec);
+        if det.abs() < EPS {
+            // Ray is (nearly) parallel to the triangle plane.
+            return None;
+        }
+        let inv_det = 1.0 / det;
+        let tvec = ray.origin - self.v0;
+        let u = tvec.dot(pvec) * inv_det;
+        if !(-EPS..=1.0 + EPS).contains(&u) {
+            return None;
+        }
+        let qvec = tvec.cross(e1);
+        let v = ray.direction.dot(qvec) * inv_det;
+        if v < -EPS || u + v > 1.0 + EPS {
+            return None;
+        }
+        let t = e2.dot(qvec) * inv_det;
+        if ray.contains(t) {
+            Some(Hit::new(t))
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xy_triangle() -> Triangle {
+        // Unit right triangle in the z = 0 plane.
+        Triangle::new(
+            Vec3f::new(0.0, 0.0, 0.0),
+            Vec3f::new(1.0, 0.0, 0.0),
+            Vec3f::new(0.0, 1.0, 0.0),
+        )
+    }
+
+    #[test]
+    fn bounds_and_centroid() {
+        let t = xy_triangle();
+        let b = t.bounds();
+        assert_eq!(b.min, Vec3f::ZERO);
+        assert_eq!(b.max, Vec3f::new(1.0, 1.0, 0.0));
+        let c = t.centroid();
+        assert!((c.x - 1.0 / 3.0).abs() < 1e-6);
+        assert!((c.y - 1.0 / 3.0).abs() < 1e-6);
+        assert_eq!(c.z, 0.0);
+    }
+
+    #[test]
+    fn perpendicular_ray_hits() {
+        let t = xy_triangle();
+        let r = Ray::unbounded(Vec3f::new(0.25, 0.25, -1.0), Vec3f::new(0.0, 0.0, 1.0));
+        let hit = t.intersect(&r).expect("hit");
+        assert!((hit.t - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn perpendicular_ray_from_behind_hits() {
+        let t = xy_triangle();
+        let r = Ray::unbounded(Vec3f::new(0.25, 0.25, 1.0), Vec3f::new(0.0, 0.0, -1.0));
+        assert!(t.intersect(&r).is_some(), "back-face culling must be off");
+    }
+
+    #[test]
+    fn ray_misses_outside_triangle() {
+        let t = xy_triangle();
+        let r = Ray::unbounded(Vec3f::new(0.9, 0.9, -1.0), Vec3f::new(0.0, 0.0, 1.0));
+        assert!(t.intersect(&r).is_none());
+    }
+
+    #[test]
+    fn parallel_ray_misses() {
+        let t = xy_triangle();
+        let r = Ray::unbounded(Vec3f::new(-1.0, 0.25, 0.0), Vec3f::new(1.0, 0.0, 0.0));
+        // The ray lies exactly in the triangle plane: OptiX does not report
+        // such hits and neither do we.
+        assert!(t.intersect(&r).is_none());
+    }
+
+    #[test]
+    fn interval_clipping_excludes_hit() {
+        let t = xy_triangle();
+        let r = Ray::new(
+            Vec3f::new(0.25, 0.25, -1.0),
+            Vec3f::new(0.0, 0.0, 1.0),
+            0.0,
+            1.0, // hit would be exactly at t = 1.0, which is excluded
+        );
+        assert!(t.intersect(&r).is_none());
+        let r2 = Ray::new(Vec3f::new(0.25, 0.25, -1.0), Vec3f::new(0.0, 0.0, 1.0), 0.0, 1.01);
+        assert!(t.intersect(&r2).is_some());
+    }
+
+    #[test]
+    fn key_triangle_contains_its_key_point() {
+        let center = Vec3f::new(42.0, 0.0, 0.0);
+        let t = Triangle::key_triangle(center, 0.4);
+        // A range-style ray ([42, 42]) fired along +x must hit it strictly
+        // inside its interval.
+        let range_ray = Ray::new(Vec3f::new(41.5, 0.0, 0.0), Vec3f::new(1.0, 0.0, 0.0), 0.0, 1.0);
+        let hit = t.intersect(&range_ray).expect("range ray hit");
+        assert!((hit.t - 0.5).abs() < 1e-5, "hit exactly at the key coordinate");
+        // A perpendicular point-lookup ray must hit it strictly inside (0, 1).
+        let perp_ray = Ray::new(Vec3f::new(42.0, 0.0, -0.5), Vec3f::new(0.0, 0.0, 1.0), 0.0, 1.0);
+        let hit = t.intersect(&perp_ray).expect("perpendicular ray hit");
+        assert!((hit.t - 0.5).abs() < 1e-5);
+        // Rays belonging to neighbouring keys must miss it.
+        let miss_perp = Ray::new(Vec3f::new(43.0, 0.0, -0.5), Vec3f::new(0.0, 0.0, 1.0), 0.0, 1.0);
+        assert!(t.intersect(&miss_perp).is_none());
+        let miss_range =
+            Ray::new(Vec3f::new(42.5, 0.0, 0.0), Vec3f::new(1.0, 0.0, 0.0), 0.0, 3.0);
+        assert!(t.intersect(&miss_range).is_none(), "range [43, 44] must not hit key 42");
+    }
+
+    #[test]
+    fn key_triangle_anisotropic_extents_confine_triangle() {
+        let center = Vec3f::new(10.0, 5.0, -3.0);
+        let half = Vec3f::new(0.1, 0.4, 0.2);
+        let t = Triangle::key_triangle_anisotropic(center, half);
+        let b = t.bounds();
+        assert!(b.min.x >= center.x - half.x - 1e-6);
+        assert!(b.max.x <= center.x + half.x + 1e-6);
+        assert!(b.min.y >= center.y - half.y - 1e-6);
+        assert!(b.max.y <= center.y + half.y + 1e-6);
+        assert!(b.min.z >= center.z - half.z - 1e-6);
+        assert!(b.max.z <= center.z + half.z + 1e-6);
+    }
+
+    #[test]
+    fn double_area_of_degenerate_triangle_is_zero() {
+        let t = Triangle::new(Vec3f::ZERO, Vec3f::ZERO, Vec3f::new(1.0, 0.0, 0.0));
+        assert_eq!(t.double_area(), 0.0);
+        assert_eq!(xy_triangle().double_area(), 1.0);
+    }
+}

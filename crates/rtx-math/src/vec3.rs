@@ -1,0 +1,325 @@
+//! A minimal 3-component `f32` vector.
+//!
+//! Only the operations needed by the BVH builders and the primitive
+//! intersection routines are implemented; this keeps the type easy to audit
+//! and avoids pulling in a linear-algebra dependency.
+
+use std::ops::{Add, AddAssign, Div, Index, Mul, Neg, Sub};
+
+/// A 3-component single-precision vector, the only coordinate type OptiX
+/// accepts for scene geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Vec3f {
+    /// x component.
+    pub x: f32,
+    /// y component.
+    pub y: f32,
+    /// z component.
+    pub z: f32,
+}
+
+impl Vec3f {
+    /// The zero vector.
+    pub const ZERO: Vec3f = Vec3f { x: 0.0, y: 0.0, z: 0.0 };
+
+    /// Creates a new vector from its components.
+    #[inline]
+    pub const fn new(x: f32, y: f32, z: f32) -> Self {
+        Vec3f { x, y, z }
+    }
+
+    /// Creates a vector whose three components all equal `v`.
+    #[inline]
+    pub const fn splat(v: f32) -> Self {
+        Vec3f { x: v, y: v, z: v }
+    }
+
+    /// Component-wise minimum.
+    #[inline]
+    pub fn min(self, other: Vec3f) -> Vec3f {
+        Vec3f::new(self.x.min(other.x), self.y.min(other.y), self.z.min(other.z))
+    }
+
+    /// Component-wise maximum.
+    #[inline]
+    pub fn max(self, other: Vec3f) -> Vec3f {
+        Vec3f::new(self.x.max(other.x), self.y.max(other.y), self.z.max(other.z))
+    }
+
+    /// Dot product.
+    #[inline]
+    pub fn dot(self, other: Vec3f) -> f32 {
+        self.x * other.x + self.y * other.y + self.z * other.z
+    }
+
+    /// Cross product.
+    #[inline]
+    pub fn cross(self, other: Vec3f) -> Vec3f {
+        Vec3f::new(
+            self.y * other.z - self.z * other.y,
+            self.z * other.x - self.x * other.z,
+            self.x * other.y - self.y * other.x,
+        )
+    }
+
+    /// Squared Euclidean length.
+    #[inline]
+    pub fn length_squared(self) -> f32 {
+        self.dot(self)
+    }
+
+    /// Euclidean length.
+    #[inline]
+    pub fn length(self) -> f32 {
+        self.length_squared().sqrt()
+    }
+
+    /// Returns the vector scaled to unit length.
+    ///
+    /// Returns the zero vector unchanged (the raytracing code never
+    /// normalises degenerate directions, but the guard keeps the helper
+    /// total).
+    #[inline]
+    pub fn normalized(self) -> Vec3f {
+        let len = self.length();
+        if len > 0.0 {
+            self / len
+        } else {
+            self
+        }
+    }
+
+    /// Index of the component with the largest absolute value (0 = x, 1 = y,
+    /// 2 = z). Used by the watertight triangle intersection to pick the
+    /// projection axis.
+    #[inline]
+    pub fn max_dimension(self) -> usize {
+        let ax = self.x.abs();
+        let ay = self.y.abs();
+        let az = self.z.abs();
+        if ax >= ay && ax >= az {
+            0
+        } else if ay >= az {
+            1
+        } else {
+            2
+        }
+    }
+
+    /// Largest component value.
+    #[inline]
+    pub fn max_component(self) -> f32 {
+        self.x.max(self.y).max(self.z)
+    }
+
+    /// Smallest component value.
+    #[inline]
+    pub fn min_component(self) -> f32 {
+        self.x.min(self.y).min(self.z)
+    }
+
+    /// Component-wise absolute value.
+    #[inline]
+    pub fn abs(self) -> Vec3f {
+        Vec3f::new(self.x.abs(), self.y.abs(), self.z.abs())
+    }
+
+    /// Returns true when all three components are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite() && self.z.is_finite()
+    }
+
+    /// Component-wise multiplication (Hadamard product).
+    #[inline]
+    pub fn mul_elem(self, other: Vec3f) -> Vec3f {
+        Vec3f::new(self.x * other.x, self.y * other.y, self.z * other.z)
+    }
+
+    /// Returns the component at `axis` (0 = x, 1 = y, 2 = z).
+    ///
+    /// # Panics
+    /// Panics if `axis > 2`.
+    #[inline]
+    pub fn axis(self, axis: usize) -> f32 {
+        match axis {
+            0 => self.x,
+            1 => self.y,
+            2 => self.z,
+            _ => panic!("Vec3f axis out of range: {axis}"),
+        }
+    }
+}
+
+impl Add for Vec3f {
+    type Output = Vec3f;
+    #[inline]
+    fn add(self, rhs: Vec3f) -> Vec3f {
+        Vec3f::new(self.x + rhs.x, self.y + rhs.y, self.z + rhs.z)
+    }
+}
+
+impl AddAssign for Vec3f {
+    #[inline]
+    fn add_assign(&mut self, rhs: Vec3f) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Vec3f {
+    type Output = Vec3f;
+    #[inline]
+    fn sub(self, rhs: Vec3f) -> Vec3f {
+        Vec3f::new(self.x - rhs.x, self.y - rhs.y, self.z - rhs.z)
+    }
+}
+
+impl Mul<f32> for Vec3f {
+    type Output = Vec3f;
+    #[inline]
+    fn mul(self, rhs: f32) -> Vec3f {
+        Vec3f::new(self.x * rhs, self.y * rhs, self.z * rhs)
+    }
+}
+
+impl Mul<Vec3f> for f32 {
+    type Output = Vec3f;
+    #[inline]
+    fn mul(self, rhs: Vec3f) -> Vec3f {
+        rhs * self
+    }
+}
+
+impl Div<f32> for Vec3f {
+    type Output = Vec3f;
+    #[inline]
+    fn div(self, rhs: f32) -> Vec3f {
+        Vec3f::new(self.x / rhs, self.y / rhs, self.z / rhs)
+    }
+}
+
+impl Neg for Vec3f {
+    type Output = Vec3f;
+    #[inline]
+    fn neg(self) -> Vec3f {
+        Vec3f::new(-self.x, -self.y, -self.z)
+    }
+}
+
+impl Index<usize> for Vec3f {
+    type Output = f32;
+    #[inline]
+    fn index(&self, index: usize) -> &f32 {
+        match index {
+            0 => &self.x,
+            1 => &self.y,
+            2 => &self.z,
+            _ => panic!("Vec3f index out of range: {index}"),
+        }
+    }
+}
+
+impl From<[f32; 3]> for Vec3f {
+    #[inline]
+    fn from(v: [f32; 3]) -> Self {
+        Vec3f::new(v[0], v[1], v[2])
+    }
+}
+
+impl From<Vec3f> for [f32; 3] {
+    #[inline]
+    fn from(v: Vec3f) -> Self {
+        [v.x, v.y, v.z]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_basics() {
+        let a = Vec3f::new(1.0, 2.0, 3.0);
+        let b = Vec3f::new(4.0, 5.0, 6.0);
+        assert_eq!(a + b, Vec3f::new(5.0, 7.0, 9.0));
+        assert_eq!(b - a, Vec3f::new(3.0, 3.0, 3.0));
+        assert_eq!(a * 2.0, Vec3f::new(2.0, 4.0, 6.0));
+        assert_eq!(2.0 * a, Vec3f::new(2.0, 4.0, 6.0));
+        assert_eq!(a / 2.0, Vec3f::new(0.5, 1.0, 1.5));
+        assert_eq!(-a, Vec3f::new(-1.0, -2.0, -3.0));
+    }
+
+    #[test]
+    fn dot_and_cross() {
+        let x = Vec3f::new(1.0, 0.0, 0.0);
+        let y = Vec3f::new(0.0, 1.0, 0.0);
+        let z = Vec3f::new(0.0, 0.0, 1.0);
+        assert_eq!(x.dot(y), 0.0);
+        assert_eq!(x.cross(y), z);
+        assert_eq!(y.cross(z), x);
+        assert_eq!(z.cross(x), y);
+    }
+
+    #[test]
+    fn length_and_normalize() {
+        let v = Vec3f::new(3.0, 4.0, 0.0);
+        assert_eq!(v.length_squared(), 25.0);
+        assert_eq!(v.length(), 5.0);
+        let n = v.normalized();
+        assert!((n.length() - 1.0).abs() < 1e-6);
+        assert_eq!(Vec3f::ZERO.normalized(), Vec3f::ZERO);
+    }
+
+    #[test]
+    fn min_max_and_components() {
+        let a = Vec3f::new(1.0, 5.0, -2.0);
+        let b = Vec3f::new(2.0, 4.0, -3.0);
+        assert_eq!(a.min(b), Vec3f::new(1.0, 4.0, -3.0));
+        assert_eq!(a.max(b), Vec3f::new(2.0, 5.0, -2.0));
+        assert_eq!(a.max_component(), 5.0);
+        assert_eq!(a.min_component(), -2.0);
+        assert_eq!(a.max_dimension(), 1);
+        assert_eq!(Vec3f::new(-7.0, 1.0, 2.0).max_dimension(), 0);
+        assert_eq!(Vec3f::new(0.0, 1.0, 2.0).max_dimension(), 2);
+    }
+
+    #[test]
+    fn indexing_and_axis() {
+        let v = Vec3f::new(1.0, 2.0, 3.0);
+        assert_eq!(v[0], 1.0);
+        assert_eq!(v[1], 2.0);
+        assert_eq!(v[2], 3.0);
+        assert_eq!(v.axis(2), 3.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn indexing_out_of_range_panics() {
+        let v = Vec3f::ZERO;
+        let _ = v[3];
+    }
+
+    #[test]
+    fn conversions() {
+        let arr = [1.0f32, 2.0, 3.0];
+        let v: Vec3f = arr.into();
+        let back: [f32; 3] = v.into();
+        assert_eq!(arr, back);
+    }
+
+    #[test]
+    fn splat_and_abs_and_finite() {
+        assert_eq!(Vec3f::splat(2.5), Vec3f::new(2.5, 2.5, 2.5));
+        assert_eq!(Vec3f::new(-1.0, 2.0, -3.0).abs(), Vec3f::new(1.0, 2.0, 3.0));
+        assert!(Vec3f::new(1.0, 2.0, 3.0).is_finite());
+        assert!(!Vec3f::new(f32::NAN, 0.0, 0.0).is_finite());
+        assert!(!Vec3f::new(0.0, f32::INFINITY, 0.0).is_finite());
+    }
+
+    #[test]
+    fn mul_elem_multiplies_componentwise() {
+        let a = Vec3f::new(1.0, 2.0, 3.0);
+        let b = Vec3f::new(4.0, 5.0, 6.0);
+        assert_eq!(a.mul_elem(b), Vec3f::new(4.0, 10.0, 18.0));
+    }
+}

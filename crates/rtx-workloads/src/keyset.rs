@@ -1,0 +1,132 @@
+//! Key-set generators.
+//!
+//! The paper's default build set is a dense set of consecutive integers
+//! starting at zero, shuffled arbitrarily (Section 3.1); variations introduce
+//! stride (Figure 3b), sparsity/full 32-bit domains (Section 4), duplicates
+//! (Figure 11) and sorted insert order (Figure 12).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// A dense shuffled key set: the integers `0..n`, shuffled with `seed`.
+pub fn dense_shuffled(n: usize, seed: u64) -> Vec<u64> {
+    let mut keys: Vec<u64> = (0..n as u64).collect();
+    keys.shuffle(&mut StdRng::seed_from_u64(seed));
+    keys
+}
+
+/// A dense sorted key set: the integers `0..n` in ascending order.
+pub fn dense_sorted(n: usize) -> Vec<u64> {
+    (0..n as u64).collect()
+}
+
+/// A strided key set: the integers `0, s, 2s, …` (shuffled), used by the
+/// Figure 3b experiment to grow the value range `q` without growing the key
+/// count.
+pub fn with_stride(n: usize, stride: u64, seed: u64) -> Vec<u64> {
+    let mut keys: Vec<u64> = (0..n as u64).map(|i| i * stride).collect();
+    keys.shuffle(&mut StdRng::seed_from_u64(seed));
+    keys
+}
+
+/// `n` distinct keys drawn uniformly from `0..=max_key` (shuffled order).
+///
+/// Used for the Section 4 experiments that permit the full 32-bit (or
+/// 64-bit) key domain instead of a dense prefix.
+pub fn sparse_uniform(n: usize, max_key: u64, seed: u64) -> Vec<u64> {
+    assert!(
+        (n as u64) <= max_key.saturating_add(1),
+        "cannot draw {n} distinct keys from a domain of {max_key}"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut seen = std::collections::HashSet::with_capacity(n * 2);
+    let mut keys = Vec::with_capacity(n);
+    while keys.len() < n {
+        let candidate = rng.gen_range(0..=max_key);
+        if seen.insert(candidate) {
+            keys.push(candidate);
+        }
+    }
+    keys
+}
+
+/// A key set with `distinct` distinct dense keys, each appearing
+/// `multiplicity` times (shuffled), as in the Figure 11 experiment.
+pub fn with_multiplicity(distinct: usize, multiplicity: usize, seed: u64) -> Vec<u64> {
+    let mut keys: Vec<u64> = (0..distinct as u64)
+        .flat_map(|k| std::iter::repeat(k).take(multiplicity))
+        .collect();
+    keys.shuffle(&mut StdRng::seed_from_u64(seed));
+    keys
+}
+
+/// The projected value column of the paper's methodology: one value per
+/// rowID. Values are small pseudo-random integers so that sums stay well
+/// inside `u64`.
+pub fn value_column(n: usize, seed: u64) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xC0FF_EE00_BEEF_1234);
+    (0..n).map(|_| rng.gen_range(0..1_000_000u64)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn dense_shuffled_is_a_permutation() {
+        let keys = dense_shuffled(1000, 42);
+        assert_eq!(keys.len(), 1000);
+        let set: HashSet<u64> = keys.iter().copied().collect();
+        assert_eq!(set.len(), 1000);
+        assert!(keys.iter().all(|&k| k < 1000));
+        // Shuffled: the identity order is astronomically unlikely.
+        assert_ne!(keys, dense_sorted(1000));
+        // Deterministic.
+        assert_eq!(keys, dense_shuffled(1000, 42));
+        assert_ne!(keys, dense_shuffled(1000, 43));
+    }
+
+    #[test]
+    fn stride_scales_the_value_range() {
+        let keys = with_stride(100, 4, 7);
+        assert_eq!(keys.len(), 100);
+        assert!(keys.iter().all(|&k| k % 4 == 0));
+        assert_eq!(*keys.iter().max().unwrap(), 99 * 4);
+        assert_eq!(with_stride(100, 1, 7).iter().max(), Some(&99));
+    }
+
+    #[test]
+    fn sparse_uniform_draws_distinct_keys() {
+        let keys = sparse_uniform(500, u32::MAX as u64, 1);
+        assert_eq!(keys.len(), 500);
+        let set: HashSet<u64> = keys.iter().copied().collect();
+        assert_eq!(set.len(), 500);
+        assert!(keys.iter().all(|&k| k <= u32::MAX as u64));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot draw")]
+    fn sparse_uniform_rejects_impossible_requests() {
+        let _ = sparse_uniform(100, 10, 1);
+    }
+
+    #[test]
+    fn multiplicity_repeats_each_key() {
+        let keys = with_multiplicity(64, 4, 3);
+        assert_eq!(keys.len(), 256);
+        for k in 0..64u64 {
+            assert_eq!(keys.iter().filter(|&&x| x == k).count(), 4);
+        }
+    }
+
+    #[test]
+    fn value_column_is_deterministic_and_bounded() {
+        let a = value_column(100, 9);
+        let b = value_column(100, 9);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&v| v < 1_000_000));
+        assert_ne!(a, value_column(100, 10));
+    }
+}

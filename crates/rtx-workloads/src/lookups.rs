@@ -1,0 +1,189 @@
+//! Lookup-batch generators.
+//!
+//! The paper's default lookup workload draws query keys uniformly at random
+//! from the build set ("all hits"), fires them in one large batch, and
+//! varies along several dimensions: the hit rate (Figure 14), the skew
+//! (Figure 16), the sortedness of the batch (Figure 12), the batch size
+//! (Figure 13) and the selectivity of range lookups (Figures 9, 17).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::zipf::ZipfSampler;
+
+/// Draws `count` point lookups uniformly at random from `keys` (hit rate 1.0).
+pub fn point_lookups(keys: &[u64], count: usize, seed: u64) -> Vec<u64> {
+    assert!(!keys.is_empty(), "cannot generate lookups over an empty key set");
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count).map(|_| keys[rng.gen_range(0..keys.len())]).collect()
+}
+
+/// Draws `count` point lookups with the given hit rate `h`: a fraction `h`
+/// of the queries are existing keys, the rest are keys guaranteed to be
+/// absent (drawn from outside the maximum key of the set, mirroring the
+/// paper's miss generation on dense key sets).
+pub fn point_lookups_with_hit_rate(
+    keys: &[u64],
+    count: usize,
+    hit_rate: f64,
+    seed: u64,
+) -> Vec<u64> {
+    assert!((0.0..=1.0).contains(&hit_rate), "hit rate must be within [0, 1]");
+    assert!(!keys.is_empty(), "cannot generate lookups over an empty key set");
+    let max_key = keys.iter().copied().max().expect("non-empty");
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            if rng.gen_bool(hit_rate) {
+                keys[rng.gen_range(0..keys.len())]
+            } else {
+                // Misses lie beyond the largest key; on dense key sets this
+                // is exactly how the paper produces guaranteed misses.
+                max_key + 1 + rng.gen_range(0..keys.len() as u64 + 1)
+            }
+        })
+        .collect()
+}
+
+/// Draws `count` point lookups whose target keys follow a Zipf distribution
+/// over the build set (rank 0 = keys\[0\]), used by the skew experiment.
+pub fn point_lookups_zipf(keys: &[u64], count: usize, theta: f64, seed: u64) -> Vec<u64> {
+    assert!(!keys.is_empty(), "cannot generate lookups over an empty key set");
+    let mut sampler = ZipfSampler::new(keys.len(), theta, seed);
+    (0..count).map(|_| keys[sampler.sample()]).collect()
+}
+
+/// Generates `count` range lookups over a dense key set of size
+/// `dense_domain`, each spanning exactly `qualifying` consecutive keys (the
+/// Figure 17 construction: on a dense key set a span of `s` returns exactly
+/// `s` entries).
+pub fn range_lookups(
+    dense_domain: u64,
+    count: usize,
+    qualifying: u64,
+    seed: u64,
+) -> Vec<(u64, u64)> {
+    assert!(qualifying >= 1, "a range lookup must cover at least one key");
+    assert!(dense_domain >= qualifying, "domain must be at least as large as the range span");
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            let lower = rng.gen_range(0..=(dense_domain - qualifying));
+            (lower, lower + qualifying - 1)
+        })
+        .collect()
+}
+
+/// Sorts a lookup batch ascending (the "sorted lookups" variant of
+/// Figure 12). Returns a new vector; the input order is preserved.
+pub fn sorted_lookups(lookups: &[u64]) -> Vec<u64> {
+    let mut sorted = lookups.to_vec();
+    sorted.sort_unstable();
+    sorted
+}
+
+/// Splits a lookup batch into `batch_count` consecutive batches of (nearly)
+/// equal size, as in the batch-size experiment (Figure 13).
+pub fn split_batches<T: Clone>(lookups: &[T], batch_count: usize) -> Vec<Vec<T>> {
+    assert!(batch_count > 0, "at least one batch required");
+    let per_batch = lookups.len().div_ceil(batch_count);
+    lookups.chunks(per_batch.max(1)).map(|c| c.to_vec()).collect()
+}
+
+/// Shuffles a lookup batch (used to undo accidental ordering).
+pub fn shuffled_lookups(lookups: &[u64], seed: u64) -> Vec<u64> {
+    let mut shuffled = lookups.to_vec();
+    shuffled.shuffle(&mut StdRng::seed_from_u64(seed));
+    shuffled
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keyset::dense_shuffled;
+    use std::collections::HashSet;
+
+    #[test]
+    fn point_lookups_only_return_existing_keys() {
+        let keys = dense_shuffled(1000, 1);
+        let lookups = point_lookups(&keys, 5000, 2);
+        assert_eq!(lookups.len(), 5000);
+        let key_set: HashSet<u64> = keys.iter().copied().collect();
+        assert!(lookups.iter().all(|q| key_set.contains(q)));
+        assert_eq!(lookups, point_lookups(&keys, 5000, 2), "deterministic");
+    }
+
+    #[test]
+    fn hit_rate_is_respected_approximately() {
+        let keys = dense_shuffled(1000, 1);
+        let key_set: HashSet<u64> = keys.iter().copied().collect();
+        for &h in &[0.0, 0.3, 0.7, 1.0] {
+            let lookups = point_lookups_with_hit_rate(&keys, 20_000, h, 3);
+            let hits = lookups.iter().filter(|q| key_set.contains(q)).count() as f64 / 20_000.0;
+            assert!((hits - h).abs() < 0.02, "target {h}, measured {hits}");
+        }
+    }
+
+    #[test]
+    fn zipf_lookups_concentrate_under_skew() {
+        let keys = dense_shuffled(10_000, 1);
+        let uniform = point_lookups_zipf(&keys, 20_000, 0.0, 4);
+        let skewed = point_lookups_zipf(&keys, 20_000, 1.5, 4);
+        let distinct_uniform: HashSet<u64> = uniform.iter().copied().collect();
+        let distinct_skewed: HashSet<u64> = skewed.iter().copied().collect();
+        assert!(
+            distinct_skewed.len() < distinct_uniform.len() / 2,
+            "skewed lookups must touch far fewer distinct keys ({} vs {})",
+            distinct_skewed.len(),
+            distinct_uniform.len()
+        );
+    }
+
+    #[test]
+    fn range_lookups_have_exact_span() {
+        let ranges = range_lookups(1 << 20, 1000, 16, 5);
+        assert_eq!(ranges.len(), 1000);
+        for (l, u) in ranges {
+            assert_eq!(u - l + 1, 16);
+            assert!(u < 1 << 20);
+        }
+        let point_like = range_lookups(100, 10, 1, 5);
+        assert!(point_like.iter().all(|(l, u)| l == u));
+    }
+
+    #[test]
+    fn sorted_and_shuffled_lookups() {
+        let keys = dense_shuffled(100, 1);
+        let lookups = point_lookups(&keys, 1000, 2);
+        let sorted = sorted_lookups(&lookups);
+        assert!(sorted.windows(2).all(|w| w[0] <= w[1]));
+        let reshuffled = shuffled_lookups(&sorted, 3);
+        assert_eq!(sorted_lookups(&reshuffled), sorted);
+    }
+
+    #[test]
+    fn batch_splitting_preserves_all_lookups() {
+        let lookups: Vec<u64> = (0..1000).collect();
+        let batches = split_batches(&lookups, 7);
+        assert!(batches.len() <= 7);
+        let total: usize = batches.iter().map(|b| b.len()).sum();
+        assert_eq!(total, 1000);
+        let rejoined: Vec<u64> = batches.into_iter().flatten().collect();
+        assert_eq!(rejoined, lookups);
+        // One batch = the original.
+        assert_eq!(split_batches(&lookups, 1).len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty key set")]
+    fn lookups_over_empty_keys_panic() {
+        let _ = point_lookups(&[], 10, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "hit rate")]
+    fn invalid_hit_rate_panics() {
+        let _ = point_lookups_with_hit_rate(&[1], 10, 1.5, 1);
+    }
+}

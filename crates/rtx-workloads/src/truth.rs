@@ -1,0 +1,182 @@
+//! Ground-truth answers for generated workloads.
+//!
+//! Every index implementation (RX and the baselines) is verified against a
+//! plain hash-map/sorted-vector oracle. The oracle also provides the
+//! aggregate the paper's methodology reports: the sum of the projected
+//! values of all qualifying rows.
+
+use std::collections::HashMap;
+
+/// Reserved rowID reported for misses, matching the index implementations.
+pub const MISS: u32 = u32::MAX;
+
+/// An exact oracle over a key column and an optional value column.
+#[derive(Debug, Clone)]
+pub struct GroundTruth {
+    /// key -> rowIDs holding that key.
+    by_key: HashMap<u64, Vec<u32>>,
+    /// (key, rowID) pairs sorted by key, for range queries.
+    sorted: Vec<(u64, u32)>,
+    values: Option<Vec<u64>>,
+}
+
+impl GroundTruth {
+    /// Builds the oracle from the key column (rowID = position) and an
+    /// optional value column of the same length.
+    pub fn new(keys: &[u64], values: Option<&[u64]>) -> Self {
+        if let Some(v) = values {
+            assert_eq!(v.len(), keys.len(), "value column must match the key column length");
+        }
+        let mut by_key: HashMap<u64, Vec<u32>> = HashMap::with_capacity(keys.len());
+        let mut sorted: Vec<(u64, u32)> = Vec::with_capacity(keys.len());
+        for (row, &key) in keys.iter().enumerate() {
+            by_key.entry(key).or_default().push(row as u32);
+            sorted.push((key, row as u32));
+        }
+        sorted.sort_unstable();
+        GroundTruth { by_key, sorted, values: values.map(|v| v.to_vec()) }
+    }
+
+    /// RowIDs holding `key` (empty on a miss).
+    pub fn point_rows(&self, key: u64) -> &[u32] {
+        self.by_key.get(&key).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Number of qualifying rows for a point lookup.
+    pub fn point_hit_count(&self, key: u64) -> u32 {
+        self.point_rows(key).len() as u32
+    }
+
+    /// First (smallest) qualifying rowID for a point lookup, or [`MISS`].
+    pub fn point_first_row(&self, key: u64) -> u32 {
+        self.point_rows(key).iter().copied().min().unwrap_or(MISS)
+    }
+
+    /// Sum of the values of all rows holding `key`.
+    pub fn point_value_sum(&self, key: u64) -> u64 {
+        let values = match &self.values {
+            Some(v) => v,
+            None => return 0,
+        };
+        self.point_rows(key).iter().map(|&r| values[r as usize]).fold(0u64, u64::wrapping_add)
+    }
+
+    /// RowIDs of all rows whose key lies in `[lower, upper]`.
+    pub fn range_rows(&self, lower: u64, upper: u64) -> Vec<u32> {
+        if lower > upper {
+            return Vec::new();
+        }
+        let start = self.sorted.partition_point(|&(k, _)| k < lower);
+        self.sorted[start..]
+            .iter()
+            .take_while(|&&(k, _)| k <= upper)
+            .map(|&(_, r)| r)
+            .collect()
+    }
+
+    /// Number of qualifying rows for a range lookup.
+    pub fn range_hit_count(&self, lower: u64, upper: u64) -> u32 {
+        self.range_rows(lower, upper).len() as u32
+    }
+
+    /// Sum of the values of all rows whose key lies in `[lower, upper]`.
+    pub fn range_value_sum(&self, lower: u64, upper: u64) -> u64 {
+        let values = match &self.values {
+            Some(v) => v,
+            None => return 0,
+        };
+        self.range_rows(lower, upper)
+            .iter()
+            .map(|&r| values[r as usize])
+            .fold(0u64, u64::wrapping_add)
+    }
+
+    /// Total value sum over a batch of point lookups (the experiment-level
+    /// aggregate).
+    pub fn batch_point_sum(&self, queries: &[u64]) -> u64 {
+        queries.iter().map(|&q| self.point_value_sum(q)).fold(0u64, u64::wrapping_add)
+    }
+
+    /// Total value sum over a batch of range lookups.
+    pub fn batch_range_sum(&self, ranges: &[(u64, u64)]) -> u64 {
+        ranges.iter().map(|&(l, u)| self.range_value_sum(l, u)).fold(0u64, u64::wrapping_add)
+    }
+
+    /// Expected hit count over a batch of point lookups (lookups that find
+    /// at least one row).
+    pub fn batch_point_hits(&self, queries: &[u64]) -> usize {
+        queries.iter().filter(|&&q| self.point_hit_count(q) > 0).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keyset::{dense_shuffled, value_column, with_multiplicity};
+
+    #[test]
+    fn point_oracle_matches_manual_scan() {
+        let keys = dense_shuffled(100, 1);
+        let values = value_column(100, 2);
+        let truth = GroundTruth::new(&keys, Some(&values));
+        for q in 0..120u64 {
+            let expected_rows: Vec<u32> = keys
+                .iter()
+                .enumerate()
+                .filter(|(_, &k)| k == q)
+                .map(|(i, _)| i as u32)
+                .collect();
+            assert_eq!(truth.point_rows(q), expected_rows.as_slice());
+            assert_eq!(truth.point_hit_count(q), expected_rows.len() as u32);
+            if q < 100 {
+                assert_eq!(truth.point_first_row(q), expected_rows[0]);
+                assert_eq!(truth.point_value_sum(q), values[expected_rows[0] as usize]);
+            } else {
+                assert_eq!(truth.point_first_row(q), MISS);
+                assert_eq!(truth.point_value_sum(q), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn duplicates_are_counted() {
+        let keys = with_multiplicity(10, 3, 1);
+        let values = vec![1u64; keys.len()];
+        let truth = GroundTruth::new(&keys, Some(&values));
+        assert_eq!(truth.point_hit_count(5), 3);
+        assert_eq!(truth.point_value_sum(5), 3);
+    }
+
+    #[test]
+    fn range_oracle_counts_dense_spans() {
+        let keys = dense_shuffled(1000, 1);
+        let truth = GroundTruth::new(&keys, None);
+        assert_eq!(truth.range_hit_count(100, 199), 100);
+        assert_eq!(truth.range_hit_count(990, 1100), 10);
+        assert_eq!(truth.range_hit_count(2000, 3000), 0);
+        assert_eq!(truth.range_hit_count(10, 5), 0, "inverted range");
+        assert_eq!(truth.range_rows(0, 999).len(), 1000);
+    }
+
+    #[test]
+    fn batch_aggregates() {
+        let keys = dense_shuffled(50, 1);
+        let values = value_column(50, 2);
+        let truth = GroundTruth::new(&keys, Some(&values));
+        let queries = vec![1u64, 2, 3, 100];
+        assert_eq!(truth.batch_point_hits(&queries), 3);
+        let expected: u64 =
+            queries.iter().map(|&q| truth.point_value_sum(q)).fold(0u64, u64::wrapping_add);
+        assert_eq!(truth.batch_point_sum(&queries), expected);
+        assert_eq!(
+            truth.batch_range_sum(&[(0, 9), (40, 49)]),
+            truth.range_value_sum(0, 9) + truth.range_value_sum(40, 49)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "value column")]
+    fn mismatched_value_column_panics() {
+        let _ = GroundTruth::new(&[1, 2, 3], Some(&[1]));
+    }
+}

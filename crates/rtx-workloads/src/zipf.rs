@@ -1,0 +1,121 @@
+//! Zipf-distributed sampling for skewed lookup workloads (Figure 16).
+//!
+//! The sampler draws ranks `0..n` with probability proportional to
+//! `1 / (rank + 1)^theta`. `theta = 0` degenerates to the uniform
+//! distribution, `theta = 2` is the highest skew the paper evaluates.
+//! Sampling uses an exact precomputed CDF with binary search, which is
+//! plenty fast at the scales of the reproduction and keeps the distribution
+//! exact.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A Zipf sampler over the ranks `0..n`.
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    cdf: Vec<f64>,
+    rng: StdRng,
+}
+
+impl ZipfSampler {
+    /// Creates a sampler over `n` ranks with skew `theta`, seeded
+    /// deterministically.
+    ///
+    /// # Panics
+    /// Panics when `n == 0` or `theta < 0`.
+    pub fn new(n: usize, theta: f64, seed: u64) -> Self {
+        assert!(n > 0, "Zipf sampler needs at least one rank");
+        assert!(theta >= 0.0, "Zipf coefficient must be non-negative");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for rank in 0..n {
+            acc += 1.0 / ((rank + 1) as f64).powf(theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        ZipfSampler { cdf, rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// True when the sampler has exactly one rank (degenerate).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Draws one rank.
+    pub fn sample(&mut self) -> usize {
+        let u: f64 = self.rng.gen_range(0.0..1.0);
+        match self.cdf.binary_search_by(|p| p.partial_cmp(&u).expect("cdf is finite")) {
+            Ok(idx) => idx,
+            Err(idx) => idx.min(self.cdf.len() - 1),
+        }
+    }
+
+    /// Draws `count` ranks.
+    pub fn sample_many(&mut self, count: usize) -> Vec<usize> {
+        (0..count).map(|_| self.sample()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_when_theta_zero() {
+        let mut sampler = ZipfSampler::new(100, 0.0, 1);
+        assert_eq!(sampler.len(), 100);
+        let samples = sampler.sample_many(100_000);
+        let first_decile = samples.iter().filter(|&&r| r < 10).count() as f64 / 100_000.0;
+        assert!((first_decile - 0.10).abs() < 0.02, "theta=0 must be uniform, got {first_decile}");
+    }
+
+    #[test]
+    fn heavy_skew_concentrates_on_low_ranks() {
+        let mut sampler = ZipfSampler::new(10_000, 1.5, 2);
+        let samples = sampler.sample_many(50_000);
+        let top10 = samples.iter().filter(|&&r| r < 10).count() as f64 / 50_000.0;
+        assert!(top10 > 0.5, "theta=1.5 must concentrate most mass on the top ranks, got {top10}");
+        assert!(samples.iter().all(|&r| r < 10_000));
+    }
+
+    #[test]
+    fn higher_theta_means_more_skew() {
+        let share_of_top = |theta: f64| {
+            let mut s = ZipfSampler::new(1000, theta, 3);
+            let samples = s.sample_many(20_000);
+            samples.iter().filter(|&&r| r < 10).count()
+        };
+        let s0 = share_of_top(0.0);
+        let s1 = share_of_top(1.0);
+        let s2 = share_of_top(2.0);
+        assert!(s0 < s1 && s1 < s2, "skew must increase with theta: {s0} {s1} {s2}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = ZipfSampler::new(50, 1.0, 7).sample_many(100);
+        let b = ZipfSampler::new(50, 1.0, 7).sample_many(100);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn single_rank_always_returns_zero() {
+        let mut s = ZipfSampler::new(1, 1.0, 0);
+        assert!(!s.is_empty());
+        assert!(s.sample_many(10).iter().all(|&r| r == 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_rejected() {
+        let _ = ZipfSampler::new(0, 1.0, 0);
+    }
+}

@@ -1,0 +1,74 @@
+//! Skewed analytics over typed columns: 64-bit keys, signed integers and
+//! string prefixes, plus the hit-rate and skew regimes where RX shines
+//! (Sections 4.6–4.8 of the paper).
+//!
+//! Run with: `cargo run --release --example skewed_analytics`
+
+use rtindex::{Device, DeviceSpec, RtIndex, RtIndexConfig, TypedRtIndex};
+use rtx_workloads as wl;
+
+fn main() {
+    let seed = 23;
+
+    // Run the same workload on two GPU generations to see the architectural
+    // trend of Figure 18.
+    for spec in [DeviceSpec::rtx_2080ti(), DeviceSpec::rtx_4090()] {
+        let device = Device::new(spec.clone());
+        let n = 1usize << 16;
+        let keys = wl::sparse_uniform(n, u64::MAX / 2, seed); // full 64-bit domain
+        let values = wl::value_column(n, seed + 1);
+        let index = RtIndex::build(&device, &keys, RtIndexConfig::default()).expect("build");
+
+        // Low-hit-rate workload: most lookups miss (e.g. anti-join probing).
+        let queries = wl::point_lookups_with_hit_rate(&keys, 1 << 17, 0.1, seed + 2);
+        let out = index.point_lookup_batch(&queries, Some(&values)).expect("lookup");
+        println!(
+            "{:>11}: 64-bit keys, hit rate 0.1 -> {:.3} ms simulated, {} early aborts",
+            spec.name,
+            out.metrics.simulated_time_s * 1e3,
+            out.metrics.kernel.early_aborts
+        );
+    }
+
+    // Typed columns: a signed temperature column and a string dimension.
+    let device = Device::default_eval();
+    let temperatures: Vec<i64> = (0..(1i64 << 14)).map(|i| (i * 37 % 4001) - 2000).collect();
+    let temp_values = wl::value_column(temperatures.len(), seed + 3);
+    let temp_index =
+        TypedRtIndex::build(&device, &temperatures, RtIndexConfig::default()).expect("build");
+    let freezing = temp_index
+        .range_lookup_batch(&[(-2000i64, 0i64)], Some(&temp_values))
+        .expect("range lookup");
+    println!(
+        "\ntemperature column: {} readings at or below freezing, value sum {}",
+        freezing.results[0].hit_count, freezing.results[0].value_sum
+    );
+
+    let cities = ["berlin", "boston", "chicago", "mainz", "osaka", "paris", "quito", "zagreb"];
+    let city_column: Vec<&str> =
+        (0..4096).map(|i| cities[(i * 31) % cities.len()]).collect();
+    let city_index =
+        TypedRtIndex::build(&device, &city_column, RtIndexConfig::default()).expect("build");
+    let mainz = city_index.point_lookup_batch(&["mainz"], None).expect("lookup");
+    println!(
+        "city column: 'mainz' appears in {} of {} rows (first rowID {})",
+        mainz.results[0].hit_count,
+        city_column.len(),
+        mainz.results[0].first_row
+    );
+
+    // Skewed dashboard queries: the hotter the skew, the cheaper the batch.
+    let keys = wl::dense_shuffled(1 << 16, seed + 4);
+    let values = wl::value_column(keys.len(), seed + 5);
+    let index = RtIndex::build(&device, &keys, RtIndexConfig::default()).expect("build");
+    println!("\nZipf-skewed dashboard queries over 2^16 keys:");
+    for theta in [0.0, 1.0, 2.0] {
+        let queries = wl::point_lookups_zipf(&keys, 1 << 17, theta, seed + 6);
+        let out = index.point_lookup_batch(&queries, Some(&values)).expect("lookup");
+        println!(
+            "  zipf {theta:>3}: {:.3} ms simulated, cache hit rate {:.1}%",
+            out.metrics.simulated_time_s * 1e3,
+            out.metrics.kernel.cache_hit_rate() * 100.0
+        );
+    }
+}

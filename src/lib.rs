@@ -1,0 +1,76 @@
+//! # rtindex
+//!
+//! A Rust reproduction of *"RTIndeX: Exploiting Hardware-Accelerated GPU
+//! Raytracing for Database Indexing"* (PVLDB 16, 2023).
+//!
+//! RTIndeX (RX) answers point and range lookups on a GPU-resident column by
+//! turning every key into a 3-D scene primitive and every lookup into a ray:
+//! the bounding volume hierarchy the raytracing driver builds over the scene
+//! *is* the index, and intersection tests — executed by dedicated raytracing
+//! cores on real hardware — are the lookups.
+//!
+//! No RTX GPU is required (or used) here: the raytracing pipeline, the BVH
+//! and the GPU itself are simulated in software by the crates this facade
+//! re-exports. See `DESIGN.md` for the substitution argument and
+//! `EXPERIMENTS.md` for how the paper's evaluation is reproduced.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use rtindex::{Device, RtIndex, RtIndexConfig};
+//!
+//! // The simulated GPU (an RTX 4090 by default).
+//! let device = Device::default_eval();
+//!
+//! // A secondary index over a key column; the position of a key is its rowID.
+//! let category = vec![26u64, 25, 29, 23, 29, 27];
+//! let index = RtIndex::build(&device, &category, RtIndexConfig::default()).unwrap();
+//!
+//! // Range lookup [23, 25] -> rowIDs 3 and 1 (as in Figure 1 of the paper).
+//! let out = index.range_lookup_batch(&[(23, 25)], None).unwrap();
+//! assert_eq!(out.results[0].hit_count, 2);
+//! ```
+//!
+//! ## Crate map
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`rtx_math`] | float32 geometry, intersection tests, order-preserving key encodings |
+//! | [`gpu_device`] | the simulated GPU: specs, memory accounting, counters, cost model |
+//! | [`rtx_bvh`] | BVH builders, compaction, refitting, traversal |
+//! | [`optix_sim`] | the OptiX-shaped pipeline API (accel build, ray-gen / any-hit programs) |
+//! | [`rtindex_core`] | the RX index itself (key modes, primitives, ray strategies, lookups, updates) |
+//! | [`gpu_baselines`] | the HT / B+ / SA baselines and the radix sort |
+//! | [`rtx_workloads`] | workload generators and ground-truth oracles |
+//! | [`rtx_harness`] | the experiment harness reproducing every table and figure |
+
+pub use gpu_baselines;
+pub use gpu_device;
+pub use optix_sim;
+pub use rtindex_core;
+pub use rtx_bvh;
+pub use rtx_harness;
+pub use rtx_math;
+pub use rtx_workloads;
+
+// The most commonly used items, flattened for convenience.
+pub use gpu_baselines::{BPlusTree, GpuIndex, SortedArray, WarpHashTable};
+pub use gpu_device::{Device, DeviceSpec};
+pub use rtindex_core::{
+    BatchOutcome, Decomposition, KeyMode, LookupResult, PointRayStrategy, PrimitiveKind,
+    RangeRayStrategy, RtIndex, RtIndexConfig, RtIndexError, TypedRtIndex, MISS,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn facade_reexports_are_usable() {
+        let device = Device::default_eval();
+        let index = RtIndex::build(&device, &[5, 1, 9], RtIndexConfig::default()).unwrap();
+        let out = index.point_lookup_batch(&[1, 2], None).unwrap();
+        assert_eq!(out.results[0].first_row, 1);
+        assert_eq!(out.results[1].first_row, MISS);
+    }
+}

@@ -1,0 +1,102 @@
+//! End-to-end correctness: RX and every baseline must agree with a
+//! scan-based oracle on randomly generated workloads spanning all key-set
+//! shapes the paper evaluates.
+
+use rtindex::{Device, GpuIndex, KeyMode, PrimitiveKind, RtIndex, RtIndexConfig};
+use rtx_harness::build_all_indexes;
+use rtx_workloads as wl;
+
+fn check_point_agreement(keys: &[u64], queries: &[u64], config: RtIndexConfig) {
+    let device = Device::default_eval();
+    let values = wl::value_column(keys.len(), 99);
+    let truth = wl::GroundTruth::new(keys, Some(&values));
+    let indexes = build_all_indexes(&device, keys, config);
+    for ix in &indexes {
+        let m = ix.point_lookups(&device, queries, Some(&values));
+        assert_eq!(m.hits, truth.batch_point_hits(queries), "{} hits", ix.name());
+        assert_eq!(m.value_sum, truth.batch_point_sum(queries), "{} sum", ix.name());
+    }
+}
+
+#[test]
+fn dense_shuffled_keys_all_indexes_agree() {
+    let keys = wl::dense_shuffled(5000, 1);
+    let queries = wl::point_lookups_with_hit_rate(&keys, 8000, 0.7, 2);
+    check_point_agreement(&keys, &queries, RtIndexConfig::default());
+}
+
+#[test]
+fn sparse_32bit_keys_all_indexes_agree() {
+    let keys = wl::sparse_uniform(4000, u32::MAX as u64, 3);
+    let queries = wl::point_lookups_with_hit_rate(&keys, 6000, 0.5, 4);
+    check_point_agreement(&keys, &queries, RtIndexConfig::default());
+}
+
+#[test]
+fn sparse_64bit_keys_rx_ht_sa_agree() {
+    // B+ is skipped automatically (64-bit keys unsupported).
+    let keys = wl::sparse_uniform(3000, u64::MAX / 2, 5);
+    let queries = wl::point_lookups_with_hit_rate(&keys, 5000, 0.6, 6);
+    check_point_agreement(&keys, &queries, RtIndexConfig::default());
+}
+
+#[test]
+fn duplicate_keys_rx_ht_sa_agree() {
+    let keys = wl::with_multiplicity(512, 8, 7);
+    let queries = wl::point_lookups_with_hit_rate(&(0..512u64).collect::<Vec<_>>(), 4000, 0.8, 8);
+    check_point_agreement(&keys, &queries, RtIndexConfig::default());
+}
+
+#[test]
+fn range_lookups_agree_across_order_based_indexes() {
+    let device = Device::default_eval();
+    let keys = wl::dense_shuffled(4096, 9);
+    let values = wl::value_column(keys.len(), 10);
+    let truth = wl::GroundTruth::new(&keys, Some(&values));
+    let ranges = wl::range_lookups(4096, 1000, 32, 11);
+    let expected: Vec<u32> = ranges.iter().map(|&(l, u)| truth.range_hit_count(l, u)).collect();
+
+    let rx = RtIndex::build(&device, &keys, RtIndexConfig::default()).unwrap();
+    let rx_out = rx.range_lookup_batch(&ranges, Some(&values)).unwrap();
+    let rx_counts: Vec<u32> = rx_out.results.iter().map(|r| r.hit_count).collect();
+    assert_eq!(rx_counts, expected, "RX range counts");
+    assert_eq!(rx_out.total_value_sum(), truth.batch_range_sum(&ranges));
+
+    let sa = rtindex::SortedArray::build(&device, &keys);
+    let sa_out = sa.range_lookup_batch(&device, &ranges, Some(&values)).unwrap();
+    assert_eq!(sa_out.total_value_sum(), truth.batch_range_sum(&ranges));
+
+    let bp = rtindex::BPlusTree::build(&device, &keys).unwrap();
+    let bp_out = bp.range_lookup_batch(&device, &ranges, Some(&values)).unwrap();
+    assert_eq!(bp_out.total_value_sum(), truth.batch_range_sum(&ranges));
+}
+
+#[test]
+fn every_rx_configuration_answers_the_same_workload() {
+    // Cross product of key modes and primitives (minus the unsupported
+    // Extended+Sphere combination) must return identical answers.
+    let device = Device::default_eval();
+    let keys = wl::dense_shuffled(2000, 12);
+    let queries = wl::point_lookups_with_hit_rate(&keys, 3000, 0.5, 13);
+    let truth = wl::GroundTruth::new(&keys, None);
+    let expected = truth.batch_point_hits(&queries);
+
+    for mode in KeyMode::all() {
+        for primitive in PrimitiveKind::all() {
+            if !mode.supports_primitive(primitive) {
+                continue;
+            }
+            let config =
+                RtIndexConfig::default().with_key_mode(mode).with_primitive(primitive);
+            let index = RtIndex::build(&device, &keys, config).unwrap();
+            let out = index.point_lookup_batch(&queries, None).unwrap();
+            assert_eq!(
+                out.hit_count(),
+                expected,
+                "mode {} primitive {}",
+                mode.name(),
+                primitive.name()
+            );
+        }
+    }
+}

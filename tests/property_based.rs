@@ -1,0 +1,83 @@
+//! Property-based integration tests: random key sets and lookup batches
+//! against the scan oracle, across the public API.
+
+use proptest::prelude::*;
+use rtindex::{Device, KeyMode, RtIndex, RtIndexConfig, MISS};
+use rtx_workloads::GroundTruth;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Point lookups over arbitrary (possibly duplicated) small key sets
+    /// return exactly the oracle's hit counts and row sets.
+    #[test]
+    fn prop_point_lookups_match_oracle(
+        keys in prop::collection::vec(0u64..500, 1..200),
+        queries in prop::collection::vec(0u64..600, 1..100),
+    ) {
+        let device = Device::default_eval();
+        let truth = GroundTruth::new(&keys, None);
+        let index = RtIndex::build(&device, &keys, RtIndexConfig::default()).unwrap();
+        let out = index.point_lookup_batch(&queries, None).unwrap();
+        for (q, r) in queries.iter().zip(&out.results) {
+            prop_assert_eq!(r.hit_count, truth.point_hit_count(*q), "key {}", q);
+            if r.hit_count > 0 {
+                prop_assert_eq!(r.first_row, truth.point_first_row(*q));
+            } else {
+                prop_assert_eq!(r.first_row, MISS);
+            }
+        }
+    }
+
+    /// Range lookups return exactly the oracle's per-range counts and sums.
+    #[test]
+    fn prop_range_lookups_match_oracle(
+        keys in prop::collection::vec(0u64..2000, 1..300),
+        ranges in prop::collection::vec((0u64..2200, 0u64..300), 1..40),
+    ) {
+        let device = Device::default_eval();
+        let values: Vec<u64> = (0..keys.len() as u64).map(|i| i + 1).collect();
+        let truth = GroundTruth::new(&keys, Some(&values));
+        let index = RtIndex::build(&device, &keys, RtIndexConfig::default()).unwrap();
+        let ranges: Vec<(u64, u64)> = ranges.into_iter().map(|(l, w)| (l, l + w)).collect();
+        let out = index.range_lookup_batch(&ranges, Some(&values)).unwrap();
+        for (&(l, u), r) in ranges.iter().zip(&out.results) {
+            prop_assert_eq!(r.hit_count, truth.range_hit_count(l, u), "range [{}, {}]", l, u);
+            prop_assert_eq!(r.value_sum, truth.range_value_sum(l, u));
+        }
+    }
+
+    /// All three key modes agree on hit/miss classification for keys within
+    /// the Naive range.
+    #[test]
+    fn prop_key_modes_agree(
+        keys in prop::collection::vec(0u64..(1 << 20), 1..150),
+        queries in prop::collection::vec(0u64..(1 << 21), 1..80),
+    ) {
+        let device = Device::default_eval();
+        let mut answers: Vec<Vec<bool>> = Vec::new();
+        for mode in KeyMode::all() {
+            let config = RtIndexConfig::default().with_key_mode(mode);
+            let index = RtIndex::build(&device, &keys, config).unwrap();
+            let out = index.point_lookup_batch(&queries, None).unwrap();
+            answers.push(out.results.iter().map(|r| r.is_hit()).collect());
+        }
+        prop_assert_eq!(&answers[0], &answers[1]);
+        prop_assert_eq!(&answers[1], &answers[2]);
+    }
+
+    /// Rebuilding with a new key column fully replaces the old one.
+    #[test]
+    fn prop_rebuild_replaces_keys(
+        first in prop::collection::vec(0u64..1000, 1..100),
+        second in prop::collection::vec(2000u64..3000, 1..100),
+    ) {
+        let device = Device::default_eval();
+        let mut index = RtIndex::build(&device, &first, RtIndexConfig::default()).unwrap();
+        index.rebuild(&second).unwrap();
+        let out_old = index.point_lookup_batch(&first, None).unwrap();
+        prop_assert_eq!(out_old.hit_count(), 0, "old keys must be gone");
+        let out_new = index.point_lookup_batch(&second, None).unwrap();
+        prop_assert_eq!(out_new.hit_count(), second.len());
+    }
+}
