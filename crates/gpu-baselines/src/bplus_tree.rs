@@ -8,9 +8,7 @@
 
 use gpu_device::{Device, DeviceBuffer};
 
-use crate::common::{
-    BaselineBatch, BaselineBuildMetrics, BaselineLookupResult, GpuIndex, MISS,
-};
+use crate::common::{BaselineBatch, BaselineBuildMetrics, BaselineLookupResult, GpuIndex, MISS};
 use crate::kernel::{fetch_value, run_lookup_kernel};
 use crate::radix_sort::radix_sort_pairs;
 
@@ -55,7 +53,10 @@ impl std::fmt::Display for BPlusTreeError {
                 write!(f, "the B+ baseline only supports 32-bit keys, got {key}")
             }
             BPlusTreeError::DuplicateKey { key } => {
-                write!(f, "the B+ baseline does not support duplicate keys, got {key} twice")
+                write!(
+                    f,
+                    "the B+ baseline does not support duplicate keys, got {key} twice"
+                )
             }
         }
     }
@@ -96,7 +97,10 @@ impl BPlusTree {
             let chunk_end = (chunk_start + NODE_FANOUT).min(sorted_keys.len());
             let node_index = nodes.len() as u32;
             nodes.push(Node {
-                keys: sorted_keys[chunk_start..chunk_end].iter().map(|&k| k as u32).collect(),
+                keys: sorted_keys[chunk_start..chunk_end]
+                    .iter()
+                    .map(|&k| k as u32)
+                    .collect(),
                 payloads: sorted_rows[chunk_start..chunk_end].to_vec(),
                 next_leaf: u32::MAX,
                 is_leaf: true,
@@ -110,7 +114,11 @@ impl BPlusTree {
         }
         if current_level.is_empty() {
             // Empty tree: a single empty leaf keeps lookups trivial.
-            nodes.push(Node { is_leaf: true, next_leaf: u32::MAX, ..Node::default() });
+            nodes.push(Node {
+                is_leaf: true,
+                next_leaf: u32::MAX,
+                ..Node::default()
+            });
             current_level.push((0, 0));
         }
 
@@ -231,33 +239,42 @@ impl GpuIndex for BPlusTree {
         values: Option<&[u64]>,
     ) -> BaselineBatch {
         let working_set = self.memory_bytes() + values.map(|v| v.len() as u64 * 8).unwrap_or(0);
-        run_lookup_kernel(device, queries.len(), working_set, |ctx, classifier, idx| {
-            let query = queries[idx];
-            if query > u32::MAX as u64 {
-                return BaselineLookupResult::miss();
-            }
-            let key = query as u32;
-            ctx.add_instructions(6);
-            let leaf = self.descend(key, |node_index| {
-                // Every visited node is scanned by the cooperative group:
-                // 16 entries of 8 bytes.
-                classifier.access(ctx, node_index as u64, NODE_FANOUT as u64 * ENTRY_BYTES);
-                // Cooperative node search: ballots, address arithmetic and
-                // predicate evaluation for every entry of the node.
-                ctx.add_instructions(NODE_FANOUT as u64 * 6);
-            });
-            let node = &self.nodes[leaf as usize];
-            let mut result = BaselineLookupResult::miss();
-            if let Some(pos) = node.keys.iter().position(|&k| k == key) {
-                let row = node.payloads[pos];
-                let mut sum = 0u64;
-                if let Some(values) = values {
-                    fetch_value(ctx, classifier, values, row, &mut sum);
+        run_lookup_kernel(
+            device,
+            queries.len(),
+            working_set,
+            |ctx, classifier, idx| {
+                let query = queries[idx];
+                if query > u32::MAX as u64 {
+                    return BaselineLookupResult::miss();
                 }
-                result = BaselineLookupResult { first_row: row, hit_count: 1, value_sum: sum };
-            }
-            result
-        })
+                let key = query as u32;
+                ctx.add_instructions(6);
+                let leaf = self.descend(key, |node_index| {
+                    // Every visited node is scanned by the cooperative group:
+                    // 16 entries of 8 bytes.
+                    classifier.access(ctx, node_index as u64, NODE_FANOUT as u64 * ENTRY_BYTES);
+                    // Cooperative node search: ballots, address arithmetic and
+                    // predicate evaluation for every entry of the node.
+                    ctx.add_instructions(NODE_FANOUT as u64 * 6);
+                });
+                let node = &self.nodes[leaf as usize];
+                let mut result = BaselineLookupResult::miss();
+                if let Some(pos) = node.keys.iter().position(|&k| k == key) {
+                    let row = node.payloads[pos];
+                    let mut sum = 0u64;
+                    if let Some(values) = values {
+                        fetch_value(ctx, classifier, values, row, &mut sum);
+                    }
+                    result = BaselineLookupResult {
+                        first_row: row,
+                        hit_count: 1,
+                        value_sum: sum,
+                    };
+                }
+                result
+            },
+        )
     }
 
     fn range_lookup_batch(
@@ -267,57 +284,66 @@ impl GpuIndex for BPlusTree {
         values: Option<&[u64]>,
     ) -> Option<BaselineBatch> {
         let working_set = self.memory_bytes() + values.map(|v| v.len() as u64 * 8).unwrap_or(0);
-        Some(run_lookup_kernel(device, ranges.len(), working_set, |ctx, classifier, idx| {
-            let (lower, upper) = ranges[idx];
-            if lower > upper || lower > u32::MAX as u64 {
-                return BaselineLookupResult::miss();
-            }
-            let lower = lower as u32;
-            let upper = upper.min(u32::MAX as u64) as u32;
-            ctx.add_instructions(6);
-            let mut leaf = self.descend(lower, |node_index| {
-                classifier.access(ctx, node_index as u64, NODE_FANOUT as u64 * ENTRY_BYTES);
-                // Cooperative node search: ballots, address arithmetic and
-                // predicate evaluation for every entry of the node.
-                ctx.add_instructions(NODE_FANOUT as u64 * 6);
-            });
+        Some(run_lookup_kernel(
+            device,
+            ranges.len(),
+            working_set,
+            |ctx, classifier, idx| {
+                let (lower, upper) = ranges[idx];
+                if lower > upper || lower > u32::MAX as u64 {
+                    return BaselineLookupResult::miss();
+                }
+                let lower = lower as u32;
+                let upper = upper.min(u32::MAX as u64) as u32;
+                ctx.add_instructions(6);
+                let mut leaf = self.descend(lower, |node_index| {
+                    classifier.access(ctx, node_index as u64, NODE_FANOUT as u64 * ENTRY_BYTES);
+                    // Cooperative node search: ballots, address arithmetic and
+                    // predicate evaluation for every entry of the node.
+                    ctx.add_instructions(NODE_FANOUT as u64 * 6);
+                });
 
-            let mut first_row = MISS;
-            let mut hit_count = 0u32;
-            let mut sum = 0u64;
-            // Sideways scan through the linked leaves (with warp-level
-            // aggregation in the original, modelled as cheap per-entry work).
-            'scan: loop {
-                let node = &self.nodes[leaf as usize];
-                classifier.access(ctx, leaf as u64, NODE_FANOUT as u64 * ENTRY_BYTES);
-                for (i, &k) in node.keys.iter().enumerate() {
-                    ctx.add_instructions(1);
-                    if k < lower {
-                        continue;
+                let mut first_row = MISS;
+                let mut hit_count = 0u32;
+                let mut sum = 0u64;
+                // Sideways scan through the linked leaves (with warp-level
+                // aggregation in the original, modelled as cheap per-entry work).
+                'scan: loop {
+                    let node = &self.nodes[leaf as usize];
+                    classifier.access(ctx, leaf as u64, NODE_FANOUT as u64 * ENTRY_BYTES);
+                    for (i, &k) in node.keys.iter().enumerate() {
+                        ctx.add_instructions(1);
+                        if k < lower {
+                            continue;
+                        }
+                        if k > upper {
+                            break 'scan;
+                        }
+                        let row = node.payloads[i];
+                        if first_row == MISS || row < first_row {
+                            first_row = row;
+                        }
+                        hit_count += 1;
+                        if let Some(values) = values {
+                            fetch_value(ctx, classifier, values, row, &mut sum);
+                        }
                     }
-                    if k > upper {
-                        break 'scan;
+                    if node.next_leaf == u32::MAX {
+                        break;
                     }
-                    let row = node.payloads[i];
-                    if first_row == MISS || row < first_row {
-                        first_row = row;
-                    }
-                    hit_count += 1;
-                    if let Some(values) = values {
-                        fetch_value(ctx, classifier, values, row, &mut sum);
+                    leaf = node.next_leaf;
+                }
+                if hit_count == 0 {
+                    BaselineLookupResult::miss()
+                } else {
+                    BaselineLookupResult {
+                        first_row,
+                        hit_count,
+                        value_sum: sum,
                     }
                 }
-                if node.next_leaf == u32::MAX {
-                    break;
-                }
-                leaf = node.next_leaf;
-            }
-            if hit_count == 0 {
-                BaselineLookupResult::miss()
-            } else {
-                BaselineLookupResult { first_row, hit_count, value_sum: sum }
-            }
-        }))
+            },
+        ))
     }
 }
 
@@ -340,7 +366,9 @@ mod tests {
             BPlusTree::build(&device, &[5, 2, 5]).unwrap_err(),
             BPlusTreeError::DuplicateKey { key: 5 }
         );
-        assert!(BPlusTreeError::KeyTooLarge { key: 0 }.to_string().contains("32-bit"));
+        assert!(BPlusTreeError::KeyTooLarge { key: 0 }
+            .to_string()
+            .contains("32-bit"));
     }
 
     #[test]
@@ -350,7 +378,10 @@ mod tests {
         let tree = BPlusTree::build(&device, &keys).expect("build");
         assert_eq!(tree.key_count(), 4096);
         assert_eq!(tree.name(), "B+");
-        assert!(tree.height() >= 3, "4096 keys / 16 per leaf needs at least 3 levels");
+        assert!(
+            tree.height() >= 3,
+            "4096 keys / 16 per leaf needs at least 3 levels"
+        );
         let queries: Vec<u64> = (0..4096).collect();
         let batch = tree.point_lookup_batch(&device, &queries, None);
         assert_eq!(batch.hit_count(), 4096);
@@ -375,7 +406,11 @@ mod tests {
         let values = vec![1u64; 1024];
         let tree = BPlusTree::build(&device, &keys).expect("build");
         let batch = tree
-            .range_lookup_batch(&device, &[(0, 0), (10, 19), (100, 355), (5000, 6000)], Some(&values))
+            .range_lookup_batch(
+                &device,
+                &[(0, 0), (10, 19), (100, 355), (5000, 6000)],
+                Some(&values),
+            )
             .expect("B+ supports ranges");
         assert_eq!(batch.results[0].hit_count, 1);
         assert_eq!(batch.results[1].hit_count, 10);

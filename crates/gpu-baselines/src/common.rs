@@ -21,7 +21,11 @@ pub struct BaselineLookupResult {
 impl BaselineLookupResult {
     /// A miss result.
     pub fn miss() -> Self {
-        BaselineLookupResult { first_row: MISS, hit_count: 0, value_sum: 0 }
+        BaselineLookupResult {
+            first_row: MISS,
+            hit_count: 0,
+            value_sum: 0,
+        }
     }
 
     /// True when the lookup found at least one qualifying entry.
@@ -51,7 +55,10 @@ impl BaselineBatch {
 
     /// Sum of all per-lookup value sums.
     pub fn total_value_sum(&self) -> u64 {
-        self.results.iter().map(|r| r.value_sum).fold(0u64, u64::wrapping_add)
+        self.results
+            .iter()
+            .map(|r| r.value_sum)
+            .fold(0u64, u64::wrapping_add)
     }
 
     /// Merges another batch's metrics and results into this one.
@@ -124,7 +131,11 @@ mod tests {
         let m = BaselineLookupResult::miss();
         assert_eq!(m.first_row, MISS);
         assert!(!m.is_hit());
-        let h = BaselineLookupResult { first_row: 3, hit_count: 2, value_sum: 10 };
+        let h = BaselineLookupResult {
+            first_row: 3,
+            hit_count: 2,
+            value_sum: 10,
+        };
         assert!(h.is_hit());
     }
 
@@ -132,9 +143,17 @@ mod tests {
     fn batch_aggregations() {
         let batch = BaselineBatch {
             results: vec![
-                BaselineLookupResult { first_row: 0, hit_count: 1, value_sum: 5 },
+                BaselineLookupResult {
+                    first_row: 0,
+                    hit_count: 1,
+                    value_sum: 5,
+                },
                 BaselineLookupResult::miss(),
-                BaselineLookupResult { first_row: 2, hit_count: 3, value_sum: 7 },
+                BaselineLookupResult {
+                    first_row: 2,
+                    hit_count: 3,
+                    value_sum: 7,
+                },
             ],
             ..Default::default()
         };
@@ -150,7 +169,11 @@ mod tests {
             ..Default::default()
         };
         let b = BaselineBatch {
-            results: vec![BaselineLookupResult { first_row: 1, hit_count: 1, value_sum: 2 }],
+            results: vec![BaselineLookupResult {
+                first_row: 1,
+                hit_count: 1,
+                value_sum: 2,
+            }],
             simulated_time_s: 0.5,
             ..Default::default()
         };

@@ -13,9 +13,7 @@
 
 use gpu_device::{Device, KernelStats};
 
-use crate::common::{
-    BaselineBatch, BaselineBuildMetrics, BaselineLookupResult, GpuIndex, MISS,
-};
+use crate::common::{BaselineBatch, BaselineBuildMetrics, BaselineLookupResult, GpuIndex, MISS};
 use crate::kernel::{fetch_value, run_lookup_kernel};
 
 /// Number of slots probed together by one cooperative group.
@@ -27,6 +25,20 @@ pub const TARGET_LOAD_FACTOR: f64 = 0.8;
 /// Bytes per slot: 8-byte key + 4-byte rowID + 1-byte occupancy flag,
 /// padded to 16 for coalesced accesses.
 const SLOT_BYTES: u64 = 16;
+
+/// The slot hash shared by the WarpCore-style tables in this workspace
+/// (SplitMix64 finaliser: well distributed and cheap, similar in spirit to
+/// the multiply-shift hashes GPU tables use). Exposed so that other
+/// hash-probing structures — such as the `rtx-delta` insert buffer — place
+/// keys exactly like [`WarpHashTable`] does.
+#[inline]
+pub fn slot_hash(key: u64, capacity: usize) -> usize {
+    let mut x = key.wrapping_add(0x9E3779B97F4A7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+    x ^= x >> 31;
+    (x % capacity as u64) as usize
+}
 
 #[derive(Debug, Clone, Copy, Default)]
 struct Slot {
@@ -109,17 +121,12 @@ impl WarpHashTable {
 
     #[inline]
     fn hash(key: u64, capacity: usize) -> usize {
-        // SplitMix64 finaliser: well distributed and cheap, similar in spirit
-        // to the multiply-shift hashes GPU tables use.
-        let mut x = key.wrapping_add(0x9E3779B97F4A7C15);
-        x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
-        x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
-        x ^= x >> 31;
-        (x % capacity as u64) as usize
+        slot_hash(key, capacity)
     }
 
     /// Inserts a key, returning the number of probed groups and whether an
     /// existing copy of the key was encountered along the probe sequence.
+    #[allow(clippy::needless_range_loop)]
     fn insert(slots: &mut [Slot], key: u64, row: u32) -> (u64, bool) {
         let capacity = slots.len();
         let start_group = Self::hash(key, capacity) / GROUP_SIZE;
@@ -131,7 +138,11 @@ impl WarpHashTable {
                 if slots[slot_idx].occupied {
                     saw_duplicate |= slots[slot_idx].key == key;
                 } else {
-                    slots[slot_idx] = Slot { key, row, occupied: true };
+                    slots[slot_idx] = Slot {
+                        key,
+                        row,
+                        occupied: true,
+                    };
                     return (probe as u64 + 1, saw_duplicate);
                 }
             }
@@ -209,36 +220,49 @@ impl GpuIndex for WarpHashTable {
         values: Option<&[u64]>,
     ) -> BaselineBatch {
         let working_set = self.memory_bytes() + values.map(|v| v.len() as u64 * 8).unwrap_or(0);
-        run_lookup_kernel(device, queries.len(), working_set, |ctx, classifier, idx| {
-            let key = queries[idx];
-            ctx.add_instructions(12); // hash + loop setup
-            let mut first_row = MISS;
-            let mut hit_count = 0u32;
-            let mut sum = 0u64;
-            let mut rows: Vec<u32> = Vec::new();
-            let probed_groups = self.probe(key, |row| {
-                if first_row == MISS || row < first_row {
-                    first_row = row;
+        run_lookup_kernel(
+            device,
+            queries.len(),
+            working_set,
+            |ctx, classifier, idx| {
+                let key = queries[idx];
+                ctx.add_instructions(12); // hash + loop setup
+                let mut first_row = MISS;
+                let mut hit_count = 0u32;
+                let mut sum = 0u64;
+                let mut rows: Vec<u32> = Vec::new();
+                let probed_groups = self.probe(key, |row| {
+                    if first_row == MISS || row < first_row {
+                        first_row = row;
+                    }
+                    hit_count += 1;
+                    rows.push(row);
+                });
+                // Each probed group reads GROUP_SIZE slots; the token is the
+                // group id so repeated lookups of hot keys hit the cache.
+                let group_token = Self::hash(key, self.slots.len()) as u64 / GROUP_SIZE as u64;
+                classifier.access(
+                    ctx,
+                    group_token,
+                    probed_groups * GROUP_SIZE as u64 * SLOT_BYTES,
+                );
+                ctx.add_instructions(probed_groups * GROUP_SIZE as u64);
+                if let Some(values) = values {
+                    for row in rows {
+                        fetch_value(ctx, classifier, values, row, &mut sum);
+                    }
                 }
-                hit_count += 1;
-                rows.push(row);
-            });
-            // Each probed group reads GROUP_SIZE slots; the token is the
-            // group id so repeated lookups of hot keys hit the cache.
-            let group_token = Self::hash(key, self.slots.len()) as u64 / GROUP_SIZE as u64;
-            classifier.access(ctx, group_token, probed_groups * GROUP_SIZE as u64 * SLOT_BYTES);
-            ctx.add_instructions(probed_groups * GROUP_SIZE as u64);
-            if let Some(values) = values {
-                for row in rows {
-                    fetch_value(ctx, classifier, values, row, &mut sum);
+                if hit_count == 0 {
+                    BaselineLookupResult::miss()
+                } else {
+                    BaselineLookupResult {
+                        first_row,
+                        hit_count,
+                        value_sum: sum,
+                    }
                 }
-            }
-            if hit_count == 0 {
-                BaselineLookupResult::miss()
-            } else {
-                BaselineLookupResult { first_row, hit_count, value_sum: sum }
-            }
-        })
+            },
+        )
     }
 
     fn range_lookup_batch(
@@ -308,7 +332,9 @@ mod tests {
     #[test]
     fn duplicates_are_all_found() {
         let device = Device::default_eval();
-        let keys: Vec<u64> = (0..256u64).flat_map(|k| std::iter::repeat(k).take(4)).collect();
+        let keys: Vec<u64> = (0..256u64)
+            .flat_map(|k| std::iter::repeat_n(k, 4))
+            .collect();
         let values = vec![1u64; keys.len()];
         let ht = WarpHashTable::build(&device, &keys);
         let batch = ht.point_lookup_batch(&device, &[10, 200], Some(&values));

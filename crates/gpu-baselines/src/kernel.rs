@@ -26,8 +26,11 @@ where
 {
     let start = std::time::Instant::now();
     let mut results = vec![BaselineLookupResult::miss(); width];
-    let mut merged =
-        KernelStats { threads_launched: width as u64, kernel_launches: 1, ..KernelStats::new() };
+    let mut merged = KernelStats {
+        threads_launched: width as u64,
+        kernel_launches: 1,
+        ..KernelStats::new()
+    };
 
     if width > 0 {
         let workers = gpu_device::executor::worker_count().min(width);
@@ -86,7 +89,11 @@ pub fn fetch_value(
     sum: &mut u64,
 ) {
     ctx.add_instructions(2);
-    classifier.access(ctx, (row as u64 / 8).wrapping_mul(2654435761).rotate_left(17), 8);
+    classifier.access(
+        ctx,
+        (row as u64 / 8).wrapping_mul(2654435761).rotate_left(17),
+        8,
+    );
     *sum = sum.wrapping_add(values[row as usize]);
 }
 
@@ -99,10 +106,18 @@ mod tests {
         let device = Device::default_eval();
         let batch = run_lookup_kernel(&device, 1000, 1 << 10, |ctx, _cl, idx| {
             ctx.add_instructions(1);
-            BaselineLookupResult { first_row: idx as u32, hit_count: 1, value_sum: idx as u64 }
+            BaselineLookupResult {
+                first_row: idx as u32,
+                hit_count: 1,
+                value_sum: idx as u64,
+            }
         });
         assert_eq!(batch.results.len(), 1000);
-        assert!(batch.results.iter().enumerate().all(|(i, r)| r.first_row == i as u32));
+        assert!(batch
+            .results
+            .iter()
+            .enumerate()
+            .all(|(i, r)| r.first_row == i as u32));
         assert_eq!(batch.kernel.instructions, 1000);
         assert_eq!(batch.kernel.threads_launched, 1000);
         assert!(batch.simulated_time_s > 0.0);
@@ -124,7 +139,11 @@ mod tests {
             let mut sum = 0;
             fetch_value(ctx, cl, &values, 0, &mut sum);
             fetch_value(ctx, cl, &values, 2, &mut sum);
-            BaselineLookupResult { first_row: 0, hit_count: 2, value_sum: sum }
+            BaselineLookupResult {
+                first_row: 0,
+                hit_count: 2,
+                value_sum: sum,
+            }
         });
         assert_eq!(batch.results[0].value_sum, 40);
         assert!(batch.kernel.instructions >= 4);

@@ -29,6 +29,6 @@ pub mod sorted_array;
 
 pub use bplus_tree::BPlusTree;
 pub use common::{BaselineBatch, BaselineBuildMetrics, BaselineLookupResult, GpuIndex, MISS};
-pub use hash_table::WarpHashTable;
+pub use hash_table::{slot_hash, WarpHashTable, GROUP_SIZE, TARGET_LOAD_FACTOR};
 pub use radix_sort::{radix_sort_pairs, RadixSortMetrics};
 pub use sorted_array::SortedArray;

@@ -29,7 +29,11 @@ pub fn radix_sort_pairs(
     keys: &[u64],
     rowids: &[u32],
 ) -> (Vec<u64>, Vec<u32>, RadixSortMetrics) {
-    assert_eq!(keys.len(), rowids.len(), "keys and rowIDs must have equal length");
+    assert_eq!(
+        keys.len(),
+        rowids.len(),
+        "keys and rowIDs must have equal length"
+    );
     let start = std::time::Instant::now();
     let n = keys.len();
 

@@ -10,9 +10,7 @@
 
 use gpu_device::{Device, DeviceBuffer};
 
-use crate::common::{
-    BaselineBatch, BaselineBuildMetrics, BaselineLookupResult, GpuIndex, MISS,
-};
+use crate::common::{BaselineBatch, BaselineBuildMetrics, BaselineLookupResult, GpuIndex, MISS};
 use crate::kernel::{fetch_value, run_lookup_kernel};
 use crate::radix_sort::radix_sort_pairs;
 
@@ -104,43 +102,52 @@ impl GpuIndex for SortedArray {
         values: Option<&[u64]>,
     ) -> BaselineBatch {
         let working_set = self.memory_bytes() + values.map(|v| v.len() as u64 * 8).unwrap_or(0);
-        run_lookup_kernel(device, queries.len(), working_set, |ctx, classifier, idx| {
-            let key = queries[idx];
-            ctx.add_instructions(8);
-            let mut probes = 0u64;
-            let start = self.lower_bound(key, |pos| {
-                probes += 1;
-                // Every probe is its own region: binary search has no
-                // spatial locality between successive probes.
-                classifier.access(ctx, (pos as u64) / 8, 8);
-            });
-            // Binary-search probes are serially dependent loads: each stalls
-            // the warp on memory latency, which shows up as a high effective
-            // instruction cost per probe on real hardware.
-            ctx.add_instructions(probes * 24);
+        run_lookup_kernel(
+            device,
+            queries.len(),
+            working_set,
+            |ctx, classifier, idx| {
+                let key = queries[idx];
+                ctx.add_instructions(8);
+                let mut probes = 0u64;
+                let start = self.lower_bound(key, |pos| {
+                    probes += 1;
+                    // Every probe is its own region: binary search has no
+                    // spatial locality between successive probes.
+                    classifier.access(ctx, (pos as u64) / 8, 8);
+                });
+                // Binary-search probes are serially dependent loads: each stalls
+                // the warp on memory latency, which shows up as a high effective
+                // instruction cost per probe on real hardware.
+                ctx.add_instructions(probes * 24);
 
-            let mut first_row = MISS;
-            let mut hit_count = 0u32;
-            let mut sum = 0u64;
-            let mut pos = start;
-            while pos < self.sorted_keys.len() && self.sorted_keys[pos] == key {
-                let row = self.rowids[pos];
-                classifier.access(ctx, (pos as u64) / 8 + 1, 12);
-                if first_row == MISS || row < first_row {
-                    first_row = row;
+                let mut first_row = MISS;
+                let mut hit_count = 0u32;
+                let mut sum = 0u64;
+                let mut pos = start;
+                while pos < self.sorted_keys.len() && self.sorted_keys[pos] == key {
+                    let row = self.rowids[pos];
+                    classifier.access(ctx, (pos as u64) / 8 + 1, 12);
+                    if first_row == MISS || row < first_row {
+                        first_row = row;
+                    }
+                    hit_count += 1;
+                    if let Some(values) = values {
+                        fetch_value(ctx, classifier, values, row, &mut sum);
+                    }
+                    pos += 1;
                 }
-                hit_count += 1;
-                if let Some(values) = values {
-                    fetch_value(ctx, classifier, values, row, &mut sum);
+                if hit_count == 0 {
+                    BaselineLookupResult::miss()
+                } else {
+                    BaselineLookupResult {
+                        first_row,
+                        hit_count,
+                        value_sum: sum,
+                    }
                 }
-                pos += 1;
-            }
-            if hit_count == 0 {
-                BaselineLookupResult::miss()
-            } else {
-                BaselineLookupResult { first_row, hit_count, value_sum: sum }
-            }
-        })
+            },
+        )
     }
 
     fn range_lookup_batch(
@@ -150,47 +157,56 @@ impl GpuIndex for SortedArray {
         values: Option<&[u64]>,
     ) -> Option<BaselineBatch> {
         let working_set = self.memory_bytes() + values.map(|v| v.len() as u64 * 8).unwrap_or(0);
-        Some(run_lookup_kernel(device, ranges.len(), working_set, |ctx, classifier, idx| {
-            let (lower, upper) = ranges[idx];
-            if lower > upper {
-                return BaselineLookupResult::miss();
-            }
-            ctx.add_instructions(8);
-            let mut probes = 0u64;
-            let start = self.lower_bound(lower, |pos| {
-                probes += 1;
-                classifier.access(ctx, (pos as u64) / 8, 8);
-            });
-            // Binary-search probes are serially dependent loads: each stalls
-            // the warp on memory latency, which shows up as a high effective
-            // instruction cost per probe on real hardware.
-            ctx.add_instructions(probes * 24);
+        Some(run_lookup_kernel(
+            device,
+            ranges.len(),
+            working_set,
+            |ctx, classifier, idx| {
+                let (lower, upper) = ranges[idx];
+                if lower > upper {
+                    return BaselineLookupResult::miss();
+                }
+                ctx.add_instructions(8);
+                let mut probes = 0u64;
+                let start = self.lower_bound(lower, |pos| {
+                    probes += 1;
+                    classifier.access(ctx, (pos as u64) / 8, 8);
+                });
+                // Binary-search probes are serially dependent loads: each stalls
+                // the warp on memory latency, which shows up as a high effective
+                // instruction cost per probe on real hardware.
+                ctx.add_instructions(probes * 24);
 
-            let mut first_row = MISS;
-            let mut hit_count = 0u32;
-            let mut sum = 0u64;
-            let mut pos = start;
-            while pos < self.sorted_keys.len() && self.sorted_keys[pos] <= upper {
-                let row = self.rowids[pos];
-                // Sideways scan is sequential: consecutive positions share
-                // cache lines.
-                classifier.access(ctx, (pos as u64) / 8 + 1, 12);
-                ctx.add_instructions(3);
-                if first_row == MISS || row < first_row {
-                    first_row = row;
+                let mut first_row = MISS;
+                let mut hit_count = 0u32;
+                let mut sum = 0u64;
+                let mut pos = start;
+                while pos < self.sorted_keys.len() && self.sorted_keys[pos] <= upper {
+                    let row = self.rowids[pos];
+                    // Sideways scan is sequential: consecutive positions share
+                    // cache lines.
+                    classifier.access(ctx, (pos as u64) / 8 + 1, 12);
+                    ctx.add_instructions(3);
+                    if first_row == MISS || row < first_row {
+                        first_row = row;
+                    }
+                    hit_count += 1;
+                    if let Some(values) = values {
+                        fetch_value(ctx, classifier, values, row, &mut sum);
+                    }
+                    pos += 1;
                 }
-                hit_count += 1;
-                if let Some(values) = values {
-                    fetch_value(ctx, classifier, values, row, &mut sum);
+                if hit_count == 0 {
+                    BaselineLookupResult::miss()
+                } else {
+                    BaselineLookupResult {
+                        first_row,
+                        hit_count,
+                        value_sum: sum,
+                    }
                 }
-                pos += 1;
-            }
-            if hit_count == 0 {
-                BaselineLookupResult::miss()
-            } else {
-                BaselineLookupResult { first_row, hit_count, value_sum: sum }
-            }
-        }))
+            },
+        ))
     }
 }
 
@@ -210,7 +226,10 @@ mod tests {
         assert_eq!(sa.key_count(), 1000);
         assert_eq!(sa.name(), "SA");
         assert!(sa.sorted_keys.windows(2).all(|w| w[0] <= w[1]));
-        assert!(sa.build_metrics().scratch_bytes > 0, "out-of-place sort needs scratch");
+        assert!(
+            sa.build_metrics().scratch_bytes > 0,
+            "out-of-place sort needs scratch"
+        );
     }
 
     #[test]
@@ -233,7 +252,7 @@ mod tests {
     #[test]
     fn duplicates_return_all_rows() {
         let device = Device::default_eval();
-        let keys: Vec<u64> = (0..64u64).flat_map(|k| std::iter::repeat(k).take(3)).collect();
+        let keys: Vec<u64> = (0..64u64).flat_map(|k| std::iter::repeat_n(k, 3)).collect();
         let values = vec![2u64; keys.len()];
         let sa = SortedArray::build(&device, &keys);
         let batch = sa.point_lookup_batch(&device, &[5], Some(&values));
@@ -248,7 +267,11 @@ mod tests {
         let values = vec![1u64; 1024];
         let sa = SortedArray::build(&device, &keys);
         let batch = sa
-            .range_lookup_batch(&device, &[(10, 19), (1000, 1023), (5000, 6000), (3, 2)], Some(&values))
+            .range_lookup_batch(
+                &device,
+                &[(10, 19), (1000, 1023), (5000, 6000), (3, 2)],
+                Some(&values),
+            )
             .expect("SA supports ranges");
         assert_eq!(batch.results[0].hit_count, 10);
         assert_eq!(batch.results[1].hit_count, 24);

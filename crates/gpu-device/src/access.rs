@@ -131,7 +131,10 @@ mod tests {
         let mut ctx = ThreadCtx::new();
         c.access(&mut ctx, 1, 1000);
         c.access(&mut ctx, 2, 1000);
-        assert!(ctx.stats.dram_bytes_read > 1900, "most traffic must go to DRAM");
+        assert!(
+            ctx.stats.dram_bytes_read > 1900,
+            "most traffic must go to DRAM"
+        );
         assert!(ctx.stats.l2_hit_bytes < 100);
     }
 
@@ -142,7 +145,10 @@ mod tests {
         c.access(&mut ctx, 42, 1000);
         c.access(&mut ctx, 42, 1000);
         c.access(&mut ctx, 42, 1000);
-        assert_eq!(ctx.stats.l1_hit_bytes, 2000, "second and third access hit L1");
+        assert_eq!(
+            ctx.stats.l1_hit_bytes, 2000,
+            "second and third access hit L1"
+        );
         assert!(ctx.stats.dram_bytes_read >= 900);
     }
 

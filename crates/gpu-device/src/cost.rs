@@ -54,7 +54,9 @@ impl SimulatedTime {
 
     /// Sum of two simulated times.
     pub fn plus(&self, other: SimulatedTime) -> SimulatedTime {
-        SimulatedTime { seconds: self.seconds + other.seconds }
+        SimulatedTime {
+            seconds: self.seconds + other.seconds,
+        }
     }
 }
 
@@ -126,7 +128,10 @@ impl CostModel {
         let rt_core_s = rt_tests as f64 / self.spec.peak_rt_intersection_throughput();
 
         let bytes = (stats.dram_bytes_read + stats.dram_bytes_written) as f64;
-        let bw_util = self.occupancy.bandwidth_utilisation(stats.threads_launched).max(0.05);
+        let bw_util = self
+            .occupancy
+            .bandwidth_utilisation(stats.threads_launched)
+            .max(0.05);
         let memory_s = bytes / (self.spec.mem_bandwidth * bw_util);
 
         let occ = (self.occupancy.active_warps_per_sm(stats.threads_launched)
@@ -138,8 +143,7 @@ impl CostModel {
         // term already folds occupancy in through the achieved bandwidth, so
         // the occupancy divisor is applied to the compute/RT terms only.
         let roofline = (compute_s / occ).max(rt_core_s / occ).max(memory_s);
-        let launch_overhead_s =
-            stats.kernel_launches as f64 * self.spec.kernel_launch_overhead_s;
+        let launch_overhead_s = stats.kernel_launches as f64 * self.spec.kernel_launch_overhead_s;
         let total = SimulatedTime::from_seconds(roofline + launch_overhead_s);
 
         CostBreakdown {
@@ -199,8 +203,12 @@ mod tests {
         many_launches.kernel_launches = 1 << 16;
         let t1 = m.simulated_time(&one_launch);
         let t2 = m.simulated_time(&many_launches);
-        assert!(t2.as_seconds() > t1.as_seconds() + 0.1,
-            "2^16 launches must add noticeable overhead: {} vs {}", t2.as_seconds(), t1.as_seconds());
+        assert!(
+            t2.as_seconds() > t1.as_seconds() + 0.1,
+            "2^16 launches must add noticeable overhead: {} vs {}",
+            t2.as_seconds(),
+            t1.as_seconds()
+        );
     }
 
     #[test]

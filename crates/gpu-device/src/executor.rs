@@ -60,7 +60,10 @@ impl ThreadCtx {
 /// Capped at 16 to keep per-test overhead reasonable; the logical-thread
 /// semantics do not depend on this number.
 pub fn worker_count() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(16)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(16)
 }
 
 /// Executes `grid_size` logical threads of a kernel in parallel.
@@ -72,7 +75,11 @@ pub fn launch_kernel<F>(grid_size: usize, body: F) -> KernelStats
 where
     F: Fn(&mut ThreadCtx, usize) + Sync,
 {
-    let mut merged = KernelStats { threads_launched: grid_size as u64, kernel_launches: 1, ..KernelStats::new() };
+    let mut merged = KernelStats {
+        threads_launched: grid_size as u64,
+        kernel_launches: 1,
+        ..KernelStats::new()
+    };
     if grid_size == 0 {
         return merged;
     }
@@ -93,7 +100,10 @@ where
                 ctx.stats
             }));
         }
-        handles.into_iter().map(|h| h.join().expect("kernel worker panicked")).collect::<Vec<_>>()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("kernel worker panicked"))
+            .collect::<Vec<_>>()
     })
     .expect("kernel scope panicked");
 
@@ -110,11 +120,7 @@ where
 /// Executes `grid_size` logical threads that each produce one output value,
 /// writing results into a caller-provided slice. This mirrors a CUDA kernel
 /// writing to a result buffer indexed by thread id.
-pub fn launch_kernel_with_output<T, F>(
-    grid_size: usize,
-    output: &mut [T],
-    body: F,
-) -> KernelStats
+pub fn launch_kernel_with_output<T, F>(grid_size: usize, output: &mut [T], body: F) -> KernelStats
 where
     T: Send,
     F: Fn(&mut ThreadCtx, usize) -> T + Sync,
@@ -125,7 +131,11 @@ where
         output.len(),
         grid_size
     );
-    let mut merged = KernelStats { threads_launched: grid_size as u64, kernel_launches: 1, ..KernelStats::new() };
+    let mut merged = KernelStats {
+        threads_launched: grid_size as u64,
+        kernel_launches: 1,
+        ..KernelStats::new()
+    };
     if grid_size == 0 {
         return merged;
     }
@@ -147,7 +157,10 @@ where
                 ctx.stats
             }));
         }
-        handles.into_iter().map(|h| h.join().expect("kernel worker panicked")).collect::<Vec<_>>()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("kernel worker panicked"))
+            .collect::<Vec<_>>()
     })
     .expect("kernel scope panicked");
 
@@ -180,7 +193,10 @@ mod tests {
             counter.fetch_add(i as u64 + 1, Ordering::Relaxed);
             ctx.add_instructions(1);
         });
-        assert_eq!(counter.load(Ordering::Relaxed), (n as u64) * (n as u64 + 1) / 2);
+        assert_eq!(
+            counter.load(Ordering::Relaxed),
+            (n as u64) * (n as u64 + 1) / 2
+        );
         assert_eq!(stats.instructions, n as u64);
         assert_eq!(stats.threads_launched, n as u64);
         assert_eq!(stats.kernel_launches, 1);
@@ -233,6 +249,6 @@ mod tests {
     #[test]
     fn worker_count_is_positive_and_bounded() {
         let w = worker_count();
-        assert!(w >= 1 && w <= 16);
+        assert!((1..=16).contains(&w));
     }
 }

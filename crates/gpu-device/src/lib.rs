@@ -61,7 +61,11 @@ pub struct Device {
 impl Device {
     /// Creates a device with the given spec and fresh counters.
     pub fn new(spec: DeviceSpec) -> Self {
-        Device { spec, memory: MemoryTracker::new(), profiler: Profiler::new() }
+        Device {
+            spec,
+            memory: MemoryTracker::new(),
+            profiler: Profiler::new(),
+        }
     }
 
     /// Creates the default evaluation device (RTX 4090, the paper's system S1).

@@ -91,7 +91,11 @@ impl<T> DeviceBuffer<T> {
     fn register(data: Vec<T>, tracker: MemoryTracker) -> Self {
         let tracked_bytes = (data.capacity() * std::mem::size_of::<T>()) as u64;
         tracker.record_alloc(tracked_bytes);
-        DeviceBuffer { data, tracker, tracked_bytes }
+        DeviceBuffer {
+            data,
+            tracker,
+            tracked_bytes,
+        }
     }
 
     /// Allocates a buffer holding a copy of `slice`.

@@ -92,8 +92,14 @@ mod tests {
         let large = m.active_warps_per_sm(1 << 21);
         let huge = m.active_warps_per_sm(1 << 27);
         assert!(small < medium && medium < large && large < huge);
-        assert!(small < 8.0, "2^13 lookups must leave the device underutilised, got {small}");
-        assert!(large > 12.0, "2^21 lookups must nearly saturate, got {large}");
+        assert!(
+            small < 8.0,
+            "2^13 lookups must leave the device underutilised, got {small}"
+        );
+        assert!(
+            large > 12.0,
+            "2^21 lookups must nearly saturate, got {large}"
+        );
         assert!(huge <= 16.0 + 1e-9, "cannot exceed the scheduler limit");
     }
 

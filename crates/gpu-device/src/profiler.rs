@@ -137,7 +137,11 @@ mod tests {
 
     #[test]
     fn merge_adds_fields() {
-        let mut a = KernelStats { instructions: 10, dram_bytes_read: 100, ..KernelStats::new() };
+        let mut a = KernelStats {
+            instructions: 10,
+            dram_bytes_read: 100,
+            ..KernelStats::new()
+        };
         let b = KernelStats {
             instructions: 5,
             dram_bytes_read: 50,
@@ -166,8 +170,14 @@ mod tests {
     #[test]
     fn profiler_accumulates_and_tracks_last() {
         let p = Profiler::new();
-        p.record_kernel(KernelStats { instructions: 10, ..KernelStats::new() });
-        p.record_kernel(KernelStats { instructions: 30, ..KernelStats::new() });
+        p.record_kernel(KernelStats {
+            instructions: 10,
+            ..KernelStats::new()
+        });
+        p.record_kernel(KernelStats {
+            instructions: 30,
+            ..KernelStats::new()
+        });
         assert_eq!(p.total().instructions, 40);
         assert_eq!(p.last_kernel().instructions, 30);
         assert_eq!(p.kernels_recorded(), 2);
@@ -184,7 +194,10 @@ mod tests {
                 let p = p.clone();
                 s.spawn(move || {
                     for _ in 0..100 {
-                        p.record_kernel(KernelStats { instructions: 1, ..KernelStats::new() });
+                        p.record_kernel(KernelStats {
+                            instructions: 1,
+                            ..KernelStats::new()
+                        });
                     }
                 });
             }

@@ -151,7 +151,12 @@ impl DeviceSpec {
 
     /// All four presets of Table 8, ordered oldest to newest.
     pub fn table8_presets() -> Vec<DeviceSpec> {
-        vec![Self::rtx_2080ti(), Self::rtx_3090(), Self::rtx_a6000(), Self::rtx_4090()]
+        vec![
+            Self::rtx_2080ti(),
+            Self::rtx_3090(),
+            Self::rtx_a6000(),
+            Self::rtx_4090(),
+        ]
     }
 
     /// Maximum number of warps that can be resident on the whole device.
@@ -173,9 +178,7 @@ impl DeviceSpec {
     pub fn peak_rt_intersection_throughput(&self) -> f64 {
         // Baseline: a 1st-gen RT core retires roughly one box/triangle test
         // per clock.
-        self.rt_cores as f64
-            * self.clock_hz
-            * self.rt_core_generation.triangle_throughput_factor()
+        self.rt_cores as f64 * self.clock_hz * self.rt_core_generation.triangle_throughput_factor()
     }
 }
 
@@ -214,10 +217,15 @@ mod tests {
     #[test]
     fn newer_devices_have_more_rt_throughput() {
         let presets = DeviceSpec::table8_presets();
-        let throughputs: Vec<f64> =
-            presets.iter().map(|s| s.peak_rt_intersection_throughput()).collect();
+        let throughputs: Vec<f64> = presets
+            .iter()
+            .map(|s| s.peak_rt_intersection_throughput())
+            .collect();
         for w in throughputs.windows(2) {
-            assert!(w[0] < w[1], "RT throughput must increase across generations");
+            assert!(
+                w[0] < w[1],
+                "RT throughput must increase across generations"
+            );
         }
     }
 

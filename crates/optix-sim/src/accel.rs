@@ -9,7 +9,7 @@
 //! reproduced.
 
 use gpu_device::{Device, KernelStats, SimulatedTime};
-use rtx_bvh::{builder, refit, Bvh, BuildConfig, BuilderKind, PrimitiveSet};
+use rtx_bvh::{builder, refit, BuildConfig, BuilderKind, Bvh, PrimitiveSet};
 
 use crate::build_input::{BuildInput, PrimitiveKind};
 
@@ -43,7 +43,11 @@ impl AccelBuildOptions {
     /// Returns options with updates allowed (and compaction therefore
     /// disabled).
     pub fn updatable() -> Self {
-        AccelBuildOptions { allow_update: true, compact: false, ..Default::default() }
+        AccelBuildOptions {
+            allow_update: true,
+            compact: false,
+            ..Default::default()
+        }
     }
 }
 
@@ -128,7 +132,13 @@ impl GeometryAccel {
             compacted_bytes,
         };
 
-        GeometryAccel { input, bvh, metrics, prim_buffer, bvh_buffer }
+        GeometryAccel {
+            input,
+            bvh,
+            metrics,
+            prim_buffer,
+            bvh_buffer,
+        }
     }
 
     /// Number of primitives in the structure.
@@ -254,7 +264,10 @@ mod tests {
         let uncompacted = GeometryAccel::build(
             &device,
             input.clone(),
-            &AccelBuildOptions { compact: false, ..Default::default() },
+            &AccelBuildOptions {
+                compact: false,
+                ..Default::default()
+            },
         );
         let compacted = GeometryAccel::build(&device, input, &AccelBuildOptions::default());
         assert!(compacted.memory_bytes() < uncompacted.memory_bytes());
@@ -287,13 +300,24 @@ mod tests {
             &AccelBuildOptions::updatable(),
         );
         // Move every key by +1000: same count, same kind -> ok.
-        let moved: Vec<Vec3f> = (0..128).map(|i| Vec3f::new(1000.0 + i as f32, 0.0, 0.0)).collect();
-        gas.update(&device, BuildInput::from_centers(PrimitiveKind::Triangle, &moved))
-            .expect("update succeeds");
-        assert!(gas.bvh().root_bounds().contains_point(Vec3f::new(1064.0, 0.0, 0.0)));
+        let moved: Vec<Vec3f> = (0..128)
+            .map(|i| Vec3f::new(1000.0 + i as f32, 0.0, 0.0))
+            .collect();
+        gas.update(
+            &device,
+            BuildInput::from_centers(PrimitiveKind::Triangle, &moved),
+        )
+        .expect("update succeeds");
+        assert!(gas
+            .bvh()
+            .root_bounds()
+            .contains_point(Vec3f::new(1064.0, 0.0, 0.0)));
 
         let err = gas
-            .update(&device, BuildInput::from_centers(PrimitiveKind::Sphere, &moved))
+            .update(
+                &device,
+                BuildInput::from_centers(PrimitiveKind::Sphere, &moved),
+            )
             .expect_err("kind change must fail");
         assert!(err.contains("primitive type"));
     }
@@ -307,7 +331,10 @@ mod tests {
             &AccelBuildOptions::default(),
         );
         let err = gas
-            .update(&device, BuildInput::from_centers(PrimitiveKind::Triangle, &centers(16)))
+            .update(
+                &device,
+                BuildInput::from_centers(PrimitiveKind::Triangle, &centers(16)),
+            )
             .expect_err("non-updatable build");
         assert!(err.contains("allow-update"));
     }

@@ -23,7 +23,11 @@ pub enum PrimitiveKind {
 impl PrimitiveKind {
     /// All three primitive kinds, in the order used by Figure 7.
     pub fn all() -> [PrimitiveKind; 3] {
-        [PrimitiveKind::Triangle, PrimitiveKind::Sphere, PrimitiveKind::Aabb]
+        [
+            PrimitiveKind::Triangle,
+            PrimitiveKind::Sphere,
+            PrimitiveKind::Aabb,
+        ]
     }
 
     /// Short lowercase name used in experiment output.
@@ -99,14 +103,21 @@ impl BuildInput {
     /// the given order (the buffer position is the rowID).
     pub fn triangles_from_centers(centers: &[Vec3f], half: f32) -> BuildInput {
         BuildInput::Triangles(TriangleSet::new(
-            centers.iter().map(|c| Triangle::key_triangle(*c, half)).collect(),
+            centers
+                .iter()
+                .map(|c| Triangle::key_triangle(*c, half))
+                .collect(),
         ))
     }
 
     /// Builds a triangle input with per-axis half extents (needed by the
     /// Extended key mode, whose x gaps are ULP-sized).
     pub fn triangles_from_centers_anisotropic(centers: &[Vec3f], half: &[Vec3f]) -> BuildInput {
-        assert_eq!(centers.len(), half.len(), "one half-extent per centre required");
+        assert_eq!(
+            centers.len(),
+            half.len(),
+            "one half-extent per centre required"
+        );
         BuildInput::Triangles(TriangleSet::new(
             centers
                 .iter()

@@ -15,12 +15,16 @@ pub struct DeviceContext {
 impl DeviceContext {
     /// Creates a context for the given device spec.
     pub fn new(spec: DeviceSpec) -> Self {
-        DeviceContext { device: Device::new(spec) }
+        DeviceContext {
+            device: Device::new(spec),
+        }
     }
 
     /// Creates a context for the paper's primary evaluation GPU (RTX 4090).
     pub fn default_eval() -> Self {
-        DeviceContext { device: Device::default_eval() }
+        DeviceContext {
+            device: Device::default_eval(),
+        }
     }
 
     /// Creates a context wrapping an existing device.

@@ -95,7 +95,8 @@ impl<'a, PS: ProgramSet + ?Sized> Tracer<'a, PS> {
         );
         let prim_bytes = stats.prim_tests() * prims.bytes_per_primitive();
         if prim_bytes > 0 {
-            self.classifier.access(self.ctx, token.wrapping_add(1), prim_bytes);
+            self.classifier
+                .access(self.ctx, token.wrapping_add(1), prim_bytes);
         }
 
         // Programmable-core work.
@@ -123,7 +124,11 @@ impl<'a, PS: ProgramSet + ?Sized> Tracer<'a, PS> {
     /// hit the cache.
     pub fn read_buffer(&mut self, token: u64, bytes: u64) {
         self.ctx.add_instructions(2);
-        self.classifier.access(self.ctx, token.wrapping_mul(2654435761).rotate_left(17), bytes);
+        self.classifier.access(
+            self.ctx,
+            token.wrapping_mul(2654435761).rotate_left(17),
+            bytes,
+        );
     }
 
     /// Records `n` additional instructions of per-thread work (key
@@ -192,7 +197,11 @@ pub fn launch<PS: ProgramSet>(
     extra_working_set_bytes: u64,
     out: &mut [PS::Output],
 ) -> LaunchMetrics {
-    assert!(out.len() >= width, "output buffer too small: {} < {width}", out.len());
+    assert!(
+        out.len() >= width,
+        "output buffer too small: {} < {width}",
+        out.len()
+    );
     let start = std::time::Instant::now();
 
     let mut merged = KernelStats {
@@ -330,13 +339,16 @@ mod tests {
         // Launch indices 0..64: indices >= 16 are misses.
         let mut out = vec![0u32; 64];
         let metrics = launch(&device, &gas, &PointLookup, 64, 0, &mut out);
-        for i in 0..16 {
-            assert_eq!(out[i], i as u32);
+        for (i, &row) in out.iter().enumerate().take(16) {
+            assert_eq!(row, i as u32);
         }
-        for i in 16..64 {
-            assert_eq!(out[i], u32::MAX);
+        for &row in &out[16..] {
+            assert_eq!(row, u32::MAX);
         }
-        assert!(metrics.kernel.early_aborts > 0, "far misses abort at the root");
+        assert!(
+            metrics.kernel.early_aborts > 0,
+            "far misses abort at the root"
+        );
     }
 
     #[test]
@@ -384,6 +396,9 @@ mod tests {
         // A working set much larger than the 72 MiB L2 of the 4090 —
         // simulate by claiming a huge extra working set.
         let m_large = launch(&device, &small, &PointLookup, 256, 10 << 30, &mut out);
-        assert!(m_large.kernel.dram_bytes_read > 0, "large working set must hit DRAM");
+        assert!(
+            m_large.kernel.dram_bytes_read > 0,
+            "large working set must hit DRAM"
+        );
     }
 }

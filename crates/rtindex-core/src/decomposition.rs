@@ -28,7 +28,11 @@ pub const MAX_AXIS_BITS: u32 = 23;
 impl Decomposition {
     /// The paper's default decomposition: x = k\[22:0\], y = k\[45:23\],
     /// z = k\[63:46\].
-    pub const DEFAULT: Decomposition = Decomposition { x_bits: 23, y_bits: 23, z_bits: 18 };
+    pub const DEFAULT: Decomposition = Decomposition {
+        x_bits: 23,
+        y_bits: 23,
+        z_bits: 18,
+    };
 
     /// Creates a decomposition after validating the axis limits.
     ///
@@ -41,9 +45,16 @@ impl Decomposition {
             x_bits <= MAX_AXIS_BITS && y_bits <= MAX_AXIS_BITS && z_bits <= MAX_AXIS_BITS,
             "every axis is limited to {MAX_AXIS_BITS} bits to stay exactly representable in float32"
         );
-        assert!(x_bits + y_bits + z_bits <= 64, "decomposition cannot cover more than 64 bits");
+        assert!(
+            x_bits + y_bits + z_bits <= 64,
+            "decomposition cannot cover more than 64 bits"
+        );
         assert!(x_bits > 0, "the x axis must receive at least one bit");
-        Decomposition { x_bits, y_bits, z_bits }
+        Decomposition {
+            x_bits,
+            y_bits,
+            z_bits,
+        }
     }
 
     /// Total number of key bits covered by the decomposition.
@@ -81,7 +92,10 @@ impl Decomposition {
 
     /// Splits a row id back into its (y, z) components.
     pub fn row_to_yz(&self, row: u64) -> (u64, u64) {
-        (row & mask(self.y_bits), (row >> self.y_bits) & mask(self.z_bits))
+        (
+            row & mask(self.y_bits),
+            (row >> self.y_bits) & mask(self.z_bits),
+        )
     }
 
     /// Largest x component value.

@@ -62,6 +62,14 @@ pub enum RtIndexError {
         /// Upper bound.
         upper: u64,
     },
+    /// A masked lookup supplied a validity mask whose length does not match
+    /// the number of indexed keys.
+    LiveMaskLengthMismatch {
+        /// Number of indexed keys (and expected mask entries).
+        expected: usize,
+        /// Mask entries supplied.
+        actual: usize,
+    },
 }
 
 impl std::fmt::Display for RtIndexError {
@@ -96,6 +104,10 @@ impl std::fmt::Display for RtIndexError {
             RtIndexError::InvalidRange { lower, upper } => {
                 write!(f, "invalid range lookup: lower {lower} > upper {upper}")
             }
+            RtIndexError::LiveMaskLengthMismatch { expected, actual } => write!(
+                f,
+                "live mask has {actual} entries but the index holds {expected} keys"
+            ),
         }
     }
 }
@@ -108,7 +120,11 @@ mod tests {
 
     #[test]
     fn errors_render_human_readable_messages() {
-        let e = RtIndexError::KeyOutOfRange { key: 100, mode: KeyMode::Naive, max_key: 10 };
+        let e = RtIndexError::KeyOutOfRange {
+            key: 100,
+            mode: KeyMode::Naive,
+            max_key: 10,
+        };
         assert!(e.to_string().contains("key 100"));
         assert!(e.to_string().contains("naive"));
 
@@ -125,13 +141,24 @@ mod tests {
         let e = RtIndexError::InvalidRange { lower: 5, upper: 3 };
         assert!(e.to_string().contains("lower 5"));
 
-        let e = RtIndexError::KeyCountChanged { expected: 4, actual: 5 };
+        let e = RtIndexError::KeyCountChanged {
+            expected: 4,
+            actual: 5,
+        };
         assert!(e.to_string().contains('4') && e.to_string().contains('5'));
 
-        let e = RtIndexError::ValueColumnLengthMismatch { expected: 2, actual: 1 };
+        let e = RtIndexError::ValueColumnLengthMismatch {
+            expected: 2,
+            actual: 1,
+        };
         assert!(e.to_string().contains("value column"));
 
-        let e = RtIndexError::RangeTooWide { lower: 0, upper: u64::MAX, rays_required: 1 << 40, limit: 1024 };
+        let e = RtIndexError::RangeTooWide {
+            lower: 0,
+            upper: u64::MAX,
+            rays_required: 1 << 40,
+            limit: 1024,
+        };
         assert!(e.to_string().contains("limit"));
     }
 }

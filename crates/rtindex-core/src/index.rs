@@ -67,7 +67,10 @@ impl BatchOutcome {
     /// Sum of all per-lookup value sums (the aggregate the paper's
     /// methodology computes).
     pub fn total_value_sum(&self) -> u64 {
-        self.results.iter().map(|r| r.value_sum).fold(0u64, u64::wrapping_add)
+        self.results
+            .iter()
+            .map(|r| r.value_sum)
+            .fold(0u64, u64::wrapping_add)
     }
 }
 
@@ -87,7 +90,11 @@ impl RtIndex {
     /// Builds an index over `keys` on `device` using `config`.
     ///
     /// The position of each key in the slice is its rowID.
-    pub fn build(device: &Device, keys: &[u64], config: RtIndexConfig) -> Result<Self, RtIndexError> {
+    pub fn build(
+        device: &Device,
+        keys: &[u64],
+        config: RtIndexConfig,
+    ) -> Result<Self, RtIndexError> {
         if !config.key_mode.supports_primitive(config.primitive) {
             return Err(RtIndexError::UnsupportedPrimitive {
                 mode: config.key_mode,
@@ -96,7 +103,11 @@ impl RtIndex {
         }
         let max_key = config.key_mode.max_key();
         if let Some(&bad) = keys.iter().find(|&&k| k > max_key) {
-            return Err(RtIndexError::KeyOutOfRange { key: bad, mode: config.key_mode, max_key });
+            return Err(RtIndexError::KeyOutOfRange {
+                key: bad,
+                mode: config.key_mode,
+                max_key,
+            });
         }
 
         let keys_buffer = device.upload(keys);
@@ -204,6 +215,18 @@ impl RtIndex {
         Ok(())
     }
 
+    fn check_live_mask(&self, live: Option<&[bool]>) -> Result<(), RtIndexError> {
+        if let Some(mask) = live {
+            if mask.len() != self.key_count {
+                return Err(RtIndexError::LiveMaskLengthMismatch {
+                    expected: self.key_count,
+                    actual: mask.len(),
+                });
+            }
+        }
+        Ok(())
+    }
+
     /// Answers a batch of point lookups.
     ///
     /// Every query key is looked up with one pipeline thread. When `values`
@@ -215,15 +238,39 @@ impl RtIndex {
         queries: &[u64],
         values: Option<&[u64]>,
     ) -> Result<BatchOutcome, RtIndexError> {
+        self.point_lookup_batch_masked(queries, values, None)
+    }
+
+    /// Answers a batch of point lookups against a *masked* view of the
+    /// index: rowIDs whose entry in `live` is `false` are discarded by the
+    /// any-hit program before they reach the result, as if a validity bitmap
+    /// resided next to the primitive buffer.
+    ///
+    /// This is the reconciliation hook used by the dynamic-update layer
+    /// (`rtx-delta`): deletes tombstone base rows by clearing their bit
+    /// instead of rebuilding the BVH. `live.len()` must equal
+    /// [`RtIndex::key_count`].
+    pub fn point_lookup_batch_masked(
+        &self,
+        queries: &[u64],
+        values: Option<&[u64]>,
+        live: Option<&[bool]>,
+    ) -> Result<BatchOutcome, RtIndexError> {
         self.check_values(values)?;
-        let program = PointLookupProgram { index: self, queries, values };
+        self.check_live_mask(live)?;
+        let program = PointLookupProgram {
+            index: self,
+            queries,
+            values,
+            live,
+        };
         let mut results = vec![LookupResult::default(); queries.len()];
         let metrics = launch(
             &self.device,
             &self.gas,
             &program,
             queries.len(),
-            self.lookup_working_set_bytes(values),
+            self.lookup_working_set_bytes(values) + mask_bytes(live),
             &mut results,
         );
         Ok(BatchOutcome { results, metrics })
@@ -235,23 +282,71 @@ impl RtIndex {
         ranges: &[(u64, u64)],
         values: Option<&[u64]>,
     ) -> Result<BatchOutcome, RtIndexError> {
+        self.range_lookup_batch_masked(ranges, values, None)
+    }
+
+    /// Answers a batch of inclusive range lookups against a masked view of
+    /// the index (see [`RtIndex::point_lookup_batch_masked`]).
+    pub fn range_lookup_batch_masked(
+        &self,
+        ranges: &[(u64, u64)],
+        values: Option<&[u64]>,
+        live: Option<&[bool]>,
+    ) -> Result<BatchOutcome, RtIndexError> {
         self.check_values(values)?;
+        self.check_live_mask(live)?;
         // Validate ranges up front so errors surface deterministically
         // instead of inside worker threads.
         for &(l, u) in ranges {
             range_lookup_rays(&self.config.key_mode, self.config.range_ray, l, u)?;
         }
-        let program = RangeLookupProgram { index: self, ranges, values };
+        let program = RangeLookupProgram {
+            index: self,
+            ranges,
+            values,
+            live,
+        };
         let mut results = vec![LookupResult::default(); ranges.len()];
         let metrics = launch(
             &self.device,
             &self.gas,
             &program,
             ranges.len(),
-            self.lookup_working_set_bytes(values),
+            self.lookup_working_set_bytes(values) + mask_bytes(live),
             &mut results,
         );
         Ok(BatchOutcome { results, metrics })
+    }
+
+    /// Collects the *individual* qualifying rowIDs of each query key, in
+    /// ascending order, instead of aggregating them.
+    ///
+    /// This is the second reconciliation hook of the dynamic-update layer:
+    /// a delete is answered by rays (exactly like a lookup), and the
+    /// returned rowIDs are the entries to tombstone. Rows masked dead by
+    /// `live` are omitted, so repeated deletes of the same key are
+    /// idempotent.
+    pub fn collect_point_rows(
+        &self,
+        queries: &[u64],
+        live: Option<&[bool]>,
+    ) -> Result<(Vec<Vec<u32>>, LaunchMetrics), RtIndexError> {
+        self.check_live_mask(live)?;
+        let program = RowCollectProgram {
+            index: self,
+            queries,
+            live,
+        };
+        let mut rows: Vec<Vec<u32>> = vec![Vec::new(); queries.len()];
+        let metrics = launch(
+            &self.device,
+            &self.gas,
+            &program,
+            queries.len(),
+            mask_bytes(live),
+            &mut rows,
+        );
+        Ok((rows, metrics))
     }
 
     /// Bytes of device data a lookup batch touches besides the acceleration
@@ -288,7 +383,9 @@ impl RtIndex {
             });
         }
         let input = Self::build_input(&self.config, new_keys);
-        self.gas.update(&self.device, input).map_err(|_| RtIndexError::UpdatesNotEnabled)?;
+        self.gas
+            .update(&self.device, input)
+            .map_err(|_| RtIndexError::UpdatesNotEnabled)?;
         self.keys = self.device.upload(new_keys);
         Ok(())
     }
@@ -308,11 +405,18 @@ struct HitCollector {
     rows: Vec<u32>,
 }
 
+/// Bytes of the validity bitmap a masked lookup touches (one bit per row,
+/// modelled at byte granularity).
+fn mask_bytes(live: Option<&[bool]>) -> u64 {
+    live.map(|m| m.len().div_ceil(8) as u64).unwrap_or(0)
+}
+
 /// Ray-generation + any-hit programs for point lookups.
 struct PointLookupProgram<'a> {
     index: &'a RtIndex,
     queries: &'a [u64],
     values: Option<&'a [u64]>,
+    live: Option<&'a [bool]>,
 }
 
 impl ProgramSet for PointLookupProgram<'_> {
@@ -327,12 +431,16 @@ impl ProgramSet for PointLookupProgram<'_> {
         // ray-generation program).
         if !mode.supports_key(key) {
             tracer.add_instructions(2);
-            return LookupResult { first_row: MISS, hit_count: 0, value_sum: 0 };
+            return LookupResult {
+                first_row: MISS,
+                hit_count: 0,
+                value_sum: 0,
+            };
         }
         let ray = point_lookup_ray(mode, self.index.config.point_ray, key);
         let mut payload = HitCollector::default();
         tracer.trace(&ray, &mut payload);
-        finalize_result(&payload, self.values, tracer)
+        finalize_result(payload.rows, self.values, self.live, tracer)
     }
 
     fn any_hit(&self, payload: &mut HitCollector, prim: u32, _t: f32) -> AnyHitControl {
@@ -346,6 +454,7 @@ struct RangeLookupProgram<'a> {
     index: &'a RtIndex,
     ranges: &'a [(u64, u64)],
     values: Option<&'a [u64]>,
+    live: Option<&'a [bool]>,
 }
 
 impl ProgramSet for RangeLookupProgram<'_> {
@@ -359,13 +468,19 @@ impl ProgramSet for RangeLookupProgram<'_> {
             Ok(rays) => rays,
             // Ranges were validated before the launch; a failure here would
             // be a logic error, but misses are the safe degradation.
-            Err(_) => return LookupResult { first_row: MISS, hit_count: 0, value_sum: 0 },
+            Err(_) => {
+                return LookupResult {
+                    first_row: MISS,
+                    hit_count: 0,
+                    value_sum: 0,
+                }
+            }
         };
         let mut payload = HitCollector::default();
         for ray in &rays {
             tracer.trace(ray, &mut payload);
         }
-        finalize_result(&payload, self.values, tracer)
+        finalize_result(payload.rows, self.values, self.live, tracer)
     }
 
     fn any_hit(&self, payload: &mut HitCollector, prim: u32, _t: f32) -> AnyHitControl {
@@ -374,19 +489,81 @@ impl ProgramSet for RangeLookupProgram<'_> {
     }
 }
 
-/// Turns collected rowIDs into a [`LookupResult`], fetching and summing the
-/// projected values when a value column is present.
+/// Ray-generation + any-hit programs collecting raw rowIDs per query.
+struct RowCollectProgram<'a> {
+    index: &'a RtIndex,
+    queries: &'a [u64],
+    live: Option<&'a [bool]>,
+}
+
+impl ProgramSet for RowCollectProgram<'_> {
+    type Payload = HitCollector;
+    type Output = Vec<u32>;
+
+    fn ray_gen(&self, idx: usize, tracer: &mut Tracer<'_, Self>) -> Vec<u32> {
+        let key = self.queries[idx];
+        let mode = &self.index.config.key_mode;
+        if !mode.supports_key(key) {
+            tracer.add_instructions(2);
+            return Vec::new();
+        }
+        let ray = point_lookup_ray(mode, self.index.config.point_ray, key);
+        let mut payload = HitCollector::default();
+        tracer.trace(&ray, &mut payload);
+        let mut rows = filter_live(payload.rows, self.live, tracer);
+        rows.sort_unstable();
+        rows
+    }
+
+    fn any_hit(&self, payload: &mut HitCollector, prim: u32, _t: f32) -> AnyHitControl {
+        payload.rows.push(prim);
+        AnyHitControl::Continue
+    }
+}
+
+/// Drops rowIDs whose validity bit is cleared, charging one bitmap byte per
+/// inspected row (512 rows share a 64-byte cache line, so neighbouring hits
+/// become cache hits).
+fn filter_live<PS: ProgramSet + ?Sized>(
+    rows: Vec<u32>,
+    live: Option<&[bool]>,
+    tracer: &mut Tracer<'_, PS>,
+) -> Vec<u32> {
+    match live {
+        None => rows,
+        Some(mask) => {
+            let mut kept = Vec::with_capacity(rows.len());
+            for row in rows {
+                tracer.read_buffer((1 << 62) | (row as u64 / 512), 1);
+                if mask[row as usize] {
+                    kept.push(row);
+                }
+            }
+            kept
+        }
+    }
+}
+
+/// Turns collected rowIDs into a [`LookupResult`], masking tombstoned rows
+/// and fetching and summing the projected values when a value column is
+/// present.
 fn finalize_result<PS: ProgramSet + ?Sized>(
-    payload: &HitCollector,
+    rows: Vec<u32>,
     values: Option<&[u64]>,
+    live: Option<&[bool]>,
     tracer: &mut Tracer<'_, PS>,
 ) -> LookupResult {
-    if payload.rows.is_empty() {
-        return LookupResult { first_row: MISS, hit_count: 0, value_sum: 0 };
+    let rows = filter_live(rows, live, tracer);
+    if rows.is_empty() {
+        return LookupResult {
+            first_row: MISS,
+            hit_count: 0,
+            value_sum: 0,
+        };
     }
     let mut sum = 0u64;
     if let Some(values) = values {
-        for &row in &payload.rows {
+        for &row in &rows {
             // One cache line holds eight u64 values; neighbouring rowIDs
             // share it, which the access classifier turns into cache hits.
             tracer.read_buffer(row as u64 / 8, 8);
@@ -394,8 +571,8 @@ fn finalize_result<PS: ProgramSet + ?Sized>(
         }
     }
     LookupResult {
-        first_row: *payload.rows.iter().min().expect("non-empty"),
-        hit_count: payload.rows.len() as u32,
+        first_row: *rows.iter().min().expect("non-empty"),
+        hit_count: rows.len() as u32,
         value_sum: sum,
     }
 }
@@ -428,7 +605,10 @@ mod tests {
         assert_eq!(outcome.hit_count(), 997);
         for (q, r) in queries.iter().zip(&outcome.results) {
             assert_eq!(r.hit_count, 1, "key {q} must have exactly one match");
-            assert_eq!(keys[r.first_row as usize], *q, "rowID must point back at the key");
+            assert_eq!(
+                keys[r.first_row as usize], *q,
+                "rowID must point back at the key"
+            );
         }
     }
 
@@ -453,7 +633,9 @@ mod tests {
         let values: Vec<u64> = (0..500u64).map(|i| i * 10).collect();
         let index = RtIndex::build(&dev, &keys, RtIndexConfig::default()).expect("build");
         let queries: Vec<u64> = (0..500).collect();
-        let outcome = index.point_lookup_batch(&queries, Some(&values)).expect("lookup");
+        let outcome = index
+            .point_lookup_batch(&queries, Some(&values))
+            .expect("lookup");
         // Ground truth: for each query key, find its rowID and take the value.
         let mut expected_total = 0u64;
         for q in &queries {
@@ -467,10 +649,12 @@ mod tests {
     fn duplicate_keys_return_all_rows() {
         let dev = device();
         // Every key appears 4 times.
-        let keys: Vec<u64> = (0..64u64).flat_map(|k| std::iter::repeat(k).take(4)).collect();
+        let keys: Vec<u64> = (0..64u64).flat_map(|k| std::iter::repeat_n(k, 4)).collect();
         let values: Vec<u64> = vec![1; keys.len()];
         let index = RtIndex::build(&dev, &keys, RtIndexConfig::default()).expect("build");
-        let outcome = index.point_lookup_batch(&[7, 13], Some(&values)).expect("lookup");
+        let outcome = index
+            .point_lookup_batch(&[7, 13], Some(&values))
+            .expect("lookup");
         for r in &outcome.results {
             assert_eq!(r.hit_count, 4);
             assert_eq!(r.value_sum, 4);
@@ -484,12 +668,17 @@ mod tests {
         let values: Vec<u64> = vec![1; 1024];
         let index = RtIndex::build(&dev, &keys, RtIndexConfig::default()).expect("build");
         let ranges = vec![(0u64, 0u64), (10, 19), (1000, 1023), (2000, 3000)];
-        let outcome = index.range_lookup_batch(&ranges, Some(&values)).expect("lookup");
+        let outcome = index
+            .range_lookup_batch(&ranges, Some(&values))
+            .expect("lookup");
         assert_eq!(outcome.results[0].hit_count, 1);
         assert_eq!(outcome.results[1].hit_count, 10);
         assert_eq!(outcome.results[1].value_sum, 10);
         assert_eq!(outcome.results[2].hit_count, 24);
-        assert_eq!(outcome.results[3].hit_count, 0, "range beyond the key domain misses");
+        assert_eq!(
+            outcome.results[3].hit_count, 0,
+            "range beyond the key domain misses"
+        );
         assert_eq!(outcome.results[3].first_row, MISS);
     }
 
@@ -541,10 +730,15 @@ mod tests {
             let outcome = index.point_lookup_batch(&queries, None).expect("lookup");
             assert_eq!(outcome.hit_count(), 256, "strategy {:?}", strategy);
         }
-        for strategy in [RangeRayStrategy::ParallelFromOffset, RangeRayStrategy::ParallelFromZero] {
+        for strategy in [
+            RangeRayStrategy::ParallelFromOffset,
+            RangeRayStrategy::ParallelFromZero,
+        ] {
             let config = RtIndexConfig::default().with_range_ray(strategy);
             let index = RtIndex::build(&dev, &keys, config).expect("build");
-            let outcome = index.range_lookup_batch(&[(64, 127)], None).expect("lookup");
+            let outcome = index
+                .range_lookup_batch(&[(64, 127)], None)
+                .expect("lookup");
             assert_eq!(outcome.results[0].hit_count, 64, "strategy {:?}", strategy);
         }
     }
@@ -567,7 +761,9 @@ mod tests {
             assert_eq!(keys[r.first_row as usize], keys[i]);
         }
         // A nearby key that was never inserted must miss.
-        let miss = index.point_lookup_batch(&[(1 << 40) + 1], None).expect("lookup");
+        let miss = index
+            .point_lookup_batch(&[(1 << 40) + 1], None)
+            .expect("lookup");
         assert!(!miss.results[0].is_hit());
     }
 
@@ -602,7 +798,13 @@ mod tests {
         let dev = device();
         let index = RtIndex::build(&dev, &[1, 2, 3], RtIndexConfig::default()).expect("build");
         let err = index.point_lookup_batch(&[1], Some(&[10, 20])).unwrap_err();
-        assert!(matches!(err, RtIndexError::ValueColumnLengthMismatch { expected: 3, actual: 2 }));
+        assert!(matches!(
+            err,
+            RtIndexError::ValueColumnLengthMismatch {
+                expected: 3,
+                actual: 2
+            }
+        ));
     }
 
     #[test]
@@ -610,20 +812,28 @@ mod tests {
         let dev = device();
         let keys = shuffled_keys(64);
         let mut read_only = RtIndex::build(&dev, &keys, RtIndexConfig::default()).expect("build");
-        assert!(matches!(read_only.update_keys(&keys), Err(RtIndexError::UpdatesNotEnabled)));
+        assert!(matches!(
+            read_only.update_keys(&keys),
+            Err(RtIndexError::UpdatesNotEnabled)
+        ));
 
         let mut updatable =
             RtIndex::build(&dev, &keys, RtIndexConfig::default().updatable()).expect("build");
         assert!(matches!(
             updatable.update_keys(&keys[..32]),
-            Err(RtIndexError::KeyCountChanged { expected: 64, actual: 32 })
+            Err(RtIndexError::KeyCountChanged {
+                expected: 64,
+                actual: 32
+            })
         ));
 
         // Swap two keys and update: lookups must see the new mapping.
         let mut new_keys = keys.clone();
         new_keys.swap(0, 1);
         updatable.update_keys(&new_keys).expect("update");
-        let outcome = updatable.point_lookup_batch(&[new_keys[0]], None).expect("lookup");
+        let outcome = updatable
+            .point_lookup_batch(&[new_keys[0]], None)
+            .expect("lookup");
         assert_eq!(outcome.results[0].first_row, 0);
         assert_eq!(updatable.keys()[0], new_keys[0]);
     }
@@ -636,7 +846,9 @@ mod tests {
         let new_keys: Vec<u64> = (1000..1100).collect();
         index.rebuild(&new_keys).expect("rebuild");
         assert_eq!(index.key_count(), 100);
-        let outcome = index.point_lookup_batch(&[1000, 1099, 50], None).expect("lookup");
+        let outcome = index
+            .point_lookup_batch(&[1000, 1099, 50], None)
+            .expect("lookup");
         assert!(outcome.results[0].is_hit());
         assert!(outcome.results[1].is_hit());
         assert!(!outcome.results[2].is_hit());
@@ -645,13 +857,105 @@ mod tests {
     #[test]
     fn memory_accounting_is_exposed() {
         let dev = device();
-        let index = RtIndex::build(&dev, &shuffled_keys(4096), RtIndexConfig::default())
-            .expect("build");
+        let index =
+            RtIndex::build(&dev, &shuffled_keys(4096), RtIndexConfig::default()).expect("build");
         assert!(index.index_memory_bytes() > 0);
         assert!(index.total_memory_bytes() > index.index_memory_bytes());
         assert!(index.build_metrics().simulated_time_s > 0.0);
         // Triangle primitive buffer alone is 36 bytes per key.
         assert!(index.index_memory_bytes() >= 4096 * 36);
+    }
+
+    #[test]
+    fn masked_lookups_hide_tombstoned_rows() {
+        let dev = device();
+        let keys = shuffled_keys(256);
+        let values: Vec<u64> = (0..256u64).map(|i| i + 1).collect();
+        let index = RtIndex::build(&dev, &keys, RtIndexConfig::default()).expect("build");
+
+        // Tombstone every even rowID.
+        let live: Vec<bool> = (0..256).map(|row| row % 2 == 1).collect();
+        let queries: Vec<u64> = (0..256).collect();
+        let out = index
+            .point_lookup_batch_masked(&queries, Some(&values), Some(&live))
+            .expect("lookup");
+        for (q, r) in queries.iter().zip(&out.results) {
+            let row = keys.iter().position(|k| k == q).unwrap();
+            if row % 2 == 1 {
+                assert_eq!(r.first_row as usize, row);
+                assert_eq!(r.value_sum, values[row]);
+            } else {
+                assert_eq!(r.first_row, MISS, "tombstoned key {q} must miss");
+                assert_eq!(r.value_sum, 0);
+            }
+        }
+        assert_eq!(out.hit_count(), 128);
+
+        // Range lookups see only the live half as well.
+        let ranges = index
+            .range_lookup_batch_masked(&[(0, 255)], Some(&values), Some(&live))
+            .expect("range");
+        assert_eq!(ranges.results[0].hit_count, 128);
+
+        // An all-live mask behaves like no mask at all.
+        let all_live = vec![true; 256];
+        let unmasked = index
+            .point_lookup_batch(&queries, Some(&values))
+            .expect("lookup");
+        let masked = index
+            .point_lookup_batch_masked(&queries, Some(&values), Some(&all_live))
+            .expect("lookup");
+        assert_eq!(unmasked.results, masked.results);
+    }
+
+    #[test]
+    fn masked_lookup_validates_mask_length() {
+        let dev = device();
+        let index = RtIndex::build(&dev, &[1, 2, 3], RtIndexConfig::default()).expect("build");
+        let err = index
+            .point_lookup_batch_masked(&[1], None, Some(&[true]))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            RtIndexError::LiveMaskLengthMismatch {
+                expected: 3,
+                actual: 1
+            }
+        ));
+        let err = index
+            .range_lookup_batch_masked(&[(0, 1)], None, Some(&[true]))
+            .unwrap_err();
+        assert!(matches!(err, RtIndexError::LiveMaskLengthMismatch { .. }));
+        let err = index.collect_point_rows(&[1], Some(&[true])).unwrap_err();
+        assert!(matches!(err, RtIndexError::LiveMaskLengthMismatch { .. }));
+    }
+
+    #[test]
+    fn collect_point_rows_returns_sorted_live_rows() {
+        let dev = device();
+        // Every key appears 4 times.
+        let keys: Vec<u64> = (0..32u64).flat_map(|k| std::iter::repeat_n(k, 4)).collect();
+        let index = RtIndex::build(&dev, &keys, RtIndexConfig::default()).expect("build");
+
+        let (rows, metrics) = index.collect_point_rows(&[7, 500], None).expect("collect");
+        let expected: Vec<u32> = keys
+            .iter()
+            .enumerate()
+            .filter(|(_, &k)| k == 7)
+            .map(|(i, _)| i as u32)
+            .collect();
+        assert_eq!(rows[0], expected);
+        assert!(rows[1].is_empty(), "absent key collects no rows");
+        assert_eq!(metrics.kernel.threads_launched, 2);
+
+        // Masked rows are omitted (delete idempotence).
+        let mut live = vec![true; keys.len()];
+        live[expected[0] as usize] = false;
+        live[expected[2] as usize] = false;
+        let (rows, _) = index
+            .collect_point_rows(&[7], Some(&live))
+            .expect("collect");
+        assert_eq!(rows[0], vec![expected[1], expected[3]]);
     }
 
     #[test]

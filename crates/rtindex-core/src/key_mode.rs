@@ -44,7 +44,11 @@ impl KeyMode {
     /// All three modes (3D with the default decomposition), in the order
     /// used by Figure 3.
     pub fn all() -> [KeyMode; 3] {
-        [KeyMode::Naive, KeyMode::Extended, KeyMode::three_d_default()]
+        [
+            KeyMode::Naive,
+            KeyMode::Extended,
+            KeyMode::three_d_default(),
+        ]
     }
 
     /// Short lowercase name used in experiment output ("naive", "ext", "3d").
@@ -73,7 +77,10 @@ impl KeyMode {
     /// Whether the mode supports the given primitive type (Table 1: Extended
     /// Mode cannot use spheres because adjacent keys are only ULPs apart).
     pub fn supports_primitive(&self, primitive: PrimitiveKind) -> bool {
-        !matches!((self, primitive), (KeyMode::Extended, PrimitiveKind::Sphere))
+        !matches!(
+            (self, primitive),
+            (KeyMode::Extended, PrimitiveKind::Sphere)
+        )
     }
 
     /// The decomposition in use (only for 3D mode).
@@ -86,7 +93,11 @@ impl KeyMode {
 
     /// Scene coordinate of the key's primitive centre.
     pub fn center(&self, key: u64) -> Vec3f {
-        debug_assert!(self.supports_key(key), "key {key} out of range for {}", self.name());
+        debug_assert!(
+            self.supports_key(key),
+            "key {key} out of range for {}",
+            self.name()
+        );
         match self {
             KeyMode::Naive => Vec3f::new(key as f32, 0.0, 0.0),
             KeyMode::Extended => Vec3f::new(extended_coord(key), 0.0, 0.0),
@@ -242,8 +253,14 @@ mod tests {
             let c = extended_coord(key);
             let below = KeyMode::Extended.x_gap_below(key);
             let above = KeyMode::Extended.x_gap_above(key);
-            assert!(below < c && c < above, "gaps must bracket the key coordinate");
-            assert!(c > prev_above, "coordinates and gaps must be strictly increasing");
+            assert!(
+                below < c && c < above,
+                "gaps must bracket the key coordinate"
+            );
+            assert!(
+                c > prev_above,
+                "coordinates and gaps must be strictly increasing"
+            );
             prev_above = above;
         }
     }

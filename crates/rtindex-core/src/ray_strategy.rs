@@ -164,12 +164,21 @@ mod tests {
     #[test]
     fn strategy_names() {
         assert_eq!(PointRayStrategy::Perpendicular.name(), "perpendicular");
-        assert_eq!(PointRayStrategy::ParallelFromOffset.name(), "parallel-offset");
+        assert_eq!(
+            PointRayStrategy::ParallelFromOffset.name(),
+            "parallel-offset"
+        );
         assert_eq!(PointRayStrategy::ParallelFromZero.name(), "parallel-zero");
-        assert_eq!(RangeRayStrategy::ParallelFromOffset.name(), "parallel-offset");
+        assert_eq!(
+            RangeRayStrategy::ParallelFromOffset.name(),
+            "parallel-offset"
+        );
         assert_eq!(RangeRayStrategy::ParallelFromZero.name(), "parallel-zero");
         assert_eq!(PointRayStrategy::default(), PointRayStrategy::Perpendicular);
-        assert_eq!(RangeRayStrategy::default(), RangeRayStrategy::ParallelFromOffset);
+        assert_eq!(
+            RangeRayStrategy::default(),
+            RangeRayStrategy::ParallelFromOffset
+        );
     }
 
     #[test]
@@ -212,7 +221,10 @@ mod tests {
     fn invalid_range_is_rejected() {
         let err = range_lookup_rays(&KeyMode::Naive, RangeRayStrategy::ParallelFromOffset, 5, 3)
             .unwrap_err();
-        assert!(matches!(err, RtIndexError::InvalidRange { lower: 5, upper: 3 }));
+        assert!(matches!(
+            err,
+            RtIndexError::InvalidRange { lower: 5, upper: 3 }
+        ));
     }
 
     #[test]
@@ -220,8 +232,8 @@ mod tests {
         // Figure 4's example: 2 bits of x, range [15, 21] spans rows 3..=5.
         let d = Decomposition::new(2, 21, 0);
         let mode = KeyMode::ThreeD(d);
-        let rays = range_lookup_rays(&mode, RangeRayStrategy::ParallelFromOffset, 15, 21)
-            .expect("rays");
+        let rays =
+            range_lookup_rays(&mode, RangeRayStrategy::ParallelFromOffset, 15, 21).expect("rays");
         assert_eq!(rays.len(), 3);
         // First ray starts at x_l - 0.5 = 2.5 in row y = 3.
         assert_eq!(rays[0].origin, Vec3f::new(2.5, 3.0, 0.0));
@@ -240,8 +252,8 @@ mod tests {
         let mode = KeyMode::three_d_default();
         let l = 12_345_678_901_234u64;
         let u = l + (1 << 23) - 1;
-        let rays = range_lookup_rays(&mode, RangeRayStrategy::ParallelFromOffset, l, u)
-            .expect("rays");
+        let rays =
+            range_lookup_rays(&mode, RangeRayStrategy::ParallelFromOffset, l, u).expect("rays");
         assert!(rays.len() <= 2, "got {} rays", rays.len());
     }
 
@@ -255,8 +267,13 @@ mod tests {
 
     #[test]
     fn extended_mode_range_uses_gap_values() {
-        let rays = range_lookup_rays(&KeyMode::Extended, RangeRayStrategy::ParallelFromOffset, 10, 20)
-            .expect("rays");
+        let rays = range_lookup_rays(
+            &KeyMode::Extended,
+            RangeRayStrategy::ParallelFromOffset,
+            10,
+            20,
+        )
+        .expect("rays");
         assert_eq!(rays.len(), 1);
         let ray = &rays[0];
         assert_eq!(ray.origin.x, KeyMode::Extended.x_gap_below(10));

@@ -22,9 +22,16 @@ pub struct TypedRtIndex<K: IndexableKey> {
 
 impl<K: IndexableKey> TypedRtIndex<K> {
     /// Builds a typed index over `column` (rowID = position in the slice).
-    pub fn build(device: &Device, column: &[K], config: RtIndexConfig) -> Result<Self, RtIndexError> {
+    pub fn build(
+        device: &Device,
+        column: &[K],
+        config: RtIndexConfig,
+    ) -> Result<Self, RtIndexError> {
         let keys: Vec<u64> = column.iter().map(|v| v.to_index_key()).collect();
-        Ok(TypedRtIndex { inner: RtIndex::build(device, &keys, config)?, _marker: std::marker::PhantomData })
+        Ok(TypedRtIndex {
+            inner: RtIndex::build(device, &keys, config)?,
+            _marker: std::marker::PhantomData,
+        })
     }
 
     /// The underlying untyped index.
@@ -62,8 +69,10 @@ impl<K: IndexableKey> TypedRtIndex<K> {
         ranges: &[(K, K)],
         values: Option<&[u64]>,
     ) -> Result<BatchOutcome, RtIndexError> {
-        let encoded: Vec<(u64, u64)> =
-            ranges.iter().map(|(l, u)| (l.to_index_key(), u.to_index_key())).collect();
+        let encoded: Vec<(u64, u64)> = ranges
+            .iter()
+            .map(|(l, u)| (l.to_index_key(), u.to_index_key()))
+            .collect();
         self.inner.range_lookup_batch(&encoded, values)
     }
 }
@@ -98,7 +107,9 @@ mod tests {
         let column: Vec<i64> = (-50..50).collect();
         let values: Vec<u64> = vec![1; 100];
         let index = TypedRtIndex::build(&dev, &column, RtIndexConfig::default()).expect("build");
-        let outcome = index.range_lookup_batch(&[(-10i64, 10i64)], Some(&values)).expect("lookup");
+        let outcome = index
+            .range_lookup_batch(&[(-10i64, 10i64)], Some(&values))
+            .expect("lookup");
         assert_eq!(outcome.results[0].hit_count, 21);
     }
 
@@ -113,8 +124,13 @@ mod tests {
         // narrow value range spans an enormous number of key rows. RX rejects
         // such lookups instead of firing billions of rays; this is the
         // documented limitation inherited from the paper's per-row ray model.
-        let err = index.range_lookup_batch(&[(-1.0f64, 2.0f64)], None).unwrap_err();
-        assert!(matches!(err, crate::error::RtIndexError::RangeTooWide { .. }));
+        let err = index
+            .range_lookup_batch(&[(-1.0f64, 2.0f64)], None)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            crate::error::RtIndexError::RangeTooWide { .. }
+        ));
     }
 
     #[test]
@@ -129,7 +145,10 @@ mod tests {
         // Like floats, string-prefix ranges span too many rows for the
         // per-row ray model; RX reports the limitation explicitly.
         let err = index.range_lookup_batch(&[("b", "d")], None).unwrap_err();
-        assert!(matches!(err, crate::error::RtIndexError::RangeTooWide { .. }));
+        assert!(matches!(
+            err,
+            crate::error::RtIndexError::RangeTooWide { .. }
+        ));
     }
 
     #[test]

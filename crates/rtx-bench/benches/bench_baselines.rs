@@ -2,8 +2,8 @@
 //! sort they build on (the baseline sides of Figures 10–17).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use gpu_device::Device;
 use gpu_baselines::{radix_sort_pairs, BPlusTree, GpuIndex, SortedArray, WarpHashTable};
+use gpu_device::Device;
 use rtx_workloads as wl;
 
 fn bench_baseline_point_lookups(c: &mut Criterion) {
@@ -61,7 +61,6 @@ fn bench_radix_sort(c: &mut Criterion) {
     group.finish();
 }
 
-
 /// Shared Criterion configuration: small sample counts and short measurement
 /// windows keep `cargo bench --workspace` runnable in CI while still
 /// producing stable medians for the simulated workloads.
@@ -72,7 +71,7 @@ fn quick() -> Criterion {
         .measurement_time(std::time::Duration::from_millis(1500))
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = quick();
     targets =

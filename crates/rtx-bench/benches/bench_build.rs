@@ -2,8 +2,8 @@
 //! refitting updates vs. rebuilds (Figure 7b, Figure 10c, Table 4).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use gpu_device::Device;
 use gpu_baselines::{BPlusTree, SortedArray, WarpHashTable};
+use gpu_device::Device;
 use rtindex_core::{RtIndex, RtIndexConfig};
 use rtx_workloads as wl;
 
@@ -39,9 +39,7 @@ fn bench_update_vs_rebuild(c: &mut Criterion) {
     let mut group = c.benchmark_group("update");
     group.bench_function("refit_update", |b| {
         b.iter_batched(
-            || {
-                RtIndex::build(&device, &keys, RtIndexConfig::default().updatable()).unwrap()
-            },
+            || RtIndex::build(&device, &keys, RtIndexConfig::default().updatable()).unwrap(),
             |mut index| index.update_keys(&swapped).unwrap(),
             criterion::BatchSize::LargeInput,
         )
@@ -51,7 +49,6 @@ fn bench_update_vs_rebuild(c: &mut Criterion) {
     });
     group.finish();
 }
-
 
 /// Shared Criterion configuration: small sample counts and short measurement
 /// windows keep `cargo bench --workspace` runnable in CI while still
@@ -63,7 +60,7 @@ fn quick() -> Criterion {
         .measurement_time(std::time::Duration::from_millis(1500))
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = quick();
     targets = bench_index_builds, bench_update_vs_rebuild

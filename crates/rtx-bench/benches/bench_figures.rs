@@ -18,7 +18,6 @@ fn bench_experiments(c: &mut Criterion) {
     group.finish();
 }
 
-
 /// Shared Criterion configuration: small sample counts and short measurement
 /// windows keep `cargo bench --workspace` runnable in CI while still
 /// producing stable medians for the simulated workloads.
@@ -29,7 +28,7 @@ fn quick() -> Criterion {
         .measurement_time(std::time::Duration::from_millis(1500))
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = quick();
     targets = bench_experiments

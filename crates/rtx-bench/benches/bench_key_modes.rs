@@ -14,9 +14,11 @@ fn bench_key_modes(c: &mut Criterion) {
     for mode in KeyMode::all() {
         let index =
             RtIndex::build(&device, &keys, RtIndexConfig::default().with_key_mode(mode)).unwrap();
-        group.bench_with_input(BenchmarkId::from_parameter(mode.name()), &queries, |b, q| {
-            b.iter(|| index.point_lookup_batch(q, None).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(mode.name()),
+            &queries,
+            |b, q| b.iter(|| index.point_lookup_batch(q, None).unwrap()),
+        );
     }
     group.finish();
 }
@@ -57,13 +59,14 @@ fn bench_decompositions(c: &mut Criterion) {
             RtIndexConfig::default().with_key_mode(KeyMode::ThreeD(decomposition)),
         )
         .unwrap();
-        group.bench_with_input(BenchmarkId::from_parameter(decomposition.label()), &queries, |b, q| {
-            b.iter(|| index.point_lookup_batch(q, None).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(decomposition.label()),
+            &queries,
+            |b, q| b.iter(|| index.point_lookup_batch(q, None).unwrap()),
+        );
     }
     group.finish();
 }
-
 
 /// Shared Criterion configuration: small sample counts and short measurement
 /// windows keep `cargo bench --workspace` runnable in CI while still
@@ -75,7 +78,7 @@ fn quick() -> Criterion {
         .measurement_time(std::time::Duration::from_millis(1500))
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = quick();
     targets = bench_key_modes, bench_key_stride, bench_decompositions

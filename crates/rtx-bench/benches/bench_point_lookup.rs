@@ -13,7 +13,12 @@ fn bench_batch_sizes(c: &mut Criterion) {
         let queries = wl::point_lookups(&fixture.keys, 1 << exp, 7);
         group.throughput(Throughput::Elements(queries.len() as u64));
         group.bench_with_input(BenchmarkId::from_parameter(exp), &queries, |b, q| {
-            b.iter(|| fixture.rx.point_lookup_batch(q, Some(&fixture.values)).unwrap())
+            b.iter(|| {
+                fixture
+                    .rx
+                    .point_lookup_batch(q, Some(&fixture.values))
+                    .unwrap()
+            })
         });
     }
     group.finish();
@@ -25,10 +30,20 @@ fn bench_sorted_vs_unsorted(c: &mut Criterion) {
     let mut group = c.benchmark_group("rx_point_lookup_order");
     group.throughput(Throughput::Elements(fixture.point_queries.len() as u64));
     group.bench_function("unsorted", |b| {
-        b.iter(|| fixture.rx.point_lookup_batch(&fixture.point_queries, Some(&fixture.values)).unwrap())
+        b.iter(|| {
+            fixture
+                .rx
+                .point_lookup_batch(&fixture.point_queries, Some(&fixture.values))
+                .unwrap()
+        })
     });
     group.bench_function("sorted", |b| {
-        b.iter(|| fixture.rx.point_lookup_batch(&sorted, Some(&fixture.values)).unwrap())
+        b.iter(|| {
+            fixture
+                .rx
+                .point_lookup_batch(&sorted, Some(&fixture.values))
+                .unwrap()
+        })
     });
     group.finish();
 }
@@ -39,9 +54,18 @@ fn bench_hit_rate(c: &mut Criterion) {
     for h in [1.0f64, 0.5, 0.0] {
         let queries =
             wl::point_lookups_with_hit_rate(&fixture.keys, fixture.point_queries.len(), h, 9);
-        group.bench_with_input(BenchmarkId::from_parameter(format!("h{h}")), &queries, |b, q| {
-            b.iter(|| fixture.rx.point_lookup_batch(q, Some(&fixture.values)).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("h{h}")),
+            &queries,
+            |b, q| {
+                b.iter(|| {
+                    fixture
+                        .rx
+                        .point_lookup_batch(q, Some(&fixture.values))
+                        .unwrap()
+                })
+            },
+        );
     }
     group.finish();
 }
@@ -50,15 +74,22 @@ fn bench_skew(c: &mut Criterion) {
     let fixture = BenchFixture::default_size();
     let mut group = c.benchmark_group("rx_point_lookup_skew");
     for theta in [0.0f64, 1.0, 2.0] {
-        let queries =
-            wl::point_lookups_zipf(&fixture.keys, fixture.point_queries.len(), theta, 11);
-        group.bench_with_input(BenchmarkId::from_parameter(format!("zipf{theta}")), &queries, |b, q| {
-            b.iter(|| fixture.rx.point_lookup_batch(q, Some(&fixture.values)).unwrap())
-        });
+        let queries = wl::point_lookups_zipf(&fixture.keys, fixture.point_queries.len(), theta, 11);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("zipf{theta}")),
+            &queries,
+            |b, q| {
+                b.iter(|| {
+                    fixture
+                        .rx
+                        .point_lookup_batch(q, Some(&fixture.values))
+                        .unwrap()
+                })
+            },
+        );
     }
     group.finish();
 }
-
 
 /// Shared Criterion configuration: small sample counts and short measurement
 /// windows keep `cargo bench --workspace` runnable in CI while still
@@ -70,7 +101,7 @@ fn quick() -> Criterion {
         .measurement_time(std::time::Duration::from_millis(1500))
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = quick();
     targets = bench_batch_sizes, bench_sorted_vs_unsorted, bench_hit_rate, bench_skew

@@ -12,11 +12,17 @@ fn bench_primitive_lookups(c: &mut Criterion) {
     let queries = wl::point_lookups(&keys, 1 << 16, 43);
     let mut group = c.benchmark_group("primitive_point_lookups");
     for kind in PrimitiveKind::all() {
-        let index =
-            RtIndex::build(&device, &keys, RtIndexConfig::default().with_primitive(kind)).unwrap();
-        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &queries, |b, q| {
-            b.iter(|| index.point_lookup_batch(q, None).unwrap())
-        });
+        let index = RtIndex::build(
+            &device,
+            &keys,
+            RtIndexConfig::default().with_primitive(kind),
+        )
+        .unwrap();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.name()),
+            &queries,
+            |b, q| b.iter(|| index.point_lookup_batch(q, None).unwrap()),
+        );
     }
     group.finish();
 }
@@ -27,7 +33,9 @@ fn bench_primitive_builds(c: &mut Criterion) {
     let mut group = c.benchmark_group("primitive_builds");
     for kind in PrimitiveKind::all() {
         for (label, compact) in [("compacted", true), ("uncompacted", false)] {
-            let config = RtIndexConfig::default().with_primitive(kind).with_compaction(compact);
+            let config = RtIndexConfig::default()
+                .with_primitive(kind)
+                .with_compaction(compact);
             group.bench_function(BenchmarkId::new(kind.name(), label), |b| {
                 b.iter(|| RtIndex::build(&device, &keys, config).unwrap())
             });
@@ -35,7 +43,6 @@ fn bench_primitive_builds(c: &mut Criterion) {
     }
     group.finish();
 }
-
 
 /// Shared Criterion configuration: small sample counts and short measurement
 /// windows keep `cargo bench --workspace` runnable in CI while still
@@ -47,7 +54,7 @@ fn quick() -> Criterion {
         .measurement_time(std::time::Duration::from_millis(1500))
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = quick();
     targets = bench_primitive_lookups, bench_primitive_builds

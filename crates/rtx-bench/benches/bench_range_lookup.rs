@@ -14,7 +14,12 @@ fn bench_selectivity(c: &mut Criterion) {
         let ranges = wl::range_lookups(n, 1 << 12, qualifying, 5);
         group.throughput(Throughput::Elements(ranges.len() as u64));
         group.bench_with_input(BenchmarkId::from_parameter(qualifying), &ranges, |b, r| {
-            b.iter(|| fixture.rx.range_lookup_batch(r, Some(&fixture.values)).unwrap())
+            b.iter(|| {
+                fixture
+                    .rx
+                    .range_lookup_batch(r, Some(&fixture.values))
+                    .unwrap()
+            })
         });
     }
     group.finish();
@@ -25,7 +30,10 @@ fn bench_ray_origin(c: &mut Criterion) {
     let n = fixture.keys.len() as u64;
     let ranges = wl::range_lookups(n, 1 << 12, 64, 6);
     let mut group = c.benchmark_group("rx_range_lookup_ray_origin");
-    for strategy in [RangeRayStrategy::ParallelFromOffset, RangeRayStrategy::ParallelFromZero] {
+    for strategy in [
+        RangeRayStrategy::ParallelFromOffset,
+        RangeRayStrategy::ParallelFromZero,
+    ] {
         let index = RtIndex::build(
             &fixture.device,
             &fixture.keys,
@@ -47,7 +55,10 @@ fn bench_decomposition(c: &mut Criterion) {
     let ranges = wl::range_lookups(n, 1 << 11, 128, 7);
     let bits = 16u32;
     let mut group = c.benchmark_group("rx_range_lookup_decomposition");
-    for decomposition in [Decomposition::new(bits - 3, 3, 0), Decomposition::new(8, bits - 8, 0)] {
+    for decomposition in [
+        Decomposition::new(bits - 3, 3, 0),
+        Decomposition::new(8, bits - 8, 0),
+    ] {
         let index = RtIndex::build(
             &fixture.device,
             &fixture.keys,
@@ -63,7 +74,6 @@ fn bench_decomposition(c: &mut Criterion) {
     group.finish();
 }
 
-
 /// Shared Criterion configuration: small sample counts and short measurement
 /// windows keep `cargo bench --workspace` runnable in CI while still
 /// producing stable medians for the simulated workloads.
@@ -74,7 +84,7 @@ fn quick() -> Criterion {
         .measurement_time(std::time::Duration::from_millis(1500))
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = quick();
     targets = bench_selectivity, bench_ray_origin, bench_decomposition

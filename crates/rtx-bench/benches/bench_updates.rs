@@ -1,0 +1,169 @@
+//! Dynamic-update benchmarks: the `rtx-delta` layer vs. the static index's
+//! refit and rebuild paths, plus the delta-side read amplification.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gpu_device::Device;
+use rtindex_core::{RtIndex, RtIndexConfig};
+use rtx_delta::{CompactionPolicy, DynamicRtConfig, DynamicRtIndex};
+use rtx_workloads as wl;
+
+const KEYS_EXP: u32 = 14;
+
+fn fixture() -> (Vec<u64>, Vec<u64>) {
+    let keys = wl::dense_shuffled(1 << KEYS_EXP, 42);
+    let values = wl::value_column(keys.len(), 43);
+    (keys, values)
+}
+
+/// Insert throughput into the delta buffer, varying the batch size.
+fn bench_insert_batches(c: &mut Criterion) {
+    let device = Device::default_eval();
+    let (keys, values) = fixture();
+
+    let mut group = c.benchmark_group("delta_insert");
+    for exp in [6u32, 8, 10] {
+        let batch = 1usize << exp;
+        group.throughput(Throughput::Elements(batch as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(batch), &batch, |b, &batch| {
+            let fresh_keys: Vec<u64> = ((1 << KEYS_EXP)..(1 << KEYS_EXP) + batch as u64).collect();
+            let fresh_values = vec![1u64; batch];
+            b.iter_batched(
+                || {
+                    DynamicRtIndex::build(
+                        &device,
+                        &keys,
+                        &values,
+                        DynamicRtConfig::default().with_policy(CompactionPolicy::never()),
+                    )
+                    .unwrap()
+                },
+                |mut index| index.insert_batch(&fresh_keys, &fresh_values).unwrap(),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+/// The three update strategies applying the same churn batch.
+fn bench_update_strategies(c: &mut Criterion) {
+    let device = Device::default_eval();
+    let (keys, values) = fixture();
+    let batch = 1usize << 8;
+    let old_keys: Vec<u64> = keys[..batch].to_vec();
+    let new_keys: Vec<u64> = ((1 << KEYS_EXP)..(1 << KEYS_EXP) + batch as u64).collect();
+    let mut churned = keys.clone();
+    for (slot, &nk) in churned[..batch].iter_mut().zip(&new_keys) {
+        *slot = nk;
+    }
+
+    let mut group = c.benchmark_group("update_strategy");
+    group.throughput(Throughput::Elements(batch as u64));
+    group.bench_function("delta_buffer", |b| {
+        b.iter_batched(
+            || {
+                DynamicRtIndex::build(
+                    &device,
+                    &keys,
+                    &values,
+                    DynamicRtConfig::default().with_policy(CompactionPolicy::never()),
+                )
+                .unwrap()
+            },
+            |mut index| {
+                index.delete_batch(&old_keys).unwrap();
+                index.insert_batch(&new_keys, &vec![1u64; batch]).unwrap()
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("refit", |b| {
+        b.iter_batched(
+            || RtIndex::build(&device, &keys, RtIndexConfig::default().updatable()).unwrap(),
+            |mut index| index.update_keys(&churned).unwrap(),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("rebuild", |b| {
+        b.iter(|| RtIndex::build(&device, &churned, RtIndexConfig::default()).unwrap())
+    });
+    group.finish();
+}
+
+/// Read amplification of the delta layer: lookups against a compacted index
+/// vs. one with a populated delta and tombstones.
+fn bench_lookup_amplification(c: &mut Criterion) {
+    let device = Device::default_eval();
+    let (keys, values) = fixture();
+    let queries = wl::point_lookups(&keys, 1 << KEYS_EXP, 44);
+
+    let compacted =
+        DynamicRtIndex::build(&device, &keys, &values, DynamicRtConfig::default()).unwrap();
+    let mut dirty = DynamicRtIndex::build(
+        &device,
+        &keys,
+        &values,
+        DynamicRtConfig::default().with_policy(CompactionPolicy::never()),
+    )
+    .unwrap();
+    let fresh: Vec<u64> = ((1 << KEYS_EXP)..(1 << KEYS_EXP) + (1 << 10)).collect();
+    dirty
+        .insert_batch(&fresh, &vec![1u64; fresh.len()])
+        .unwrap();
+    dirty.delete_batch(&keys[..1 << 10]).unwrap();
+
+    let mut group = c.benchmark_group("dynamic_lookup");
+    group.throughput(Throughput::Elements(queries.len() as u64));
+    group.bench_function("compacted", |b| {
+        b.iter(|| compacted.point_lookup_batch(&queries).unwrap())
+    });
+    group.bench_function("with_delta_and_tombstones", |b| {
+        b.iter(|| dirty.point_lookup_batch(&queries).unwrap())
+    });
+    group.finish();
+}
+
+/// Compaction cost: merging a populated delta back into the BVH.
+fn bench_compaction(c: &mut Criterion) {
+    let device = Device::default_eval();
+    let (keys, values) = fixture();
+    let fresh: Vec<u64> = ((1 << KEYS_EXP)..(1 << KEYS_EXP) + (1 << 11)).collect();
+
+    let mut group = c.benchmark_group("compaction");
+    group.sample_size(10);
+    group.bench_function("merge_delta", |b| {
+        b.iter_batched(
+            || {
+                let mut index = DynamicRtIndex::build(
+                    &device,
+                    &keys,
+                    &values,
+                    DynamicRtConfig::default().with_policy(CompactionPolicy::never()),
+                )
+                .unwrap();
+                index
+                    .insert_batch(&fresh, &vec![1u64; fresh.len()])
+                    .unwrap();
+                index.delete_batch(&keys[..1 << 11]).unwrap();
+                index
+            },
+            |mut index| index.compact_now(),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1500))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_insert_batches, bench_update_strategies, bench_lookup_amplification, bench_compaction
+}
+criterion_main!(benches);

@@ -50,7 +50,14 @@ impl BenchFixture {
         let point_queries = wl::point_lookups(&keys, 1 << lookups_exp, 44);
         let range_queries = wl::range_lookups(keys.len() as u64, 1 << (lookups_exp - 3), 16, 45);
         let rx = RtIndex::build(&device, &keys, RtIndexConfig::default()).expect("RX build");
-        BenchFixture { device, keys, values, point_queries, range_queries, rx }
+        BenchFixture {
+            device,
+            keys,
+            values,
+            point_queries,
+            range_queries,
+            rx,
+        }
     }
 
     /// The default benchmark size (2^16 keys, 2^16 lookups): large enough to
@@ -77,7 +84,9 @@ mod tests {
         assert_eq!(f.values.len(), f.keys.len());
         assert_eq!(f.point_queries.len(), 1 << 12);
         assert!(!f.range_queries.is_empty());
-        let out = f.rx.point_lookup_batch(&f.point_queries, Some(&f.values)).unwrap();
+        let out =
+            f.rx.point_lookup_batch(&f.point_queries, Some(&f.values))
+                .unwrap();
         assert_eq!(out.hit_count(), f.point_queries.len());
     }
 }

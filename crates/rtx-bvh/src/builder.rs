@@ -45,7 +45,12 @@ pub struct BuildConfig {
 
 impl Default for BuildConfig {
     fn default() -> Self {
-        BuildConfig { max_leaf_size: 4, sah_bins: 16, allow_update: false, builder: BuilderKind::Lbvh }
+        BuildConfig {
+            max_leaf_size: 4,
+            sah_bins: 16,
+            allow_update: false,
+            builder: BuilderKind::Lbvh,
+        }
     }
 }
 
@@ -80,7 +85,11 @@ struct PrimInfo {
 
 fn collect_prim_info(prims: &dyn PrimitiveSet) -> Vec<PrimInfo> {
     (0..prims.len())
-        .map(|i| PrimInfo { index: i as u32, bounds: prims.bounds(i), centroid: prims.centroid(i) })
+        .map(|i| PrimInfo {
+            index: i as u32,
+            bounds: prims.bounds(i),
+            centroid: prims.centroid(i),
+        })
         .collect()
 }
 
@@ -113,8 +122,9 @@ fn build_sah_recursive(
         return node_index;
     }
 
-    let centroid_bounds =
-        info.iter().fold(Aabb::EMPTY, |acc, p| acc.union_point(p.centroid));
+    let centroid_bounds = info
+        .iter()
+        .fold(Aabb::EMPTY, |acc, p| acc.union_point(p.centroid));
     let axis = centroid_bounds.longest_axis();
     let extent = centroid_bounds.extent().axis(axis);
 
@@ -123,8 +133,7 @@ fn build_sah_recursive(
         // keep the tree balanced.
         info.len() / 2
     } else {
-        binned_sah_split(info, axis, &centroid_bounds, config.sah_bins)
-            .unwrap_or(info.len() / 2)
+        binned_sah_split(info, axis, &centroid_bounds, config.sah_bins).unwrap_or(info.len() / 2)
     };
     let split = split.clamp(1, info.len() - 1);
 
@@ -146,7 +155,10 @@ fn binned_sah_split(
     bin_count: usize,
 ) -> Option<usize> {
     info.sort_unstable_by(|a, b| {
-        a.centroid.axis(axis).partial_cmp(&b.centroid.axis(axis)).unwrap_or(std::cmp::Ordering::Equal)
+        a.centroid
+            .axis(axis)
+            .partial_cmp(&b.centroid.axis(axis))
+            .unwrap_or(std::cmp::Ordering::Equal)
     });
 
     let lo = centroid_bounds.min.axis(axis);
@@ -194,14 +206,18 @@ fn binned_sah_split(
     }
 
     best_bin.map(|split_bin| {
-        info.iter().position(|p| bin_of(p.centroid.axis(axis)) >= split_bin).unwrap_or(info.len() / 2)
+        info.iter()
+            .position(|p| bin_of(p.centroid.axis(axis)) >= split_bin)
+            .unwrap_or(info.len() / 2)
     })
 }
 
 /// Builds a BVH with the LBVH (Morton sort) algorithm.
 pub fn build_lbvh(prims: &dyn PrimitiveSet, config: &BuildConfig) -> Bvh {
     let info = collect_prim_info(prims);
-    let scene_bounds = info.iter().fold(Aabb::EMPTY, |acc, p| acc.union_point(p.centroid));
+    let scene_bounds = info
+        .iter()
+        .fold(Aabb::EMPTY, |acc, p| acc.union_point(p.centroid));
 
     let mut keyed: Vec<(u64, PrimInfo)> = info
         .into_iter()
@@ -224,7 +240,9 @@ fn build_lbvh_recursive(
     order: &mut Vec<u32>,
     config: &BuildConfig,
 ) -> usize {
-    let bounds = sorted.iter().fold(Aabb::EMPTY, |acc, (_, p)| acc.union(&p.bounds));
+    let bounds = sorted
+        .iter()
+        .fold(Aabb::EMPTY, |acc, (_, p)| acc.union(&p.bounds));
     let node_index = nodes.len();
 
     if sorted.len() <= config.max_leaf_size {
@@ -285,9 +303,13 @@ mod tests {
 
     fn check_build(builder: BuilderKind, n: usize) -> Bvh {
         let prims = line_of_triangles(n);
-        let config = BuildConfig { builder, ..BuildConfig::default() };
+        let config = BuildConfig {
+            builder,
+            ..BuildConfig::default()
+        };
         let bvh = build(&prims, &config);
-        bvh.validate().unwrap_or_else(|e| panic!("{builder:?} with {n} prims invalid: {e}"));
+        bvh.validate()
+            .unwrap_or_else(|e| panic!("{builder:?} with {n} prims invalid: {e}"));
         assert_eq!(bvh.primitive_count(), n);
         bvh
     }
@@ -310,10 +332,18 @@ mod tests {
     fn builds_handle_duplicate_positions() {
         // 64 primitives all at the same location (maximum key multiplicity).
         let prims = TriangleSet::new(
-            (0..64).map(|_| Triangle::key_triangle(Vec3f::new(7.0, 0.0, 0.0), 0.4)).collect(),
+            (0..64)
+                .map(|_| Triangle::key_triangle(Vec3f::new(7.0, 0.0, 0.0), 0.4))
+                .collect(),
         );
         for builder in [BuilderKind::Sah, BuilderKind::Lbvh] {
-            let bvh = build(&prims, &BuildConfig { builder, ..Default::default() });
+            let bvh = build(
+                &prims,
+                &BuildConfig {
+                    builder,
+                    ..Default::default()
+                },
+            );
             bvh.validate().expect("valid");
             assert_eq!(bvh.primitive_count(), 64);
         }
@@ -325,7 +355,10 @@ mod tests {
         let bvh = build(&prims, &BuildConfig::default());
         let root = bvh.root_bounds();
         for i in 0..prims.len() {
-            assert!(root.contains_aabb(&prims.bounds(i)), "primitive {i} escapes root bounds");
+            assert!(
+                root.contains_aabb(&prims.bounds(i)),
+                "primitive {i} escapes root bounds"
+            );
         }
     }
 
@@ -333,17 +366,30 @@ mod tests {
     fn depth_is_logarithmic_for_uniform_input() {
         let prims = line_of_triangles(1024);
         for builder in [BuilderKind::Sah, BuilderKind::Lbvh] {
-            let bvh = build(&prims, &BuildConfig { builder, ..Default::default() });
+            let bvh = build(
+                &prims,
+                &BuildConfig {
+                    builder,
+                    ..Default::default()
+                },
+            );
             // 1024 prims / 4 per leaf = 256 leaves -> ideal depth 9; allow
             // slack but reject degenerate linear trees.
-            assert!(bvh.depth() <= 20, "{builder:?} depth {} too large", bvh.depth());
+            assert!(
+                bvh.depth() <= 20,
+                "{builder:?} depth {} too large",
+                bvh.depth()
+            );
         }
     }
 
     #[test]
     fn leaf_size_limit_is_respected() {
         let prims = line_of_triangles(333);
-        let config = BuildConfig { max_leaf_size: 2, ..Default::default() };
+        let config = BuildConfig {
+            max_leaf_size: 2,
+            ..Default::default()
+        };
         let bvh = build(&prims, &config);
         for node in &bvh.nodes {
             if node.is_leaf() {
@@ -365,8 +411,20 @@ mod tests {
     fn sah_quality_not_worse_than_lbvh_on_uniform_line() {
         use crate::quality::BvhQuality;
         let prims = line_of_triangles(512);
-        let sah = build(&prims, &BuildConfig { builder: BuilderKind::Sah, ..Default::default() });
-        let lbvh = build(&prims, &BuildConfig { builder: BuilderKind::Lbvh, ..Default::default() });
+        let sah = build(
+            &prims,
+            &BuildConfig {
+                builder: BuilderKind::Sah,
+                ..Default::default()
+            },
+        );
+        let lbvh = build(
+            &prims,
+            &BuildConfig {
+                builder: BuilderKind::Lbvh,
+                ..Default::default()
+            },
+        );
         let q_sah = BvhQuality::measure(&sah);
         let q_lbvh = BvhQuality::measure(&lbvh);
         assert!(

@@ -24,14 +24,24 @@ pub struct BvhNode {
 impl BvhNode {
     /// Creates an interior node.
     pub fn interior(bounds: Aabb, right_child: u32) -> Self {
-        BvhNode { bounds, right_child, first_prim: 0, prim_count: 0 }
+        BvhNode {
+            bounds,
+            right_child,
+            first_prim: 0,
+            prim_count: 0,
+        }
     }
 
     /// Creates a leaf node referencing `prim_count` primitives starting at
     /// `first_prim` in the primitive index array.
     pub fn leaf(bounds: Aabb, first_prim: u32, prim_count: u32) -> Self {
         debug_assert!(prim_count > 0, "leaves must contain at least one primitive");
-        BvhNode { bounds, right_child: u32::MAX, first_prim, prim_count }
+        BvhNode {
+            bounds,
+            right_child: u32::MAX,
+            first_prim,
+            prim_count,
+        }
     }
 
     /// True when this node is a leaf.
@@ -75,7 +85,13 @@ impl Bvh {
     pub fn new(nodes: Vec<BvhNode>, prim_indices: Vec<u32>, allow_update: bool) -> Self {
         let tight = Self::tight_bytes_for(nodes.len(), prim_indices.len());
         let allocated = (tight as f64 * UNCOMPACTED_SLACK_FACTOR) as u64;
-        Bvh { nodes, prim_indices, allocated_bytes: allocated, compacted: false, allow_update }
+        Bvh {
+            nodes,
+            prim_indices,
+            allocated_bytes: allocated,
+            compacted: false,
+            allow_update,
+        }
     }
 
     /// Bytes needed for a tightly packed BVH with the given node and
@@ -175,7 +191,9 @@ impl Bvh {
                 for slot in start..end {
                     let prim = self.prim_indices[slot] as usize;
                     if prim >= seen.len() {
-                        return Err(format!("leaf {idx} references primitive {prim} out of range"));
+                        return Err(format!(
+                            "leaf {idx} references primitive {prim} out of range"
+                        ));
                     }
                     if seen[prim] {
                         return Err(format!("primitive {prim} referenced twice"));
@@ -192,7 +210,9 @@ impl Bvh {
                     return Err(format!("interior {idx} does not contain left child bounds"));
                 }
                 if !node.bounds.contains_aabb(&self.nodes[right].bounds) {
-                    return Err(format!("interior {idx} does not contain right child bounds"));
+                    return Err(format!(
+                        "interior {idx} does not contain right child bounds"
+                    ));
                 }
             }
         }
@@ -280,11 +300,7 @@ mod tests {
 
     #[test]
     fn validate_catches_non_containing_parent() {
-        let leaf_a = BvhNode::leaf(
-            Aabb::new(Vec3f::ZERO, Vec3f::new(1.0, 1.0, 1.0)),
-            0,
-            1,
-        );
+        let leaf_a = BvhNode::leaf(Aabb::new(Vec3f::ZERO, Vec3f::new(1.0, 1.0, 1.0)), 0, 1);
         let leaf_b = BvhNode::leaf(
             Aabb::new(Vec3f::new(5.0, 5.0, 5.0), Vec3f::new(6.0, 6.0, 6.0)),
             1,

@@ -261,7 +261,12 @@ mod tests {
     #[test]
     fn triangle_set_intersection_is_hardware() {
         let set = key_triangles(4);
-        let ray = Ray::new(Vec3f::new(2.0, 0.0, -0.5), Vec3f::new(0.0, 0.0, 1.0), 0.0, 1.0);
+        let ray = Ray::new(
+            Vec3f::new(2.0, 0.0, -0.5),
+            Vec3f::new(0.0, 0.0, 1.0),
+            0.0,
+            1.0,
+        );
         let hit = set.intersect(2, &ray);
         assert!(hit.is_hardware());
         assert!(hit.t().is_some());
@@ -279,7 +284,12 @@ mod tests {
         assert_eq!(set.bytes_per_primitive(), 12);
         assert_eq!(set.radius(), 0.25);
         assert_eq!(set.centroid(1), Vec3f::new(1.0, 0.0, 0.0));
-        let ray = Ray::new(Vec3f::new(1.0, 0.0, -0.5), Vec3f::new(0.0, 0.0, 1.0), 0.0, 1.0);
+        let ray = Ray::new(
+            Vec3f::new(1.0, 0.0, -0.5),
+            Vec3f::new(0.0, 0.0, 1.0),
+            0.0,
+            1.0,
+        );
         let hit = set.intersect(1, &ray);
         assert!(matches!(hit, PrimitiveHit::SoftwareHit(_)));
         assert_eq!(set.intersect(0, &ray), PrimitiveHit::Miss);
@@ -297,10 +307,26 @@ mod tests {
         assert_eq!(set.len(), 3);
         assert_eq!(set.bytes_per_primitive(), 24);
         assert!(!set.hardware_intersection());
-        let ray = Ray::new(Vec3f::new(-1.0, 0.0, 0.0), Vec3f::new(1.0, 0.0, 0.0), 0.0, 10.0);
-        assert!(matches!(set.intersect(0, &ray), PrimitiveHit::SoftwareHit(_)));
-        assert!(matches!(set.intersect(2, &ray), PrimitiveHit::SoftwareHit(_)));
-        let short_ray = Ray::new(Vec3f::new(-1.0, 0.0, 0.0), Vec3f::new(1.0, 0.0, 0.0), 0.0, 0.5);
+        let ray = Ray::new(
+            Vec3f::new(-1.0, 0.0, 0.0),
+            Vec3f::new(1.0, 0.0, 0.0),
+            0.0,
+            10.0,
+        );
+        assert!(matches!(
+            set.intersect(0, &ray),
+            PrimitiveHit::SoftwareHit(_)
+        ));
+        assert!(matches!(
+            set.intersect(2, &ray),
+            PrimitiveHit::SoftwareHit(_)
+        ));
+        let short_ray = Ray::new(
+            Vec3f::new(-1.0, 0.0, 0.0),
+            Vec3f::new(1.0, 0.0, 0.0),
+            0.0,
+            0.5,
+        );
         assert_eq!(set.intersect(0, &short_ray), PrimitiveHit::Miss);
     }
 

@@ -74,7 +74,11 @@ impl BvhQuality {
         BvhQuality {
             sah_cost,
             leaf_count,
-            avg_leaf_size: if leaf_count > 0 { leaf_prims as f64 / leaf_count as f64 } else { 0.0 },
+            avg_leaf_size: if leaf_count > 0 {
+                leaf_prims as f64 / leaf_count as f64
+            } else {
+                0.0
+            },
             depth: bvh.depth(),
             avg_child_overlap: if interior_count > 0 {
                 overlap_sum / interior_count as f64
@@ -124,7 +128,13 @@ mod tests {
     #[test]
     fn single_leaf_quality() {
         let prims = line_of_triangles(3);
-        let bvh = build(&prims, &BuildConfig { max_leaf_size: 8, ..Default::default() });
+        let bvh = build(
+            &prims,
+            &BuildConfig {
+                max_leaf_size: 8,
+                ..Default::default()
+            },
+        );
         let q = BvhQuality::measure(&bvh);
         assert_eq!(q.leaf_count, 1);
         assert_eq!(q.avg_leaf_size, 3.0);

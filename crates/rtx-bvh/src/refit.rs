@@ -105,7 +105,12 @@ mod tests {
     }
 
     fn point_ray(key: f32) -> Ray {
-        Ray::new(Vec3f::new(key, 0.0, -0.5), Vec3f::new(0.0, 0.0, 1.0), 0.0, 1.0)
+        Ray::new(
+            Vec3f::new(key, 0.0, -0.5),
+            Vec3f::new(0.0, 0.0, 1.0),
+            0.0,
+            1.0,
+        )
     }
 
     #[test]
@@ -122,7 +127,10 @@ mod tests {
         let smaller = line_of_triangles(31);
         assert!(matches!(
             refit(&mut bvh, &smaller),
-            Err(RefitError::PrimitiveCountChanged { expected: 32, actual: 31 })
+            Err(RefitError::PrimitiveCountChanged {
+                expected: 32,
+                actual: 31
+            })
         ));
     }
 

@@ -69,12 +69,7 @@ pub enum AnyHitControl {
 /// Returns the traversal statistics. The callback receives the *original*
 /// primitive index (i.e. the index into the build input, which for RTIndeX
 /// equals the rowID).
-pub fn traverse<F>(
-    bvh: &Bvh,
-    prims: &dyn PrimitiveSet,
-    ray: &Ray,
-    mut any_hit: F,
-) -> TraversalStats
+pub fn traverse<F>(bvh: &Bvh, prims: &dyn PrimitiveSet, ray: &Ray, mut any_hit: F) -> TraversalStats
 where
     F: FnMut(u32, f32) -> AnyHitControl,
 {
@@ -90,7 +85,11 @@ where
     // under low hit rates).
     stats.nodes_visited += 1;
     stats.box_tests += 1;
-    if bvh.nodes[0].bounds.intersect_with_inv(ray, inv_dir).is_none() {
+    if bvh.nodes[0]
+        .bounds
+        .intersect_with_inv(ray, inv_dir)
+        .is_none()
+    {
         stats.aborted_at_root = 1;
         return stats;
     }
@@ -174,14 +173,25 @@ mod tests {
     }
 
     fn point_ray(key: f32) -> Ray {
-        Ray::new(Vec3f::new(key, 0.0, -0.5), Vec3f::new(0.0, 0.0, 1.0), 0.0, 1.0)
+        Ray::new(
+            Vec3f::new(key, 0.0, -0.5),
+            Vec3f::new(0.0, 0.0, 1.0),
+            0.0,
+            1.0,
+        )
     }
 
     #[test]
     fn range_ray_hits_exactly_the_keys_in_range() {
         for builder in [BuilderKind::Sah, BuilderKind::Lbvh] {
             let prims = line_of_triangles(64);
-            let bvh = build(&prims, &BuildConfig { builder, ..Default::default() });
+            let bvh = build(
+                &prims,
+                &BuildConfig {
+                    builder,
+                    ..Default::default()
+                },
+            );
             let (mut hits, stats) = collect_hits(&bvh, &prims, &range_ray(10.0, 20.0));
             hits.sort_unstable();
             assert_eq!(hits, (10..=20).collect::<Vec<u32>>(), "builder {builder:?}");
@@ -293,8 +303,16 @@ mod tests {
 
     #[test]
     fn stats_merge_adds_counters() {
-        let mut a = TraversalStats { nodes_visited: 3, box_tests: 3, ..Default::default() };
-        let b = TraversalStats { nodes_visited: 2, hw_prim_tests: 5, ..Default::default() };
+        let mut a = TraversalStats {
+            nodes_visited: 3,
+            box_tests: 3,
+            ..Default::default()
+        };
+        let b = TraversalStats {
+            nodes_visited: 2,
+            hw_prim_tests: 5,
+            ..Default::default()
+        };
         a.merge(&b);
         assert_eq!(a.nodes_visited, 5);
         assert_eq!(a.hw_prim_tests, 5);

@@ -1,0 +1,514 @@
+//! The dynamic index: an immutable RX base + the mutable delta layer.
+//!
+//! Reads fan out to both sides and reconcile:
+//!
+//! * the **base** is an ordinary [`RtIndex`] (BVH over the scene) queried
+//!   through its masked-lookup hooks, so tombstoned rows never surface;
+//! * the **delta** is queried by a hash-probe kernel (point lookups) or a
+//!   scan kernel (range lookups) over the [`DeltaBuffer`];
+//! * per query, the two partial results merge: hit counts and value sums
+//!   add, and the first row is the minimum qualifying rowID (base rows are
+//!   always smaller than delta rows, because delta rows are assigned after
+//!   the base was built).
+//!
+//! Writes never touch the BVH: inserts append to the delta, deletes clear
+//! validity bits (base) or tombstone slots (delta). Once the configured
+//! [`CompactionPolicy`] trips, the live key set is merged and the base is
+//! rebuilt through the ordinary `optixAccelBuild` path — the same cost the
+//! paper charges for its "rebuild" update strategy — after which the delta
+//! and every tombstone are gone.
+
+use gpu_baselines::{kernel as baseline_kernel, GROUP_SIZE};
+use gpu_device::{Device, DeviceBuffer};
+use optix_sim::LaunchMetrics;
+use rtindex_core::{BatchOutcome, LookupResult, RtIndex, RtIndexError, MISS};
+
+use crate::config::{CompactionTrigger, DynamicRtConfig};
+use crate::delta_buffer::{DeltaBuffer, DELTA_SLOT_BYTES};
+
+/// Summary of one completed compaction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompactionEvent {
+    /// Why the compaction ran.
+    pub trigger: CompactionTrigger,
+    /// Live rows in the rebuilt base.
+    pub live_rows: usize,
+    /// Delta entries merged into the new base.
+    pub merged_delta_entries: usize,
+    /// Tombstoned base rows dropped by the merge.
+    pub dropped_base_tombstones: usize,
+    /// Simulated device seconds of the BVH rebuild.
+    pub simulated_build_s: f64,
+}
+
+/// Result of one update batch (insert, delete or upsert).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct UpdateOutcome {
+    /// Rows inserted by the batch.
+    pub inserted_rows: usize,
+    /// Rows deleted by the batch (base tombstones + delta removals).
+    pub deleted_rows: usize,
+    /// Simulated device seconds spent applying the batch (kernels plus a
+    /// compaction rebuild, when one triggered).
+    pub simulated_time_s: f64,
+    /// The compaction this batch triggered, if any.
+    pub compaction: Option<CompactionEvent>,
+}
+
+/// Lifetime counters of a [`DynamicRtIndex`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct UpdateStats {
+    /// Rows inserted since construction.
+    pub inserted_rows: u64,
+    /// Rows deleted since construction.
+    pub deleted_rows: u64,
+    /// Update batches applied.
+    pub update_batches: u64,
+    /// Compactions performed.
+    pub compactions: u64,
+    /// Simulated device seconds spent in update kernels and rebuilds.
+    pub simulated_update_s: f64,
+}
+
+/// A dynamically updatable RT index: immutable [`RtIndex`] base, mutable
+/// delta buffer, tombstone mask and automatic compaction.
+///
+/// Unlike the static index, the dynamic index owns its value column: every
+/// row carries a `u64` value supplied at insert time, and lookups aggregate
+/// those values (the paper's secondary-index methodology) without the caller
+/// passing a column around — rows move between delta and base during
+/// compaction, so only the index knows where a row's value lives.
+#[derive(Debug)]
+pub struct DynamicRtIndex {
+    device: Device,
+    config: DynamicRtConfig,
+    base: RtIndex,
+    /// Value column of the base rows (device copy).
+    base_values: DeviceBuffer<u64>,
+    /// Validity of each base row; cleared by deletes.
+    live: Vec<bool>,
+    /// Device allocation standing in for the packed validity bitmap.
+    live_bitmap: DeviceBuffer<u8>,
+    dead_rows: usize,
+    delta: DeltaBuffer,
+    next_row: u32,
+    stats: UpdateStats,
+    last_compaction: Option<CompactionEvent>,
+}
+
+impl DynamicRtIndex {
+    /// Builds the dynamic index over an initial `(keys, values)` column pair
+    /// (either may be empty; both must have equal length).
+    pub fn build(
+        device: &Device,
+        keys: &[u64],
+        values: &[u64],
+        config: DynamicRtConfig,
+    ) -> Result<Self, RtIndexError> {
+        if keys.len() != values.len() {
+            return Err(RtIndexError::ValueColumnLengthMismatch {
+                expected: keys.len(),
+                actual: values.len(),
+            });
+        }
+        let base = RtIndex::build(device, keys, config.rx)?;
+        let n = keys.len();
+        Ok(DynamicRtIndex {
+            device: device.clone(),
+            config,
+            base,
+            base_values: device.upload(values),
+            live: vec![true; n],
+            live_bitmap: device.alloc::<u8>(n.div_ceil(8)),
+            dead_rows: 0,
+            delta: DeltaBuffer::new(device),
+            next_row: u32::try_from(n).expect("base exceeds the rowID space"),
+            stats: UpdateStats::default(),
+            last_compaction: None,
+        })
+    }
+
+    /// The configuration the index was built with.
+    pub fn config(&self) -> &DynamicRtConfig {
+        &self.config
+    }
+
+    /// The device the index lives on.
+    pub fn device(&self) -> &Device {
+        &self.device
+    }
+
+    /// Live entries (base rows not tombstoned + delta entries).
+    pub fn len(&self) -> usize {
+        self.base.key_count() - self.dead_rows + self.delta.len()
+    }
+
+    /// True when no live entry is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Rows in the immutable base (live and tombstoned).
+    pub fn base_rows(&self) -> usize {
+        self.base.key_count()
+    }
+
+    /// Tombstoned base rows awaiting compaction.
+    pub fn dead_base_rows(&self) -> usize {
+        self.dead_rows
+    }
+
+    /// Live entries buffered in the delta.
+    pub fn delta_len(&self) -> usize {
+        self.delta.len()
+    }
+
+    /// Lifetime update counters.
+    pub fn stats(&self) -> &UpdateStats {
+        &self.stats
+    }
+
+    /// Number of compactions performed so far.
+    pub fn compaction_count(&self) -> u64 {
+        self.stats.compactions
+    }
+
+    /// The most recent compaction, if any.
+    pub fn last_compaction(&self) -> Option<&CompactionEvent> {
+        self.last_compaction.as_ref()
+    }
+
+    /// Device memory occupied by the whole dynamic index: base (BVH +
+    /// primitive buffer + key column), value column, validity bitmap and the
+    /// delta table.
+    pub fn memory_bytes(&self) -> u64 {
+        self.base.total_memory_bytes()
+            + self.base_values.size_bytes()
+            + self.live_bitmap.size_bytes()
+            + self.delta.memory_bytes()
+    }
+
+    /// All live `(row, key, value)` entries in ascending row order — the
+    /// exact column a compaction (or an oracle) materialises.
+    pub fn live_entries(&self) -> Vec<(u32, u64, u64)> {
+        let keys = self.base.keys();
+        let values = self.base_values.as_slice();
+        let mut entries: Vec<(u32, u64, u64)> = (0..keys.len())
+            .filter(|&row| self.live[row])
+            .map(|row| (row as u32, keys[row], values[row]))
+            .collect();
+        entries.extend(
+            self.delta
+                .entries_sorted_by_row()
+                .iter()
+                .map(|e| (e.row, e.key, e.value)),
+        );
+        entries
+    }
+
+    fn validate_keys(&self, keys: &[u64]) -> Result<(), RtIndexError> {
+        let mode = self.config.rx.key_mode;
+        let max_key = mode.max_key();
+        if let Some(&bad) = keys.iter().find(|&&k| k > max_key) {
+            return Err(RtIndexError::KeyOutOfRange {
+                key: bad,
+                mode,
+                max_key,
+            });
+        }
+        Ok(())
+    }
+
+    /// Buffers the inserts in the delta; no compaction check (the public
+    /// batch methods run it once, at the batch boundary). Returns the
+    /// simulated seconds of the insert kernels.
+    fn apply_insert(&mut self, keys: &[u64], values: &[u64]) -> f64 {
+        assert!(
+            (self.next_row as u64 + keys.len() as u64) < MISS as u64,
+            "rowID space exhausted"
+        );
+        let entries: Vec<(u64, u32, u64)> = keys
+            .iter()
+            .zip(values)
+            .enumerate()
+            .map(|(i, (&k, &v))| (k, self.next_row + i as u32, v))
+            .collect();
+        let simulated = self.delta.insert_batch(&entries);
+        self.next_row += keys.len() as u32;
+        self.stats.inserted_rows += keys.len() as u64;
+        simulated
+    }
+
+    /// Tombstones every live entry holding one of `keys`; no compaction
+    /// check. Returns the deleted row count and the simulated seconds.
+    fn apply_delete(&mut self, keys: &[u64]) -> Result<(usize, f64), RtIndexError> {
+        let mut simulated = 0.0;
+        let mut deleted = 0usize;
+
+        if self.base.key_count() > 0 && !keys.is_empty() {
+            let (rows_per_key, metrics) = self.base.collect_point_rows(keys, Some(&self.live))?;
+            simulated += metrics.simulated_time_s;
+            for row in rows_per_key.into_iter().flatten() {
+                if self.live[row as usize] {
+                    self.live[row as usize] = false;
+                    self.dead_rows += 1;
+                    deleted += 1;
+                }
+            }
+        }
+
+        let (removed, delta_sim) = self.delta.delete_batch(keys);
+        simulated += delta_sim;
+        deleted += removed.len();
+        self.stats.deleted_rows += deleted as u64;
+        Ok((deleted, simulated))
+    }
+
+    /// Runs the policy once at the end of a public update batch, folding a
+    /// triggered compaction into the outcome.
+    fn finish_batch(
+        &mut self,
+        inserted_rows: usize,
+        deleted_rows: usize,
+        mut simulated: f64,
+    ) -> UpdateOutcome {
+        self.stats.update_batches += 1;
+        let compaction = self.maybe_compact();
+        if let Some(event) = compaction {
+            simulated += event.simulated_build_s;
+        }
+        self.stats.simulated_update_s += simulated;
+        UpdateOutcome {
+            inserted_rows,
+            deleted_rows,
+            simulated_time_s: simulated,
+            compaction,
+        }
+    }
+
+    /// Inserts a batch of `(key, value)` rows. Every key is validated
+    /// against the configured key mode up front, so a later compaction
+    /// rebuild can never fail. Returns what the batch did, including the
+    /// compaction it may have triggered.
+    ///
+    /// Compaction runs at most once, after the whole batch is applied, so
+    /// callers observing [`DynamicRtIndex::compaction_count`] between
+    /// batches see every row renumbering.
+    pub fn insert_batch(
+        &mut self,
+        keys: &[u64],
+        values: &[u64],
+    ) -> Result<UpdateOutcome, RtIndexError> {
+        if keys.len() != values.len() {
+            return Err(RtIndexError::ValueColumnLengthMismatch {
+                expected: keys.len(),
+                actual: values.len(),
+            });
+        }
+        self.validate_keys(keys)?;
+        let simulated = self.apply_insert(keys, values);
+        Ok(self.finish_batch(keys.len(), 0, simulated))
+    }
+
+    /// Deletes every live entry whose key appears in `keys` (all duplicates,
+    /// wherever they live). Base hits are found by rays — a delete *is* a
+    /// lookup — and tombstoned via the validity mask; delta hits are
+    /// tombstoned in the hash table. Unknown keys are ignored.
+    pub fn delete_batch(&mut self, keys: &[u64]) -> Result<UpdateOutcome, RtIndexError> {
+        let (deleted, simulated) = self.apply_delete(keys)?;
+        Ok(self.finish_batch(0, deleted, simulated))
+    }
+
+    /// Upserts a batch: every key's existing entries (base and delta) are
+    /// deleted, then one fresh `(key, value)` row is inserted per pair. Like
+    /// every update batch, compaction runs at most once, at the end.
+    pub fn upsert_batch(
+        &mut self,
+        keys: &[u64],
+        values: &[u64],
+    ) -> Result<UpdateOutcome, RtIndexError> {
+        if keys.len() != values.len() {
+            return Err(RtIndexError::ValueColumnLengthMismatch {
+                expected: keys.len(),
+                actual: values.len(),
+            });
+        }
+        self.validate_keys(keys)?;
+        let (deleted, delete_sim) = self.apply_delete(keys)?;
+        let insert_sim = self.apply_insert(keys, values);
+        Ok(self.finish_batch(keys.len(), deleted, delete_sim + insert_sim))
+    }
+
+    /// Answers a batch of point lookups against the merged base + delta
+    /// view. Results carry the hit counts and value sums of all live
+    /// entries; `first_row` is the smallest qualifying rowID.
+    pub fn point_lookup_batch(&self, queries: &[u64]) -> Result<BatchOutcome, RtIndexError> {
+        let mut outcome = self.base.point_lookup_batch_masked(
+            queries,
+            Some(self.base_values.as_slice()),
+            Some(&self.live),
+        )?;
+
+        // Delta side: one hash-probe kernel over the same queries. An empty
+        // delta (e.g. right after a compaction) skips the kernel entirely —
+        // the host knows the entry count, so a real system would not launch.
+        if self.delta.is_empty() {
+            return Ok(outcome);
+        }
+        let working_set = self.delta.memory_bytes();
+        let delta = &self.delta;
+        let batch = baseline_kernel::run_lookup_kernel(&self.device, queries.len(), working_set, {
+            |ctx, classifier, idx| {
+                let key = queries[idx];
+                ctx.add_instructions(12); // hash + loop setup
+                let mut first_row = MISS;
+                let mut hit_count = 0u32;
+                let mut sum = 0u64;
+                let probed = delta.probe(key, |e| {
+                    if first_row == MISS || e.row < first_row {
+                        first_row = e.row;
+                    }
+                    hit_count += 1;
+                    sum = sum.wrapping_add(e.value);
+                });
+                classifier.access(
+                    ctx,
+                    delta.group_token(key),
+                    probed * GROUP_SIZE as u64 * DELTA_SLOT_BYTES,
+                );
+                ctx.add_instructions(probed * GROUP_SIZE as u64);
+                gpu_baselines::BaselineLookupResult {
+                    first_row,
+                    hit_count,
+                    value_sum: sum,
+                }
+            }
+        });
+
+        merge_delta_results(&mut outcome, &batch);
+        Ok(outcome)
+    }
+
+    /// Answers a batch of inclusive range lookups `[lower, upper]` against
+    /// the merged base + delta view. The base side traces range rays; the
+    /// delta side scans its (small, unordered) table per query.
+    pub fn range_lookup_batch(&self, ranges: &[(u64, u64)]) -> Result<BatchOutcome, RtIndexError> {
+        let mut outcome = self.base.range_lookup_batch_masked(
+            ranges,
+            Some(self.base_values.as_slice()),
+            Some(&self.live),
+        )?;
+
+        // As for point lookups, an empty delta skips its kernel.
+        if self.delta.is_empty() {
+            return Ok(outcome);
+        }
+        let working_set = self.delta.memory_bytes();
+        let slot_bytes = self.delta.capacity() as u64 * DELTA_SLOT_BYTES;
+        let delta = &self.delta;
+        let batch = baseline_kernel::run_lookup_kernel(&self.device, ranges.len(), working_set, {
+            |ctx, classifier, idx| {
+                let (lower, upper) = ranges[idx];
+                ctx.add_instructions(8);
+                let mut first_row = MISS;
+                let mut hit_count = 0u32;
+                let mut sum = 0u64;
+                delta.scan_range(lower, upper, |e| {
+                    if first_row == MISS || e.row < first_row {
+                        first_row = e.row;
+                    }
+                    hit_count += 1;
+                    sum = sum.wrapping_add(e.value);
+                });
+                // The scan streams the whole table once.
+                classifier.access(ctx, u64::MAX, slot_bytes);
+                ctx.add_instructions(delta.capacity() as u64);
+                gpu_baselines::BaselineLookupResult {
+                    first_row,
+                    hit_count,
+                    value_sum: sum,
+                }
+            }
+        });
+
+        merge_delta_results(&mut outcome, &batch);
+        Ok(outcome)
+    }
+
+    /// Compacts if the policy says so.
+    fn maybe_compact(&mut self) -> Option<CompactionEvent> {
+        let trigger =
+            self.config
+                .policy
+                .trigger(self.delta.len(), self.base.key_count(), self.dead_rows)?;
+        Some(self.compact(trigger))
+    }
+
+    /// Unconditionally merges the delta into a rebuilt base.
+    pub fn compact_now(&mut self) -> CompactionEvent {
+        self.compact(CompactionTrigger::Manual)
+    }
+
+    fn compact(&mut self, trigger: CompactionTrigger) -> CompactionEvent {
+        let merged_delta_entries = self.delta.len();
+        let dropped_base_tombstones = self.dead_rows;
+
+        // The merged column is exactly the live entry sequence in ascending
+        // row order — [`live_entries`](Self::live_entries) is the single
+        // definition of that order, shared with the verification oracle.
+        let mut keys = Vec::with_capacity(self.len());
+        let mut values = Vec::with_capacity(self.len());
+        for (_, key, value) in self.live_entries() {
+            keys.push(key);
+            values.push(value);
+        }
+
+        // Every key was validated at insert/build time, so the rebuild
+        // cannot fail on key range; any failure here is a logic error.
+        let rebuilt =
+            RtIndex::build(&self.device, &keys, self.config.rx).expect("compaction rebuild");
+        let simulated_build_s = rebuilt.build_metrics().simulated_time_s;
+
+        self.base = rebuilt;
+        self.base_values = self.device.upload(&values);
+        self.live = vec![true; keys.len()];
+        self.live_bitmap = self.device.alloc::<u8>(keys.len().div_ceil(8));
+        self.dead_rows = 0;
+        self.delta = DeltaBuffer::new(&self.device);
+        self.next_row = keys.len() as u32;
+
+        let event = CompactionEvent {
+            trigger,
+            live_rows: keys.len(),
+            merged_delta_entries,
+            dropped_base_tombstones,
+            simulated_build_s,
+        };
+        self.stats.compactions += 1;
+        self.last_compaction = Some(event);
+        event
+    }
+}
+
+/// Folds the delta-side partial results into the base outcome: counts and
+/// sums add, the first row is the minimum, and the launch metrics merge so
+/// callers see the cost of both kernels.
+fn merge_delta_results(outcome: &mut BatchOutcome, delta: &gpu_baselines::BaselineBatch) {
+    debug_assert_eq!(outcome.results.len(), delta.results.len());
+    for (merged, partial) in outcome.results.iter_mut().zip(&delta.results) {
+        if partial.hit_count == 0 {
+            continue;
+        }
+        *merged = LookupResult {
+            first_row: merged.first_row.min(partial.first_row),
+            hit_count: merged.hit_count + partial.hit_count,
+            value_sum: merged.value_sum.wrapping_add(partial.value_sum),
+        };
+    }
+    outcome.metrics.merge(&LaunchMetrics {
+        kernel: delta.kernel,
+        simulated_time_s: delta.simulated_time_s,
+        host_time: delta.host_time,
+        ..Default::default()
+    });
+}

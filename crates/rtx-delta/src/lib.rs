@@ -1,0 +1,408 @@
+//! # rtx-delta
+//!
+//! Dynamic updates for the RT index: a delta buffer, tombstones and
+//! automatic compaction layered over the static [`RtIndex`].
+//!
+//! The RTIndeX paper's headline limitation is that the BVH *is* the index:
+//! OptiX only supports in-place refits (same key count) or full rebuilds, so
+//! the static index cannot insert or delete. Production index engines solve
+//! the same problem with an LSM-style split — a small mutable layer over a
+//! large immutable base — and this crate brings that pattern to the RT
+//! index:
+//!
+//! * **base** — an immutable [`RtIndex`] (BVH over the scene), queried
+//!   through the masked-lookup reconciliation hooks of `rtindex-core`;
+//! * **delta** — a [`DeltaBuffer`]: a WarpCore-style GPU hash table
+//!   (sharing `gpu_baselines`' slot hash and probing-group width) holding
+//!   freshly inserted `(key, rowID, value)` entries;
+//! * **tombstones** — deletes clear a validity bit per base row (the
+//!   any-hit program discards dead rows) and tombstone delta slots;
+//! * **compaction** — once the [`CompactionPolicy`] trips (delta too large
+//!   or too many tombstones), the live key set is merged and the base is
+//!   rebuilt through the ordinary `optixAccelBuild` path, charged by the
+//!   same cost model as every other build in the reproduction.
+//!
+//! Lookups launch against both sides and reconcile per query: hit counts
+//! and value sums add, tombstones mask base hits, and `first_row` stays the
+//! minimum qualifying rowID — the same semantics as the static index.
+//!
+//! ```
+//! use gpu_device::Device;
+//! use rtx_delta::{DynamicRtConfig, DynamicRtIndex};
+//!
+//! let device = Device::default_eval();
+//! let mut index = DynamicRtIndex::build(
+//!     &device,
+//!     &[10, 20, 30],
+//!     &[1, 2, 3],
+//!     DynamicRtConfig::default(),
+//! )
+//! .unwrap();
+//!
+//! index.insert_batch(&[40], &[4]).unwrap();
+//! index.delete_batch(&[20]).unwrap();
+//!
+//! let out = index.point_lookup_batch(&[10, 20, 40]).unwrap();
+//! assert!(out.results[0].is_hit());
+//! assert!(!out.results[1].is_hit(), "deleted key misses");
+//! assert_eq!(out.results[2].value_sum, 4, "inserted key found in the delta");
+//! ```
+//!
+//! [`RtIndex`]: rtindex_core::RtIndex
+
+pub mod config;
+pub mod delta_buffer;
+pub mod dynamic;
+
+pub use config::{CompactionPolicy, CompactionTrigger, DynamicRtConfig};
+pub use delta_buffer::{DeltaBuffer, DeltaEntry};
+pub use dynamic::{CompactionEvent, DynamicRtIndex, UpdateOutcome, UpdateStats};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_device::Device;
+    use rtindex_core::{RtIndex, RtIndexError, MISS};
+
+    fn device() -> Device {
+        Device::default_eval()
+    }
+
+    fn no_auto_compaction() -> DynamicRtConfig {
+        DynamicRtConfig::default().with_policy(CompactionPolicy::never())
+    }
+
+    #[test]
+    fn build_insert_lookup_round_trip() {
+        let dev = device();
+        let keys: Vec<u64> = (0..100).collect();
+        let values: Vec<u64> = (0..100).map(|i| i * 10).collect();
+        let mut index = DynamicRtIndex::build(&dev, &keys, &values, no_auto_compaction()).unwrap();
+        assert_eq!(index.len(), 100);
+
+        index.insert_batch(&[200, 201], &[7, 8]).unwrap();
+        assert_eq!(index.len(), 102);
+        assert_eq!(index.delta_len(), 2);
+
+        let out = index.point_lookup_batch(&[0, 50, 200, 201, 999]).unwrap();
+        assert_eq!(
+            out.results[0],
+            rtindex_core::LookupResult {
+                first_row: 0,
+                hit_count: 1,
+                value_sum: 0
+            }
+        );
+        assert_eq!(out.results[1].value_sum, 500);
+        assert_eq!(
+            out.results[2].first_row, 100,
+            "delta rows continue after the base"
+        );
+        assert_eq!(out.results[2].value_sum, 7);
+        assert_eq!(out.results[3].value_sum, 8);
+        assert!(!out.results[4].is_hit());
+        assert!(out.metrics.simulated_time_s > 0.0);
+        assert!(
+            out.metrics.kernel.kernel_launches >= 2,
+            "base launch + delta probe kernel"
+        );
+    }
+
+    #[test]
+    fn deletes_tombstone_base_and_delta() {
+        let dev = device();
+        let keys: Vec<u64> = (0..64).collect();
+        let values = vec![1u64; 64];
+        let mut index = DynamicRtIndex::build(&dev, &keys, &values, no_auto_compaction()).unwrap();
+        index.insert_batch(&[100, 101], &[5, 6]).unwrap();
+
+        let outcome = index.delete_batch(&[10, 100, 777]).unwrap();
+        assert_eq!(outcome.deleted_rows, 2);
+        assert_eq!(index.dead_base_rows(), 1);
+        assert_eq!(index.delta_len(), 1);
+        assert_eq!(index.len(), 64);
+
+        let out = index.point_lookup_batch(&[10, 100, 101, 11]).unwrap();
+        assert!(!out.results[0].is_hit());
+        assert!(!out.results[1].is_hit());
+        assert!(out.results[2].is_hit());
+        assert!(out.results[3].is_hit());
+
+        // Deleting again is a no-op (idempotent).
+        let outcome = index.delete_batch(&[10, 100]).unwrap();
+        assert_eq!(outcome.deleted_rows, 0);
+    }
+
+    #[test]
+    fn duplicate_keys_split_across_base_and_delta_are_aggregated() {
+        let dev = device();
+        // Key 7 appears twice in the base.
+        let keys = vec![7u64, 1, 7, 2];
+        let values = vec![10u64, 0, 20, 0];
+        let mut index = DynamicRtIndex::build(&dev, &keys, &values, no_auto_compaction()).unwrap();
+        // ... and twice more in the delta.
+        index.insert_batch(&[7, 7], &[30, 40]).unwrap();
+
+        let out = index.point_lookup_batch(&[7]).unwrap();
+        assert_eq!(out.results[0].hit_count, 4);
+        assert_eq!(out.results[0].value_sum, 100);
+        assert_eq!(out.results[0].first_row, 0);
+
+        // Deleting the key removes all four copies.
+        let outcome = index.delete_batch(&[7]).unwrap();
+        assert_eq!(outcome.deleted_rows, 4);
+        assert!(!index.point_lookup_batch(&[7]).unwrap().results[0].is_hit());
+    }
+
+    #[test]
+    fn delete_then_reinsert_resurrects_only_the_new_row() {
+        let dev = device();
+        let mut index =
+            DynamicRtIndex::build(&dev, &[5, 6], &[50, 60], no_auto_compaction()).unwrap();
+        index.delete_batch(&[5]).unwrap();
+        index.insert_batch(&[5], &[555]).unwrap();
+
+        let out = index.point_lookup_batch(&[5]).unwrap();
+        assert_eq!(
+            out.results[0].hit_count, 1,
+            "only the reinserted row is live"
+        );
+        assert_eq!(out.results[0].value_sum, 555);
+        assert_eq!(
+            out.results[0].first_row, 2,
+            "fresh row, not the tombstoned base row"
+        );
+    }
+
+    #[test]
+    fn range_lookups_span_base_and_delta_and_respect_tombstones() {
+        let dev = device();
+        let keys: Vec<u64> = (0..50).map(|i| i * 2).collect(); // evens 0..98
+        let values = vec![1u64; 50];
+        let mut index = DynamicRtIndex::build(&dev, &keys, &values, no_auto_compaction()).unwrap();
+        index.insert_batch(&[1, 3, 5], &[1, 1, 1]).unwrap(); // odds in the delta
+        index.delete_batch(&[2, 4]).unwrap(); // tombstone two evens
+
+        let out = index.range_lookup_batch(&[(0, 6), (90, 200)]).unwrap();
+        // [0,6]: evens 0,6 live (2,4 dead) + odds 1,3,5 -> 5 hits.
+        assert_eq!(out.results[0].hit_count, 5);
+        assert_eq!(out.results[0].first_row, 0);
+        // [90,200]: evens 90..98 -> 5 hits.
+        assert_eq!(out.results[1].hit_count, 5);
+        // Inverted ranges are rejected, matching the static index.
+        assert!(matches!(
+            index.range_lookup_batch(&[(60, 10)]),
+            Err(rtindex_core::RtIndexError::InvalidRange {
+                lower: 60,
+                upper: 10
+            })
+        ));
+    }
+
+    #[test]
+    fn upsert_replaces_existing_entries() {
+        let dev = device();
+        let mut index =
+            DynamicRtIndex::build(&dev, &[1, 1, 2], &[10, 11, 20], no_auto_compaction()).unwrap();
+        let outcome = index.upsert_batch(&[1, 3], &[100, 300]).unwrap();
+        assert_eq!(outcome.deleted_rows, 2, "both copies of key 1");
+        assert_eq!(outcome.inserted_rows, 2);
+
+        let out = index.point_lookup_batch(&[1, 2, 3]).unwrap();
+        assert_eq!(out.results[0].hit_count, 1);
+        assert_eq!(out.results[0].value_sum, 100);
+        assert_eq!(out.results[1].value_sum, 20);
+        assert_eq!(out.results[2].value_sum, 300);
+    }
+
+    #[test]
+    fn delta_overflow_triggers_automatic_compaction() {
+        let dev = device();
+        let policy = CompactionPolicy {
+            max_delta_entries: 8,
+            max_delta_fraction: f64::INFINITY,
+            max_delete_ratio: f64::INFINITY,
+        };
+        let keys: Vec<u64> = (0..32).collect();
+        let values = vec![0u64; 32];
+        let mut index = DynamicRtIndex::build(
+            &dev,
+            &keys,
+            &values,
+            DynamicRtConfig::default().with_policy(policy),
+        )
+        .unwrap();
+
+        let first = index
+            .insert_batch(&(100..107).collect::<Vec<u64>>(), &[1; 7])
+            .unwrap();
+        assert!(first.compaction.is_none());
+        let second = index.insert_batch(&[107], &[1]).unwrap();
+        let event = second.compaction.expect("8 delta entries must trigger");
+        assert_eq!(event.trigger, CompactionTrigger::DeltaOverflow);
+        assert_eq!(event.merged_delta_entries, 8);
+        assert_eq!(event.live_rows, 40);
+        assert!(event.simulated_build_s > 0.0);
+        assert_eq!(index.delta_len(), 0);
+        assert_eq!(index.base_rows(), 40);
+        assert_eq!(index.compaction_count(), 1);
+
+        // Everything is still findable, now in the base.
+        let out = index
+            .point_lookup_batch(&(100..108).collect::<Vec<u64>>())
+            .unwrap();
+        assert_eq!(out.hit_count(), 8);
+    }
+
+    #[test]
+    fn delete_ratio_triggers_automatic_compaction() {
+        let dev = device();
+        let policy = CompactionPolicy {
+            max_delta_entries: usize::MAX,
+            max_delta_fraction: f64::INFINITY,
+            max_delete_ratio: 0.5,
+        };
+        let keys: Vec<u64> = (0..16).collect();
+        let values = vec![0u64; 16];
+        let mut index = DynamicRtIndex::build(
+            &dev,
+            &keys,
+            &values,
+            DynamicRtConfig::default().with_policy(policy),
+        )
+        .unwrap();
+
+        let outcome = index.delete_batch(&(0..8).collect::<Vec<u64>>()).unwrap();
+        let event = outcome.compaction.expect("half the base deleted");
+        assert_eq!(event.trigger, CompactionTrigger::DeleteRatio);
+        assert_eq!(event.dropped_base_tombstones, 8);
+        assert_eq!(index.base_rows(), 8);
+        assert_eq!(index.dead_base_rows(), 0);
+        assert_eq!(index.len(), 8);
+    }
+
+    #[test]
+    fn compaction_is_equivalent_to_a_fresh_build() {
+        let dev = device();
+        let keys: Vec<u64> = (0..64).collect();
+        let values: Vec<u64> = (0..64).collect();
+        let mut index = DynamicRtIndex::build(&dev, &keys, &values, no_auto_compaction()).unwrap();
+        index.insert_batch(&[200, 100, 300], &[2, 1, 3]).unwrap();
+        index.delete_batch(&[10, 20, 200]).unwrap();
+
+        let live = index.live_entries();
+        index.compact_now();
+        assert_eq!(index.compaction_count(), 1);
+
+        // The compacted column equals the pre-compaction live sequence,
+        // renumbered densely in preserved order.
+        let expected_keys: Vec<u64> = live.iter().map(|&(_, k, _)| k).collect();
+        let expected_values: Vec<u64> = live.iter().map(|&(_, _, v)| v).collect();
+        let after: Vec<(u32, u64, u64)> = index.live_entries();
+        assert_eq!(after.len(), expected_keys.len());
+        for (i, &(row, k, v)) in after.iter().enumerate() {
+            assert_eq!(row as usize, i, "rows renumber densely");
+            assert_eq!(k, expected_keys[i]);
+            assert_eq!(v, expected_values[i]);
+        }
+
+        // ... and the rebuilt index answers exactly like a from-scratch
+        // static build over the live columns.
+        let fresh = RtIndex::build(&dev, &expected_keys, index.config().rx).unwrap();
+        let queries: Vec<u64> = (0..320).collect();
+        let dynamic_out = index.point_lookup_batch(&queries).unwrap();
+        let fresh_out = fresh
+            .point_lookup_batch(&queries, Some(&values_of(&after)))
+            .unwrap();
+        assert_eq!(dynamic_out.results, fresh_out.results);
+    }
+
+    fn values_of(entries: &[(u32, u64, u64)]) -> Vec<u64> {
+        entries.iter().map(|&(_, _, v)| v).collect()
+    }
+
+    #[test]
+    fn memory_accounting_balances_after_compaction() {
+        let dev = device();
+        let keys: Vec<u64> = (0..256).collect();
+        let values = vec![1u64; 256];
+        let mut index = DynamicRtIndex::build(&dev, &keys, &values, no_auto_compaction()).unwrap();
+        assert_eq!(dev.memory().current_bytes(), index.memory_bytes());
+
+        index
+            .insert_batch(&(1000..1100).collect::<Vec<u64>>(), &[1; 100])
+            .unwrap();
+        index.delete_batch(&(0..50).collect::<Vec<u64>>()).unwrap();
+        assert_eq!(dev.memory().current_bytes(), index.memory_bytes());
+
+        index.compact_now();
+        assert_eq!(
+            dev.memory().current_bytes(),
+            index.memory_bytes(),
+            "no delta/tombstone allocation may leak past a compaction"
+        );
+        assert_eq!(index.len(), 306);
+    }
+
+    #[test]
+    fn empty_initial_index_grows_from_nothing() {
+        let dev = device();
+        let mut index = DynamicRtIndex::build(&dev, &[], &[], no_auto_compaction()).unwrap();
+        assert!(index.is_empty());
+        assert!(!index.point_lookup_batch(&[1]).unwrap().results[0].is_hit());
+
+        index.insert_batch(&[1, 2, 3], &[10, 20, 30]).unwrap();
+        assert_eq!(index.len(), 3);
+        let out = index.point_lookup_batch(&[1, 2, 3]).unwrap();
+        assert_eq!(out.hit_count(), 3);
+
+        index.compact_now();
+        assert_eq!(index.base_rows(), 3);
+        let out = index.range_lookup_batch(&[(0, 10)]).unwrap();
+        assert_eq!(out.results[0].hit_count, 3);
+        assert_eq!(out.results[0].value_sum, 60);
+    }
+
+    #[test]
+    fn validation_errors_surface() {
+        let dev = device();
+        assert!(matches!(
+            DynamicRtIndex::build(&dev, &[1, 2], &[1], no_auto_compaction()),
+            Err(RtIndexError::ValueColumnLengthMismatch {
+                expected: 2,
+                actual: 1
+            })
+        ));
+        let mut index = DynamicRtIndex::build(&dev, &[1], &[1], no_auto_compaction()).unwrap();
+        assert!(matches!(
+            index.insert_batch(&[1, 2], &[1]),
+            Err(RtIndexError::ValueColumnLengthMismatch { .. })
+        ));
+        assert!(matches!(
+            index.upsert_batch(&[1], &[]),
+            Err(RtIndexError::ValueColumnLengthMismatch { .. })
+        ));
+        // Keys outside the configured key mode are rejected up front so a
+        // compaction rebuild can never fail.
+        let naive = DynamicRtConfig::default()
+            .with_rx(
+                rtindex_core::RtIndexConfig::default().with_key_mode(rtindex_core::KeyMode::Naive),
+            )
+            .with_policy(CompactionPolicy::never());
+        let mut index = DynamicRtIndex::build(&dev, &[1], &[1], naive).unwrap();
+        assert!(matches!(
+            index.insert_batch(&[1 << 24], &[0]),
+            Err(RtIndexError::KeyOutOfRange { .. })
+        ));
+        // Deleting an unrepresentable key is a harmless miss, not an error.
+        assert_eq!(index.delete_batch(&[1 << 24]).unwrap().deleted_rows, 0);
+    }
+
+    #[test]
+    fn lookup_results_report_miss_constant() {
+        let dev = device();
+        let index = DynamicRtIndex::build(&dev, &[1], &[1], no_auto_compaction()).unwrap();
+        let out = index.point_lookup_batch(&[9]).unwrap();
+        assert_eq!(out.results[0].first_row, MISS);
+    }
+}

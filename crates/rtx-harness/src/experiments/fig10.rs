@@ -124,22 +124,42 @@ mod tests {
         let values = wl::value_column(keys.len(), 2);
         let lookups = wl::point_lookups(&keys, 1 << 14, 3);
         let indexes = build_all_indexes(&device, &keys, RtIndexConfig::default());
-        let time =
-            |name: &str| sim_ms(indexes.iter().find(|i| i.name() == name).unwrap(), &device, &lookups, &values);
+        let time = |name: &str| {
+            sim_ms(
+                indexes.iter().find(|i| i.name() == name).unwrap(),
+                &device,
+                &lookups,
+                &values,
+            )
+        };
         let (ht, bp, sa, rx) = (time("HT"), time("B+"), time("SA"), time("RX"));
         assert!(ht <= rx, "HT must not lose to RX on uniform point lookups");
         assert!(ht <= bp && ht <= sa, "HT wins overall");
         // RX stays within a small factor of the order-based baselines.
-        assert!(rx <= 4.0 * bp.min(sa), "RX must stay competitive: rx={rx}, b+={bp}, sa={sa}");
+        assert!(
+            rx <= 4.0 * bp.min(sa),
+            "RX must stay competitive: rx={rx}, b+={bp}, sa={sa}"
+        );
     }
 
     #[test]
     fn rx_build_is_most_expensive_and_scales_with_keys() {
         let device = crate::default_device();
-        let small = build_all_indexes(&device, &wl::dense_shuffled(1 << 12, 1), RtIndexConfig::default());
-        let large = build_all_indexes(&device, &wl::dense_shuffled(1 << 14, 1), RtIndexConfig::default());
+        let small = build_all_indexes(
+            &device,
+            &wl::dense_shuffled(1 << 12, 1),
+            RtIndexConfig::default(),
+        );
+        let large = build_all_indexes(
+            &device,
+            &wl::dense_shuffled(1 << 14, 1),
+            RtIndexConfig::default(),
+        );
         let build = |set: &[AnyIndex], name: &str| {
-            set.iter().find(|i| i.name() == name).unwrap().build_sim_ms()
+            set.iter()
+                .find(|i| i.name() == name)
+                .unwrap()
+                .build_sim_ms()
         };
         assert!(build(&small, "RX") >= build(&small, "SA"));
         assert!(build(&small, "RX") >= build(&small, "HT"));
@@ -147,7 +167,10 @@ mod tests {
         // overhead of the multi-pass BVH build dominates, so the growth is
         // sub-linear; it must still be monotone and bounded.
         let growth = build(&large, "RX") / build(&small, "RX");
-        assert!(growth >= 1.0 && growth < 8.0, "4x keys must not shrink the build, got {growth}");
+        assert!(
+            (1.0..8.0).contains(&growth),
+            "4x keys must not shrink the build, got {growth}"
+        );
     }
 
     #[test]

@@ -32,7 +32,11 @@ pub fn run(scale: &ExperimentScale) -> Vec<Table> {
         let keys = wl::with_multiplicity(distinct, multiplicity, scale.seed);
         let values = wl::value_column(keys.len(), scale.seed + 7);
         let distinct_keys: Vec<u64> = (0..distinct as u64).collect();
-        let lookups = wl::point_lookups(&distinct_keys, scale.default_lookups(), scale.seed + m as u64);
+        let lookups = wl::point_lookups(
+            &distinct_keys,
+            scale.default_lookups(),
+            scale.seed + m as u64,
+        );
         let indexes = build_all_indexes(&device, &keys, RtIndexConfig::default());
         let mut row = vec![m.to_string()];
         for name in ["HT", "SA", "RX"] {
@@ -67,7 +71,10 @@ mod tests {
         // Same total primitive count -> comparable structure sizes.
         assert_eq!(unique.len(), dup.len());
         let ratio = rx_dup.index_memory_bytes() as f64 / rx_unique.index_memory_bytes() as f64;
-        assert!(ratio < 1.2, "duplicates must not inflate the BVH, ratio {ratio}");
+        assert!(
+            ratio < 1.2,
+            "duplicates must not inflate the BVH, ratio {ratio}"
+        );
 
         let values = wl::value_column(dup.len(), 3);
         let truth = GroundTruth::new(&dup, Some(&values));
@@ -80,8 +87,12 @@ mod tests {
     fn normalised_lookup_time_decreases_with_multiplicity_for_rx() {
         let scale = ExperimentScale::tiny();
         let tables = run(&scale);
-        let rx: Vec<f64> =
-            tables[0].column("RX").unwrap().iter().map(|v| v.parse().unwrap()).collect();
+        let rx: Vec<f64> = tables[0]
+            .column("RX")
+            .unwrap()
+            .iter()
+            .map(|v| v.parse().unwrap())
+            .collect();
         assert!(rx.len() >= 2);
         assert!(
             rx.last().unwrap() < rx.first().unwrap(),

@@ -12,8 +12,12 @@ use crate::report::{fmt_ms, Table};
 use crate::scale::ExperimentScale;
 
 /// The four combinations evaluated by the figure.
-pub const COMBINATIONS: [&str; 4] =
-    ["both unsorted", "sorted inserts", "sorted lookups", "both sorted"];
+pub const COMBINATIONS: [&str; 4] = [
+    "both unsorted",
+    "sorted inserts",
+    "sorted lookups",
+    "both sorted",
+];
 
 /// Runs the sortedness experiment.
 pub fn run(scale: &ExperimentScale) -> Vec<Table> {
@@ -69,14 +73,12 @@ mod tests {
         let values = wl::value_column(keys.len(), 2);
         let unsorted = wl::point_lookups(&keys, 1 << 14, 3);
         let sorted = wl::lookups::sorted_lookups(&unsorted);
-        let index =
-            rtindex_core::RtIndex::build(&device, &keys, RtIndexConfig::default()).unwrap();
+        let index = rtindex_core::RtIndex::build(&device, &keys, RtIndexConfig::default()).unwrap();
         let out_unsorted = index.point_lookup_batch(&unsorted, Some(&values)).unwrap();
         let out_sorted = index.point_lookup_batch(&sorted, Some(&values)).unwrap();
         assert_eq!(out_unsorted.total_value_sum(), out_sorted.total_value_sum());
         assert!(
-            out_sorted.metrics.kernel.dram_bytes_read
-                < out_unsorted.metrics.kernel.dram_bytes_read,
+            out_sorted.metrics.kernel.dram_bytes_read < out_unsorted.metrics.kernel.dram_bytes_read,
             "sorted lookups must read less DRAM ({} vs {})",
             out_sorted.metrics.kernel.dram_bytes_read,
             out_unsorted.metrics.kernel.dram_bytes_read
@@ -100,7 +102,10 @@ mod tests {
             .point_lookup_batch(&lookups, None)
             .unwrap();
         let ratio = a.metrics.simulated_time_s / b.metrics.simulated_time_s;
-        assert!((0.5..2.0).contains(&ratio), "insert order must not matter much, ratio {ratio}");
+        assert!(
+            (0.5..2.0).contains(&ratio),
+            "insert order must not matter much, ratio {ratio}"
+        );
     }
 
     #[test]

@@ -63,10 +63,18 @@ mod tests {
         let lookups = wl::point_lookups(&keys, 1 << 13, 2);
         let index = rtindex_core::RtIndex::build(&device, &keys, RtIndexConfig::default()).unwrap();
 
-        let single = index.point_lookup_batch(&lookups, None).unwrap().metrics.simulated_time_s;
+        let single = index
+            .point_lookup_batch(&lookups, None)
+            .unwrap()
+            .metrics
+            .simulated_time_s;
         let mut many = 0.0;
         for batch in wl::split_batches(&lookups, 1 << 7) {
-            many += index.point_lookup_batch(&batch, None).unwrap().metrics.simulated_time_s;
+            many += index
+                .point_lookup_batch(&batch, None)
+                .unwrap()
+                .metrics
+                .simulated_time_s;
         }
         assert!(
             many > single * 1.5,
@@ -81,8 +89,12 @@ mod tests {
         assert_eq!(tables[0].rows.len(), batch_exponents(&scale).len());
         // RX column must be monotically non-decreasing in the tail (more
         // batches => more total time). Allow the first rows to be flat.
-        let rx: Vec<f64> =
-            tables[0].column("RX").unwrap().iter().map(|v| v.parse().unwrap()).collect();
+        let rx: Vec<f64> = tables[0]
+            .column("RX")
+            .unwrap()
+            .iter()
+            .map(|v| v.parse().unwrap())
+            .collect();
         assert!(rx.last().unwrap() >= rx.first().unwrap());
     }
 }

@@ -92,7 +92,9 @@ mod tests {
         let hits = wl::point_lookups_with_hit_rate(&keys, 1 << 14, 1.0, 2);
         let misses = wl::point_lookups_with_hit_rate(&keys, 1 << 14, 0.0, 3);
         let t_hits = ht.point_lookup_batch(&device, &hits, None).simulated_time_s;
-        let t_misses = ht.point_lookup_batch(&device, &misses, None).simulated_time_s;
+        let t_misses = ht
+            .point_lookup_batch(&device, &misses, None)
+            .simulated_time_s;
         assert!(
             t_misses >= t_hits * 0.9,
             "HT must not benefit from misses (hits {t_hits}, misses {t_misses})"

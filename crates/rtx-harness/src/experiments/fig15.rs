@@ -38,8 +38,13 @@ pub fn run(scale: &ExperimentScale) -> Vec<Table> {
         for name in ["HT", "B+", "SA", "RX"] {
             match indexes.iter().find(|ix| ix.name() == name) {
                 Some(ix) => {
-                    time_row.push(fmt_ms(ix.point_lookups(&device, &lookups, Some(&values)).sim_ms));
-                    memory_row.push(format!("{:.2}", ix.memory_bytes() as f64 / (1 << 20) as f64));
+                    time_row.push(fmt_ms(
+                        ix.point_lookups(&device, &lookups, Some(&values)).sim_ms,
+                    ));
+                    memory_row.push(format!(
+                        "{:.2}",
+                        ix.memory_bytes() as f64 / (1 << 20) as f64
+                    ));
                 }
                 None => {
                     time_row.push("N/A".to_string());
@@ -64,8 +69,10 @@ mod tests {
         let keys32 = wl::sparse_uniform(n, u32::MAX as u64, 1);
         let keys64 = wl::sparse_uniform(n, u64::MAX / 2, 1);
 
-        let rx32 = rtindex_core::RtIndex::build(&device, &keys32, RtIndexConfig::default()).unwrap();
-        let rx64 = rtindex_core::RtIndex::build(&device, &keys64, RtIndexConfig::default()).unwrap();
+        let rx32 =
+            rtindex_core::RtIndex::build(&device, &keys32, RtIndexConfig::default()).unwrap();
+        let rx64 =
+            rtindex_core::RtIndex::build(&device, &keys64, RtIndexConfig::default()).unwrap();
         let ratio = rx64.index_memory_bytes() as f64 / rx32.index_memory_bytes() as f64;
         assert!(
             (0.85..1.15).contains(&ratio),

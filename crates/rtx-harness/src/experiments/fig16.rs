@@ -30,7 +30,15 @@ pub fn run(scale: &ExperimentScale) -> Vec<Table> {
     );
     let mut counters = Table::new(
         "Table 7: cache hit rate, memory read and instructions under skew (RX vs. B+)",
-        &["zipf", "RX cache hit [%]", "B+ cache hit [%]", "RX mem read [MiB]", "B+ mem read [MiB]", "RX instructions", "B+ instructions"],
+        &[
+            "zipf",
+            "RX cache hit [%]",
+            "B+ cache hit [%]",
+            "RX mem read [MiB]",
+            "B+ mem read [MiB]",
+            "RX instructions",
+            "B+ instructions",
+        ],
     );
 
     for theta in ZIPF_COEFFICIENTS {
@@ -95,8 +103,7 @@ mod tests {
         let out_uniform = index.point_lookup_batch(&uniform, None).unwrap();
         let out_skewed = index.point_lookup_batch(&skewed, None).unwrap();
         assert!(
-            out_skewed.metrics.kernel.dram_bytes_read
-                < out_uniform.metrics.kernel.dram_bytes_read,
+            out_skewed.metrics.kernel.dram_bytes_read < out_uniform.metrics.kernel.dram_bytes_read,
             "skewed lookups must read less DRAM"
         );
         assert!(out_skewed.metrics.simulated_time_s <= out_uniform.metrics.simulated_time_s);
@@ -126,7 +133,10 @@ mod tests {
         };
         let rx = instructions("RX");
         let bp = instructions("B+");
-        assert!(bp > rx * 2, "B+ must execute several times more instructions (B+ {bp}, RX {rx})");
+        assert!(
+            bp > rx * 2,
+            "B+ must execute several times more instructions (B+ {bp}, RX {rx})"
+        );
     }
 
     #[test]

@@ -62,7 +62,11 @@ pub fn run(scale: &ExperimentScale) -> Vec<Table> {
 
     let mut fit_table = Table::new(
         "Section 4.9: non-negative least-squares decomposition of the RX range-lookup cost",
-        &["TraversalTime [ms]", "IntersectTime [ms per entry]", "residual"],
+        &[
+            "TraversalTime [ms]",
+            "IntersectTime [ms per entry]",
+            "residual",
+        ],
     );
     if spans.len() >= 2 {
         let fit = nnls_two_term(&spans, &rx_raw_times);
@@ -88,8 +92,12 @@ mod tests {
         let indexes = build_all_indexes(&device, &keys, RtIndexConfig::default());
         let ranges_wide = wl::range_lookups(n as u64, 128, 256, 3);
         let get = |name: &str| indexes.iter().find(|i| i.name() == name).unwrap();
-        let bp = get("B+").range_lookups(&device, &ranges_wide, Some(&values)).unwrap();
-        let rx = get("RX").range_lookups(&device, &ranges_wide, Some(&values)).unwrap();
+        let bp = get("B+")
+            .range_lookups(&device, &ranges_wide, Some(&values))
+            .unwrap();
+        let rx = get("RX")
+            .range_lookups(&device, &ranges_wide, Some(&values))
+            .unwrap();
         assert_eq!(bp.value_sum, rx.value_sum, "answers must agree");
         assert!(
             bp.sim_ms <= rx.sim_ms,
@@ -101,7 +109,9 @@ mod tests {
         // RX's normalised (per-entry) time must drop as ranges widen:
         // the traversal cost amortises over more qualifying entries.
         let narrow = wl::range_lookups(n as u64, 128, 4, 4);
-        let rx_narrow = get("RX").range_lookups(&device, &narrow, Some(&values)).unwrap();
+        let rx_narrow = get("RX")
+            .range_lookups(&device, &narrow, Some(&values))
+            .unwrap();
         let per_entry_narrow = rx_narrow.sim_ms / 4.0;
         let per_entry_wide = rx.sim_ms / 256.0;
         assert!(per_entry_wide < per_entry_narrow);
@@ -115,6 +125,9 @@ mod tests {
         let traversal: f64 = fit_row[0].parse().unwrap();
         let intersect: f64 = fit_row[1].parse().unwrap();
         assert!(traversal >= 0.0 && intersect >= 0.0);
-        assert!(traversal > 0.0, "the constant traversal term must be non-trivial");
+        assert!(
+            traversal > 0.0,
+            "the constant traversal term must be non-trivial"
+        );
     }
 }

@@ -25,7 +25,10 @@ pub fn run(scale: &ExperimentScale) -> Vec<Table> {
         "Table 8: evaluated GPUs and architectures",
         &["system", "GPU", "architecture", "VRAM [GiB]", "RT cores"],
     );
-    for (sys, spec) in ["S3", "S2b", "S2a", "S1"].iter().zip(DeviceSpec::table8_presets()) {
+    for (sys, spec) in ["S3", "S2b", "S2a", "S1"]
+        .iter()
+        .zip(DeviceSpec::table8_presets())
+    {
         spec_table.push_row(vec![
             sys.to_string(),
             spec.name.clone(),
@@ -69,7 +72,10 @@ pub fn generational_improvement(index_name: &str, keys_exp: u32, lookups: usize,
     for spec in [DeviceSpec::rtx_2080ti(), DeviceSpec::rtx_4090()] {
         let device = Device::new(spec);
         let indexes = build_all_indexes(&device, &keys, RtIndexConfig::default());
-        let ix = indexes.iter().find(|i| i.name() == index_name).expect("index present");
+        let ix = indexes
+            .iter()
+            .find(|i| i.name() == index_name)
+            .expect("index present");
         times.push(ix.point_lookups(&device, &queries, None).sim_ms);
     }
     times[0] / times[1]
@@ -92,7 +98,10 @@ mod tests {
         let rx = generational_improvement("RX", 13, 1 << 13, 1);
         let sa = generational_improvement("SA", 13, 1 << 13, 1);
         let ht = generational_improvement("HT", 13, 1 << 13, 1);
-        assert!(rx > 1.0, "RX must be faster on the 4090 than on the 2080 Ti, factor {rx}");
+        assert!(
+            rx > 1.0,
+            "RX must be faster on the 4090 than on the 2080 Ti, factor {rx}"
+        );
         assert!(ht > 1.0 && sa > 1.0);
         // The paper: RX shows the largest improvement for sorted lookups
         // (3.23x vs at most 2.41x). Require RX to at least match the others.

@@ -60,7 +60,15 @@ pub fn run_fig3b(scale: &ExperimentScale) -> Vec<Table> {
     let device = crate::scaled_device(scale);
     let mut table = Table::new(
         "Figure 3b: key stride (value range) vs. lookup time [ms]",
-        &["keys [2^n]", "ext s=1", "ext s=2", "ext s=4", "3d s=1", "3d s=2", "3d s=4"],
+        &[
+            "keys [2^n]",
+            "ext s=1",
+            "ext s=2",
+            "ext s=4",
+            "3d s=1",
+            "3d s=2",
+            "3d s=4",
+        ],
     );
     for exp in scale.key_exponent_sweep(4) {
         let n = 1usize << exp;
@@ -88,7 +96,11 @@ mod tests {
     #[test]
     fn fig3a_marks_unsupported_modes_and_reports_times() {
         // Use a key count beyond the Naive range so the N/A column shows up.
-        let scale = ExperimentScale { keys_exp: 24, lookups_exp: 10, seed: 7 };
+        let scale = ExperimentScale {
+            keys_exp: 24,
+            lookups_exp: 10,
+            seed: 7,
+        };
         let device = crate::default_device();
         let keys = wl::dense_shuffled(1 << 24, scale.seed);
         let lookups = wl::point_lookups(&keys, 1 << 10, scale.seed);

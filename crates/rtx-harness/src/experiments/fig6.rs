@@ -32,9 +32,13 @@ pub fn run(scale: &ExperimentScale) -> Vec<Table> {
                 continue;
             }
             let mut row = vec![exp.to_string(), mode.name().to_string()];
-            for strategy in [PointRayStrategy::ParallelFromZero, PointRayStrategy::Perpendicular] {
-                let config =
-                    RtIndexConfig::default().with_key_mode(mode).with_point_ray(strategy);
+            for strategy in [
+                PointRayStrategy::ParallelFromZero,
+                PointRayStrategy::Perpendicular,
+            ] {
+                let config = RtIndexConfig::default()
+                    .with_key_mode(mode)
+                    .with_point_ray(strategy);
                 let index = RtIndex::build(&device, &keys, config).expect("build");
                 let out = index.point_lookup_batch(&lookups, None).expect("lookup");
                 row.push(fmt_ms(out.metrics.simulated_time_s * 1e3));
@@ -53,11 +57,17 @@ pub fn measure_strategies(keys_exp: u32, lookups: usize, seed: u64) -> (f64, f64
     let keys = wl::dense_shuffled(1 << keys_exp, seed);
     let queries = wl::point_lookups(&keys, lookups, seed + 1);
     let mut results = Vec::new();
-    for strategy in [PointRayStrategy::ParallelFromZero, PointRayStrategy::Perpendicular] {
+    for strategy in [
+        PointRayStrategy::ParallelFromZero,
+        PointRayStrategy::Perpendicular,
+    ] {
         let config = RtIndexConfig::default().with_point_ray(strategy);
         let index = RtIndex::build(&device, &keys, config).expect("build");
         let out = index.point_lookup_batch(&queries, None).expect("lookup");
-        results.push((out.metrics.simulated_time_s * 1e3, out.metrics.kernel.rt_box_tests));
+        results.push((
+            out.metrics.simulated_time_s * 1e3,
+            out.metrics.kernel.rt_box_tests,
+        ));
     }
     (results[0].0, results[1].0, results[0].1, results[1].1)
 }

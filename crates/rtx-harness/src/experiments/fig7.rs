@@ -26,7 +26,15 @@ pub fn run(scale: &ExperimentScale) -> Vec<Table> {
     );
     let mut memory_table = Table::new(
         "Figure 7c: primitive types, index size [MiB] (uncompacted / compacted)",
-        &["keys [2^n]", "triangle unc", "triangle cmp", "sphere unc", "sphere cmp", "aabb unc", "aabb cmp"],
+        &[
+            "keys [2^n]",
+            "triangle unc",
+            "triangle cmp",
+            "sphere unc",
+            "sphere cmp",
+            "aabb unc",
+            "aabb cmp",
+        ],
     );
 
     for exp in scale.key_exponent_sweep(4) {
@@ -44,15 +52,23 @@ pub fn run(scale: &ExperimentScale) -> Vec<Table> {
             let uncompacted = RtIndex::build(&device, &keys, uncompacted_cfg).expect("build");
             let compacted = RtIndex::build(&device, &keys, compacted_cfg).expect("build");
 
-            let out = compacted.point_lookup_batch(&lookups, None).expect("lookup");
+            let out = compacted
+                .point_lookup_batch(&lookups, None)
+                .expect("lookup");
             lookup_row.push(fmt_ms(out.metrics.simulated_time_s * 1e3));
             build_row.push(format!(
                 "{} / {}",
                 fmt_ms(uncompacted.build_metrics().simulated_time_s * 1e3),
                 fmt_ms(compacted.build_metrics().simulated_time_s * 1e3)
             ));
-            memory_row.push(format!("{:.2}", uncompacted.index_memory_bytes() as f64 / (1 << 20) as f64));
-            memory_row.push(format!("{:.2}", compacted.index_memory_bytes() as f64 / (1 << 20) as f64));
+            memory_row.push(format!(
+                "{:.2}",
+                uncompacted.index_memory_bytes() as f64 / (1 << 20) as f64
+            ));
+            memory_row.push(format!(
+                "{:.2}",
+                compacted.index_memory_bytes() as f64 / (1 << 20) as f64
+            ));
         }
         lookup_table.push_row(lookup_row);
         build_table.push_row(build_row);
@@ -72,9 +88,12 @@ mod tests {
         let lookups = wl::point_lookups(&keys, 1 << 12, 2);
         let mut sim_ms = std::collections::HashMap::new();
         for kind in PrimitiveKind::all() {
-            let index =
-                RtIndex::build(&device, &keys, RtIndexConfig::default().with_primitive(kind))
-                    .expect("build");
+            let index = RtIndex::build(
+                &device,
+                &keys,
+                RtIndexConfig::default().with_primitive(kind),
+            )
+            .expect("build");
             let out = index.point_lookup_batch(&lookups, None).expect("lookup");
             if kind == PrimitiveKind::Triangle {
                 assert!(out.metrics.kernel.rt_triangle_tests > 0);

@@ -71,7 +71,10 @@ mod tests {
             let index = RtIndex::build(&device, &keys, config).expect("build");
             let out = index.point_lookup_batch(&lookups, None).expect("lookup");
             assert_eq!(out.hit_count(), lookups.len(), "all lookups must hit");
-            (out.metrics.simulated_time_s, out.metrics.kernel.rt_box_tests)
+            (
+                out.metrics.simulated_time_s,
+                out.metrics.kernel.rt_box_tests,
+            )
         };
         // All bits beyond x on y vs. all of them on z.
         let (_y_time, y_boxes) = measure(Decomposition::new(6, 6, 0));

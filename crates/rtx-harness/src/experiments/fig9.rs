@@ -36,12 +36,17 @@ pub fn run(scale: &ExperimentScale) -> Vec<Table> {
 
     let mut table = Table::new(
         "Figure 9: range lookups under varying key decompositions, lookup time [ms]",
-        &["decomposition [x+y+z]", &format!("{wide} hits per ray"), &format!("{wider} hits per ray")],
+        &[
+            "decomposition [x+y+z]",
+            &format!("{wide} hits per ray"),
+            &format!("{wider} hits per ray"),
+        ],
     );
     for decomposition in scaled_sweep(scale.keys_exp) {
         let mut row = vec![decomposition.label()];
         for qualifying in [wide, wider] {
-            let ranges = wl::range_lookups(n as u64, lookup_count, qualifying, scale.seed + qualifying);
+            let ranges =
+                wl::range_lookups(n as u64, lookup_count, qualifying, scale.seed + qualifying);
             let config = RtIndexConfig::default().with_key_mode(KeyMode::ThreeD(decomposition));
             let index = RtIndex::build(&device, &keys, config).expect("build");
             let out = index.range_lookup_batch(&ranges, None).expect("lookup");
@@ -68,7 +73,10 @@ mod tests {
             let index = RtIndex::build(&device, &keys, config).expect("build");
             let out = index.range_lookup_batch(&ranges, None).expect("lookup");
             assert!(out.results.iter().all(|r| r.hit_count == 64));
-            (out.metrics.simulated_time_s, out.metrics.traversal.nodes_visited)
+            (
+                out.metrics.simulated_time_s,
+                out.metrics.traversal.nodes_visited,
+            )
         };
         let (_, nodes_x_rich) = measure(Decomposition::new(9, 3, 0));
         let (_, nodes_x_poor) = measure(Decomposition::new(3, 9, 0));

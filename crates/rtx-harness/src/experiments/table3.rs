@@ -23,7 +23,11 @@ pub fn run(scale: &ExperimentScale) -> Vec<Table> {
 
     let mut table = Table::new(
         "Table 3: range-lookup ray origin, cumulative lookup time [ms] (3D mode)",
-        &["hits per range", "parallel from offset", "parallel from zero"],
+        &[
+            "hits per range",
+            "parallel from offset",
+            "parallel from zero",
+        ],
     );
     for hits in HITS_PER_RANGE {
         if hits > n as u64 {
@@ -31,7 +35,10 @@ pub fn run(scale: &ExperimentScale) -> Vec<Table> {
         }
         let ranges = wl::range_lookups(n as u64, lookup_count, hits, scale.seed + hits);
         let mut row = vec![hits.to_string()];
-        for strategy in [RangeRayStrategy::ParallelFromOffset, RangeRayStrategy::ParallelFromZero] {
+        for strategy in [
+            RangeRayStrategy::ParallelFromOffset,
+            RangeRayStrategy::ParallelFromZero,
+        ] {
             let config = RtIndexConfig::default().with_range_ray(strategy);
             let index = RtIndex::build(&device, &keys, config).expect("build");
             let out = index.range_lookup_batch(&ranges, None).expect("lookup");
@@ -53,7 +60,10 @@ mod tests {
         let keys = wl::dense_shuffled(n, 3);
         let small = wl::range_lookups(n as u64, 256, 4, 5);
         let large = wl::range_lookups(n as u64, 256, 64, 6);
-        for strategy in [RangeRayStrategy::ParallelFromOffset, RangeRayStrategy::ParallelFromZero] {
+        for strategy in [
+            RangeRayStrategy::ParallelFromOffset,
+            RangeRayStrategy::ParallelFromZero,
+        ] {
             let config = RtIndexConfig::default().with_range_ray(strategy);
             let index = RtIndex::build(&device, &keys, config).expect("build");
             let out_small = index.range_lookup_batch(&small, None).expect("lookup");

@@ -50,11 +50,7 @@ struct UpdateRun {
     lookup_ms: f64,
 }
 
-fn run_update_workload(
-    scale: &ExperimentScale,
-    swaps: usize,
-    swap_positions: bool,
-) -> UpdateRun {
+fn run_update_workload(scale: &ExperimentScale, swaps: usize, swap_positions: bool) -> UpdateRun {
     let device = crate::scaled_device(scale);
     let n = scale.default_keys();
     let mut keys = wl::dense_shuffled(n, scale.seed);
@@ -71,7 +67,10 @@ fn run_update_workload(
     let update_ms = index.build_metrics().simulated_time_s * 1e3;
     let out = index.point_lookup_batch(&lookups, None).expect("lookup");
     assert_eq!(out.hit_count(), lookups.len(), "updates must not lose keys");
-    UpdateRun { update_ms, lookup_ms: out.metrics.simulated_time_s * 1e3 }
+    UpdateRun {
+        update_ms,
+        lookup_ms: out.metrics.simulated_time_s * 1e3,
+    }
 }
 
 fn rebuild_reference(scale: &ExperimentScale) -> UpdateRun {
@@ -89,12 +88,22 @@ fn rebuild_reference(scale: &ExperimentScale) -> UpdateRun {
 
 /// Runs the update experiment.
 pub fn run(scale: &ExperimentScale) -> Vec<Table> {
-    let swap_counts: Vec<usize> =
-        [4u32, 8, 12, scale.keys_exp.saturating_sub(2)].iter().map(|&e| 1usize << e).collect();
+    let swap_counts: Vec<usize> = [4u32, 8, 12, scale.keys_exp.saturating_sub(2)]
+        .iter()
+        .map(|&e| 1usize << e)
+        .collect();
 
     let mut table = Table::new(
         "Table 4: update and lookup time [ms] after swaps (refit) vs. full rebuild",
-        &["experiment", "phase", "2^4", "2^8", "2^12", "max swaps", "rebuild"],
+        &[
+            "experiment",
+            "phase",
+            "2^4",
+            "2^8",
+            "2^12",
+            "max swaps",
+            "rebuild",
+        ],
     );
     let rebuild = rebuild_reference(scale);
 

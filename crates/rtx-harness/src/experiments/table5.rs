@@ -23,7 +23,12 @@ pub fn run(scale: &ExperimentScale) -> Vec<Table> {
 
     let mut table = Table::new(
         "Table 5: active warps per SM and % of peak memory bandwidth vs. lookup count",
-        &["lookups [2^n]", "active warps per SM", "memory BW [% of peak]", "throughput [lookups/s]"],
+        &[
+            "lookups [2^n]",
+            "active warps per SM",
+            "memory BW [% of peak]",
+            "throughput [lookups/s]",
+        ],
     );
     for exp in scale.lookup_exponent_sweep(5) {
         let lookups = wl::point_lookups(&keys, 1usize << exp, scale.seed + exp as u64);
@@ -54,7 +59,10 @@ mod tests {
             .iter()
             .map(|v| v.parse().unwrap())
             .collect();
-        assert!(warps.windows(2).all(|w| w[0] < w[1]), "warps must increase: {warps:?}");
+        assert!(
+            warps.windows(2).all(|w| w[0] < w[1]),
+            "warps must increase: {warps:?}"
+        );
         assert!(*warps.last().unwrap() <= 16.0);
         let bw: Vec<f64> = tables[0]
             .column("memory BW [% of peak]")

@@ -19,7 +19,10 @@ pub fn run(scale: &ExperimentScale) -> Vec<Table> {
     let indexes = build_all_indexes(&device, &keys, RtIndexConfig::default());
 
     let mut table = Table::new(
-        format!("Table 6: memory footprint for 2^{} keys [MiB]", scale.keys_exp),
+        format!(
+            "Table 6: memory footprint for 2^{} keys [MiB]",
+            scale.keys_exp
+        ),
         &["metric", "HT", "B+", "SA", "RX"],
     );
     let mib = |bytes: u64| format!("{:.2}", bytes as f64 / (1 << 20) as f64);
@@ -51,7 +54,13 @@ mod tests {
         let device = crate::default_device();
         let keys = wl::dense_shuffled(1 << 14, 1);
         let indexes = build_all_indexes(&device, &keys, RtIndexConfig::default());
-        let bytes = |name: &str| indexes.iter().find(|i| i.name() == name).unwrap().memory_bytes();
+        let bytes = |name: &str| {
+            indexes
+                .iter()
+                .find(|i| i.name() == name)
+                .unwrap()
+                .memory_bytes()
+        };
         assert!(bytes("RX") > bytes("HT"), "RX must exceed HT");
         assert!(bytes("RX") > bytes("B+"), "RX must exceed B+");
         assert!(bytes("RX") > bytes("SA"), "RX must exceed SA");
@@ -64,13 +73,20 @@ mod tests {
         let keys = wl::dense_shuffled(1 << 13, 1);
         let indexes = build_all_indexes(&device, &keys, RtIndexConfig::default());
         let scratch = |name: &str| {
-            indexes.iter().find(|i| i.name() == name).unwrap().build_scratch_bytes()
+            indexes
+                .iter()
+                .find(|i| i.name() == name)
+                .unwrap()
+                .build_scratch_bytes()
         };
         assert_eq!(scratch("HT"), 0, "HT inserts in place");
         assert!(scratch("SA") > 0, "SA sorts out of place");
         assert!(scratch("B+") > 0);
         assert!(scratch("RX") > 0, "the BVH build needs temporary memory");
-        assert!(scratch("RX") > scratch("SA"), "RX build overhead is the largest");
+        assert!(
+            scratch("RX") > scratch("SA"),
+            "RX build overhead is the largest"
+        );
     }
 
     #[test]

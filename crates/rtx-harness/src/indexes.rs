@@ -5,8 +5,8 @@
 //! outcomes into a common [`Measurement`] record carrying the simulated
 //! device time and the hardware counters the paper's analysis uses.
 
-use gpu_device::{Device, KernelStats};
 use gpu_baselines::{BPlusTree, GpuIndex, SortedArray, WarpHashTable};
+use gpu_device::{Device, KernelStats};
 use rtindex_core::{RtIndex, RtIndexConfig};
 
 /// One measured lookup batch (or build phase) of one index.
@@ -38,6 +38,7 @@ impl Measurement {
 }
 
 /// Any of the four evaluated index structures.
+#[allow(clippy::large_enum_variant)]
 pub enum AnyIndex {
     /// RTIndeX.
     Rx(RtIndex),
@@ -110,7 +111,9 @@ impl AnyIndex {
     ) -> Measurement {
         match self {
             AnyIndex::Rx(ix) => {
-                let out = ix.point_lookup_batch(queries, values).expect("validated workload");
+                let out = ix
+                    .point_lookup_batch(queries, values)
+                    .expect("validated workload");
                 Measurement {
                     index: self.name().to_string(),
                     sim_ms: out.metrics.simulated_time_s * 1e3,
@@ -120,9 +123,15 @@ impl AnyIndex {
                     kernel: out.metrics.kernel,
                 }
             }
-            AnyIndex::Ht(ix) => baseline_measurement(self.name(), ix.point_lookup_batch(device, queries, values)),
-            AnyIndex::Bp(ix) => baseline_measurement(self.name(), ix.point_lookup_batch(device, queries, values)),
-            AnyIndex::Sa(ix) => baseline_measurement(self.name(), ix.point_lookup_batch(device, queries, values)),
+            AnyIndex::Ht(ix) => {
+                baseline_measurement(self.name(), ix.point_lookup_batch(device, queries, values))
+            }
+            AnyIndex::Bp(ix) => {
+                baseline_measurement(self.name(), ix.point_lookup_batch(device, queries, values))
+            }
+            AnyIndex::Sa(ix) => {
+                baseline_measurement(self.name(), ix.point_lookup_batch(device, queries, values))
+            }
         }
     }
 
@@ -135,7 +144,9 @@ impl AnyIndex {
     ) -> Option<Measurement> {
         match self {
             AnyIndex::Rx(ix) => {
-                let out = ix.range_lookup_batch(ranges, values).expect("validated workload");
+                let out = ix
+                    .range_lookup_batch(ranges, values)
+                    .expect("validated workload");
                 Some(Measurement {
                     index: self.name().to_string(),
                     sim_ms: out.metrics.simulated_time_s * 1e3,
@@ -145,15 +156,15 @@ impl AnyIndex {
                     kernel: out.metrics.kernel,
                 })
             }
-            AnyIndex::Ht(ix) => {
-                ix.range_lookup_batch(device, ranges, values).map(|b| baseline_measurement(self.name(), b))
-            }
-            AnyIndex::Bp(ix) => {
-                ix.range_lookup_batch(device, ranges, values).map(|b| baseline_measurement(self.name(), b))
-            }
-            AnyIndex::Sa(ix) => {
-                ix.range_lookup_batch(device, ranges, values).map(|b| baseline_measurement(self.name(), b))
-            }
+            AnyIndex::Ht(ix) => ix
+                .range_lookup_batch(device, ranges, values)
+                .map(|b| baseline_measurement(self.name(), b)),
+            AnyIndex::Bp(ix) => ix
+                .range_lookup_batch(device, ranges, values)
+                .map(|b| baseline_measurement(self.name(), b)),
+            AnyIndex::Sa(ix) => ix
+                .range_lookup_batch(device, ranges, values)
+                .map(|b| baseline_measurement(self.name(), b)),
         }
     }
 }
@@ -180,7 +191,9 @@ pub fn build_all_indexes(device: &Device, keys: &[u64], rx_config: RtIndexConfig
         indexes.push(AnyIndex::Bp(tree));
     }
     indexes.push(AnyIndex::Sa(SortedArray::build(device, keys)));
-    indexes.push(AnyIndex::Rx(RtIndex::build(device, keys, rx_config).expect("RX build")));
+    indexes.push(AnyIndex::Rx(
+        RtIndex::build(device, keys, rx_config).expect("RX build"),
+    ));
     indexes
 }
 
@@ -200,7 +213,11 @@ mod tests {
         let expected_hits = truth.batch_point_hits(&queries);
 
         let indexes = build_all_indexes(&device, &keys, RtIndexConfig::default());
-        assert_eq!(indexes.len(), 4, "unique 32-bit keys allow all four indexes");
+        assert_eq!(
+            indexes.len(),
+            4,
+            "unique 32-bit keys allow all four indexes"
+        );
         for ix in &indexes {
             let m = ix.point_lookups(&device, &queries, Some(&values));
             assert_eq!(m.hits, expected_hits, "{} hit count", ix.name());

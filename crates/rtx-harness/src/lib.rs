@@ -57,9 +57,30 @@ pub fn scaled_device(scale: &ExperimentScale) -> Device {
 /// order.
 pub fn experiment_names() -> Vec<&'static str> {
     vec![
-        "fig3a", "fig3b", "fig6", "table3", "fig7", "fig8", "fig9", "table4", "table5", "fig10a",
-        "fig10b", "fig10c", "table6", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
-        "table7", "fig17", "fig18", "table8",
+        "fig3a",
+        "fig3b",
+        "fig6",
+        "table3",
+        "fig7",
+        "fig8",
+        "fig9",
+        "table4",
+        "table5",
+        "fig10a",
+        "fig10b",
+        "fig10c",
+        "table6",
+        "fig11",
+        "fig12",
+        "fig13",
+        "fig14",
+        "fig15",
+        "fig16",
+        "table7",
+        "fig17",
+        "fig18",
+        "table8",
+        "update_throughput",
     ]
 }
 
@@ -91,6 +112,7 @@ pub fn run_experiment(name: &str, scale: &ExperimentScale) -> Option<Vec<Table>>
         "fig16" | "table7" => ex::fig16::run(scale),
         "fig17" => ex::fig17::run(scale),
         "fig18" | "table8" => ex::fig18::run(scale),
+        "update_throughput" => ex::update_throughput::run(scale),
         _ => return None,
     };
     Some(tables)

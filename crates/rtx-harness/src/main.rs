@@ -10,7 +10,9 @@
 use rtx_harness::{experiment_names, run_experiment, ExperimentScale};
 
 fn print_usage() {
-    eprintln!("usage: rtx-harness <experiment|all|list> [--scale tiny|small|medium|paper] [--seed N]");
+    eprintln!(
+        "usage: rtx-harness <experiment|all|list> [--scale tiny|small|medium|paper] [--seed N]"
+    );
     eprintln!("experiments: {}", experiment_names().join(", "));
 }
 

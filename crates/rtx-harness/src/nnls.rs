@@ -58,7 +58,11 @@ pub fn nnls_two_term(x: &[f64], y: &[f64]) -> TwoTermFit {
             e * e
         })
         .sum();
-    TwoTermFit { constant, per_unit, residual }
+    TwoTermFit {
+        constant,
+        per_unit,
+        residual,
+    }
 }
 
 #[cfg(test)]
@@ -97,7 +101,11 @@ mod tests {
     #[test]
     fn noisy_data_still_close() {
         let x: Vec<f64> = (0..10).map(|i| (1u64 << i) as f64).collect();
-        let y: Vec<f64> = x.iter().enumerate().map(|(i, v)| 50.0 + 2.0 * v + (i % 3) as f64).collect();
+        let y: Vec<f64> = x
+            .iter()
+            .enumerate()
+            .map(|(i, v)| 50.0 + 2.0 * v + (i % 3) as f64)
+            .collect();
         let fit = nnls_two_term(&x, &y);
         assert!((fit.per_unit - 2.0).abs() < 0.05);
         assert!((fit.constant - 50.0).abs() < 5.0);

@@ -22,23 +22,39 @@ impl ExperimentScale {
     /// The paper's original sizes (2^26 keys, 2^27 lookups). Only sensible on
     /// a large machine with a lot of patience.
     pub fn paper() -> Self {
-        ExperimentScale { keys_exp: 26, lookups_exp: 27, seed: 0x5EED }
+        ExperimentScale {
+            keys_exp: 26,
+            lookups_exp: 27,
+            seed: 0x5EED,
+        }
     }
 
     /// Default simulation scale: 2^18 keys, 2^19 lookups. Runs every
     /// experiment in seconds while leaving the scaling trends intact.
     pub fn small() -> Self {
-        ExperimentScale { keys_exp: 18, lookups_exp: 19, seed: 0x5EED }
+        ExperimentScale {
+            keys_exp: 18,
+            lookups_exp: 19,
+            seed: 0x5EED,
+        }
     }
 
     /// Medium scale for the benchmark harness: 2^20 keys, 2^21 lookups.
     pub fn medium() -> Self {
-        ExperimentScale { keys_exp: 20, lookups_exp: 21, seed: 0x5EED }
+        ExperimentScale {
+            keys_exp: 20,
+            lookups_exp: 21,
+            seed: 0x5EED,
+        }
     }
 
     /// Tiny scale used by unit tests: 2^12 keys, 2^13 lookups.
     pub fn tiny() -> Self {
-        ExperimentScale { keys_exp: 12, lookups_exp: 13, seed: 0x5EED }
+        ExperimentScale {
+            keys_exp: 12,
+            lookups_exp: 13,
+            seed: 0x5EED,
+        }
     }
 
     /// Parses a scale name (`paper`, `small`, `medium`, `tiny`).
@@ -90,8 +106,14 @@ mod tests {
     #[test]
     fn named_scales() {
         assert_eq!(ExperimentScale::from_name("paper").unwrap().keys_exp, 26);
-        assert_eq!(ExperimentScale::from_name("small").unwrap(), ExperimentScale::small());
-        assert_eq!(ExperimentScale::from_name("tiny").unwrap().default_keys(), 4096);
+        assert_eq!(
+            ExperimentScale::from_name("small").unwrap(),
+            ExperimentScale::small()
+        );
+        assert_eq!(
+            ExperimentScale::from_name("tiny").unwrap().default_keys(),
+            4096
+        );
         assert!(ExperimentScale::from_name("huge").is_none());
         assert_eq!(ExperimentScale::default(), ExperimentScale::small());
     }

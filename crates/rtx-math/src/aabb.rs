@@ -21,8 +21,16 @@ impl Aabb {
     /// The canonical empty box (`min = +inf`, `max = -inf`); the identity
     /// element of [`Aabb::union`].
     pub const EMPTY: Aabb = Aabb {
-        min: Vec3f { x: f32::INFINITY, y: f32::INFINITY, z: f32::INFINITY },
-        max: Vec3f { x: f32::NEG_INFINITY, y: f32::NEG_INFINITY, z: f32::NEG_INFINITY },
+        min: Vec3f {
+            x: f32::INFINITY,
+            y: f32::INFINITY,
+            z: f32::INFINITY,
+        },
+        max: Vec3f {
+            x: f32::NEG_INFINITY,
+            y: f32::NEG_INFINITY,
+            z: f32::NEG_INFINITY,
+        },
     };
 
     /// Creates a box from its two corners.
@@ -40,7 +48,9 @@ impl Aabb {
     /// Creates the tightest box containing all `points`. Returns
     /// [`Aabb::EMPTY`] for an empty iterator.
     pub fn from_points<I: IntoIterator<Item = Vec3f>>(points: I) -> Self {
-        points.into_iter().fold(Aabb::EMPTY, |acc, p| acc.union_point(p))
+        points
+            .into_iter()
+            .fold(Aabb::EMPTY, |acc, p| acc.union_point(p))
     }
 
     /// Returns true when the box contains no point (any `min > max`).
@@ -52,19 +62,28 @@ impl Aabb {
     /// Smallest box containing both `self` and `other`.
     #[inline]
     pub fn union(&self, other: &Aabb) -> Aabb {
-        Aabb { min: self.min.min(other.min), max: self.max.max(other.max) }
+        Aabb {
+            min: self.min.min(other.min),
+            max: self.max.max(other.max),
+        }
     }
 
     /// Smallest box containing `self` and the point `p`.
     #[inline]
     pub fn union_point(&self, p: Vec3f) -> Aabb {
-        Aabb { min: self.min.min(p), max: self.max.max(p) }
+        Aabb {
+            min: self.min.min(p),
+            max: self.max.max(p),
+        }
     }
 
     /// Grows the box by `eps` in every direction.
     #[inline]
     pub fn inflate(&self, eps: f32) -> Aabb {
-        Aabb { min: self.min - Vec3f::splat(eps), max: self.max + Vec3f::splat(eps) }
+        Aabb {
+            min: self.min - Vec3f::splat(eps),
+            max: self.max + Vec3f::splat(eps),
+        }
     }
 
     /// Box diagonal (`max - min`).
@@ -252,7 +271,12 @@ mod tests {
     fn ray_interval_clips_hit() {
         let b = unit_box();
         // Box spans t in [1, 2] along this ray; restrict tmax to 0.5 -> miss.
-        let r = Ray::new(Vec3f::new(-1.0, 0.5, 0.5), Vec3f::new(1.0, 0.0, 0.0), 0.0, 0.5);
+        let r = Ray::new(
+            Vec3f::new(-1.0, 0.5, 0.5),
+            Vec3f::new(1.0, 0.0, 0.0),
+            0.0,
+            0.5,
+        );
         assert!(b.intersect(&r).is_none());
     }
 

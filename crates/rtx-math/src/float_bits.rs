@@ -35,7 +35,11 @@ pub fn next_after(x: f32, toward: f32) -> f32 {
     }
     if x == 0.0 {
         // Smallest subnormal with the sign of the direction.
-        return if toward > 0.0 { f32::from_bits(1) } else { -f32::from_bits(1) };
+        return if toward > 0.0 {
+            f32::from_bits(1)
+        } else {
+            -f32::from_bits(1)
+        };
     }
     let bits = x.to_bits();
     let next_bits = if (toward > x) == (x > 0.0) {
@@ -166,7 +170,10 @@ mod tests {
             assert!(non_negative_float_to_ordinal(w[0]) < non_negative_float_to_ordinal(w[1]));
         }
         for &v in &values {
-            assert_eq!(ordinal_to_non_negative_float(non_negative_float_to_ordinal(v)), v);
+            assert_eq!(
+                ordinal_to_non_negative_float(non_negative_float_to_ordinal(v)),
+                v
+            );
         }
     }
 

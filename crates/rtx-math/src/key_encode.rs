@@ -79,7 +79,11 @@ pub fn encode_f64(v: f64) -> u64 {
 /// Inverse of [`encode_f64`] (for non-NaN inputs the round trip is exact).
 #[inline]
 pub fn decode_f64(k: u64) -> f64 {
-    let bits = if k & (1u64 << 63) != 0 { k & !(1u64 << 63) } else { !k };
+    let bits = if k & (1u64 << 63) != 0 {
+        k & !(1u64 << 63)
+    } else {
+        !k
+    };
     f64::from_bits(bits)
 }
 
@@ -88,7 +92,11 @@ pub fn decode_f64(k: u64) -> f64 {
 #[inline]
 pub fn encode_f32(v: f32) -> u64 {
     let bits = v.to_bits();
-    let mapped = if bits & (1u32 << 31) == 0 { bits | (1u32 << 31) } else { !bits };
+    let mapped = if bits & (1u32 << 31) == 0 {
+        bits | (1u32 << 31)
+    } else {
+        !bits
+    };
     mapped as u64
 }
 
@@ -96,7 +104,11 @@ pub fn encode_f32(v: f32) -> u64 {
 #[inline]
 pub fn decode_f32(k: u64) -> f32 {
     let bits = k as u32;
-    let orig = if bits & (1u32 << 31) != 0 { bits & !(1u32 << 31) } else { !bits };
+    let orig = if bits & (1u32 << 31) != 0 {
+        bits & !(1u32 << 31)
+    } else {
+        !bits
+    };
     f32::from_bits(orig)
 }
 
@@ -139,7 +151,10 @@ pub fn encode_bytes_prefix(bytes: &[u8]) -> u64 {
 /// Panics when more than eight components are supplied.
 #[inline]
 pub fn encode_composite_u8(components: &[u8]) -> u64 {
-    assert!(components.len() <= 8, "at most 8 one-byte components fit into a u64 key");
+    assert!(
+        components.len() <= 8,
+        "at most 8 one-byte components fit into a u64 key"
+    );
     let mut buf = [0u8; 8];
     buf[..components.len()].copy_from_slice(components);
     u64::from_be_bytes(buf)
@@ -227,7 +242,17 @@ mod tests {
 
     #[test]
     fn floats_preserve_order() {
-        let values = [f64::NEG_INFINITY, -1e300, -1.5, -0.0, 0.0, 1e-300, 2.5, 1e300, f64::INFINITY];
+        let values = [
+            f64::NEG_INFINITY,
+            -1e300,
+            -1.5,
+            -0.0,
+            0.0,
+            1e-300,
+            2.5,
+            1e300,
+            f64::INFINITY,
+        ];
         for w in values.windows(2) {
             assert!(
                 encode_f64(w[0]) <= encode_f64(w[1]),
@@ -262,7 +287,10 @@ mod tests {
         assert!(encode_str_prefix("app") < encode_str_prefix("apple"));
         assert!(encode_str_prefix("") < encode_str_prefix("a"));
         // Only the first 8 bytes participate.
-        assert_eq!(encode_str_prefix("abcdefghXYZ"), encode_str_prefix("abcdefghAAA"));
+        assert_eq!(
+            encode_str_prefix("abcdefghXYZ"),
+            encode_str_prefix("abcdefghAAA")
+        );
     }
 
     #[test]

@@ -61,7 +61,13 @@ pub fn morton63(p: Vec3f) -> u64 {
 #[inline]
 pub fn morton_in_bounds(p: Vec3f, bounds: &Aabb) -> u64 {
     let extent = bounds.extent();
-    let safe = |num: f32, den: f32| if den > 0.0 { (num / den).clamp(0.0, 1.0) } else { 0.0 };
+    let safe = |num: f32, den: f32| {
+        if den > 0.0 {
+            (num / den).clamp(0.0, 1.0)
+        } else {
+            0.0
+        }
+    };
     let normalised = Vec3f::new(
         safe(p.x - bounds.min.x, extent.x),
         safe(p.y - bounds.min.y, extent.y),

@@ -27,7 +27,12 @@ impl Ray {
     /// Creates a ray over the interval `(tmin, tmax)`.
     #[inline]
     pub fn new(origin: Vec3f, direction: Vec3f, tmin: f32, tmax: f32) -> Self {
-        Ray { origin, direction, tmin, tmax }
+        Ray {
+            origin,
+            direction,
+            tmin,
+            tmax,
+        }
     }
 
     /// Creates a ray with the default interval `(0, +inf)`.
@@ -53,7 +58,11 @@ impl Ray {
     /// correctly thanks to IEEE-754 semantics.
     #[inline]
     pub fn inv_direction(&self) -> Vec3f {
-        Vec3f::new(1.0 / self.direction.x, 1.0 / self.direction.y, 1.0 / self.direction.z)
+        Vec3f::new(
+            1.0 / self.direction.x,
+            1.0 / self.direction.y,
+            1.0 / self.direction.z,
+        )
     }
 
     /// Returns a copy of the ray with a narrowed `tmax`. Used by closest-hit

@@ -40,7 +40,10 @@ impl Sphere {
     /// Tight bounding box of the sphere.
     #[inline]
     pub fn bounds(&self) -> Aabb {
-        Aabb::new(self.center - Vec3f::splat(self.radius), self.center + Vec3f::splat(self.radius))
+        Aabb::new(
+            self.center - Vec3f::splat(self.radius),
+            self.center + Vec3f::splat(self.radius),
+        )
     }
 
     /// Ray/sphere intersection.

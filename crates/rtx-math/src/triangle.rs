@@ -60,8 +60,16 @@ impl Triangle {
     #[inline]
     pub fn key_triangle_anisotropic(center: Vec3f, half: Vec3f) -> Self {
         Triangle::new(
-            Vec3f::new(center.x - half.x, center.y - half.y, center.z - half.z * 0.5),
-            Vec3f::new(center.x + half.x, center.y - half.y, center.z + half.z * 0.5),
+            Vec3f::new(
+                center.x - half.x,
+                center.y - half.y,
+                center.z - half.z * 0.5,
+            ),
+            Vec3f::new(
+                center.x + half.x,
+                center.y - half.y,
+                center.z + half.z * 0.5,
+            ),
             Vec3f::new(center.x, center.y + half.y, center.z),
         )
     }
@@ -69,7 +77,9 @@ impl Triangle {
     /// Tight bounding box of the triangle.
     #[inline]
     pub fn bounds(&self) -> Aabb {
-        Aabb::from_point(self.v0).union_point(self.v1).union_point(self.v2)
+        Aabb::from_point(self.v0)
+            .union_point(self.v1)
+            .union_point(self.v2)
     }
 
     /// Centroid of the triangle.
@@ -193,7 +203,12 @@ mod tests {
             1.0, // hit would be exactly at t = 1.0, which is excluded
         );
         assert!(t.intersect(&r).is_none());
-        let r2 = Ray::new(Vec3f::new(0.25, 0.25, -1.0), Vec3f::new(0.0, 0.0, 1.0), 0.0, 1.01);
+        let r2 = Ray::new(
+            Vec3f::new(0.25, 0.25, -1.0),
+            Vec3f::new(0.0, 0.0, 1.0),
+            0.0,
+            1.01,
+        );
         assert!(t.intersect(&r2).is_some());
     }
 
@@ -203,19 +218,44 @@ mod tests {
         let t = Triangle::key_triangle(center, 0.4);
         // A range-style ray ([42, 42]) fired along +x must hit it strictly
         // inside its interval.
-        let range_ray = Ray::new(Vec3f::new(41.5, 0.0, 0.0), Vec3f::new(1.0, 0.0, 0.0), 0.0, 1.0);
+        let range_ray = Ray::new(
+            Vec3f::new(41.5, 0.0, 0.0),
+            Vec3f::new(1.0, 0.0, 0.0),
+            0.0,
+            1.0,
+        );
         let hit = t.intersect(&range_ray).expect("range ray hit");
-        assert!((hit.t - 0.5).abs() < 1e-5, "hit exactly at the key coordinate");
+        assert!(
+            (hit.t - 0.5).abs() < 1e-5,
+            "hit exactly at the key coordinate"
+        );
         // A perpendicular point-lookup ray must hit it strictly inside (0, 1).
-        let perp_ray = Ray::new(Vec3f::new(42.0, 0.0, -0.5), Vec3f::new(0.0, 0.0, 1.0), 0.0, 1.0);
+        let perp_ray = Ray::new(
+            Vec3f::new(42.0, 0.0, -0.5),
+            Vec3f::new(0.0, 0.0, 1.0),
+            0.0,
+            1.0,
+        );
         let hit = t.intersect(&perp_ray).expect("perpendicular ray hit");
         assert!((hit.t - 0.5).abs() < 1e-5);
         // Rays belonging to neighbouring keys must miss it.
-        let miss_perp = Ray::new(Vec3f::new(43.0, 0.0, -0.5), Vec3f::new(0.0, 0.0, 1.0), 0.0, 1.0);
+        let miss_perp = Ray::new(
+            Vec3f::new(43.0, 0.0, -0.5),
+            Vec3f::new(0.0, 0.0, 1.0),
+            0.0,
+            1.0,
+        );
         assert!(t.intersect(&miss_perp).is_none());
-        let miss_range =
-            Ray::new(Vec3f::new(42.5, 0.0, 0.0), Vec3f::new(1.0, 0.0, 0.0), 0.0, 3.0);
-        assert!(t.intersect(&miss_range).is_none(), "range [43, 44] must not hit key 42");
+        let miss_range = Ray::new(
+            Vec3f::new(42.5, 0.0, 0.0),
+            Vec3f::new(1.0, 0.0, 0.0),
+            0.0,
+            3.0,
+        );
+        assert!(
+            t.intersect(&miss_range).is_none(),
+            "range [43, 44] must not hit key 42"
+        );
     }
 
     #[test]

@@ -20,7 +20,11 @@ pub struct Vec3f {
 
 impl Vec3f {
     /// The zero vector.
-    pub const ZERO: Vec3f = Vec3f { x: 0.0, y: 0.0, z: 0.0 };
+    pub const ZERO: Vec3f = Vec3f {
+        x: 0.0,
+        y: 0.0,
+        z: 0.0,
+    };
 
     /// Creates a new vector from its components.
     #[inline]
@@ -37,13 +41,21 @@ impl Vec3f {
     /// Component-wise minimum.
     #[inline]
     pub fn min(self, other: Vec3f) -> Vec3f {
-        Vec3f::new(self.x.min(other.x), self.y.min(other.y), self.z.min(other.z))
+        Vec3f::new(
+            self.x.min(other.x),
+            self.y.min(other.y),
+            self.z.min(other.z),
+        )
     }
 
     /// Component-wise maximum.
     #[inline]
     pub fn max(self, other: Vec3f) -> Vec3f {
-        Vec3f::new(self.x.max(other.x), self.y.max(other.y), self.z.max(other.z))
+        Vec3f::new(
+            self.x.max(other.x),
+            self.y.max(other.y),
+            self.z.max(other.z),
+        )
     }
 
     /// Dot product.

@@ -55,7 +55,7 @@ pub fn sparse_uniform(n: usize, max_key: u64, seed: u64) -> Vec<u64> {
 /// `multiplicity` times (shuffled), as in the Figure 11 experiment.
 pub fn with_multiplicity(distinct: usize, multiplicity: usize, seed: u64) -> Vec<u64> {
     let mut keys: Vec<u64> = (0..distinct as u64)
-        .flat_map(|k| std::iter::repeat(k).take(multiplicity))
+        .flat_map(|k| std::iter::repeat_n(k, multiplicity))
         .collect();
     keys.shuffle(&mut StdRng::seed_from_u64(seed));
     keys

@@ -14,14 +14,18 @@
 //!   target number of qualifying entries (Figures 9, 17), sorted lookup
 //!   batches (Figure 12), batch splitting (Figure 13),
 //! * [`zipf`] — the Zipf sampler used for skewed workloads,
+//! * [`mixed`] — interleaved insert/delete/upsert/lookup operation streams
+//!   (uniform and Zipf-skewed) for the dynamic-update layer,
 //! * [`truth`] — ground-truth answers (hit sets and value sums) computed
-//!   with plain hash maps, used to verify every index implementation.
+//!   with plain hash maps, used to verify every index implementation —
+//!   including [`truth::DynamicOracle`] for dynamic workloads.
 //!
 //! All generators take an explicit seed and are fully deterministic so that
 //! experiments are reproducible.
 
 pub mod keyset;
 pub mod lookups;
+pub mod mixed;
 pub mod truth;
 pub mod zipf;
 
@@ -29,5 +33,6 @@ pub use keyset::{dense_shuffled, sparse_uniform, value_column, with_multiplicity
 pub use lookups::{
     point_lookups, point_lookups_with_hit_rate, point_lookups_zipf, range_lookups, split_batches,
 };
-pub use truth::GroundTruth;
+pub use mixed::{mixed_ops, MixedOp, MixedWorkloadConfig};
+pub use truth::{DynamicOracle, DynamicTruth, GroundTruth};
 pub use zipf::ZipfSampler;

@@ -14,9 +14,14 @@ use crate::zipf::ZipfSampler;
 
 /// Draws `count` point lookups uniformly at random from `keys` (hit rate 1.0).
 pub fn point_lookups(keys: &[u64], count: usize, seed: u64) -> Vec<u64> {
-    assert!(!keys.is_empty(), "cannot generate lookups over an empty key set");
+    assert!(
+        !keys.is_empty(),
+        "cannot generate lookups over an empty key set"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
-    (0..count).map(|_| keys[rng.gen_range(0..keys.len())]).collect()
+    (0..count)
+        .map(|_| keys[rng.gen_range(0..keys.len())])
+        .collect()
 }
 
 /// Draws `count` point lookups with the given hit rate `h`: a fraction `h`
@@ -29,8 +34,14 @@ pub fn point_lookups_with_hit_rate(
     hit_rate: f64,
     seed: u64,
 ) -> Vec<u64> {
-    assert!((0.0..=1.0).contains(&hit_rate), "hit rate must be within [0, 1]");
-    assert!(!keys.is_empty(), "cannot generate lookups over an empty key set");
+    assert!(
+        (0.0..=1.0).contains(&hit_rate),
+        "hit rate must be within [0, 1]"
+    );
+    assert!(
+        !keys.is_empty(),
+        "cannot generate lookups over an empty key set"
+    );
     let max_key = keys.iter().copied().max().expect("non-empty");
     let mut rng = StdRng::seed_from_u64(seed);
     (0..count)
@@ -49,7 +60,10 @@ pub fn point_lookups_with_hit_rate(
 /// Draws `count` point lookups whose target keys follow a Zipf distribution
 /// over the build set (rank 0 = keys\[0\]), used by the skew experiment.
 pub fn point_lookups_zipf(keys: &[u64], count: usize, theta: f64, seed: u64) -> Vec<u64> {
-    assert!(!keys.is_empty(), "cannot generate lookups over an empty key set");
+    assert!(
+        !keys.is_empty(),
+        "cannot generate lookups over an empty key set"
+    );
     let mut sampler = ZipfSampler::new(keys.len(), theta, seed);
     (0..count).map(|_| keys[sampler.sample()]).collect()
 }
@@ -64,8 +78,14 @@ pub fn range_lookups(
     qualifying: u64,
     seed: u64,
 ) -> Vec<(u64, u64)> {
-    assert!(qualifying >= 1, "a range lookup must cover at least one key");
-    assert!(dense_domain >= qualifying, "domain must be at least as large as the range span");
+    assert!(
+        qualifying >= 1,
+        "a range lookup must cover at least one key"
+    );
+    assert!(
+        dense_domain >= qualifying,
+        "domain must be at least as large as the range span"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     (0..count)
         .map(|_| {
@@ -88,7 +108,10 @@ pub fn sorted_lookups(lookups: &[u64]) -> Vec<u64> {
 pub fn split_batches<T: Clone>(lookups: &[T], batch_count: usize) -> Vec<Vec<T>> {
     assert!(batch_count > 0, "at least one batch required");
     let per_batch = lookups.len().div_ceil(batch_count);
-    lookups.chunks(per_batch.max(1)).map(|c| c.to_vec()).collect()
+    lookups
+        .chunks(per_batch.max(1))
+        .map(|c| c.to_vec())
+        .collect()
 }
 
 /// Shuffles a lookup batch (used to undo accidental ordering).

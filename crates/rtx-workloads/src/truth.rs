@@ -25,7 +25,11 @@ impl GroundTruth {
     /// optional value column of the same length.
     pub fn new(keys: &[u64], values: Option<&[u64]>) -> Self {
         if let Some(v) = values {
-            assert_eq!(v.len(), keys.len(), "value column must match the key column length");
+            assert_eq!(
+                v.len(),
+                keys.len(),
+                "value column must match the key column length"
+            );
         }
         let mut by_key: HashMap<u64, Vec<u32>> = HashMap::with_capacity(keys.len());
         let mut sorted: Vec<(u64, u32)> = Vec::with_capacity(keys.len());
@@ -34,7 +38,11 @@ impl GroundTruth {
             sorted.push((key, row as u32));
         }
         sorted.sort_unstable();
-        GroundTruth { by_key, sorted, values: values.map(|v| v.to_vec()) }
+        GroundTruth {
+            by_key,
+            sorted,
+            values: values.map(|v| v.to_vec()),
+        }
     }
 
     /// RowIDs holding `key` (empty on a miss).
@@ -58,7 +66,10 @@ impl GroundTruth {
             Some(v) => v,
             None => return 0,
         };
-        self.point_rows(key).iter().map(|&r| values[r as usize]).fold(0u64, u64::wrapping_add)
+        self.point_rows(key)
+            .iter()
+            .map(|&r| values[r as usize])
+            .fold(0u64, u64::wrapping_add)
     }
 
     /// RowIDs of all rows whose key lies in `[lower, upper]`.
@@ -94,18 +105,159 @@ impl GroundTruth {
     /// Total value sum over a batch of point lookups (the experiment-level
     /// aggregate).
     pub fn batch_point_sum(&self, queries: &[u64]) -> u64 {
-        queries.iter().map(|&q| self.point_value_sum(q)).fold(0u64, u64::wrapping_add)
+        queries
+            .iter()
+            .map(|&q| self.point_value_sum(q))
+            .fold(0u64, u64::wrapping_add)
     }
 
     /// Total value sum over a batch of range lookups.
     pub fn batch_range_sum(&self, ranges: &[(u64, u64)]) -> u64 {
-        ranges.iter().map(|&(l, u)| self.range_value_sum(l, u)).fold(0u64, u64::wrapping_add)
+        ranges
+            .iter()
+            .map(|&(l, u)| self.range_value_sum(l, u))
+            .fold(0u64, u64::wrapping_add)
     }
 
     /// Expected hit count over a batch of point lookups (lookups that find
     /// at least one row).
     pub fn batch_point_hits(&self, queries: &[u64]) -> usize {
-        queries.iter().filter(|&&q| self.point_hit_count(q) > 0).count()
+        queries
+            .iter()
+            .filter(|&&q| self.point_hit_count(q) > 0)
+            .count()
+    }
+}
+
+/// Aggregate answer of the dynamic oracle for one lookup (mirrors the
+/// `LookupResult` fields of the index implementations without depending on
+/// them).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DynamicTruth {
+    /// Smallest qualifying rowID, or [`MISS`].
+    pub first_row: u32,
+    /// Number of qualifying live rows.
+    pub hit_count: u32,
+    /// Wrapping sum of the qualifying rows' values.
+    pub value_sum: u64,
+}
+
+/// An exact CPU oracle for a *dynamic* index: tracks the live
+/// `(row, key, value)` entries under batched inserts, deletes, upserts and
+/// compactions, mirroring the row-assignment rules of
+/// `rtx_delta::DynamicRtIndex`:
+///
+/// * initial rows are `0..n` in column order;
+/// * inserted rows take the next free rowIDs in batch order;
+/// * deletes remove every live row holding the key;
+/// * a compaction renumbers the surviving rows densely (`0..len`) while
+///   preserving their relative order.
+///
+/// Drive the oracle in lockstep with the index under test and compare
+/// lookup answers; call [`DynamicOracle::compact`] whenever the index
+/// reports a compaction.
+#[derive(Debug, Clone, Default)]
+pub struct DynamicOracle {
+    /// Live entries in ascending row order.
+    entries: Vec<(u32, u64, u64)>,
+    next_row: u32,
+}
+
+impl DynamicOracle {
+    /// Creates the oracle over the initial key/value columns.
+    pub fn new(keys: &[u64], values: &[u64]) -> Self {
+        assert_eq!(
+            keys.len(),
+            values.len(),
+            "value column must match the key column length"
+        );
+        DynamicOracle {
+            entries: keys
+                .iter()
+                .zip(values)
+                .enumerate()
+                .map(|(row, (&k, &v))| (row as u32, k, v))
+                .collect(),
+            next_row: keys.len() as u32,
+        }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no entry is live.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The live `(row, key, value)` entries in ascending row order.
+    pub fn live_entries(&self) -> &[(u32, u64, u64)] {
+        &self.entries
+    }
+
+    /// Inserts a batch of `(key, value)` rows.
+    pub fn insert_batch(&mut self, keys: &[u64], values: &[u64]) {
+        assert_eq!(keys.len(), values.len());
+        for (&k, &v) in keys.iter().zip(values) {
+            self.entries.push((self.next_row, k, v));
+            self.next_row += 1;
+        }
+    }
+
+    /// Deletes every live row holding one of `keys`; returns how many rows
+    /// were removed.
+    pub fn delete_batch(&mut self, keys: &[u64]) -> usize {
+        let doomed: std::collections::HashSet<u64> = keys.iter().copied().collect();
+        let before = self.entries.len();
+        self.entries.retain(|&(_, k, _)| !doomed.contains(&k));
+        before - self.entries.len()
+    }
+
+    /// Upserts a batch: deletes every key's rows, then inserts one fresh row
+    /// per `(key, value)` pair. Returns the number of deleted rows.
+    pub fn upsert_batch(&mut self, keys: &[u64], values: &[u64]) -> usize {
+        let deleted = self.delete_batch(keys);
+        self.insert_batch(keys, values);
+        deleted
+    }
+
+    /// Mirrors a compaction: renumbers the live rows densely in preserved
+    /// order.
+    pub fn compact(&mut self) {
+        for (row, entry) in self.entries.iter_mut().enumerate() {
+            entry.0 = row as u32;
+        }
+        self.next_row = self.entries.len() as u32;
+    }
+
+    /// Aggregate answer for a point lookup of `key`.
+    pub fn point(&self, key: u64) -> DynamicTruth {
+        self.aggregate(self.entries.iter().filter(|&&(_, k, _)| k == key))
+    }
+
+    /// Aggregate answer for an inclusive range lookup `[lower, upper]`.
+    pub fn range(&self, lower: u64, upper: u64) -> DynamicTruth {
+        self.aggregate(
+            self.entries
+                .iter()
+                .filter(|&&(_, k, _)| k >= lower && k <= upper),
+        )
+    }
+
+    fn aggregate<'a, I: Iterator<Item = &'a (u32, u64, u64)>>(&self, rows: I) -> DynamicTruth {
+        let mut truth = DynamicTruth {
+            first_row: MISS,
+            hit_count: 0,
+            value_sum: 0,
+        };
+        for &(row, _, value) in rows {
+            truth.first_row = truth.first_row.min(row);
+            truth.hit_count += 1;
+            truth.value_sum = truth.value_sum.wrapping_add(value);
+        }
+        truth
     }
 }
 
@@ -165,8 +317,10 @@ mod tests {
         let truth = GroundTruth::new(&keys, Some(&values));
         let queries = vec![1u64, 2, 3, 100];
         assert_eq!(truth.batch_point_hits(&queries), 3);
-        let expected: u64 =
-            queries.iter().map(|&q| truth.point_value_sum(q)).fold(0u64, u64::wrapping_add);
+        let expected: u64 = queries
+            .iter()
+            .map(|&q| truth.point_value_sum(q))
+            .fold(0u64, u64::wrapping_add);
         assert_eq!(truth.batch_point_sum(&queries), expected);
         assert_eq!(
             truth.batch_range_sum(&[(0, 9), (40, 49)]),
@@ -178,5 +332,95 @@ mod tests {
     #[should_panic(expected = "value column")]
     fn mismatched_value_column_panics() {
         let _ = GroundTruth::new(&[1, 2, 3], Some(&[1]));
+    }
+
+    #[test]
+    fn dynamic_oracle_tracks_inserts_deletes_and_rows() {
+        let mut oracle = DynamicOracle::new(&[5, 6, 5], &[50, 60, 51]);
+        assert_eq!(oracle.len(), 3);
+        assert_eq!(
+            oracle.point(5),
+            DynamicTruth {
+                first_row: 0,
+                hit_count: 2,
+                value_sum: 101
+            }
+        );
+
+        oracle.insert_batch(&[7, 5], &[70, 52]);
+        assert_eq!(oracle.point(5).hit_count, 3);
+        assert_eq!(
+            oracle.point(7),
+            DynamicTruth {
+                first_row: 3,
+                hit_count: 1,
+                value_sum: 70
+            }
+        );
+
+        assert_eq!(oracle.delete_batch(&[5, 999]), 3);
+        assert_eq!(oracle.point(5).hit_count, 0);
+        assert_eq!(oracle.point(5).first_row, MISS);
+        assert_eq!(oracle.len(), 2);
+
+        // Reinsert after delete: only the fresh row is live.
+        oracle.insert_batch(&[5], &[53]);
+        assert_eq!(
+            oracle.point(5),
+            DynamicTruth {
+                first_row: 5,
+                hit_count: 1,
+                value_sum: 53
+            }
+        );
+    }
+
+    #[test]
+    fn dynamic_oracle_range_and_compaction() {
+        let mut oracle = DynamicOracle::new(&[10, 20, 30, 40], &[1, 2, 3, 4]);
+        oracle.delete_batch(&[20]);
+        oracle.insert_batch(&[25], &[5]);
+        let r = oracle.range(10, 30);
+        assert_eq!(r.hit_count, 3, "10, 30 and the inserted 25");
+        assert_eq!(r.value_sum, 9);
+        assert_eq!(r.first_row, 0);
+
+        // Rows before compaction are sparse (1 deleted), dense afterwards.
+        assert_eq!(
+            oracle
+                .live_entries()
+                .iter()
+                .map(|e| e.0)
+                .collect::<Vec<_>>(),
+            vec![0, 2, 3, 4]
+        );
+        oracle.compact();
+        assert_eq!(
+            oracle
+                .live_entries()
+                .iter()
+                .map(|e| e.0)
+                .collect::<Vec<_>>(),
+            vec![0, 1, 2, 3]
+        );
+        // Next insert continues after the compacted tail.
+        oracle.insert_batch(&[99], &[9]);
+        assert_eq!(oracle.point(99).first_row, 4);
+    }
+
+    #[test]
+    fn dynamic_oracle_upsert_replaces_all_copies() {
+        let mut oracle = DynamicOracle::new(&[1, 1, 2], &[10, 11, 20]);
+        let deleted = oracle.upsert_batch(&[1], &[100]);
+        assert_eq!(deleted, 2);
+        assert_eq!(
+            oracle.point(1),
+            DynamicTruth {
+                first_row: 3,
+                hit_count: 1,
+                value_sum: 100
+            }
+        );
+        assert_eq!(oracle.point(2).value_sum, 20);
     }
 }

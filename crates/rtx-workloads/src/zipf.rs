@@ -36,7 +36,10 @@ impl ZipfSampler {
         for v in &mut cdf {
             *v /= total;
         }
-        ZipfSampler { cdf, rng: StdRng::seed_from_u64(seed) }
+        ZipfSampler {
+            cdf,
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// Number of ranks.
@@ -52,7 +55,10 @@ impl ZipfSampler {
     /// Draws one rank.
     pub fn sample(&mut self) -> usize {
         let u: f64 = self.rng.gen_range(0.0..1.0);
-        match self.cdf.binary_search_by(|p| p.partial_cmp(&u).expect("cdf is finite")) {
+        match self
+            .cdf
+            .binary_search_by(|p| p.partial_cmp(&u).expect("cdf is finite"))
+        {
             Ok(idx) => idx,
             Err(idx) => idx.min(self.cdf.len() - 1),
         }
@@ -74,7 +80,10 @@ mod tests {
         assert_eq!(sampler.len(), 100);
         let samples = sampler.sample_many(100_000);
         let first_decile = samples.iter().filter(|&&r| r < 10).count() as f64 / 100_000.0;
-        assert!((first_decile - 0.10).abs() < 0.02, "theta=0 must be uniform, got {first_decile}");
+        assert!(
+            (first_decile - 0.10).abs() < 0.02,
+            "theta=0 must be uniform, got {first_decile}"
+        );
     }
 
     #[test]
@@ -82,7 +91,10 @@ mod tests {
         let mut sampler = ZipfSampler::new(10_000, 1.5, 2);
         let samples = sampler.sample_many(50_000);
         let top10 = samples.iter().filter(|&&r| r < 10).count() as f64 / 50_000.0;
-        assert!(top10 > 0.5, "theta=1.5 must concentrate most mass on the top ranks, got {top10}");
+        assert!(
+            top10 > 0.5,
+            "theta=1.5 must concentrate most mass on the top ranks, got {top10}"
+        );
         assert!(samples.iter().all(|&r| r < 10_000));
     }
 
@@ -96,7 +108,10 @@ mod tests {
         let s0 = share_of_top(0.0);
         let s1 = share_of_top(1.0);
         let s2 = share_of_top(2.0);
-        assert!(s0 < s1 && s1 < s2, "skew must increase with theta: {s0} {s1} {s2}");
+        assert!(
+            s0 < s1 && s1 < s2,
+            "skew must increase with theta: {s0} {s1} {s2}"
+        );
     }
 
     #[test]

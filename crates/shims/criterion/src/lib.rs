@@ -1,0 +1,330 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the API surface the workspace's `benches/` targets use —
+//! benchmark groups, `bench_function` / `bench_with_input`, `iter` /
+//! `iter_batched`, throughput annotations and the `criterion_group!` /
+//! `criterion_main!` macros — backed by a deliberately simple wall-clock
+//! timer: every benchmark runs `sample_size` samples and reports the median
+//! per-iteration time. No statistics, plots or baselines; `cargo bench`
+//! output is a plain table. The point is that bench targets compile and run
+//! without crates.io access, while remaining useful as a coarse regression
+//! signal.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Returns the argument unchanged while preventing the optimiser from
+/// proving anything about it.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` amortises its setup allocations. The shim runs one
+/// routine invocation per setup regardless; the variants exist for API
+/// compatibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One batch per iteration.
+    PerIteration,
+}
+
+/// Work-per-iteration annotation used to derive throughput rates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Creates an id from a parameter value alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Conversion into a [`BenchmarkId`] (accepts plain strings too).
+pub trait IntoBenchmarkId {
+    /// Performs the conversion.
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            id: self.to_string(),
+        }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { id: self }
+    }
+}
+
+/// Timer handle passed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    /// Median per-iteration time of the most recent `iter*` call.
+    last_median: Option<Duration>,
+}
+
+impl Bencher {
+    fn new(samples: usize) -> Self {
+        Bencher {
+            samples,
+            last_median: None,
+        }
+    }
+
+    fn record(&mut self, mut times: Vec<Duration>) {
+        times.sort_unstable();
+        self.last_median = times.get(times.len() / 2).copied();
+    }
+
+    /// Benchmarks `routine` by timing `samples` invocations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let mut times = Vec::with_capacity(self.samples);
+        // One untimed warm-up invocation.
+        black_box(routine());
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            times.push(start.elapsed());
+        }
+        self.record(times);
+    }
+
+    /// Benchmarks `routine` on fresh inputs produced by `setup`; only the
+    /// routine is timed.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let mut times = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            times.push(start.elapsed());
+        }
+        self.record(times);
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declares how much work one iteration performs.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into_benchmark_id();
+        let mut bencher = Bencher::new(self.sample_size);
+        f(&mut bencher);
+        self.report(&id, bencher.last_median);
+        self
+    }
+
+    /// Runs one benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher::new(self.sample_size);
+        f(&mut bencher, input);
+        self.report(&id, bencher.last_median);
+        self
+    }
+
+    fn report(&self, id: &BenchmarkId, median: Option<Duration>) {
+        let full = format!("{}/{}", self.name, id.id);
+        match median {
+            Some(t) => {
+                let rate = self.throughput.map(|tp| match tp {
+                    Throughput::Elements(n) => {
+                        format!("  {:>12.3e} elem/s", n as f64 / t.as_secs_f64().max(1e-12))
+                    }
+                    Throughput::Bytes(n) => {
+                        format!("  {:>12.3e} B/s", n as f64 / t.as_secs_f64().max(1e-12))
+                    }
+                });
+                println!("{full:<56} {:>12.3?}{}", t, rate.unwrap_or_default());
+            }
+            None => println!("{full:<56} (no measurement)"),
+        }
+        let _ = &self.criterion;
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Accepted for API compatibility; the shim has no warm-up phase beyond
+    /// one untimed invocation.
+    pub fn warm_up_time(self, _d: Duration) -> Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the shim times a fixed number of
+    /// samples instead of a duration budget.
+    pub fn measurement_time(self, _d: Duration) -> Self {
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("== bench group: {name} ==");
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            name,
+            criterion: self,
+            throughput: None,
+            sample_size,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into_benchmark_id();
+        let mut bencher = Bencher::new(self.sample_size);
+        f(&mut bencher);
+        let median = bencher.last_median;
+        match median {
+            Some(t) => println!("{:<56} {:>12.3?}", id.id, t),
+            None => println!("{:<56} (no measurement)", id.id),
+        }
+        self
+    }
+}
+
+/// Declares a benchmark group: either `criterion_group!(name, target, ...)`
+/// or the long form with an explicit `config = ...` expression.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the bench entry point running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spin(c: &mut Criterion) {
+        let mut group = c.benchmark_group("spin");
+        group.throughput(Throughput::Elements(100));
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("sum_to", 50), &50u64, |b, &n| {
+            b.iter_batched(|| n, |n| (0..n).sum::<u64>(), BatchSize::SmallInput)
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, spin);
+
+    #[test]
+    fn group_macro_produces_runnable_harness() {
+        benches();
+    }
+
+    #[test]
+    fn ids_format_like_criterion() {
+        assert_eq!(BenchmarkId::new("f", 3).id, "f/3");
+        assert_eq!(BenchmarkId::from_parameter("zipf1").id, "zipf1");
+    }
+}

@@ -1,0 +1,610 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the slice of proptest this workspace uses: the `proptest!`
+//! macro (with an optional `#![proptest_config(...)]` header), range / tuple
+//! / `any` / float-class / character-class-string strategies,
+//! `prop::collection::vec`, the `prop_filter` / `prop_map` combinators and
+//! the `prop_assert*` macros.
+//!
+//! Differences from upstream are intentional and bounded: cases are drawn
+//! from a deterministic per-test generator (seeded by the test name), there
+//! is **no shrinking** — a failing case panics with the ordinary assertion
+//! message — and no persistence of failing seeds. For the regression-style
+//! properties in this repository (oracle equivalences over generated
+//! workloads) that trade-off keeps behaviour reproducible without any
+//! crates.io dependency.
+
+pub mod test_runner {
+    //! The deterministic generator behind every `proptest!` case.
+
+    /// SplitMix64-based test RNG.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Creates a generator seeded from a test name.
+        pub fn deterministic(name: &str) -> Self {
+            let mut seed = 0xcbf2_9ce4_8422_2325u64;
+            for b in name.bytes() {
+                seed ^= b as u64;
+                seed = seed.wrapping_mul(0x100_0000_01b3);
+            }
+            TestRng { state: seed }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            self.next_u64() % bound
+        }
+
+        /// Uniform `usize` in `[lo, hi)`.
+        pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+            assert!(lo < hi, "empty size range");
+            lo + self.below((hi - lo) as u64) as usize
+        }
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and generic combinators.
+
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating test values.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Keeps only values satisfying `pred`, regenerating otherwise.
+        fn prop_filter<F>(self, whence: &'static str, pred: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter {
+                inner: self,
+                whence,
+                pred,
+            }
+        }
+
+        /// Transforms generated values with `f`.
+        fn prop_map<F, O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_filter`].
+    pub struct Filter<S, F> {
+        inner: S,
+        whence: &'static str,
+        pred: F,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..10_000 {
+                let v = self.inner.generate(rng);
+                if (self.pred)(&v) {
+                    return v;
+                }
+            }
+            panic!(
+                "prop_filter '{}' rejected 10000 consecutive values",
+                self.whence
+            );
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    macro_rules! impl_uint_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    self.start + rng.below((self.end - self.start) as u64) as $t
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi - lo) as u64;
+                    if span == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    lo + rng.below(span + 1) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_uint_range_strategy!(u8, u16, u32, u64, usize);
+
+    macro_rules! impl_sint_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = self.end.wrapping_sub(self.start) as u64;
+                    self.start.wrapping_add(rng.below(span) as $t)
+                }
+            }
+        )*};
+    }
+
+    impl_sint_range_strategy!(i32, i64);
+
+    macro_rules! impl_float_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+                    self.start + ((self.end - self.start) as f64 * unit) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_float_range_strategy!(f32, f64);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($name:ident),+)),+ $(,)?) => {$(
+            #[allow(non_snake_case)]
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        )+};
+    }
+
+    impl_tuple_strategy!((A, B), (A, B, C), (A, B, C, D));
+
+    /// Character-class string strategy: string literals such as
+    /// `"[a-z]{0,12}"` generate matching strings. Only the
+    /// `[class]{lo,hi}` shape (plus plain `[class]` for a single char) is
+    /// supported; other patterns fall back to short alphanumeric strings.
+    impl Strategy for &str {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let (alphabet, lo, hi) = parse_char_class(self).unwrap_or_else(|| {
+                (
+                    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"
+                        .chars()
+                        .collect(),
+                    0,
+                    16,
+                )
+            });
+            let len = rng.usize_in(lo, hi + 1);
+            (0..len)
+                .map(|_| alphabet[rng.below(alphabet.len() as u64) as usize])
+                .collect()
+        }
+    }
+
+    /// Parses `[a-zA-Z_]{lo,hi}` into (alphabet, lo, hi).
+    fn parse_char_class(pattern: &str) -> Option<(Vec<char>, usize, usize)> {
+        let rest = pattern.strip_prefix('[')?;
+        let close = rest.find(']')?;
+        let class = &rest[..close];
+        let mut alphabet = Vec::new();
+        let mut chars = class.chars().peekable();
+        while let Some(c) = chars.next() {
+            if chars.peek() == Some(&'-') {
+                let mut lookahead = chars.clone();
+                lookahead.next(); // the '-'
+                if let Some(&end) = lookahead.peek() {
+                    chars = lookahead;
+                    chars.next();
+                    for v in c as u32..=end as u32 {
+                        alphabet.extend(char::from_u32(v));
+                    }
+                    continue;
+                }
+            }
+            alphabet.push(c);
+        }
+        if alphabet.is_empty() {
+            return None;
+        }
+        let quant = &rest[close + 1..];
+        if quant.is_empty() {
+            return Some((alphabet, 1, 1));
+        }
+        let quant = quant.strip_prefix('{')?.strip_suffix('}')?;
+        let (lo, hi) = match quant.split_once(',') {
+            Some((lo, hi)) => (lo.trim().parse().ok()?, hi.trim().parse().ok()?),
+            None => {
+                let n = quant.trim().parse().ok()?;
+                (n, n)
+            }
+        };
+        Some((alphabet, lo, hi))
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()`: full-domain strategies per type.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Marker strategy generated by [`any`].
+    pub struct Any<T> {
+        _marker: core::marker::PhantomData<T>,
+    }
+
+    /// Types with a canonical full-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// Generates one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    /// Returns the full-domain strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any {
+            _marker: core::marker::PhantomData,
+        }
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f32 {
+        fn arbitrary(rng: &mut TestRng) -> f32 {
+            f32::from_bits(rng.next_u64() as u32)
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            f64::from_bits(rng.next_u64())
+        }
+    }
+}
+
+pub mod num {
+    //! Float bit-class strategies (`prop::num::f32::NORMAL`, ...).
+
+    macro_rules! float_module {
+        ($mod_name:ident, $t:ty, $bits:ty, $from_bits:path) => {
+            pub mod $mod_name {
+                use crate::strategy::Strategy;
+                use crate::test_runner::TestRng;
+
+                /// Strategy over every bit pattern (including NaN and ±inf).
+                pub struct AnyFloat;
+                /// Strategy over normal floats (finite, non-zero, not
+                /// subnormal), both signs.
+                pub struct NormalFloat;
+                /// Strategy over positive normal floats.
+                pub struct PositiveFloat;
+
+                /// Every representable value.
+                pub const ANY: AnyFloat = AnyFloat;
+                /// Normal values only.
+                pub const NORMAL: NormalFloat = NormalFloat;
+                /// Positive normal values only.
+                pub const POSITIVE: PositiveFloat = PositiveFloat;
+
+                impl Strategy for AnyFloat {
+                    type Value = $t;
+                    fn generate(&self, rng: &mut TestRng) -> $t {
+                        $from_bits(rng.next_u64() as $bits)
+                    }
+                }
+
+                impl Strategy for NormalFloat {
+                    type Value = $t;
+                    fn generate(&self, rng: &mut TestRng) -> $t {
+                        loop {
+                            let v = $from_bits(rng.next_u64() as $bits);
+                            if v.is_normal() {
+                                return v;
+                            }
+                        }
+                    }
+                }
+
+                impl Strategy for PositiveFloat {
+                    type Value = $t;
+                    fn generate(&self, rng: &mut TestRng) -> $t {
+                        loop {
+                            let v = $from_bits(rng.next_u64() as $bits);
+                            if v.is_normal() && v > 0.0 {
+                                return v;
+                            }
+                        }
+                    }
+                }
+            }
+        };
+    }
+
+    float_module!(f32, f32, u32, f32::from_bits);
+    float_module!(f64, f64, u64, f64::from_bits);
+}
+
+pub mod collection {
+    //! Collection strategies (`prop::collection::vec`).
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Inclusive-exclusive length range for generated collections.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end() + 1,
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    /// Strategy generating `Vec`s of an element strategy.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates vectors whose length lies in `size` and whose elements come
+    /// from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.usize_in(self.size.lo, self.size.hi);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Per-`proptest!` block configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that runs the body over generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (config = $config:expr;) => {};
+    (config = $config:expr;
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:pat_param in $strategy:expr),* $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        #[test]
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            let mut rng = $crate::test_runner::TestRng::deterministic(concat!(
+                module_path!(),
+                "::",
+                stringify!($name)
+            ));
+            for __case in 0..config.cases {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strategy), &mut rng);)*
+                let _ = __case;
+                $body
+            }
+        }
+        $crate::__proptest_items! { config = $config; $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a property (no shrinking; plain panic).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+pub mod prelude {
+    //! Everything a `proptest!` user needs in scope.
+
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::Strategy;
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// Sub-strategy namespace (`prop::collection::vec`, `prop::num::...`).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::num;
+        pub use crate::strategy;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        #[test]
+        fn ranges_and_tuples_stay_in_bounds(
+            x in 10u64..20,
+            (a, b) in (0u32..5, 1u32..=3),
+            v in prop::collection::vec(0u64..100, 2..6),
+        ) {
+            prop_assert!((10..20).contains(&x));
+            prop_assert!(a < 5);
+            prop_assert!((1..=3).contains(&b));
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert!(v.iter().all(|&e| e < 100));
+        }
+
+        #[test]
+        fn any_and_float_classes_generate(
+            i in any::<i64>(),
+            f in prop::num::f32::NORMAL,
+            g in prop::num::f64::ANY.prop_filter("not nan", |x| !x.is_nan()),
+        ) {
+            prop_assert_eq!(i, i);
+            prop_assert!(f.is_normal());
+            prop_assert!(!g.is_nan());
+        }
+
+        #[test]
+        fn char_class_strings_match_their_pattern(s in "[a-z]{0,12}") {
+            prop_assert!(s.len() <= 12);
+            prop_assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn filter_eventually_panics_on_impossible_predicates() {
+        let result = std::panic::catch_unwind(|| {
+            let mut rng = crate::test_runner::TestRng::deterministic("impossible");
+            let s = (0u64..10).prop_filter("never", |_| false);
+            crate::strategy::Strategy::generate(&s, &mut rng)
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn prop_map_transforms_values() {
+        let mut rng = crate::test_runner::TestRng::deterministic("map");
+        let s = (0u64..10).prop_map(|v| v * 2);
+        for _ in 0..100 {
+            let v = crate::strategy::Strategy::generate(&s, &mut rng);
+            assert!(v % 2 == 0 && v < 20);
+        }
+    }
+}

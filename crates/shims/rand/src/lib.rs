@@ -1,0 +1,232 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment of this repository has no access to crates.io, so
+//! the workspace vendors the *minimal* slice of the `rand` 0.8 API surface it
+//! actually uses: [`rngs::StdRng`] seeded via [`SeedableRng::seed_from_u64`],
+//! [`Rng::gen_range`] / [`Rng::gen_bool`], and [`seq::SliceRandom::shuffle`].
+//!
+//! The generator is SplitMix64 — statistically solid for workload generation
+//! and fully deterministic given a seed, which is all the reproduction's
+//! generators require. The streams differ from upstream `rand`, so seeds are
+//! *not* byte-compatible with the real crate; nothing in this repository
+//! depends on the concrete stream, only on determinism.
+
+/// A source of random 64-bit values.
+pub trait RngCore {
+    /// Returns the next value of the stream.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32-bit value of the stream.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Construction of a generator from a seed.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types from which `gen_range` can sample a value.
+pub trait SampleRange<T> {
+    /// Draws one value of the range using `rng`.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_uint_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + (rng.next_u64() % span) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let span = (end - start) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                start + (rng.next_u64() % (span + 1)) as $t
+            }
+        }
+    )*};
+}
+
+impl_uint_sample_range!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_float_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                // 53 uniformly distributed mantissa bits in [0, 1).
+                let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+                self.start + ((self.end - self.start) as f64 * unit) as $t
+            }
+        }
+    )*};
+}
+
+impl_float_sample_range!(f32, f64);
+
+/// Convenience methods on every generator (the `rand::Rng` extension trait).
+pub trait Rng: RngCore {
+    /// Draws a value uniformly from `range`.
+    fn gen_range<T, S>(&mut self, range: S) -> T
+    where
+        S: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability {p} outside [0, 1]");
+        let unit = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        unit < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod rngs {
+    //! The standard generator.
+
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic generator (SplitMix64), standing in for `rand::rngs::StdRng`.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // Scramble the seed once so that adjacent seeds produce unrelated
+            // streams (seed 42 vs. 43 must not generate shifted sequences).
+            let mut rng = StdRng {
+                state: seed ^ 0x6A09_E667_F3BC_C909,
+            };
+            rng.next_u64();
+            rng
+        }
+    }
+}
+
+pub mod seq {
+    //! Slice utilities (`shuffle`).
+
+    use super::RngCore;
+
+    /// In-place slice shuffling, standing in for `rand::seq::SliceRandom`.
+    pub trait SliceRandom {
+        /// Element type of the slice.
+        type Item;
+
+        /// Shuffles the slice with a Fisher–Yates pass.
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+        /// Returns a uniformly chosen element, or `None` when empty.
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[(rng.next_u64() % self.len() as u64) as usize])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let va: Vec<u64> = (0..32).map(|_| a.gen_range(0..1_000_000u64)).collect();
+        let vb: Vec<u64> = (0..32).map(|_| b.gen_range(0..1_000_000u64)).collect();
+        assert_eq!(va, vb);
+        let mut c = StdRng::seed_from_u64(8);
+        let vc: Vec<u64> = (0..32).map(|_| c.gen_range(0..1_000_000u64)).collect();
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(10..20usize);
+            assert!((10..20).contains(&v));
+            let w = rng.gen_range(5..=7u32);
+            assert!((5..=7).contains(&w));
+            let f = rng.gen_range(0.0..1.0f64);
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_matches_probability() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.3)).count() as f64 / 100_000.0;
+        assert!((hits - 0.3).abs() < 0.01, "measured {hits}");
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut v: Vec<u32> = (0..100).collect();
+        v.shuffle(&mut StdRng::seed_from_u64(3));
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<u32>>());
+        assert_ne!(v, sorted, "shuffle must move elements");
+        assert!(v.choose(&mut StdRng::seed_from_u64(4)).is_some());
+    }
+
+    #[test]
+    fn uniformity_is_reasonable() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut buckets = [0u32; 10];
+        for _ in 0..100_000 {
+            buckets[rng.gen_range(0..10usize)] += 1;
+        }
+        for &b in &buckets {
+            assert!((b as f64 - 10_000.0).abs() < 500.0, "bucket {b}");
+        }
+    }
+}

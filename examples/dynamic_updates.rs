@@ -1,0 +1,109 @@
+//! Dynamic updates end to end: insert → lookup → delete → automatic
+//! compaction.
+//!
+//! The static RT index can only refit or rebuild; this example drives the
+//! `rtx-delta` layer instead — a mutable GPU hash buffer plus tombstones
+//! over the immutable BVH — and watches the configured policy fold the
+//! delta back into a rebuilt base automatically.
+//!
+//! Run with: `cargo run --release --example dynamic_updates`
+
+use rtindex::rtx_delta::CompactionPolicy;
+use rtindex::{Device, DynamicRtConfig, DynamicRtIndex};
+
+fn main() {
+    let device = Device::default_eval();
+
+    // A users table: user id (key) -> account balance in cents (value).
+    let user_ids: Vec<u64> = (0..10_000).collect();
+    let balances: Vec<u64> = user_ids.iter().map(|id| id * 7 % 100_000).collect();
+
+    // Compact once the delta reaches 10% of the base, or once 20% of the
+    // base rows are tombstoned.
+    let config = DynamicRtConfig::default().with_policy(CompactionPolicy {
+        max_delta_entries: 1 << 20,
+        max_delta_fraction: 0.10,
+        max_delete_ratio: 0.20,
+    });
+    let mut index = DynamicRtIndex::build(&device, &user_ids, &balances, config).unwrap();
+    println!(
+        "built dynamic index: {} rows in the base, {} in the delta, {:.1} MiB on device",
+        index.base_rows(),
+        index.delta_len(),
+        index.memory_bytes() as f64 / (1 << 20) as f64,
+    );
+
+    // --- Inserts land in the delta; the BVH is untouched. -----------------
+    let new_ids: Vec<u64> = (10_000..10_500).collect();
+    let new_balances = vec![500u64; new_ids.len()];
+    let outcome = index.insert_batch(&new_ids, &new_balances).unwrap();
+    println!(
+        "\ninserted {} users in {:.3} simulated ms (compaction: {})",
+        outcome.inserted_rows,
+        outcome.simulated_time_s * 1e3,
+        outcome.compaction.is_some(),
+    );
+    println!(
+        "delta now buffers {} rows over a {}-row base",
+        index.delta_len(),
+        index.base_rows()
+    );
+
+    // --- Lookups reconcile base and delta. --------------------------------
+    let out = index.point_lookup_batch(&[42, 10_042, 777_777]).unwrap();
+    for (query, result) in [42u64, 10_042, 777_777].iter().zip(&out.results) {
+        match result.is_hit() {
+            true => println!(
+                "user {query}: row {} balance {} (hits: {})",
+                result.first_row, result.value_sum, result.hit_count
+            ),
+            false => println!("user {query}: not found"),
+        }
+    }
+    let ranges = index.range_lookup_batch(&[(10_000, 10_099)]).unwrap();
+    println!(
+        "balance sum of users [10000, 10099] (all in the delta): {}",
+        ranges.results[0].value_sum
+    );
+
+    // --- Deletes tombstone; enough of them trigger a compaction. ----------
+    let churn: Vec<u64> = (0..2_500).collect();
+    let outcome = index.delete_batch(&churn).unwrap();
+    println!(
+        "\ndeleted {} rows; dead base rows now {}",
+        outcome.deleted_rows,
+        index.dead_base_rows()
+    );
+    match outcome.compaction {
+        Some(event) => println!(
+            "automatic compaction ({}): merged {} delta rows, dropped {} tombstones, \
+             rebuilt {} live rows in {:.3} simulated ms",
+            event.trigger.name(),
+            event.merged_delta_entries,
+            event.dropped_base_tombstones,
+            event.live_rows,
+            event.simulated_build_s * 1e3,
+        ),
+        None => println!("no compaction triggered yet"),
+    }
+    println!(
+        "after compaction: base {} rows, delta {} rows, {} compactions total",
+        index.base_rows(),
+        index.delta_len(),
+        index.compaction_count(),
+    );
+
+    // --- The merged index answers like nothing ever happened. -------------
+    let out = index.point_lookup_batch(&[42, 2_600, 10_042]).unwrap();
+    assert!(!out.results[0].is_hit(), "user 42 was deleted");
+    assert!(out.results[1].is_hit(), "user 2600 survived the churn");
+    assert!(
+        out.results[2].is_hit(),
+        "user 10042 moved from the delta into the base"
+    );
+    println!(
+        "\nverification: deleted user misses, surviving users hit; device memory {:.1} MiB",
+        index.memory_bytes() as f64 / (1 << 20) as f64,
+    );
+    println!("lifetime stats: {:?}", index.stats());
+}

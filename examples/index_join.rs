@@ -8,7 +8,7 @@
 //!
 //! Run with: `cargo run --release --example index_join`
 
-use rtindex::{Device, RtIndex, RtIndexConfig, WarpHashTable, GpuIndex};
+use rtindex::{Device, GpuIndex, RtIndex, RtIndexConfig, WarpHashTable};
 use rtx_workloads as wl;
 
 fn main() {
@@ -29,7 +29,9 @@ fn main() {
 
     // Index the build side once, probe it with the whole orders batch.
     let index = RtIndex::build(&device, &customer_keys, RtIndexConfig::default()).expect("build");
-    let probe = index.point_lookup_batch(&order_fks, Some(&credit_limits)).expect("probe");
+    let probe = index
+        .point_lookup_batch(&order_fks, Some(&credit_limits))
+        .expect("probe");
     println!(
         "RX probe: {} matches, aggregated credit limit {}, simulated {:.3} ms",
         probe.hit_count(),
@@ -40,7 +42,11 @@ fn main() {
     // Verify the join result against the oracle.
     let truth = wl::GroundTruth::new(&customer_keys, Some(&credit_limits));
     assert_eq!(probe.total_value_sum(), truth.batch_point_sum(&order_fks));
-    assert_eq!(probe.hit_count(), orders, "every order has a matching customer");
+    assert_eq!(
+        probe.hit_count(),
+        orders,
+        "every order has a matching customer"
+    );
     println!("join result verified: OK");
 
     // The hash-table baseline answers the same probe; on uniform keys it

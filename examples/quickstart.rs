@@ -28,15 +28,25 @@ fn main() {
 
     // Q1 from the paper: range lookup [23, 25] -> Coffee (rowID 3) and Bread
     // (rowID 1).
-    let out = index.range_lookup_batch(&[(23, 25)], None).expect("range lookup");
+    let out = index
+        .range_lookup_batch(&[(23, 25)], None)
+        .expect("range lookup");
     let result = &out.results[0];
-    println!("\nrange lookup [23, 25]: {} qualifying rows", result.hit_count);
-    println!("  first qualifying rowID: {} ({})", result.first_row, articles[result.first_row as usize]);
+    println!(
+        "\nrange lookup [23, 25]: {} qualifying rows",
+        result.hit_count
+    );
+    println!(
+        "  first qualifying rowID: {} ({})",
+        result.first_row, articles[result.first_row as usize]
+    );
 
     // Point lookups, including a miss. Misses are reported with the reserved
     // MISS rowID, exactly like the paper's result-array convention.
     let queries = vec![29u64, 27, 24];
-    let out = index.point_lookup_batch(&queries, None).expect("point lookups");
+    let out = index
+        .point_lookup_batch(&queries, None)
+        .expect("point lookups");
     println!("\npoint lookups:");
     for (query, result) in queries.iter().zip(&out.results) {
         if result.first_row == MISS {
@@ -51,10 +61,21 @@ fn main() {
 
     // The same index works for the other key representations and primitives.
     for mode in [KeyMode::Naive, KeyMode::Extended] {
-        let alt = RtIndex::build(&device, &category, RtIndexConfig::default().with_key_mode(mode))
-            .expect("alternate build");
-        let hits = alt.point_lookup_batch(&queries, None).expect("lookup").hit_count();
-        println!("\n{} mode answers the same lookups ({} hits)", mode.name(), hits);
+        let alt = RtIndex::build(
+            &device,
+            &category,
+            RtIndexConfig::default().with_key_mode(mode),
+        )
+        .expect("alternate build");
+        let hits = alt
+            .point_lookup_batch(&queries, None)
+            .expect("lookup")
+            .hit_count();
+        println!(
+            "\n{} mode answers the same lookups ({} hits)",
+            mode.name(),
+            hits
+        );
     }
     let aabb = RtIndex::build(
         &device,

@@ -8,7 +8,7 @@
 //!
 //! Run with: `cargo run --release --example secondary_index_scan`
 
-use rtindex::{Device, RtIndex, RtIndexConfig, SortedArray, GpuIndex};
+use rtindex::{Device, GpuIndex, RtIndex, RtIndexConfig, SortedArray};
 use rtx_workloads as wl;
 
 fn main() {
@@ -32,7 +32,9 @@ fn main() {
 
     // A batch of range predicates: WHERE key BETWEEN l AND l+63.
     let predicates = wl::range_lookups(n as u64, 1 << 12, 64, seed + 2);
-    let out = index.range_lookup_batch(&predicates, Some(&values)).expect("range lookups");
+    let out = index
+        .range_lookup_batch(&predicates, Some(&values))
+        .expect("range lookups");
     println!(
         "answered {} range predicates: {} hits, total SUM = {}",
         predicates.len(),
@@ -49,12 +51,18 @@ fn main() {
     // Verify against the ground-truth oracle (a plain scan).
     let truth = wl::GroundTruth::new(&keys, Some(&values));
     let expected = truth.batch_range_sum(&predicates);
-    assert_eq!(out.total_value_sum(), expected, "index answer must match the scan");
+    assert_eq!(
+        out.total_value_sum(),
+        expected,
+        "index answer must match the scan"
+    );
     println!("verified against a scan-based oracle: OK");
 
     // Compare with the sorted-array baseline on the same workload.
     let sa = SortedArray::build(&device, &keys);
-    let sa_out = sa.range_lookup_batch(&device, &predicates, Some(&values)).expect("SA ranges");
+    let sa_out = sa
+        .range_lookup_batch(&device, &predicates, Some(&values))
+        .expect("SA ranges");
     assert_eq!(sa_out.total_value_sum(), expected);
     println!(
         "sorted-array baseline: simulated {:.3} ms (RX: {:.3} ms)",

@@ -21,7 +21,9 @@ fn main() {
 
         // Low-hit-rate workload: most lookups miss (e.g. anti-join probing).
         let queries = wl::point_lookups_with_hit_rate(&keys, 1 << 17, 0.1, seed + 2);
-        let out = index.point_lookup_batch(&queries, Some(&values)).expect("lookup");
+        let out = index
+            .point_lookup_batch(&queries, Some(&values))
+            .expect("lookup");
         println!(
             "{:>11}: 64-bit keys, hit rate 0.1 -> {:.3} ms simulated, {} early aborts",
             spec.name,
@@ -44,12 +46,15 @@ fn main() {
         freezing.results[0].hit_count, freezing.results[0].value_sum
     );
 
-    let cities = ["berlin", "boston", "chicago", "mainz", "osaka", "paris", "quito", "zagreb"];
-    let city_column: Vec<&str> =
-        (0..4096).map(|i| cities[(i * 31) % cities.len()]).collect();
+    let cities = [
+        "berlin", "boston", "chicago", "mainz", "osaka", "paris", "quito", "zagreb",
+    ];
+    let city_column: Vec<&str> = (0..4096).map(|i| cities[(i * 31) % cities.len()]).collect();
     let city_index =
         TypedRtIndex::build(&device, &city_column, RtIndexConfig::default()).expect("build");
-    let mainz = city_index.point_lookup_batch(&["mainz"], None).expect("lookup");
+    let mainz = city_index
+        .point_lookup_batch(&["mainz"], None)
+        .expect("lookup");
     println!(
         "city column: 'mainz' appears in {} of {} rows (first rowID {})",
         mainz.results[0].hit_count,
@@ -64,7 +69,9 @@ fn main() {
     println!("\nZipf-skewed dashboard queries over 2^16 keys:");
     for theta in [0.0, 1.0, 2.0] {
         let queries = wl::point_lookups_zipf(&keys, 1 << 17, theta, seed + 6);
-        let out = index.point_lookup_batch(&queries, Some(&values)).expect("lookup");
+        let out = index
+            .point_lookup_batch(&queries, Some(&values))
+            .expect("lookup");
         println!(
             "  zipf {theta:>3}: {:.3} ms simulated, cache hit rate {:.1}%",
             out.metrics.simulated_time_s * 1e3,

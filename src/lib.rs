@@ -40,15 +40,36 @@
 //! | [`rtx_bvh`] | BVH builders, compaction, refitting, traversal |
 //! | [`optix_sim`] | the OptiX-shaped pipeline API (accel build, ray-gen / any-hit programs) |
 //! | [`rtindex_core`] | the RX index itself (key modes, primitives, ray strategies, lookups, updates) |
+//! | [`rtx_delta`] | dynamic updates: delta buffer, tombstones, auto-compaction |
 //! | [`gpu_baselines`] | the HT / B+ / SA baselines and the radix sort |
 //! | [`rtx_workloads`] | workload generators and ground-truth oracles |
 //! | [`rtx_harness`] | the experiment harness reproducing every table and figure |
+//!
+//! ## Dynamic updates
+//!
+//! The static [`RtIndex`] only refits or rebuilds. [`DynamicRtIndex`] layers
+//! a mutable delta (GPU hash buffer + tombstones) over the immutable BVH and
+//! compacts automatically:
+//!
+//! ```
+//! use rtindex::{Device, DynamicRtConfig, DynamicRtIndex};
+//!
+//! let device = Device::default_eval();
+//! let mut index =
+//!     DynamicRtIndex::build(&device, &[26, 25, 29], &[0, 1, 2], DynamicRtConfig::default())
+//!         .unwrap();
+//! index.insert_batch(&[23], &[3]).unwrap();
+//! index.delete_batch(&[29]).unwrap();
+//! let out = index.point_lookup_batch(&[23, 29]).unwrap();
+//! assert!(out.results[0].is_hit() && !out.results[1].is_hit());
+//! ```
 
 pub use gpu_baselines;
 pub use gpu_device;
 pub use optix_sim;
 pub use rtindex_core;
 pub use rtx_bvh;
+pub use rtx_delta;
 pub use rtx_harness;
 pub use rtx_math;
 pub use rtx_workloads;
@@ -59,6 +80,9 @@ pub use gpu_device::{Device, DeviceSpec};
 pub use rtindex_core::{
     BatchOutcome, Decomposition, KeyMode, LookupResult, PointRayStrategy, PrimitiveKind,
     RangeRayStrategy, RtIndex, RtIndexConfig, RtIndexError, TypedRtIndex, MISS,
+};
+pub use rtx_delta::{
+    CompactionEvent, CompactionPolicy, CompactionTrigger, DynamicRtConfig, DynamicRtIndex,
 };
 
 #[cfg(test)]

@@ -1,0 +1,157 @@
+//! Acceptance test of the dynamic-update subsystem: `DynamicRtIndex` must
+//! answer identically to the CPU oracle over a 10k-operation mixed workload
+//! (inserts, deletes, upserts, point and range lookups; uniform and Zipf
+//! key choice), with at least one *automatic* compaction observed
+//! mid-workload and the device-memory accounting balanced afterwards.
+
+use rtindex::rtx_delta::CompactionPolicy;
+use rtindex::{Device, DynamicRtConfig, DynamicRtIndex, MISS};
+use rtx_workloads as wl;
+use rtx_workloads::mixed::{mixed_ops, MixedOp, MixedWorkloadConfig};
+use rtx_workloads::truth::DynamicOracle;
+
+/// Drives `index` and `oracle` through `ops` in lockstep, comparing every
+/// lookup answer, and mirroring each compaction into the oracle.
+fn drive_and_verify(
+    index: &mut DynamicRtIndex,
+    oracle: &mut DynamicOracle,
+    ops: &[MixedOp],
+) -> (usize, u64) {
+    let mut verified_lookups = 0usize;
+    let mut seen_compactions = index.compaction_count();
+    for (op_idx, op) in ops.iter().enumerate() {
+        match op {
+            MixedOp::Insert(pairs) => {
+                let keys: Vec<u64> = pairs.iter().map(|&(k, _)| k).collect();
+                let values: Vec<u64> = pairs.iter().map(|&(_, v)| v).collect();
+                index.insert_batch(&keys, &values).expect("insert");
+                oracle.insert_batch(&keys, &values);
+            }
+            MixedOp::Delete(keys) => {
+                let outcome = index.delete_batch(keys).expect("delete");
+                let expected = oracle.delete_batch(keys);
+                assert_eq!(outcome.deleted_rows, expected, "op {op_idx}: delete count");
+            }
+            MixedOp::Upsert(pairs) => {
+                let keys: Vec<u64> = pairs.iter().map(|&(k, _)| k).collect();
+                let values: Vec<u64> = pairs.iter().map(|&(_, v)| v).collect();
+                let outcome = index.upsert_batch(&keys, &values).expect("upsert");
+                let expected = oracle.upsert_batch(&keys, &values);
+                assert_eq!(
+                    outcome.deleted_rows, expected,
+                    "op {op_idx}: upsert deletions"
+                );
+            }
+            MixedOp::PointLookups(queries) => {
+                let out = index.point_lookup_batch(queries).expect("point lookups");
+                for (q, r) in queries.iter().zip(&out.results) {
+                    let truth = oracle.point(*q);
+                    assert_eq!(r.hit_count, truth.hit_count, "op {op_idx}: key {q} count");
+                    assert_eq!(
+                        r.first_row, truth.first_row,
+                        "op {op_idx}: key {q} first row"
+                    );
+                    assert_eq!(r.value_sum, truth.value_sum, "op {op_idx}: key {q} sum");
+                }
+                verified_lookups += queries.len();
+            }
+            MixedOp::RangeLookups(ranges) => {
+                let out = index.range_lookup_batch(ranges).expect("range lookups");
+                for (&(l, u), r) in ranges.iter().zip(&out.results) {
+                    let truth = oracle.range(l, u);
+                    assert_eq!(r.hit_count, truth.hit_count, "op {op_idx}: [{l},{u}] count");
+                    assert_eq!(
+                        r.first_row, truth.first_row,
+                        "op {op_idx}: [{l},{u}] first row"
+                    );
+                    assert_eq!(r.value_sum, truth.value_sum, "op {op_idx}: [{l},{u}] sum");
+                }
+                verified_lookups += ranges.len();
+            }
+        }
+        // Compactions renumber rows; mirror each into the oracle.
+        let compactions = index.compaction_count();
+        if compactions > seen_compactions {
+            assert_eq!(
+                compactions,
+                seen_compactions + 1,
+                "at most one compaction per batch"
+            );
+            oracle.compact();
+            seen_compactions = compactions;
+        }
+        assert_eq!(index.len(), oracle.len(), "op {op_idx}: live entry count");
+    }
+    (verified_lookups, seen_compactions)
+}
+
+fn run_mixed_workload(config: MixedWorkloadConfig) {
+    let device = Device::default_eval();
+    let initial_keys = wl::dense_shuffled((config.key_domain / 4) as usize, config.seed);
+    let initial_values = wl::value_column(initial_keys.len(), config.seed + 1);
+
+    // Thresholds low enough that the 10k-operation stream compacts several
+    // times mid-workload.
+    let dyn_config = DynamicRtConfig::default().with_policy(CompactionPolicy {
+        max_delta_entries: 1 << 12,
+        max_delta_fraction: 0.25,
+        max_delete_ratio: 0.25,
+    });
+    let mut index =
+        DynamicRtIndex::build(&device, &initial_keys, &initial_values, dyn_config).unwrap();
+    let mut oracle = DynamicOracle::new(&initial_keys, &initial_values);
+
+    let ops = mixed_ops(&config);
+    let total_ops: usize = ops.iter().map(MixedOp::len).sum();
+    assert_eq!(total_ops, config.total_ops);
+
+    let (verified_lookups, compactions) = drive_and_verify(&mut index, &mut oracle, &ops);
+
+    assert!(
+        verified_lookups > 1000,
+        "the mix must verify a substantial lookup volume"
+    );
+    assert!(
+        compactions >= 1,
+        "the workload must trigger at least one automatic compaction (delta {}, base {})",
+        index.delta_len(),
+        index.base_rows()
+    );
+    assert_eq!(
+        device.memory().current_bytes(),
+        index.memory_bytes(),
+        "device memory accounting must balance after compactions"
+    );
+
+    // Full final sweep: every key of the domain answers like the oracle.
+    let sweep: Vec<u64> = (0..config.key_domain).collect();
+    let out = index.point_lookup_batch(&sweep).unwrap();
+    for (q, r) in sweep.iter().zip(&out.results) {
+        let truth = oracle.point(*q);
+        assert_eq!(
+            (r.first_row, r.hit_count, r.value_sum),
+            (truth.first_row, truth.hit_count, truth.value_sum),
+            "final sweep: key {q}"
+        );
+        if truth.hit_count == 0 {
+            assert_eq!(r.first_row, MISS);
+        }
+    }
+}
+
+#[test]
+fn uniform_mixed_workload_matches_oracle_10k_ops() {
+    run_mixed_workload(MixedWorkloadConfig::uniform(10_000, 4096, 0x00DD_BA11));
+}
+
+#[test]
+fn zipfian_mixed_workload_matches_oracle_10k_ops() {
+    run_mixed_workload(MixedWorkloadConfig::zipfian(10_000, 4096, 1.0, 0x5EED));
+}
+
+#[test]
+fn heavy_zipf_hot_key_churn_matches_oracle() {
+    // theta = 1.5 hammers a handful of hot keys with repeated
+    // delete/reinsert/upsert cycles — the delta/tombstone stress case.
+    run_mixed_workload(MixedWorkloadConfig::zipfian(6_000, 1024, 1.5, 7));
+}

@@ -13,8 +13,18 @@ fn check_point_agreement(keys: &[u64], queries: &[u64], config: RtIndexConfig) {
     let indexes = build_all_indexes(&device, keys, config);
     for ix in &indexes {
         let m = ix.point_lookups(&device, queries, Some(&values));
-        assert_eq!(m.hits, truth.batch_point_hits(queries), "{} hits", ix.name());
-        assert_eq!(m.value_sum, truth.batch_point_sum(queries), "{} sum", ix.name());
+        assert_eq!(
+            m.hits,
+            truth.batch_point_hits(queries),
+            "{} hits",
+            ix.name()
+        );
+        assert_eq!(
+            m.value_sum,
+            truth.batch_point_sum(queries),
+            "{} sum",
+            ix.name()
+        );
     }
 }
 
@@ -54,7 +64,10 @@ fn range_lookups_agree_across_order_based_indexes() {
     let values = wl::value_column(keys.len(), 10);
     let truth = wl::GroundTruth::new(&keys, Some(&values));
     let ranges = wl::range_lookups(4096, 1000, 32, 11);
-    let expected: Vec<u32> = ranges.iter().map(|&(l, u)| truth.range_hit_count(l, u)).collect();
+    let expected: Vec<u32> = ranges
+        .iter()
+        .map(|&(l, u)| truth.range_hit_count(l, u))
+        .collect();
 
     let rx = RtIndex::build(&device, &keys, RtIndexConfig::default()).unwrap();
     let rx_out = rx.range_lookup_batch(&ranges, Some(&values)).unwrap();
@@ -63,11 +76,15 @@ fn range_lookups_agree_across_order_based_indexes() {
     assert_eq!(rx_out.total_value_sum(), truth.batch_range_sum(&ranges));
 
     let sa = rtindex::SortedArray::build(&device, &keys);
-    let sa_out = sa.range_lookup_batch(&device, &ranges, Some(&values)).unwrap();
+    let sa_out = sa
+        .range_lookup_batch(&device, &ranges, Some(&values))
+        .unwrap();
     assert_eq!(sa_out.total_value_sum(), truth.batch_range_sum(&ranges));
 
     let bp = rtindex::BPlusTree::build(&device, &keys).unwrap();
-    let bp_out = bp.range_lookup_batch(&device, &ranges, Some(&values)).unwrap();
+    let bp_out = bp
+        .range_lookup_batch(&device, &ranges, Some(&values))
+        .unwrap();
     assert_eq!(bp_out.total_value_sum(), truth.batch_range_sum(&ranges));
 }
 
@@ -86,8 +103,9 @@ fn every_rx_configuration_answers_the_same_workload() {
             if !mode.supports_primitive(primitive) {
                 continue;
             }
-            let config =
-                RtIndexConfig::default().with_key_mode(mode).with_primitive(primitive);
+            let config = RtIndexConfig::default()
+                .with_key_mode(mode)
+                .with_primitive(primitive);
             let index = RtIndex::build(&device, &keys, config).unwrap();
             let out = index.point_lookup_batch(&queries, None).unwrap();
             assert_eq!(

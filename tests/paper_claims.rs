@@ -22,7 +22,9 @@ fn rx_overtakes_ht_when_most_lookups_miss() {
         .unwrap()
         .metrics
         .simulated_time_s;
-    let ht_ms = ht.point_lookup_batch(&device, &lookups_all_miss, None).simulated_time_s;
+    let ht_ms = ht
+        .point_lookup_batch(&device, &lookups_all_miss, None)
+        .simulated_time_s;
     assert!(
         rx_ms <= ht_ms,
         "with h = 0.0 RX must not lose to HT (RX {rx_ms}, HT {ht_ms})"
@@ -38,9 +40,18 @@ fn ht_beats_rx_when_every_lookup_hits() {
 
     let rx = RtIndex::build(&device, &keys, RtIndexConfig::default()).unwrap();
     let ht = WarpHashTable::build(&device, &keys);
-    let rx_ms = rx.point_lookup_batch(&lookups, None).unwrap().metrics.simulated_time_s;
-    let ht_ms = ht.point_lookup_batch(&device, &lookups, None).simulated_time_s;
-    assert!(ht_ms <= rx_ms, "with h = 1.0 HT must win (RX {rx_ms}, HT {ht_ms})");
+    let rx_ms = rx
+        .point_lookup_batch(&lookups, None)
+        .unwrap()
+        .metrics
+        .simulated_time_s;
+    let ht_ms = ht
+        .point_lookup_batch(&device, &lookups, None)
+        .simulated_time_s;
+    assert!(
+        ht_ms <= rx_ms,
+        "with h = 1.0 HT must win (RX {rx_ms}, HT {ht_ms})"
+    );
 }
 
 /// Section 4.8: lookup skew benefits RX more than the comparison-based
@@ -90,7 +101,10 @@ fn key_multiplicity_is_free_for_rx_structure_size() {
     let a = RtIndex::build(&device, &unique, RtIndexConfig::default()).unwrap();
     let b = RtIndex::build(&device, &duplicated, RtIndexConfig::default()).unwrap();
     let ratio = b.index_memory_bytes() as f64 / a.index_memory_bytes() as f64;
-    assert!((0.8..1.25).contains(&ratio), "duplicates must not change the footprint, ratio {ratio}");
+    assert!(
+        (0.8..1.25).contains(&ratio),
+        "duplicates must not change the footprint, ratio {ratio}"
+    );
 
     let out = b.point_lookup_batch(&[42], None).unwrap();
     assert_eq!(out.results[0].hit_count, 8);
@@ -103,8 +117,14 @@ fn rx_scales_across_hardware_generations() {
     let improvement = rtx_harness::experiments::fig18::generational_improvement;
     let rx = improvement("RX", 13, 1 << 14, 5);
     let sa = improvement("SA", 13, 1 << 14, 5);
-    assert!(rx > 1.5, "RX must improve substantially from Turing to Ada, got {rx:.2}");
-    assert!(rx >= sa * 0.9, "RX improvement ({rx:.2}x) must keep up with SA ({sa:.2}x)");
+    assert!(
+        rx > 1.5,
+        "RX must improve substantially from Turing to Ada, got {rx:.2}"
+    );
+    assert!(
+        rx >= sa * 0.9,
+        "RX improvement ({rx:.2}x) must keep up with SA ({sa:.2}x)"
+    );
 }
 
 /// Table 6 / Section 4.2: the price of RX is its footprint and build time.

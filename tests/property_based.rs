@@ -2,8 +2,19 @@
 //! against the scan oracle, across the public API.
 
 use proptest::prelude::*;
-use rtindex::{Device, KeyMode, RtIndex, RtIndexConfig, MISS};
+use rtindex::rtx_delta::CompactionPolicy;
+use rtindex::{Device, DynamicRtConfig, DynamicRtIndex, KeyMode, RtIndex, RtIndexConfig, MISS};
+use rtx_workloads::truth::DynamicOracle;
 use rtx_workloads::GroundTruth;
+
+/// Builds a dynamic index (auto-compaction off unless stated) plus its
+/// oracle over the same initial columns.
+fn dynamic_pair(device: &Device, keys: &[u64], values: &[u64]) -> (DynamicRtIndex, DynamicOracle) {
+    let config = DynamicRtConfig::default().with_policy(CompactionPolicy::never());
+    let index = DynamicRtIndex::build(device, keys, values, config).unwrap();
+    let oracle = DynamicOracle::new(keys, values);
+    (index, oracle)
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
@@ -79,5 +90,126 @@ proptest! {
         prop_assert_eq!(out_old.hit_count(), 0, "old keys must be gone");
         let out_new = index.point_lookup_batch(&second, None).unwrap();
         prop_assert_eq!(out_new.hit_count(), second.len());
+    }
+
+    /// Duplicate keys split across base and delta aggregate exactly like
+    /// the oracle: counts add, the first row is the global minimum, and
+    /// per-row values sum.
+    #[test]
+    fn prop_duplicates_split_across_base_and_delta(
+        base_keys in prop::collection::vec(0u64..64, 1..120),
+        delta_keys in prop::collection::vec(0u64..64, 1..120),
+    ) {
+        let device = Device::default_eval();
+        let base_values: Vec<u64> = (0..base_keys.len() as u64).map(|i| i + 1).collect();
+        let delta_values: Vec<u64> = (0..delta_keys.len() as u64).map(|i| 1000 + i).collect();
+        let (mut index, mut oracle) = dynamic_pair(&device, &base_keys, &base_values);
+        index.insert_batch(&delta_keys, &delta_values).unwrap();
+        oracle.insert_batch(&delta_keys, &delta_values);
+
+        let queries: Vec<u64> = (0..80).collect();
+        let out = index.point_lookup_batch(&queries).unwrap();
+        for (q, r) in queries.iter().zip(&out.results) {
+            let truth = oracle.point(*q);
+            prop_assert_eq!(r.hit_count, truth.hit_count, "key {}", q);
+            prop_assert_eq!(r.first_row, truth.first_row, "key {}", q);
+            prop_assert_eq!(r.value_sum, truth.value_sum, "key {}", q);
+        }
+    }
+
+    /// Delete-then-reinsert of the same keys resurrects only the fresh
+    /// rows: tombstoned base copies stay invisible, reinserted delta rows
+    /// answer with their new rowIDs and values.
+    #[test]
+    fn prop_delete_then_reinsert_same_keys(
+        keys in prop::collection::vec(0u64..48, 1..100),
+        churn in prop::collection::vec(0u64..48, 1..40),
+    ) {
+        let device = Device::default_eval();
+        let values: Vec<u64> = (0..keys.len() as u64).map(|i| i + 1).collect();
+        let (mut index, mut oracle) = dynamic_pair(&device, &keys, &values);
+
+        index.delete_batch(&churn).unwrap();
+        oracle.delete_batch(&churn);
+        let new_values: Vec<u64> = (0..churn.len() as u64).map(|i| 5000 + i).collect();
+        index.insert_batch(&churn, &new_values).unwrap();
+        oracle.insert_batch(&churn, &new_values);
+
+        let queries: Vec<u64> = (0..48).collect();
+        let out = index.point_lookup_batch(&queries).unwrap();
+        for (q, r) in queries.iter().zip(&out.results) {
+            let truth = oracle.point(*q);
+            prop_assert_eq!(r.hit_count, truth.hit_count, "key {}", q);
+            prop_assert_eq!(r.first_row, truth.first_row, "key {}", q);
+            prop_assert_eq!(r.value_sum, truth.value_sum, "key {}", q);
+        }
+    }
+
+    /// Range lookups spanning tombstoned runs skip exactly the dead rows —
+    /// even when whole contiguous key runs are deleted and partially
+    /// re-covered by the delta.
+    #[test]
+    fn prop_ranges_span_tombstoned_runs(
+        n in 32usize..200,
+        run_start in 0u64..100,
+        run_len in 1u64..64,
+        reinsert in prop::collection::vec(0u64..200, 0..30),
+        ranges in prop::collection::vec((0u64..220, 0u64..80), 1..20),
+    ) {
+        let device = Device::default_eval();
+        let keys: Vec<u64> = (0..n as u64).collect();
+        let values: Vec<u64> = (0..n as u64).map(|i| i * 3 + 1).collect();
+        let (mut index, mut oracle) = dynamic_pair(&device, &keys, &values);
+
+        // Tombstone a contiguous key run, then scatter fresh rows over it.
+        let doomed: Vec<u64> = (run_start..run_start + run_len).collect();
+        index.delete_batch(&doomed).unwrap();
+        oracle.delete_batch(&doomed);
+        let reinsert_values: Vec<u64> = (0..reinsert.len() as u64).map(|i| 9000 + i).collect();
+        index.insert_batch(&reinsert, &reinsert_values).unwrap();
+        oracle.insert_batch(&reinsert, &reinsert_values);
+
+        for &(l, w) in &ranges {
+            let (lower, upper) = (l, l + w);
+            let out = index.range_lookup_batch(&[(lower, upper)]).unwrap();
+            let truth = oracle.range(lower, upper);
+            prop_assert_eq!(out.results[0].hit_count, truth.hit_count, "[{}, {}]", lower, upper);
+            prop_assert_eq!(out.results[0].first_row, truth.first_row, "[{}, {}]", lower, upper);
+            prop_assert_eq!(out.results[0].value_sum, truth.value_sum, "[{}, {}]", lower, upper);
+        }
+    }
+
+    /// Compaction equivalence: after a compaction, the index is
+    /// indistinguishable from a from-scratch `RtIndex::build` over the live
+    /// key sequence.
+    #[test]
+    fn prop_compaction_equals_fresh_build(
+        keys in prop::collection::vec(0u64..128, 1..150),
+        inserts in prop::collection::vec(200u64..300, 0..60),
+        deletes in prop::collection::vec(0u64..300, 0..60),
+    ) {
+        let device = Device::default_eval();
+        let values: Vec<u64> = (0..keys.len() as u64).map(|i| i + 1).collect();
+        let (mut index, mut oracle) = dynamic_pair(&device, &keys, &values);
+        let insert_values: Vec<u64> = (0..inserts.len() as u64).map(|i| 7000 + i).collect();
+        index.insert_batch(&inserts, &insert_values).unwrap();
+        oracle.insert_batch(&inserts, &insert_values);
+        index.delete_batch(&deletes).unwrap();
+        oracle.delete_batch(&deletes);
+
+        index.compact_now();
+        oracle.compact();
+        prop_assert_eq!(index.delta_len(), 0);
+        prop_assert_eq!(index.dead_base_rows(), 0);
+
+        // The merged column is the oracle's live sequence...
+        let live_keys: Vec<u64> = oracle.live_entries().iter().map(|&(_, k, _)| k).collect();
+        let live_values: Vec<u64> = oracle.live_entries().iter().map(|&(_, _, v)| v).collect();
+        // ... and lookups answer exactly like a fresh static build over it.
+        let fresh = RtIndex::build(&device, &live_keys, RtIndexConfig::default()).unwrap();
+        let queries: Vec<u64> = (0..310).collect();
+        let dynamic_out = index.point_lookup_batch(&queries).unwrap();
+        let fresh_out = fresh.point_lookup_batch(&queries, Some(&live_values)).unwrap();
+        prop_assert_eq!(&dynamic_out.results, &fresh_out.results);
     }
 }
