@@ -64,6 +64,19 @@ impl std::fmt::Display for BPlusTreeError {
 
 impl std::error::Error for BPlusTreeError {}
 
+/// Both build failures mean "this key set violates the B+-tree's
+/// restrictions", which the unified API models as an unsupported key set —
+/// the registry's `build_supported` then skips the backend, exactly as the
+/// paper omits B+ from duplicate-key and 64-bit experiments.
+impl From<BPlusTreeError> for rtx_query::IndexError {
+    fn from(err: BPlusTreeError) -> Self {
+        rtx_query::IndexError::UnsupportedKeySet {
+            backend: "B+".to_string(),
+            reason: err.to_string(),
+        }
+    }
+}
+
 /// The GPU B+-tree baseline.
 #[derive(Debug)]
 pub struct BPlusTree {

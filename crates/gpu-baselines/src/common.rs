@@ -2,37 +2,14 @@
 
 use gpu_device::{Device, KernelStats};
 
-/// Reserved rowID written into the result array when a lookup misses.
-pub const MISS: u32 = u32::MAX;
+// The miss sentinel and per-lookup result type are shared with RX and live
+// in `rtx-query`; the old `gpu_baselines` names remain as re-exports.
+pub use rtx_query::MISS;
 
 /// Result of a single lookup within a batch (mirrors the result-array
-/// semantics of the paper's methodology).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub struct BaselineLookupResult {
-    /// RowID of the first qualifying entry, or [`MISS`].
-    pub first_row: u32,
-    /// Number of qualifying entries.
-    pub hit_count: u32,
-    /// Sum of the values fetched for all qualifying rowIDs (0 without a
-    /// value column).
-    pub value_sum: u64,
-}
-
-impl BaselineLookupResult {
-    /// A miss result.
-    pub fn miss() -> Self {
-        BaselineLookupResult {
-            first_row: MISS,
-            hit_count: 0,
-            value_sum: 0,
-        }
-    }
-
-    /// True when the lookup found at least one qualifying entry.
-    pub fn is_hit(&self) -> bool {
-        self.hit_count > 0
-    }
-}
+/// semantics of the paper's methodology). Alias of the canonical
+/// [`rtx_query::LookupResult`].
+pub type BaselineLookupResult = rtx_query::LookupResult;
 
 /// Result of a batched lookup against a baseline index.
 #[derive(Debug, Clone, Default)]

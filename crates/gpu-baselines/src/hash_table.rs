@@ -12,6 +12,7 @@
 //! longer probe sequences than hits (the effect behind Figure 14).
 
 use gpu_device::{Device, KernelStats};
+use rtx_query::IndexError;
 
 use crate::common::{BaselineBatch, BaselineBuildMetrics, BaselineLookupResult, GpuIndex, MISS};
 use crate::kernel::{fetch_value, run_lookup_kernel};
@@ -64,8 +65,21 @@ pub struct WarpHashTable {
 impl WarpHashTable {
     /// Builds the table by inserting every key of `keys` individually
     /// (rowID = position).
-    pub fn build(device: &Device, keys: &[u64]) -> Self {
+    ///
+    /// An empty key set builds an empty table whose lookups all miss.
+    /// Degenerate inputs that previously panicked deep inside the build —
+    /// key counts that exhaust the 32-bit rowID space (the [`MISS`]
+    /// sentinel is reserved) or overflow the slot-capacity computation —
+    /// are rejected up front with [`IndexError::CapacityOverflow`].
+    pub fn build(device: &Device, keys: &[u64]) -> Result<Self, IndexError> {
         let start = std::time::Instant::now();
+        if keys.len() as u64 >= MISS as u64 {
+            return Err(IndexError::CapacityOverflow {
+                backend: "HT".to_string(),
+                keys: keys.len(),
+                limit: MISS as u64 - 1,
+            });
+        }
         let capacity = Self::capacity_for(keys.len());
         let mut slots = vec![Slot::default(); capacity];
 
@@ -94,7 +108,7 @@ impl WarpHashTable {
         let simulated = device.cost_model().simulated_time(&stats);
         device.profiler().record_kernel(stats);
 
-        WarpHashTable {
+        Ok(WarpHashTable {
             slots,
             key_count: keys.len(),
             has_duplicates,
@@ -104,7 +118,7 @@ impl WarpHashTable {
                 scratch_bytes: 0,
             },
             _table_buffer: table_buffer,
-        }
+        })
     }
 
     /// Number of slots allocated for `n` keys: `n / 0.8` rounded up to a
@@ -295,7 +309,7 @@ mod tests {
     fn build_and_lookup_round_trip() {
         let device = Device::default_eval();
         let keys = shuffled_keys(997);
-        let ht = WarpHashTable::build(&device, &keys);
+        let ht = WarpHashTable::build(&device, &keys).unwrap();
         assert_eq!(ht.key_count(), 997);
         assert!(ht.load_factor() <= TARGET_LOAD_FACTOR + 0.01);
         assert_eq!(ht.name(), "HT");
@@ -314,7 +328,7 @@ mod tests {
     fn misses_are_reported_and_cost_more_probes() {
         let device = Device::default_eval();
         let keys = shuffled_keys(4096);
-        let ht = WarpHashTable::build(&device, &keys);
+        let ht = WarpHashTable::build(&device, &keys).unwrap();
         let hits: Vec<u64> = (0..4096).collect();
         let misses: Vec<u64> = (100_000..104_096).collect();
         let hit_batch = ht.point_lookup_batch(&device, &hits, None);
@@ -336,7 +350,7 @@ mod tests {
             .flat_map(|k| std::iter::repeat_n(k, 4))
             .collect();
         let values = vec![1u64; keys.len()];
-        let ht = WarpHashTable::build(&device, &keys);
+        let ht = WarpHashTable::build(&device, &keys).unwrap();
         let batch = ht.point_lookup_batch(&device, &[10, 200], Some(&values));
         for r in &batch.results {
             assert_eq!(r.hit_count, 4);
@@ -349,7 +363,7 @@ mod tests {
         let device = Device::default_eval();
         let keys = shuffled_keys(500);
         let values: Vec<u64> = (0..500u64).map(|i| i * 3).collect();
-        let ht = WarpHashTable::build(&device, &keys);
+        let ht = WarpHashTable::build(&device, &keys).unwrap();
         let queries: Vec<u64> = (0..500).collect();
         let batch = ht.point_lookup_batch(&device, &queries, Some(&values));
         let expected: u64 = queries
@@ -363,7 +377,7 @@ mod tests {
     fn supports_full_64bit_keys() {
         let device = Device::default_eval();
         let keys = vec![0u64, u64::MAX, 1 << 63, 42];
-        let ht = WarpHashTable::build(&device, &keys);
+        let ht = WarpHashTable::build(&device, &keys).unwrap();
         assert!(ht.supports_64bit_keys());
         let batch = ht.point_lookup_batch(&device, &keys, None);
         assert_eq!(batch.hit_count(), 4);
@@ -372,7 +386,7 @@ mod tests {
     #[test]
     fn range_lookups_unsupported() {
         let device = Device::default_eval();
-        let ht = WarpHashTable::build(&device, &[1, 2, 3]);
+        let ht = WarpHashTable::build(&device, &[1, 2, 3]).unwrap();
         assert!(ht.range_lookup_batch(&device, &[(0, 10)], None).is_none());
     }
 
@@ -380,7 +394,7 @@ mod tests {
     fn memory_footprint_includes_overallocation() {
         let device = Device::default_eval();
         let n = 10_000usize;
-        let ht = WarpHashTable::build(&device, &shuffled_keys(n as u64));
+        let ht = WarpHashTable::build(&device, &shuffled_keys(n as u64)).unwrap();
         // At least 25% more slots than keys.
         assert!(ht.memory_bytes() >= (n as u64 * SLOT_BYTES * 5) / 4);
         assert!(ht.build_metrics().simulated_time_s > 0.0);

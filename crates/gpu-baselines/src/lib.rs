@@ -20,6 +20,7 @@
 //! experiment harness can compare RX and the baselines on simulated device
 //! time, memory traffic, instructions and footprint.
 
+pub mod adapter;
 pub mod bplus_tree;
 pub mod common;
 pub mod hash_table;
@@ -27,7 +28,8 @@ pub mod kernel;
 pub mod radix_sort;
 pub mod sorted_array;
 
-pub use bplus_tree::BPlusTree;
+pub use adapter::{register_baselines, GpuIndexAdapter};
+pub use bplus_tree::{BPlusTree, BPlusTreeError};
 pub use common::{BaselineBatch, BaselineBuildMetrics, BaselineLookupResult, GpuIndex, MISS};
 pub use hash_table::{slot_hash, WarpHashTable, GROUP_SIZE, TARGET_LOAD_FACTOR};
 pub use radix_sort::{radix_sort_pairs, RadixSortMetrics};

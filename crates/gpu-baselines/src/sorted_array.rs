@@ -9,6 +9,7 @@
 //! access classifier translates into DRAM traffic.
 
 use gpu_device::{Device, DeviceBuffer};
+use rtx_query::IndexError;
 
 use crate::common::{BaselineBatch, BaselineBuildMetrics, BaselineLookupResult, GpuIndex, MISS};
 use crate::kernel::{fetch_value, run_lookup_kernel};
@@ -27,15 +28,27 @@ pub struct SortedArray {
 
 impl SortedArray {
     /// Builds the sorted array over `keys` (rowID = position in the input).
-    pub fn build(device: &Device, keys: &[u64]) -> Self {
+    ///
+    /// An empty key set builds an empty array whose lookups all miss. Key
+    /// counts that exhaust the 32-bit rowID space (the [`MISS`] sentinel is
+    /// reserved) would silently wrap the carried rowIDs and are rejected
+    /// with [`IndexError::CapacityOverflow`] instead.
+    pub fn build(device: &Device, keys: &[u64]) -> Result<Self, IndexError> {
         let start = std::time::Instant::now();
+        if keys.len() as u64 >= MISS as u64 {
+            return Err(IndexError::CapacityOverflow {
+                backend: "SA".to_string(),
+                keys: keys.len(),
+                limit: MISS as u64 - 1,
+            });
+        }
         let rowids: Vec<u32> = (0..keys.len() as u32).collect();
         let (sorted_keys, rowids, sort_metrics) = radix_sort_pairs(device, keys, &rowids);
 
         let keys_buffer = device.upload(&sorted_keys);
         let rows_buffer = device.upload(&rowids);
 
-        SortedArray {
+        Ok(SortedArray {
             sorted_keys,
             rowids,
             build_metrics: BaselineBuildMetrics {
@@ -45,7 +58,7 @@ impl SortedArray {
             },
             _keys_buffer: keys_buffer,
             _rows_buffer: rows_buffer,
-        }
+        })
     }
 
     /// Index of the first element `>= key` (lower bound), counting the
@@ -222,7 +235,7 @@ mod tests {
     fn build_sorts_and_preserves_rowids() {
         let device = Device::default_eval();
         let keys = shuffled_keys(1000);
-        let sa = SortedArray::build(&device, &keys);
+        let sa = SortedArray::build(&device, &keys).unwrap();
         assert_eq!(sa.key_count(), 1000);
         assert_eq!(sa.name(), "SA");
         assert!(sa.sorted_keys.windows(2).all(|w| w[0] <= w[1]));
@@ -236,7 +249,7 @@ mod tests {
     fn point_lookups_hit_and_miss() {
         let device = Device::default_eval();
         let keys = shuffled_keys(773);
-        let sa = SortedArray::build(&device, &keys);
+        let sa = SortedArray::build(&device, &keys).unwrap();
         let queries: Vec<u64> = (0..1000).collect();
         let batch = sa.point_lookup_batch(&device, &queries, None);
         for (q, r) in queries.iter().zip(&batch.results) {
@@ -254,7 +267,7 @@ mod tests {
         let device = Device::default_eval();
         let keys: Vec<u64> = (0..64u64).flat_map(|k| std::iter::repeat_n(k, 3)).collect();
         let values = vec![2u64; keys.len()];
-        let sa = SortedArray::build(&device, &keys);
+        let sa = SortedArray::build(&device, &keys).unwrap();
         let batch = sa.point_lookup_batch(&device, &[5], Some(&values));
         assert_eq!(batch.results[0].hit_count, 3);
         assert_eq!(batch.results[0].value_sum, 6);
@@ -265,7 +278,7 @@ mod tests {
         let device = Device::default_eval();
         let keys = shuffled_keys(1024);
         let values = vec![1u64; 1024];
-        let sa = SortedArray::build(&device, &keys);
+        let sa = SortedArray::build(&device, &keys).unwrap();
         let batch = sa
             .range_lookup_batch(
                 &device,
@@ -284,7 +297,7 @@ mod tests {
     fn zero_structural_overhead_after_build() {
         let device = Device::default_eval();
         let n = 4096u64;
-        let sa = SortedArray::build(&device, &shuffled_keys(n));
+        let sa = SortedArray::build(&device, &shuffled_keys(n)).unwrap();
         // Keys (8 B) + rowIDs (4 B) only.
         assert_eq!(sa.memory_bytes(), n * 12);
         assert!(sa.supports_duplicates());
@@ -296,7 +309,7 @@ mod tests {
         let device = Device::default_eval();
         let keys = shuffled_keys(300);
         let values: Vec<u64> = (0..300u64).map(|i| i + 7).collect();
-        let sa = SortedArray::build(&device, &keys);
+        let sa = SortedArray::build(&device, &keys).unwrap();
         let queries: Vec<u64> = (0..300).collect();
         let batch = sa.point_lookup_batch(&device, &queries, Some(&values));
         let expected: u64 = queries

@@ -10,7 +10,7 @@
 //! * [`BuildInput`] — triangle / sphere / AABB build inputs,
 //! * [`AccelBuildOptions`] / [`GeometryAccel`] — `optixAccelBuild`,
 //!   `optixAccelCompact` and refitting updates,
-//! * [`Pipeline`]-style launches via [`launch`]: a ray-generation program is
+//! * pipeline-style launches via [`launch`]: a ray-generation program is
 //!   invoked per launch index, calls [`Tracer::trace`] (our `optixTrace`), and
 //!   an any-hit program receives every intersection along with the primitive
 //!   index (= rowID),

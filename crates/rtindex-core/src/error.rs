@@ -70,6 +70,17 @@ pub enum RtIndexError {
         /// Mask entries supplied.
         actual: usize,
     },
+    /// An insert would exhaust the 32-bit rowID space (the `MISS` sentinel
+    /// is reserved). Raised by the dynamic index, whose rowIDs come from a
+    /// monotonic counter that only a compaction resets.
+    RowIdSpaceExhausted {
+        /// RowIDs allocated so far.
+        allocated: u64,
+        /// Rows the rejected batch asked for.
+        requested: u64,
+        /// Largest allocatable rowID count.
+        limit: u64,
+    },
 }
 
 impl std::fmt::Display for RtIndexError {
@@ -108,11 +119,55 @@ impl std::fmt::Display for RtIndexError {
                 f,
                 "live mask has {actual} entries but the index holds {expected} keys"
             ),
+            RtIndexError::RowIdSpaceExhausted {
+                allocated,
+                requested,
+                limit,
+            } => write!(
+                f,
+                "inserting {requested} rows would exhaust the rowID space \
+                 ({allocated} of {limit} allocated); compact first"
+            ),
         }
     }
 }
 
 impl std::error::Error for RtIndexError {}
+
+/// Conversion into the unified query-API error: structured variants map to
+/// their `rtx-query` counterparts, key-range violations become
+/// "unsupported key set" (so the registry's `build_supported` skips an RX
+/// configured with a too-narrow key mode, mirroring how the paper omits
+/// inapplicable configurations), and everything else is wrapped verbatim.
+impl From<RtIndexError> for rtx_query::IndexError {
+    fn from(err: RtIndexError) -> Self {
+        match err {
+            RtIndexError::KeyOutOfRange { .. } => rtx_query::IndexError::UnsupportedKeySet {
+                backend: "RX".to_string(),
+                reason: err.to_string(),
+            },
+            RtIndexError::ValueColumnLengthMismatch { expected, actual } => {
+                rtx_query::IndexError::ValueColumnLengthMismatch { expected, actual }
+            }
+            RtIndexError::InvalidRange { lower, upper } => {
+                rtx_query::IndexError::InvalidRange { lower, upper }
+            }
+            RtIndexError::RowIdSpaceExhausted {
+                allocated,
+                requested,
+                limit,
+            } => rtx_query::IndexError::CapacityOverflow {
+                backend: "RX".to_string(),
+                keys: requested as usize,
+                limit: limit.saturating_sub(allocated),
+            },
+            other => rtx_query::IndexError::Backend {
+                backend: "RX".to_string(),
+                message: other.to_string(),
+            },
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {

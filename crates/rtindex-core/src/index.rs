@@ -25,54 +25,10 @@ use crate::error::RtIndexError;
 use crate::key_mode::KeyMode;
 use crate::ray_strategy::{point_lookup_ray, range_lookup_rays};
 
-/// Reserved rowID written into the result array when a lookup misses.
-pub const MISS: u32 = u32::MAX;
-
-/// Result of a single lookup within a batch.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub struct LookupResult {
-    /// RowID of the first qualifying entry, or [`MISS`].
-    pub first_row: u32,
-    /// Number of qualifying entries (0 on a miss; > 1 for duplicate keys or
-    /// range lookups).
-    pub hit_count: u32,
-    /// Sum of the values fetched for all qualifying rowIDs (0 when no value
-    /// column was supplied or on a miss).
-    pub value_sum: u64,
-}
-
-impl LookupResult {
-    /// True when the lookup found at least one qualifying entry.
-    pub fn is_hit(&self) -> bool {
-        self.hit_count > 0
-    }
-}
-
-/// Result of a batched lookup: per-lookup results plus the launch metrics of
-/// the underlying pipeline execution.
-#[derive(Debug, Clone, Default)]
-pub struct BatchOutcome {
-    /// One result per submitted lookup, in submission order.
-    pub results: Vec<LookupResult>,
-    /// Pipeline launch metrics (counters, simulated time, host time).
-    pub metrics: LaunchMetrics,
-}
-
-impl BatchOutcome {
-    /// Number of lookups that found at least one qualifying entry.
-    pub fn hit_count(&self) -> usize {
-        self.results.iter().filter(|r| r.is_hit()).count()
-    }
-
-    /// Sum of all per-lookup value sums (the aggregate the paper's
-    /// methodology computes).
-    pub fn total_value_sum(&self) -> u64 {
-        self.results
-            .iter()
-            .map(|r| r.value_sum)
-            .fold(0u64, u64::wrapping_add)
-    }
-}
+// The result types are shared by every backend and live in `rtx-query`;
+// they are re-exported here so existing `rtindex_core::{MISS, ...}` paths
+// keep working.
+pub use rtx_query::{BatchOutcome, LookupResult, MISS};
 
 /// The RTIndeX secondary index.
 #[derive(Debug)]

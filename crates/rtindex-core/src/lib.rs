@@ -32,6 +32,7 @@
 //! assert_eq!(out.results[0].hit_count, 2); // rowIDs 1 and 3
 //! ```
 
+pub mod adapter;
 pub mod config;
 pub mod decomposition;
 pub mod error;
@@ -40,6 +41,7 @@ pub mod key_mode;
 pub mod ray_strategy;
 pub mod typed;
 
+pub use adapter::{register_rx, RxAdapter};
 pub use config::RtIndexConfig;
 pub use decomposition::Decomposition;
 pub use error::RtIndexError;

@@ -12,9 +12,9 @@ fn bench_baseline_point_lookups(c: &mut Criterion) {
     let values = wl::value_column(keys.len(), 43);
     let queries = wl::point_lookups(&keys, 1 << 16, 44);
 
-    let ht = WarpHashTable::build(&device, &keys);
+    let ht = WarpHashTable::build(&device, &keys).unwrap();
     let bp = BPlusTree::build(&device, &keys).unwrap();
-    let sa = SortedArray::build(&device, &keys);
+    let sa = SortedArray::build(&device, &keys).unwrap();
     let indexes: Vec<(&str, &dyn GpuIndex)> = vec![("HT", &ht), ("B+", &bp), ("SA", &sa)];
 
     let mut group = c.benchmark_group("baseline_point_lookups");
@@ -34,7 +34,7 @@ fn bench_baseline_range_lookups(c: &mut Criterion) {
     let ranges = wl::range_lookups(keys.len() as u64, 1 << 12, 64, 45);
 
     let bp = BPlusTree::build(&device, &keys).unwrap();
-    let sa = SortedArray::build(&device, &keys);
+    let sa = SortedArray::build(&device, &keys).unwrap();
     let indexes: Vec<(&str, &dyn GpuIndex)> = vec![("B+", &bp), ("SA", &sa)];
 
     let mut group = c.benchmark_group("baseline_range_lookups");

@@ -16,13 +16,13 @@ fn bench_index_builds(c: &mut Criterion) {
             b.iter(|| RtIndex::build(&device, keys, RtIndexConfig::default()).unwrap())
         });
         group.bench_with_input(BenchmarkId::new("HT", exp), &keys, |b, keys| {
-            b.iter(|| WarpHashTable::build(&device, keys))
+            b.iter(|| WarpHashTable::build(&device, keys).unwrap())
         });
         group.bench_with_input(BenchmarkId::new("B+", exp), &keys, |b, keys| {
             b.iter(|| BPlusTree::build(&device, keys).unwrap())
         });
         group.bench_with_input(BenchmarkId::new("SA", exp), &keys, |b, keys| {
-            b.iter(|| SortedArray::build(&device, keys))
+            b.iter(|| SortedArray::build(&device, keys).unwrap())
         });
     }
     group.finish();

@@ -1,0 +1,100 @@
+//! Mixed-batch benchmarks over the unified `SecondaryIndex` API: one
+//! submission mixing point lookups, range lookups and a value fetch,
+//! executed on every range-capable backend from the registry, plus the
+//! chunked-execution path and the registry build itself.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gpu_device::Device;
+use rtx_harness::registry;
+use rtx_query::{IndexSpec, QueryBatch};
+use rtx_workloads as wl;
+
+/// A mixed 3:1 point/range submission with value fetch over a dense domain.
+fn mixed_batch(keys: &[u64], seed: u64) -> QueryBatch {
+    let n = keys.len() as u64;
+    let points = wl::point_lookups(keys, keys.len() / 2, seed);
+    let ranges = wl::range_lookups(n, keys.len() / 6, 32, seed + 1);
+    QueryBatch::new()
+        .points(points)
+        .ranges(ranges)
+        .fetch_values(true)
+}
+
+fn bench_mixed_batch_backends(c: &mut Criterion) {
+    let device = Device::default_eval();
+    let keys = wl::dense_shuffled(1 << 16, 42);
+    let values = wl::value_column(keys.len(), 43);
+    let batch = mixed_batch(&keys, 44);
+    let registry = registry();
+    let spec = IndexSpec::with_values(&device, &keys, &values);
+
+    let mut group = c.benchmark_group("mixed_batch");
+    group.throughput(Throughput::Elements(batch.len() as u64));
+    for name in registry.backends() {
+        let index = registry.build(name, &spec).expect("build");
+        if !index.capabilities().range_lookups {
+            continue;
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(name), &batch, |b, batch| {
+            b.iter(|| index.execute(batch).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_mixed_batch_chunking(c: &mut Criterion) {
+    let device = Device::default_eval();
+    let keys = wl::dense_shuffled(1 << 16, 42);
+    let values = wl::value_column(keys.len(), 43);
+    let registry = registry();
+    let index = registry
+        .build("RX", &IndexSpec::with_values(&device, &keys, &values))
+        .expect("build");
+
+    let mut group = c.benchmark_group("mixed_batch_chunking");
+    for chunk in [0usize, 1 << 10, 1 << 13] {
+        let batch = mixed_batch(&keys, 44).with_chunk_size(chunk);
+        group.throughput(Throughput::Elements(batch.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(chunk), &batch, |b, batch| {
+            b.iter(|| index.execute(batch).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_registry_build(c: &mut Criterion) {
+    let device = Device::default_eval();
+    let keys = wl::dense_shuffled(1 << 14, 42);
+    let values = wl::value_column(keys.len(), 43);
+    let registry = registry();
+    let spec = IndexSpec::with_values(&device, &keys, &values);
+
+    let mut group = c.benchmark_group("registry_build");
+    group.throughput(Throughput::Elements(keys.len() as u64));
+    for name in registry.backends() {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &(), |b, _| {
+            b.iter(|| registry.build(name, &spec).unwrap())
+        });
+    }
+    group.finish();
+}
+
+/// Shared Criterion configuration: small sample counts and short measurement
+/// windows keep `cargo bench --workspace` runnable in CI while still
+/// producing stable medians for the simulated workloads.
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1500))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets =
+    bench_mixed_batch_backends,
+    bench_mixed_batch_chunking,
+    bench_registry_build
+}
+criterion_main!(benches);

@@ -6,15 +6,15 @@
 //! two standard GPU-style builders whose externally visible properties match
 //! everything the RTIndeX paper relies on:
 //!
-//! * [`build_sah`](builder::build_sah) — a binned surface-area-heuristic
+//! * [`build_sah`] — a binned surface-area-heuristic
 //!   builder (higher quality, slower build),
-//! * [`build_lbvh`](builder::build_lbvh) — a Morton-code (LBVH) builder in
+//! * [`build_lbvh`] — a Morton-code (LBVH) builder in
 //!   the spirit of what GPU drivers run (fast, slightly lower quality).
 //!
 //! On top of the builders the crate implements the three operations OptiX
 //! exposes for acceleration structures:
 //!
-//! * **traversal** with any-hit semantics ([`traverse`]) including traversal
+//! * **traversal** with any-hit semantics ([`traverse()`]) including traversal
 //!   statistics (nodes visited, box tests, primitive tests, early aborts),
 //! * **compaction** ([`Bvh::compact`]) which removes the build-time slack
 //!   from the structure's memory footprint,

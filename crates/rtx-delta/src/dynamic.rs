@@ -13,7 +13,8 @@
 //!
 //! Writes never touch the BVH: inserts append to the delta, deletes clear
 //! validity bits (base) or tombstone slots (delta). Once the configured
-//! [`CompactionPolicy`] trips, the live key set is merged and the base is
+//! [`CompactionPolicy`](crate::config::CompactionPolicy) trips, the live
+//! key set is merged and the base is
 //! rebuilt through the ordinary `optixAccelBuild` path — the same cost the
 //! paper charges for its "rebuild" update strategy — after which the delta
 //! and every tombstone are gone.
@@ -168,6 +169,20 @@ impl DynamicRtIndex {
         &self.stats
     }
 
+    /// Build metrics of the current base index (the most recent initial
+    /// build or compaction rebuild).
+    pub fn base_build_metrics(&self) -> &optix_sim::BuildMetrics {
+        self.base.build_metrics()
+    }
+
+    /// RowIDs allocated so far (the next insert starts here). Unlike
+    /// [`DynamicRtIndex::len`] this only ever grows between compactions —
+    /// deletes free no rowIDs — so it is the quantity to check against the
+    /// rowID space before inserting.
+    pub fn allocated_rows(&self) -> u32 {
+        self.next_row
+    }
+
     /// Number of compactions performed so far.
     pub fn compaction_count(&self) -> u64 {
         self.stats.compactions
@@ -219,13 +234,27 @@ impl DynamicRtIndex {
         Ok(())
     }
 
+    /// Rejects a batch that would allocate rowIDs at or beyond the reserved
+    /// [`MISS`] sentinel. Checked before any state mutates, so a failed
+    /// insert/upsert leaves the index untouched.
+    fn validate_row_space(&self, new_rows: usize) -> Result<(), RtIndexError> {
+        if self.next_row as u64 + new_rows as u64 >= MISS as u64 {
+            return Err(RtIndexError::RowIdSpaceExhausted {
+                allocated: self.next_row as u64,
+                requested: new_rows as u64,
+                limit: MISS as u64 - 1,
+            });
+        }
+        Ok(())
+    }
+
     /// Buffers the inserts in the delta; no compaction check (the public
     /// batch methods run it once, at the batch boundary). Returns the
     /// simulated seconds of the insert kernels.
     fn apply_insert(&mut self, keys: &[u64], values: &[u64]) -> f64 {
-        assert!(
+        debug_assert!(
             (self.next_row as u64 + keys.len() as u64) < MISS as u64,
-            "rowID space exhausted"
+            "row space validated by the public batch methods"
         );
         let entries: Vec<(u64, u32, u64)> = keys
             .iter()
@@ -306,6 +335,7 @@ impl DynamicRtIndex {
             });
         }
         self.validate_keys(keys)?;
+        self.validate_row_space(keys.len())?;
         let simulated = self.apply_insert(keys, values);
         Ok(self.finish_batch(keys.len(), 0, simulated))
     }
@@ -334,6 +364,7 @@ impl DynamicRtIndex {
             });
         }
         self.validate_keys(keys)?;
+        self.validate_row_space(keys.len())?;
         let (deleted, delete_sim) = self.apply_delete(keys)?;
         let insert_sim = self.apply_insert(keys, values);
         Ok(self.finish_batch(keys.len(), deleted, delete_sim + insert_sim))

@@ -50,10 +50,12 @@
 //!
 //! [`RtIndex`]: rtindex_core::RtIndex
 
+pub mod adapter;
 pub mod config;
 pub mod delta_buffer;
 pub mod dynamic;
 
+pub use adapter::{register_dynamic, DynamicAdapter};
 pub use config::{CompactionPolicy, CompactionTrigger, DynamicRtConfig};
 pub use delta_buffer::{DeltaBuffer, DeltaEntry};
 pub use dynamic::{CompactionEvent, DynamicRtIndex, UpdateOutcome, UpdateStats};

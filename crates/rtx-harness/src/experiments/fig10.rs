@@ -11,7 +11,7 @@
 use rtindex_core::RtIndexConfig;
 use rtx_workloads as wl;
 
-use crate::indexes::build_all_indexes;
+use crate::indexes::{build_all_indexes, measure_points};
 use crate::report::{fmt_ms, fmt_throughput, Table};
 use crate::scale::ExperimentScale;
 
@@ -20,7 +20,7 @@ pub fn run_lookup_scaling(scale: &ExperimentScale) -> Vec<Table> {
     let device = crate::scaled_device(scale);
     let keys = wl::dense_shuffled(scale.default_keys(), scale.seed);
     let values = wl::value_column(keys.len(), scale.seed + 7);
-    let indexes = build_all_indexes(&device, &keys, RtIndexConfig::default());
+    let indexes = build_all_indexes(&device, &keys, Some(&values), RtIndexConfig::default());
 
     let mut table = Table::new(
         "Figure 10a: throughput [lookups/s] vs. number of point lookups",
@@ -34,7 +34,7 @@ pub fn run_lookup_scaling(scale: &ExperimentScale) -> Vec<Table> {
                 .iter()
                 .find(|ix| ix.name() == name)
                 .map(|ix| {
-                    let m = ix.point_lookups(&device, &lookups, Some(&values));
+                    let m = measure_points(ix.as_ref(), &lookups, true);
                     fmt_throughput(m.throughput(lookups.len()))
                 })
                 .unwrap_or_else(|| "N/A".to_string());
@@ -58,14 +58,14 @@ pub fn run_build_size_scaling(scale: &ExperimentScale) -> Vec<Table> {
         let keys = wl::dense_shuffled(1usize << exp, scale.seed);
         let values = wl::value_column(keys.len(), scale.seed + 7);
         let lookups = wl::point_lookups(&keys, lookup_count, scale.seed + exp as u64);
-        let indexes = build_all_indexes(&device, &keys, RtIndexConfig::default());
+        let indexes = build_all_indexes(&device, &keys, Some(&values), RtIndexConfig::default());
         let mut row = vec![exp.to_string()];
         for name in ["HT", "B+", "SA", "RX"] {
             let cell = indexes
                 .iter()
                 .find(|ix| ix.name() == name)
                 .map(|ix| {
-                    let m = ix.point_lookups(&device, &lookups, Some(&values));
+                    let m = measure_points(ix.as_ref(), &lookups, true);
                     fmt_throughput(m.throughput(lookups.len()))
                 })
                 .unwrap_or_else(|| "N/A".to_string());
@@ -87,19 +87,19 @@ pub fn run_build_time(scale: &ExperimentScale) -> Vec<Table> {
         let n = 1usize << exp;
         let unsorted = wl::dense_shuffled(n, scale.seed);
         let sorted = wl::keyset::dense_sorted(n);
-        let idx_unsorted = build_all_indexes(&device, &unsorted, RtIndexConfig::default());
-        let idx_sorted = build_all_indexes(&device, &sorted, RtIndexConfig::default());
+        let idx_unsorted = build_all_indexes(&device, &unsorted, None, RtIndexConfig::default());
+        let idx_sorted = build_all_indexes(&device, &sorted, None, RtIndexConfig::default());
         let mut row = vec![exp.to_string()];
         for name in ["HT", "B+", "SA", "RX"] {
             let unsorted_ms = idx_unsorted
                 .iter()
                 .find(|ix| ix.name() == name)
-                .map(|ix| fmt_ms(ix.build_sim_ms()))
+                .map(|ix| fmt_ms(ix.build_metrics().sim_ms()))
                 .unwrap_or_else(|| "N/A".to_string());
             let sorted_ms = idx_sorted
                 .iter()
                 .find(|ix| ix.name() == name)
-                .map(|ix| fmt_ms(ix.build_sim_ms()))
+                .map(|ix| fmt_ms(ix.build_metrics().sim_ms()))
                 .unwrap_or_else(|| "N/A".to_string());
             row.push(format!("{unsorted_ms} / {sorted_ms}"));
         }
@@ -111,11 +111,7 @@ pub fn run_build_time(scale: &ExperimentScale) -> Vec<Table> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::indexes::AnyIndex;
-
-    fn sim_ms(ix: &AnyIndex, device: &gpu_device::Device, lookups: &[u64], values: &[u64]) -> f64 {
-        ix.point_lookups(device, lookups, Some(values)).sim_ms
-    }
+    use crate::indexes::find_index;
 
     #[test]
     fn ht_wins_point_lookups_and_rx_is_competitive_with_order_based() {
@@ -123,15 +119,9 @@ mod tests {
         let keys = wl::dense_shuffled(1 << 14, 1);
         let values = wl::value_column(keys.len(), 2);
         let lookups = wl::point_lookups(&keys, 1 << 14, 3);
-        let indexes = build_all_indexes(&device, &keys, RtIndexConfig::default());
-        let time = |name: &str| {
-            sim_ms(
-                indexes.iter().find(|i| i.name() == name).unwrap(),
-                &device,
-                &lookups,
-                &values,
-            )
-        };
+        let indexes = build_all_indexes(&device, &keys, Some(&values), RtIndexConfig::default());
+        let time =
+            |name: &str| measure_points(find_index(&indexes, name).unwrap(), &lookups, true).sim_ms;
         let (ht, bp, sa, rx) = (time("HT"), time("B+"), time("SA"), time("RX"));
         assert!(ht <= rx, "HT must not lose to RX on uniform point lookups");
         assert!(ht <= bp && ht <= sa, "HT wins overall");
@@ -148,18 +138,17 @@ mod tests {
         let small = build_all_indexes(
             &device,
             &wl::dense_shuffled(1 << 12, 1),
+            None,
             RtIndexConfig::default(),
         );
         let large = build_all_indexes(
             &device,
             &wl::dense_shuffled(1 << 14, 1),
+            None,
             RtIndexConfig::default(),
         );
-        let build = |set: &[AnyIndex], name: &str| {
-            set.iter()
-                .find(|i| i.name() == name)
-                .unwrap()
-                .build_sim_ms()
+        let build = |set: &[Box<dyn rtx_query::SecondaryIndex>], name: &str| {
+            find_index(set, name).unwrap().build_metrics().sim_ms()
         };
         assert!(build(&small, "RX") >= build(&small, "SA"));
         assert!(build(&small, "RX") >= build(&small, "HT"));

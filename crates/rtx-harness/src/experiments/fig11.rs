@@ -9,7 +9,7 @@
 use rtindex_core::RtIndexConfig;
 use rtx_workloads as wl;
 
-use crate::indexes::build_all_indexes;
+use crate::indexes::{build_all_indexes, measure_points};
 use crate::report::{fmt_ms, Table};
 use crate::scale::ExperimentScale;
 
@@ -37,14 +37,14 @@ pub fn run(scale: &ExperimentScale) -> Vec<Table> {
             scale.default_lookups(),
             scale.seed + m as u64,
         );
-        let indexes = build_all_indexes(&device, &keys, RtIndexConfig::default());
+        let indexes = build_all_indexes(&device, &keys, Some(&values), RtIndexConfig::default());
         let mut row = vec![m.to_string()];
         for name in ["HT", "SA", "RX"] {
             let cell = indexes
                 .iter()
                 .find(|ix| ix.name() == name)
                 .map(|ix| {
-                    let meas = ix.point_lookups(&device, &lookups, Some(&values));
+                    let meas = measure_points(ix.as_ref(), &lookups, true);
                     fmt_ms(meas.sim_ms / multiplicity as f64)
                 })
                 .unwrap_or_else(|| "N/A".to_string());

@@ -7,7 +7,7 @@
 use rtindex_core::RtIndexConfig;
 use rtx_workloads as wl;
 
-use crate::indexes::build_all_indexes;
+use crate::indexes::{build_all_indexes, measure_points};
 use crate::report::{fmt_ms, Table};
 use crate::scale::ExperimentScale;
 
@@ -45,13 +45,13 @@ pub fn run(scale: &ExperimentScale) -> Vec<Table> {
             &unsorted_lookups
         };
         let values = wl::value_column(n, scale.seed + 7);
-        let indexes = build_all_indexes(&device, keys, RtIndexConfig::default());
+        let indexes = build_all_indexes(&device, keys, Some(&values), RtIndexConfig::default());
         let mut row = vec![combo.to_string()];
         for name in ["HT", "B+", "SA", "RX"] {
             let cell = indexes
                 .iter()
                 .find(|ix| ix.name() == name)
-                .map(|ix| fmt_ms(ix.point_lookups(&device, lookups, Some(&values)).sim_ms))
+                .map(|ix| fmt_ms(measure_points(ix.as_ref(), lookups, true).sim_ms))
                 .unwrap_or_else(|| "N/A".to_string());
             row.push(cell);
         }

@@ -6,7 +6,7 @@
 use rtindex_core::RtIndexConfig;
 use rtx_workloads as wl;
 
-use crate::indexes::build_all_indexes;
+use crate::indexes::{build_all_indexes, measure_points};
 use crate::report::{fmt_ms, Table};
 use crate::scale::ExperimentScale;
 
@@ -23,7 +23,7 @@ pub fn run(scale: &ExperimentScale) -> Vec<Table> {
     let keys = wl::dense_shuffled(scale.default_keys(), scale.seed);
     let values = wl::value_column(keys.len(), scale.seed + 7);
     let lookups = wl::point_lookups(&keys, scale.default_lookups(), scale.seed + 1);
-    let indexes = build_all_indexes(&device, &keys, RtIndexConfig::default());
+    let indexes = build_all_indexes(&device, &keys, Some(&values), RtIndexConfig::default());
 
     let mut table = Table::new(
         "Figure 13: cumulative lookup time [ms] vs. number of batches",
@@ -39,7 +39,7 @@ pub fn run(scale: &ExperimentScale) -> Vec<Table> {
                 Some(ix) => {
                     let mut total_ms = 0.0;
                     for batch in &batches {
-                        total_ms += ix.point_lookups(&device, batch, Some(&values)).sim_ms;
+                        total_ms += measure_points(ix.as_ref(), batch, true).sim_ms;
                     }
                     fmt_ms(total_ms)
                 }

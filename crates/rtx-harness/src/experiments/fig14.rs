@@ -8,7 +8,7 @@
 use rtindex_core::RtIndexConfig;
 use rtx_workloads as wl;
 
-use crate::indexes::build_all_indexes;
+use crate::indexes::{build_all_indexes, measure_points};
 use crate::report::{fmt_ms, Table};
 use crate::scale::ExperimentScale;
 
@@ -20,7 +20,7 @@ pub fn run(scale: &ExperimentScale) -> Vec<Table> {
     let device = crate::scaled_device(scale);
     let keys = wl::dense_shuffled(scale.default_keys(), scale.seed);
     let values = wl::value_column(keys.len(), scale.seed + 7);
-    let indexes = build_all_indexes(&device, &keys, RtIndexConfig::default());
+    let indexes = build_all_indexes(&device, &keys, Some(&values), RtIndexConfig::default());
 
     let mut table = Table::new(
         "Figure 14: hit rate vs. cumulative lookup time [ms] (unsorted lookups)",
@@ -40,7 +40,7 @@ pub fn run(scale: &ExperimentScale) -> Vec<Table> {
                 .iter()
                 .find(|ix| ix.name() == name)
                 .map(|ix| {
-                    let m = ix.point_lookups(&device, &lookups, Some(&values));
+                    let m = measure_points(ix.as_ref(), &lookups, true);
                     if name == "RX" {
                         rx_aborts = m.kernel.early_aborts;
                     }
@@ -87,7 +87,7 @@ mod tests {
     fn misses_do_not_speed_up_the_hash_table() {
         let device = crate::default_device();
         let keys = wl::dense_shuffled(1 << 14, 1);
-        let ht = gpu_baselines::WarpHashTable::build(&device, &keys);
+        let ht = gpu_baselines::WarpHashTable::build(&device, &keys).unwrap();
         use gpu_baselines::GpuIndex;
         let hits = wl::point_lookups_with_hit_rate(&keys, 1 << 14, 1.0, 2);
         let misses = wl::point_lookups_with_hit_rate(&keys, 1 << 14, 0.0, 3);

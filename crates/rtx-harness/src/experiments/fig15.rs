@@ -8,7 +8,7 @@
 use rtindex_core::RtIndexConfig;
 use rtx_workloads as wl;
 
-use crate::indexes::build_all_indexes;
+use crate::indexes::{build_all_indexes, measure_points};
 use crate::report::{fmt_ms, Table};
 use crate::scale::ExperimentScale;
 
@@ -32,15 +32,13 @@ pub fn run(scale: &ExperimentScale) -> Vec<Table> {
         let keys = wl::sparse_uniform(n, max_key, scale.seed);
         let values = wl::value_column(n, scale.seed + 7);
         let lookups = wl::point_lookups(&keys, lookup_count, scale.seed + 1);
-        let indexes = build_all_indexes(&device, &keys, RtIndexConfig::default());
+        let indexes = build_all_indexes(&device, &keys, Some(&values), RtIndexConfig::default());
         let mut time_row = vec![label.to_string()];
         let mut memory_row = vec![label.to_string()];
         for name in ["HT", "B+", "SA", "RX"] {
             match indexes.iter().find(|ix| ix.name() == name) {
                 Some(ix) => {
-                    time_row.push(fmt_ms(
-                        ix.point_lookups(&device, &lookups, Some(&values)).sim_ms,
-                    ));
+                    time_row.push(fmt_ms(measure_points(ix.as_ref(), &lookups, true).sim_ms));
                     memory_row.push(format!(
                         "{:.2}",
                         ix.memory_bytes() as f64 / (1 << 20) as f64

@@ -9,7 +9,7 @@
 use rtindex_core::RtIndexConfig;
 use rtx_workloads as wl;
 
-use crate::indexes::build_all_indexes;
+use crate::indexes::{build_all_indexes, measure_points};
 use crate::report::{fmt_ms, fmt_pct, Table};
 use crate::scale::ExperimentScale;
 
@@ -22,7 +22,7 @@ pub fn run(scale: &ExperimentScale) -> Vec<Table> {
     let device = crate::scaled_device(scale);
     let keys = wl::dense_shuffled(scale.default_keys(), scale.seed);
     let values = wl::value_column(keys.len(), scale.seed + 7);
-    let indexes = build_all_indexes(&device, &keys, RtIndexConfig::default());
+    let indexes = build_all_indexes(&device, &keys, Some(&values), RtIndexConfig::default());
 
     let mut timing = Table::new(
         "Figure 16: Zipf-skewed point lookups, cumulative lookup time [ms] (unsorted)",
@@ -56,7 +56,7 @@ pub fn run(scale: &ExperimentScale) -> Vec<Table> {
                 .iter()
                 .find(|ix| ix.name() == name)
                 .map(|ix| {
-                    let m = ix.point_lookups(&device, &lookups, Some(&values));
+                    let m = measure_points(ix.as_ref(), &lookups, true);
                     if name == "RX" {
                         rx_kernel = Some(m.kernel);
                     }
@@ -121,15 +121,15 @@ mod tests {
         let device = crate::default_device();
         let keys = wl::dense_shuffled(1 << 13, 1);
         let lookups = wl::point_lookups(&keys, 1 << 13, 2);
-        let indexes = build_all_indexes(&device, &keys, RtIndexConfig::default());
+        let indexes = build_all_indexes(&device, &keys, None, RtIndexConfig::default());
         let instructions = |name: &str| {
-            indexes
-                .iter()
-                .find(|i| i.name() == name)
-                .unwrap()
-                .point_lookups(&device, &lookups, None)
-                .kernel
-                .instructions
+            measure_points(
+                crate::indexes::find_index(&indexes, name).unwrap(),
+                &lookups,
+                false,
+            )
+            .kernel
+            .instructions
         };
         let rx = instructions("RX");
         let bp = instructions("B+");

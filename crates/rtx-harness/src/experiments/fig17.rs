@@ -11,7 +11,7 @@
 use rtindex_core::RtIndexConfig;
 use rtx_workloads as wl;
 
-use crate::indexes::build_all_indexes;
+use crate::indexes::{build_all_indexes, measure_ranges};
 use crate::nnls::nnls_two_term;
 use crate::report::{fmt_ms, Table};
 use crate::scale::ExperimentScale;
@@ -29,7 +29,7 @@ pub fn run(scale: &ExperimentScale) -> Vec<Table> {
     let keys = wl::dense_shuffled(n, scale.seed);
     let values = wl::value_column(n, scale.seed + 7);
     let lookup_count = (scale.default_lookups() / 16).max(16);
-    let indexes = build_all_indexes(&device, &keys, RtIndexConfig::default());
+    let indexes = build_all_indexes(&device, &keys, Some(&values), RtIndexConfig::default());
 
     let mut table = Table::new(
         "Figure 17: range lookups, normalised cumulative lookup time [ms] per qualifying entry",
@@ -45,7 +45,7 @@ pub fn run(scale: &ExperimentScale) -> Vec<Table> {
             let cell = indexes
                 .iter()
                 .find(|ix| ix.name() == name)
-                .and_then(|ix| ix.range_lookups(&device, &ranges, Some(&values)))
+                .and_then(|ix| measure_ranges(ix.as_ref(), &ranges, true))
                 .map(|m| {
                     if name == "RX" {
                         spans.push(qualifying as f64);
@@ -89,15 +89,11 @@ mod tests {
         let n = 1usize << 13;
         let keys = wl::dense_shuffled(n, 1);
         let values = wl::value_column(n, 2);
-        let indexes = build_all_indexes(&device, &keys, RtIndexConfig::default());
+        let indexes = build_all_indexes(&device, &keys, Some(&values), RtIndexConfig::default());
         let ranges_wide = wl::range_lookups(n as u64, 128, 256, 3);
-        let get = |name: &str| indexes.iter().find(|i| i.name() == name).unwrap();
-        let bp = get("B+")
-            .range_lookups(&device, &ranges_wide, Some(&values))
-            .unwrap();
-        let rx = get("RX")
-            .range_lookups(&device, &ranges_wide, Some(&values))
-            .unwrap();
+        let get = |name: &str| crate::indexes::find_index(&indexes, name).unwrap();
+        let bp = measure_ranges(get("B+"), &ranges_wide, true).unwrap();
+        let rx = measure_ranges(get("RX"), &ranges_wide, true).unwrap();
         assert_eq!(bp.value_sum, rx.value_sum, "answers must agree");
         assert!(
             bp.sim_ms <= rx.sim_ms,
@@ -109,9 +105,7 @@ mod tests {
         // RX's normalised (per-entry) time must drop as ranges widen:
         // the traversal cost amortises over more qualifying entries.
         let narrow = wl::range_lookups(n as u64, 128, 4, 4);
-        let rx_narrow = get("RX")
-            .range_lookups(&device, &narrow, Some(&values))
-            .unwrap();
+        let rx_narrow = measure_ranges(get("RX"), &narrow, true).unwrap();
         let per_entry_narrow = rx_narrow.sim_ms / 4.0;
         let per_entry_wide = rx.sim_ms / 256.0;
         assert!(per_entry_wide < per_entry_narrow);

@@ -10,7 +10,7 @@ use gpu_device::{Device, DeviceSpec};
 use rtindex_core::RtIndexConfig;
 use rtx_workloads as wl;
 
-use crate::indexes::build_all_indexes;
+use crate::indexes::{build_all_indexes, measure_points};
 use crate::report::{fmt_ms, Table};
 use crate::scale::ExperimentScale;
 
@@ -44,15 +44,15 @@ pub fn run(scale: &ExperimentScale) -> Vec<Table> {
     );
     for spec in DeviceSpec::table8_presets() {
         let device = Device::new(spec.clone());
-        let indexes = build_all_indexes(&device, &keys, RtIndexConfig::default());
+        let indexes = build_all_indexes(&device, &keys, Some(&values), RtIndexConfig::default());
         let mut row = vec![spec.name.clone()];
         for name in ["HT", "B+", "SA", "RX"] {
             let cell = indexes
                 .iter()
                 .find(|ix| ix.name() == name)
                 .map(|ix| {
-                    let u = ix.point_lookups(&device, &unsorted, Some(&values)).sim_ms;
-                    let s = ix.point_lookups(&device, &sorted, Some(&values)).sim_ms;
+                    let u = measure_points(ix.as_ref(), &unsorted, true).sim_ms;
+                    let s = measure_points(ix.as_ref(), &sorted, true).sim_ms;
                     format!("{} / {}", fmt_ms(u), fmt_ms(s))
                 })
                 .unwrap_or_else(|| "N/A".to_string());
@@ -71,12 +71,12 @@ pub fn generational_improvement(index_name: &str, keys_exp: u32, lookups: usize,
     let mut times = Vec::new();
     for spec in [DeviceSpec::rtx_2080ti(), DeviceSpec::rtx_4090()] {
         let device = Device::new(spec);
-        let indexes = build_all_indexes(&device, &keys, RtIndexConfig::default());
+        let indexes = build_all_indexes(&device, &keys, None, RtIndexConfig::default());
         let ix = indexes
             .iter()
             .find(|i| i.name() == index_name)
             .expect("index present");
-        times.push(ix.point_lookups(&device, &queries, None).sim_ms);
+        times.push(measure_points(ix.as_ref(), &queries, false).sim_ms);
     }
     times[0] / times[1]
 }

@@ -16,7 +16,7 @@ use crate::scale::ExperimentScale;
 pub fn run(scale: &ExperimentScale) -> Vec<Table> {
     let device = crate::scaled_device(scale);
     let keys = wl::dense_shuffled(scale.default_keys(), scale.seed);
-    let indexes = build_all_indexes(&device, &keys, RtIndexConfig::default());
+    let indexes = build_all_indexes(&device, &keys, None, RtIndexConfig::default());
 
     let mut table = Table::new(
         format!(
@@ -32,7 +32,7 @@ pub fn run(scale: &ExperimentScale) -> Vec<Table> {
         match indexes.iter().find(|ix| ix.name() == name) {
             Some(ix) => {
                 final_row.push(mib(ix.memory_bytes()));
-                overhead_row.push(mib(ix.build_scratch_bytes()));
+                overhead_row.push(mib(ix.build_metrics().scratch_bytes));
             }
             None => {
                 final_row.push("N/A".to_string());
@@ -53,7 +53,7 @@ mod tests {
     fn rx_has_the_largest_footprint_and_sa_the_smallest_structural_one() {
         let device = crate::default_device();
         let keys = wl::dense_shuffled(1 << 14, 1);
-        let indexes = build_all_indexes(&device, &keys, RtIndexConfig::default());
+        let indexes = build_all_indexes(&device, &keys, None, RtIndexConfig::default());
         let bytes = |name: &str| {
             indexes
                 .iter()
@@ -71,13 +71,14 @@ mod tests {
     fn build_overhead_exists_for_sort_based_builds_and_rx() {
         let device = crate::default_device();
         let keys = wl::dense_shuffled(1 << 13, 1);
-        let indexes = build_all_indexes(&device, &keys, RtIndexConfig::default());
+        let indexes = build_all_indexes(&device, &keys, None, RtIndexConfig::default());
         let scratch = |name: &str| {
             indexes
                 .iter()
                 .find(|i| i.name() == name)
                 .unwrap()
-                .build_scratch_bytes()
+                .build_metrics()
+                .scratch_bytes
         };
         assert_eq!(scratch("HT"), 0, "HT inserts in place");
         assert!(scratch("SA") > 0, "SA sorts out of place");

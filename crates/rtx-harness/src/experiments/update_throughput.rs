@@ -19,9 +19,10 @@
 //! win once a batch replaces a large fraction of the index.
 
 use rtindex_core::RtIndexConfig;
-use rtx_delta::{DynamicRtConfig, DynamicRtIndex};
+use rtx_query::{IndexSpec, QueryBatch};
 use rtx_workloads as wl;
 
+use crate::indexes::{registry, DYNAMIC_BACKEND};
 use crate::report::{fmt_ms, Table};
 use crate::scale::ExperimentScale;
 
@@ -80,40 +81,39 @@ fn churn_plan(scale: &ExperimentScale) -> ChurnPlan {
     }
 }
 
-/// Applies the churn through the delta-buffer strategy.
+/// Applies the churn through the delta-buffer strategy, driven through the
+/// registry's updatable backend like every other experiment drives reads.
 fn run_delta(device: &gpu_device::Device, plan: &ChurnPlan) -> StrategyRun {
-    let mut index = DynamicRtIndex::build(
-        device,
-        &plan.initial_keys,
-        &plan.values,
-        DynamicRtConfig::default(),
-    )
-    .expect("delta build");
+    let mut index = registry()
+        .build_updatable(
+            DYNAMIC_BACKEND,
+            &IndexSpec::with_values(device, &plan.initial_keys, &plan.values),
+        )
+        .expect("delta build");
     let mut keys = plan.initial_keys.clone();
     let mut update_sim_s = 0.0;
+    let mut compactions = 0u64;
     for (rows, new_keys) in &plan.batches {
         let old_keys: Vec<u64> = rows.iter().map(|&r| keys[r]).collect();
         let moved_values: Vec<u64> = rows.iter().map(|&r| plan.values[r]).collect();
-        update_sim_s += index
-            .delete_batch(&old_keys)
-            .expect("delete")
-            .simulated_time_s;
-        update_sim_s += index
-            .insert_batch(new_keys, &moved_values)
-            .expect("insert")
-            .simulated_time_s;
+        let deleted = index.delete(&old_keys).expect("delete");
+        let inserted = index.insert(new_keys, &moved_values).expect("insert");
+        update_sim_s += deleted.simulated_time_s + inserted.simulated_time_s;
+        compactions += deleted.reorganisations + inserted.reorganisations;
         for (&row, &nk) in rows.iter().zip(new_keys) {
             keys[row] = nk;
         }
     }
     let queries = wl::point_lookups(&keys, keys.len().min(MAX_LOOKUPS), 99);
-    let out = index.point_lookup_batch(&queries).expect("lookup");
+    let out = index
+        .execute(&QueryBatch::of_points(&queries))
+        .expect("lookup");
     StrategyRun {
         strategy: "delta",
         update_sim_s,
         lookup_sim_s: out.metrics.simulated_time_s,
         lookup_hits: out.hit_count(),
-        compactions: index.compaction_count(),
+        compactions,
     }
 }
 

@@ -1,18 +1,77 @@
-//! Uniform driver over RX and the three baseline indexes.
+//! Uniform driver over RX, the three baselines and the dynamic index.
 //!
-//! Experiments compare the four index structures on identical workloads.
-//! [`AnyIndex`] wraps them behind one interface and converts their lookup
-//! outcomes into a common [`Measurement`] record carrying the simulated
-//! device time and the hardware counters the paper's analysis uses.
+//! Experiments compare the index structures on identical workloads. Since
+//! the API redesign they no longer go through a hand-written enum: every
+//! backend is built by name from the [`rtx_query::Registry`] and driven
+//! exclusively through [`SecondaryIndex`] trait objects; lookups are
+//! submitted as [`QueryBatch`]es and their [`QueryOutcome`]s convert into
+//! the common [`Measurement`] record carrying the simulated device time and
+//! the hardware counters the paper's analysis uses.
 
-use gpu_baselines::{BPlusTree, GpuIndex, SortedArray, WarpHashTable};
 use gpu_device::{Device, KernelStats};
-use rtindex_core::{RtIndex, RtIndexConfig};
+use rtindex_core::{register_rx, RtIndexConfig};
+use rtx_delta::{register_dynamic, DynamicRtConfig};
+use rtx_query::{IndexSpec, QueryBatch, QueryOutcome, Registry, SecondaryIndex};
+
+/// The four static backends of the paper's evaluation, in its presentation
+/// order. [`build_all_indexes`] builds exactly these.
+pub const PAPER_BACKENDS: [&str; 4] = ["HT", "B+", "SA", "RX"];
+
+/// The dynamic delta-buffered backend added on top of the paper.
+pub const DYNAMIC_BACKEND: &str = "RXD";
+
+/// The full registry of every backend this reproduction implements, with
+/// the RX side (static base and dynamic wrapper) built under `rx_config`:
+/// `"HT"`, `"B+"`, `"SA"`, `"RX"` and the updatable `"RXD"`.
+pub fn registry_with(rx_config: RtIndexConfig) -> Registry {
+    let mut registry = Registry::new();
+    gpu_baselines::register_baselines(&mut registry);
+    register_rx(&mut registry, rx_config);
+    register_dynamic(&mut registry, DynamicRtConfig::default().with_rx(rx_config));
+    registry
+}
+
+/// [`registry_with`] under the paper's selected RX configuration.
+pub fn registry() -> Registry {
+    registry_with(RtIndexConfig::default())
+}
+
+/// Builds the paper's four static indexes over the same column pair,
+/// skipping backends that cannot serve the key set (the B+-tree on
+/// duplicate or 64-bit keys), exactly as the paper omits them from those
+/// experiments.
+pub fn build_all_indexes(
+    device: &Device,
+    keys: &[u64],
+    values: Option<&[u64]>,
+    rx_config: RtIndexConfig,
+) -> Vec<Box<dyn SecondaryIndex>> {
+    let spec = IndexSpec {
+        device,
+        keys,
+        // One shared copy of the column serves every backend built below.
+        values: values.map(std::sync::Arc::from),
+    };
+    registry_with(rx_config)
+        .build_named(&PAPER_BACKENDS, &spec)
+        .expect("paper backends build")
+}
+
+/// Looks a backend up by name in a built index set.
+pub fn find_index<'a>(
+    indexes: &'a [Box<dyn SecondaryIndex>],
+    name: &str,
+) -> Option<&'a dyn SecondaryIndex> {
+    indexes
+        .iter()
+        .find(|ix| ix.name() == name)
+        .map(|ix| ix.as_ref())
+}
 
 /// One measured lookup batch (or build phase) of one index.
 #[derive(Debug, Clone, Default)]
 pub struct Measurement {
-    /// Index name ("RX", "HT", "B+", "SA").
+    /// Index name ("RX", "HT", "B+", "SA", "RXD").
     pub index: String,
     /// Simulated device time in milliseconds.
     pub sim_ms: f64,
@@ -28,6 +87,18 @@ pub struct Measurement {
 }
 
 impl Measurement {
+    /// Converts a batch outcome into the measurement record.
+    pub fn from_outcome(index: &dyn SecondaryIndex, outcome: &QueryOutcome) -> Self {
+        Measurement {
+            index: index.name().to_string(),
+            sim_ms: outcome.sim_ms(),
+            host_ms: outcome.host_ms(),
+            hits: outcome.hit_count(),
+            value_sum: outcome.total_value_sum(),
+            kernel: outcome.metrics.kernel,
+        }
+    }
+
     /// Lookup throughput in operations per second for a batch of `lookups`.
     pub fn throughput(&self, lookups: usize) -> f64 {
         if self.sim_ms <= 0.0 {
@@ -37,164 +108,34 @@ impl Measurement {
     }
 }
 
-/// Any of the four evaluated index structures.
-#[allow(clippy::large_enum_variant)]
-pub enum AnyIndex {
-    /// RTIndeX.
-    Rx(RtIndex),
-    /// WarpCore-style hash table.
-    Ht(WarpHashTable),
-    /// GPU B+-tree.
-    Bp(BPlusTree),
-    /// Sorted array.
-    Sa(SortedArray),
+/// Executes a batch and converts the outcome into a [`Measurement`].
+///
+/// Panics on execution errors: harness workloads are validated, so any
+/// failure is a bug in the experiment, not a recoverable condition.
+pub fn measure(index: &dyn SecondaryIndex, batch: &QueryBatch) -> Measurement {
+    let outcome = index.execute(batch).expect("validated workload");
+    Measurement::from_outcome(index, &outcome)
 }
 
-impl AnyIndex {
-    /// Display name used in report tables.
-    pub fn name(&self) -> &'static str {
-        match self {
-            AnyIndex::Rx(_) => "RX",
-            AnyIndex::Ht(_) => "HT",
-            AnyIndex::Bp(_) => "B+",
-            AnyIndex::Sa(_) => "SA",
-        }
-    }
-
-    /// Device memory the index occupies after construction.
-    pub fn memory_bytes(&self) -> u64 {
-        match self {
-            AnyIndex::Rx(ix) => ix.index_memory_bytes(),
-            AnyIndex::Ht(ix) => ix.memory_bytes(),
-            AnyIndex::Bp(ix) => ix.memory_bytes(),
-            AnyIndex::Sa(ix) => ix.memory_bytes(),
-        }
-    }
-
-    /// Simulated build time in milliseconds.
-    pub fn build_sim_ms(&self) -> f64 {
-        match self {
-            AnyIndex::Rx(ix) => ix.build_metrics().simulated_time_s * 1e3,
-            AnyIndex::Ht(ix) => ix.build_metrics().simulated_time_s * 1e3,
-            AnyIndex::Bp(ix) => ix.build_metrics().simulated_time_s * 1e3,
-            AnyIndex::Sa(ix) => ix.build_metrics().simulated_time_s * 1e3,
-        }
-    }
-
-    /// Temporary device memory the build needed beyond the final footprint.
-    pub fn build_scratch_bytes(&self) -> u64 {
-        match self {
-            AnyIndex::Rx(ix) => ix.build_metrics().scratch_bytes,
-            AnyIndex::Ht(ix) => ix.build_metrics().scratch_bytes,
-            AnyIndex::Bp(ix) => ix.build_metrics().scratch_bytes,
-            AnyIndex::Sa(ix) => ix.build_metrics().scratch_bytes,
-        }
-    }
-
-    /// Whether the index answers range lookups.
-    pub fn supports_range(&self) -> bool {
-        match self {
-            AnyIndex::Rx(_) => true,
-            AnyIndex::Ht(ix) => ix.supports_range(),
-            AnyIndex::Bp(ix) => ix.supports_range(),
-            AnyIndex::Sa(ix) => ix.supports_range(),
-        }
-    }
-
-    /// Answers a batch of point lookups and converts the outcome into a
-    /// [`Measurement`].
-    pub fn point_lookups(
-        &self,
-        device: &Device,
-        queries: &[u64],
-        values: Option<&[u64]>,
-    ) -> Measurement {
-        match self {
-            AnyIndex::Rx(ix) => {
-                let out = ix
-                    .point_lookup_batch(queries, values)
-                    .expect("validated workload");
-                Measurement {
-                    index: self.name().to_string(),
-                    sim_ms: out.metrics.simulated_time_s * 1e3,
-                    host_ms: out.metrics.host_time.as_secs_f64() * 1e3,
-                    hits: out.hit_count(),
-                    value_sum: out.total_value_sum(),
-                    kernel: out.metrics.kernel,
-                }
-            }
-            AnyIndex::Ht(ix) => {
-                baseline_measurement(self.name(), ix.point_lookup_batch(device, queries, values))
-            }
-            AnyIndex::Bp(ix) => {
-                baseline_measurement(self.name(), ix.point_lookup_batch(device, queries, values))
-            }
-            AnyIndex::Sa(ix) => {
-                baseline_measurement(self.name(), ix.point_lookup_batch(device, queries, values))
-            }
-        }
-    }
-
-    /// Answers a batch of range lookups, or `None` when unsupported (HT).
-    pub fn range_lookups(
-        &self,
-        device: &Device,
-        ranges: &[(u64, u64)],
-        values: Option<&[u64]>,
-    ) -> Option<Measurement> {
-        match self {
-            AnyIndex::Rx(ix) => {
-                let out = ix
-                    .range_lookup_batch(ranges, values)
-                    .expect("validated workload");
-                Some(Measurement {
-                    index: self.name().to_string(),
-                    sim_ms: out.metrics.simulated_time_s * 1e3,
-                    host_ms: out.metrics.host_time.as_secs_f64() * 1e3,
-                    hits: out.hit_count(),
-                    value_sum: out.total_value_sum(),
-                    kernel: out.metrics.kernel,
-                })
-            }
-            AnyIndex::Ht(ix) => ix
-                .range_lookup_batch(device, ranges, values)
-                .map(|b| baseline_measurement(self.name(), b)),
-            AnyIndex::Bp(ix) => ix
-                .range_lookup_batch(device, ranges, values)
-                .map(|b| baseline_measurement(self.name(), b)),
-            AnyIndex::Sa(ix) => ix
-                .range_lookup_batch(device, ranges, values)
-                .map(|b| baseline_measurement(self.name(), b)),
-        }
-    }
+/// Measures a batch of point lookups, optionally fetching values.
+pub fn measure_points(index: &dyn SecondaryIndex, queries: &[u64], fetch: bool) -> Measurement {
+    measure(index, &QueryBatch::of_points(queries).fetch_values(fetch))
 }
 
-fn baseline_measurement(name: &str, batch: gpu_baselines::BaselineBatch) -> Measurement {
-    Measurement {
-        index: name.to_string(),
-        sim_ms: batch.simulated_time_s * 1e3,
-        host_ms: batch.host_time.as_secs_f64() * 1e3,
-        hits: batch.hit_count(),
-        value_sum: batch.total_value_sum(),
-        kernel: batch.kernel,
+/// Measures a batch of inclusive range lookups, or `None` when the backend
+/// does not support ranges (HT).
+pub fn measure_ranges(
+    index: &dyn SecondaryIndex,
+    ranges: &[(u64, u64)],
+    fetch: bool,
+) -> Option<Measurement> {
+    if !index.capabilities().range_lookups {
+        return None;
     }
-}
-
-/// Builds all four indexes over the same key column. The B+-tree is skipped
-/// (with a log line in the returned vector being absent) when the key set
-/// violates its restrictions (duplicates or 64-bit keys), exactly as the
-/// paper omits B+ from those experiments.
-pub fn build_all_indexes(device: &Device, keys: &[u64], rx_config: RtIndexConfig) -> Vec<AnyIndex> {
-    let mut indexes = Vec::with_capacity(4);
-    indexes.push(AnyIndex::Ht(WarpHashTable::build(device, keys)));
-    if let Ok(tree) = BPlusTree::build(device, keys) {
-        indexes.push(AnyIndex::Bp(tree));
-    }
-    indexes.push(AnyIndex::Sa(SortedArray::build(device, keys)));
-    indexes.push(AnyIndex::Rx(
-        RtIndex::build(device, keys, rx_config).expect("RX build"),
-    ));
-    indexes
+    Some(measure(
+        index,
+        &QueryBatch::of_ranges(ranges).fetch_values(fetch),
+    ))
 }
 
 #[cfg(test)]
@@ -212,14 +153,14 @@ mod tests {
         let expected_sum = truth.batch_point_sum(&queries);
         let expected_hits = truth.batch_point_hits(&queries);
 
-        let indexes = build_all_indexes(&device, &keys, RtIndexConfig::default());
+        let indexes = build_all_indexes(&device, &keys, Some(&values), RtIndexConfig::default());
         assert_eq!(
             indexes.len(),
             4,
             "unique 32-bit keys allow all four indexes"
         );
         for ix in &indexes {
-            let m = ix.point_lookups(&device, &queries, Some(&values));
+            let m = measure_points(ix.as_ref(), &queries, true);
             assert_eq!(m.hits, expected_hits, "{} hit count", ix.name());
             assert_eq!(m.value_sum, expected_sum, "{} value sum", ix.name());
             assert!(m.sim_ms > 0.0, "{} must report simulated time", ix.name());
@@ -236,10 +177,10 @@ mod tests {
         let truth = GroundTruth::new(&keys, Some(&values));
         let expected_sum = truth.batch_range_sum(&ranges);
 
-        let indexes = build_all_indexes(&device, &keys, RtIndexConfig::default());
+        let indexes = build_all_indexes(&device, &keys, Some(&values), RtIndexConfig::default());
         let mut range_capable = 0;
         for ix in &indexes {
-            match ix.range_lookups(&device, &ranges, Some(&values)) {
+            match measure_ranges(ix.as_ref(), &ranges, true) {
                 Some(m) => {
                     range_capable += 1;
                     assert_eq!(m.value_sum, expected_sum, "{} range sum", ix.name());
@@ -254,12 +195,12 @@ mod tests {
     fn bplus_is_skipped_for_unsupported_key_sets() {
         let device = crate::default_device();
         let keys_with_dup = vec![1u64, 2, 2, 3];
-        let indexes = build_all_indexes(&device, &keys_with_dup, RtIndexConfig::default());
+        let indexes = build_all_indexes(&device, &keys_with_dup, None, RtIndexConfig::default());
         assert_eq!(indexes.len(), 3);
-        assert!(indexes.iter().all(|ix| ix.name() != "B+"));
+        assert!(find_index(&indexes, "B+").is_none());
 
         let keys_64bit = vec![1u64, 1 << 40];
-        let indexes = build_all_indexes(&device, &keys_64bit, RtIndexConfig::default());
+        let indexes = build_all_indexes(&device, &keys_64bit, None, RtIndexConfig::default());
         assert!(indexes.iter().all(|ix| ix.name() != "B+"));
     }
 
@@ -267,13 +208,46 @@ mod tests {
     fn metadata_accessors() {
         let device = crate::default_device();
         let keys = dense_shuffled(1024, 1);
-        let indexes = build_all_indexes(&device, &keys, RtIndexConfig::default());
+        let indexes = build_all_indexes(&device, &keys, None, RtIndexConfig::default());
         for ix in &indexes {
             assert!(ix.memory_bytes() > 0, "{}", ix.name());
-            assert!(ix.build_sim_ms() > 0.0, "{}", ix.name());
-            assert_eq!(ix.supports_range(), ix.name() != "HT");
+            assert!(ix.build_metrics().sim_ms() > 0.0, "{}", ix.name());
+            assert_eq!(
+                ix.capabilities().range_lookups,
+                ix.name() != "HT",
+                "{}",
+                ix.name()
+            );
         }
-        let m = indexes[0].point_lookups(&device, &[keys[0]], None);
+        let m = measure_points(indexes[0].as_ref(), &[keys[0]], false);
         assert!(m.throughput(1) > 0.0);
+    }
+
+    #[test]
+    fn registry_serves_all_five_backends_and_one_mixed_batch() {
+        let device = crate::default_device();
+        let keys = dense_shuffled(512, 5);
+        let values = value_column(512, 6);
+        let truth = GroundTruth::new(&keys, Some(&values));
+        let registry = registry();
+        assert_eq!(registry.backends(), vec!["B+", "HT", "RX", "RXD", "SA"]);
+        assert_eq!(registry.updatable_backends(), vec!["RXD"]);
+
+        // A single mixed batch (points + ranges + value fetch) answers
+        // identically on every range-capable backend.
+        let batch = QueryBatch::new()
+            .points(point_lookups(&keys, 64, 7))
+            .ranges(range_lookups(512, 16, 8, 8))
+            .fetch_values(true);
+        let expected = truth.expected_batch(&batch);
+        let spec = IndexSpec::with_values(&device, &keys, &values);
+        for name in registry.backends() {
+            let ix = registry.build(name, &spec).unwrap();
+            if !ix.capabilities().range_lookups {
+                continue;
+            }
+            let out = ix.execute(&batch).expect("mixed batch");
+            assert_eq!(out.results, expected, "{name} mixed batch");
+        }
     }
 }

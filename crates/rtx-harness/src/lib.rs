@@ -25,7 +25,10 @@ pub mod nnls;
 pub mod report;
 pub mod scale;
 
-pub use indexes::{build_all_indexes, AnyIndex, Measurement};
+pub use indexes::{
+    build_all_indexes, find_index, measure, measure_points, measure_ranges, registry,
+    registry_with, Measurement, DYNAMIC_BACKEND, PAPER_BACKENDS,
+};
 pub use nnls::nnls_two_term;
 pub use report::Table;
 pub use scale::ExperimentScale;

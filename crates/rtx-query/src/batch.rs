@@ -1,0 +1,179 @@
+//! [`QueryBatch`]: one submission mixing point lookups, range lookups and
+//! an optional value-column fetch.
+//!
+//! The paper's methodology submits homogeneous batches (all points or all
+//! ranges); real secondary-index traffic mixes both. A [`QueryBatch`]
+//! preserves the submission order of a mixed stream while the executor
+//! regroups the operations into homogeneous kernel launches — and, for
+//! large submissions, splits every launch into bounded chunks
+//! ([`QueryBatch::with_chunk_size`]) the way a real system bounds its
+//! launch width and result-buffer footprint.
+
+/// One operation of a [`QueryBatch`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryOp {
+    /// Point lookup of a key.
+    Point(u64),
+    /// Inclusive range lookup `[lower, upper]`.
+    Range(u64, u64),
+}
+
+/// A batch of mixed lookups, built incrementally and executed through
+/// [`SecondaryIndex::execute`](crate::index::SecondaryIndex::execute).
+///
+/// ```
+/// use rtx_query::{QueryBatch, QueryOp};
+///
+/// let batch = QueryBatch::new()
+///     .point(7)
+///     .range(10, 19)
+///     .points([1, 2])
+///     .fetch_values(true)
+///     .with_chunk_size(1024);
+/// assert_eq!(batch.len(), 4);
+/// assert_eq!(batch.point_count(), 3);
+/// assert_eq!(batch.range_count(), 1);
+/// assert_eq!(batch.ops()[1], QueryOp::Range(10, 19));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct QueryBatch {
+    ops: Vec<QueryOp>,
+    fetch_values: bool,
+    chunk_size: Option<usize>,
+}
+
+impl QueryBatch {
+    /// An empty batch.
+    pub fn new() -> Self {
+        QueryBatch::default()
+    }
+
+    /// A batch of point lookups, one per query key.
+    pub fn of_points(queries: &[u64]) -> Self {
+        QueryBatch::new().points(queries.iter().copied())
+    }
+
+    /// A batch of inclusive range lookups.
+    pub fn of_ranges(ranges: &[(u64, u64)]) -> Self {
+        QueryBatch::new().ranges(ranges.iter().copied())
+    }
+
+    /// Appends one point lookup.
+    pub fn point(mut self, key: u64) -> Self {
+        self.ops.push(QueryOp::Point(key));
+        self
+    }
+
+    /// Appends point lookups for every key of `queries`.
+    pub fn points<I: IntoIterator<Item = u64>>(mut self, queries: I) -> Self {
+        self.ops.extend(queries.into_iter().map(QueryOp::Point));
+        self
+    }
+
+    /// Appends one inclusive range lookup `[lower, upper]`.
+    pub fn range(mut self, lower: u64, upper: u64) -> Self {
+        self.ops.push(QueryOp::Range(lower, upper));
+        self
+    }
+
+    /// Appends an inclusive range lookup per `(lower, upper)` pair.
+    pub fn ranges<I: IntoIterator<Item = (u64, u64)>>(mut self, ranges: I) -> Self {
+        self.ops
+            .extend(ranges.into_iter().map(|(l, u)| QueryOp::Range(l, u)));
+        self
+    }
+
+    /// Requests that every qualifying row's value be fetched and summed per
+    /// operation (the paper's secondary-index methodology). Requires the
+    /// index to have been built with a value column.
+    pub fn fetch_values(mut self, fetch: bool) -> Self {
+        self.fetch_values = fetch;
+        self
+    }
+
+    /// Bounds the number of operations per kernel launch: each homogeneous
+    /// run (points, ranges) is split into chunks of at most `chunk_size`
+    /// operations, executed back to back with their metrics merged. Results
+    /// are identical to unchunked execution. A chunk size of 0 means
+    /// unbounded (the default).
+    pub fn with_chunk_size(mut self, chunk_size: usize) -> Self {
+        self.chunk_size = (chunk_size > 0).then_some(chunk_size);
+        self
+    }
+
+    /// The operations in submission order.
+    pub fn ops(&self) -> &[QueryOp] {
+        &self.ops
+    }
+
+    /// Number of operations in the batch.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True when the batch holds no operation.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Number of point lookups in the batch.
+    pub fn point_count(&self) -> usize {
+        self.ops
+            .iter()
+            .filter(|op| matches!(op, QueryOp::Point(_)))
+            .count()
+    }
+
+    /// Number of range lookups in the batch.
+    pub fn range_count(&self) -> usize {
+        self.len() - self.point_count()
+    }
+
+    /// Whether a value fetch was requested.
+    pub fn fetches_values(&self) -> bool {
+        self.fetch_values
+    }
+
+    /// The configured chunk size, or `None` for unbounded launches.
+    pub fn chunk_size(&self) -> Option<usize> {
+        self.chunk_size
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_accumulates_mixed_ops_in_order() {
+        let batch = QueryBatch::new()
+            .range(5, 9)
+            .point(1)
+            .ranges([(0, 0), (2, 4)])
+            .points([8, 9]);
+        assert_eq!(batch.len(), 6);
+        assert_eq!(batch.point_count(), 3);
+        assert_eq!(batch.range_count(), 3);
+        assert_eq!(batch.ops()[0], QueryOp::Range(5, 9));
+        assert_eq!(batch.ops()[1], QueryOp::Point(1));
+        assert_eq!(batch.ops()[5], QueryOp::Point(9));
+        assert!(!batch.fetches_values());
+        assert!(batch.chunk_size().is_none());
+    }
+
+    #[test]
+    fn convenience_constructors() {
+        let p = QueryBatch::of_points(&[1, 2, 3]);
+        assert_eq!(p.point_count(), 3);
+        assert_eq!(p.range_count(), 0);
+        let r = QueryBatch::of_ranges(&[(1, 2)]);
+        assert_eq!(r.range_count(), 1);
+        assert!(QueryBatch::new().is_empty());
+    }
+
+    #[test]
+    fn chunk_size_zero_means_unbounded() {
+        assert_eq!(QueryBatch::new().with_chunk_size(0).chunk_size(), None);
+        assert_eq!(QueryBatch::new().with_chunk_size(7).chunk_size(), Some(7));
+    }
+}

@@ -1,0 +1,172 @@
+//! The unified error type of the backend-agnostic query API.
+
+/// Errors reported when building or querying a secondary index through the
+/// unified API. Backend-native error types convert into this one (each
+/// backend crate provides the `From` impl for its own error).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IndexError {
+    /// The registry holds no builder under the requested name.
+    UnknownBackend {
+        /// The requested name.
+        name: String,
+        /// Every registered backend name.
+        known: Vec<String>,
+    },
+    /// The backend cannot index the supplied key set (e.g. duplicate or
+    /// 64-bit keys for the B+-tree, out-of-range keys for a narrow RX key
+    /// mode). [`Registry::build_supported`](crate::registry::Registry)
+    /// skips backends that report this, mirroring how the paper omits
+    /// inapplicable baselines from its experiments.
+    UnsupportedKeySet {
+        /// Backend that rejected the key set.
+        backend: String,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// The backend does not support the requested operation (e.g. range
+    /// lookups on the hash table).
+    UnsupportedOperation {
+        /// Backend that rejected the operation.
+        backend: String,
+        /// The rejected operation.
+        operation: &'static str,
+    },
+    /// The key set is too large for the backend's structure (e.g. it would
+    /// exhaust the 32-bit rowID space or overflow a capacity computation).
+    CapacityOverflow {
+        /// Backend that rejected the build.
+        backend: String,
+        /// Number of keys submitted.
+        keys: usize,
+        /// The largest supported key count.
+        limit: u64,
+    },
+    /// A value column's length does not match the key column's.
+    ValueColumnLengthMismatch {
+        /// Number of keys (and expected values).
+        expected: usize,
+        /// Values supplied.
+        actual: usize,
+    },
+    /// A batch requested a value fetch but the index was built without a
+    /// value column.
+    NoValueColumn {
+        /// Backend the batch was submitted to.
+        backend: String,
+    },
+    /// A range lookup was supplied with `lower > upper`.
+    InvalidRange {
+        /// Lower bound.
+        lower: u64,
+        /// Upper bound.
+        upper: u64,
+    },
+    /// A backend-specific failure that has no structured representation in
+    /// the unified API.
+    Backend {
+        /// Backend that failed.
+        backend: String,
+        /// The backend's error message.
+        message: String,
+    },
+}
+
+impl IndexError {
+    /// True for errors that mean "this backend cannot serve this key set"
+    /// (as opposed to a caller mistake or an internal failure);
+    /// [`Registry::build_supported`](crate::registry::Registry) skips these.
+    pub fn is_unsupported_key_set(&self) -> bool {
+        matches!(self, IndexError::UnsupportedKeySet { .. })
+    }
+}
+
+impl std::fmt::Display for IndexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IndexError::UnknownBackend { name, known } => {
+                write!(f, "unknown backend {name:?} (known: {})", known.join(", "))
+            }
+            IndexError::UnsupportedKeySet { backend, reason } => {
+                write!(f, "{backend} cannot index this key set: {reason}")
+            }
+            IndexError::UnsupportedOperation { backend, operation } => {
+                write!(f, "{backend} does not support {operation}")
+            }
+            IndexError::CapacityOverflow {
+                backend,
+                keys,
+                limit,
+            } => write!(f, "{backend} cannot index {keys} keys (limit: {limit})"),
+            IndexError::ValueColumnLengthMismatch { expected, actual } => write!(
+                f,
+                "value column has {actual} entries but the key column holds {expected}"
+            ),
+            IndexError::NoValueColumn { backend } => write!(
+                f,
+                "{backend} was built without a value column but the batch requested a value fetch"
+            ),
+            IndexError::InvalidRange { lower, upper } => {
+                write!(f, "invalid range lookup: lower {lower} > upper {upper}")
+            }
+            IndexError::Backend { backend, message } => write!(f, "{backend}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for IndexError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_human_readable_messages() {
+        let e = IndexError::UnknownBackend {
+            name: "XX".into(),
+            known: vec!["HT".into(), "RX".into()],
+        };
+        assert!(e.to_string().contains("XX"));
+        assert!(e.to_string().contains("HT, RX"));
+
+        let e = IndexError::UnsupportedKeySet {
+            backend: "B+".into(),
+            reason: "duplicate key 7".into(),
+        };
+        assert!(e.is_unsupported_key_set());
+        assert!(e.to_string().contains("duplicate key 7"));
+
+        let e = IndexError::UnsupportedOperation {
+            backend: "HT".into(),
+            operation: "range lookups",
+        };
+        assert!(!e.is_unsupported_key_set());
+        assert!(e.to_string().contains("range lookups"));
+
+        let e = IndexError::CapacityOverflow {
+            backend: "SA".into(),
+            keys: 5,
+            limit: 4,
+        };
+        assert!(e.to_string().contains("5 keys"));
+
+        let e = IndexError::ValueColumnLengthMismatch {
+            expected: 3,
+            actual: 2,
+        };
+        assert!(e.to_string().contains("value column"));
+
+        let e = IndexError::NoValueColumn {
+            backend: "RX".into(),
+        };
+        assert!(e.to_string().contains("value fetch"));
+
+        let e = IndexError::InvalidRange { lower: 9, upper: 3 };
+        assert!(e.to_string().contains("lower 9"));
+
+        let e = IndexError::Backend {
+            backend: "RX".into(),
+            message: "boom".into(),
+        };
+        assert!(e.to_string().contains("boom"));
+    }
+}

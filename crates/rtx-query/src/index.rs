@@ -1,0 +1,358 @@
+//! The [`SecondaryIndex`] and [`UpdatableIndex`] traits.
+//!
+//! Every backend (RX and the three GPU baselines, plus the dynamic delta
+//! index) implements [`SecondaryIndex`]; the experiment harness, the
+//! examples and the acceptance tests drive them exclusively through
+//! `Box<dyn SecondaryIndex>` trait objects obtained from the
+//! [`Registry`](crate::registry::Registry).
+
+use optix_sim::LaunchMetrics;
+
+use crate::batch::{QueryBatch, QueryOp};
+use crate::error::IndexError;
+use crate::types::{BatchOutcome, Capabilities, IndexBuildMetrics, QueryOutcome, UpdateReport};
+
+/// A read-only secondary index over a `(key, optional value)` column pair.
+///
+/// Implementors provide the two homogeneous execution hooks
+/// ([`point_chunk`](SecondaryIndex::point_chunk) /
+/// [`range_chunk`](SecondaryIndex::range_chunk)); the mixed-batch entry
+/// point [`execute`](SecondaryIndex::execute) is provided on top of them,
+/// so splitting, chunking and result scattering behave identically across
+/// backends.
+pub trait SecondaryIndex: Send + Sync {
+    /// Short display name ("RX", "HT", "B+", "SA", "RXD") used in report
+    /// tables and error messages.
+    fn name(&self) -> &'static str;
+
+    /// Number of indexed keys.
+    fn key_count(&self) -> usize;
+
+    /// Device memory the index occupies after construction.
+    fn memory_bytes(&self) -> u64;
+
+    /// Metrics captured while building.
+    fn build_metrics(&self) -> IndexBuildMetrics;
+
+    /// What the backend supports.
+    fn capabilities(&self) -> Capabilities;
+
+    /// Whether the index was built with a value column (required for
+    /// batches submitted with [`QueryBatch::fetch_values`]).
+    fn has_value_column(&self) -> bool;
+
+    /// Executes one homogeneous chunk of point lookups.
+    ///
+    /// Execution hook called by [`execute`](SecondaryIndex::execute);
+    /// `fetch_values` is only ever true when
+    /// [`has_value_column`](SecondaryIndex::has_value_column) is. Callers
+    /// should prefer [`execute`](SecondaryIndex::execute).
+    fn point_chunk(&self, queries: &[u64], fetch_values: bool) -> Result<BatchOutcome, IndexError>;
+
+    /// Executes one homogeneous chunk of inclusive range lookups.
+    ///
+    /// Execution hook called by [`execute`](SecondaryIndex::execute); only
+    /// invoked when [`Capabilities::range_lookups`] is set.
+    fn range_chunk(
+        &self,
+        ranges: &[(u64, u64)],
+        fetch_values: bool,
+    ) -> Result<BatchOutcome, IndexError>;
+
+    /// Executes a mixed batch: point and range lookups in one submission,
+    /// with an optional value fetch.
+    ///
+    /// The default implementation regroups the operations into homogeneous
+    /// runs, splits each run into chunks of at most
+    /// [`QueryBatch::chunk_size`] operations, executes the chunks through
+    /// the backend hooks, merges their metrics and scatters the per-chunk
+    /// results back into submission order.
+    fn execute(&self, batch: &QueryBatch) -> Result<QueryOutcome, IndexError> {
+        if batch.fetches_values() && !self.has_value_column() {
+            return Err(IndexError::NoValueColumn {
+                backend: self.name().to_string(),
+            });
+        }
+
+        let mut point_slots: Vec<usize> = Vec::new();
+        let mut point_keys: Vec<u64> = Vec::new();
+        let mut range_slots: Vec<usize> = Vec::new();
+        let mut range_bounds: Vec<(u64, u64)> = Vec::new();
+        for (slot, op) in batch.ops().iter().enumerate() {
+            match *op {
+                QueryOp::Point(key) => {
+                    point_slots.push(slot);
+                    point_keys.push(key);
+                }
+                QueryOp::Range(lower, upper) => {
+                    if lower > upper {
+                        return Err(IndexError::InvalidRange { lower, upper });
+                    }
+                    range_slots.push(slot);
+                    range_bounds.push((lower, upper));
+                }
+            }
+        }
+        if !range_slots.is_empty() && !self.capabilities().range_lookups {
+            return Err(IndexError::UnsupportedOperation {
+                backend: self.name().to_string(),
+                operation: "range lookups",
+            });
+        }
+
+        let chunk = batch.chunk_size().unwrap_or(usize::MAX);
+        let fetch = batch.fetches_values();
+        let mut outcome = QueryOutcome {
+            // Pre-fill with misses so a (buggy) backend that under-reports
+            // can never leave a slot looking like a hit of rowID 0 — and
+            // under-reporting is caught below regardless.
+            results: vec![crate::types::LookupResult::miss(); batch.len()],
+            metrics: LaunchMetrics::default(),
+        };
+        scatter_chunks(self.name(), &point_slots, &mut outcome, chunk, |lo, hi| {
+            self.point_chunk(&point_keys[lo..hi], fetch)
+        })?;
+        scatter_chunks(self.name(), &range_slots, &mut outcome, chunk, |lo, hi| {
+            self.range_chunk(&range_bounds[lo..hi], fetch)
+        })?;
+        Ok(outcome)
+    }
+}
+
+/// Runs one homogeneous operation run in chunks of at most `chunk`
+/// operations, scattering every chunk's results into the submission-order
+/// `slots` of `outcome` and merging the launch metrics. A backend whose
+/// chunk hook returns the wrong number of results is an error, not silent
+/// data loss — `SecondaryIndex` is a public trait, so this contract is
+/// enforced in release builds too.
+fn scatter_chunks<F>(
+    backend: &str,
+    slots: &[usize],
+    outcome: &mut QueryOutcome,
+    chunk: usize,
+    mut run: F,
+) -> Result<(), IndexError>
+where
+    F: FnMut(usize, usize) -> Result<BatchOutcome, IndexError>,
+{
+    let mut lo = 0;
+    while lo < slots.len() {
+        let hi = slots.len().min(lo.saturating_add(chunk));
+        let part = run(lo, hi)?;
+        if part.results.len() != hi - lo {
+            return Err(IndexError::Backend {
+                backend: backend.to_string(),
+                message: format!(
+                    "chunk returned {} results for {} operations",
+                    part.results.len(),
+                    hi - lo
+                ),
+            });
+        }
+        for (slot, result) in slots[lo..hi].iter().zip(part.results) {
+            outcome.results[*slot] = result;
+        }
+        outcome.metrics.merge(&part.metrics);
+        lo = hi;
+    }
+    Ok(())
+}
+
+/// A secondary index that additionally supports batched writes.
+///
+/// Mirrors the update model of the delta layer: inserts append fresh rows,
+/// deletes remove every live row holding a key, upserts do both. Each batch
+/// may trigger a structural reorganisation (compaction), reported in the
+/// returned [`UpdateReport`].
+pub trait UpdatableIndex: SecondaryIndex {
+    /// Inserts a batch of `(key, value)` rows.
+    fn insert(&mut self, keys: &[u64], values: &[u64]) -> Result<UpdateReport, IndexError>;
+
+    /// Deletes every live entry whose key appears in `keys` (all
+    /// duplicates, wherever they live). Unknown keys are ignored.
+    fn delete(&mut self, keys: &[u64]) -> Result<UpdateReport, IndexError>;
+
+    /// Upserts a batch: every key's existing entries are deleted, then one
+    /// fresh `(key, value)` row is inserted per pair.
+    fn upsert(&mut self, keys: &[u64], values: &[u64]) -> Result<UpdateReport, IndexError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{LookupResult, MISS};
+
+    /// A trivial in-memory backend used to exercise the provided `execute`.
+    struct VecIndex {
+        keys: Vec<u64>,
+        values: Option<Vec<u64>>,
+        ranges: bool,
+        /// Chunk sizes observed by the execution hooks.
+        chunks_seen: std::sync::Mutex<Vec<usize>>,
+    }
+
+    impl VecIndex {
+        fn lookup<F: Fn(u64) -> bool>(&self, qualifies: F, fetch: bool) -> LookupResult {
+            let mut r = LookupResult::miss();
+            for (row, &k) in self.keys.iter().enumerate() {
+                if qualifies(k) {
+                    r.first_row = r.first_row.min(row as u32);
+                    r.hit_count += 1;
+                    if fetch {
+                        if let Some(v) = &self.values {
+                            r.value_sum = r.value_sum.wrapping_add(v[row]);
+                        }
+                    }
+                }
+            }
+            r
+        }
+    }
+
+    impl SecondaryIndex for VecIndex {
+        fn name(&self) -> &'static str {
+            "VEC"
+        }
+        fn key_count(&self) -> usize {
+            self.keys.len()
+        }
+        fn memory_bytes(&self) -> u64 {
+            (self.keys.len() * 8) as u64
+        }
+        fn build_metrics(&self) -> IndexBuildMetrics {
+            IndexBuildMetrics::default()
+        }
+        fn capabilities(&self) -> Capabilities {
+            Capabilities {
+                range_lookups: self.ranges,
+                ..Capabilities::read_only()
+            }
+        }
+        fn has_value_column(&self) -> bool {
+            self.values.is_some()
+        }
+        fn point_chunk(&self, queries: &[u64], fetch: bool) -> Result<BatchOutcome, IndexError> {
+            self.chunks_seen.lock().unwrap().push(queries.len());
+            Ok(BatchOutcome {
+                results: queries
+                    .iter()
+                    .map(|&q| self.lookup(|k| k == q, fetch))
+                    .collect(),
+                metrics: LaunchMetrics {
+                    simulated_time_s: 1.0,
+                    ..Default::default()
+                },
+            })
+        }
+        fn range_chunk(
+            &self,
+            ranges: &[(u64, u64)],
+            fetch: bool,
+        ) -> Result<BatchOutcome, IndexError> {
+            self.chunks_seen.lock().unwrap().push(ranges.len());
+            Ok(BatchOutcome {
+                results: ranges
+                    .iter()
+                    .map(|&(l, u)| self.lookup(|k| k >= l && k <= u, fetch))
+                    .collect(),
+                metrics: LaunchMetrics {
+                    simulated_time_s: 0.5,
+                    ..Default::default()
+                },
+            })
+        }
+    }
+
+    fn vec_index(ranges: bool) -> VecIndex {
+        VecIndex {
+            keys: vec![5, 1, 9, 5],
+            values: Some(vec![50, 10, 90, 51]),
+            ranges,
+            chunks_seen: std::sync::Mutex::new(Vec::new()),
+        }
+    }
+
+    #[test]
+    fn mixed_batch_preserves_submission_order() {
+        let ix = vec_index(true);
+        let batch = QueryBatch::new()
+            .point(1)
+            .range(4, 9)
+            .point(7)
+            .range(0, 0)
+            .fetch_values(true);
+        let out = ix.execute(&batch).unwrap();
+        assert_eq!(out.results.len(), 4);
+        assert_eq!(out.results[0].first_row, 1);
+        assert_eq!(out.results[0].value_sum, 10);
+        assert_eq!(out.results[1].hit_count, 3, "5, 9 and the duplicate 5");
+        assert_eq!(out.results[1].value_sum, 191);
+        assert_eq!(out.results[2].first_row, MISS);
+        assert_eq!(out.results[3].hit_count, 0);
+        // One point launch + one range launch, metrics merged.
+        assert!((out.metrics.simulated_time_s - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chunked_execution_matches_unchunked() {
+        let ix = vec_index(true);
+        let queries: Vec<u64> = (0..10).collect();
+        let whole = ix
+            .execute(&QueryBatch::of_points(&queries).fetch_values(true))
+            .unwrap();
+        let chunked = ix
+            .execute(
+                &QueryBatch::of_points(&queries)
+                    .fetch_values(true)
+                    .with_chunk_size(3),
+            )
+            .unwrap();
+        assert_eq!(whole.results, chunked.results);
+        // 10 points in chunks of 3 -> 4 launches after the initial whole run.
+        let seen = ix.chunks_seen.lock().unwrap().clone();
+        assert_eq!(seen, vec![10, 3, 3, 3, 1]);
+        // Chunked execution pays one simulated launch per chunk.
+        assert!(chunked.metrics.simulated_time_s > whole.metrics.simulated_time_s);
+    }
+
+    #[test]
+    fn range_on_incapable_backend_is_a_uniform_error() {
+        let ix = vec_index(false);
+        let err = ix
+            .execute(&QueryBatch::new().point(1).range(0, 9))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            IndexError::UnsupportedOperation {
+                backend: "VEC".into(),
+                operation: "range lookups",
+            }
+        );
+        // Point-only batches still work.
+        assert_eq!(
+            ix.execute(&QueryBatch::new().point(1)).unwrap().hit_count(),
+            1
+        );
+    }
+
+    #[test]
+    fn value_fetch_without_column_and_inverted_ranges_error() {
+        let mut ix = vec_index(true);
+        ix.values = None;
+        let err = ix
+            .execute(&QueryBatch::new().point(1).fetch_values(true))
+            .unwrap_err();
+        assert!(matches!(err, IndexError::NoValueColumn { .. }));
+        let err = ix.execute(&QueryBatch::new().range(9, 3)).unwrap_err();
+        assert_eq!(err, IndexError::InvalidRange { lower: 9, upper: 3 });
+    }
+
+    #[test]
+    fn empty_batch_executes_to_empty_outcome() {
+        let ix = vec_index(true);
+        let out = ix.execute(&QueryBatch::new()).unwrap();
+        assert!(out.results.is_empty());
+        assert_eq!(out.metrics.simulated_time_s, 0.0);
+        assert_eq!(ix.chunks_seen.lock().unwrap().len(), 0, "no launch");
+    }
+}

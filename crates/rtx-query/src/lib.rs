@@ -1,0 +1,56 @@
+//! # rtx-query
+//!
+//! The backend-agnostic secondary-index query API of the RTIndeX
+//! reproduction.
+//!
+//! The paper evaluates RX against three GPU baselines on identical
+//! workloads; this crate is the single interface all of them (and the
+//! dynamic delta index) are driven through:
+//!
+//! * [`SecondaryIndex`] — the read-only backend trait: mixed-batch
+//!   [`execute`](SecondaryIndex::execute), memory/build metadata and
+//!   [`Capabilities`] flags (range lookups, duplicate keys, 64-bit keys,
+//!   updates);
+//! * [`UpdatableIndex`] — the write extension (batched insert / delete /
+//!   upsert);
+//! * [`QueryBatch`] — one submission mixing point lookups, range lookups
+//!   and an optional value-column fetch, with configurable chunked
+//!   execution for large batches;
+//! * [`IndexError`] — the unified error type every backend converts its
+//!   native errors into;
+//! * [`Registry`] / [`IndexSpec`] — the factory that builds any backend by
+//!   name ("RX", "HT", "B+", "SA", "RXD"). Backend crates register their
+//!   builders at runtime (this crate cannot depend on them — they depend
+//!   on it); `rtx_harness::registry()` composes the default registry
+//!   holding all five.
+//!
+//! The canonical result types ([`MISS`], [`LookupResult`],
+//! [`BatchOutcome`]) also live here and are re-exported by
+//! `rtindex-core` and `gpu-baselines` for backwards compatibility.
+//!
+//! ```
+//! use rtx_query::QueryBatch;
+//!
+//! // One submission mixing points and ranges; executed via
+//! // `SecondaryIndex::execute` on any backend built by the registry.
+//! let batch = QueryBatch::new()
+//!     .points([23, 29, 31])
+//!     .range(25, 27)
+//!     .fetch_values(true)
+//!     .with_chunk_size(1 << 20);
+//! assert_eq!(batch.len(), 4);
+//! ```
+
+pub mod batch;
+pub mod error;
+pub mod index;
+pub mod registry;
+pub mod types;
+
+pub use batch::{QueryBatch, QueryOp};
+pub use error::IndexError;
+pub use index::{SecondaryIndex, UpdatableIndex};
+pub use registry::{IndexBuilder, IndexSpec, Registry, UpdatableBuilder};
+pub use types::{
+    BatchOutcome, Capabilities, IndexBuildMetrics, LookupResult, QueryOutcome, UpdateReport, MISS,
+};

@@ -1,0 +1,339 @@
+//! The backend registry: build any index by name.
+//!
+//! `rtx-query` cannot depend on the backend crates (they depend on it), so
+//! the registry is populated at runtime: each backend crate exposes a
+//! `register_*` function that installs its builder closures, and the
+//! harness composes them into the default registry holding all five
+//! backends.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use gpu_device::Device;
+
+use crate::error::IndexError;
+use crate::index::{SecondaryIndex, UpdatableIndex};
+
+/// What to build an index over: the device and the column pair. The
+/// position of a key in `keys` is its rowID; `values`, when present, must
+/// have the same length and enables value-fetching batches.
+///
+/// The value column is held behind an [`Arc`] so that building several
+/// backends from one spec (e.g. `Registry::build_supported`) shares a
+/// single copy instead of duplicating the column per adapter.
+#[derive(Debug, Clone)]
+pub struct IndexSpec<'a> {
+    /// The (simulated) GPU the index lives on.
+    pub device: &'a Device,
+    /// The indexed key column.
+    pub keys: &'a [u64],
+    /// The optional value column, shared across every backend built from
+    /// this spec.
+    pub values: Option<Arc<[u64]>>,
+}
+
+impl<'a> IndexSpec<'a> {
+    /// A spec over a key column without values.
+    pub fn keys_only(device: &'a Device, keys: &'a [u64]) -> Self {
+        IndexSpec {
+            device,
+            keys,
+            values: None,
+        }
+    }
+
+    /// A spec over a `(keys, values)` column pair. The value column is
+    /// copied once, here; every backend built from this spec shares it.
+    pub fn with_values(device: &'a Device, keys: &'a [u64], values: &[u64]) -> Self {
+        IndexSpec {
+            device,
+            keys,
+            values: Some(Arc::from(values)),
+        }
+    }
+
+    /// The value column as a slice, if present.
+    pub fn values(&self) -> Option<&[u64]> {
+        self.values.as_deref()
+    }
+
+    fn validate(&self) -> Result<(), IndexError> {
+        if let Some(values) = &self.values {
+            if values.len() != self.keys.len() {
+                return Err(IndexError::ValueColumnLengthMismatch {
+                    expected: self.keys.len(),
+                    actual: values.len(),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Builder of a read-only backend.
+pub type IndexBuilder =
+    Box<dyn Fn(&IndexSpec<'_>) -> Result<Box<dyn SecondaryIndex>, IndexError> + Send + Sync>;
+
+/// Builder of an updatable backend.
+pub type UpdatableBuilder =
+    Box<dyn Fn(&IndexSpec<'_>) -> Result<Box<dyn UpdatableIndex>, IndexError> + Send + Sync>;
+
+/// Builds any registered backend by name.
+#[derive(Default)]
+pub struct Registry {
+    builders: BTreeMap<String, IndexBuilder>,
+    updatable: BTreeMap<String, UpdatableBuilder>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Registers (or replaces) the builder for `name`.
+    pub fn register<F>(&mut self, name: &str, builder: F)
+    where
+        F: Fn(&IndexSpec<'_>) -> Result<Box<dyn SecondaryIndex>, IndexError>
+            + Send
+            + Sync
+            + 'static,
+    {
+        self.builders.insert(name.to_string(), Box::new(builder));
+    }
+
+    /// Registers (or replaces) the *updatable* builder for `name`, and a
+    /// read-only builder alongside it (an updatable index is a secondary
+    /// index, so `build` works on it too).
+    pub fn register_updatable<F>(&mut self, name: &str, builder: F)
+    where
+        F: Fn(&IndexSpec<'_>) -> Result<Box<dyn UpdatableIndex>, IndexError>
+            + Send
+            + Sync
+            + Clone
+            + 'static,
+    {
+        let as_static = builder.clone();
+        self.register(name, move |spec| {
+            as_static(spec).map(|ix| ix as Box<dyn SecondaryIndex>)
+        });
+        self.updatable.insert(name.to_string(), Box::new(builder));
+    }
+
+    /// Every registered backend name, sorted.
+    pub fn backends(&self) -> Vec<&str> {
+        self.builders.keys().map(String::as_str).collect()
+    }
+
+    /// Every registered updatable backend name, sorted.
+    pub fn updatable_backends(&self) -> Vec<&str> {
+        self.updatable.keys().map(String::as_str).collect()
+    }
+
+    /// Builds the backend registered under `name` over `spec`.
+    pub fn build(
+        &self,
+        name: &str,
+        spec: &IndexSpec<'_>,
+    ) -> Result<Box<dyn SecondaryIndex>, IndexError> {
+        spec.validate()?;
+        let builder = self.builders.get(name).ok_or_else(|| self.unknown(name))?;
+        builder(spec)
+    }
+
+    /// Builds the updatable backend registered under `name` over `spec`.
+    pub fn build_updatable(
+        &self,
+        name: &str,
+        spec: &IndexSpec<'_>,
+    ) -> Result<Box<dyn UpdatableIndex>, IndexError> {
+        spec.validate()?;
+        let builder = self
+            .updatable
+            .get(name)
+            .ok_or_else(|| IndexError::UnknownBackend {
+                name: name.to_string(),
+                known: self
+                    .updatable_backends()
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect(),
+            })?;
+        builder(spec)
+    }
+
+    /// Builds every registered backend that supports the spec's key set, in
+    /// name order. Backends reporting
+    /// [`IndexError::UnsupportedKeySet`] are skipped (the way the paper
+    /// omits the B+-tree from duplicate-key and 64-bit experiments); any
+    /// other build failure propagates.
+    pub fn build_supported(
+        &self,
+        spec: &IndexSpec<'_>,
+    ) -> Result<Vec<Box<dyn SecondaryIndex>>, IndexError> {
+        self.build_named(self.backends().as_slice(), spec)
+    }
+
+    /// Builds the named backends (in the given order) over `spec`, skipping
+    /// those that report [`IndexError::UnsupportedKeySet`].
+    pub fn build_named(
+        &self,
+        names: &[&str],
+        spec: &IndexSpec<'_>,
+    ) -> Result<Vec<Box<dyn SecondaryIndex>>, IndexError> {
+        let mut built = Vec::with_capacity(names.len());
+        for name in names {
+            match self.build(name, spec) {
+                Ok(ix) => built.push(ix),
+                Err(err) if err.is_unsupported_key_set() => continue,
+                Err(err) => return Err(err),
+            }
+        }
+        Ok(built)
+    }
+
+    fn unknown(&self, name: &str) -> IndexError {
+        IndexError::UnknownBackend {
+            name: name.to_string(),
+            known: self.backends().iter().map(|s| s.to_string()).collect(),
+        }
+    }
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Registry")
+            .field("backends", &self.backends())
+            .field("updatable_backends", &self.updatable_backends())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::QueryBatch;
+    use crate::types::{BatchOutcome, Capabilities, IndexBuildMetrics, LookupResult};
+
+    /// A stub backend whose lookups always miss.
+    struct NullIndex {
+        keys: usize,
+    }
+
+    impl SecondaryIndex for NullIndex {
+        fn name(&self) -> &'static str {
+            "NULL"
+        }
+        fn key_count(&self) -> usize {
+            self.keys
+        }
+        fn memory_bytes(&self) -> u64 {
+            0
+        }
+        fn build_metrics(&self) -> IndexBuildMetrics {
+            IndexBuildMetrics::default()
+        }
+        fn capabilities(&self) -> Capabilities {
+            Capabilities::read_only()
+        }
+        fn has_value_column(&self) -> bool {
+            false
+        }
+        fn point_chunk(&self, q: &[u64], _f: bool) -> Result<BatchOutcome, IndexError> {
+            Ok(BatchOutcome {
+                results: vec![LookupResult::miss(); q.len()],
+                ..Default::default()
+            })
+        }
+        fn range_chunk(&self, r: &[(u64, u64)], _f: bool) -> Result<BatchOutcome, IndexError> {
+            Ok(BatchOutcome {
+                results: vec![LookupResult::miss(); r.len()],
+                ..Default::default()
+            })
+        }
+    }
+
+    fn registry() -> Registry {
+        let mut r = Registry::new();
+        r.register("NULL", |spec| {
+            Ok(Box::new(NullIndex {
+                keys: spec.keys.len(),
+            }) as Box<dyn SecondaryIndex>)
+        });
+        r.register("PICKY", |_spec| {
+            Err(IndexError::UnsupportedKeySet {
+                backend: "PICKY".into(),
+                reason: "never supported".into(),
+            })
+        });
+        r
+    }
+
+    #[test]
+    fn build_by_name_and_unknown_backend() {
+        let device = Device::default_eval();
+        let r = registry();
+        assert_eq!(r.backends(), vec!["NULL", "PICKY"]);
+        let ix = r
+            .build("NULL", &IndexSpec::keys_only(&device, &[1, 2, 3]))
+            .unwrap();
+        assert_eq!(ix.key_count(), 3);
+        assert_eq!(
+            ix.execute(&QueryBatch::new().point(1)).unwrap().hit_count(),
+            0
+        );
+
+        let err = r
+            .build("XX", &IndexSpec::keys_only(&device, &[]))
+            .map(|_| ())
+            .unwrap_err();
+        assert!(matches!(err, IndexError::UnknownBackend { .. }));
+        assert!(err.to_string().contains("NULL"));
+    }
+
+    #[test]
+    fn build_supported_skips_unsupported_key_sets() {
+        let device = Device::default_eval();
+        let built = registry()
+            .build_supported(&IndexSpec::keys_only(&device, &[1]))
+            .unwrap();
+        assert_eq!(built.len(), 1);
+        assert_eq!(built[0].name(), "NULL");
+    }
+
+    #[test]
+    fn specs_validate_value_column_length() {
+        let device = Device::default_eval();
+        let err = registry()
+            .build(
+                "NULL",
+                &IndexSpec {
+                    device: &device,
+                    keys: &[1, 2],
+                    values: Some(Arc::from(&[9u64][..])),
+                },
+            )
+            .map(|_| ())
+            .unwrap_err();
+        assert_eq!(
+            err,
+            IndexError::ValueColumnLengthMismatch {
+                expected: 2,
+                actual: 1
+            }
+        );
+    }
+
+    #[test]
+    fn updatable_registrations_also_serve_read_only_builds() {
+        // No updatable backend registered here: the lookup must fail with
+        // the updatable-specific known list.
+        let r = registry();
+        let device = Device::default_eval();
+        let err = r
+            .build_updatable("NULL", &IndexSpec::keys_only(&device, &[]))
+            .map(|_| ())
+            .unwrap_err();
+        assert!(matches!(err, IndexError::UnknownBackend { known, .. } if known.is_empty()));
+    }
+}

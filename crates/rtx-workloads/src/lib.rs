@@ -33,6 +33,6 @@ pub use keyset::{dense_shuffled, sparse_uniform, value_column, with_multiplicity
 pub use lookups::{
     point_lookups, point_lookups_with_hit_rate, point_lookups_zipf, range_lookups, split_batches,
 };
-pub use mixed::{mixed_ops, MixedOp, MixedWorkloadConfig};
+pub use mixed::{apply_mixed_op, mixed_ops, MixedOp, MixedWorkloadConfig};
 pub use truth::{DynamicOracle, DynamicTruth, GroundTruth};
 pub use zipf::ZipfSampler;

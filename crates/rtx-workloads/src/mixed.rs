@@ -15,6 +15,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use rtx_query::{IndexError, QueryBatch, QueryOutcome, UpdatableIndex, UpdateReport};
 
 use crate::zipf::ZipfSampler;
 
@@ -66,6 +67,70 @@ impl MixedOp {
             MixedOp::Insert(_) | MixedOp::Delete(_) | MixedOp::Upsert(_)
         )
     }
+
+    /// The read side of the operation as a [`QueryBatch`] (with
+    /// `fetch_values` set, matching the dynamic oracle's value tracking);
+    /// `None` for writes.
+    pub fn as_query_batch(&self) -> Option<QueryBatch> {
+        match self {
+            MixedOp::PointLookups(queries) => {
+                Some(QueryBatch::of_points(queries).fetch_values(true))
+            }
+            MixedOp::RangeLookups(ranges) => Some(QueryBatch::of_ranges(ranges).fetch_values(true)),
+            _ => None,
+        }
+    }
+
+    /// Splits a write batch into parallel key/value columns (`values` empty
+    /// for deletes); both empty for reads.
+    pub fn columns(&self) -> (Vec<u64>, Vec<u64>) {
+        match self {
+            MixedOp::Insert(pairs) | MixedOp::Upsert(pairs) => (
+                pairs.iter().map(|&(k, _)| k).collect(),
+                pairs.iter().map(|&(_, v)| v).collect(),
+            ),
+            MixedOp::Delete(keys) => (keys.clone(), Vec::new()),
+            _ => (Vec::new(), Vec::new()),
+        }
+    }
+}
+
+/// What one applied [`MixedOp`] produced: the update report (writes) or the
+/// query outcome (reads).
+#[derive(Debug, Clone, Default)]
+pub struct MixedOpResult {
+    /// The report of a write batch; `None` for reads.
+    pub update: Option<UpdateReport>,
+    /// The outcome of a lookup batch; `None` for writes.
+    pub lookups: Option<QueryOutcome>,
+}
+
+/// Applies one mixed operation to an index through the unified update/query
+/// API: writes go through [`UpdatableIndex`], lookups execute as a
+/// [`QueryBatch`].
+pub fn apply_mixed_op(
+    index: &mut dyn UpdatableIndex,
+    op: &MixedOp,
+) -> Result<MixedOpResult, IndexError> {
+    let mut result = MixedOpResult::default();
+    match op {
+        MixedOp::Insert(_) => {
+            let (keys, values) = op.columns();
+            result.update = Some(index.insert(&keys, &values)?);
+        }
+        MixedOp::Delete(keys) => {
+            result.update = Some(index.delete(keys)?);
+        }
+        MixedOp::Upsert(_) => {
+            let (keys, values) = op.columns();
+            result.update = Some(index.upsert(&keys, &values)?);
+        }
+        MixedOp::PointLookups(_) | MixedOp::RangeLookups(_) => {
+            let batch = op.as_query_batch().expect("read op");
+            result.lookups = Some(index.execute(&batch)?);
+        }
+    }
+    Ok(result)
 }
 
 /// Shape of a generated mixed stream.

@@ -7,8 +7,11 @@
 
 use std::collections::HashMap;
 
-/// Reserved rowID reported for misses, matching the index implementations.
-pub const MISS: u32 = u32::MAX;
+use rtx_query::{LookupResult, QueryBatch, QueryOp};
+
+/// Reserved rowID reported for misses (the canonical `rtx-query` sentinel,
+/// re-exported so oracle answers compare against index answers directly).
+pub use rtx_query::MISS;
 
 /// An exact oracle over a key column and an optional value column.
 #[derive(Debug, Clone)]
@@ -127,20 +130,56 @@ impl GroundTruth {
             .filter(|&&q| self.point_hit_count(q) > 0)
             .count()
     }
+
+    /// The full expected [`LookupResult`] of a point lookup. `fetch_values`
+    /// mirrors [`QueryBatch::fetch_values`]: without it the expected sum is
+    /// 0 regardless of the oracle's value column.
+    pub fn expected_point(&self, key: u64, fetch_values: bool) -> LookupResult {
+        LookupResult {
+            first_row: self.point_first_row(key),
+            hit_count: self.point_hit_count(key),
+            value_sum: if fetch_values {
+                self.point_value_sum(key)
+            } else {
+                0
+            },
+        }
+    }
+
+    /// The full expected [`LookupResult`] of an inclusive range lookup.
+    pub fn expected_range(&self, lower: u64, upper: u64, fetch_values: bool) -> LookupResult {
+        let rows = self.range_rows(lower, upper);
+        LookupResult {
+            first_row: rows.iter().copied().min().unwrap_or(MISS),
+            hit_count: rows.len() as u32,
+            value_sum: if fetch_values {
+                self.range_value_sum(lower, upper)
+            } else {
+                0
+            },
+        }
+    }
+
+    /// The expected results of a mixed [`QueryBatch`], in submission order —
+    /// what [`SecondaryIndex::execute`](rtx_query::SecondaryIndex::execute)
+    /// must return on any backend indexing the oracle's columns.
+    pub fn expected_batch(&self, batch: &QueryBatch) -> Vec<LookupResult> {
+        let fetch = batch.fetches_values();
+        batch
+            .ops()
+            .iter()
+            .map(|op| match *op {
+                QueryOp::Point(key) => self.expected_point(key, fetch),
+                QueryOp::Range(lower, upper) => self.expected_range(lower, upper, fetch),
+            })
+            .collect()
+    }
 }
 
-/// Aggregate answer of the dynamic oracle for one lookup (mirrors the
-/// `LookupResult` fields of the index implementations without depending on
-/// them).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub struct DynamicTruth {
-    /// Smallest qualifying rowID, or [`MISS`].
-    pub first_row: u32,
-    /// Number of qualifying live rows.
-    pub hit_count: u32,
-    /// Wrapping sum of the qualifying rows' values.
-    pub value_sum: u64,
-}
+/// Aggregate answer of the dynamic oracle for one lookup. Since the
+/// result types were unified in `rtx-query`, this is the same type the
+/// index implementations return, so oracle answers compare directly.
+pub type DynamicTruth = LookupResult;
 
 /// An exact CPU oracle for a *dynamic* index: tracks the live
 /// `(row, key, value)` entries under batched inserts, deletes, upserts and
@@ -223,6 +262,26 @@ impl DynamicOracle {
         deleted
     }
 
+    /// Mirrors one mixed operation into the oracle (reads are no-ops).
+    /// Returns the number of deleted rows, so lockstep drivers can compare
+    /// it against the index's update report.
+    pub fn apply(&mut self, op: &crate::mixed::MixedOp) -> usize {
+        use crate::mixed::MixedOp;
+        match op {
+            MixedOp::Insert(_) => {
+                let (keys, values) = op.columns();
+                self.insert_batch(&keys, &values);
+                0
+            }
+            MixedOp::Delete(keys) => self.delete_batch(keys),
+            MixedOp::Upsert(_) => {
+                let (keys, values) = op.columns();
+                self.upsert_batch(&keys, &values)
+            }
+            MixedOp::PointLookups(_) | MixedOp::RangeLookups(_) => 0,
+        }
+    }
+
     /// Mirrors a compaction: renumbers the live rows densely in preserved
     /// order.
     pub fn compact(&mut self) {
@@ -244,6 +303,26 @@ impl DynamicOracle {
                 .iter()
                 .filter(|&&(_, k, _)| k >= lower && k <= upper),
         )
+    }
+
+    /// The expected results of a mixed [`QueryBatch`] against the current
+    /// live entries, in submission order. `fetch_values` is honoured like
+    /// in [`GroundTruth::expected_batch`].
+    pub fn expected_batch(&self, batch: &QueryBatch) -> Vec<LookupResult> {
+        let strip = |mut r: LookupResult| {
+            if !batch.fetches_values() {
+                r.value_sum = 0;
+            }
+            r
+        };
+        batch
+            .ops()
+            .iter()
+            .map(|op| match *op {
+                QueryOp::Point(key) => strip(self.point(key)),
+                QueryOp::Range(lower, upper) => strip(self.range(lower, upper)),
+            })
+            .collect()
     }
 
     fn aggregate<'a, I: Iterator<Item = &'a (u32, u64, u64)>>(&self, rows: I) -> DynamicTruth {

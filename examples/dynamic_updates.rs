@@ -9,7 +9,7 @@
 //! Run with: `cargo run --release --example dynamic_updates`
 
 use rtindex::rtx_delta::CompactionPolicy;
-use rtindex::{Device, DynamicRtConfig, DynamicRtIndex};
+use rtindex::{registry, Device, DynamicRtConfig, DynamicRtIndex, IndexSpec, QueryBatch};
 
 fn main() {
     let device = Device::default_eval();
@@ -106,4 +106,29 @@ fn main() {
         index.memory_bytes() as f64 / (1 << 20) as f64,
     );
     println!("lifetime stats: {:?}", index.stats());
+
+    // --- The same backend through the unified query API. ------------------
+    // `registry().build_updatable("RXD", ...)` hands out the identical index
+    // family as an `UpdatableIndex` trait object: writes and mixed
+    // point/range batches go through the backend-agnostic interface the
+    // whole harness uses.
+    let mut unified = registry()
+        .build_updatable(
+            "RXD",
+            &IndexSpec::with_values(&device, &user_ids, &balances),
+        )
+        .unwrap();
+    unified.upsert(&[42], &[999]).unwrap();
+    let out = unified
+        .execute(
+            &QueryBatch::new()
+                .point(42)
+                .range(100, 109)
+                .fetch_values(true),
+        )
+        .unwrap();
+    println!(
+        "\nunified API: user 42 balance {} after upsert, range [100,109] sum {}",
+        out.results[0].value_sum, out.results[1].value_sum,
+    );
 }

@@ -2,13 +2,15 @@
 //! processing workloads, which, for instance, arise naturally in index-based
 //! joins, are able to fully saturate the GPU").
 //!
-//! An orders table is joined with a customers table through an RTIndeX on
-//! the customers' key column: every order row produces one point lookup, and
-//! the join aggregates a value from the matching customer row.
+//! An orders table is joined with a customers table through a secondary
+//! index on the customers' key column: every order row produces one point
+//! lookup, and the join aggregates a value from the matching customer row.
+//! The probe runs through the unified `SecondaryIndex` API, so the same
+//! code drives RX and the hash-table baseline.
 //!
 //! Run with: `cargo run --release --example index_join`
 
-use rtindex::{Device, GpuIndex, RtIndex, RtIndexConfig, WarpHashTable};
+use rtindex::{registry, Device, IndexSpec, QueryBatch};
 use rtx_workloads as wl;
 
 fn main() {
@@ -27,52 +29,53 @@ fn main() {
 
     println!("joining {orders} orders against {customers} customers (Zipf 1.0 foreign keys)");
 
-    // Index the build side once, probe it with the whole orders batch.
-    let index = RtIndex::build(&device, &customer_keys, RtIndexConfig::default()).expect("build");
-    let probe = index
-        .point_lookup_batch(&order_fks, Some(&credit_limits))
-        .expect("probe");
-    println!(
-        "RX probe: {} matches, aggregated credit limit {}, simulated {:.3} ms",
-        probe.hit_count(),
-        probe.total_value_sum(),
-        probe.metrics.simulated_time_s * 1e3
-    );
-
-    // Verify the join result against the oracle.
+    // Index the build side once per backend, probe with the whole orders
+    // batch; under heavy skew RX narrows HT's usual lead (Figure 16).
+    let registry = registry();
+    let spec = IndexSpec::with_values(&device, &customer_keys, &credit_limits);
+    let probe = QueryBatch::of_points(&order_fks).fetch_values(true);
     let truth = wl::GroundTruth::new(&customer_keys, Some(&credit_limits));
-    assert_eq!(probe.total_value_sum(), truth.batch_point_sum(&order_fks));
-    assert_eq!(
-        probe.hit_count(),
-        orders,
-        "every order has a matching customer"
-    );
-    println!("join result verified: OK");
 
-    // The hash-table baseline answers the same probe; on uniform keys it
-    // wins, under heavy skew RX narrows the gap (Figure 16).
-    let ht = WarpHashTable::build(&device, &customer_keys);
-    let ht_probe = ht.point_lookup_batch(&device, &order_fks, Some(&credit_limits));
-    assert_eq!(ht_probe.total_value_sum(), probe.total_value_sum());
-    println!(
-        "HT probe: simulated {:.3} ms (RX: {:.3} ms)",
-        ht_probe.simulated_time_s * 1e3,
-        probe.metrics.simulated_time_s * 1e3
-    );
+    let rx = registry.build("RX", &spec).expect("build side");
+    let ht = registry.build("HT", &spec).expect("build side");
+    let mut whole = None;
+    for index in [&rx, &ht] {
+        let out = index.execute(&probe).expect("probe");
+        println!(
+            "{} probe: {} matches, aggregated credit limit {}, simulated {:.3} ms",
+            index.name(),
+            out.hit_count(),
+            out.total_value_sum(),
+            out.sim_ms()
+        );
+
+        // Verify the join result against the oracle.
+        assert_eq!(out.total_value_sum(), truth.batch_point_sum(&order_fks));
+        assert_eq!(
+            out.hit_count(),
+            orders,
+            "every order has a matching customer"
+        );
+        if whole.is_none() {
+            whole = Some(out);
+        }
+    }
+    println!("join results verified: OK");
 
     // Splitting the probe side into small batches wastes GPU resources
-    // (Figure 13): compare one big batch against 64 small ones.
-    let mut split_ms = 0.0;
-    for batch in wl::split_batches(&order_fks, 64) {
-        split_ms += index
-            .point_lookup_batch(&batch, Some(&credit_limits))
-            .expect("probe batch")
-            .metrics
-            .simulated_time_s;
-    }
+    // (Figure 13): the chunked-execution knob shows the effect without any
+    // manual batch bookkeeping. Reuses the RX outcome measured above.
+    let whole = whole.expect("RX probed first");
+    let split = rx
+        .execute(&probe.clone().with_chunk_size(orders / 64))
+        .expect("64 launches");
+    assert_eq!(
+        whole.results, split.results,
+        "chunking never changes answers"
+    );
     println!(
-        "probing in 64 batches: {:.3} ms vs. {:.3} ms in one batch",
-        split_ms * 1e3,
-        probe.metrics.simulated_time_s * 1e3
+        "probing in 64 chunks: {:.3} ms vs. {:.3} ms in one batch",
+        split.sim_ms(),
+        whole.sim_ms()
     );
 }

@@ -1,100 +1,87 @@
-//! Quickstart: build an RTIndeX secondary index over a small table column and
-//! answer point and range lookups — the running example of Figure 1 in the
-//! paper.
+//! Quickstart: build secondary indexes over a small table column through the
+//! unified query API and answer one mixed batch of point and range lookups —
+//! the running example of Figure 1 in the paper, on every backend at once.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use rtindex::{Device, KeyMode, PrimitiveKind, RtIndex, RtIndexConfig, MISS};
+use rtindex::{registry, Device, IndexSpec, QueryBatch, MISS};
 
 fn main() {
     // The simulated GPU (an RTX 4090 by default).
     let device = Device::default_eval();
 
-    // The exemplary table from Figure 1a: rowID -> (Article, Category).
+    // The exemplary table from Figure 1a: rowID -> (Article, Category), plus
+    // a price column so lookups can fetch and aggregate values.
     let articles = ["Juice", "Bread", "Cookies", "Coffee", "Donuts", "Wine"];
     let category: Vec<u64> = vec![26, 25, 29, 23, 29, 27];
+    let prices: Vec<u64> = vec![120, 90, 250, 410, 180, 700];
 
-    // Build the secondary index on the Category column. The paper's selected
-    // configuration is the default: 3D key mode, triangles, compacted BVH,
-    // perpendicular point rays, offset range rays.
-    let config = RtIndexConfig::default();
-    println!(
-        "building RX over {} keys (mode: {}, primitive: {})",
-        category.len(),
-        config.key_mode.name(),
-        config.primitive.name()
-    );
-    let index = RtIndex::build(&device, &category, config).expect("index build");
+    // Every backend is built by name from one registry: the raytracing index
+    // ("RX"), the three GPU baselines ("HT", "B+", "SA") and the updatable
+    // delta-buffered index ("RXD").
+    let registry = registry();
+    println!("registered backends: {}", registry.backends().join(", "));
 
-    // Q1 from the paper: range lookup [23, 25] -> Coffee (rowID 3) and Bread
-    // (rowID 1).
-    let out = index
-        .range_lookup_batch(&[(23, 25)], None)
-        .expect("range lookup");
-    let result = &out.results[0];
-    println!(
-        "\nrange lookup [23, 25]: {} qualifying rows",
-        result.hit_count
-    );
-    println!(
-        "  first qualifying rowID: {} ({})",
-        result.first_row, articles[result.first_row as usize]
-    );
+    // One mixed submission: Q1 from the paper (range [23, 25] -> Coffee and
+    // Bread), two point lookups, one miss, all fetching the price column.
+    let batch = QueryBatch::new()
+        .range(23, 25)
+        .point(29)
+        .point(27)
+        .point(24)
+        .fetch_values(true);
 
-    // Point lookups, including a miss. Misses are reported with the reserved
-    // MISS rowID, exactly like the paper's result-array convention.
-    let queries = vec![29u64, 27, 24];
-    let out = index
-        .point_lookup_batch(&queries, None)
-        .expect("point lookups");
-    println!("\npoint lookups:");
-    for (query, result) in queries.iter().zip(&out.results) {
-        if result.first_row == MISS {
-            println!("  key {query}: miss");
-        } else {
-            println!(
-                "  key {query}: {} row(s), first rowID {} ({})",
-                result.hit_count, result.first_row, articles[result.first_row as usize]
-            );
+    let spec = IndexSpec::with_values(&device, &category, &prices);
+    for name in registry.backends() {
+        let index = match registry.build(name, &spec) {
+            Ok(index) => index,
+            Err(err) => {
+                println!("\n{name}: skipped ({err})");
+                continue;
+            }
+        };
+        if !index.capabilities().range_lookups {
+            println!("\n{name}: no range support, skipping the mixed batch");
+            continue;
+        }
+        let out = index.execute(&batch).expect("mixed batch");
+        println!(
+            "\n{name}: {} B of device memory, simulated batch time {:.4} ms",
+            index.memory_bytes(),
+            out.sim_ms()
+        );
+        for (op, result) in batch.ops().iter().zip(&out.results) {
+            if result.first_row == MISS {
+                println!("  {op:?}: miss");
+            } else {
+                println!(
+                    "  {op:?}: {} row(s), first {} ({}), price sum {}",
+                    result.hit_count,
+                    result.first_row,
+                    articles[result.first_row as usize],
+                    result.value_sum
+                );
+            }
         }
     }
 
-    // The same index works for the other key representations and primitives.
-    for mode in [KeyMode::Naive, KeyMode::Extended] {
-        let alt = RtIndex::build(
-            &device,
-            &category,
-            RtIndexConfig::default().with_key_mode(mode),
-        )
-        .expect("alternate build");
-        let hits = alt
-            .point_lookup_batch(&queries, None)
-            .expect("lookup")
-            .hit_count();
-        println!(
-            "\n{} mode answers the same lookups ({} hits)",
-            mode.name(),
-            hits
-        );
-    }
-    let aabb = RtIndex::build(
-        &device,
-        &category,
-        RtIndexConfig::default().with_primitive(PrimitiveKind::Aabb),
-    )
-    .expect("aabb build");
+    // The updatable backend additionally takes writes through the same API.
+    let mut dynamic = registry
+        .build_updatable("RXD", &spec)
+        .expect("updatable build");
+    dynamic.insert(&[25], &[130]).expect("insert Cake at 25");
+    dynamic.delete(&[29]).expect("delete the 29s");
+    let out = dynamic
+        .execute(&QueryBatch::new().point(25).point(29).fetch_values(true))
+        .expect("lookup after updates");
     println!(
-        "AABB primitives occupy {} bytes of primitive buffer (triangles: {})",
-        aabb.accel().input().primitive_buffer_bytes(),
-        index.accel().input().primitive_buffer_bytes()
-    );
-
-    // Every lookup batch reports the simulated device time and the hardware
-    // counters the evaluation relies on.
-    println!(
-        "\nlast batch: simulated time {:.3} ms, {} BVH nodes visited, {} triangle tests",
-        out.metrics.simulated_time_s * 1e3,
-        out.metrics.kernel.bvh_nodes_visited,
-        out.metrics.kernel.rt_triangle_tests
+        "\nRXD after insert(25)/delete(29): key 25 holds {} rows (price sum {}), key 29 {}",
+        out.results[0].hit_count,
+        out.results[0].value_sum,
+        if out.results[1].is_hit() {
+            "hit"
+        } else {
+            "miss"
+        },
     );
 }

@@ -2,13 +2,15 @@
 //! program.
 //!
 //! A GPU-resident fact table has a key column and a value column. A batch of
-//! range predicates is answered through the index; the qualifying rowIDs are
-//! used to fetch and aggregate the projected values (here: a per-predicate
-//! SUM), and the result is verified against a scan-based oracle.
+//! range predicates is answered through a secondary index; the qualifying
+//! rowIDs are used to fetch and aggregate the projected values (here: a
+//! per-predicate SUM), and the result is verified against a scan-based
+//! oracle. Every range-capable backend of the registry runs the identical
+//! workload through the unified API.
 //!
 //! Run with: `cargo run --release --example secondary_index_scan`
 
-use rtindex::{Device, GpuIndex, RtIndex, RtIndexConfig, SortedArray};
+use rtindex::{registry, Device, IndexSpec, QueryBatch};
 use rtx_workloads as wl;
 
 fn main() {
@@ -22,51 +24,45 @@ fn main() {
     let values = wl::value_column(n, seed + 1);
     println!("fact table: {n} rows");
 
-    // Build the secondary index on the key column.
-    let index = RtIndex::build(&device, &keys, RtIndexConfig::default()).expect("build");
-    println!(
-        "RX built: {:.2} MiB index memory, simulated build time {:.3} ms",
-        index.index_memory_bytes() as f64 / (1 << 20) as f64,
-        index.build_metrics().simulated_time_s * 1e3
-    );
-
     // A batch of range predicates: WHERE key BETWEEN l AND l+63.
     let predicates = wl::range_lookups(n as u64, 1 << 12, 64, seed + 2);
-    let out = index
-        .range_lookup_batch(&predicates, Some(&values))
-        .expect("range lookups");
-    println!(
-        "answered {} range predicates: {} hits, total SUM = {}",
-        predicates.len(),
-        out.hit_count(),
-        out.total_value_sum()
-    );
-    println!(
-        "simulated device time {:.3} ms ({:.1} GiB read from DRAM, cache hit rate {:.1}%)",
-        out.metrics.simulated_time_s * 1e3,
-        out.metrics.kernel.dram_bytes_read as f64 / (1u64 << 30) as f64,
-        out.metrics.kernel.cache_hit_rate() * 100.0
-    );
+    let batch = QueryBatch::of_ranges(&predicates).fetch_values(true);
 
-    // Verify against the ground-truth oracle (a plain scan).
+    // The ground-truth oracle (a plain scan).
     let truth = wl::GroundTruth::new(&keys, Some(&values));
     let expected = truth.batch_range_sum(&predicates);
-    assert_eq!(
-        out.total_value_sum(),
-        expected,
-        "index answer must match the scan"
-    );
-    println!("verified against a scan-based oracle: OK");
 
-    // Compare with the sorted-array baseline on the same workload.
-    let sa = SortedArray::build(&device, &keys);
-    let sa_out = sa
-        .range_lookup_batch(&device, &predicates, Some(&values))
-        .expect("SA ranges");
-    assert_eq!(sa_out.total_value_sum(), expected);
-    println!(
-        "sorted-array baseline: simulated {:.3} ms (RX: {:.3} ms)",
-        sa_out.simulated_time_s * 1e3,
-        out.metrics.simulated_time_s * 1e3
-    );
+    let registry = registry();
+    let spec = IndexSpec::with_values(&device, &keys, &values);
+    for name in registry.backends() {
+        let index = registry.build(name, &spec).expect("build");
+        if !index.capabilities().range_lookups {
+            println!("\n{name}: no range lookups (skipped)");
+            continue;
+        }
+        println!(
+            "\n{name} built: {:.2} MiB index memory, simulated build time {:.3} ms",
+            index.memory_bytes() as f64 / (1 << 20) as f64,
+            index.build_metrics().sim_ms()
+        );
+        let out = index.execute(&batch).expect("range predicates");
+        println!(
+            "answered {} range predicates: {} hits, total SUM = {}",
+            predicates.len(),
+            out.hit_count(),
+            out.total_value_sum()
+        );
+        println!(
+            "simulated device time {:.3} ms ({:.1} GiB read from DRAM, cache hit rate {:.1}%)",
+            out.sim_ms(),
+            out.kernel().dram_bytes_read as f64 / (1u64 << 30) as f64,
+            out.kernel().cache_hit_rate() * 100.0
+        );
+        assert_eq!(
+            out.total_value_sum(),
+            expected,
+            "{name}: index answer must match the scan"
+        );
+        println!("verified against a scan-based oracle: OK");
+    }
 }

@@ -4,11 +4,12 @@
 //!
 //! Run with: `cargo run --release --example skewed_analytics`
 
-use rtindex::{Device, DeviceSpec, RtIndex, RtIndexConfig, TypedRtIndex};
+use rtindex::{registry, Device, DeviceSpec, IndexSpec, QueryBatch, RtIndexConfig, TypedRtIndex};
 use rtx_workloads as wl;
 
 fn main() {
     let seed = 23;
+    let registry = registry();
 
     // Run the same workload on two GPU generations to see the architectural
     // trend of Figure 18.
@@ -17,18 +18,20 @@ fn main() {
         let n = 1usize << 16;
         let keys = wl::sparse_uniform(n, u64::MAX / 2, seed); // full 64-bit domain
         let values = wl::value_column(n, seed + 1);
-        let index = RtIndex::build(&device, &keys, RtIndexConfig::default()).expect("build");
+        let index = registry
+            .build("RX", &IndexSpec::with_values(&device, &keys, &values))
+            .expect("build");
 
         // Low-hit-rate workload: most lookups miss (e.g. anti-join probing).
         let queries = wl::point_lookups_with_hit_rate(&keys, 1 << 17, 0.1, seed + 2);
         let out = index
-            .point_lookup_batch(&queries, Some(&values))
+            .execute(&QueryBatch::of_points(&queries).fetch_values(true))
             .expect("lookup");
         println!(
             "{:>11}: 64-bit keys, hit rate 0.1 -> {:.3} ms simulated, {} early aborts",
             spec.name,
-            out.metrics.simulated_time_s * 1e3,
-            out.metrics.kernel.early_aborts
+            out.sim_ms(),
+            out.kernel().early_aborts
         );
     }
 
@@ -65,17 +68,19 @@ fn main() {
     // Skewed dashboard queries: the hotter the skew, the cheaper the batch.
     let keys = wl::dense_shuffled(1 << 16, seed + 4);
     let values = wl::value_column(keys.len(), seed + 5);
-    let index = RtIndex::build(&device, &keys, RtIndexConfig::default()).expect("build");
+    let index = registry
+        .build("RX", &IndexSpec::with_values(&device, &keys, &values))
+        .expect("build");
     println!("\nZipf-skewed dashboard queries over 2^16 keys:");
     for theta in [0.0, 1.0, 2.0] {
         let queries = wl::point_lookups_zipf(&keys, 1 << 17, theta, seed + 6);
         let out = index
-            .point_lookup_batch(&queries, Some(&values))
+            .execute(&QueryBatch::of_points(&queries).fetch_values(true))
             .expect("lookup");
         println!(
             "  zipf {theta:>3}: {:.3} ms simulated, cache hit rate {:.1}%",
-            out.metrics.simulated_time_s * 1e3,
-            out.metrics.kernel.cache_hit_rate() * 100.0
+            out.sim_ms(),
+            out.kernel().cache_hit_rate() * 100.0
         );
     }
 }

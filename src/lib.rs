@@ -16,19 +16,30 @@
 //!
 //! ## Quick start
 //!
+//! Every backend — RX, the three GPU baselines and the dynamic delta index —
+//! is built by name from the [`Registry`] and queried through the
+//! [`SecondaryIndex`] trait with mixed [`QueryBatch`]es:
+//!
 //! ```
-//! use rtindex::{Device, RtIndex, RtIndexConfig};
+//! use rtindex::{registry, Device, IndexSpec, QueryBatch};
 //!
 //! // The simulated GPU (an RTX 4090 by default).
 //! let device = Device::default_eval();
 //!
-//! // A secondary index over a key column; the position of a key is its rowID.
+//! // A secondary index over a (key, value) column pair; the position of a
+//! // key is its rowID.
 //! let category = vec![26u64, 25, 29, 23, 29, 27];
-//! let index = RtIndex::build(&device, &category, RtIndexConfig::default()).unwrap();
+//! let prices = vec![10u64, 20, 30, 40, 50, 60];
+//! let index = registry()
+//!     .build("RX", &IndexSpec::with_values(&device, &category, &prices))
+//!     .unwrap();
 //!
-//! // Range lookup [23, 25] -> rowIDs 3 and 1 (as in Figure 1 of the paper).
-//! let out = index.range_lookup_batch(&[(23, 25)], None).unwrap();
-//! assert_eq!(out.results[0].hit_count, 2);
+//! // One submission mixing a range lookup, point lookups and a value fetch.
+//! let out = index
+//!     .execute(&QueryBatch::new().range(23, 25).point(29).fetch_values(true))
+//!     .unwrap();
+//! assert_eq!(out.results[0].hit_count, 2); // rowIDs 3 and 1 (Figure 1)
+//! assert_eq!(out.results[1].value_sum, 30 + 50); // both rows holding 29
 //! ```
 //!
 //! ## Crate map
@@ -39,6 +50,7 @@
 //! | [`gpu_device`] | the simulated GPU: specs, memory accounting, counters, cost model |
 //! | [`rtx_bvh`] | BVH builders, compaction, refitting, traversal |
 //! | [`optix_sim`] | the OptiX-shaped pipeline API (accel build, ray-gen / any-hit programs) |
+//! | [`rtx_query`] | the backend-agnostic query API: `SecondaryIndex`, `QueryBatch`, registry |
 //! | [`rtindex_core`] | the RX index itself (key modes, primitives, ray strategies, lookups, updates) |
 //! | [`rtx_delta`] | dynamic updates: delta buffer, tombstones, auto-compaction |
 //! | [`gpu_baselines`] | the HT / B+ / SA baselines and the radix sort |
@@ -47,20 +59,23 @@
 //!
 //! ## Dynamic updates
 //!
-//! The static [`RtIndex`] only refits or rebuilds. [`DynamicRtIndex`] layers
-//! a mutable delta (GPU hash buffer + tombstones) over the immutable BVH and
-//! compacts automatically:
+//! The `"RXD"` backend layers a mutable delta (GPU hash buffer + tombstones)
+//! over the immutable BVH and compacts automatically; the registry builds it
+//! as an [`UpdatableIndex`]:
 //!
 //! ```
-//! use rtindex::{Device, DynamicRtConfig, DynamicRtIndex};
+//! use rtindex::{registry, Device, IndexSpec, QueryBatch};
 //!
 //! let device = Device::default_eval();
-//! let mut index =
-//!     DynamicRtIndex::build(&device, &[26, 25, 29], &[0, 1, 2], DynamicRtConfig::default())
-//!         .unwrap();
-//! index.insert_batch(&[23], &[3]).unwrap();
-//! index.delete_batch(&[29]).unwrap();
-//! let out = index.point_lookup_batch(&[23, 29]).unwrap();
+//! let mut index = registry()
+//!     .build_updatable(
+//!         "RXD",
+//!         &IndexSpec::with_values(&device, &[26, 25, 29], &[0, 1, 2]),
+//!     )
+//!     .unwrap();
+//! index.insert(&[23], &[3]).unwrap();
+//! index.delete(&[29]).unwrap();
+//! let out = index.execute(&QueryBatch::of_points(&[23, 29])).unwrap();
 //! assert!(out.results[0].is_hit() && !out.results[1].is_hit());
 //! ```
 
@@ -72,6 +87,7 @@ pub use rtx_bvh;
 pub use rtx_delta;
 pub use rtx_harness;
 pub use rtx_math;
+pub use rtx_query;
 pub use rtx_workloads;
 
 // The most commonly used items, flattened for convenience.
@@ -83,6 +99,11 @@ pub use rtindex_core::{
 };
 pub use rtx_delta::{
     CompactionEvent, CompactionPolicy, CompactionTrigger, DynamicRtConfig, DynamicRtIndex,
+};
+pub use rtx_harness::registry;
+pub use rtx_query::{
+    Capabilities, IndexError, IndexSpec, QueryBatch, QueryOutcome, Registry, SecondaryIndex,
+    UpdatableIndex,
 };
 
 #[cfg(test)]
@@ -96,5 +117,24 @@ mod tests {
         let out = index.point_lookup_batch(&[1, 2], None).unwrap();
         assert_eq!(out.results[0].first_row, 1);
         assert_eq!(out.results[1].first_row, MISS);
+    }
+
+    #[test]
+    fn registry_facade_builds_every_backend() {
+        let device = Device::default_eval();
+        let registry = registry();
+        assert_eq!(registry.backends().len(), 5);
+        let keys = vec![3u64, 1, 4, 1, 5];
+        for name in registry.backends() {
+            match registry.build(name, &IndexSpec::keys_only(&device, &keys)) {
+                Ok(ix) => {
+                    let out = ix.execute(&QueryBatch::of_points(&[1, 9])).unwrap();
+                    assert_eq!(out.results[0].hit_count, 2, "{name}");
+                    assert!(!out.results[1].is_hit(), "{name}");
+                }
+                // B+ rejects the duplicate key 1.
+                Err(err) => assert!(err.is_unsupported_key_set(), "{name}: {err}"),
+            }
+        }
     }
 }

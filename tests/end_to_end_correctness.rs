@@ -3,16 +3,16 @@
 //! shapes the paper evaluates.
 
 use rtindex::{Device, GpuIndex, KeyMode, PrimitiveKind, RtIndex, RtIndexConfig};
-use rtx_harness::build_all_indexes;
+use rtx_harness::{build_all_indexes, measure_points};
 use rtx_workloads as wl;
 
 fn check_point_agreement(keys: &[u64], queries: &[u64], config: RtIndexConfig) {
     let device = Device::default_eval();
     let values = wl::value_column(keys.len(), 99);
     let truth = wl::GroundTruth::new(keys, Some(&values));
-    let indexes = build_all_indexes(&device, keys, config);
+    let indexes = build_all_indexes(&device, keys, Some(&values), config);
     for ix in &indexes {
-        let m = ix.point_lookups(&device, queries, Some(&values));
+        let m = measure_points(ix.as_ref(), queries, true);
         assert_eq!(
             m.hits,
             truth.batch_point_hits(queries),
@@ -75,7 +75,7 @@ fn range_lookups_agree_across_order_based_indexes() {
     assert_eq!(rx_counts, expected, "RX range counts");
     assert_eq!(rx_out.total_value_sum(), truth.batch_range_sum(&ranges));
 
-    let sa = rtindex::SortedArray::build(&device, &keys);
+    let sa = rtindex::SortedArray::build(&device, &keys).unwrap();
     let sa_out = sa
         .range_lookup_batch(&device, &ranges, Some(&values))
         .unwrap();

@@ -3,7 +3,7 @@
 //! per-crate unit tests.
 
 use rtindex::{Device, GpuIndex, RtIndex, RtIndexConfig, WarpHashTable};
-use rtx_harness::{build_all_indexes, ExperimentScale};
+use rtx_harness::{build_all_indexes, find_index, measure_points, ExperimentScale};
 use rtx_workloads as wl;
 
 /// Section 4.6: under low hit rates RX becomes disproportionately faster and
@@ -15,7 +15,7 @@ fn rx_overtakes_ht_when_most_lookups_miss() {
     let lookups_all_miss = wl::point_lookups_with_hit_rate(&keys, 1 << 15, 0.0, 2);
 
     let rx = RtIndex::build(&device, &keys, RtIndexConfig::default()).unwrap();
-    let ht = WarpHashTable::build(&device, &keys);
+    let ht = WarpHashTable::build(&device, &keys).unwrap();
 
     let rx_ms = rx
         .point_lookup_batch(&lookups_all_miss, None)
@@ -39,7 +39,7 @@ fn ht_beats_rx_when_every_lookup_hits() {
     let lookups = wl::point_lookups_with_hit_rate(&keys, 1 << 15, 1.0, 2);
 
     let rx = RtIndex::build(&device, &keys, RtIndexConfig::default()).unwrap();
-    let ht = WarpHashTable::build(&device, &keys);
+    let ht = WarpHashTable::build(&device, &keys).unwrap();
     let rx_ms = rx
         .point_lookup_batch(&lookups, None)
         .unwrap()
@@ -65,14 +65,9 @@ fn skew_benefits_rx_more_than_order_based_indexes() {
     let values = wl::value_column(keys.len(), 2);
     let uniform = wl::point_lookups_zipf(&keys, 1 << 15, 0.0, 3);
     let skewed = wl::point_lookups_zipf(&keys, 1 << 15, 2.0, 3);
-    let indexes = build_all_indexes(&device, &keys, RtIndexConfig::default());
+    let indexes = build_all_indexes(&device, &keys, Some(&values), RtIndexConfig::default());
     let time = |name: &str, queries: &[u64]| {
-        indexes
-            .iter()
-            .find(|i| i.name() == name)
-            .unwrap()
-            .point_lookups(&device, queries, Some(&values))
-            .sim_ms
+        measure_points(find_index(&indexes, name).unwrap(), queries, true).sim_ms
     };
     let speedup = |name: &str| time(name, &uniform) / time(name, &skewed);
     let (rx, bp, sa) = (speedup("RX"), speedup("B+"), speedup("SA"));
@@ -132,8 +127,8 @@ fn rx_scales_across_hardware_generations() {
 fn rx_pays_with_memory_and_build_time() {
     let device = Device::default_eval();
     let keys = wl::dense_shuffled(1 << 14, 1);
-    let indexes = build_all_indexes(&device, &keys, RtIndexConfig::default());
-    let rx = indexes.iter().find(|i| i.name() == "RX").unwrap();
+    let indexes = build_all_indexes(&device, &keys, None, RtIndexConfig::default());
+    let rx = find_index(&indexes, "RX").unwrap();
     for other in indexes.iter().filter(|i| i.name() != "RX") {
         assert!(
             rx.memory_bytes() > other.memory_bytes(),
@@ -141,7 +136,7 @@ fn rx_pays_with_memory_and_build_time() {
             other.name()
         );
         assert!(
-            rx.build_sim_ms() >= other.build_sim_ms(),
+            rx.build_metrics().sim_ms() >= other.build_metrics().sim_ms(),
             "RX build must not be cheaper than {}",
             other.name()
         );

@@ -1,0 +1,169 @@
+//! Trait-conformance suite: one parameterized oracle check run against all
+//! five backends through the registry.
+//!
+//! Every backend that accepts a key set must answer the *same* submissions
+//! with the *same* results: homogeneous point batches, homogeneous range
+//! batches, a single mixed batch (points + ranges + value fetch), chunked
+//! execution, duplicate keys and misses. Backends that reject a key set
+//! must do so via `IndexError::UnsupportedKeySet` (B+ on duplicates and
+//! 64-bit keys), and backends without range support must fail range
+//! submissions uniformly (HT).
+
+use rtindex::{registry, Device, IndexError, IndexSpec, QueryBatch, SecondaryIndex};
+use rtx_workloads as wl;
+use rtx_workloads::GroundTruth;
+
+/// Key-set shapes the paper evaluates, as (name, keys) pairs.
+fn key_sets() -> Vec<(&'static str, Vec<u64>)> {
+    vec![
+        ("dense shuffled", wl::dense_shuffled(2000, 1)),
+        (
+            "sparse 32-bit",
+            wl::sparse_uniform(1500, u32::MAX as u64, 2),
+        ),
+        ("sparse 64-bit", wl::sparse_uniform(1200, u64::MAX / 2, 3)),
+        ("duplicates x8", wl::with_multiplicity(256, 8, 4)),
+        ("empty", Vec::new()),
+    ]
+}
+
+/// `count` point queries mixing hits and misses; pure misses on an empty
+/// key set (where the workload generator rightfully refuses to sample).
+fn sample_points(keys: &[u64], count: usize, hit_rate: f64, seed: u64) -> Vec<u64> {
+    if keys.is_empty() {
+        (0..count as u64).map(|i| i * 31 + 5).collect()
+    } else {
+        wl::point_lookups_with_hit_rate(keys, count, hit_rate, seed)
+    }
+}
+
+/// A mixed batch over the key domain: hits, misses, narrow and wide ranges.
+fn mixed_batch(keys: &[u64], seed: u64, fetch: bool) -> QueryBatch {
+    let domain = keys.iter().copied().max().unwrap_or(0);
+    let points = sample_points(keys, 200, 0.7, seed);
+    let ranges: Vec<(u64, u64)> = (0..50u64)
+        .map(|i| {
+            let lower = (i * 37) % (domain + 10);
+            (lower, lower + (i % 3) * 16)
+        })
+        .collect();
+    QueryBatch::new()
+        .points(points)
+        .ranges(ranges)
+        .point(domain.wrapping_add(12345)) // guaranteed miss
+        .fetch_values(fetch)
+}
+
+fn conformance_check(set_name: &str, keys: &[u64], ix: &dyn SecondaryIndex, truth: &GroundTruth) {
+    let name = ix.name();
+    let label = format!("{name} on {set_name}");
+    assert_eq!(ix.key_count(), keys.len(), "{label}: key count");
+
+    // Homogeneous point batch with value fetch.
+    let queries = sample_points(keys, 300, 0.6, 7);
+    let points = QueryBatch::of_points(&queries).fetch_values(true);
+    let out = ix.execute(&points).expect("point batch");
+    assert_eq!(
+        out.results,
+        truth.expected_batch(&points),
+        "{label}: points"
+    );
+
+    // Without a fetch the sums are zero everywhere.
+    let unfetched = ix.execute(&QueryBatch::of_points(&queries)).unwrap();
+    assert_eq!(unfetched.total_value_sum(), 0, "{label}: no-fetch sums");
+
+    // The mixed submission: identical answers in submission order, and
+    // chunked execution must change nothing but the launch count.
+    let mixed = mixed_batch(keys, 8, true);
+    if ix.capabilities().range_lookups {
+        let out = ix.execute(&mixed).expect("mixed batch");
+        assert_eq!(out.results, truth.expected_batch(&mixed), "{label}: mixed");
+
+        let chunked = ix.execute(&mixed.clone().with_chunk_size(17)).unwrap();
+        assert_eq!(chunked.results, out.results, "{label}: chunked == whole");
+        assert!(
+            chunked.metrics.kernel.kernel_launches >= out.metrics.kernel.kernel_launches,
+            "{label}: chunking cannot reduce launches"
+        );
+    } else {
+        let err = ix.execute(&mixed).map(|_| ()).unwrap_err();
+        assert!(
+            matches!(err, IndexError::UnsupportedOperation { operation, .. }
+                if operation == "range lookups"),
+            "{label}: range rejection must be uniform"
+        );
+    }
+}
+
+#[test]
+fn all_backends_agree_with_the_oracle_on_every_key_set() {
+    let device = Device::default_eval();
+    let registry = registry();
+    assert_eq!(registry.backends(), vec!["B+", "HT", "RX", "RXD", "SA"]);
+
+    for (set_name, keys) in key_sets() {
+        let values = wl::value_column(keys.len(), 42);
+        let truth = GroundTruth::new(&keys, Some(&values));
+        let spec = IndexSpec::with_values(&device, &keys, &values);
+
+        let has_duplicates = {
+            let mut sorted = keys.clone();
+            sorted.sort_unstable();
+            sorted.windows(2).any(|w| w[0] == w[1])
+        };
+        let has_64bit = keys.iter().any(|&k| k > u32::MAX as u64);
+
+        let mut served = 0;
+        for name in registry.backends() {
+            match registry.build(name, &spec) {
+                Ok(ix) => {
+                    served += 1;
+                    conformance_check(set_name, &keys, ix.as_ref(), &truth);
+                }
+                Err(err) => {
+                    assert!(
+                        err.is_unsupported_key_set(),
+                        "{name} on {set_name}: build may only fail as unsupported, got {err}"
+                    );
+                    assert_eq!(name, "B+", "{set_name}: only B+ restricts key sets");
+                    assert!(
+                        has_duplicates || has_64bit,
+                        "{set_name}: B+ rejection needs a reason"
+                    );
+                }
+            }
+        }
+        let expected = if has_duplicates || has_64bit { 4 } else { 5 };
+        assert_eq!(served, expected, "{set_name}: backend coverage");
+    }
+}
+
+#[test]
+fn updatable_backend_is_also_reachable_through_the_registry() {
+    let device = Device::default_eval();
+    let registry = registry();
+    assert_eq!(registry.updatable_backends(), vec!["RXD"]);
+
+    let keys = wl::dense_shuffled(512, 9);
+    let values = wl::value_column(512, 10);
+    let mut ix = registry
+        .build_updatable("RXD", &IndexSpec::with_values(&device, &keys, &values))
+        .unwrap();
+    assert!(ix.capabilities().updates);
+
+    // A write followed by a mixed read, all through trait objects.
+    ix.upsert(&[7, 8], &[700, 800]).unwrap();
+    let out = ix
+        .execute(&QueryBatch::new().point(7).range(7, 8).fetch_values(true))
+        .unwrap();
+    assert_eq!(out.results[0].value_sum, 700);
+    assert_eq!(out.results[1].value_sum, 1500);
+
+    // The read-only path hands out the same backend.
+    let ro = registry
+        .build("RXD", &IndexSpec::with_values(&device, &keys, &values))
+        .unwrap();
+    assert_eq!(ro.name(), "RXD");
+    assert_eq!(ro.key_count(), 512);
+}
