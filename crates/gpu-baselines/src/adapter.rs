@@ -63,7 +63,7 @@ fn convert(batch: BaselineBatch) -> BatchOutcome {
 }
 
 impl<T: GpuIndex> SecondaryIndex for GpuIndexAdapter<T> {
-    fn name(&self) -> &'static str {
+    fn name(&self) -> &str {
         self.inner.name()
     }
 

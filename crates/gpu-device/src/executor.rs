@@ -1,4 +1,4 @@
-//! Parallel "kernel" execution.
+//! Parallel "kernel" execution and the shared host worker pool.
 //!
 //! A CUDA kernel launch spawns one logical thread per work item (one per
 //! lookup in the raytracing pipeline). We execute those logical threads on a
@@ -7,6 +7,20 @@
 //! counters in a private [`ThreadCtx`]. At the end, all contexts are merged
 //! into a single [`KernelStats`] record, which mirrors how Nsight aggregates
 //! per-kernel metrics.
+//!
+//! The pool logic is exposed through two reusable scoped-parallel helpers —
+//! [`parallel_tasks`] and [`parallel_map`] — so that callers above the kernel
+//! layer (the sharded execution layer, the simulated pipeline) reuse the same
+//! width policy and scheduling instead of re-implementing scoped-thread
+//! plumbing per call site. Note that each call spawns its own scoped workers
+//! (bounded by [`worker_count`]); there is no process-global pool, so
+//! *nested* calls — a sharded batch whose shards each launch kernels —
+//! multiply and may oversubscribe the machine up to `worker_count²` threads.
+//! The OS scheduler keeps that work-conserving, but for timing-sensitive
+//! runs bound the width explicitly via `RTX_WORKERS`.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use crate::profiler::KernelStats;
 
@@ -55,15 +69,105 @@ impl ThreadCtx {
     }
 }
 
-/// Number of host worker threads used to execute kernels.
+/// Hard ceiling on the worker pool, with or without an override.
+const MAX_WORKERS: usize = 64;
+
+/// Default cap on the worker pool (kept small so per-test overhead stays
+/// reasonable).
+const DEFAULT_WORKER_CAP: usize = 16;
+
+/// Number of host worker threads used to execute kernels and coarse parallel
+/// tasks.
 ///
-/// Capped at 16 to keep per-test overhead reasonable; the logical-thread
-/// semantics do not depend on this number.
+/// Defaults to the machine's available parallelism capped at 16; the
+/// logical-thread semantics do not depend on this number. The `RTX_WORKERS`
+/// environment variable overrides the detected value (clamped to
+/// `1..=64`), which keeps benchmark and CI runs reproducible on
+/// heterogeneous hosts — set `RTX_WORKERS=1` for fully serial execution.
+/// Invalid or empty values fall back to the detected default.
 pub fn worker_count() -> usize {
+    if let Ok(raw) = std::env::var("RTX_WORKERS") {
+        if let Ok(n) = raw.trim().parse::<usize>() {
+            if n >= 1 {
+                return n.min(MAX_WORKERS);
+            }
+        }
+    }
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(4)
-        .min(16)
+        .min(DEFAULT_WORKER_CAP)
+}
+
+/// Runs `tasks` independent jobs on the worker pool and returns their
+/// results in task order.
+///
+/// At most [`worker_count`] jobs run concurrently *per call*; remaining
+/// jobs are pulled from a shared counter as workers free up, so
+/// heterogeneous task costs balance dynamically (important when tasks are
+/// per-shard sub-batches of very different sizes). With a single worker —
+/// or a single task — the jobs run inline on the calling thread without
+/// spawning. Nested calls each spawn their own scoped workers (see the
+/// module docs on oversubscription).
+pub fn parallel_tasks<R, F>(tasks: usize, run: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    if tasks == 0 {
+        return Vec::new();
+    }
+    let workers = worker_count().min(tasks);
+    if workers == 1 {
+        return (0..tasks).map(run).collect();
+    }
+
+    let results: Vec<Mutex<Option<R>>> = (0..tasks).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..workers {
+            let (results, next, run) = (&results, &next, &run);
+            scope.spawn(move |_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= tasks {
+                    break;
+                }
+                let r = run(i);
+                *results[i].lock().expect("task slot poisoned") = Some(r);
+            });
+        }
+    })
+    .expect("task scope panicked");
+
+    results
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("task slot poisoned")
+                .expect("task result missing")
+        })
+        .collect()
+}
+
+/// Runs `run(index, item)` over every item on the worker pool, returning the
+/// results in item order. Like [`parallel_tasks`], but each job takes
+/// ownership of its input — the natural shape for fanning out per-shard
+/// columns or per-worker output slices.
+pub fn parallel_map<T, R, F>(items: Vec<T>, run: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    parallel_tasks(slots.len(), |i| {
+        let item = slots[i]
+            .lock()
+            .expect("item slot poisoned")
+            .take()
+            .expect("item taken twice");
+        run(i, item)
+    })
 }
 
 /// Executes `grid_size` logical threads of a kernel in parallel.
@@ -86,26 +190,15 @@ where
 
     let workers = worker_count().min(grid_size);
     let chunk = grid_size.div_ceil(workers);
-    let partials = crossbeam::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(workers);
-        for w in 0..workers {
-            let body = &body;
-            handles.push(scope.spawn(move |_| {
-                let start = w * chunk;
-                let end = ((w + 1) * chunk).min(grid_size);
-                let mut ctx = ThreadCtx::new();
-                for i in start..end {
-                    body(&mut ctx, i);
-                }
-                ctx.stats
-            }));
+    let partials = parallel_tasks(workers, |w| {
+        let start = w * chunk;
+        let end = ((w + 1) * chunk).min(grid_size);
+        let mut ctx = ThreadCtx::new();
+        for i in start..end {
+            body(&mut ctx, i);
         }
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("kernel worker panicked"))
-            .collect::<Vec<_>>()
-    })
-    .expect("kernel scope panicked");
+        ctx.stats
+    });
 
     for p in partials {
         merged.merge(&p);
@@ -144,25 +237,14 @@ where
     let chunk = grid_size.div_ceil(workers);
     let out_chunks: Vec<&mut [T]> = output[..grid_size].chunks_mut(chunk).collect();
 
-    let partials = crossbeam::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(workers);
-        for (w, out_chunk) in out_chunks.into_iter().enumerate() {
-            let body = &body;
-            handles.push(scope.spawn(move |_| {
-                let start = w * chunk;
-                let mut ctx = ThreadCtx::new();
-                for (j, slot) in out_chunk.iter_mut().enumerate() {
-                    *slot = body(&mut ctx, start + j);
-                }
-                ctx.stats
-            }));
+    let partials = parallel_map(out_chunks, |w, out_chunk| {
+        let start = w * chunk;
+        let mut ctx = ThreadCtx::new();
+        for (j, slot) in out_chunk.iter_mut().enumerate() {
+            *slot = body(&mut ctx, start + j);
         }
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("kernel worker panicked"))
-            .collect::<Vec<_>>()
-    })
-    .expect("kernel scope panicked");
+        ctx.stats
+    });
 
     for p in partials {
         merged.merge(&p);
@@ -249,6 +331,64 @@ mod tests {
     #[test]
     fn worker_count_is_positive_and_bounded() {
         let w = worker_count();
-        assert!((1..=16).contains(&w));
+        assert!((1..=MAX_WORKERS).contains(&w));
+    }
+
+    #[test]
+    fn rtx_workers_env_overrides_worker_count() {
+        // Other tests in this binary never read RTX_WORKERS with a value
+        // set, and every value used here stays within the documented clamp,
+        // so a concurrent `worker_count` call observing the override is
+        // still valid.
+        std::env::set_var("RTX_WORKERS", "3");
+        assert_eq!(worker_count(), 3);
+        std::env::set_var("RTX_WORKERS", "100000");
+        assert_eq!(worker_count(), MAX_WORKERS, "override clamps at the cap");
+        let detected = {
+            std::env::remove_var("RTX_WORKERS");
+            worker_count()
+        };
+        for invalid in ["0", "-2", "many", ""] {
+            std::env::set_var("RTX_WORKERS", invalid);
+            assert_eq!(worker_count(), detected, "invalid {invalid:?} ignored");
+        }
+        std::env::remove_var("RTX_WORKERS");
+    }
+
+    #[test]
+    fn parallel_tasks_preserves_task_order() {
+        let results = parallel_tasks(257, |i| i * 3);
+        assert_eq!(results.len(), 257);
+        assert!(results.iter().enumerate().all(|(i, &r)| r == i * 3));
+        assert!(parallel_tasks(0, |i| i).is_empty());
+    }
+
+    #[test]
+    fn parallel_tasks_runs_every_task_exactly_once() {
+        let hits = AtomicU64::new(0);
+        let _ = parallel_tasks(1000, |_| hits.fetch_add(1, Ordering::Relaxed));
+        assert_eq!(hits.load(Ordering::Relaxed), 1000);
+    }
+
+    #[test]
+    fn parallel_map_moves_items_and_keeps_order() {
+        let items: Vec<String> = (0..100).map(|i| format!("item-{i}")).collect();
+        let results = parallel_map(items, |i, s| format!("{s}/{i}"));
+        assert!(results
+            .iter()
+            .enumerate()
+            .all(|(i, r)| *r == format!("item-{i}/{i}")));
+        assert!(parallel_map(Vec::<u8>::new(), |_, b| b).is_empty());
+    }
+
+    #[test]
+    fn nested_parallel_tasks_compose() {
+        // A coarse task that itself launches a kernel (the sharded-execution
+        // shape) must not deadlock or lose work.
+        let totals = parallel_tasks(4, |t| {
+            let stats = launch_kernel(100, |ctx, _| ctx.add_instructions(t as u64 + 1));
+            stats.instructions
+        });
+        assert_eq!(totals, vec![100, 200, 300, 400]);
     }
 }

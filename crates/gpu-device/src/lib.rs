@@ -39,7 +39,7 @@ pub mod spec;
 
 pub use access::AccessClassifier;
 pub use cost::{CostModel, SimulatedTime};
-pub use executor::{launch_kernel, ThreadCtx};
+pub use executor::{launch_kernel, parallel_map, parallel_tasks, worker_count, ThreadCtx};
 pub use memory::{DeviceBuffer, MemoryTracker};
 pub use occupancy::OccupancyModel;
 pub use profiler::{KernelStats, Profiler};

@@ -218,36 +218,26 @@ pub fn launch<PS: ProgramSet>(
         let l2 = device.spec().l2_bytes;
 
         let out_chunks: Vec<&mut [PS::Output]> = out[..width].chunks_mut(chunk).collect();
-        let partials = crossbeam::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(workers);
-            for (w, out_chunk) in out_chunks.into_iter().enumerate() {
-                handles.push(scope.spawn(move |_| {
-                    let start_idx = w * chunk;
-                    let mut ctx = ThreadCtx::new();
-                    let mut classifier = AccessClassifier::new(l2, working_set);
-                    let mut local_traversal = TraversalStats::default();
-                    for (j, slot) in out_chunk.iter_mut().enumerate() {
-                        ctx.add_instructions(cost_constants::RAYGEN_BASE);
-                        let mut tracer = Tracer {
-                            gas,
-                            programs,
-                            ctx: &mut ctx,
-                            classifier: &mut classifier,
-                            traversal: TraversalStats::default(),
-                            traces: 0,
-                        };
-                        *slot = programs.ray_gen(start_idx + j, &mut tracer);
-                        local_traversal.merge(&tracer.traversal);
-                    }
-                    (ctx.stats, local_traversal)
-                }));
+        let partials = gpu_device::executor::parallel_map(out_chunks, |w, out_chunk| {
+            let start_idx = w * chunk;
+            let mut ctx = ThreadCtx::new();
+            let mut classifier = AccessClassifier::new(l2, working_set);
+            let mut local_traversal = TraversalStats::default();
+            for (j, slot) in out_chunk.iter_mut().enumerate() {
+                ctx.add_instructions(cost_constants::RAYGEN_BASE);
+                let mut tracer = Tracer {
+                    gas,
+                    programs,
+                    ctx: &mut ctx,
+                    classifier: &mut classifier,
+                    traversal: TraversalStats::default(),
+                    traces: 0,
+                };
+                *slot = programs.ray_gen(start_idx + j, &mut tracer);
+                local_traversal.merge(&tracer.traversal);
             }
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("pipeline worker panicked"))
-                .collect::<Vec<_>>()
-        })
-        .expect("pipeline scope panicked");
+            (ctx.stats, local_traversal)
+        });
 
         for (stats, trav) in partials {
             merged.merge(&stats);

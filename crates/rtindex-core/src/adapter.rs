@@ -46,7 +46,7 @@ impl RxAdapter {
 }
 
 impl SecondaryIndex for RxAdapter {
-    fn name(&self) -> &'static str {
+    fn name(&self) -> &str {
         "RX"
     }
 

@@ -55,13 +55,6 @@ pub enum RtIndexError {
         /// Values supplied.
         actual: usize,
     },
-    /// A range lookup was supplied with `lower > upper`.
-    InvalidRange {
-        /// Lower bound.
-        lower: u64,
-        /// Upper bound.
-        upper: u64,
-    },
     /// A masked lookup supplied a validity mask whose length does not match
     /// the number of indexed keys.
     LiveMaskLengthMismatch {
@@ -112,9 +105,6 @@ impl std::fmt::Display for RtIndexError {
                 f,
                 "value column has {actual} entries but the index holds {expected} keys"
             ),
-            RtIndexError::InvalidRange { lower, upper } => {
-                write!(f, "invalid range lookup: lower {lower} > upper {upper}")
-            }
             RtIndexError::LiveMaskLengthMismatch { expected, actual } => write!(
                 f,
                 "live mask has {actual} entries but the index holds {expected} keys"
@@ -148,9 +138,6 @@ impl From<RtIndexError> for rtx_query::IndexError {
             },
             RtIndexError::ValueColumnLengthMismatch { expected, actual } => {
                 rtx_query::IndexError::ValueColumnLengthMismatch { expected, actual }
-            }
-            RtIndexError::InvalidRange { lower, upper } => {
-                rtx_query::IndexError::InvalidRange { lower, upper }
             }
             RtIndexError::RowIdSpaceExhausted {
                 allocated,
@@ -192,9 +179,6 @@ mod tests {
 
         let e = RtIndexError::UpdatesNotEnabled;
         assert!(e.to_string().contains("allow_update"));
-
-        let e = RtIndexError::InvalidRange { lower: 5, upper: 3 };
-        assert!(e.to_string().contains("lower 5"));
 
         let e = RtIndexError::KeyCountChanged {
             expected: 4,

@@ -1,0 +1,111 @@
+//! Shard-scaling benchmarks: wall-clock lookup throughput of every backend
+//! behind the sharded execution layer, swept over shard counts.
+//!
+//! This is the acceptance benchmark of the sharding layer: on a multi-core
+//! host, 8-shard point lookups should beat the 1-shard configuration by
+//! well over 1.5× for at least RX and HT — per-shard sub-batches run
+//! concurrently on the worker pool and each shard's structure is smaller
+//! (shallower BVH, better cache behaviour). On a single hardware thread the
+//! shard sweep degenerates to serial execution and mostly shows the
+//! scatter/gather overhead; set `RTX_WORKERS` to pin the pool width for
+//! reproducible comparisons across hosts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gpu_device::Device;
+use rtx_harness::registry;
+use rtx_query::{IndexSpec, QueryBatch, SecondaryIndex};
+use rtx_workloads as wl;
+
+const KEYS: usize = 1 << 16;
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn column(seed: u64) -> (Vec<u64>, Vec<u64>) {
+    (
+        wl::dense_shuffled(KEYS, seed),
+        wl::value_column(KEYS, seed + 1),
+    )
+}
+
+/// Builds `backend@shards` (hash-partitioned) from the default registry.
+fn build_sharded(name: &str, spec: &IndexSpec<'_>) -> Box<dyn SecondaryIndex> {
+    registry().build(name, spec).expect("sharded build")
+}
+
+fn bench_point_lookup_scaling(c: &mut Criterion) {
+    let device = Device::default_eval();
+    let (keys, values) = column(42);
+    let queries = wl::point_lookups(&keys, KEYS / 2, 44);
+    let batch = QueryBatch::of_points(&queries).fetch_values(true);
+    let spec = IndexSpec::with_values(&device, &keys, &values);
+
+    for backend in ["RX", "HT", "B+", "SA", "RXD"] {
+        let mut group = c.benchmark_group(format!("shard_scaling_points/{backend}"));
+        group.throughput(Throughput::Elements(batch.len() as u64));
+        for shards in SHARD_COUNTS {
+            let index = build_sharded(&format!("{backend}@{shards}"), &spec);
+            group.bench_with_input(BenchmarkId::from_parameter(shards), &batch, |b, batch| {
+                b.iter(|| index.execute(batch).unwrap())
+            });
+        }
+        group.finish();
+    }
+}
+
+fn bench_range_lookup_scaling(c: &mut Criterion) {
+    let device = Device::default_eval();
+    let (keys, values) = column(42);
+    let ranges = wl::range_lookups(KEYS as u64, KEYS / 16, 32, 45);
+    let batch = QueryBatch::of_ranges(&ranges).fetch_values(true);
+    let spec = IndexSpec::with_values(&device, &keys, &values);
+
+    // Range partitioning, so ranges split at shard boundaries instead of
+    // broadcasting.
+    for backend in ["RX", "SA"] {
+        let mut group = c.benchmark_group(format!("shard_scaling_ranges/{backend}"));
+        group.throughput(Throughput::Elements(batch.len() as u64));
+        for shards in SHARD_COUNTS {
+            let index = build_sharded(&format!("{backend}@{shards}:range"), &spec);
+            group.bench_with_input(BenchmarkId::from_parameter(shards), &batch, |b, batch| {
+                b.iter(|| index.execute(batch).unwrap())
+            });
+        }
+        group.finish();
+    }
+}
+
+fn bench_sharded_build(c: &mut Criterion) {
+    let device = Device::default_eval();
+    let (keys, values) = column(42);
+    let spec = IndexSpec::with_values(&device, &keys, &values);
+    let registry = registry();
+
+    let mut group = c.benchmark_group("shard_scaling_build/RX");
+    group.throughput(Throughput::Elements(KEYS as u64));
+    for shards in SHARD_COUNTS {
+        let name = format!("RX@{shards}");
+        group.bench_with_input(BenchmarkId::from_parameter(shards), &name, |b, name| {
+            b.iter(|| registry.build(name, &spec).unwrap())
+        });
+    }
+    group.finish();
+}
+
+/// Shared Criterion configuration: small sample counts and short measurement
+/// windows keep `cargo bench --workspace` runnable in CI while still
+/// producing stable medians for the simulated workloads.
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1500))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets =
+    bench_point_lookup_scaling,
+    bench_range_lookup_scaling,
+    bench_sharded_build
+}
+criterion_main!(benches);

@@ -60,7 +60,7 @@ impl DynamicAdapter {
 }
 
 impl SecondaryIndex for DynamicAdapter {
-    fn name(&self) -> &'static str {
+    fn name(&self) -> &str {
         "RXD"
     }
 

@@ -191,14 +191,11 @@ mod tests {
         assert_eq!(out.results[0].first_row, 0);
         // [90,200]: evens 90..98 -> 5 hits.
         assert_eq!(out.results[1].hit_count, 5);
-        // Inverted ranges are rejected, matching the static index.
-        assert!(matches!(
-            index.range_lookup_batch(&[(60, 10)]),
-            Err(rtindex_core::RtIndexError::InvalidRange {
-                lower: 60,
-                upper: 10
-            })
-        ));
+        // Inverted ranges answer empty on every backend, base and delta
+        // alike (the uniform semantics of the query layer).
+        let out = index.range_lookup_batch(&[(60, 10)]).unwrap();
+        assert_eq!(out.results[0].hit_count, 0);
+        assert!(!out.results[0].is_hit());
     }
 
     #[test]

@@ -22,12 +22,15 @@ pub const DYNAMIC_BACKEND: &str = "RXD";
 
 /// The full registry of every backend this reproduction implements, with
 /// the RX side (static base and dynamic wrapper) built under `rx_config`:
-/// `"HT"`, `"B+"`, `"SA"`, `"RX"` and the updatable `"RXD"`.
+/// `"HT"`, `"B+"`, `"SA"`, `"RX"` and the updatable `"RXD"` — plus the
+/// sharding layer, so sharded variants of any of them build by name
+/// (`"RX@8"`, `"SA@4:range"`, updatable `"RXD@2"`).
 pub fn registry_with(rx_config: RtIndexConfig) -> Registry {
     let mut registry = Registry::new();
     gpu_baselines::register_baselines(&mut registry);
     register_rx(&mut registry, rx_config);
     register_dynamic(&mut registry, DynamicRtConfig::default().with_rx(rx_config));
+    rtx_shard::install_sharding(&mut registry);
     registry
 }
 

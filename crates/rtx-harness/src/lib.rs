@@ -84,6 +84,7 @@ pub fn experiment_names() -> Vec<&'static str> {
         "fig18",
         "table8",
         "update_throughput",
+        "shard_scaling",
     ]
 }
 
@@ -116,6 +117,7 @@ pub fn run_experiment(name: &str, scale: &ExperimentScale) -> Option<Vec<Table>>
         "fig17" => ex::fig17::run(scale),
         "fig18" | "table8" => ex::fig18::run(scale),
         "update_throughput" => ex::update_throughput::run(scale),
+        "shard_scaling" => ex::shard_scaling::run(scale),
         _ => return None,
     };
     Some(tables)

@@ -54,13 +54,6 @@ pub enum IndexError {
         /// Backend the batch was submitted to.
         backend: String,
     },
-    /// A range lookup was supplied with `lower > upper`.
-    InvalidRange {
-        /// Lower bound.
-        lower: u64,
-        /// Upper bound.
-        upper: u64,
-    },
     /// A backend-specific failure that has no structured representation in
     /// the unified API.
     Backend {
@@ -105,9 +98,6 @@ impl std::fmt::Display for IndexError {
                 f,
                 "{backend} was built without a value column but the batch requested a value fetch"
             ),
-            IndexError::InvalidRange { lower, upper } => {
-                write!(f, "invalid range lookup: lower {lower} > upper {upper}")
-            }
             IndexError::Backend { backend, message } => write!(f, "{backend}: {message}"),
         }
     }
@@ -159,9 +149,6 @@ mod tests {
             backend: "RX".into(),
         };
         assert!(e.to_string().contains("value fetch"));
-
-        let e = IndexError::InvalidRange { lower: 9, upper: 3 };
-        assert!(e.to_string().contains("lower 9"));
 
         let e = IndexError::Backend {
             backend: "RX".into(),

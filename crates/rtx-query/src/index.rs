@@ -21,9 +21,9 @@ use crate::types::{BatchOutcome, Capabilities, IndexBuildMetrics, QueryOutcome, 
 /// so splitting, chunking and result scattering behave identically across
 /// backends.
 pub trait SecondaryIndex: Send + Sync {
-    /// Short display name ("RX", "HT", "B+", "SA", "RXD") used in report
-    /// tables and error messages.
-    fn name(&self) -> &'static str;
+    /// Short display name ("RX", "HT", "B+", "SA", "RXD", or a sharded
+    /// spec such as "RX@8") used in report tables and error messages.
+    fn name(&self) -> &str;
 
     /// Number of indexed keys.
     fn key_count(&self) -> usize;
@@ -78,6 +78,7 @@ pub trait SecondaryIndex: Send + Sync {
         let mut point_keys: Vec<u64> = Vec::new();
         let mut range_slots: Vec<usize> = Vec::new();
         let mut range_bounds: Vec<(u64, u64)> = Vec::new();
+        let mut has_range_op = false;
         for (slot, op) in batch.ops().iter().enumerate() {
             match *op {
                 QueryOp::Point(key) => {
@@ -85,15 +86,19 @@ pub trait SecondaryIndex: Send + Sync {
                     point_keys.push(key);
                 }
                 QueryOp::Range(lower, upper) => {
-                    if lower > upper {
-                        return Err(IndexError::InvalidRange { lower, upper });
+                    has_range_op = true;
+                    // An inverted range (`lower > upper`) is empty by
+                    // definition; its slot stays the pre-filled miss on
+                    // every backend instead of reaching backend-dependent
+                    // handling.
+                    if lower <= upper {
+                        range_slots.push(slot);
+                        range_bounds.push((lower, upper));
                     }
-                    range_slots.push(slot);
-                    range_bounds.push((lower, upper));
                 }
             }
         }
-        if !range_slots.is_empty() && !self.capabilities().range_lookups {
+        if has_range_op && !self.capabilities().range_lookups {
             return Err(IndexError::UnsupportedOperation {
                 backend: self.name().to_string(),
                 operation: "range lookups",
@@ -210,7 +215,7 @@ mod tests {
     }
 
     impl SecondaryIndex for VecIndex {
-        fn name(&self) -> &'static str {
+        fn name(&self) -> &str {
             "VEC"
         }
         fn key_count(&self) -> usize {
@@ -336,15 +341,44 @@ mod tests {
     }
 
     #[test]
-    fn value_fetch_without_column_and_inverted_ranges_error() {
+    fn value_fetch_without_column_errors() {
         let mut ix = vec_index(true);
         ix.values = None;
         let err = ix
             .execute(&QueryBatch::new().point(1).fetch_values(true))
             .unwrap_err();
         assert!(matches!(err, IndexError::NoValueColumn { .. }));
-        let err = ix.execute(&QueryBatch::new().range(9, 3)).unwrap_err();
-        assert_eq!(err, IndexError::InvalidRange { lower: 9, upper: 3 });
+    }
+
+    #[test]
+    fn inverted_ranges_answer_empty_without_reaching_the_backend() {
+        let ix = vec_index(true);
+        let out = ix
+            .execute(&QueryBatch::new().range(9, 3).point(1).range(5, 5))
+            .unwrap();
+        assert_eq!(out.results[0], LookupResult::miss());
+        assert_eq!(out.results[1].first_row, 1);
+        assert_eq!(out.results[2].hit_count, 2, "5 and its duplicate");
+        // The inverted range was never forwarded: one point launch plus one
+        // single-operation range launch.
+        assert_eq!(*ix.chunks_seen.lock().unwrap(), vec![1, 1]);
+
+        // On a backend without range support even an inverted range is still
+        // a range operation and fails uniformly.
+        let err = ix_without_ranges_err();
+        assert_eq!(
+            err,
+            IndexError::UnsupportedOperation {
+                backend: "VEC".into(),
+                operation: "range lookups",
+            }
+        );
+    }
+
+    fn ix_without_ranges_err() -> IndexError {
+        vec_index(false)
+            .execute(&QueryBatch::new().range(9, 3))
+            .unwrap_err()
     }
 
     #[test]

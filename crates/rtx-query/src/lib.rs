@@ -45,12 +45,16 @@ pub mod batch;
 pub mod error;
 pub mod index;
 pub mod registry;
+pub mod shard;
 pub mod types;
 
 pub use batch::{QueryBatch, QueryOp};
 pub use error::IndexError;
 pub use index::{SecondaryIndex, UpdatableIndex};
-pub use registry::{IndexBuilder, IndexSpec, Registry, UpdatableBuilder};
+pub use registry::{
+    IndexBuilder, IndexSpec, Registry, ShardedBuilder, UpdatableBuilder, UpdatableShardedBuilder,
+};
+pub use shard::{KeyRouter, Partitioning, ScatterPlan, ShardSpec};
 pub use types::{
     BatchOutcome, Capabilities, IndexBuildMetrics, LookupResult, QueryOutcome, UpdateReport, MISS,
 };

@@ -13,6 +13,7 @@ use gpu_device::Device;
 
 use crate::error::IndexError;
 use crate::index::{SecondaryIndex, UpdatableIndex};
+use crate::shard::ShardSpec;
 
 /// What to build an index over: the device and the column pair. The
 /// position of a key in `keys` is its rowID; `values`, when present, must
@@ -78,11 +79,30 @@ pub type IndexBuilder =
 pub type UpdatableBuilder =
     Box<dyn Fn(&IndexSpec<'_>) -> Result<Box<dyn UpdatableIndex>, IndexError> + Send + Sync>;
 
+/// Factory resolving a parsed [`ShardSpec`] (e.g. `"RX@8"`) into a sharded
+/// read-only backend. Receives the registry so it can build the inner
+/// backends by name.
+pub type ShardedBuilder = Box<
+    dyn Fn(&Registry, &ShardSpec, &IndexSpec<'_>) -> Result<Box<dyn SecondaryIndex>, IndexError>
+        + Send
+        + Sync,
+>;
+
+/// Factory resolving a parsed [`ShardSpec`] into a sharded *updatable*
+/// backend (every shard must be updatable).
+pub type UpdatableShardedBuilder = Box<
+    dyn Fn(&Registry, &ShardSpec, &IndexSpec<'_>) -> Result<Box<dyn UpdatableIndex>, IndexError>
+        + Send
+        + Sync,
+>;
+
 /// Builds any registered backend by name.
 #[derive(Default)]
 pub struct Registry {
     builders: BTreeMap<String, IndexBuilder>,
     updatable: BTreeMap<String, UpdatableBuilder>,
+    sharded: Option<ShardedBuilder>,
+    sharded_updatable: Option<UpdatableShardedBuilder>,
 }
 
 impl Registry {
@@ -120,6 +140,26 @@ impl Registry {
         self.updatable.insert(name.to_string(), Box::new(builder));
     }
 
+    /// Installs the sharded-backend factories: with them in place, any name
+    /// that is not registered verbatim but parses as a [`ShardSpec`]
+    /// (`"RX@8"`, `"SA@4:range"`, …) builds a sharded backend over the
+    /// registry's own inner builders. `rtx-shard` provides the canonical
+    /// factories via its `install_sharding` function.
+    pub fn set_sharded_builders(
+        &mut self,
+        read_only: ShardedBuilder,
+        updatable: UpdatableShardedBuilder,
+    ) {
+        self.sharded = Some(read_only);
+        self.sharded_updatable = Some(updatable);
+    }
+
+    /// True once [`set_sharded_builders`](Registry::set_sharded_builders)
+    /// has installed a sharding layer.
+    pub fn supports_sharding(&self) -> bool {
+        self.sharded.is_some()
+    }
+
     /// Every registered backend name, sorted.
     pub fn backends(&self) -> Vec<&str> {
         self.builders.keys().map(String::as_str).collect()
@@ -131,35 +171,80 @@ impl Registry {
     }
 
     /// Builds the backend registered under `name` over `spec`.
+    ///
+    /// A name the registry does not know verbatim is tried as a sharded
+    /// spec (`"RX@8"`, see [`ShardSpec::parse`]) when a sharding layer is
+    /// installed. Truly unknown names fail with an error listing every
+    /// registered backend.
     pub fn build(
         &self,
         name: &str,
         spec: &IndexSpec<'_>,
     ) -> Result<Box<dyn SecondaryIndex>, IndexError> {
         spec.validate()?;
-        let builder = self.builders.get(name).ok_or_else(|| self.unknown(name))?;
-        builder(spec)
+        if let Some(builder) = self.builders.get(name) {
+            return builder(spec);
+        }
+        if let Some(shard_spec) = ShardSpec::parse(name) {
+            let factory = self.sharded.as_ref().ok_or_else(|| self.unsharded(name))?;
+            self.validate_shard_spec(&shard_spec)?;
+            return factory(self, &shard_spec, spec);
+        }
+        Err(self.unknown(name))
     }
 
-    /// Builds the updatable backend registered under `name` over `spec`.
+    /// Builds the updatable backend registered under `name` over `spec`,
+    /// resolving sharded specs (`"RXD@4"`) like
+    /// [`build`](Registry::build) does — every shard of an updatable
+    /// sharded backend must itself be updatable.
     pub fn build_updatable(
         &self,
         name: &str,
         spec: &IndexSpec<'_>,
     ) -> Result<Box<dyn UpdatableIndex>, IndexError> {
         spec.validate()?;
-        let builder = self
-            .updatable
-            .get(name)
-            .ok_or_else(|| IndexError::UnknownBackend {
-                name: name.to_string(),
-                known: self
-                    .updatable_backends()
-                    .iter()
-                    .map(|s| s.to_string())
-                    .collect(),
-            })?;
-        builder(spec)
+        if let Some(builder) = self.updatable.get(name) {
+            return builder(spec);
+        }
+        if !self.builders.contains_key(name) {
+            if let Some(shard_spec) = ShardSpec::parse(name) {
+                let factory = self
+                    .sharded_updatable
+                    .as_ref()
+                    .ok_or_else(|| self.unsharded(name))?;
+                self.validate_shard_spec(&shard_spec)?;
+                return factory(self, &shard_spec, spec);
+            }
+        }
+        Err(IndexError::UnknownBackend {
+            name: name.to_string(),
+            known: self
+                .updatable_backends()
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+        })
+    }
+
+    fn validate_shard_spec(&self, spec: &ShardSpec) -> Result<(), IndexError> {
+        if spec.shards == 0 {
+            return Err(IndexError::Backend {
+                backend: spec.name(),
+                message: "shard count must be at least 1".to_string(),
+            });
+        }
+        Ok(())
+    }
+
+    fn unsharded(&self, name: &str) -> IndexError {
+        IndexError::Backend {
+            backend: name.to_string(),
+            message: format!(
+                "{name:?} is a sharded spec but no sharding layer is installed in this \
+                 registry (known backends: {})",
+                self.backends().join(", ")
+            ),
+        }
     }
 
     /// Builds every registered backend that supports the spec's key set, in
@@ -205,6 +290,7 @@ impl std::fmt::Debug for Registry {
         f.debug_struct("Registry")
             .field("backends", &self.backends())
             .field("updatable_backends", &self.updatable_backends())
+            .field("supports_sharding", &self.supports_sharding())
             .finish()
     }
 }
@@ -221,7 +307,7 @@ mod tests {
     }
 
     impl SecondaryIndex for NullIndex {
-        fn name(&self) -> &'static str {
+        fn name(&self) -> &str {
             "NULL"
         }
         fn key_count(&self) -> usize {
@@ -288,7 +374,66 @@ mod tests {
             .map(|_| ())
             .unwrap_err();
         assert!(matches!(err, IndexError::UnknownBackend { .. }));
+        assert!(
+            err.to_string().contains("NULL") && err.to_string().contains("PICKY"),
+            "unknown-backend errors list every registered backend: {err}"
+        );
+    }
+
+    #[test]
+    fn shard_specs_without_a_sharding_layer_fail_with_guidance() {
+        let device = Device::default_eval();
+        let r = registry();
+        assert!(!r.supports_sharding());
+        let spec = IndexSpec::keys_only(&device, &[1]);
+        let err = r.build("NULL@4", &spec).map(|_| ()).unwrap_err();
+        assert!(
+            err.to_string().contains("no sharding layer")
+                && err.to_string().contains("NULL, PICKY"),
+            "{err}"
+        );
+        let err = r.build_updatable("NULL@4", &spec).map(|_| ()).unwrap_err();
+        assert!(err.to_string().contains("no sharding layer"), "{err}");
+    }
+
+    #[test]
+    fn installed_sharded_builders_resolve_shard_specs() {
+        let mut r = registry();
+        r.set_sharded_builders(
+            Box::new(|registry, shard_spec, spec| {
+                // A degenerate "sharded" factory: builds the inner backend
+                // once; enough to prove routing, recursion and validation.
+                registry.build(&shard_spec.backend, spec)
+            }),
+            Box::new(|_, shard_spec, _| {
+                Err(IndexError::Backend {
+                    backend: shard_spec.name(),
+                    message: "updatable shards unsupported here".into(),
+                })
+            }),
+        );
+        assert!(r.supports_sharding());
+        let device = Device::default_eval();
+        let spec = IndexSpec::keys_only(&device, &[1, 2]);
+        let ix = r.build("NULL@4", &spec).unwrap();
+        assert_eq!(ix.key_count(), 2);
+
+        // Unknown inner backends surface the full backend listing.
+        let err = r.build("XX@4", &spec).map(|_| ()).unwrap_err();
+        assert!(matches!(err, IndexError::UnknownBackend { .. }), "{err}");
         assert!(err.to_string().contains("NULL"));
+
+        // A zero shard count is rejected before the factory runs.
+        let err = r.build("NULL@0", &spec).map(|_| ()).unwrap_err();
+        assert!(err.to_string().contains("at least 1"), "{err}");
+
+        // Exact registrations always win over shard-spec parsing.
+        r.register("NULL@4", |spec| {
+            Ok(Box::new(NullIndex {
+                keys: spec.keys.len() + 100,
+            }) as Box<dyn SecondaryIndex>)
+        });
+        assert_eq!(r.build("NULL@4", &spec).unwrap().key_count(), 102);
     }
 
     #[test]

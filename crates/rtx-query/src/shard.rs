@@ -1,0 +1,416 @@
+//! Sharding vocabulary of the query layer: shard specs, key routing and the
+//! scatter/gather plan.
+//!
+//! The sharded execution engine itself lives above this crate (`rtx-shard`,
+//! which also implements the concrete partitioners), but the *vocabulary* —
+//! how a sharded backend is named, how keys are routed and how a mixed
+//! [`QueryBatch`] is split into per-shard sub-batches and gathered back —
+//! belongs to the query API so that the [`Registry`](crate::Registry) can
+//! resolve names like `"RX@8"` and so that planning stays a pure,
+//! independently testable step.
+//!
+//! The plan treats the two partitioning families differently:
+//!
+//! * **point lookups** are always routed to the single shard owning the key;
+//! * **range lookups** are *split at partition boundaries* under range
+//!   partitioning (each shard sees only the sub-range it owns) and
+//!   *broadcast* under hash partitioning (every shard may hold keys of the
+//!   range);
+//! * **inverted ranges** (`lower > upper`) are routed nowhere and gather as
+//!   the uniform empty result.
+
+use crate::batch::{QueryBatch, QueryOp};
+use crate::types::{BatchOutcome, LookupResult, QueryOutcome};
+
+/// How a sharded backend distributes the key space over its shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Partitioning {
+    /// Keys are routed by a hash of the key: points touch one shard, ranges
+    /// are broadcast to every shard. The default.
+    #[default]
+    Hash,
+    /// The `u64` key domain is cut into contiguous spans (one per shard):
+    /// points touch one shard, ranges are split at the span boundaries.
+    Range,
+}
+
+impl Partitioning {
+    /// The spelling used in shard-spec names (`"hash"` / `"range"`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Partitioning::Hash => "hash",
+            Partitioning::Range => "range",
+        }
+    }
+}
+
+/// A parsed sharded-backend name: the inner backend, the shard count and the
+/// partitioning strategy.
+///
+/// The textual form is `"<backend>@<shards>"` with an optional
+/// `":hash"` / `":range"` suffix — `"RX@8"`, `"SA@4:range"`,
+/// `"RXD@2:hash"`. Any name the registry does not know verbatim is tried as
+/// a shard spec, so sharded variants of every registered backend are
+/// buildable without registering each combination.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardSpec {
+    /// Registry name of the inner backend every shard runs.
+    pub backend: String,
+    /// Number of shards (must be at least 1).
+    pub shards: usize,
+    /// How keys are distributed over the shards.
+    pub partitioning: Partitioning,
+}
+
+impl ShardSpec {
+    /// A hash-partitioned spec.
+    pub fn hash(backend: &str, shards: usize) -> Self {
+        ShardSpec {
+            backend: backend.to_string(),
+            shards,
+            partitioning: Partitioning::Hash,
+        }
+    }
+
+    /// A range-partitioned spec.
+    pub fn range(backend: &str, shards: usize) -> Self {
+        ShardSpec {
+            backend: backend.to_string(),
+            shards,
+            partitioning: Partitioning::Range,
+        }
+    }
+
+    /// Parses `"<backend>@<shards>[:hash|:range]"`. Returns `None` when the
+    /// name does not have that shape (it is then an ordinary backend name);
+    /// a zero shard count parses — [`Registry`](crate::Registry) rejects it
+    /// with a precise error instead of "unknown backend".
+    pub fn parse(name: &str) -> Option<ShardSpec> {
+        let (backend, rest) = name.split_once('@')?;
+        if backend.is_empty() {
+            return None;
+        }
+        let (count, partitioning) = match rest.split_once(':') {
+            Some((count, "hash")) => (count, Partitioning::Hash),
+            Some((count, "range")) => (count, Partitioning::Range),
+            Some(_) => return None,
+            None => (rest, Partitioning::Hash),
+        };
+        let shards: usize = count.parse().ok()?;
+        Some(ShardSpec {
+            backend: backend.to_string(),
+            shards,
+            partitioning,
+        })
+    }
+
+    /// The canonical textual form (`"RX@8"` for hash — the default — and
+    /// `"RX@8:range"` for range partitioning).
+    pub fn name(&self) -> String {
+        match self.partitioning {
+            Partitioning::Hash => format!("{}@{}", self.backend, self.shards),
+            Partitioning::Range => format!("{}@{}:range", self.backend, self.shards),
+        }
+    }
+}
+
+impl std::fmt::Display for ShardSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name())
+    }
+}
+
+/// Routes keys (and key ranges) to shards. Implemented by the concrete
+/// partitioners in `rtx-shard`; consumed by [`ScatterPlan`].
+pub trait KeyRouter: Send + Sync {
+    /// Number of shards keys are routed across.
+    fn shard_count(&self) -> usize;
+
+    /// The shard owning `key`. Must be total over the `u64` domain and
+    /// stable across calls (updates and lookups must agree).
+    fn shard_of_point(&self, key: u64) -> usize;
+
+    /// The shards a non-inverted range `[lower, upper]` must consult, each
+    /// with the sub-range it should answer. Sub-ranges must cover every key
+    /// of the range exactly once across the returned shards (split for
+    /// range partitioning, full-range broadcast for hash partitioning).
+    fn shards_of_range(&self, lower: u64, upper: u64) -> Vec<(usize, (u64, u64))>;
+}
+
+/// The scatter side of a sharded execution: one sub-batch per shard plus the
+/// submission-order slot each sub-operation answers, so the gather can merge
+/// per-shard outcomes back into one [`QueryOutcome`].
+#[derive(Debug, Clone)]
+pub struct ScatterPlan {
+    /// Number of operations in the planned batch.
+    submitted_ops: usize,
+    /// One sub-batch per shard (possibly empty). Value-fetch and chunk-size
+    /// settings are inherited from the planned batch.
+    sub_batches: Vec<QueryBatch>,
+    /// For each shard, the originating slot of each of its sub-operations.
+    slots: Vec<Vec<usize>>,
+}
+
+impl ScatterPlan {
+    /// Plans `batch` over the shards of `router`. Points go to their owning
+    /// shard, ranges go wherever the router sends them, inverted ranges go
+    /// nowhere (their slots gather as the empty result).
+    pub fn plan(batch: &QueryBatch, router: &dyn KeyRouter) -> ScatterPlan {
+        let shards = router.shard_count();
+        let mut sub_batches = vec![QueryBatch::new(); shards];
+        let mut slots = vec![Vec::new(); shards];
+        for (slot, op) in batch.ops().iter().enumerate() {
+            match *op {
+                QueryOp::Point(key) => {
+                    let s = router.shard_of_point(key);
+                    sub_batches[s] = std::mem::take(&mut sub_batches[s]).point(key);
+                    slots[s].push(slot);
+                }
+                QueryOp::Range(lower, upper) => {
+                    if lower > upper {
+                        continue;
+                    }
+                    for (s, (sub_lower, sub_upper)) in router.shards_of_range(lower, upper) {
+                        sub_batches[s] =
+                            std::mem::take(&mut sub_batches[s]).range(sub_lower, sub_upper);
+                        slots[s].push(slot);
+                    }
+                }
+            }
+        }
+        for sub in &mut sub_batches {
+            *sub = std::mem::take(sub)
+                .fetch_values(batch.fetches_values())
+                .with_chunk_size(batch.chunk_size().unwrap_or(0));
+        }
+        ScatterPlan {
+            submitted_ops: batch.len(),
+            sub_batches,
+            slots,
+        }
+    }
+
+    /// The per-shard sub-batches, indexed by shard.
+    pub fn sub_batches(&self) -> &[QueryBatch] {
+        &self.sub_batches
+    }
+
+    /// The originating submission-order slots of shard `s`'s sub-operations.
+    pub fn slots(&self, s: usize) -> &[usize] {
+        &self.slots[s]
+    }
+
+    /// Number of shards with a non-empty sub-batch.
+    pub fn active_shards(&self) -> usize {
+        self.sub_batches.iter().filter(|b| !b.is_empty()).count()
+    }
+
+    /// Gathers per-shard outcomes (one per shard, in shard order, already
+    /// translated to global rowIDs by the caller) back into submission
+    /// order: slots fed by several shards merge via [`LookupResult::merge`],
+    /// slots fed by none stay misses, and launch metrics merge across
+    /// shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics when an outcome's result count does not match its shard's
+    /// planned sub-batch (a sharded executor bug, not a caller mistake).
+    pub fn gather(&self, outcomes: Vec<BatchOutcome>) -> QueryOutcome {
+        assert_eq!(
+            outcomes.len(),
+            self.sub_batches.len(),
+            "gather needs one outcome per shard"
+        );
+        let mut merged = QueryOutcome {
+            results: vec![LookupResult::miss(); self.submitted_ops],
+            metrics: Default::default(),
+        };
+        for (s, outcome) in outcomes.into_iter().enumerate() {
+            assert_eq!(
+                outcome.results.len(),
+                self.slots[s].len(),
+                "shard {s} answered {} of {} planned operations",
+                outcome.results.len(),
+                self.slots[s].len()
+            );
+            for (&slot, result) in self.slots[s].iter().zip(&outcome.results) {
+                merged.results[slot].merge(result);
+            }
+            merged.metrics.merge(&outcome.metrics);
+        }
+        merged
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::MISS;
+
+    /// A router over `shards` equal contiguous spans of `0..domain`, with
+    /// everything at/above `domain` owned by the last shard.
+    struct SpanRouter {
+        shards: usize,
+        domain: u64,
+    }
+
+    impl SpanRouter {
+        fn span(&self, s: usize) -> (u64, u64) {
+            let width = self.domain / self.shards as u64;
+            let lo = s as u64 * width;
+            let hi = if s + 1 == self.shards {
+                u64::MAX
+            } else {
+                lo + width - 1
+            };
+            (lo, hi)
+        }
+    }
+
+    impl KeyRouter for SpanRouter {
+        fn shard_count(&self) -> usize {
+            self.shards
+        }
+        fn shard_of_point(&self, key: u64) -> usize {
+            let width = self.domain / self.shards as u64;
+            ((key / width) as usize).min(self.shards - 1)
+        }
+        fn shards_of_range(&self, lower: u64, upper: u64) -> Vec<(usize, (u64, u64))> {
+            (self.shard_of_point(lower)..=self.shard_of_point(upper))
+                .map(|s| {
+                    let (lo, hi) = self.span(s);
+                    (s, (lower.max(lo), upper.min(hi)))
+                })
+                .collect()
+        }
+    }
+
+    /// Broadcast router: points by modulo, ranges to every shard whole.
+    struct ModRouter {
+        shards: usize,
+    }
+
+    impl KeyRouter for ModRouter {
+        fn shard_count(&self) -> usize {
+            self.shards
+        }
+        fn shard_of_point(&self, key: u64) -> usize {
+            (key % self.shards as u64) as usize
+        }
+        fn shards_of_range(&self, lower: u64, upper: u64) -> Vec<(usize, (u64, u64))> {
+            (0..self.shards).map(|s| (s, (lower, upper))).collect()
+        }
+    }
+
+    #[test]
+    fn spec_parsing_round_trips() {
+        assert_eq!(ShardSpec::parse("RX@8"), Some(ShardSpec::hash("RX", 8)));
+        assert_eq!(
+            ShardSpec::parse("SA@4:range"),
+            Some(ShardSpec::range("SA", 4))
+        );
+        assert_eq!(
+            ShardSpec::parse("B+@2:hash"),
+            Some(ShardSpec::hash("B+", 2))
+        );
+        assert_eq!(ShardSpec::parse("RX@0"), Some(ShardSpec::hash("RX", 0)));
+        for not_a_spec in ["RX", "@8", "RX@", "RX@x", "RX@8:zigzag", "RX@8:"] {
+            assert_eq!(ShardSpec::parse(not_a_spec), None, "{not_a_spec}");
+        }
+        let spec = ShardSpec::range("RXD", 7);
+        assert_eq!(spec.name(), "RXD@7:range");
+        assert_eq!(ShardSpec::parse(&spec.name()), Some(spec.clone()));
+        assert_eq!(spec.to_string(), "RXD@7:range");
+        assert_eq!(ShardSpec::hash("HT", 2).name(), "HT@2");
+        assert_eq!(Partitioning::Hash.name(), "hash");
+        assert_eq!(Partitioning::Range.name(), "range");
+    }
+
+    #[test]
+    fn plan_routes_points_and_splits_ranges() {
+        let router = SpanRouter {
+            shards: 4,
+            domain: 400,
+        };
+        let batch = QueryBatch::new()
+            .point(5) // shard 0
+            .range(90, 210) // shards 0..=2, split
+            .point(399) // shard 3
+            .range(50, 10) // inverted: routed nowhere
+            .fetch_values(true)
+            .with_chunk_size(7);
+        let plan = ScatterPlan::plan(&batch, &router);
+        assert_eq!(plan.sub_batches().len(), 4);
+        assert_eq!(plan.active_shards(), 4);
+        assert_eq!(
+            plan.sub_batches()[0].ops(),
+            &[QueryOp::Point(5), QueryOp::Range(90, 99)]
+        );
+        assert_eq!(plan.sub_batches()[1].ops(), &[QueryOp::Range(100, 199)]);
+        assert_eq!(plan.sub_batches()[2].ops(), &[QueryOp::Range(200, 210)]);
+        assert_eq!(plan.sub_batches()[3].ops(), &[QueryOp::Point(399)]);
+        assert_eq!(plan.slots(0), &[0, 1]);
+        assert_eq!(plan.slots(1), &[1]);
+        assert_eq!(plan.slots(2), &[1]);
+        assert_eq!(plan.slots(3), &[2]);
+        for sub in plan.sub_batches() {
+            assert!(sub.fetches_values());
+            assert_eq!(sub.chunk_size(), Some(7));
+        }
+    }
+
+    #[test]
+    fn plan_broadcasts_ranges_under_hash_routing() {
+        let router = ModRouter { shards: 3 };
+        let batch = QueryBatch::new().range(10, 20).point(4);
+        let plan = ScatterPlan::plan(&batch, &router);
+        for s in 0..3 {
+            assert!(plan.sub_batches()[s]
+                .ops()
+                .contains(&QueryOp::Range(10, 20)));
+        }
+        assert_eq!(plan.sub_batches()[1].ops()[1], QueryOp::Point(4));
+        assert_eq!(plan.slots(1), &[0, 1]);
+    }
+
+    #[test]
+    fn gather_merges_shared_slots_and_defaults_to_miss() {
+        let router = SpanRouter {
+            shards: 2,
+            domain: 200,
+        };
+        // Slot 0: range split over both shards; slot 1: inverted range.
+        let batch = QueryBatch::new().range(50, 150).range(9, 1);
+        let plan = ScatterPlan::plan(&batch, &router);
+        let shard0 = BatchOutcome {
+            results: vec![LookupResult {
+                first_row: 7,
+                hit_count: 2,
+                value_sum: 10,
+            }],
+            ..Default::default()
+        };
+        let shard1 = BatchOutcome {
+            results: vec![LookupResult {
+                first_row: 3,
+                hit_count: 1,
+                value_sum: 5,
+            }],
+            ..Default::default()
+        };
+        let merged = plan.gather(vec![shard0, shard1]);
+        assert_eq!(merged.results.len(), 2);
+        assert_eq!(merged.results[0].first_row, 3);
+        assert_eq!(merged.results[0].hit_count, 3);
+        assert_eq!(merged.results[0].value_sum, 15);
+        assert_eq!(merged.results[1].first_row, MISS);
+        assert!(!merged.results[1].is_hit());
+    }
+
+    #[test]
+    #[should_panic(expected = "answered")]
+    fn gather_rejects_miscounted_shard_outcomes() {
+        let plan = ScatterPlan::plan(&QueryBatch::new().point(1), &ModRouter { shards: 1 });
+        let _ = plan.gather(vec![BatchOutcome::default()]);
+    }
+}

@@ -38,6 +38,17 @@ impl LookupResult {
     pub fn is_hit(&self) -> bool {
         self.hit_count > 0
     }
+
+    /// Merges another partial answer for the *same* logical lookup into this
+    /// one: hit counts and value sums add, the first row is the minimum
+    /// (which is also why [`MISS`] is `u32::MAX`). This is how the sharded
+    /// execution layer combines per-shard answers to a split or broadcast
+    /// operation, and how a miss merged with anything stays faithful.
+    pub fn merge(&mut self, other: &LookupResult) {
+        self.first_row = self.first_row.min(other.first_row);
+        self.hit_count += other.hit_count;
+        self.value_sum = self.value_sum.wrapping_add(other.value_sum);
+    }
 }
 
 /// Result of one homogeneous lookup batch (all points or all ranges): the
@@ -165,6 +176,28 @@ mod tests {
             value_sum: 10,
         };
         assert!(h.is_hit());
+    }
+
+    #[test]
+    fn merge_combines_partial_answers() {
+        let mut acc = LookupResult::miss();
+        acc.merge(&LookupResult {
+            first_row: 9,
+            hit_count: 2,
+            value_sum: 7,
+        });
+        assert_eq!(acc.first_row, 9);
+        acc.merge(&LookupResult {
+            first_row: 3,
+            hit_count: 1,
+            value_sum: 5,
+        });
+        assert_eq!(acc.first_row, 3);
+        assert_eq!(acc.hit_count, 3);
+        assert_eq!(acc.value_sum, 12);
+        acc.merge(&LookupResult::miss());
+        assert_eq!(acc.first_row, 3, "a miss changes nothing");
+        assert_eq!(acc.hit_count, 3);
     }
 
     #[test]

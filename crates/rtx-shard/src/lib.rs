@@ -1,0 +1,374 @@
+//! # rtx-shard
+//!
+//! The sharded parallel execution layer of the RTIndeX reproduction:
+//! partition any registered backend over N shards and scatter/gather mixed
+//! query batches (and update batches) across the `gpu-device` worker pool.
+//!
+//! The paper — and the trait layer below this crate — drives every index as
+//! a single monolithic structure. A production service scales on *shards*:
+//! several smaller indexes, each owning a slice of the key space, answering
+//! concurrently. This crate adds exactly that layer without touching any
+//! backend:
+//!
+//! * [`HashPartitioner`] / [`RangePartitioner`] implement
+//!   [`KeyRouter`](rtx_query::KeyRouter) — hash routing balances any key
+//!   distribution but broadcasts range lookups, contiguous-range routing
+//!   splits ranges at the partition boundaries it derives from the build
+//!   column's quantiles;
+//! * [`ShardedIndex`] builds N inner backends (any registry name,
+//!   homogeneous or mixed per shard) *in parallel*, implements
+//!   `SecondaryIndex` itself — scatter, concurrent per-shard execution,
+//!   gather in submission order, global rowID translation, merged metrics —
+//!   and routes `UpdatableIndex` batches through the same partitioner when
+//!   every shard is updatable;
+//! * [`install_sharding`] hooks the layer into a
+//!   [`Registry`], after which *names* become sharded
+//!   backends: `"RX@8"`, `"SA@4:range"`, `"RXD@2"` build through the same
+//!   `registry.build(..)` / `build_updatable(..)` calls every experiment
+//!   and example already uses.
+//!
+//! ```
+//! use gpu_device::Device;
+//! use rtx_query::{IndexSpec, QueryBatch, Registry};
+//!
+//! let mut registry = Registry::new();
+//! gpu_baselines::register_baselines(&mut registry);
+//! rtx_shard::install_sharding(&mut registry);
+//!
+//! let device = Device::default_eval();
+//! let keys: Vec<u64> = (0..10_000).collect();
+//! let index = registry
+//!     .build("SA@8:range", &IndexSpec::keys_only(&device, &keys))
+//!     .unwrap();
+//! let out = index
+//!     .execute(&QueryBatch::new().point(4096).range(100, 199))
+//!     .unwrap();
+//! assert_eq!(out.results[0].first_row, 4096);
+//! assert_eq!(out.results[1].hit_count, 100);
+//! ```
+
+pub mod partition;
+pub mod sharded;
+
+pub use partition::{HashPartitioner, RangePartitioner};
+pub use sharded::ShardedIndex;
+
+use rtx_query::{Registry, SecondaryIndex, UpdatableIndex};
+
+/// Installs the sharded-backend factories into `registry`: afterwards any
+/// name of the form `"<backend>@<shards>[:hash|:range]"` that is not
+/// registered verbatim builds a [`ShardedIndex`] over the registry's own
+/// backends — `registry.build("RX@8", ..)` for reads,
+/// `registry.build_updatable("RXD@4", ..)` when every shard must take
+/// writes.
+pub fn install_sharding(registry: &mut Registry) {
+    registry.set_sharded_builders(
+        Box::new(|registry, spec, index| {
+            ShardedIndex::build(registry, spec, index)
+                .map(|ix| Box::new(ix) as Box<dyn SecondaryIndex>)
+        }),
+        Box::new(|registry, spec, index| {
+            ShardedIndex::build_updatable(registry, spec, index)
+                .map(|ix| Box::new(ix) as Box<dyn UpdatableIndex>)
+        }),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_device::Device;
+    use rtx_query::{
+        IndexError, IndexSpec, Partitioning, QueryBatch, Registry, SecondaryIndex, ShardSpec,
+    };
+    use rtx_workloads as wl;
+    use rtx_workloads::truth::DynamicOracle;
+    use rtx_workloads::GroundTruth;
+
+    /// Registry with every real backend plus the sharding layer.
+    fn registry() -> Registry {
+        let mut registry = Registry::new();
+        gpu_baselines::register_baselines(&mut registry);
+        rtindex_core::register_rx(&mut registry, rtindex_core::RtIndexConfig::default());
+        rtx_delta::register_dynamic(&mut registry, rtx_delta::DynamicRtConfig::default());
+        install_sharding(&mut registry);
+        registry
+    }
+
+    fn mixed_batch(keys: &[u64], seed: u64) -> QueryBatch {
+        let domain = keys.iter().copied().max().unwrap_or(0);
+        let points = wl::point_lookups_with_hit_rate(keys, 120, 0.7, seed);
+        let ranges: Vec<(u64, u64)> = (0..40u64)
+            .map(|i| {
+                let lower = (i * 41 + seed) % (domain + 16);
+                (lower, lower + (i % 4) * 9)
+            })
+            .collect();
+        QueryBatch::new()
+            .points(points)
+            .ranges(ranges)
+            .range(17, 3) // inverted: uniform empty
+            .point(domain + 12345) // guaranteed miss
+            .fetch_values(true)
+    }
+
+    #[test]
+    fn sharded_backends_answer_exactly_like_the_oracle() {
+        let device = Device::default_eval();
+        let registry = registry();
+        let keys = wl::dense_shuffled(3000, 11);
+        let values = wl::value_column(3000, 12);
+        let truth = GroundTruth::new(&keys, Some(&values));
+        let spec = IndexSpec::with_values(&device, &keys, &values);
+        let batch = mixed_batch(&keys, 13);
+        let expected = truth.expected_batch(&batch);
+
+        for name in ["RX@4", "SA@3:range", "B+@2", "RXD@5:range", "SA@1"] {
+            let ix = registry.build(name, &spec).expect(name);
+            assert_eq!(ix.name(), name);
+            assert_eq!(ix.key_count(), keys.len(), "{name}");
+            assert!(ix.memory_bytes() > 0, "{name}");
+            assert!(ix.build_metrics().simulated_time_s > 0.0, "{name}");
+            let out = ix.execute(&batch).expect(name);
+            assert_eq!(out.results, expected, "{name}");
+            assert!(out.metrics.simulated_time_s > 0.0, "{name}");
+
+            // Chunked execution changes launches, never results.
+            let chunked = ix.execute(&batch.clone().with_chunk_size(13)).unwrap();
+            assert_eq!(chunked.results, expected, "{name} chunked");
+        }
+    }
+
+    #[test]
+    fn hash_sharded_ht_serves_points_and_rejects_ranges_uniformly() {
+        let device = Device::default_eval();
+        let registry = registry();
+        let keys = wl::dense_shuffled(1000, 3);
+        let spec = IndexSpec::keys_only(&device, &keys);
+        let ix = registry.build("HT@4", &spec).unwrap();
+        assert!(!ix.capabilities().range_lookups);
+        let out = ix
+            .execute(&QueryBatch::of_points(&[keys[0], 99_999]))
+            .unwrap();
+        assert!(out.results[0].is_hit() && !out.results[1].is_hit());
+        let err = ix
+            .execute(&QueryBatch::new().range(5, 2))
+            .map(|_| ())
+            .unwrap_err();
+        assert!(
+            matches!(err, IndexError::UnsupportedOperation { operation, .. }
+                if operation == "range lookups"),
+            "even inverted ranges reject uniformly on a range-less backend"
+        );
+    }
+
+    #[test]
+    fn updatable_sharded_rxd_routes_updates_through_the_partitioner() {
+        let device = Device::default_eval();
+        let registry = registry();
+        let keys: Vec<u64> = (0..600).collect();
+        let values: Vec<u64> = (0..600).map(|v| v + 1).collect();
+        let spec = IndexSpec::with_values(&device, &keys, &values);
+        let mut oracle = DynamicOracle::new(&keys, &values);
+
+        for name in ["RXD@3", "RXD@4:range"] {
+            let mut ix = registry.build_updatable(name, &spec).expect(name);
+            assert!(ix.capabilities().updates, "{name}");
+
+            let ins_keys: Vec<u64> = (1000..1080).collect();
+            let ins_values: Vec<u64> = (0..80).map(|v| 7000 + v).collect();
+            let report = ix.insert(&ins_keys, &ins_values).unwrap();
+            assert_eq!(report.inserted_rows, 80, "{name}");
+
+            let del_keys: Vec<u64> = (0..120).collect();
+            let report = ix.delete(&del_keys).unwrap();
+            assert_eq!(report.deleted_rows, 120, "{name}");
+
+            let ups_keys: Vec<u64> = (100..160).collect();
+            let ups_values: Vec<u64> = (0..60).map(|v| 9000 + v).collect();
+            let report = ix.upsert(&ups_keys, &ups_values).unwrap();
+            assert_eq!(report.inserted_rows, 60, "{name}");
+            // Keys 100..120 were already deleted; 120..160 existed.
+            assert_eq!(report.deleted_rows, 40, "{name}");
+
+            let mut shadow = oracle.clone();
+            shadow.insert_batch(&ins_keys, &ins_values);
+            shadow.delete_batch(&del_keys);
+            shadow.upsert_batch(&ups_keys, &ups_values);
+
+            let batch = QueryBatch::new()
+                .points((0..200).chain(990..1090))
+                .range(90, 170)
+                .range(1000, 1500)
+                .fetch_values(true);
+            let out = ix.execute(&batch).expect(name);
+            assert_eq!(out.results, shadow.expected_batch(&batch), "{name}");
+        }
+        let _ = &mut oracle;
+    }
+
+    #[test]
+    fn sharded_row_mirror_survives_inner_compactions() {
+        // Aggressive compaction policy: every shard reorganises during the
+        // churn. Counts and sums must still match the oracle exactly;
+        // global first rows keep the wrapper's stable numbering.
+        let device = Device::default_eval();
+        let mut registry = Registry::new();
+        rtx_delta::register_dynamic(
+            &mut registry,
+            rtx_delta::DynamicRtConfig::default().with_policy(rtx_delta::CompactionPolicy {
+                max_delta_entries: 8,
+                max_delta_fraction: 0.01,
+                max_delete_ratio: 0.01,
+            }),
+        );
+        install_sharding(&mut registry);
+
+        let keys: Vec<u64> = (0..300).collect();
+        let values: Vec<u64> = (0..300).map(|v| v * 2 + 1).collect();
+        let mut ix = registry
+            .build_updatable("RXD@3", &IndexSpec::with_values(&device, &keys, &values))
+            .unwrap();
+        let mut oracle = DynamicOracle::new(&keys, &values);
+
+        let mut reorganisations = 0;
+        for round in 0..6u64 {
+            let ins: Vec<u64> = (1000 + round * 40..1000 + round * 40 + 40).collect();
+            let ins_v: Vec<u64> = ins.iter().map(|k| k * 3).collect();
+            reorganisations += ix.insert(&ins, &ins_v).unwrap().reorganisations;
+            oracle.insert_batch(&ins, &ins_v);
+            let del: Vec<u64> = (round * 30..round * 30 + 25).collect();
+            reorganisations += ix.delete(&del).unwrap().reorganisations;
+            oracle.delete_batch(&del);
+        }
+        assert!(reorganisations > 0, "the policy must have fired");
+
+        let batch = QueryBatch::new()
+            .points((0..320).step_by(3))
+            .ranges((0..20).map(|i| (i * 70, i * 70 + 50)))
+            .fetch_values(true);
+        let out = ix.execute(&batch).unwrap();
+        for (slot, (got, want)) in out
+            .results
+            .iter()
+            .zip(oracle.expected_batch(&batch))
+            .enumerate()
+        {
+            assert_eq!(got.hit_count, want.hit_count, "slot {slot}");
+            assert_eq!(got.value_sum, want.value_sum, "slot {slot}");
+        }
+    }
+
+    #[test]
+    fn mixed_per_shard_backends_compose() {
+        let device = Device::default_eval();
+        let registry = registry();
+        let keys = wl::dense_shuffled(800, 21);
+        let values = wl::value_column(800, 22);
+        let spec = IndexSpec::with_values(&device, &keys, &values);
+        let truth = GroundTruth::new(&keys, Some(&values));
+
+        let ix = ShardedIndex::build_mixed(&registry, &["RX", "SA"], Partitioning::Range, &spec)
+            .unwrap();
+        assert_eq!(ix.name(), "RX+SA@2:range");
+        assert_eq!(ix.shard_count(), 2);
+        assert!(ix.capabilities().range_lookups);
+        let batch = mixed_batch(&keys, 23);
+        assert_eq!(
+            ix.execute(&batch).unwrap().results,
+            truth.expected_batch(&batch)
+        );
+
+        // Mixing in HT drops range support for the whole sharded index.
+        let ix =
+            ShardedIndex::build_mixed(&registry, &["RX", "HT"], Partitioning::Hash, &spec).unwrap();
+        assert!(!ix.capabilities().range_lookups);
+        let stats = ix.shard_stats();
+        assert_eq!(stats.len(), 2);
+        assert_eq!(stats[0].0, "RX");
+        assert_eq!(stats[1].0, "HT");
+        assert_eq!(stats.iter().map(|s| s.1).sum::<usize>(), 800);
+    }
+
+    #[test]
+    fn build_errors_propagate_from_shards_and_specs() {
+        let device = Device::default_eval();
+        let registry = registry();
+        let spec = IndexSpec::keys_only(&device, &[1, 2, 2, 3]);
+
+        // B+ rejects duplicates — sharded B+ propagates the same class.
+        let err = registry.build("B+@2", &spec).map(|_| ()).unwrap_err();
+        assert!(err.is_unsupported_key_set(), "{err}");
+
+        // Unknown inner backend: the standard listing error.
+        let err = registry.build("ZZ@2", &spec).map(|_| ()).unwrap_err();
+        assert!(matches!(err, IndexError::UnknownBackend { .. }));
+        assert!(err.to_string().contains("RX"), "{err}");
+
+        // Zero shards: rejected before building anything.
+        let err = registry.build("RX@0", &spec).map(|_| ()).unwrap_err();
+        assert!(err.to_string().contains("at least 1"), "{err}");
+
+        // Read-only inner backends cannot form an updatable sharded index.
+        let err = registry
+            .build_updatable("SA@2", &spec)
+            .map(|_| ())
+            .unwrap_err();
+        assert!(matches!(err, IndexError::UnknownBackend { .. }), "{err}");
+
+        // A value fetch against a value-less sharded index fails uniformly.
+        let ix = registry.build("SA@2", &spec).unwrap();
+        let err = ix
+            .execute(&QueryBatch::new().point(1).fetch_values(true))
+            .map(|_| ())
+            .unwrap_err();
+        assert!(matches!(err, IndexError::NoValueColumn { .. }));
+
+        // Updates on a read-only-built sharded backend are rejected.
+        let mut direct = ShardedIndex::build(&registry, &ShardSpec::hash("SA", 2), &spec).unwrap();
+        let err = rtx_query::UpdatableIndex::insert(&mut direct, &[9], &[9])
+            .map(|_| ())
+            .unwrap_err();
+        assert!(
+            matches!(err, IndexError::UnsupportedOperation { operation, .. }
+                if operation == "updates")
+        );
+    }
+
+    #[test]
+    fn empty_key_sets_shard_and_only_miss() {
+        let device = Device::default_eval();
+        let registry = registry();
+        let spec = IndexSpec::keys_only(&device, &[]);
+        for name in ["RX@3", "SA@2:range"] {
+            let ix = registry.build(name, &spec).expect(name);
+            assert_eq!(ix.key_count(), 0);
+            let out = ix
+                .execute(&QueryBatch::new().point(1).range(0, 5000))
+                .unwrap();
+            assert_eq!(out.hit_count(), 0, "{name}");
+        }
+    }
+
+    #[test]
+    fn point_and_range_chunk_hooks_delegate_to_the_scattered_path() {
+        let device = Device::default_eval();
+        let registry = registry();
+        let keys = wl::dense_shuffled(500, 31);
+        let values = wl::value_column(500, 32);
+        let truth = GroundTruth::new(&keys, Some(&values));
+        let ix = registry
+            .build("RX@3", &IndexSpec::with_values(&device, &keys, &values))
+            .unwrap();
+        let queries = [keys[0], keys[499], 77_777];
+        let out = ix.point_chunk(&queries, true).unwrap();
+        for (q, r) in queries.iter().zip(&out.results) {
+            assert_eq!(*r, truth.expected_point(*q, true));
+        }
+        let ranges = [(10, 60), (400, 900), (9, 2)];
+        let out = ix.range_chunk(&ranges, false).unwrap();
+        for (&(l, u), r) in ranges.iter().zip(&out.results) {
+            assert_eq!(*r, truth.expected_range(l, u, false));
+        }
+    }
+}

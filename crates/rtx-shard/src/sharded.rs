@@ -1,0 +1,604 @@
+//! [`ShardedIndex`]: N inner backends behind one [`SecondaryIndex`].
+//!
+//! The key space is cut by a [`KeyRouter`] (hash or contiguous-range, see
+//! [`partition`](crate::partition)); each shard runs its own inner backend
+//! built from the registry, over the slice of the column pair it owns. A
+//! mixed [`QueryBatch`] is planned into per-shard sub-batches
+//! ([`ScatterPlan`]), the sub-batches execute concurrently on the
+//! `gpu-device` worker pool, and the per-shard outcomes are gathered back
+//! into submission order with merged launch metrics.
+//!
+//! ## Global rowIDs
+//!
+//! Inner backends number rows by their position in the shard's local
+//! column, but callers must see the *global* rowIDs of the original column
+//! (a sharded backend answers exactly like its unsharded counterpart, which
+//! the property suite asserts). Each shard therefore keeps a local→global
+//! row mirror: built from the scatter of the build column, extended by
+//! routed inserts in submission order, thinned by deletes and collapsed
+//! when the inner backend reports a reorganisation — the same
+//! row-assignment rules the dynamic backend documents. Because a shard's
+//! local order is a subsequence of global order, translating the inner
+//! `first_row` through the mirror and taking the minimum across shards
+//! yields the global first row.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+use std::time::Instant;
+
+use gpu_device::executor::{parallel_map, parallel_tasks};
+use rtx_query::{
+    BatchOutcome, Capabilities, IndexBuildMetrics, IndexError, IndexSpec, KeyRouter, Partitioning,
+    QueryBatch, QueryOutcome, Registry, ScatterPlan, SecondaryIndex, ShardSpec, UpdatableIndex,
+    UpdateReport, MISS,
+};
+
+use crate::partition::{HashPartitioner, RangePartitioner};
+
+/// One shard's inner backend: read-only or updatable, depending on which
+/// registry path built it.
+enum ShardBackend {
+    Read(Box<dyn SecondaryIndex>),
+    Write(Box<dyn UpdatableIndex>),
+}
+
+impl ShardBackend {
+    fn read(&self) -> &dyn SecondaryIndex {
+        match self {
+            ShardBackend::Read(ix) => ix.as_ref(),
+            ShardBackend::Write(ix) => ix.as_ref() as &dyn UpdatableIndex as &dyn SecondaryIndex,
+        }
+    }
+
+    fn write(&mut self) -> Option<&mut dyn UpdatableIndex> {
+        match self {
+            ShardBackend::Read(_) => None,
+            ShardBackend::Write(ix) => Some(ix.as_mut()),
+        }
+    }
+}
+
+/// The local→global row mirror of one shard (see the module docs): entry
+/// `local` holds the key and global rowID of the shard's local row, `None`
+/// once the row is deleted.
+struct ShardRows {
+    entries: Vec<Option<(u64, u32)>>,
+}
+
+impl ShardRows {
+    fn new(assigned: Vec<(u64, u32)>) -> Self {
+        ShardRows {
+            entries: assigned.into_iter().map(Some).collect(),
+        }
+    }
+
+    /// Global rowID of a live local row.
+    fn global(&self, local: u32) -> u32 {
+        self.entries
+            .get(local as usize)
+            .copied()
+            .flatten()
+            .expect("shard row mirror out of sync with the inner backend")
+            .1
+    }
+
+    /// Mirrors an insert: fresh local rows take the next local slots, in
+    /// batch order.
+    fn append(&mut self, keys: &[u64], globals: &[u32]) {
+        self.entries
+            .extend(keys.iter().zip(globals).map(|(&k, &g)| Some((k, g))));
+    }
+
+    /// Mirrors a delete: every live row holding a doomed key dies.
+    fn delete(&mut self, doomed: &HashSet<u64>) {
+        for entry in &mut self.entries {
+            if matches!(entry, Some((k, _)) if doomed.contains(k)) {
+                *entry = None;
+            }
+        }
+    }
+
+    /// Mirrors a reorganisation (compaction): survivors renumber densely in
+    /// preserved order.
+    fn compact(&mut self) {
+        self.entries.retain(Option::is_some);
+    }
+}
+
+struct Shard {
+    backend: ShardBackend,
+    rows: ShardRows,
+}
+
+impl Shard {
+    /// Rewrites an outcome's rowIDs from shard-local to global.
+    fn translate(&self, mut outcome: QueryOutcome) -> QueryOutcome {
+        for r in &mut outcome.results {
+            if r.first_row != MISS {
+                r.first_row = self.rows.global(r.first_row);
+            }
+        }
+        outcome
+    }
+}
+
+/// A partitioned index: any registered backend (homogeneous, or mixed per
+/// shard) behind the ordinary [`SecondaryIndex`] interface, with mixed
+/// batches scattered across the shards and executed in parallel.
+///
+/// Build it through the registry by name (`"RX@8"`, `"SA@4:range"`, once
+/// [`install_sharding`](crate::install_sharding) ran) or directly via
+/// [`ShardedIndex::build`] / [`ShardedIndex::build_mixed`].
+pub struct ShardedIndex {
+    label: String,
+    router: Box<dyn KeyRouter>,
+    shards: Vec<Shard>,
+    capabilities: Capabilities,
+    has_values: bool,
+    build_metrics: IndexBuildMetrics,
+    /// Next global rowID handed to an insert (u64 so the overflow check is
+    /// trivial; valid rowIDs stay below [`MISS`]).
+    next_row: u64,
+}
+
+impl std::fmt::Debug for ShardedIndex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedIndex")
+            .field("label", &self.label)
+            .field("shards", &self.shards.len())
+            .field("key_count", &self.key_count())
+            .field("capabilities", &self.capabilities)
+            .finish()
+    }
+}
+
+/// Routes every `(key, value)` of the build column to its shard, keeping
+/// the global row order within each shard.
+struct BuildScatter {
+    keys: Vec<Vec<u64>>,
+    values: Option<Vec<Vec<u64>>>,
+    assigned: Vec<Vec<(u64, u32)>>,
+}
+
+fn scatter_build_columns(router: &dyn KeyRouter, spec: &IndexSpec<'_>) -> BuildScatter {
+    let shards = router.shard_count();
+    let mut scatter = BuildScatter {
+        keys: vec![Vec::new(); shards],
+        values: spec.values().map(|_| vec![Vec::new(); shards]),
+        assigned: vec![Vec::new(); shards],
+    };
+    for (row, &key) in spec.keys.iter().enumerate() {
+        let s = router.shard_of_point(key);
+        scatter.keys[s].push(key);
+        if let (Some(per_shard), Some(values)) = (&mut scatter.values, spec.values()) {
+            per_shard[s].push(values[row]);
+        }
+        scatter.assigned[s].push((key, row as u32));
+    }
+    scatter
+}
+
+fn and_capabilities(a: Capabilities, b: Capabilities) -> Capabilities {
+    Capabilities {
+        range_lookups: a.range_lookups && b.range_lookups,
+        duplicate_keys: a.duplicate_keys && b.duplicate_keys,
+        full_64bit_keys: a.full_64bit_keys && b.full_64bit_keys,
+        updates: a.updates && b.updates,
+    }
+}
+
+impl ShardedIndex {
+    /// Builds a homogeneous sharded backend for `spec` (one
+    /// `spec.backend` instance per shard) over the columns of `index`.
+    pub fn build(
+        registry: &Registry,
+        spec: &ShardSpec,
+        index: &IndexSpec<'_>,
+    ) -> Result<Self, IndexError> {
+        let backends = vec![spec.backend.as_str(); spec.shards];
+        Self::build_inner(
+            registry,
+            &backends,
+            spec.partitioning,
+            spec.name(),
+            index,
+            false,
+        )
+    }
+
+    /// Builds a sharded backend whose shards are all updatable (so the
+    /// result implements the update operations of [`UpdatableIndex`] by
+    /// routing them through the same partitioner as the lookups).
+    pub fn build_updatable(
+        registry: &Registry,
+        spec: &ShardSpec,
+        index: &IndexSpec<'_>,
+    ) -> Result<Self, IndexError> {
+        let backends = vec![spec.backend.as_str(); spec.shards];
+        Self::build_inner(
+            registry,
+            &backends,
+            spec.partitioning,
+            spec.name(),
+            index,
+            true,
+        )
+    }
+
+    /// Builds a sharded backend running a *different* backend per shard
+    /// (one registry name per shard) — e.g. the hot hash-owned shards on
+    /// `"HT"` and the rest on `"RX"`. Capabilities are the intersection of
+    /// the shards' capabilities.
+    pub fn build_mixed(
+        registry: &Registry,
+        backends: &[&str],
+        partitioning: Partitioning,
+        index: &IndexSpec<'_>,
+    ) -> Result<Self, IndexError> {
+        let label = format!(
+            "{}@{}:{}",
+            backends.join("+"),
+            backends.len(),
+            partitioning.name()
+        );
+        Self::build_inner(registry, backends, partitioning, label, index, false)
+    }
+
+    fn build_inner(
+        registry: &Registry,
+        backends: &[&str],
+        partitioning: Partitioning,
+        label: String,
+        index: &IndexSpec<'_>,
+        updatable: bool,
+    ) -> Result<Self, IndexError> {
+        if backends.is_empty() {
+            return Err(IndexError::Backend {
+                backend: label,
+                message: "shard count must be at least 1".to_string(),
+            });
+        }
+        if index.keys.len() as u64 >= MISS as u64 {
+            return Err(IndexError::CapacityOverflow {
+                backend: label,
+                keys: index.keys.len(),
+                limit: MISS as u64 - 1,
+            });
+        }
+
+        let router: Box<dyn KeyRouter> = match partitioning {
+            Partitioning::Hash => Box::new(HashPartitioner::new(backends.len())),
+            Partitioning::Range => {
+                Box::new(RangePartitioner::from_keys(index.keys, backends.len()))
+            }
+        };
+
+        let start = Instant::now();
+        let scatter = scatter_build_columns(router.as_ref(), index);
+        let values_per_shard: Vec<Option<Vec<u64>>> = match scatter.values {
+            Some(v) => v.into_iter().map(Some).collect(),
+            None => vec![None; backends.len()],
+        };
+        let shard_inputs: Vec<(Vec<u64>, Option<Vec<u64>>)> =
+            scatter.keys.into_iter().zip(values_per_shard).collect();
+
+        // Build every inner backend in parallel on the worker pool; each
+        // build allocates against (and is profiled by) the shared device.
+        let built: Vec<Result<ShardBackend, IndexError>> =
+            parallel_map(shard_inputs, |s, (keys, values)| {
+                let spec = IndexSpec {
+                    device: index.device,
+                    keys: &keys,
+                    values: values.map(Arc::from),
+                };
+                if updatable {
+                    registry
+                        .build_updatable(backends[s], &spec)
+                        .map(ShardBackend::Write)
+                } else {
+                    registry.build(backends[s], &spec).map(ShardBackend::Read)
+                }
+            });
+
+        let mut shards = Vec::with_capacity(built.len());
+        for (backend, assigned) in built.into_iter().zip(scatter.assigned) {
+            shards.push(Shard {
+                backend: backend?,
+                rows: ShardRows::new(assigned),
+            });
+        }
+
+        let capabilities = shards
+            .iter()
+            .map(|s| s.backend.read().capabilities())
+            .reduce(and_capabilities)
+            .map(|caps| Capabilities {
+                updates: caps.updates && updatable,
+                ..caps
+            })
+            .expect("at least one shard");
+        let build_metrics = IndexBuildMetrics {
+            simulated_time_s: shards
+                .iter()
+                .map(|s| s.backend.read().build_metrics().simulated_time_s)
+                .sum(),
+            host_time: start.elapsed(),
+            scratch_bytes: shards
+                .iter()
+                .map(|s| s.backend.read().build_metrics().scratch_bytes)
+                .sum(),
+        };
+
+        Ok(ShardedIndex {
+            label,
+            router,
+            shards,
+            capabilities,
+            has_values: index.values.is_some(),
+            build_metrics,
+            next_row: index.keys.len() as u64,
+        })
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Per-shard `(backend name, live key count, memory bytes)` — the
+    /// balance view a service operator would watch.
+    pub fn shard_stats(&self) -> Vec<(String, usize, u64)> {
+        self.shards
+            .iter()
+            .map(|s| {
+                let ix = s.backend.read();
+                (ix.name().to_string(), ix.key_count(), ix.memory_bytes())
+            })
+            .collect()
+    }
+
+    /// The key router distributing lookups and updates over the shards.
+    pub fn router(&self) -> &dyn KeyRouter {
+        self.router.as_ref()
+    }
+
+    fn writable(&self) -> Result<(), IndexError> {
+        if self
+            .shards
+            .iter()
+            .any(|s| matches!(s.backend, ShardBackend::Read(_)))
+        {
+            return Err(IndexError::UnsupportedOperation {
+                backend: self.label.clone(),
+                operation: "updates",
+            });
+        }
+        Ok(())
+    }
+
+    /// Routes an update batch's keys (and optional values/global rows) to
+    /// their owning shards, preserving batch order within each shard.
+    fn route_update(
+        &mut self,
+        keys: &[u64],
+        values: Option<&[u64]>,
+        assign_rows: bool,
+    ) -> Result<Vec<UpdateRoute>, IndexError> {
+        if assign_rows && self.next_row + keys.len() as u64 >= MISS as u64 {
+            return Err(IndexError::CapacityOverflow {
+                backend: self.label.clone(),
+                keys: keys.len(),
+                limit: (MISS as u64 - 1).saturating_sub(self.next_row),
+            });
+        }
+        let mut routes: Vec<UpdateRoute> = (0..self.shards.len())
+            .map(|_| UpdateRoute::default())
+            .collect();
+        for (i, &key) in keys.iter().enumerate() {
+            let route = &mut routes[self.router.shard_of_point(key)];
+            route.keys.push(key);
+            if let Some(values) = values {
+                route.values.push(values[i]);
+            }
+            if assign_rows {
+                route.globals.push(self.next_row as u32);
+                self.next_row += 1;
+            }
+        }
+        Ok(routes)
+    }
+
+    /// Applies one routed update operation to every shard in parallel and
+    /// merges the per-shard reports.
+    fn apply_update<F>(
+        &mut self,
+        routes: Vec<UpdateRoute>,
+        apply: F,
+    ) -> Result<UpdateReport, IndexError>
+    where
+        F: Fn(
+                &mut dyn UpdatableIndex,
+                &mut ShardRows,
+                UpdateRoute,
+            ) -> Result<UpdateReport, IndexError>
+            + Sync,
+    {
+        let work: Vec<(&mut Shard, UpdateRoute)> = self.shards.iter_mut().zip(routes).collect();
+        let reports = parallel_map(work, |_, (shard, route)| {
+            if route.keys.is_empty() {
+                return Ok(UpdateReport::default());
+            }
+            let writer = shard.backend.write().expect("writability checked");
+            apply(writer, &mut shard.rows, route)
+        });
+        let mut merged = UpdateReport::default();
+        for report in reports {
+            let report = report?;
+            merged.inserted_rows += report.inserted_rows;
+            merged.deleted_rows += report.deleted_rows;
+            merged.simulated_time_s += report.simulated_time_s;
+            merged.reorganisations += report.reorganisations;
+        }
+        Ok(merged)
+    }
+
+    fn check_value_batch(&self, keys: &[u64], values: &[u64]) -> Result<(), IndexError> {
+        if keys.len() != values.len() {
+            return Err(IndexError::ValueColumnLengthMismatch {
+                expected: keys.len(),
+                actual: values.len(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// One shard's slice of an update batch, in batch order.
+#[derive(Default)]
+struct UpdateRoute {
+    keys: Vec<u64>,
+    values: Vec<u64>,
+    globals: Vec<u32>,
+}
+
+impl SecondaryIndex for ShardedIndex {
+    fn name(&self) -> &str {
+        &self.label
+    }
+
+    fn key_count(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.backend.read().key_count())
+            .sum()
+    }
+
+    fn memory_bytes(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.backend.read().memory_bytes())
+            .sum()
+    }
+
+    fn build_metrics(&self) -> IndexBuildMetrics {
+        self.build_metrics
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        self.capabilities
+    }
+
+    fn has_value_column(&self) -> bool {
+        self.has_values
+    }
+
+    fn point_chunk(&self, queries: &[u64], fetch_values: bool) -> Result<BatchOutcome, IndexError> {
+        self.execute(&QueryBatch::of_points(queries).fetch_values(fetch_values))
+    }
+
+    fn range_chunk(
+        &self,
+        ranges: &[(u64, u64)],
+        fetch_values: bool,
+    ) -> Result<BatchOutcome, IndexError> {
+        self.execute(&QueryBatch::of_ranges(ranges).fetch_values(fetch_values))
+    }
+
+    /// Scatter/gather execution: the batch is planned into per-shard
+    /// sub-batches which run concurrently on the worker pool; outcomes are
+    /// translated to global rowIDs and gathered back into submission order
+    /// with merged metrics. Results are identical to executing the batch on
+    /// the equivalent unsharded backend.
+    fn execute(&self, batch: &QueryBatch) -> Result<QueryOutcome, IndexError> {
+        if batch.fetches_values() && !self.has_values {
+            return Err(IndexError::NoValueColumn {
+                backend: self.label.clone(),
+            });
+        }
+        if batch.range_count() > 0 && !self.capabilities.range_lookups {
+            return Err(IndexError::UnsupportedOperation {
+                backend: self.label.clone(),
+                operation: "range lookups",
+            });
+        }
+
+        let plan = ScatterPlan::plan(batch, self.router.as_ref());
+        let outcomes = parallel_tasks(self.shards.len(), |s| {
+            let sub = &plan.sub_batches()[s];
+            if sub.is_empty() {
+                return Ok(QueryOutcome::default());
+            }
+            let shard = &self.shards[s];
+            shard
+                .backend
+                .read()
+                .execute(sub)
+                .map(|out| shard.translate(out))
+        });
+        let mut gathered = Vec::with_capacity(outcomes.len());
+        for outcome in outcomes {
+            gathered.push(outcome?);
+        }
+        Ok(plan.gather(gathered))
+    }
+}
+
+/// Routed updates: each batch is split by the partitioner and applied to
+/// the owning shards concurrently, with global rowIDs assigned in batch
+/// order and the per-shard reports merged.
+///
+/// **Atomicity caveat:** unlike a monolithic backend — which validates a
+/// batch up front and leaves the index untouched on error — a sharded
+/// update is *not* atomic across shards. If one shard's sub-batch fails,
+/// sub-batches already applied to other shards stay applied (and the
+/// global rowIDs planned for the failing shard stay consumed, leaving
+/// harmless holes in the monotonic row space). Callers that need
+/// all-or-nothing semantics must validate batches against the inner
+/// backend's constraints before submitting, exactly as a distributed
+/// store would.
+impl UpdatableIndex for ShardedIndex {
+    fn insert(&mut self, keys: &[u64], values: &[u64]) -> Result<UpdateReport, IndexError> {
+        self.writable()?;
+        self.check_value_batch(keys, values)?;
+        let routes = self.route_update(keys, Some(values), true)?;
+        self.apply_update(routes, |writer, rows, route| {
+            let report = writer.insert(&route.keys, &route.values)?;
+            rows.append(&route.keys, &route.globals);
+            if report.reorganisations > 0 {
+                rows.compact();
+            }
+            Ok(report)
+        })
+    }
+
+    fn delete(&mut self, keys: &[u64]) -> Result<UpdateReport, IndexError> {
+        self.writable()?;
+        let routes = self.route_update(keys, None, false)?;
+        self.apply_update(routes, |writer, rows, route| {
+            let report = writer.delete(&route.keys)?;
+            rows.delete(&route.keys.iter().copied().collect());
+            if report.reorganisations > 0 {
+                rows.compact();
+            }
+            Ok(report)
+        })
+    }
+
+    fn upsert(&mut self, keys: &[u64], values: &[u64]) -> Result<UpdateReport, IndexError> {
+        self.writable()?;
+        self.check_value_batch(keys, values)?;
+        let routes = self.route_update(keys, Some(values), true)?;
+        self.apply_update(routes, |writer, rows, route| {
+            let report = writer.upsert(&route.keys, &route.values)?;
+            // Mirror the documented upsert semantics: every existing row of
+            // the keys dies, then one fresh row per pair appends in batch
+            // order.
+            rows.delete(&route.keys.iter().copied().collect());
+            rows.append(&route.keys, &route.globals);
+            if report.reorganisations > 0 {
+                rows.compact();
+            }
+            Ok(report)
+        })
+    }
+}

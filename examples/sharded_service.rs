@@ -1,0 +1,94 @@
+//! Sharded service: run any backend partitioned over N shards, serve mixed
+//! batches scattered across the worker pool, and take writes routed through
+//! the same partitioner — all by just appending `@N` to the backend name.
+//!
+//! Run with: `cargo run --release --example sharded_service`
+//! Pin the worker pool with e.g. `RTX_WORKERS=8` for reproducible timings.
+
+use rtindex::{registry, Device, IndexSpec, QueryBatch, SecondaryIndex};
+
+fn main() {
+    let device = Device::default_eval();
+    let registry = registry();
+
+    // A secondary index over one million-ish rows (scaled down so the
+    // example runs in moments): key = order id bucket, value = cents.
+    let n: u64 = 200_000;
+    let keys: Vec<u64> = (0..n).map(|i| (i * 2_654_435_761) % n).collect();
+    let values: Vec<u64> = keys.iter().map(|k| k * 3 + 7).collect();
+    let spec = IndexSpec::with_values(&device, &keys, &values);
+
+    // The service's read traffic: one submission mixing point lookups and
+    // range scans, fetching the value column.
+    let batch = QueryBatch::new()
+        .points((0..2_000).map(|i| (i * 97) % (n + 50)))
+        .ranges((0..200).map(|i| (i * 631 % n, i * 631 % n + 40)))
+        .fetch_values(true);
+
+    // Shard-count sweep on the raytracing backend, hash-partitioned:
+    // `"RX@4"` builds four RX shards in parallel and scatters every batch
+    // across them. Results are identical at every shard count.
+    println!(
+        "workers: {}, batch: {} ops",
+        rtindex::gpu_device::worker_count(),
+        batch.len()
+    );
+    let mut reference_hits = None;
+    for name in ["RX@1", "RX@2", "RX@4", "RX@8"] {
+        let index = registry.build(name, &spec).expect("sharded build");
+        // Time the whole call: the outcome's merged host_time sums the
+        // per-shard kernel times, which hides the parallel win.
+        let started = std::time::Instant::now();
+        let out = index.execute(&batch).expect("mixed batch");
+        let batch_ms = started.elapsed().as_secs_f64() * 1e3;
+        let hits = out.hit_count();
+        assert_eq!(*reference_hits.get_or_insert(hits), hits, "{name}");
+        println!(
+            "{name:>6}: build {:>7.1} ms (host, parallel), batch {batch_ms:>7.1} ms host / {:.3} ms simulated, {hits} hits",
+            index.build_metrics().host_time.as_secs_f64() * 1e3,
+            out.sim_ms(),
+        );
+    }
+
+    // Range partitioning keeps the key order: range lookups split at the
+    // shard boundaries instead of broadcasting. Watch the shard balance the
+    // way a service operator would.
+    let sharded =
+        rtindex::ShardedIndex::build(&registry, &rtindex::ShardSpec::range("SA", 4), &spec)
+            .expect("range-partitioned build");
+    println!("\n{} shard balance:", sharded.name());
+    for (name, keys, bytes) in sharded.shard_stats() {
+        println!("  {name:>4}: {keys:>7} keys, {bytes:>9} B");
+    }
+
+    // Writes route through the same partitioner: an updatable sharded
+    // backend ("RXD@4") takes batched inserts/deletes/upserts and stays
+    // consistent with the reads.
+    let mut store = registry
+        .build_updatable("RXD@4", &spec)
+        .expect("updatable sharded build");
+    let fresh: Vec<u64> = (n..n + 1_000).collect();
+    let fresh_values: Vec<u64> = fresh.iter().map(|k| k + 1).collect();
+    let report = store.insert(&fresh, &fresh_values).expect("insert");
+    println!(
+        "\nRXD@4: inserted {} rows in {:.3} simulated ms",
+        report.inserted_rows,
+        report.simulated_time_s * 1e3
+    );
+    let report = store.delete(&fresh[..500]).expect("delete");
+    println!("RXD@4: deleted {} rows", report.deleted_rows);
+    let out = store
+        .execute(
+            &QueryBatch::new()
+                .point(fresh[0]) // deleted again
+                .point(fresh[500]) // still live
+                .range(n, n + 999)
+                .fetch_values(true),
+        )
+        .expect("post-update batch");
+    assert!(!out.results[0].is_hit() && out.results[1].is_hit());
+    println!(
+        "RXD@4: range over the fresh keys finds {} live rows (value sum {})",
+        out.results[2].hit_count, out.results[2].value_sum
+    );
+}

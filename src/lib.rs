@@ -55,7 +55,30 @@
 //! | [`rtx_delta`] | dynamic updates: delta buffer, tombstones, auto-compaction |
 //! | [`gpu_baselines`] | the HT / B+ / SA baselines and the radix sort |
 //! | [`rtx_workloads`] | workload generators and ground-truth oracles |
+//! | [`rtx_shard`] | the sharded execution layer: partition any backend, scatter/gather batches |
 //! | [`rtx_harness`] | the experiment harness reproducing every table and figure |
+//!
+//! ## Sharding
+//!
+//! Append `@N` (optionally `:hash` / `:range`) to any backend name and the
+//! registry builds it partitioned over `N` shards, with mixed batches
+//! scattered across the worker pool and gathered back in submission order —
+//! same results, parallel execution:
+//!
+//! ```
+//! use rtindex::{registry, Device, IndexSpec, QueryBatch};
+//!
+//! let device = Device::default_eval();
+//! let keys: Vec<u64> = (0..4096).collect();
+//! let sharded = registry()
+//!     .build("RX@4", &IndexSpec::keys_only(&device, &keys))
+//!     .unwrap();
+//! let out = sharded
+//!     .execute(&QueryBatch::new().point(77).range(1000, 1099))
+//!     .unwrap();
+//! assert_eq!(out.results[0].first_row, 77);
+//! assert_eq!(out.results[1].hit_count, 100);
+//! ```
 //!
 //! ## Dynamic updates
 //!
@@ -88,6 +111,7 @@ pub use rtx_delta;
 pub use rtx_harness;
 pub use rtx_math;
 pub use rtx_query;
+pub use rtx_shard;
 pub use rtx_workloads;
 
 // The most commonly used items, flattened for convenience.
@@ -102,9 +126,10 @@ pub use rtx_delta::{
 };
 pub use rtx_harness::registry;
 pub use rtx_query::{
-    Capabilities, IndexError, IndexSpec, QueryBatch, QueryOutcome, Registry, SecondaryIndex,
-    UpdatableIndex,
+    Capabilities, IndexError, IndexSpec, Partitioning, QueryBatch, QueryOutcome, Registry,
+    SecondaryIndex, ShardSpec, UpdatableIndex,
 };
+pub use rtx_shard::{install_sharding, HashPartitioner, RangePartitioner, ShardedIndex};
 
 #[cfg(test)]
 mod tests {

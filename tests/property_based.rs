@@ -2,8 +2,13 @@
 //! against the scan oracle, across the public API.
 
 use proptest::prelude::*;
-use rtindex::rtx_delta::CompactionPolicy;
-use rtindex::{Device, DynamicRtConfig, DynamicRtIndex, KeyMode, RtIndex, RtIndexConfig, MISS};
+use rtindex::gpu_baselines::register_baselines;
+use rtindex::rtindex_core::register_rx;
+use rtindex::rtx_delta::{register_dynamic, CompactionPolicy};
+use rtindex::{
+    install_sharding, Device, DynamicRtConfig, DynamicRtIndex, IndexSpec, KeyMode, QueryBatch,
+    Registry, RtIndex, RtIndexConfig, MISS,
+};
 use rtx_workloads::truth::DynamicOracle;
 use rtx_workloads::GroundTruth;
 
@@ -211,5 +216,105 @@ proptest! {
         let dynamic_out = index.point_lookup_batch(&queries).unwrap();
         let fresh_out = fresh.point_lookup_batch(&queries, Some(&live_values)).unwrap();
         prop_assert_eq!(&dynamic_out.results, &fresh_out.results);
+    }
+}
+
+/// Every backend plus the sharding layer, with the dynamic backend's
+/// auto-compaction off: a compaction renumbers the monolithic backend's
+/// rowIDs globally while sharded wrappers keep their stable numbering, so
+/// exact result identity is defined on the compaction-free schedule (counts
+/// and sums stay identical regardless — `rtx-shard`'s own tests cover the
+/// compacting case against the oracle).
+fn sharding_registry() -> Registry {
+    let mut registry = Registry::new();
+    register_baselines(&mut registry);
+    register_rx(&mut registry, RtIndexConfig::default());
+    register_dynamic(
+        &mut registry,
+        DynamicRtConfig::default().with_policy(CompactionPolicy::never()),
+    );
+    install_sharding(&mut registry);
+    registry
+}
+
+/// The partitioner/shard-count grid of the sharded-equivalence properties.
+const SHARD_GRID: [&str; 6] = ["1", "2", "7", "1:range", "2:range", "7:range"];
+
+/// A mixed batch (points, ranges, an inverted range, value fetch) over the
+/// generated workload.
+fn sharded_probe_batch(points: &[u64], ranges: &[(u64, u64)]) -> QueryBatch {
+    QueryBatch::new()
+        .points(points.iter().copied())
+        .ranges(ranges.iter().copied())
+        .range(500, 100) // inverted: empty on every backend
+        .fetch_values(true)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// A sharded backend answers random mixed batches exactly like its
+    /// unsharded counterpart — both partitioners, shard counts 1, 2 and 7,
+    /// global rowIDs included.
+    #[test]
+    fn prop_sharded_equals_unsharded_on_mixed_batches(
+        keys in prop::collection::vec(0u64..800, 1..150),
+        points in prop::collection::vec(0u64..900, 1..80),
+        ranges in prop::collection::vec((0u64..900, 0u64..60), 1..25),
+    ) {
+        let device = Device::default_eval();
+        let registry = sharding_registry();
+        let values: Vec<u64> = (0..keys.len() as u64).map(|i| i * 7 + 1).collect();
+        let spec = IndexSpec::with_values(&device, &keys, &values);
+        let ranges: Vec<(u64, u64)> = ranges.into_iter().map(|(l, w)| (l, l + w)).collect();
+        let batch = sharded_probe_batch(&points, &ranges);
+
+        let baseline = registry.build("SA", &spec).unwrap();
+        let expected = baseline.execute(&batch).unwrap();
+        for grid in SHARD_GRID {
+            let name = format!("SA@{grid}");
+            let sharded = registry.build(&name, &spec).unwrap();
+            let out = sharded.execute(&batch).unwrap();
+            prop_assert_eq!(&out.results, &expected.results, "{}", name);
+        }
+    }
+
+    /// The same equivalence holds for the updatable backend *after* routed
+    /// insert/delete/upsert batches: the sharded RXD and the monolithic RXD
+    /// stay result-identical (compaction disabled; see `sharding_registry`).
+    #[test]
+    fn prop_sharded_rxd_updates_match_unsharded(
+        keys in prop::collection::vec(0u64..400, 1..100),
+        inserts in prop::collection::vec(400u64..600, 0..50),
+        deletes in prop::collection::vec(0u64..620, 0..50),
+        upserts in prop::collection::vec(0u64..650, 0..40),
+        points in prop::collection::vec(0u64..700, 1..60),
+        ranges in prop::collection::vec((0u64..700, 0u64..50), 1..15),
+    ) {
+        let device = Device::default_eval();
+        let registry = sharding_registry();
+        let values: Vec<u64> = (0..keys.len() as u64).map(|i| i + 1).collect();
+        let spec = IndexSpec::with_values(&device, &keys, &values);
+        let insert_values: Vec<u64> = (0..inserts.len() as u64).map(|i| 7000 + i).collect();
+        let upsert_values: Vec<u64> = (0..upserts.len() as u64).map(|i| 9000 + i).collect();
+        let ranges: Vec<(u64, u64)> = ranges.into_iter().map(|(l, w)| (l, l + w)).collect();
+        let batch = sharded_probe_batch(&points, &ranges);
+
+        let mut baseline = registry.build_updatable("RXD", &spec).unwrap();
+        baseline.insert(&inserts, &insert_values).unwrap();
+        baseline.delete(&deletes).unwrap();
+        baseline.upsert(&upserts, &upsert_values).unwrap();
+        let expected = baseline.execute(&batch).unwrap();
+
+        for grid in SHARD_GRID {
+            let name = format!("RXD@{grid}");
+            let mut sharded = registry.build_updatable(&name, &spec).unwrap();
+            let ins = sharded.insert(&inserts, &insert_values).unwrap();
+            prop_assert_eq!(ins.inserted_rows, inserts.len(), "{}", &name);
+            sharded.delete(&deletes).unwrap();
+            sharded.upsert(&upserts, &upsert_values).unwrap();
+            let out = sharded.execute(&batch).unwrap();
+            prop_assert_eq!(&out.results, &expected.results, "{}", &name);
+        }
     }
 }

@@ -1,17 +1,24 @@
 //! Trait-conformance suite: one parameterized oracle check run against all
-//! five backends through the registry.
+//! five backends — and sharded variants of them — through the registry.
 //!
 //! Every backend that accepts a key set must answer the *same* submissions
 //! with the *same* results: homogeneous point batches, homogeneous range
 //! batches, a single mixed batch (points + ranges + value fetch), chunked
-//! execution, duplicate keys and misses. Backends that reject a key set
-//! must do so via `IndexError::UnsupportedKeySet` (B+ on duplicates and
-//! 64-bit keys), and backends without range support must fail range
-//! submissions uniformly (HT).
+//! execution, duplicate keys, misses and inverted ranges (uniformly empty).
+//! Backends that reject a key set must do so via
+//! `IndexError::UnsupportedKeySet` (B+ on duplicates and 64-bit keys, plain
+//! or sharded), and backends without range support must fail range
+//! submissions uniformly (HT, plain or sharded).
 
 use rtindex::{registry, Device, IndexError, IndexSpec, QueryBatch, SecondaryIndex};
 use rtx_workloads as wl;
 use rtx_workloads::GroundTruth;
+
+/// Sharded variants checked alongside the five plain backends: both
+/// partitioners, shard counts above and below the worker count, every
+/// backend family (the RXD variant goes through the updatable build path
+/// elsewhere; here it serves reads).
+const SHARDED_BACKENDS: [&str; 5] = ["RX@3", "HT@2", "B+@2", "SA@4:range", "RXD@2:range"];
 
 /// Key-set shapes the paper evaluates, as (name, keys) pairs.
 fn key_sets() -> Vec<(&'static str, Vec<u64>)> {
@@ -37,7 +44,8 @@ fn sample_points(keys: &[u64], count: usize, hit_rate: f64, seed: u64) -> Vec<u6
     }
 }
 
-/// A mixed batch over the key domain: hits, misses, narrow and wide ranges.
+/// A mixed batch over the key domain: hits, misses, narrow and wide ranges,
+/// plus an inverted range (uniform empty-result semantics).
 fn mixed_batch(keys: &[u64], seed: u64, fetch: bool) -> QueryBatch {
     let domain = keys.iter().copied().max().unwrap_or(0);
     let points = sample_points(keys, 200, 0.7, seed);
@@ -51,6 +59,7 @@ fn mixed_batch(keys: &[u64], seed: u64, fetch: bool) -> QueryBatch {
         .points(points)
         .ranges(ranges)
         .point(domain.wrapping_add(12345)) // guaranteed miss
+        .range(domain / 2 + 9, domain / 2) // inverted: empty everywhere
         .fetch_values(fetch)
 }
 
@@ -73,12 +82,15 @@ fn conformance_check(set_name: &str, keys: &[u64], ix: &dyn SecondaryIndex, trut
     let unfetched = ix.execute(&QueryBatch::of_points(&queries)).unwrap();
     assert_eq!(unfetched.total_value_sum(), 0, "{label}: no-fetch sums");
 
-    // The mixed submission: identical answers in submission order, and
-    // chunked execution must change nothing but the launch count.
+    // The mixed submission: identical answers in submission order, the
+    // inverted range empty, and chunked execution must change nothing but
+    // the launch count.
     let mixed = mixed_batch(keys, 8, true);
     if ix.capabilities().range_lookups {
         let out = ix.execute(&mixed).expect("mixed batch");
         assert_eq!(out.results, truth.expected_batch(&mixed), "{label}: mixed");
+        let inverted = out.results.last().expect("non-empty batch");
+        assert!(!inverted.is_hit(), "{label}: inverted range must be empty");
 
         let chunked = ix.execute(&mixed.clone().with_chunk_size(17)).unwrap();
         assert_eq!(chunked.results, out.results, "{label}: chunked == whole");
@@ -101,6 +113,7 @@ fn all_backends_agree_with_the_oracle_on_every_key_set() {
     let device = Device::default_eval();
     let registry = registry();
     assert_eq!(registry.backends(), vec!["B+", "HT", "RX", "RXD", "SA"]);
+    assert!(registry.supports_sharding());
 
     for (set_name, keys) in key_sets() {
         let values = wl::value_column(keys.len(), 42);
@@ -115,8 +128,15 @@ fn all_backends_agree_with_the_oracle_on_every_key_set() {
         let has_64bit = keys.iter().any(|&k| k > u32::MAX as u64);
 
         let mut served = 0;
-        for name in registry.backends() {
-            match registry.build(name, &spec) {
+        let all_names = registry
+            .backends()
+            .into_iter()
+            .map(str::to_string)
+            .chain(SHARDED_BACKENDS.iter().map(|s| s.to_string()));
+        let mut attempted = 0;
+        for name in all_names {
+            attempted += 1;
+            match registry.build(&name, &spec) {
                 Ok(ix) => {
                     served += 1;
                     conformance_check(set_name, &keys, ix.as_ref(), &truth);
@@ -126,7 +146,10 @@ fn all_backends_agree_with_the_oracle_on_every_key_set() {
                         err.is_unsupported_key_set(),
                         "{name} on {set_name}: build may only fail as unsupported, got {err}"
                     );
-                    assert_eq!(name, "B+", "{set_name}: only B+ restricts key sets");
+                    assert!(
+                        name.starts_with("B+"),
+                        "{set_name}: only B+ (plain or sharded) restricts key sets"
+                    );
                     assert!(
                         has_duplicates || has_64bit,
                         "{set_name}: B+ rejection needs a reason"
@@ -134,7 +157,8 @@ fn all_backends_agree_with_the_oracle_on_every_key_set() {
                 }
             }
         }
-        let expected = if has_duplicates || has_64bit { 4 } else { 5 };
+        assert_eq!(attempted, 10, "{set_name}: five plain + five sharded");
+        let expected = if has_duplicates || has_64bit { 8 } else { 10 };
         assert_eq!(served, expected, "{set_name}: backend coverage");
     }
 }
@@ -147,18 +171,21 @@ fn updatable_backend_is_also_reachable_through_the_registry() {
 
     let keys = wl::dense_shuffled(512, 9);
     let values = wl::value_column(512, 10);
-    let mut ix = registry
-        .build_updatable("RXD", &IndexSpec::with_values(&device, &keys, &values))
-        .unwrap();
-    assert!(ix.capabilities().updates);
+    // The plain updatable backend and its sharded variants behave alike.
+    for name in ["RXD", "RXD@3", "RXD@2:range"] {
+        let mut ix = registry
+            .build_updatable(name, &IndexSpec::with_values(&device, &keys, &values))
+            .unwrap();
+        assert!(ix.capabilities().updates, "{name}");
 
-    // A write followed by a mixed read, all through trait objects.
-    ix.upsert(&[7, 8], &[700, 800]).unwrap();
-    let out = ix
-        .execute(&QueryBatch::new().point(7).range(7, 8).fetch_values(true))
-        .unwrap();
-    assert_eq!(out.results[0].value_sum, 700);
-    assert_eq!(out.results[1].value_sum, 1500);
+        // A write followed by a mixed read, all through trait objects.
+        ix.upsert(&[7, 8], &[700, 800]).unwrap();
+        let out = ix
+            .execute(&QueryBatch::new().point(7).range(7, 8).fetch_values(true))
+            .unwrap();
+        assert_eq!(out.results[0].value_sum, 700, "{name}");
+        assert_eq!(out.results[1].value_sum, 1500, "{name}");
+    }
 
     // The read-only path hands out the same backend.
     let ro = registry
