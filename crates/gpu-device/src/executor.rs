@@ -81,16 +81,16 @@ const DEFAULT_WORKER_CAP: usize = 16;
 ///
 /// Defaults to the machine's available parallelism capped at 16; the
 /// logical-thread semantics do not depend on this number. The `RTX_WORKERS`
-/// environment variable overrides the detected value (clamped to
-/// `1..=64`), which keeps benchmark and CI runs reproducible on
-/// heterogeneous hosts — set `RTX_WORKERS=1` for fully serial execution.
-/// Invalid or empty values fall back to the detected default.
+/// environment variable overrides the detected value, clamped to `1..=64` —
+/// `RTX_WORKERS=0` clamps *up* to 1 (fully serial) rather than configuring a
+/// zero-worker pool that could never drain [`parallel_tasks`]. The clamp
+/// keeps benchmark and CI runs reproducible on heterogeneous hosts; set
+/// `RTX_WORKERS=1` for fully serial execution. Non-numeric or empty values
+/// fall back to the detected default.
 pub fn worker_count() -> usize {
     if let Ok(raw) = std::env::var("RTX_WORKERS") {
         if let Ok(n) = raw.trim().parse::<usize>() {
-            if n >= 1 {
-                return n.min(MAX_WORKERS);
-            }
+            return n.clamp(1, MAX_WORKERS);
         }
     }
     std::thread::available_parallelism()
@@ -334,12 +334,16 @@ mod tests {
         assert!((1..=MAX_WORKERS).contains(&w));
     }
 
+    /// Serialises the tests that mutate `RTX_WORKERS` (process-global env).
+    static ENV_LOCK: Mutex<()> = Mutex::new(());
+
     #[test]
     fn rtx_workers_env_overrides_worker_count() {
         // Other tests in this binary never read RTX_WORKERS with a value
         // set, and every value used here stays within the documented clamp,
         // so a concurrent `worker_count` call observing the override is
         // still valid.
+        let _guard = ENV_LOCK.lock().unwrap();
         std::env::set_var("RTX_WORKERS", "3");
         assert_eq!(worker_count(), 3);
         std::env::set_var("RTX_WORKERS", "100000");
@@ -348,10 +352,23 @@ mod tests {
             std::env::remove_var("RTX_WORKERS");
             worker_count()
         };
-        for invalid in ["0", "-2", "many", ""] {
+        for invalid in ["-2", "many", ""] {
             std::env::set_var("RTX_WORKERS", invalid);
             assert_eq!(worker_count(), detected, "invalid {invalid:?} ignored");
         }
+        std::env::remove_var("RTX_WORKERS");
+    }
+
+    #[test]
+    fn rtx_workers_zero_clamps_to_one_worker() {
+        // A zero-worker pool could never drain `parallel_tasks`, so 0 must
+        // clamp up to fully serial execution instead of being honoured.
+        let _guard = ENV_LOCK.lock().unwrap();
+        std::env::set_var("RTX_WORKERS", "0");
+        assert_eq!(worker_count(), 1, "0 clamps to serial, not to a dead pool");
+        let results = parallel_tasks(64, |i| i + 1);
+        assert_eq!(results.len(), 64, "the clamped pool still drains");
+        assert!(results.iter().enumerate().all(|(i, &r)| r == i + 1));
         std::env::remove_var("RTX_WORKERS");
     }
 

@@ -1,0 +1,115 @@
+//! Service-layer benchmarks: wall-clock throughput of the coalescing
+//! multi-client service against per-batch serial submission.
+//!
+//! Each iteration pushes the same total operation volume through one
+//! `RX@4` backend, either as small batches executed one at a time (the
+//! no-service baseline) or as concurrent clients fanning into one
+//! `QueryService` whose coalescer fuses them into large submissions. On
+//! any host the coalesced path should win clearly from 8 clients up —
+//! fused batches amortise the fixed per-submission cost (scatter/gather
+//! planning and per-shard launches) that small batches pay in full. Set
+//! `RTX_WORKERS` to pin the worker pool for reproducible comparisons.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gpu_device::Device;
+use rtx_harness::experiments::service_throughput::client_batches;
+use rtx_harness::registry;
+use rtx_query::{IndexSpec, QueryBatch, SecondaryIndex};
+use rtx_serve::{QueryService, ServiceConfig};
+use rtx_workloads as wl;
+
+const KEYS: usize = 1 << 15;
+const BATCH_OPS: usize = 32;
+const BATCHES_PER_CLIENT: usize = 8;
+const CLIENT_COUNTS: [usize; 4] = [1, 4, 8, 16];
+
+fn build_backend(spec: &IndexSpec<'_>) -> Box<dyn SecondaryIndex> {
+    registry().build("RX@4", spec).expect("sharded build")
+}
+
+/// The per-client submission schedule of one iteration — the same workload
+/// shape the `service_throughput` experiment (and the CI perf gate)
+/// measures.
+fn schedule(keys: &[u64], clients: usize) -> Vec<Vec<QueryBatch>> {
+    client_batches(keys, clients, BATCH_OPS, BATCHES_PER_CLIENT, 90)
+}
+
+fn bench_serial_submission(c: &mut Criterion) {
+    let device = Device::default_eval();
+    let keys = wl::dense_shuffled(KEYS, 90);
+    let values = wl::value_column(KEYS, 91);
+    let spec = IndexSpec::with_values(&device, &keys, &values);
+    let backend = build_backend(&spec);
+
+    let mut group = c.benchmark_group("service/serial_submission");
+    for clients in CLIENT_COUNTS {
+        let batches = schedule(&keys, clients);
+        let total_ops = clients * BATCHES_PER_CLIENT * BATCH_OPS;
+        group.throughput(Throughput::Elements(total_ops as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(clients),
+            &batches,
+            |b, batches| {
+                b.iter(|| {
+                    let mut hits = 0usize;
+                    for round in 0..BATCHES_PER_CLIENT {
+                        for client in batches {
+                            hits += backend.execute(&client[round]).unwrap().hit_count();
+                        }
+                    }
+                    hits
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_coalesced_service(c: &mut Criterion) {
+    let device = Device::default_eval();
+    let keys = wl::dense_shuffled(KEYS, 90);
+    let values = wl::value_column(KEYS, 91);
+    let spec = IndexSpec::with_values(&device, &keys, &values);
+
+    let mut group = c.benchmark_group("service/coalesced");
+    for clients in CLIENT_COUNTS {
+        let service = QueryService::start(
+            build_backend(&spec),
+            ServiceConfig::new().with_linger(std::time::Duration::ZERO),
+        );
+        let batches = schedule(&keys, clients);
+        let total_ops = clients * BATCHES_PER_CLIENT * BATCH_OPS;
+        group.throughput(Throughput::Elements(total_ops as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(clients),
+            &batches,
+            |b, batches| {
+                b.iter(|| {
+                    std::thread::scope(|scope| {
+                        let workers: Vec<_> = batches
+                            .iter()
+                            .map(|client| {
+                                let handle = service.handle();
+                                scope.spawn(move || {
+                                    let mut hits = 0usize;
+                                    for batch in client {
+                                        hits += handle.query(batch.clone()).unwrap().hit_count();
+                                    }
+                                    hits
+                                })
+                            })
+                            .collect();
+                        workers
+                            .into_iter()
+                            .map(|w| w.join().unwrap())
+                            .sum::<usize>()
+                    })
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_serial_submission, bench_coalesced_service);
+criterion_main!(benches);

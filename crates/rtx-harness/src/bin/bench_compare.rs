@@ -1,0 +1,120 @@
+//! The CI perf-gate comparator: compares a perf-smoke run against the
+//! checked-in baseline and exits non-zero when a gated metric regressed.
+//!
+//! ```text
+//! bench-compare <baseline.json> <current.json> [--max-regression 0.30]
+//! ```
+//!
+//! Exit codes: 0 = gate passes, 1 = gated regression (or a gated metric
+//! silently disappeared), 2 = usage / unreadable or mismatched inputs.
+//!
+//! To re-baseline after an intentional change, regenerate the baseline with
+//! `cargo run --release -p rtx-harness --bin perf-smoke -- --scale tiny
+//! --out bench/baseline.json` and commit it (round host-relative gated
+//! values like the coalescing speedup *down* to a conservative floor —
+//! see `rtx_harness::perf`).
+
+use rtx_harness::perf::{compare, failures, BenchReport, Verdict};
+
+fn print_usage() {
+    eprintln!("usage: bench-compare <baseline.json> <current.json> [--max-regression FRACTION]");
+}
+
+fn read_report(path: &str) -> BenchReport {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(err) => {
+            eprintln!("cannot read {path}: {err}");
+            std::process::exit(2);
+        }
+    };
+    match BenchReport::from_json(&text) {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!("cannot parse {path}: {err}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths: Vec<&str> = Vec::new();
+    let mut max_regression = 0.30f64;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--max-regression" => {
+                let value = iter.next().map(String::as_str).unwrap_or("");
+                match value.parse::<f64>() {
+                    Ok(f) if (0.0..1.0).contains(&f) => max_regression = f,
+                    _ => {
+                        eprintln!("invalid --max-regression '{value}' (need a fraction in [0, 1))");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--help" | "-h" => {
+                print_usage();
+                return;
+            }
+            path => paths.push(path),
+        }
+    }
+    let [baseline_path, current_path] = paths[..] else {
+        print_usage();
+        std::process::exit(2);
+    };
+
+    let baseline = read_report(baseline_path);
+    let current = read_report(current_path);
+    if baseline.scale != current.scale {
+        eprintln!(
+            "scale mismatch: baseline ran at '{}' but current ran at '{}'",
+            baseline.scale, current.scale
+        );
+        std::process::exit(2);
+    }
+
+    let comparisons = compare(&baseline, &current, max_regression);
+    println!(
+        "perf gate @ {} (allowed regression: {:.0}%):",
+        current.scale,
+        max_regression * 100.0
+    );
+    for c in &comparisons {
+        let fmt = |v: Option<f64>| match v {
+            Some(v) => format!("{v:>12.4e}"),
+            None => format!("{:>12}", "-"),
+        };
+        let verdict = match c.verdict {
+            Verdict::Pass => "ok",
+            Verdict::Regressed => "REGRESSED",
+            Verdict::MissingCurrent => "MISSING IN CURRENT",
+            Verdict::MissingBaseline => "not in baseline (re-baseline to gate it)",
+            Verdict::Ungated => "recorded (ungated)",
+        };
+        println!(
+            "  {:<62} base {} -> cur {}  {}  {}",
+            c.key,
+            fmt(c.baseline),
+            fmt(c.current),
+            match c.ratio {
+                Some(r) => format!("{:>6.2}x", r),
+                None => format!("{:>7}", "-"),
+            },
+            verdict
+        );
+    }
+
+    let failing = failures(&comparisons);
+    if failing.is_empty() {
+        println!("perf gate: PASS");
+    } else {
+        println!(
+            "perf gate: FAIL ({} gated metric(s) regressed)",
+            failing.len()
+        );
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,100 @@
+//! The CI perf-smoke runner: runs the quick benchmark suite and writes the
+//! metrics as JSON (the `BENCH_ci.json` artifact of the CI perf gate).
+//!
+//! ```text
+//! perf-smoke [--scale tiny|small|medium|paper] [--seed N] [--out PATH]
+//! ```
+//!
+//! Without `--out` the JSON goes to stdout; the human-readable table always
+//! goes to stderr, so redirecting stdout captures clean JSON either way.
+
+use rtx_harness::perf::quick_suite;
+use rtx_harness::ExperimentScale;
+
+fn print_usage() {
+    eprintln!("usage: perf-smoke [--scale tiny|small|medium|paper] [--seed N] [--out PATH]");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = ExperimentScale::tiny();
+    // Applied after the loop so `--seed N --scale small` keeps the seed.
+    let mut seed: Option<u64> = None;
+    let mut out: Option<String> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let name = iter.next().map(String::as_str).unwrap_or("");
+                match ExperimentScale::from_name(name) {
+                    Some(s) => scale = s,
+                    None => {
+                        eprintln!("unknown scale '{name}'");
+                        print_usage();
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--seed" => {
+                let value = iter.next().map(String::as_str).unwrap_or("");
+                match value.parse::<u64>() {
+                    Ok(s) => seed = Some(s),
+                    Err(_) => {
+                        eprintln!("invalid seed '{value}'");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--out" => match iter.next() {
+                Some(path) => out = Some(path.clone()),
+                None => {
+                    eprintln!("--out needs a path");
+                    print_usage();
+                    std::process::exit(2);
+                }
+            },
+            "--help" | "-h" => {
+                print_usage();
+                return;
+            }
+            other => {
+                eprintln!("unexpected argument '{other}'");
+                print_usage();
+                std::process::exit(2);
+            }
+        }
+    }
+
+    if let Some(seed) = seed {
+        scale.seed = seed;
+    }
+
+    let report = quick_suite(&scale);
+    eprintln!(
+        "perf-smoke @ {} ({} metrics, {} gated):",
+        report.scale,
+        report.metrics.len(),
+        report.metrics.iter().filter(|m| m.gated).count()
+    );
+    for m in &report.metrics {
+        eprintln!(
+            "  {:<62} {:>12.4e} {:<7} {}",
+            m.key(),
+            m.value,
+            m.unit,
+            if m.gated { "[gated]" } else { "" }
+        );
+    }
+
+    let json = report.to_json();
+    match out {
+        Some(path) => {
+            if let Err(err) = std::fs::write(&path, &json) {
+                eprintln!("cannot write {path}: {err}");
+                std::process::exit(1);
+            }
+            eprintln!("wrote {path}");
+        }
+        None => print!("{json}"),
+    }
+}

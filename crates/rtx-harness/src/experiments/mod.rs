@@ -19,6 +19,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod service_throughput;
 pub mod shard_scaling;
 pub mod table3;
 pub mod table4;

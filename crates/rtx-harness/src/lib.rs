@@ -22,6 +22,7 @@
 pub mod experiments;
 pub mod indexes;
 pub mod nnls;
+pub mod perf;
 pub mod report;
 pub mod scale;
 
@@ -85,6 +86,7 @@ pub fn experiment_names() -> Vec<&'static str> {
         "table8",
         "update_throughput",
         "shard_scaling",
+        "service_throughput",
     ]
 }
 
@@ -118,6 +120,7 @@ pub fn run_experiment(name: &str, scale: &ExperimentScale) -> Option<Vec<Table>>
         "fig18" | "table8" => ex::fig18::run(scale),
         "update_throughput" => ex::update_throughput::run(scale),
         "shard_scaling" => ex::shard_scaling::run(scale),
+        "service_throughput" => ex::service_throughput::run(scale),
         _ => return None,
     };
     Some(tables)

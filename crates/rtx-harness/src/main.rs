@@ -25,6 +25,8 @@ fn main() {
 
     let mut experiment = None;
     let mut scale = ExperimentScale::small();
+    // Applied after the loop so `--seed N --scale small` keeps the seed.
+    let mut seed = None;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -42,7 +44,7 @@ fn main() {
             "--seed" => {
                 let value = iter.next().map(String::as_str).unwrap_or("");
                 match value.parse::<u64>() {
-                    Ok(seed) => scale.seed = seed,
+                    Ok(s) => seed = Some(s),
                     Err(_) => {
                         eprintln!("invalid seed '{value}'");
                         std::process::exit(2);
@@ -60,6 +62,10 @@ fn main() {
                 std::process::exit(2);
             }
         }
+    }
+
+    if let Some(seed) = seed {
+        scale.seed = seed;
     }
 
     let experiment = match experiment {

@@ -83,6 +83,16 @@ impl QueryBatch {
         self
     }
 
+    /// Appends every operation of `other`, preserving its order. This is the
+    /// fuse primitive of cross-client batch coalescing
+    /// ([`FusedBatch`](crate::fuse::FusedBatch)): many small submissions
+    /// concatenate into one large one. Only the operations are taken —
+    /// `other`'s value-fetch and chunk-size settings are the caller's to
+    /// reconcile.
+    pub fn append_ops(&mut self, other: &QueryBatch) {
+        self.ops.extend_from_slice(other.ops());
+    }
+
     /// Requests that every qualifying row's value be fetched and summed per
     /// operation (the paper's secondary-index methodology). Requires the
     /// index to have been built with a value column.
@@ -169,6 +179,19 @@ mod tests {
         let r = QueryBatch::of_ranges(&[(1, 2)]);
         assert_eq!(r.range_count(), 1);
         assert!(QueryBatch::new().is_empty());
+    }
+
+    #[test]
+    fn append_ops_concatenates_preserving_order_and_settings() {
+        let mut fused = QueryBatch::new().point(1).fetch_values(true);
+        fused.append_ops(&QueryBatch::new().range(2, 5).point(9).with_chunk_size(3));
+        assert_eq!(
+            fused.ops(),
+            &[QueryOp::Point(1), QueryOp::Range(2, 5), QueryOp::Point(9)]
+        );
+        // Only the operations transfer; the target's own settings stay.
+        assert!(fused.fetches_values());
+        assert_eq!(fused.chunk_size(), None);
     }
 
     #[test]

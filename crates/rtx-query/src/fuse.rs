@@ -1,0 +1,284 @@
+//! Cross-client batch fusion: many small [`QueryBatch`]es in, one large
+//! submission out, and the split that scatters the fused outcome back.
+//!
+//! The paper's index wins by amortising fixed per-launch costs over large
+//! batches, but service traffic arrives as many *small* per-client
+//! submissions. [`FusedBatch`] is the pure bookkeeping for coalescing them:
+//! it concatenates client batches while remembering each client's slice
+//! (offset, length, whether that client asked for a value fetch), exposes
+//! the fused [`QueryBatch`], and [`split`](FusedBatch::split)s the fused
+//! [`QueryOutcome`] back into one [`BatchOutcome`] per client.
+//!
+//! Fusion and splitting are deliberately free of threads and channels — the
+//! concurrent service in `rtx-serve` layers those on top — so the
+//! round-trip invariant (`split(execute(fused)) == each client executed
+//! alone`) is testable in isolation and holds on every backend.
+//!
+//! Value-fetch semantics: the fused batch requests a value fetch when *any*
+//! fused client did, and the split zeroes `value_sum` for the slices that
+//! did not ask — exactly what those clients would have received submitting
+//! alone. A caller fusing value-fetching batches must therefore ensure the
+//! backend has a value column (the service checks this at admission).
+
+use crate::batch::QueryBatch;
+use crate::types::{BatchOutcome, QueryOutcome};
+
+/// One client's slice of a [`FusedBatch`]: where its operations landed in
+/// the fused submission and what it asked for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FusedSlice {
+    /// Offset of the client's first operation in the fused batch.
+    pub offset: usize,
+    /// Number of operations the client submitted (may be 0).
+    pub len: usize,
+    /// Whether this client requested a value fetch.
+    pub fetch_values: bool,
+}
+
+/// Accumulates client [`QueryBatch`]es into one fused submission and splits
+/// the fused outcome back per client.
+///
+/// ```
+/// use rtx_query::{FusedBatch, QueryBatch};
+///
+/// let mut fusion = FusedBatch::new();
+/// let a = fusion.push(&QueryBatch::new().point(7).range(0, 9));
+/// let b = fusion.push(&QueryBatch::of_points(&[1, 2, 3]).fetch_values(true));
+/// assert_eq!((a, b), (0, 1));
+/// assert_eq!(fusion.op_count(), 5);
+/// assert!(fusion.batch().fetches_values(), "any client fetching => fused fetch");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FusedBatch {
+    batch: QueryBatch,
+    slices: Vec<FusedSlice>,
+    /// Total fused operations — survives [`take_batch`](FusedBatch::take_batch)
+    /// so a later [`split`](FusedBatch::split) can still check the outcome.
+    ops: usize,
+}
+
+impl FusedBatch {
+    /// An empty fusion.
+    pub fn new() -> Self {
+        FusedBatch::default()
+    }
+
+    /// Appends one client batch and returns its slice index (the position
+    /// its [`BatchOutcome`] will occupy in [`split`](FusedBatch::split)'s
+    /// result).
+    pub fn push(&mut self, client: &QueryBatch) -> usize {
+        let offset = self.ops;
+        self.batch.append_ops(client);
+        if client.fetches_values() && !self.batch.fetches_values() {
+            self.batch = std::mem::take(&mut self.batch).fetch_values(true);
+        }
+        self.ops += client.len();
+        self.slices.push(FusedSlice {
+            offset,
+            len: client.len(),
+            fetch_values: client.fetches_values(),
+        });
+        self.slices.len() - 1
+    }
+
+    /// Number of fused client batches.
+    pub fn client_count(&self) -> usize {
+        self.slices.len()
+    }
+
+    /// Total operations across all fused clients.
+    pub fn op_count(&self) -> usize {
+        self.ops
+    }
+
+    /// True when no client batch has been fused yet (an all-empty fusion of
+    /// zero-operation batches still counts as pushed clients).
+    pub fn is_empty(&self) -> bool {
+        self.slices.is_empty()
+    }
+
+    /// The per-client slices, in push order.
+    pub fn slices(&self) -> &[FusedSlice] {
+        &self.slices
+    }
+
+    /// The fused submission: every client's operations concatenated in push
+    /// order, fetching values when any client asked. Chunking is the
+    /// executor's policy, not the clients' — apply it via
+    /// [`QueryBatch::with_chunk_size`] after
+    /// [`take_batch`](FusedBatch::take_batch) (or on a clone of this).
+    pub fn batch(&self) -> &QueryBatch {
+        &self.batch
+    }
+
+    /// Moves the fused submission out without copying its operations (the
+    /// executor's hot path — a fusion can hold tens of thousands of
+    /// operations). The slice bookkeeping stays valid: a later
+    /// [`split`](FusedBatch::split) of the taken batch's outcome works as
+    /// before; [`batch`](FusedBatch::batch) is empty afterwards.
+    pub fn take_batch(&mut self) -> QueryBatch {
+        std::mem::take(&mut self.batch)
+    }
+
+    /// Splits the outcome of executing the fused batch back into one
+    /// [`BatchOutcome`] per client, in push order. Slices that did not
+    /// request a value fetch get their `value_sum`s zeroed (what they would
+    /// have seen submitting alone). Every per-client outcome carries the
+    /// launch metrics of the *whole* fused execution — the work was shared,
+    /// so clients observe the launches that answered them.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `outcome` does not hold one result per fused operation
+    /// (an executor bug, not a caller mistake).
+    pub fn split(&self, outcome: &QueryOutcome) -> Vec<BatchOutcome> {
+        assert_eq!(
+            outcome.results.len(),
+            self.ops,
+            "fused outcome holds {} results for {} fused operations",
+            outcome.results.len(),
+            self.ops
+        );
+        self.slices
+            .iter()
+            .map(|slice| {
+                let mut results = outcome.results[slice.offset..slice.offset + slice.len].to_vec();
+                if !slice.fetch_values {
+                    for r in &mut results {
+                        r.value_sum = 0;
+                    }
+                }
+                BatchOutcome {
+                    results,
+                    metrics: outcome.metrics.clone(),
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::QueryOp;
+    use crate::types::{LookupResult, MISS};
+
+    fn result(first_row: u32, hit_count: u32, value_sum: u64) -> LookupResult {
+        LookupResult {
+            first_row,
+            hit_count,
+            value_sum,
+        }
+    }
+
+    #[test]
+    fn fusion_concatenates_in_push_order() {
+        let mut fusion = FusedBatch::new();
+        assert!(fusion.is_empty());
+        let a = fusion.push(&QueryBatch::new().point(1).range(5, 9));
+        let b = fusion.push(&QueryBatch::new());
+        let c = fusion.push(&QueryBatch::of_points(&[7]));
+        assert_eq!((a, b, c), (0, 1, 2));
+        assert_eq!(fusion.client_count(), 3);
+        assert_eq!(fusion.op_count(), 3);
+        assert!(!fusion.is_empty());
+        assert_eq!(
+            fusion.batch().ops(),
+            &[QueryOp::Point(1), QueryOp::Range(5, 9), QueryOp::Point(7)]
+        );
+        assert_eq!(
+            fusion.slices(),
+            &[
+                FusedSlice {
+                    offset: 0,
+                    len: 2,
+                    fetch_values: false
+                },
+                FusedSlice {
+                    offset: 2,
+                    len: 0,
+                    fetch_values: false
+                },
+                FusedSlice {
+                    offset: 2,
+                    len: 1,
+                    fetch_values: false
+                },
+            ]
+        );
+        assert!(!fusion.batch().fetches_values());
+    }
+
+    #[test]
+    fn any_fetching_client_makes_the_fusion_fetch() {
+        let mut fusion = FusedBatch::new();
+        fusion.push(&QueryBatch::new().point(1));
+        assert!(!fusion.batch().fetches_values());
+        fusion.push(&QueryBatch::new().point(2).fetch_values(true));
+        fusion.push(&QueryBatch::new().point(3));
+        assert!(fusion.batch().fetches_values());
+        // The operations survived the flag change.
+        assert_eq!(fusion.op_count(), 3);
+    }
+
+    #[test]
+    fn split_scatters_results_and_strips_unrequested_value_sums() {
+        let mut fusion = FusedBatch::new();
+        fusion.push(&QueryBatch::new().point(1).point(2)); // no fetch
+        fusion.push(&QueryBatch::new()); // empty client
+        fusion.push(&QueryBatch::new().range(0, 9).fetch_values(true));
+        let outcome = QueryOutcome {
+            results: vec![result(0, 1, 10), result(MISS, 0, 0), result(2, 4, 99)],
+            metrics: optix_sim::LaunchMetrics {
+                simulated_time_s: 2.0,
+                ..Default::default()
+            },
+        };
+        let per_client = fusion.split(&outcome);
+        assert_eq!(per_client.len(), 3);
+        // Client 0 did not fetch: sums stripped, rows/counts intact.
+        assert_eq!(per_client[0].results[0], result(0, 1, 0));
+        assert_eq!(per_client[0].results[1], result(MISS, 0, 0));
+        // Client 1 submitted nothing and gets nothing.
+        assert!(per_client[1].results.is_empty());
+        // Client 2 fetched: its sum survives.
+        assert_eq!(per_client[2].results[0], result(2, 4, 99));
+        // Every client sees the shared fused launch metrics.
+        for out in &per_client {
+            assert_eq!(out.metrics.simulated_time_s, 2.0);
+        }
+    }
+
+    #[test]
+    fn take_batch_moves_ops_out_but_split_still_works() {
+        let mut fusion = FusedBatch::new();
+        fusion.push(&QueryBatch::new().point(1));
+        fusion.push(&QueryBatch::new().range(0, 9).fetch_values(true));
+        let fused = fusion.take_batch().with_chunk_size(4);
+        assert_eq!(fused.len(), 2);
+        assert!(fused.fetches_values());
+        assert!(fusion.batch().is_empty(), "the operations moved out");
+        assert_eq!(fusion.op_count(), 2, "the bookkeeping did not");
+        assert_eq!(fusion.client_count(), 2);
+
+        let outcome = QueryOutcome {
+            results: vec![result(5, 1, 50), result(0, 10, 99)],
+            ..Default::default()
+        };
+        let per_client = fusion.split(&outcome);
+        assert_eq!(
+            per_client[0].results[0],
+            result(5, 1, 0),
+            "no fetch: stripped"
+        );
+        assert_eq!(per_client[1].results[0], result(0, 10, 99));
+    }
+
+    #[test]
+    #[should_panic(expected = "fused outcome holds")]
+    fn split_rejects_miscounted_outcomes() {
+        let mut fusion = FusedBatch::new();
+        fusion.push(&QueryBatch::new().point(1));
+        let _ = fusion.split(&QueryOutcome::default());
+    }
+}

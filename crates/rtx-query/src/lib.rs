@@ -16,6 +16,9 @@
 //! * [`QueryBatch`] — one submission mixing point lookups, range lookups
 //!   and an optional value-column fetch, with configurable chunked
 //!   execution for large batches;
+//! * [`FusedBatch`] — cross-client coalescing: fuse many small client
+//!   batches into one large submission and split the fused outcome back
+//!   per client (the pure half of the `rtx-serve` service);
 //! * [`IndexError`] — the unified error type every backend converts its
 //!   native errors into;
 //! * [`Registry`] / [`IndexSpec`] — the factory that builds any backend by
@@ -43,6 +46,7 @@
 
 pub mod batch;
 pub mod error;
+pub mod fuse;
 pub mod index;
 pub mod registry;
 pub mod shard;
@@ -50,6 +54,7 @@ pub mod types;
 
 pub use batch::{QueryBatch, QueryOp};
 pub use error::IndexError;
+pub use fuse::{FusedBatch, FusedSlice};
 pub use index::{SecondaryIndex, UpdatableIndex};
 pub use registry::{
     IndexBuilder, IndexSpec, Registry, ShardedBuilder, UpdatableBuilder, UpdatableShardedBuilder,

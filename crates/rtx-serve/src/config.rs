@@ -1,0 +1,98 @@
+//! Service tuning knobs.
+
+use std::time::Duration;
+
+/// Configuration of a [`QueryService`](crate::QueryService).
+///
+/// The three policies interact the way they do in any batching front-end:
+///
+/// * **admission** ([`max_queue_depth`](ServiceConfig::max_queue_depth))
+///   bounds the operations waiting in the submission queue — beyond it,
+///   submissions fail with
+///   [`ServeError::Overloaded`](crate::ServeError::Overloaded) instead of
+///   growing the queue without bound (backpressure);
+/// * **coalescing** ([`max_coalesce_ops`](ServiceConfig::max_coalesce_ops))
+///   caps how many queued operations fuse into one backend submission, so
+///   one giant fused batch cannot monopolise the executor or its result
+///   buffers;
+/// * **linger** ([`linger`](ServiceConfig::linger)) trades latency for
+///   batch size: a non-full fusion waits up to this long for more client
+///   batches to arrive before executing, which is what lets concurrent
+///   small submitters fuse at all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceConfig {
+    /// Admission limit: maximum operations (reads) / rows (writes) queued
+    /// at once. A submission that would exceed it is rejected. Every
+    /// request costs at least 1, so empty batches cannot flood the queue.
+    pub max_queue_depth: usize,
+    /// Maximum operations fused into one backend submission.
+    pub max_coalesce_ops: usize,
+    /// How long a non-full fusion waits for more client batches before
+    /// executing. Zero executes whatever one queue drain finds.
+    pub linger: Duration,
+    /// Chunk size applied to the *fused* batch (per-client chunk settings
+    /// are not meaningful once batches fuse). Zero means unbounded
+    /// launches.
+    pub chunk_size: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            max_queue_depth: 1 << 20,
+            max_coalesce_ops: 1 << 16,
+            linger: Duration::from_micros(200),
+            chunk_size: 0,
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// The default configuration.
+    pub fn new() -> Self {
+        ServiceConfig::default()
+    }
+
+    /// Sets the admission limit (clamped to at least 1).
+    pub fn with_max_queue_depth(mut self, ops: usize) -> Self {
+        self.max_queue_depth = ops.max(1);
+        self
+    }
+
+    /// Sets the fusion cap (clamped to at least 1).
+    pub fn with_max_coalesce_ops(mut self, ops: usize) -> Self {
+        self.max_coalesce_ops = ops.max(1);
+        self
+    }
+
+    /// Sets the linger time.
+    pub fn with_linger(mut self, linger: Duration) -> Self {
+        self.linger = linger;
+        self
+    }
+
+    /// Sets the fused-batch chunk size (0 = unbounded).
+    pub fn with_chunk_size(mut self, chunk_size: usize) -> Self {
+        self.chunk_size = chunk_size;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_clamps_degenerate_limits() {
+        let c = ServiceConfig::new()
+            .with_max_queue_depth(0)
+            .with_max_coalesce_ops(0)
+            .with_linger(Duration::ZERO)
+            .with_chunk_size(128);
+        assert_eq!(c.max_queue_depth, 1);
+        assert_eq!(c.max_coalesce_ops, 1);
+        assert_eq!(c.linger, Duration::ZERO);
+        assert_eq!(c.chunk_size, 128);
+        assert!(ServiceConfig::default().max_queue_depth > 0);
+    }
+}

@@ -1,0 +1,126 @@
+//! The service-level error type.
+
+use rtx_query::IndexError;
+
+/// Errors a client of the query service can observe. Admission failures
+/// ([`ServeError::Overloaded`]) are the backpressure signal: the client is
+/// expected to retry later or shed load, the way any admission-controlled
+/// service degrades.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The submission queue is full: admitting this batch would exceed the
+    /// service's configured queue depth. Retry later (backpressure).
+    Overloaded {
+        /// Operations already queued.
+        queued_ops: usize,
+        /// The admission limit ([`ServiceConfig::max_queue_depth`]).
+        ///
+        /// [`ServiceConfig::max_queue_depth`]: crate::ServiceConfig::max_queue_depth
+        max_queue_depth: usize,
+    },
+    /// The submission alone is larger than the whole admission limit, so
+    /// it could never be admitted no matter how empty the queue is.
+    /// Unlike [`ServeError::Overloaded`] this is *not* retryable: split
+    /// the batch (or raise
+    /// [`ServiceConfig::max_queue_depth`](crate::ServiceConfig::max_queue_depth)).
+    TooLarge {
+        /// Operations (or write rows) in the submission.
+        ops: usize,
+        /// The admission limit.
+        max_queue_depth: usize,
+    },
+    /// A write was submitted to a service over a read-only backend.
+    ReadOnlyBackend {
+        /// Name of the backend the service wraps.
+        backend: String,
+    },
+    /// The service is shutting down (or has stopped) and admits no new
+    /// submissions.
+    ShuttingDown,
+    /// The backend rejected the submission. Admission pre-checks make this
+    /// unreachable for well-formed traffic (unsupported operations and
+    /// value fetches are rejected at submit), so seeing it means the
+    /// backend itself failed.
+    Index(IndexError),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Overloaded {
+                queued_ops,
+                max_queue_depth,
+            } => write!(
+                f,
+                "service overloaded: {queued_ops} operations queued \
+                 (admission limit: {max_queue_depth}); retry later"
+            ),
+            ServeError::TooLarge {
+                ops,
+                max_queue_depth,
+            } => write!(
+                f,
+                "submission of {ops} operations exceeds the whole admission limit \
+                 ({max_queue_depth}) and can never be admitted; split it"
+            ),
+            ServeError::ReadOnlyBackend { backend } => {
+                write!(
+                    f,
+                    "service over read-only backend {backend} takes no writes"
+                )
+            }
+            ServeError::ShuttingDown => write!(f, "service is shutting down"),
+            ServeError::Index(err) => write!(f, "backend error: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Index(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<IndexError> for ServeError {
+    fn from(err: IndexError) -> Self {
+        ServeError::Index(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_human_readable_messages() {
+        let e = ServeError::Overloaded {
+            queued_ops: 900,
+            max_queue_depth: 512,
+        };
+        assert!(e.to_string().contains("900"));
+        assert!(e.to_string().contains("512"));
+
+        let e = ServeError::TooLarge {
+            ops: 100,
+            max_queue_depth: 64,
+        };
+        assert!(e.to_string().contains("never be admitted"));
+
+        let e = ServeError::ReadOnlyBackend {
+            backend: "RX@4".into(),
+        };
+        assert!(e.to_string().contains("RX@4"));
+        assert!(ServeError::ShuttingDown.to_string().contains("shutting"));
+
+        let e: ServeError = IndexError::NoValueColumn {
+            backend: "SA".into(),
+        }
+        .into();
+        assert!(e.to_string().contains("value fetch"));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(std::error::Error::source(&ServeError::ShuttingDown).is_none());
+    }
+}

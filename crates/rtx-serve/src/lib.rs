@@ -1,0 +1,69 @@
+//! # rtx-serve
+//!
+//! The concurrent multi-client query service of the RTIndeX reproduction:
+//! cross-client batch coalescing, admission control and fenced writes over
+//! any [`SecondaryIndex`](rtx_query::SecondaryIndex) backend.
+//!
+//! The paper's index wins by amortising fixed per-launch work over *large*
+//! GPU-submitted batches — but service traffic arrives as millions of
+//! *small* per-client submissions. This crate closes that gap the way
+//! streaming databases front their storage engines with a concurrent
+//! ingest/serve layer:
+//!
+//! * every client holds a clonable [`ClientHandle`] and submits small
+//!   [`QueryBatch`](rtx_query::QueryBatch)es into a bounded MPMC queue;
+//! * a **coalescer thread** drains the queue, fuses many client batches
+//!   into one large backend submission
+//!   ([`FusedBatch`](rtx_query::FusedBatch)), executes it once — on a plain
+//!   backend, or a sharded one so fusion and sharding compose — and
+//!   scatters the per-client slices back through response channels;
+//! * **admission control** bounds the queue
+//!   ([`ServiceConfig::max_queue_depth`]): overload surfaces as
+//!   [`ServeError::Overloaded`] backpressure instead of unbounded memory;
+//! * **writes are serialized and fenced**: on an
+//!   [`UpdatableIndex`](rtx_query::UpdatableIndex) backend, a write batch
+//!   never overtakes reads queued before it and is fully visible to reads
+//!   queued after it.
+//!
+//! ```
+//! use rtx_query::{IndexSpec, QueryBatch, Registry};
+//! use rtx_serve::{QueryService, ServiceConfig};
+//!
+//! let mut registry = Registry::new();
+//! gpu_baselines::register_baselines(&mut registry);
+//! rtx_shard::install_sharding(&mut registry);
+//!
+//! let device = gpu_device::Device::default_eval();
+//! let keys: Vec<u64> = (0..10_000).collect();
+//! let backend = registry
+//!     .build("SA@2", &IndexSpec::keys_only(&device, &keys))
+//!     .unwrap();
+//!
+//! // One service, any number of concurrent clients.
+//! let service = QueryService::start(backend, ServiceConfig::default());
+//! let results = std::thread::scope(|scope| {
+//!     let workers: Vec<_> = (0..4)
+//!         .map(|c| {
+//!             let handle = service.handle();
+//!             scope.spawn(move || {
+//!                 handle
+//!                     .query(QueryBatch::new().point(c * 100).range(0, 9))
+//!                     .unwrap()
+//!             })
+//!         })
+//!         .collect();
+//!     workers.into_iter().map(|w| w.join().unwrap()).collect::<Vec<_>>()
+//! });
+//! for out in &results {
+//!     assert!(out.results[0].is_hit());
+//!     assert_eq!(out.results[1].hit_count, 10);
+//! }
+//! ```
+
+pub mod config;
+pub mod error;
+pub mod service;
+
+pub use config::ServiceConfig;
+pub use error::ServeError;
+pub use service::{ClientHandle, PendingQuery, QueryService, ServiceStats};

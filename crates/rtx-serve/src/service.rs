@@ -1,0 +1,1082 @@
+//! The concurrent query service: submission queue, coalescer thread,
+//! client handles.
+//!
+//! One [`QueryService`] wraps one backend (any [`SecondaryIndex`] trait
+//! object — plain, sharded, or an updatable RXD) and serves any number of
+//! concurrent clients. Clients never touch the backend: they enqueue
+//! requests through clonable [`ClientHandle`]s, and a single **coalescer
+//! thread** owns the backend and processes the queue in submission order:
+//!
+//! * consecutive read batches are fused into one large submission
+//!   ([`FusedBatch`]) up to the configured coalesce cap, lingering briefly
+//!   for more arrivals, then executed once and split back per client;
+//! * write batches are **serialized and fenced**: a write never overtakes
+//!   reads queued before it and is never overtaken by reads queued after
+//!   it, because the queue is drained strictly in order and the coalescer
+//!   stops fusing at the first write;
+//! * admission control bounds the queue: submissions beyond the configured
+//!   depth fail with [`ServeError::Overloaded`] instead of queuing without
+//!   bound.
+//!
+//! Unsupported traffic (value fetches without a value column, range
+//! lookups on a range-less backend, writes to a read-only service) is
+//! rejected at submission, so a fused execution can only fail if the
+//! backend itself does — and such a failure is broadcast to every fused
+//! client.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use rtx_query::{
+    BatchOutcome, Capabilities, FusedBatch, IndexError, QueryBatch, SecondaryIndex, UpdatableIndex,
+    UpdateReport,
+};
+
+use crate::config::ServiceConfig;
+use crate::error::ServeError;
+
+/// A batched write, applied atomically by the coalescer between fused read
+/// submissions.
+#[derive(Debug, Clone)]
+enum WriteOp {
+    /// Insert `(key, value)` rows.
+    Insert { keys: Vec<u64>, values: Vec<u64> },
+    /// Delete every live row holding one of the keys.
+    Delete { keys: Vec<u64> },
+    /// Delete every key's rows, then insert one fresh row per pair.
+    Upsert { keys: Vec<u64>, values: Vec<u64> },
+}
+
+impl WriteOp {
+    /// Queue-admission cost of the write (rows touched, at least 1).
+    fn cost(&self) -> usize {
+        match self {
+            WriteOp::Insert { keys, .. }
+            | WriteOp::Delete { keys }
+            | WriteOp::Upsert { keys, .. } => keys.len().max(1),
+        }
+    }
+}
+
+/// One queued client request.
+enum Request {
+    Read {
+        batch: QueryBatch,
+        reply: mpsc::Sender<Result<BatchOutcome, IndexError>>,
+    },
+    Write {
+        op: WriteOp,
+        reply: mpsc::Sender<Result<UpdateReport, IndexError>>,
+    },
+}
+
+impl Request {
+    fn cost(&self) -> usize {
+        match self {
+            Request::Read { batch, .. } => batch.len().max(1),
+            Request::Write { op, .. } => op.cost(),
+        }
+    }
+}
+
+/// The backend as owned by the coalescer thread.
+enum ServiceBackend {
+    ReadOnly(Box<dyn SecondaryIndex>),
+    Updatable(Box<dyn UpdatableIndex>),
+}
+
+impl ServiceBackend {
+    fn name(&self) -> &str {
+        match self {
+            ServiceBackend::ReadOnly(ix) => ix.name(),
+            ServiceBackend::Updatable(ix) => ix.name(),
+        }
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        match self {
+            ServiceBackend::ReadOnly(ix) => ix.capabilities(),
+            ServiceBackend::Updatable(ix) => ix.capabilities(),
+        }
+    }
+
+    fn has_value_column(&self) -> bool {
+        match self {
+            ServiceBackend::ReadOnly(ix) => ix.has_value_column(),
+            ServiceBackend::Updatable(ix) => ix.has_value_column(),
+        }
+    }
+
+    fn execute(&self, batch: &QueryBatch) -> Result<BatchOutcome, IndexError> {
+        match self {
+            ServiceBackend::ReadOnly(ix) => ix.execute(batch),
+            ServiceBackend::Updatable(ix) => ix.execute(batch),
+        }
+    }
+
+    fn apply(&mut self, op: WriteOp) -> Result<UpdateReport, IndexError> {
+        match self {
+            // Admission rejects writes on read-only services; this is the
+            // defensive backstop, not a reachable path.
+            ServiceBackend::ReadOnly(ix) => Err(IndexError::UnsupportedOperation {
+                backend: ix.name().to_string(),
+                operation: "updates",
+            }),
+            ServiceBackend::Updatable(ix) => match op {
+                WriteOp::Insert { keys, values } => ix.insert(&keys, &values),
+                WriteOp::Delete { keys } => ix.delete(&keys),
+                WriteOp::Upsert { keys, values } => ix.upsert(&keys, &values),
+            },
+        }
+    }
+}
+
+/// The submission queue, protected by [`Shared::queue`].
+struct Queue {
+    requests: VecDeque<Request>,
+    /// Total admission cost of the queued requests.
+    queued_cost: usize,
+    shutdown: bool,
+}
+
+/// Monotonic service counters (updated with relaxed atomics; consistency
+/// across counters is best-effort, each counter alone is exact).
+#[derive(Default)]
+struct Counters {
+    submitted_batches: AtomicU64,
+    submitted_ops: AtomicU64,
+    rejected_batches: AtomicU64,
+    fused_submissions: AtomicU64,
+    coalesced_batches: AtomicU64,
+    executed_ops: AtomicU64,
+    write_batches: AtomicU64,
+    peak_queued_ops: AtomicU64,
+}
+
+/// State shared between the client handles and the coalescer thread.
+struct Shared {
+    queue: Mutex<Queue>,
+    /// Wakes the coalescer when requests arrive or shutdown is signalled.
+    work: Condvar,
+    config: ServiceConfig,
+    backend_name: String,
+    capabilities: Capabilities,
+    has_value_column: bool,
+    updatable: bool,
+    counters: Counters,
+}
+
+/// A point-in-time snapshot of the service counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Read batches admitted into the queue.
+    pub submitted_batches: u64,
+    /// Operations across all admitted read batches.
+    pub submitted_ops: u64,
+    /// Submissions rejected by admission control (backpressure).
+    pub rejected_batches: u64,
+    /// Fused submissions executed on the backend.
+    pub fused_submissions: u64,
+    /// Client read batches answered through those fused submissions.
+    pub coalesced_batches: u64,
+    /// Operations executed through fused submissions.
+    pub executed_ops: u64,
+    /// Write batches applied (serialized, fenced).
+    pub write_batches: u64,
+    /// Highest queue occupancy observed at any admission, in cost units
+    /// (read ops / write rows, at least 1 per request).
+    pub peak_queued_ops: u64,
+}
+
+impl ServiceStats {
+    /// Mean client batches fused per backend submission — the coalescing
+    /// factor. 1.0 means no cross-client fusion happened.
+    pub fn mean_coalesced_batches(&self) -> f64 {
+        if self.fused_submissions == 0 {
+            return 0.0;
+        }
+        self.coalesced_batches as f64 / self.fused_submissions as f64
+    }
+
+    /// Mean operations per fused backend submission.
+    pub fn mean_fused_ops(&self) -> f64 {
+        if self.fused_submissions == 0 {
+            return 0.0;
+        }
+        self.executed_ops as f64 / self.fused_submissions as f64
+    }
+}
+
+impl Shared {
+    fn stats(&self) -> ServiceStats {
+        let c = &self.counters;
+        ServiceStats {
+            submitted_batches: c.submitted_batches.load(Ordering::Relaxed),
+            submitted_ops: c.submitted_ops.load(Ordering::Relaxed),
+            rejected_batches: c.rejected_batches.load(Ordering::Relaxed),
+            fused_submissions: c.fused_submissions.load(Ordering::Relaxed),
+            coalesced_batches: c.coalesced_batches.load(Ordering::Relaxed),
+            executed_ops: c.executed_ops.load(Ordering::Relaxed),
+            write_batches: c.write_batches.load(Ordering::Relaxed),
+            peak_queued_ops: c.peak_queued_ops.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Admits one request into the queue (or rejects it), waking the
+    /// coalescer on success.
+    fn enqueue(&self, request: Request) -> Result<(), ServeError> {
+        let cost = request.cost();
+        // A submission larger than the whole admission limit could never
+        // be admitted — reject it as non-retryable instead of reporting
+        // the Overloaded (retry-later) livelock.
+        if cost > self.config.max_queue_depth {
+            return Err(ServeError::TooLarge {
+                ops: cost,
+                max_queue_depth: self.config.max_queue_depth,
+            });
+        }
+        {
+            let mut q = self.queue.lock().expect("service queue poisoned");
+            if q.shutdown {
+                return Err(ServeError::ShuttingDown);
+            }
+            if q.queued_cost + cost > self.config.max_queue_depth {
+                self.counters
+                    .rejected_batches
+                    .fetch_add(1, Ordering::Relaxed);
+                return Err(ServeError::Overloaded {
+                    queued_ops: q.queued_cost,
+                    max_queue_depth: self.config.max_queue_depth,
+                });
+            }
+            q.queued_cost += cost;
+            self.counters
+                .peak_queued_ops
+                .fetch_max(q.queued_cost as u64, Ordering::Relaxed);
+            q.requests.push_back(request);
+        }
+        self.work.notify_one();
+        Ok(())
+    }
+}
+
+/// An admitted read submission whose result has not been claimed yet.
+///
+/// Dropping it abandons the result (the service still executes and then
+/// discards it).
+#[derive(Debug)]
+pub struct PendingQuery {
+    reply: mpsc::Receiver<Result<BatchOutcome, IndexError>>,
+}
+
+impl PendingQuery {
+    /// Blocks until the coalescer has answered this submission.
+    pub fn wait(self) -> Result<BatchOutcome, ServeError> {
+        match self.reply.recv() {
+            Ok(result) => result.map_err(ServeError::Index),
+            // The coalescer drains the queue before exiting, so a closed
+            // channel means the service stopped abnormally.
+            Err(mpsc::RecvError) => Err(ServeError::ShuttingDown),
+        }
+    }
+}
+
+/// A clonable client of a [`QueryService`]: submits read batches (blocking
+/// or ticketed) and batched writes.
+#[derive(Clone)]
+pub struct ClientHandle {
+    shared: Arc<Shared>,
+}
+
+impl ClientHandle {
+    /// Rejects traffic the backend can never serve — at submission, so a
+    /// fused execution stays infallible and one client's mistake cannot
+    /// fail its co-fused neighbours.
+    fn precheck(&self, batch: &QueryBatch) -> Result<(), ServeError> {
+        if batch.fetches_values() && !self.shared.has_value_column {
+            return Err(ServeError::Index(IndexError::NoValueColumn {
+                backend: self.shared.backend_name.clone(),
+            }));
+        }
+        if batch.range_count() > 0 && !self.shared.capabilities.range_lookups {
+            return Err(ServeError::Index(IndexError::UnsupportedOperation {
+                backend: self.shared.backend_name.clone(),
+                operation: "range lookups",
+            }));
+        }
+        Ok(())
+    }
+
+    /// Submits a read batch and returns a ticket to claim the result with.
+    pub fn submit(&self, batch: QueryBatch) -> Result<PendingQuery, ServeError> {
+        self.precheck(&batch)?;
+        let ops = batch.len() as u64;
+        let (tx, rx) = mpsc::channel();
+        self.shared.enqueue(Request::Read { batch, reply: tx })?;
+        self.shared
+            .counters
+            .submitted_batches
+            .fetch_add(1, Ordering::Relaxed);
+        self.shared
+            .counters
+            .submitted_ops
+            .fetch_add(ops, Ordering::Relaxed);
+        Ok(PendingQuery { reply: rx })
+    }
+
+    /// Submits a read batch and blocks until its result arrives.
+    pub fn query(&self, batch: QueryBatch) -> Result<BatchOutcome, ServeError> {
+        self.submit(batch)?.wait()
+    }
+
+    fn write(&self, op: WriteOp) -> Result<UpdateReport, ServeError> {
+        if !self.shared.updatable {
+            return Err(ServeError::ReadOnlyBackend {
+                backend: self.shared.backend_name.clone(),
+            });
+        }
+        let (tx, rx) = mpsc::channel();
+        self.shared.enqueue(Request::Write { op, reply: tx })?;
+        match rx.recv() {
+            Ok(result) => result.map_err(ServeError::Index),
+            Err(mpsc::RecvError) => Err(ServeError::ShuttingDown),
+        }
+    }
+
+    /// Inserts a batch of `(key, value)` rows. Blocks until the write is
+    /// applied; it is fenced against every read queued before it and
+    /// visible to every read queued after it.
+    pub fn insert(&self, keys: &[u64], values: &[u64]) -> Result<UpdateReport, ServeError> {
+        self.write(WriteOp::Insert {
+            keys: keys.to_vec(),
+            values: values.to_vec(),
+        })
+    }
+
+    /// Deletes every live row holding one of `keys` (fenced like
+    /// [`insert`](ClientHandle::insert)).
+    pub fn delete(&self, keys: &[u64]) -> Result<UpdateReport, ServeError> {
+        self.write(WriteOp::Delete {
+            keys: keys.to_vec(),
+        })
+    }
+
+    /// Upserts a batch of `(key, value)` pairs (fenced like
+    /// [`insert`](ClientHandle::insert)).
+    pub fn upsert(&self, keys: &[u64], values: &[u64]) -> Result<UpdateReport, ServeError> {
+        self.write(WriteOp::Upsert {
+            keys: keys.to_vec(),
+            values: values.to_vec(),
+        })
+    }
+
+    /// Name of the backend the service wraps.
+    pub fn backend_name(&self) -> &str {
+        &self.shared.backend_name
+    }
+
+    /// Capabilities of the wrapped backend.
+    pub fn capabilities(&self) -> Capabilities {
+        self.shared.capabilities
+    }
+
+    /// Whether the service accepts writes.
+    pub fn is_updatable(&self) -> bool {
+        self.shared.updatable
+    }
+
+    /// A snapshot of the service counters.
+    pub fn stats(&self) -> ServiceStats {
+        self.shared.stats()
+    }
+
+    /// Current queue occupancy in admission-cost units (read ops / write
+    /// rows). A load probe: compare against
+    /// [`ServiceConfig::max_queue_depth`] to shed load before submissions
+    /// start failing.
+    pub fn queued_ops(&self) -> usize {
+        self.shared
+            .queue
+            .lock()
+            .expect("service queue poisoned")
+            .queued_cost
+    }
+}
+
+/// The concurrent query service. See the [module docs](self) for the
+/// execution model; see [`ServiceConfig`] for the tuning knobs.
+///
+/// Dropping the service signals shutdown, drains every queued request and
+/// joins the coalescer thread — already-admitted submissions are still
+/// answered, new ones are rejected with [`ServeError::ShuttingDown`].
+pub struct QueryService {
+    shared: Arc<Shared>,
+    worker: Option<JoinHandle<()>>,
+}
+
+impl QueryService {
+    /// Starts a service over a read-only backend.
+    pub fn start(backend: Box<dyn SecondaryIndex>, config: ServiceConfig) -> Self {
+        QueryService::spawn(ServiceBackend::ReadOnly(backend), config, false)
+    }
+
+    /// Starts a service over an updatable backend: client writes are
+    /// serialized and fenced against reads in queue order.
+    pub fn start_updatable(backend: Box<dyn UpdatableIndex>, config: ServiceConfig) -> Self {
+        QueryService::spawn(ServiceBackend::Updatable(backend), config, true)
+    }
+
+    fn spawn(backend: ServiceBackend, config: ServiceConfig, updatable: bool) -> Self {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(Queue {
+                requests: VecDeque::new(),
+                queued_cost: 0,
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            config,
+            backend_name: backend.name().to_string(),
+            capabilities: backend.capabilities(),
+            has_value_column: backend.has_value_column(),
+            updatable,
+            counters: Counters::default(),
+        });
+        let worker = std::thread::Builder::new()
+            .name("rtx-serve-coalescer".to_string())
+            .spawn({
+                let shared = Arc::clone(&shared);
+                move || run_coalescer(&shared, backend)
+            })
+            .expect("spawn coalescer thread");
+        QueryService {
+            shared,
+            worker: Some(worker),
+        }
+    }
+
+    /// A new client handle (clonable, sendable across threads).
+    pub fn handle(&self) -> ClientHandle {
+        ClientHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Name of the backend the service wraps.
+    pub fn backend_name(&self) -> &str {
+        &self.shared.backend_name
+    }
+
+    /// A snapshot of the service counters.
+    pub fn stats(&self) -> ServiceStats {
+        self.shared.stats()
+    }
+
+    /// Shuts the service down (draining the queue) and returns the final
+    /// counters.
+    pub fn shutdown(mut self) -> ServiceStats {
+        self.stop();
+        self.shared.stats()
+    }
+
+    fn stop(&mut self) {
+        {
+            let mut q = self.shared.queue.lock().expect("service queue poisoned");
+            q.shutdown = true;
+        }
+        self.shared.work.notify_all();
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for QueryService {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+impl std::fmt::Debug for QueryService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QueryService")
+            .field("backend", &self.shared.backend_name)
+            .field("updatable", &self.shared.updatable)
+            .field("config", &self.shared.config)
+            .finish()
+    }
+}
+
+/// One drained unit of work: a fused run of reads, or one write.
+enum Drained {
+    Reads {
+        fusion: FusedBatch,
+        replies: Vec<mpsc::Sender<Result<BatchOutcome, IndexError>>>,
+    },
+    Write {
+        op: WriteOp,
+        reply: mpsc::Sender<Result<UpdateReport, IndexError>>,
+    },
+    Shutdown,
+}
+
+/// The coalescer loop: drain → fuse → execute → scatter, strictly in queue
+/// order, until shutdown *and* an empty queue.
+fn run_coalescer(shared: &Shared, mut backend: ServiceBackend) {
+    loop {
+        match drain(shared) {
+            Drained::Shutdown => return,
+            Drained::Write { op, reply } => {
+                let result = backend.apply(op);
+                shared
+                    .counters
+                    .write_batches
+                    .fetch_add(1, Ordering::Relaxed);
+                // A client that dropped its ticket abandoned the result.
+                let _ = reply.send(result);
+            }
+            Drained::Reads {
+                mut fusion,
+                replies,
+            } => {
+                // take_batch moves the fused operations out without a copy
+                // (this is the hot path); the fusion keeps the slice
+                // bookkeeping the split below needs.
+                let fused = fusion
+                    .take_batch()
+                    .with_chunk_size(shared.config.chunk_size);
+                let outcome = backend.execute(&fused);
+                let c = &shared.counters;
+                c.fused_submissions.fetch_add(1, Ordering::Relaxed);
+                c.coalesced_batches
+                    .fetch_add(replies.len() as u64, Ordering::Relaxed);
+                c.executed_ops
+                    .fetch_add(fused.len() as u64, Ordering::Relaxed);
+                match outcome {
+                    Ok(out) => {
+                        for (slice, reply) in fusion.split(&out).into_iter().zip(&replies) {
+                            let _ = reply.send(Ok(slice));
+                        }
+                    }
+                    // A backend failure on the fused batch is every fused
+                    // client's failure.
+                    Err(err) => {
+                        for reply in &replies {
+                            let _ = reply.send(Err(err.clone()));
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Blocks until work is available, then drains the next unit: reads fuse up
+/// to the coalesce cap (lingering for late arrivals), the first write cuts
+/// the fusion short (the fence), a leading write is taken alone.
+fn drain(shared: &Shared) -> Drained {
+    let mut q = shared.queue.lock().expect("service queue poisoned");
+    loop {
+        if !q.requests.is_empty() {
+            break;
+        }
+        if q.shutdown {
+            return Drained::Shutdown;
+        }
+        q = shared.work.wait(q).expect("service queue poisoned");
+    }
+
+    let mut fusion = FusedBatch::new();
+    let mut replies = Vec::new();
+    let deadline = Instant::now() + shared.config.linger;
+    loop {
+        // Pop as many consecutive reads as fit under the coalesce cap.
+        let mut full = false;
+        let mut fenced = false;
+        while let Some(front) = q.requests.front() {
+            match front {
+                Request::Read { batch, .. } => {
+                    if !fusion.is_empty()
+                        && fusion.op_count() + batch.len() > shared.config.max_coalesce_ops
+                    {
+                        full = true;
+                        break;
+                    }
+                }
+                Request::Write { .. } => {
+                    if fusion.is_empty() {
+                        match q.requests.pop_front() {
+                            Some(Request::Write { op, reply }) => {
+                                q.queued_cost -= op.cost();
+                                return Drained::Write { op, reply };
+                            }
+                            _ => unreachable!("front was a write"),
+                        }
+                    }
+                    // Reads are already fused: execute them first, take the
+                    // write on the next drain (the fence).
+                    fenced = true;
+                    break;
+                }
+            }
+            match q.requests.pop_front() {
+                Some(Request::Read { batch, reply }) => {
+                    q.queued_cost -= batch.len().max(1);
+                    fusion.push(&batch);
+                    replies.push(reply);
+                    if fusion.op_count() >= shared.config.max_coalesce_ops {
+                        full = true;
+                        break;
+                    }
+                }
+                _ => unreachable!("front was a read"),
+            }
+        }
+
+        debug_assert!(!fusion.is_empty(), "drain found work but fused nothing");
+        if full || fenced || q.shutdown {
+            break;
+        }
+        // The queue is empty and the fusion has room: linger for more
+        // arrivals so concurrent small submitters actually fuse.
+        let now = Instant::now();
+        if now >= deadline {
+            break;
+        }
+        let (guard, timeout) = shared
+            .work
+            .wait_timeout(q, deadline - now)
+            .expect("service queue poisoned");
+        q = guard;
+        if q.requests.is_empty() && (timeout.timed_out() || q.shutdown) {
+            break;
+        }
+    }
+    Drained::Reads { fusion, replies }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtx_query::{IndexBuildMetrics, LookupResult};
+    use std::time::Duration;
+
+    /// Test gate: lets a test hold the backend inside an execution so the
+    /// queue fills deterministically, and observe when executions start.
+    #[derive(Default)]
+    struct Gate {
+        state: Mutex<GateState>,
+        cv: Condvar,
+    }
+
+    #[derive(Default)]
+    struct GateState {
+        entered: usize,
+        hold: bool,
+    }
+
+    impl Gate {
+        fn hold(&self) {
+            self.state.lock().unwrap().hold = true;
+        }
+
+        fn release(&self) {
+            self.state.lock().unwrap().hold = false;
+            self.cv.notify_all();
+        }
+
+        /// Called by the backend at the start of every chunk execution.
+        fn enter(&self) {
+            let mut s = self.state.lock().unwrap();
+            s.entered += 1;
+            self.cv.notify_all();
+            while s.hold {
+                s = self.cv.wait(s).unwrap();
+            }
+        }
+
+        /// Blocks the test until `n` chunk executions have started.
+        fn await_entered(&self, n: usize) {
+            let mut s = self.state.lock().unwrap();
+            while s.entered < n {
+                s = self.cv.wait(s).unwrap();
+            }
+        }
+    }
+
+    /// In-memory updatable backend with a gate and an execution log.
+    struct StubIndex {
+        rows: Mutex<Vec<(u64, u64)>>,
+        has_values: bool,
+        ranges: bool,
+        gate: Arc<Gate>,
+        log: Arc<Mutex<Vec<String>>>,
+    }
+
+    impl StubIndex {
+        fn new(keys: &[u64]) -> Self {
+            StubIndex {
+                rows: Mutex::new(keys.iter().map(|&k| (k, k * 10)).collect()),
+                has_values: true,
+                ranges: true,
+                gate: Arc::new(Gate::default()),
+                log: Arc::new(Mutex::new(Vec::new())),
+            }
+        }
+
+        fn chunk<F: Fn(u64) -> bool>(&self, preds: Vec<F>, fetch: bool) -> BatchOutcome {
+            let rows = self.rows.lock().unwrap();
+            let results = preds
+                .iter()
+                .map(|pred| {
+                    let mut r = LookupResult::miss();
+                    for (row, &(k, v)) in rows.iter().enumerate() {
+                        if pred(k) {
+                            r.first_row = r.first_row.min(row as u32);
+                            r.hit_count += 1;
+                            if fetch {
+                                r.value_sum = r.value_sum.wrapping_add(v);
+                            }
+                        }
+                    }
+                    r
+                })
+                .collect();
+            BatchOutcome {
+                results,
+                ..Default::default()
+            }
+        }
+    }
+
+    impl SecondaryIndex for StubIndex {
+        fn name(&self) -> &str {
+            "STUB"
+        }
+        fn key_count(&self) -> usize {
+            self.rows.lock().unwrap().len()
+        }
+        fn memory_bytes(&self) -> u64 {
+            16
+        }
+        fn build_metrics(&self) -> IndexBuildMetrics {
+            IndexBuildMetrics::default()
+        }
+        fn capabilities(&self) -> Capabilities {
+            Capabilities {
+                range_lookups: self.ranges,
+                duplicate_keys: true,
+                full_64bit_keys: true,
+                updates: true,
+            }
+        }
+        fn has_value_column(&self) -> bool {
+            self.has_values
+        }
+        fn point_chunk(&self, queries: &[u64], fetch: bool) -> Result<BatchOutcome, IndexError> {
+            self.gate.enter();
+            self.log
+                .lock()
+                .unwrap()
+                .push(format!("points:{}", queries.len()));
+            Ok(self.chunk(queries.iter().map(|&q| move |k| k == q).collect(), fetch))
+        }
+        fn range_chunk(
+            &self,
+            ranges: &[(u64, u64)],
+            fetch: bool,
+        ) -> Result<BatchOutcome, IndexError> {
+            self.gate.enter();
+            self.log
+                .lock()
+                .unwrap()
+                .push(format!("ranges:{}", ranges.len()));
+            Ok(self.chunk(
+                ranges
+                    .iter()
+                    .map(|&(l, u)| move |k| k >= l && k <= u)
+                    .collect(),
+                fetch,
+            ))
+        }
+    }
+
+    impl UpdatableIndex for StubIndex {
+        fn insert(&mut self, keys: &[u64], values: &[u64]) -> Result<UpdateReport, IndexError> {
+            self.log
+                .lock()
+                .unwrap()
+                .push(format!("insert:{}", keys.len()));
+            let mut rows = self.rows.lock().unwrap();
+            rows.extend(keys.iter().zip(values).map(|(&k, &v)| (k, v)));
+            Ok(UpdateReport {
+                inserted_rows: keys.len(),
+                ..Default::default()
+            })
+        }
+        fn delete(&mut self, keys: &[u64]) -> Result<UpdateReport, IndexError> {
+            self.log
+                .lock()
+                .unwrap()
+                .push(format!("delete:{}", keys.len()));
+            let mut rows = self.rows.lock().unwrap();
+            let before = rows.len();
+            rows.retain(|(k, _)| !keys.contains(k));
+            Ok(UpdateReport {
+                deleted_rows: before - rows.len(),
+                ..Default::default()
+            })
+        }
+        fn upsert(&mut self, keys: &[u64], values: &[u64]) -> Result<UpdateReport, IndexError> {
+            let deleted = self.delete(keys)?.deleted_rows;
+            let inserted = self.insert(keys, values)?.inserted_rows;
+            Ok(UpdateReport {
+                inserted_rows: inserted,
+                deleted_rows: deleted,
+                ..Default::default()
+            })
+        }
+    }
+
+    fn stub_service(
+        keys: &[u64],
+        config: ServiceConfig,
+    ) -> (QueryService, Arc<Gate>, Arc<Mutex<Vec<String>>>) {
+        let stub = StubIndex::new(keys);
+        let (gate, log) = (Arc::clone(&stub.gate), Arc::clone(&stub.log));
+        (
+            QueryService::start_updatable(Box::new(stub), config),
+            gate,
+            log,
+        )
+    }
+
+    #[test]
+    fn queued_batches_coalesce_into_one_submission() {
+        let config = ServiceConfig::new().with_linger(Duration::ZERO);
+        let (service, gate, log) = stub_service(&[1, 2, 3, 4], config);
+        let h = service.handle();
+
+        // First submission occupies the coalescer inside the backend...
+        gate.hold();
+        let t1 = h.submit(QueryBatch::of_points(&[1])).unwrap();
+        gate.await_entered(1);
+        // ...while three more clients queue up behind it.
+        let t2 = h.submit(QueryBatch::of_points(&[2, 9])).unwrap();
+        let t3 = h.submit(QueryBatch::of_points(&[3, 4])).unwrap();
+        let t4 = h.submit(QueryBatch::new().point(1).range(2, 3)).unwrap();
+        gate.release();
+
+        assert_eq!(t1.wait().unwrap().hit_count(), 1);
+        let o2 = t2.wait().unwrap();
+        assert_eq!(o2.results.len(), 2);
+        assert!(o2.results[0].is_hit() && !o2.results[1].is_hit());
+        assert_eq!(t3.wait().unwrap().hit_count(), 2);
+        let o4 = t4.wait().unwrap();
+        assert_eq!(o4.results[1].hit_count, 2);
+
+        let stats = service.shutdown();
+        assert_eq!(stats.submitted_batches, 4);
+        assert_eq!(stats.submitted_ops, 7);
+        assert_eq!(stats.fused_submissions, 2, "t2..t4 fused into one");
+        assert_eq!(stats.coalesced_batches, 4);
+        assert_eq!(stats.executed_ops, 7);
+        assert!((stats.mean_coalesced_batches() - 2.0).abs() < 1e-12);
+        assert!((stats.mean_fused_ops() - 3.5).abs() < 1e-12);
+        // The fused submission regrouped 5 points + 1 range into two
+        // homogeneous launches.
+        assert_eq!(
+            *log.lock().unwrap(),
+            vec!["points:1", "points:5", "ranges:1"]
+        );
+    }
+
+    #[test]
+    fn admission_control_rejects_submissions_beyond_queue_depth() {
+        let config = ServiceConfig::new()
+            .with_linger(Duration::ZERO)
+            .with_max_queue_depth(4);
+        let (service, gate, _log) = stub_service(&[1, 2, 3], config);
+        let h = service.handle();
+
+        gate.hold();
+        let t1 = h.submit(QueryBatch::of_points(&[1])).unwrap();
+        gate.await_entered(1);
+        assert_eq!(h.queued_ops(), 0, "t1 was dequeued before executing");
+        let t2 = h.submit(QueryBatch::of_points(&[1, 2, 3])).unwrap();
+        assert_eq!(h.queued_ops(), 3);
+        let err = h.submit(QueryBatch::of_points(&[1, 2])).unwrap_err();
+        assert_eq!(
+            err,
+            ServeError::Overloaded {
+                queued_ops: 3,
+                max_queue_depth: 4
+            }
+        );
+        assert!(err.to_string().contains("retry"));
+        // A submission larger than the whole limit is non-retryable, even
+        // though the queue has room for smaller ones.
+        let err = h
+            .submit(QueryBatch::of_points(&[1, 2, 3, 4, 5]))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ServeError::TooLarge {
+                ops: 5,
+                max_queue_depth: 4
+            }
+        );
+        let err = h.insert(&[1, 2, 3, 4, 5], &[0; 5]).unwrap_err();
+        assert!(matches!(err, ServeError::TooLarge { ops: 5, .. }));
+        // A batch that still fits is admitted.
+        let t3 = h.submit(QueryBatch::of_points(&[2])).unwrap();
+        gate.release();
+
+        assert!(t1.wait().is_ok() && t2.wait().is_ok() && t3.wait().is_ok());
+        let stats = service.shutdown();
+        assert_eq!(stats.rejected_batches, 1);
+        assert_eq!(stats.peak_queued_ops, 4);
+    }
+
+    #[test]
+    fn writes_are_fenced_between_read_fusions() {
+        // A long linger that would fuse everything — the write fence must
+        // cut the fusion short instead.
+        let config = ServiceConfig::new().with_linger(Duration::from_millis(200));
+        let (service, gate, log) = stub_service(&[1], config);
+        let h = service.handle();
+
+        gate.hold();
+        let t1 = h.submit(QueryBatch::of_points(&[1])).unwrap();
+        gate.await_entered(1);
+        // Queue while the coalescer is busy: R2, then a write, then R3.
+        let t2 = h.submit(QueryBatch::of_points(&[77])).unwrap();
+        let writer = {
+            let h = h.clone();
+            std::thread::spawn(move || h.insert(&[77, 78], &[770, 780]).unwrap())
+        };
+        while h.queued_ops() < 3 {
+            std::thread::yield_now();
+        }
+        let t3 = h.submit(QueryBatch::of_points(&[77])).unwrap();
+        gate.release();
+
+        assert_eq!(t1.wait().unwrap().hit_count(), 1);
+        assert!(
+            !t2.wait().unwrap().results[0].is_hit(),
+            "read before the write"
+        );
+        assert_eq!(writer.join().unwrap().inserted_rows, 2);
+        let r3 = t3.wait().unwrap().results[0];
+        assert!(r3.is_hit(), "read after the write sees it");
+        assert_eq!(r3.value_sum, 0, "no fetch requested");
+        assert_eq!(
+            *log.lock().unwrap(),
+            vec!["points:1", "points:1", "insert:2", "points:1"],
+            "R1, then R2 cut short by the fence, then the write, then R3"
+        );
+        assert_eq!(service.stats().write_batches, 1);
+    }
+
+    #[test]
+    fn unsupported_traffic_is_rejected_at_submission() {
+        let stub = StubIndex {
+            has_values: false,
+            ranges: false,
+            ..StubIndex::new(&[1])
+        };
+        let service = QueryService::start(Box::new(stub), ServiceConfig::default());
+        let h = service.handle();
+        assert!(!h.is_updatable());
+        assert_eq!(h.backend_name(), "STUB");
+        assert!(!h.capabilities().range_lookups);
+
+        let err = h
+            .query(QueryBatch::of_points(&[1]).fetch_values(true))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ServeError::Index(IndexError::NoValueColumn { .. })
+        ));
+        let err = h.query(QueryBatch::new().range(0, 9)).unwrap_err();
+        assert!(matches!(
+            err,
+            ServeError::Index(IndexError::UnsupportedOperation { .. })
+        ));
+        let err = h.insert(&[5], &[50]).unwrap_err();
+        assert_eq!(
+            err,
+            ServeError::ReadOnlyBackend {
+                backend: "STUB".into()
+            }
+        );
+
+        // Well-formed traffic still flows, including empty batches.
+        assert_eq!(h.query(QueryBatch::of_points(&[1])).unwrap().hit_count(), 1);
+        assert!(h.query(QueryBatch::new()).unwrap().results.is_empty());
+        assert_eq!(
+            service.stats().rejected_batches,
+            0,
+            "prechecks are not admission rejections"
+        );
+    }
+
+    #[test]
+    fn shutdown_drains_admitted_requests_then_rejects_new_ones() {
+        let config = ServiceConfig::new().with_linger(Duration::ZERO);
+        let (service, gate, _log) = stub_service(&[1, 2], config);
+        let h = service.handle();
+
+        gate.hold();
+        let t1 = h.submit(QueryBatch::of_points(&[1])).unwrap();
+        gate.await_entered(1);
+        let t2 = h.submit(QueryBatch::of_points(&[2])).unwrap();
+        let t3 = h.submit(QueryBatch::of_points(&[9])).unwrap();
+        gate.release();
+        let stats = service.shutdown();
+
+        // Everything admitted before shutdown was answered.
+        assert!(t1.wait().is_ok());
+        assert_eq!(t2.wait().unwrap().hit_count(), 1);
+        assert_eq!(t3.wait().unwrap().hit_count(), 0);
+        assert_eq!(stats.coalesced_batches, 3);
+
+        // The surviving handle is now refused.
+        assert_eq!(
+            h.submit(QueryBatch::of_points(&[1])).unwrap_err(),
+            ServeError::ShuttingDown
+        );
+        assert_eq!(h.insert(&[1], &[1]).unwrap_err(), ServeError::ShuttingDown);
+    }
+
+    #[test]
+    fn coalesce_cap_bounds_fused_submissions() {
+        let config = ServiceConfig::new()
+            .with_linger(Duration::ZERO)
+            .with_max_coalesce_ops(4);
+        let (service, gate, log) = stub_service(&[1], config);
+        let h = service.handle();
+
+        gate.hold();
+        let t0 = h.submit(QueryBatch::of_points(&[1])).unwrap();
+        gate.await_entered(1);
+        // 3 + 3 ops queued: the cap of 4 forbids fusing both (3 + 3 > 4).
+        let t1 = h.submit(QueryBatch::of_points(&[1, 1, 1])).unwrap();
+        let t2 = h.submit(QueryBatch::of_points(&[1, 1, 1])).unwrap();
+        gate.release();
+        for t in [t0, t1, t2] {
+            assert!(t.wait().is_ok());
+        }
+        let stats = service.shutdown();
+        assert_eq!(
+            stats.fused_submissions, 3,
+            "cap kept the two 3-op batches apart"
+        );
+        assert_eq!(
+            *log.lock().unwrap(),
+            vec!["points:1", "points:3", "points:3"]
+        );
+    }
+}

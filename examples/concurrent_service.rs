@@ -1,0 +1,90 @@
+//! Concurrent service: 32 client threads against one coalesced backend.
+//!
+//! Every client submits small mixed batches through a [`QueryService`]
+//! handle; the coalescer fuses concurrent submissions into large backend
+//! batches (recovering the paper's batch-size advantage) executed on a
+//! sharded RX backend — fusion and sharding compose. Every client checks
+//! its own answers against the exact [`GroundTruth`] oracle, so the run
+//! proves correctness under concurrency, not just liveness.
+//!
+//! Run with: `cargo run --release --example concurrent_service`
+
+use rtindex::{registry, Device, IndexSpec, QueryBatch, QueryService, ServiceConfig};
+use rtx_workloads::GroundTruth;
+
+const CLIENTS: u64 = 32;
+const BATCHES_PER_CLIENT: u64 = 24;
+const POINTS_PER_BATCH: u64 = 24;
+
+fn main() {
+    let device = Device::default_eval();
+
+    // One secondary index over a (key, value) column pair, RX sharded over
+    // 4 shards — the coalesced service the clients share.
+    let n: u64 = 100_000;
+    let keys: Vec<u64> = (0..n).map(|i| (i * 2_654_435_761) % n).collect();
+    let values: Vec<u64> = keys.iter().map(|k| k * 3 + 7).collect();
+    let truth = GroundTruth::new(&keys, Some(&values));
+    let backend = registry()
+        .build("RX@4", &IndexSpec::with_values(&device, &keys, &values))
+        .expect("sharded build");
+    println!(
+        "service backend: {} ({} keys), {} clients x {} batches x {} points + 1 range",
+        backend.name(),
+        backend.key_count(),
+        CLIENTS,
+        BATCHES_PER_CLIENT,
+        POINTS_PER_BATCH
+    );
+
+    let service = QueryService::start(backend, ServiceConfig::default());
+    let started = std::time::Instant::now();
+    std::thread::scope(|scope| {
+        for client in 0..CLIENTS {
+            let handle = service.handle();
+            let truth = &truth;
+            scope.spawn(move || {
+                for round in 0..BATCHES_PER_CLIENT {
+                    // A small mixed batch unique to this client and round.
+                    let base = client * 131_071 + round * 8_191;
+                    let points = (0..POINTS_PER_BATCH).map(|i| (base + i * 97) % (n + 50));
+                    let lower = (base * 31) % n;
+                    let batch = QueryBatch::new()
+                        .points(points)
+                        .range(lower, lower + 64)
+                        .fetch_values(true);
+                    let expected = truth.expected_batch(&batch);
+                    let out = handle.query(batch).expect("service answers");
+                    assert_eq!(
+                        out.results, expected,
+                        "client {client} round {round}: oracle-exact results"
+                    );
+                }
+            });
+        }
+    });
+    let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
+
+    let stats = service.shutdown();
+    let total_ops = stats.submitted_ops;
+    println!(
+        "all {} batches oracle-exact in {elapsed_ms:.1} ms host ({:.3e} ops/s)",
+        stats.submitted_batches,
+        total_ops as f64 / (elapsed_ms / 1e3)
+    );
+    println!(
+        "coalescing: {} client batches -> {} fused submissions \
+         ({:.1} batches / {:.1} ops per submission, peak queue {} ops)",
+        stats.coalesced_batches,
+        stats.fused_submissions,
+        stats.mean_coalesced_batches(),
+        stats.mean_fused_ops(),
+        stats.peak_queued_ops
+    );
+    assert_eq!(stats.submitted_batches, CLIENTS * BATCHES_PER_CLIENT);
+    assert_eq!(stats.coalesced_batches, stats.submitted_batches);
+    assert!(
+        stats.coalesced_batches > stats.fused_submissions,
+        "32 concurrent clients must coalesce (got 1 batch per submission)"
+    );
+}

@@ -56,6 +56,7 @@
 //! | [`gpu_baselines`] | the HT / B+ / SA baselines and the radix sort |
 //! | [`rtx_workloads`] | workload generators and ground-truth oracles |
 //! | [`rtx_shard`] | the sharded execution layer: partition any backend, scatter/gather batches |
+//! | [`rtx_serve`] | the concurrent query service: cross-client coalescing, admission control, fenced writes |
 //! | [`rtx_harness`] | the experiment harness reproducing every table and figure |
 //!
 //! ## Sharding
@@ -78,6 +79,34 @@
 //!     .unwrap();
 //! assert_eq!(out.results[0].first_row, 77);
 //! assert_eq!(out.results[1].hit_count, 100);
+//! ```
+//!
+//! ## Serving concurrent clients
+//!
+//! [`QueryService`] puts a concurrent front-end on any backend: clients
+//! submit small batches from many threads, a coalescer thread fuses them
+//! into large backend submissions (recovering the paper's batch-size
+//! advantage), and admission control turns overload into backpressure:
+//!
+//! ```
+//! use rtindex::{registry, Device, IndexSpec, QueryBatch, QueryService, ServiceConfig};
+//!
+//! let device = Device::default_eval();
+//! let keys: Vec<u64> = (0..4096).collect();
+//! let backend = registry()
+//!     .build("RX@2", &IndexSpec::keys_only(&device, &keys))
+//!     .unwrap();
+//! let service = QueryService::start(backend, ServiceConfig::default());
+//! std::thread::scope(|scope| {
+//!     for client in 0..8u64 {
+//!         let handle = service.handle();
+//!         scope.spawn(move || {
+//!             let out = handle.query(QueryBatch::new().point(client * 512)).unwrap();
+//!             assert!(out.results[0].is_hit());
+//!         });
+//!     }
+//! });
+//! assert_eq!(service.stats().submitted_batches, 8);
 //! ```
 //!
 //! ## Dynamic updates
@@ -111,6 +140,7 @@ pub use rtx_delta;
 pub use rtx_harness;
 pub use rtx_math;
 pub use rtx_query;
+pub use rtx_serve;
 pub use rtx_shard;
 pub use rtx_workloads;
 
@@ -126,8 +156,11 @@ pub use rtx_delta::{
 };
 pub use rtx_harness::registry;
 pub use rtx_query::{
-    Capabilities, IndexError, IndexSpec, Partitioning, QueryBatch, QueryOutcome, Registry,
-    SecondaryIndex, ShardSpec, UpdatableIndex,
+    Capabilities, FusedBatch, IndexError, IndexSpec, Partitioning, QueryBatch, QueryOutcome,
+    Registry, SecondaryIndex, ShardSpec, UpdatableIndex,
+};
+pub use rtx_serve::{
+    ClientHandle, PendingQuery, QueryService, ServeError, ServiceConfig, ServiceStats,
 };
 pub use rtx_shard::{install_sharding, HashPartitioner, RangePartitioner, ShardedIndex};
 

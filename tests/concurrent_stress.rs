@@ -1,0 +1,220 @@
+//! Concurrency stress: many threads hammering one shared sharded index and
+//! one coalescing service, with every answer checked against the exact CPU
+//! oracles.
+//!
+//! Two layers are exercised:
+//!
+//! * a `ShardedIndex` (updatable `RXD@4`) shared by 8 reader threads
+//!   executing distinct mixed point/range batches between serialized write
+//!   batches — the trait layer's `&self` execution path under real
+//!   contention;
+//! * a `QueryService` over `RXD@2` with 8 clients owning disjoint key
+//!   slices, each interleaving its own inserts/deletes/upserts with reads
+//!   — writes are fenced per the service contract, and slice disjointness
+//!   makes every client's expected counts deterministic regardless of how
+//!   the scheduler interleaves the clients.
+//!
+//! Row IDs are allocated globally (concurrent inserts interleave
+//! non-deterministically), so the dynamic checks compare `hit_count` and
+//! `value_sum` — row-ID-independent — while the pre-write round asserts
+//! full equality including `first_row`.
+
+use rtindex::{registry, Device, IndexSpec, QueryBatch, QueryService, ServiceConfig};
+use rtx_workloads::truth::DynamicOracle;
+
+/// A deterministic mixed read batch over the key domain, distinct per
+/// (thread, round).
+fn mixed_batch(domain: u64, thread: u64, round: u64) -> QueryBatch {
+    let salt = thread * 7_919 + round * 104_729;
+    let points = (0..96u64).map(move |i| (salt + i * 131) % (domain + domain / 8));
+    let ranges = (0..24u64).map(move |i| {
+        let lower = (salt + i * 613) % domain;
+        (lower, lower + (i % 5) * 17)
+    });
+    QueryBatch::new()
+        .points(points)
+        .ranges(ranges)
+        .range(domain, 0) // inverted: uniformly empty everywhere
+        .fetch_values(true)
+}
+
+#[test]
+fn sharded_index_serves_concurrent_mixed_readers_between_write_batches() {
+    let device = Device::default_eval();
+    let registry = registry();
+    let n: u64 = 4096;
+    let keys: Vec<u64> = (0..n).collect();
+    let values: Vec<u64> = keys.iter().map(|k| k * 5 + 3).collect();
+    let mut index = registry
+        .build_updatable("RXD@4", &IndexSpec::with_values(&device, &keys, &values))
+        .expect("sharded updatable build");
+    let mut oracle = DynamicOracle::new(&keys, &values);
+
+    // Before any write the answers must be exact to the row, concurrently.
+    std::thread::scope(|scope| {
+        for thread in 0..8u64 {
+            let index = &index;
+            let oracle = &oracle;
+            scope.spawn(move || {
+                let batch = mixed_batch(n, thread, 0);
+                let out = index.execute(&batch).expect("concurrent read");
+                assert_eq!(
+                    out.results,
+                    oracle.expected_batch(&batch),
+                    "thread {thread}: pre-write reads are row-exact"
+                );
+            });
+        }
+    });
+
+    // Serialized write batches with 8-thread mixed read storms in between.
+    for round in 1..=4u64 {
+        let fresh: Vec<u64> = (0..64).map(|i| 2 * n + round * 64 + i).collect();
+        let fresh_values: Vec<u64> = fresh.iter().map(|k| k * 9 + 1).collect();
+        let report = index.insert(&fresh, &fresh_values).expect("insert");
+        assert_eq!(report.inserted_rows, fresh.len());
+        oracle.insert_batch(&fresh, &fresh_values);
+
+        let doomed: Vec<u64> = (0..48).map(|i| (round * 97 + i * 31) % n).collect();
+        let report = index.delete(&doomed).expect("delete");
+        assert_eq!(report.deleted_rows, oracle.delete_batch(&doomed));
+
+        let upserted: Vec<u64> = (0..32).map(|i| (round * 53 + i * 67) % (2 * n)).collect();
+        let upsert_values: Vec<u64> = upserted.iter().map(|k| k + 10 * round).collect();
+        let report = index.upsert(&upserted, &upsert_values).expect("upsert");
+        assert_eq!(report.inserted_rows, upserted.len());
+        assert_eq!(
+            report.deleted_rows,
+            oracle.upsert_batch(&upserted, &upsert_values)
+        );
+
+        std::thread::scope(|scope| {
+            for thread in 0..8u64 {
+                let index = &index;
+                let oracle = &oracle;
+                scope.spawn(move || {
+                    for sub in 0..2u64 {
+                        let batch = mixed_batch(2 * n, thread, round * 10 + sub);
+                        let out = index.execute(&batch).expect("concurrent read");
+                        let expected = oracle.expected_batch(&batch);
+                        for (slot, (got, want)) in out.results.iter().zip(&expected).enumerate() {
+                            assert_eq!(
+                                (got.hit_count, got.value_sum),
+                                (want.hit_count, want.value_sum),
+                                "thread {thread} round {round} slot {slot}"
+                            );
+                        }
+                    }
+                });
+            }
+        });
+    }
+}
+
+#[test]
+fn service_fans_in_clients_with_disjoint_write_slices() {
+    const CLIENTS: u64 = 8;
+    const SLICE: u64 = 4096;
+    const INITIAL_PER_CLIENT: u64 = 192;
+    const ROUNDS: u64 = 3;
+
+    let device = Device::default_eval();
+    let registry = registry();
+
+    // Client c owns the key slice [c*SLICE, (c+1)*SLICE): every write stays
+    // inside the owner's slice, so each client's expected counts and sums
+    // are independent of the other clients' interleaved traffic.
+    let keys: Vec<u64> = (0..CLIENTS)
+        .flat_map(|c| (0..INITIAL_PER_CLIENT).map(move |i| c * SLICE + i * 3))
+        .collect();
+    let values: Vec<u64> = keys.iter().map(|k| k * 7 + 11).collect();
+    let backend = registry
+        .build_updatable("RXD@2", &IndexSpec::with_values(&device, &keys, &values))
+        .expect("updatable sharded build");
+    let service =
+        QueryService::start_updatable(backend, ServiceConfig::new().with_max_queue_depth(1 << 16));
+
+    std::thread::scope(|scope| {
+        for client in 0..CLIENTS {
+            let handle = service.handle();
+            let keys = &keys;
+            let values = &values;
+            scope.spawn(move || {
+                // This client's private oracle over only its slice; row IDs
+                // differ from the shared index, counts and sums do not.
+                let base = client * SLICE;
+                let own: Vec<usize> = (0..keys.len())
+                    .filter(|&i| keys[i] / SLICE == client)
+                    .collect();
+                let own_keys: Vec<u64> = own.iter().map(|&i| keys[i]).collect();
+                let own_values: Vec<u64> = own.iter().map(|&i| values[i]).collect();
+                let mut oracle = DynamicOracle::new(&own_keys, &own_values);
+
+                let verify = |oracle: &DynamicOracle, batch: &QueryBatch, round: u64| {
+                    let out = handle.query(batch.clone()).expect("service read");
+                    let expected = oracle.expected_batch(batch);
+                    for (slot, (got, want)) in out.results.iter().zip(&expected).enumerate() {
+                        assert_eq!(
+                            (got.hit_count, got.value_sum),
+                            (want.hit_count, want.value_sum),
+                            "client {client} round {round} slot {slot}"
+                        );
+                    }
+                };
+
+                for round in 0..ROUNDS {
+                    // Insert fresh keys into the owned slice.
+                    let fresh: Vec<u64> =
+                        (0..48).map(|i| base + 2048 + round * 96 + i * 2).collect();
+                    let fresh_values: Vec<u64> = fresh.iter().map(|k| k * 3 + round).collect();
+                    let report = handle.insert(&fresh, &fresh_values).expect("insert");
+                    assert_eq!(report.inserted_rows, fresh.len());
+                    oracle.insert_batch(&fresh, &fresh_values);
+
+                    // Reads over the owned slice (plus misses past it) see
+                    // exactly this client's writes.
+                    let batch = QueryBatch::new()
+                        .points((0..128u64).map(|i| base + (round * 37 + i * 29) % SLICE))
+                        .range(base, base + SLICE - 1)
+                        .range(base + 2048, base + 2048 + 95)
+                        .fetch_values(true);
+                    verify(&oracle, &batch, round);
+
+                    // Delete & upsert inside the slice, then re-verify.
+                    let doomed: Vec<u64> =
+                        (0..24).map(|i| base + ((round + i) * 3) % 576).collect();
+                    let report = handle.delete(&doomed).expect("delete");
+                    assert_eq!(report.deleted_rows, oracle.delete_batch(&doomed));
+
+                    let upserted: Vec<u64> = (0..16).map(|i| base + i * 5).collect();
+                    let upsert_values: Vec<u64> =
+                        upserted.iter().map(|k| k + 1000 * round).collect();
+                    let report = handle.upsert(&upserted, &upsert_values).expect("upsert");
+                    assert_eq!(
+                        report.deleted_rows,
+                        oracle.upsert_batch(&upserted, &upsert_values)
+                    );
+
+                    let batch = QueryBatch::new()
+                        .points((0..96u64).map(|i| base + i * 7))
+                        .range(base, base + 640)
+                        .fetch_values(true);
+                    verify(&oracle, &batch, round);
+                }
+            });
+        }
+    });
+
+    let stats = service.shutdown();
+    assert_eq!(
+        stats.write_batches,
+        CLIENTS * ROUNDS * 3,
+        "every write applied"
+    );
+    assert_eq!(
+        stats.submitted_batches,
+        CLIENTS * ROUNDS * 2,
+        "every read answered"
+    );
+    assert_eq!(stats.rejected_batches, 0, "no backpressure at this load");
+}
