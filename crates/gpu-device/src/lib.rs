@@ -30,6 +30,7 @@
 //! substrate below `optix-sim`, `rtindex-core` and `gpu-baselines`.
 
 pub mod access;
+pub mod build;
 pub mod cost;
 pub mod executor;
 pub mod memory;
@@ -38,6 +39,7 @@ pub mod profiler;
 pub mod spec;
 
 pub use access::AccessClassifier;
+pub use build::{staged_build_cost, BuildStage, BuildWork, StagedBuildCost, BUILD_STAGE_COUNT};
 pub use cost::{CostModel, SimulatedTime};
 pub use executor::{launch_kernel, parallel_map, parallel_tasks, worker_count, ThreadCtx};
 pub use memory::{DeviceBuffer, MemoryTracker};

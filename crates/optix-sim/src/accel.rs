@@ -8,8 +8,9 @@
 //! consumes, so that Table 6 (footprint during vs. after build) can be
 //! reproduced.
 
-use gpu_device::{Device, KernelStats, SimulatedTime};
-use rtx_bvh::{builder, refit, BuildConfig, BuilderKind, Bvh, PrimitiveSet};
+use gpu_device::build::{staged_build_cost, BuildWork, BUILD_STAGE_COUNT};
+use gpu_device::{worker_count, Device, KernelStats, SimulatedTime};
+use rtx_bvh::{refit, BuildConfig, BuildPipeline, BuilderKind, Bvh, PrimitiveSet};
 
 use crate::build_input::{BuildInput, PrimitiveKind};
 
@@ -26,6 +27,11 @@ pub struct AccelBuildOptions {
     pub max_leaf_size: usize,
     /// Which builder the "driver" uses.
     pub builder: BuilderKind,
+    /// Concurrent build queues the staged pipeline is simulated at;
+    /// `None` uses the pool width ([`gpu_device::worker_count`]). The
+    /// emitted structure never depends on this — only the simulated build
+    /// time does.
+    pub build_workers: Option<usize>,
 }
 
 impl Default for AccelBuildOptions {
@@ -35,6 +41,7 @@ impl Default for AccelBuildOptions {
             compact: true,
             max_leaf_size: 4,
             builder: BuilderKind::Lbvh,
+            build_workers: None,
         }
     }
 }
@@ -49,6 +56,12 @@ impl AccelBuildOptions {
             ..Default::default()
         }
     }
+
+    /// Returns options pinned to an explicit build-queue width.
+    pub fn with_build_workers(mut self, workers: usize) -> Self {
+        self.build_workers = Some(workers.max(1));
+        self
+    }
 }
 
 /// Metrics captured while building (or updating) an acceleration structure.
@@ -58,10 +71,41 @@ pub struct BuildMetrics {
     pub host_build_time: std::time::Duration,
     /// Simulated device time for the build kernel.
     pub simulated_time_s: f64,
+    /// Simulated seconds per pipeline stage, indexed by
+    /// [`gpu_device::build::BuildStage::index`]. All zero after a refitting
+    /// update (refits are a single kernel, not a pipeline).
+    pub stage_sim_s: [f64; BUILD_STAGE_COUNT],
+    /// Build-queue width the staged pipeline was simulated at.
+    pub build_workers: usize,
+    /// Subtrees emitted by the parallel stage (0 for refits).
+    pub subtree_count: usize,
     /// Bytes of temporary memory used during the build and released after.
     pub scratch_bytes: u64,
     /// Bytes reclaimed by compaction (0 when compaction did not run).
     pub compacted_bytes: u64,
+}
+
+/// An acceleration-structure build running on a background thread.
+///
+/// Created by [`GeometryAccel::build_async`]. Dropping it without calling
+/// [`wait`](PendingAccelBuild::wait) detaches the build (it still completes
+/// and is then discarded).
+#[derive(Debug)]
+pub struct PendingAccelBuild {
+    handle: std::thread::JoinHandle<GeometryAccel>,
+}
+
+impl PendingAccelBuild {
+    /// True once the background build has completed and
+    /// [`wait`](PendingAccelBuild::wait) would return without blocking.
+    pub fn is_finished(&self) -> bool {
+        self.handle.is_finished()
+    }
+
+    /// Blocks until the build completes and returns the structure.
+    pub fn wait(self) -> GeometryAccel {
+        self.handle.join().expect("accel build thread panicked")
+    }
 }
 
 /// A built geometry acceleration structure.
@@ -77,7 +121,15 @@ pub struct GeometryAccel {
 }
 
 impl GeometryAccel {
-    /// Builds the acceleration structure (our `optixAccelBuild`).
+    /// Builds the acceleration structure (our `optixAccelBuild`) through
+    /// the staged parallel pipeline: snapshot → Morton sort → parallel
+    /// subtree emission over the worker pool → top-level stitch → optional
+    /// compaction. Each stage is charged as a build kernel against the
+    /// device's cost model, with the data-parallel stages split over the
+    /// configured build-queue width, so simulated build throughput scales
+    /// with [`gpu_device::worker_count`] (or the explicit
+    /// [`AccelBuildOptions::build_workers`] override). The emitted
+    /// structure is bit-identical at every width.
     pub fn build(device: &Device, input: BuildInput, options: &AccelBuildOptions) -> GeometryAccel {
         let start = std::time::Instant::now();
 
@@ -87,6 +139,7 @@ impl GeometryAccel {
             allow_update: options.allow_update,
             builder: options.builder,
         };
+        let workers = options.build_workers.unwrap_or_else(worker_count).max(1);
 
         // Temporary build scratch: GPU builders need roughly another copy of
         // the primitive data plus sort space. Model it as 2x the primitive
@@ -94,7 +147,10 @@ impl GeometryAccel {
         let scratch_bytes = input.primitive_buffer_bytes() * 2;
         let scratch = device.alloc::<u8>(scratch_bytes as usize);
 
-        let mut bvh = builder::build(input.as_primitive_set(), &config);
+        let staged = BuildPipeline::new(config)
+            .with_workers(workers)
+            .run(input.as_primitive_set());
+        let mut bvh = staged.bvh;
         let mut compacted_bytes = 0;
         if options.compact {
             compacted_bytes = bvh.compact();
@@ -107,27 +163,26 @@ impl GeometryAccel {
         let prim_buffer = device.alloc::<u8>(input.primitive_buffer_bytes() as usize);
         let bvh_buffer = device.alloc::<u8>(bvh.memory_bytes() as usize);
 
-        // Charge the build to the device's profiler. A GPU BVH build is a
-        // multi-kernel pipeline (Morton coding, a key sort, hierarchy
-        // emission, bounds refit and compaction) that touches the primitive
-        // buffer several times and writes the whole hierarchy — noticeably
-        // more work than the single radix sort behind the SA/B+ builds,
-        // which is why RX has the slowest build in Figure 10c.
-        let n = input.len() as u64;
-        let build_stats = KernelStats {
-            threads_launched: n,
-            kernel_launches: 12,
-            instructions: n * 150,
-            dram_bytes_read: input.primitive_buffer_bytes() * 6,
-            dram_bytes_written: bvh.memory_bytes() * 2 + input.primitive_buffer_bytes(),
-            ..KernelStats::new()
+        // Charge the staged pipeline to the device. The BVH build remains a
+        // multi-kernel pipeline that touches the primitive buffer several
+        // times and writes the whole hierarchy — noticeably more work than
+        // the single radix sort behind the SA/B+ builds, which is why RX
+        // has the slowest build in Figure 10c.
+        let work = BuildWork {
+            prims: input.len() as u64,
+            prim_buffer_bytes: input.primitive_buffer_bytes(),
+            bvh_bytes: Bvh::tight_bytes_for(bvh.node_count(), bvh.primitive_count()),
+            subtrees: staged.subtree_count.max(1) as u64,
+            morton_sort: matches!(options.builder, BuilderKind::Lbvh),
         };
-        let simulated = device.cost_model().simulated_time(&build_stats);
-        device.profiler().record_kernel(build_stats);
+        let cost = staged_build_cost(device, &work, workers, options.compact);
 
         let metrics = BuildMetrics {
             host_build_time,
-            simulated_time_s: simulated.as_seconds(),
+            simulated_time_s: cost.total_s,
+            stage_sim_s: cost.stage_s,
+            build_workers: workers,
+            subtree_count: staged.subtree_count,
             scratch_bytes,
             compacted_bytes,
         };
@@ -138,6 +193,25 @@ impl GeometryAccel {
             metrics,
             prim_buffer,
             bvh_buffer,
+        }
+    }
+
+    /// Starts a build on a background thread (the asynchronous half of
+    /// `optixAccelBuild` on a side stream): the calling thread keeps
+    /// serving from existing structures while the new one is constructed,
+    /// and claims the result with [`PendingAccelBuild::wait`].
+    pub fn build_async(
+        device: &Device,
+        input: BuildInput,
+        options: &AccelBuildOptions,
+    ) -> PendingAccelBuild {
+        let device = device.clone();
+        let options = *options;
+        PendingAccelBuild {
+            handle: std::thread::Builder::new()
+                .name("rtx-accel-build".to_string())
+                .spawn(move || GeometryAccel::build(&device, input, &options))
+                .expect("spawn accel build thread"),
         }
     }
 
@@ -223,7 +297,7 @@ impl GeometryAccel {
             host_build_time: start.elapsed(),
             simulated_time_s: simulated.as_seconds(),
             scratch_bytes,
-            compacted_bytes: 0,
+            ..BuildMetrics::default()
         };
         Ok(())
     }
@@ -340,15 +414,61 @@ mod tests {
     }
 
     #[test]
-    fn build_records_profiler_kernel() {
+    fn build_records_one_kernel_per_pipeline_stage() {
         let device = Device::default_eval();
         let before = device.profiler().kernels_recorded();
-        let _gas = GeometryAccel::build(
+        let gas = GeometryAccel::build(
             &device,
             BuildInput::from_centers(PrimitiveKind::Aabb, &centers(64)),
             &AccelBuildOptions::default(),
         );
-        assert_eq!(device.profiler().kernels_recorded(), before + 1);
+        assert_eq!(
+            device.profiler().kernels_recorded(),
+            before + gpu_device::BUILD_STAGE_COUNT as u64
+        );
         assert!(device.profiler().last_kernel().dram_bytes_written > 0);
+        // Every executed stage contributes simulated time that sums to the
+        // total.
+        let m = gas.metrics();
+        assert!(m.stage_sim_s.iter().all(|&s| s > 0.0));
+        assert!((m.stage_sim_s.iter().sum::<f64>() - m.simulated_time_s).abs() < 1e-12);
+        assert!(m.subtree_count >= 1);
+        assert!(m.build_workers >= 1);
+    }
+
+    #[test]
+    fn wider_build_queues_shrink_simulated_build_time_only() {
+        let device = Device::default_eval();
+        let input = BuildInput::from_centers(PrimitiveKind::Triangle, &centers(1 << 16));
+        let serial = GeometryAccel::build(
+            &device,
+            input.clone(),
+            &AccelBuildOptions::default().with_build_workers(1),
+        );
+        let wide = GeometryAccel::build(
+            &device,
+            input,
+            &AccelBuildOptions::default().with_build_workers(8),
+        );
+        assert!(
+            wide.metrics().simulated_time_s < serial.metrics().simulated_time_s,
+            "8 build queues must beat 1"
+        );
+        // The emitted structure is identical at every width.
+        assert_eq!(serial.bvh().nodes, wide.bvh().nodes);
+        assert_eq!(serial.bvh().prim_indices, wide.bvh().prim_indices);
+    }
+
+    #[test]
+    fn async_build_matches_synchronous_build() {
+        let device = Device::default_eval();
+        let input = BuildInput::from_centers(PrimitiveKind::Triangle, &centers(2048));
+        let pending =
+            GeometryAccel::build_async(&device, input.clone(), &AccelBuildOptions::default());
+        let sync = GeometryAccel::build(&device, input, &AccelBuildOptions::default());
+        let gas = pending.wait();
+        assert_eq!(gas.bvh().nodes, sync.bvh().nodes);
+        assert_eq!(gas.bvh().prim_indices, sync.bvh().prim_indices);
+        gas.bvh().validate().expect("valid async build");
     }
 }

@@ -27,7 +27,7 @@ pub mod context;
 
 pub mod pipeline;
 
-pub use accel::{AccelBuildOptions, BuildMetrics, GeometryAccel};
+pub use accel::{AccelBuildOptions, BuildMetrics, GeometryAccel, PendingAccelBuild};
 pub use build_input::{BuildInput, PrimitiveKind};
 pub use context::DeviceContext;
 pub use gpu_device::AccessClassifier;

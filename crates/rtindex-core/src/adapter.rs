@@ -22,8 +22,13 @@ pub struct RxAdapter {
 impl RxAdapter {
     /// Builds an RX index over the spec's columns with `config`. The value
     /// column is shared with the spec (and every other backend built from
-    /// it), not copied.
-    pub fn build(spec: &IndexSpec<'_>, config: RtIndexConfig) -> Result<Self, IndexError> {
+    /// it), not copied. A builder selection in the spec (set by the
+    /// `"RX:sah"` / `"RX:lbvh"` registry grammar or
+    /// [`IndexSpec::with_builder`]) overrides the configured BVH builder.
+    pub fn build(spec: &IndexSpec<'_>, mut config: RtIndexConfig) -> Result<Self, IndexError> {
+        if let Some(builder) = spec.builder {
+            config.builder = builder;
+        }
         let index = RtIndex::build(spec.device, spec.keys, config)?;
         Ok(RxAdapter {
             index,

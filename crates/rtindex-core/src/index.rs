@@ -51,6 +51,25 @@ impl RtIndex {
         keys: &[u64],
         config: RtIndexConfig,
     ) -> Result<Self, RtIndexError> {
+        Self::validate_build(&config, keys)?;
+
+        let keys_buffer = device.upload(keys);
+        let input = Self::build_input(&config, keys);
+        let gas = GeometryAccel::build(device, input, &Self::accel_options(&config));
+
+        Ok(RtIndex {
+            config,
+            device: device.clone(),
+            gas,
+            keys: keys_buffer,
+            key_count: keys.len(),
+        })
+    }
+
+    /// The build-time validity checks, shared by [`RtIndex::build`] and
+    /// [`RtIndex::build_async`] — the async path relies on them having run
+    /// on the calling thread so the background build cannot fail.
+    fn validate_build(config: &RtIndexConfig, keys: &[u64]) -> Result<(), RtIndexError> {
         if !config.key_mode.supports_primitive(config.primitive) {
             return Err(RtIndexError::UnsupportedPrimitive {
                 mode: config.key_mode,
@@ -65,23 +84,40 @@ impl RtIndex {
                 max_key,
             });
         }
+        Ok(())
+    }
 
-        let keys_buffer = device.upload(keys);
-        let input = Self::build_input(&config, keys);
-        let options = AccelBuildOptions {
+    fn accel_options(config: &RtIndexConfig) -> AccelBuildOptions {
+        AccelBuildOptions {
             allow_update: config.allow_update,
             compact: config.compact,
             max_leaf_size: config.max_leaf_size,
             builder: config.builder,
-        };
-        let gas = GeometryAccel::build(device, input, &options);
+            ..AccelBuildOptions::default()
+        }
+    }
 
-        Ok(RtIndex {
-            config,
-            device: device.clone(),
-            gas,
-            keys: keys_buffer,
-            key_count: keys.len(),
+    /// Starts building an index on a background thread and returns a handle
+    /// to claim it with. The build runs through the same staged pipeline as
+    /// [`RtIndex::build`] (keys are validated up front, on the calling
+    /// thread), so the caller can keep serving lookups from an existing
+    /// index while the replacement is constructed — the mechanism behind
+    /// `rtx-delta`'s background compaction.
+    pub fn build_async(
+        device: &Device,
+        keys: Vec<u64>,
+        config: RtIndexConfig,
+    ) -> Result<PendingIndexBuild, RtIndexError> {
+        Self::validate_build(&config, &keys)?;
+        let device = device.clone();
+        Ok(PendingIndexBuild {
+            handle: std::thread::Builder::new()
+                .name("rtx-index-build".to_string())
+                .spawn(move || {
+                    RtIndex::build(&device, &keys, config)
+                        .expect("keys validated before the background build")
+                })
+                .expect("spawn index build thread"),
         })
     }
 
@@ -348,10 +384,33 @@ impl RtIndex {
 
     /// Rebuilds the index from scratch over a new key column (which may have
     /// a different length). This is the update strategy the paper selects.
+    /// The rebuild runs through the staged parallel pipeline (see
+    /// [`RtIndex::build`]); use [`RtIndex::build_async`] to rebuild without
+    /// blocking the serving thread.
     pub fn rebuild(&mut self, new_keys: &[u64]) -> Result<(), RtIndexError> {
         let rebuilt = RtIndex::build(&self.device, new_keys, self.config)?;
         *self = rebuilt;
         Ok(())
+    }
+}
+
+/// An [`RtIndex`] build running on a background thread, created by
+/// [`RtIndex::build_async`].
+#[derive(Debug)]
+pub struct PendingIndexBuild {
+    handle: std::thread::JoinHandle<RtIndex>,
+}
+
+impl PendingIndexBuild {
+    /// True once the background build has completed and
+    /// [`wait`](PendingIndexBuild::wait) would return without blocking.
+    pub fn is_finished(&self) -> bool {
+        self.handle.is_finished()
+    }
+
+    /// Blocks until the build completes and returns the index.
+    pub fn wait(self) -> RtIndex {
+        self.handle.join().expect("index build thread panicked")
     }
 }
 
@@ -792,6 +851,30 @@ mod tests {
             .expect("lookup");
         assert_eq!(outcome.results[0].first_row, 0);
         assert_eq!(updatable.keys()[0], new_keys[0]);
+    }
+
+    #[test]
+    fn async_build_answers_like_the_synchronous_build() {
+        let dev = device();
+        let keys = shuffled_keys(256);
+        let pending = RtIndex::build_async(&dev, keys.clone(), RtIndexConfig::default())
+            .expect("valid keys start the build");
+        let sync = RtIndex::build(&dev, &keys, RtIndexConfig::default()).expect("build");
+        let index = pending.wait();
+        let queries: Vec<u64> = (0..300).collect();
+        let a = index.point_lookup_batch(&queries, None).expect("lookup");
+        let b = sync.point_lookup_batch(&queries, None).expect("lookup");
+        assert_eq!(a.results, b.results);
+
+        // Invalid keys are rejected up front, before any thread spawns.
+        let err = RtIndex::build_async(
+            &dev,
+            vec![u64::MAX],
+            RtIndexConfig::default().with_key_mode(crate::KeyMode::Naive),
+        )
+        .map(|_| ())
+        .expect_err("out-of-range key");
+        assert!(matches!(err, RtIndexError::KeyOutOfRange { .. }));
     }
 
     #[test]

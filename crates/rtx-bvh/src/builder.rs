@@ -77,13 +77,13 @@ pub fn build(prims: &dyn PrimitiveSet, config: &BuildConfig) -> Bvh {
 }
 
 /// Per-primitive info snapshotted before construction.
-struct PrimInfo {
-    index: u32,
-    bounds: Aabb,
-    centroid: rtx_math::Vec3f,
+pub(crate) struct PrimInfo {
+    pub(crate) index: u32,
+    pub(crate) bounds: Aabb,
+    pub(crate) centroid: rtx_math::Vec3f,
 }
 
-fn collect_prim_info(prims: &dyn PrimitiveSet) -> Vec<PrimInfo> {
+pub(crate) fn collect_prim_info(prims: &dyn PrimitiveSet) -> Vec<PrimInfo> {
     (0..prims.len())
         .map(|i| PrimInfo {
             index: i as u32,
@@ -93,35 +93,32 @@ fn collect_prim_info(prims: &dyn PrimitiveSet) -> Vec<PrimInfo> {
         .collect()
 }
 
+/// One pending range of the iterative builders. Only right children carry a
+/// fix-up: the left child is always the next node in pre-order, so its
+/// parent needs no patching.
+struct Frame {
+    lo: usize,
+    hi: usize,
+    /// Index of the interior node whose `right_child` this range's root is.
+    fixup: Option<usize>,
+}
+
 /// Builds a BVH with the binned SAH algorithm.
 pub fn build_sah(prims: &dyn PrimitiveSet, config: &BuildConfig) -> Bvh {
     let mut info = collect_prim_info(prims);
     let mut nodes = Vec::with_capacity(prims.len().max(1) * 2);
     let mut order = Vec::with_capacity(prims.len());
     if !info.is_empty() {
-        build_sah_recursive(&mut info[..], &mut nodes, &mut order, config);
+        build_sah_range(&mut info[..], &mut nodes, &mut order, config);
     }
     Bvh::new(nodes, order, config.allow_update)
 }
 
-/// Recursively builds the subtree for `info`, appending nodes in pre-order.
-/// Returns the index of the subtree root.
-fn build_sah_recursive(
-    info: &mut [PrimInfo],
-    nodes: &mut Vec<BvhNode>,
-    order: &mut Vec<u32>,
-    config: &BuildConfig,
-) -> usize {
-    let bounds = info.iter().fold(Aabb::EMPTY, |acc, p| acc.union(&p.bounds));
-    let node_index = nodes.len();
-
-    if info.len() <= config.max_leaf_size {
-        let first = order.len() as u32;
-        order.extend(info.iter().map(|p| p.index));
-        nodes.push(BvhNode::leaf(bounds, first, info.len() as u32));
-        return node_index;
-    }
-
+/// The SAH split position for `info`: sorts the slice along the chosen axis
+/// and returns the split index (always in `1..len`). Shared by the one-shot
+/// builder and the staged pipeline's top-level splitting so both produce the
+/// same tree.
+pub(crate) fn sah_split_position(info: &mut [PrimInfo], config: &BuildConfig) -> usize {
     let centroid_bounds = info
         .iter()
         .fold(Aabb::EMPTY, |acc, p| acc.union_point(p.centroid));
@@ -135,16 +132,59 @@ fn build_sah_recursive(
     } else {
         binned_sah_split(info, axis, &centroid_bounds, config.sah_bins).unwrap_or(info.len() / 2)
     };
-    let split = split.clamp(1, info.len() - 1);
+    split.clamp(1, info.len() - 1)
+}
 
-    // Partition is implicit: `binned_sah_split` sorts by centroid along the
-    // chosen axis, so splitting the slice is enough.
-    nodes.push(BvhNode::interior(bounds, 0));
-    let (left, right) = info.split_at_mut(split);
-    build_sah_recursive(left, nodes, order, config);
-    let right_index = build_sah_recursive(right, nodes, order, config);
-    nodes[node_index].right_child = right_index as u32;
-    node_index
+/// Builds the subtree for `info` with an explicit work stack, appending
+/// nodes in pre-order (identical to the historical recursive builder, but
+/// immune to call-stack overflow on adversarial inputs whose splits
+/// degenerate into long spines). Returns the index of the subtree root.
+pub(crate) fn build_sah_range(
+    info: &mut [PrimInfo],
+    nodes: &mut Vec<BvhNode>,
+    order: &mut Vec<u32>,
+    config: &BuildConfig,
+) -> usize {
+    let root = nodes.len();
+    let mut stack = vec![Frame {
+        lo: 0,
+        hi: info.len(),
+        fixup: None,
+    }];
+    while let Some(Frame { lo, hi, fixup }) = stack.pop() {
+        let node_index = nodes.len();
+        if let Some(parent) = fixup {
+            nodes[parent].right_child = node_index as u32;
+        }
+        let slice = &mut info[lo..hi];
+        let bounds = slice
+            .iter()
+            .fold(Aabb::EMPTY, |acc, p| acc.union(&p.bounds));
+
+        if slice.len() <= config.max_leaf_size {
+            let first = order.len() as u32;
+            order.extend(slice.iter().map(|p| p.index));
+            nodes.push(BvhNode::leaf(bounds, first, slice.len() as u32));
+            continue;
+        }
+
+        // Partition is implicit: `sah_split_position` sorts by centroid
+        // along the chosen axis, so splitting the range is enough.
+        let split = sah_split_position(slice, config);
+        nodes.push(BvhNode::interior(bounds, 0));
+        // Right pushed first so the left child pops next (pre-order).
+        stack.push(Frame {
+            lo: lo + split,
+            hi,
+            fixup: Some(node_index),
+        });
+        stack.push(Frame {
+            lo,
+            hi: lo + split,
+            fixup: None,
+        });
+    }
+    root
 }
 
 /// Sorts `info` along `axis` and returns the SAH-optimal split position.
@@ -214,57 +254,82 @@ fn binned_sah_split(
 
 /// Builds a BVH with the LBVH (Morton sort) algorithm.
 pub fn build_lbvh(prims: &dyn PrimitiveSet, config: &BuildConfig) -> Bvh {
-    let info = collect_prim_info(prims);
+    let keyed = morton_sorted(collect_prim_info(prims));
+    let mut nodes = Vec::with_capacity(keyed.len().max(1) * 2);
+    let mut order = Vec::with_capacity(keyed.len());
+    if !keyed.is_empty() {
+        build_lbvh_range(&keyed[..], &mut nodes, &mut order, config);
+    }
+    Bvh::new(nodes, order, config.allow_update)
+}
+
+/// Keys the snapshotted primitives by the Morton code of their centroid and
+/// sorts them (code, then primitive index for a stable total order). Shared
+/// with the staged pipeline.
+pub(crate) fn morton_sorted(info: Vec<PrimInfo>) -> Vec<(u64, PrimInfo)> {
     let scene_bounds = info
         .iter()
         .fold(Aabb::EMPTY, |acc, p| acc.union_point(p.centroid));
-
     let mut keyed: Vec<(u64, PrimInfo)> = info
         .into_iter()
         .map(|p| (morton_in_bounds(p.centroid, &scene_bounds), p))
         .collect();
     keyed.sort_unstable_by_key(|(code, p)| (*code, p.index));
-
-    let mut nodes = Vec::with_capacity(keyed.len().max(1) * 2);
-    let mut order = Vec::with_capacity(keyed.len());
-    if !keyed.is_empty() {
-        build_lbvh_recursive(&keyed[..], &mut nodes, &mut order, config);
-    }
-    Bvh::new(nodes, order, config.allow_update)
+    keyed
 }
 
-/// Recursively builds the subtree over the Morton-sorted slice `sorted`.
-fn build_lbvh_recursive(
+/// Builds the subtree over the Morton-sorted slice `sorted` with an
+/// explicit work stack, appending nodes in pre-order (identical layout to
+/// the historical recursive builder).
+pub(crate) fn build_lbvh_range(
     sorted: &[(u64, PrimInfo)],
     nodes: &mut Vec<BvhNode>,
     order: &mut Vec<u32>,
     config: &BuildConfig,
 ) -> usize {
-    let bounds = sorted
-        .iter()
-        .fold(Aabb::EMPTY, |acc, (_, p)| acc.union(&p.bounds));
-    let node_index = nodes.len();
+    let root = nodes.len();
+    let mut stack = vec![Frame {
+        lo: 0,
+        hi: sorted.len(),
+        fixup: None,
+    }];
+    while let Some(Frame { lo, hi, fixup }) = stack.pop() {
+        let node_index = nodes.len();
+        if let Some(parent) = fixup {
+            nodes[parent].right_child = node_index as u32;
+        }
+        let slice = &sorted[lo..hi];
+        let bounds = slice
+            .iter()
+            .fold(Aabb::EMPTY, |acc, (_, p)| acc.union(&p.bounds));
 
-    if sorted.len() <= config.max_leaf_size {
-        let first = order.len() as u32;
-        order.extend(sorted.iter().map(|(_, p)| p.index));
-        nodes.push(BvhNode::leaf(bounds, first, sorted.len() as u32));
-        return node_index;
+        if slice.len() <= config.max_leaf_size {
+            let first = order.len() as u32;
+            order.extend(slice.iter().map(|(_, p)| p.index));
+            nodes.push(BvhNode::leaf(bounds, first, slice.len() as u32));
+            continue;
+        }
+
+        let split = lbvh_split_position(slice);
+        nodes.push(BvhNode::interior(bounds, 0));
+        stack.push(Frame {
+            lo: lo + split,
+            hi,
+            fixup: Some(node_index),
+        });
+        stack.push(Frame {
+            lo,
+            hi: lo + split,
+            fixup: None,
+        });
     }
-
-    let split = lbvh_split_position(sorted);
-    nodes.push(BvhNode::interior(bounds, 0));
-    let (left, right) = sorted.split_at(split);
-    build_lbvh_recursive(left, nodes, order, config);
-    let right_index = build_lbvh_recursive(right, nodes, order, config);
-    nodes[node_index].right_child = right_index as u32;
-    node_index
+    root
 }
 
 /// Chooses the split position for an LBVH node: the point where the highest
 /// differing Morton bit flips; falls back to the middle when all codes are
 /// equal (duplicate keys).
-fn lbvh_split_position(sorted: &[(u64, PrimInfo)]) -> usize {
+pub(crate) fn lbvh_split_position(sorted: &[(u64, PrimInfo)]) -> usize {
     let first = sorted.first().map(|(c, _)| *c).unwrap_or(0);
     let last = sorted.last().map(|(c, _)| *c).unwrap_or(0);
     if first == last {

@@ -25,6 +25,7 @@
 
 pub mod builder;
 pub mod node;
+pub mod pipeline;
 pub mod primitives;
 pub mod quality;
 pub mod refit;
@@ -32,6 +33,7 @@ pub mod traverse;
 
 pub use builder::{build_lbvh, build_sah, BuildConfig, BuilderKind};
 pub use node::{Bvh, BvhNode};
+pub use pipeline::{BuildPipeline, PipelineBuild, DEFAULT_TARGET_SUBTREES};
 pub use primitives::{AabbSet, PrimitiveSet, SphereSet, TriangleSet};
 pub use quality::BvhQuality;
 pub use traverse::{traverse, AnyHitControl, TraversalStats};

@@ -1,0 +1,463 @@
+//! The staged, parallel BVH build pipeline.
+//!
+//! [`BuildPipeline`] decomposes construction into the stages a GPU driver
+//! runs — snapshot the primitives, Morton-sort (LBVH), split the top levels,
+//! emit the subtrees in parallel over the worker pool
+//! ([`gpu_device::parallel_map`]), stitch the spine — and produces a
+//! [`Bvh`] that is **bit-identical** to the one-shot builders in
+//! [`builder`](crate::builder) for the same [`BuildConfig`], regardless of
+//! how many workers execute it:
+//!
+//! * the top-level splits use *the same split rule* as the one-shot builder
+//!   ([`sah_split_position`] / [`lbvh_split_position`]), applied until every
+//!   slice is at most the grain size;
+//! * the grain derives from a fixed subtree target
+//!   ([`BuildPipeline::with_target_subtrees`]), **not** from the worker
+//!   count, so the decomposition — and with it the emitted tree — never
+//!   depends on execution width;
+//! * each slice is built by the same iterative range builders the one-shot
+//!   path uses, and the stitch splices the subtree blocks back in exact
+//!   pre-order with offset fix-ups.
+//!
+//! The pipeline reports per-stage host timings and the subtree count; the
+//! simulated device cost of the stages lives in [`gpu_device::build`] and is
+//! charged by the accel layer (`optix-sim`), where the build is wired into
+//! `optixAccelBuild`.
+//!
+//! [`sah_split_position`]: crate::builder
+//! [`lbvh_split_position`]: crate::builder
+
+use std::time::{Duration, Instant};
+
+use gpu_device::build::{BuildStage, BUILD_STAGE_COUNT};
+use gpu_device::{parallel_map, parallel_tasks, worker_count};
+
+use crate::builder::{
+    build_lbvh_range, build_sah_range, lbvh_split_position, morton_sorted, sah_split_position,
+    BuildConfig, BuilderKind, PrimInfo,
+};
+use crate::node::{Bvh, BvhNode};
+use crate::primitives::PrimitiveSet;
+use rtx_math::Aabb;
+
+/// Default number of subtrees the top-level splitting aims for. Fixed (not
+/// derived from the worker count) so the decomposition is deterministic;
+/// large enough that the pool load-balances uneven split sizes.
+pub const DEFAULT_TARGET_SUBTREES: usize = 64;
+
+/// The staged parallel builder. See the [module docs](self).
+#[derive(Debug, Clone, Copy)]
+pub struct BuildPipeline {
+    config: BuildConfig,
+    workers: usize,
+    target_subtrees: usize,
+}
+
+/// The result of one pipeline run: the hierarchy plus the stage telemetry
+/// the accel layer charges to the cost model.
+#[derive(Debug)]
+pub struct PipelineBuild {
+    /// The built hierarchy (uncompacted; compaction is the accel layer's
+    /// decision, as in OptiX).
+    pub bvh: Bvh,
+    /// Subtrees emitted by the parallel stage.
+    pub subtree_count: usize,
+    /// Host wall-clock time per stage, indexed by [`BuildStage::index`].
+    /// The compaction slot stays zero — the pipeline never compacts.
+    pub stage_host: [Duration; BUILD_STAGE_COUNT],
+    /// The worker width the run was configured with (drives the simulated
+    /// cost; the host-side pool is always the process-global one).
+    pub workers: usize,
+}
+
+/// One step of the top-level build plan, in pre-order.
+struct PlanStep {
+    /// Bounds of the range this step covers (identical fold order to the
+    /// one-shot builder, so the float results match bit for bit).
+    bounds: Aabb,
+    /// `Some(slice_index)` for a subtree slice, `None` for a spine interior.
+    slice: Option<usize>,
+    /// Plan index of the interior whose `right_child` this step's root is.
+    right_parent: Option<usize>,
+}
+
+impl BuildPipeline {
+    /// A pipeline for `config`, simulated at the pool width
+    /// ([`worker_count`]).
+    pub fn new(config: BuildConfig) -> Self {
+        BuildPipeline {
+            config,
+            workers: worker_count(),
+            target_subtrees: DEFAULT_TARGET_SUBTREES,
+        }
+    }
+
+    /// Overrides the simulated worker width (clamped to at least 1). The
+    /// emitted tree does not depend on this — only the simulated cost and
+    /// the reported width do.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Overrides the subtree target of the top-level splitting. Changing it
+    /// changes the decomposition but not the emitted tree.
+    pub fn with_target_subtrees(mut self, target: usize) -> Self {
+        self.target_subtrees = target.max(1);
+        self
+    }
+
+    /// The build configuration.
+    pub fn config(&self) -> &BuildConfig {
+        &self.config
+    }
+
+    /// The configured worker width.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Runs the pipeline over `prims`.
+    pub fn run(&self, prims: &dyn PrimitiveSet) -> PipelineBuild {
+        let mut stage_host = [Duration::ZERO; BUILD_STAGE_COUNT];
+        let n = prims.len();
+
+        // Stage: snapshot. Chunked over the pool; chunk boundaries affect
+        // only which worker copies which records, never their content.
+        let start = Instant::now();
+        let chunks = worker_count().min(n.max(1));
+        let chunk = n.div_ceil(chunks).max(1);
+        let mut info: Vec<PrimInfo> = Vec::with_capacity(n);
+        for part in parallel_tasks(chunks, |c| {
+            let lo = c * chunk;
+            let hi = ((c + 1) * chunk).min(n);
+            (lo..hi)
+                .map(|i| PrimInfo {
+                    index: i as u32,
+                    bounds: prims.bounds(i),
+                    centroid: prims.centroid(i),
+                })
+                .collect::<Vec<_>>()
+        }) {
+            info.extend(part);
+        }
+        stage_host[BuildStage::Snapshot.index()] = start.elapsed();
+
+        if info.is_empty() {
+            return PipelineBuild {
+                bvh: Bvh::new(Vec::new(), Vec::new(), self.config.allow_update),
+                subtree_count: 0,
+                stage_host,
+                workers: self.workers,
+            };
+        }
+
+        let grain = n
+            .div_ceil(self.target_subtrees)
+            .max(self.config.max_leaf_size)
+            .max(1);
+
+        let (plan, built) = match self.config.builder {
+            BuilderKind::Lbvh => {
+                // Stage: Morton encode + sort.
+                let start = Instant::now();
+                let keyed = morton_sorted(info);
+                stage_host[BuildStage::MortonSort.index()] = start.elapsed();
+
+                // Stages: top-level split, then parallel subtree emission.
+                let start = Instant::now();
+                let (plan, slices) = plan_ranges(keyed.len(), grain, |lo, hi| {
+                    (
+                        fold_bounds(keyed[lo..hi].iter().map(|(_, p)| &p.bounds)),
+                        if hi - lo > grain {
+                            Some(lbvh_split_position(&keyed[lo..hi]))
+                        } else {
+                            None
+                        },
+                    )
+                });
+                let chunks = into_chunks(keyed, &slices);
+                let config = self.config;
+                let built = parallel_map(chunks, move |_, chunk| {
+                    let mut nodes = Vec::with_capacity(chunk.len() * 2);
+                    let mut order = Vec::with_capacity(chunk.len());
+                    build_lbvh_range(&chunk, &mut nodes, &mut order, &config);
+                    (nodes, order)
+                });
+                stage_host[BuildStage::EmitSubtrees.index()] = start.elapsed();
+                (plan, built)
+            }
+            BuilderKind::Sah => {
+                // SAH has no sort stage; top-level splitting sorts each
+                // range along its own split axis, exactly like the one-shot
+                // builder's root levels.
+                let start = Instant::now();
+                let mut info = info;
+                let (plan, slices) = plan_ranges(info.len(), grain, |lo, hi| {
+                    let bounds = fold_bounds(info[lo..hi].iter().map(|p| &p.bounds));
+                    let split = if hi - lo > grain {
+                        Some(sah_split_position(&mut info[lo..hi], &self.config))
+                    } else {
+                        None
+                    };
+                    (bounds, split)
+                });
+                let chunks = into_chunks(info, &slices);
+                let config = self.config;
+                let built = parallel_map(chunks, move |_, mut chunk| {
+                    let mut nodes = Vec::with_capacity(chunk.len() * 2);
+                    let mut order = Vec::with_capacity(chunk.len());
+                    build_sah_range(&mut chunk, &mut nodes, &mut order, &config);
+                    (nodes, order)
+                });
+                stage_host[BuildStage::EmitSubtrees.index()] = start.elapsed();
+                (plan, built)
+            }
+        };
+
+        // Stage: stitch the spine and splice the subtree blocks in
+        // pre-order.
+        let start = Instant::now();
+        let bvh = stitch(&plan, built, n, self.config.allow_update);
+        stage_host[BuildStage::Stitch.index()] = start.elapsed();
+
+        PipelineBuild {
+            subtree_count: plan.iter().filter(|s| s.slice.is_some()).count(),
+            bvh,
+            stage_host,
+            workers: self.workers,
+        }
+    }
+}
+
+fn fold_bounds<'a, I: Iterator<Item = &'a Aabb>>(bounds: I) -> Aabb {
+    bounds.fold(Aabb::EMPTY, |acc, b| acc.union(b))
+}
+
+/// Splits `[0, n)` top-down with `inspect(lo, hi) -> (bounds, split)` until
+/// every range is at most `grain` long, returning the pre-order plan and
+/// the slice ranges in ascending order. `inspect` returns `None` for a
+/// range that is small enough (it becomes a subtree slice) and the
+/// *range-local* split position otherwise — the same value the one-shot
+/// builder would use, so the spine is the top of the exact same tree.
+fn plan_ranges<F>(n: usize, grain: usize, mut inspect: F) -> (Vec<PlanStep>, Vec<(usize, usize)>)
+where
+    F: FnMut(usize, usize) -> (Aabb, Option<usize>),
+{
+    debug_assert!(n > 0 && grain > 0);
+    let mut plan = Vec::new();
+    let mut slices = Vec::new();
+    // (lo, hi, plan index of the interior this range right-fixes).
+    let mut stack = vec![(0usize, n, None::<usize>)];
+    while let Some((lo, hi, right_parent)) = stack.pop() {
+        let step = plan.len();
+        let (bounds, split) = inspect(lo, hi);
+        match split {
+            None => {
+                slices.push((lo, hi));
+                plan.push(PlanStep {
+                    bounds,
+                    slice: Some(slices.len() - 1),
+                    right_parent,
+                });
+            }
+            Some(split) => {
+                plan.push(PlanStep {
+                    bounds,
+                    slice: None,
+                    right_parent,
+                });
+                stack.push((lo + split, hi, Some(step)));
+                stack.push((lo, lo + split, None));
+            }
+        }
+    }
+    // Pre-order over contiguous ranges visits them left to right.
+    debug_assert!(slices.windows(2).all(|w| w[0].1 == w[1].0));
+    (plan, slices)
+}
+
+/// Moves `items` into per-slice chunks. The slices tile `[0, len)` in
+/// ascending order, so this is a sequence of takes.
+fn into_chunks<T>(items: Vec<T>, slices: &[(usize, usize)]) -> Vec<Vec<T>> {
+    let mut iter = items.into_iter();
+    slices
+        .iter()
+        .map(|&(lo, hi)| iter.by_ref().take(hi - lo).collect())
+        .collect()
+}
+
+/// Replays the plan in pre-order, emitting spine interiors and splicing the
+/// built subtree blocks with node/order offset fix-ups. Produces exactly
+/// the array the one-shot builder would have appended.
+fn stitch(
+    plan: &[PlanStep],
+    built: Vec<(Vec<BvhNode>, Vec<u32>)>,
+    prim_count: usize,
+    allow_update: bool,
+) -> Bvh {
+    let total_nodes: usize = plan.iter().filter(|s| s.slice.is_none()).count()
+        + built.iter().map(|(nodes, _)| nodes.len()).sum::<usize>();
+    let mut nodes: Vec<BvhNode> = Vec::with_capacity(total_nodes);
+    let mut order: Vec<u32> = Vec::with_capacity(prim_count);
+    let mut root_of = vec![0u32; plan.len()];
+
+    for (i, step) in plan.iter().enumerate() {
+        let node_index = nodes.len() as u32;
+        root_of[i] = node_index;
+        if let Some(parent) = step.right_parent {
+            nodes[root_of[parent] as usize].right_child = node_index;
+        }
+        match step.slice {
+            None => nodes.push(BvhNode::interior(step.bounds, 0)),
+            Some(s) => {
+                let (sub_nodes, sub_order) = &built[s];
+                let node_off = nodes.len() as u32;
+                let order_off = order.len() as u32;
+                nodes.extend(sub_nodes.iter().map(|n| {
+                    let mut n = *n;
+                    if n.is_leaf() {
+                        n.first_prim += order_off;
+                    } else {
+                        n.right_child += node_off;
+                    }
+                    n
+                }));
+                order.extend_from_slice(sub_order);
+            }
+        }
+    }
+    Bvh::new(nodes, order, allow_update)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::build;
+    use crate::primitives::TriangleSet;
+    use rtx_math::{Triangle, Vec3f};
+
+    fn line_of_triangles(n: usize) -> TriangleSet {
+        TriangleSet::new(
+            (0..n)
+                .map(|i| Triangle::key_triangle(Vec3f::new(i as f32, 0.0, 0.0), 0.4))
+                .collect(),
+        )
+    }
+
+    fn clustered_triangles(n: usize) -> TriangleSet {
+        // Duplicates and uneven clusters: exercises the degenerate split
+        // paths of both builders.
+        TriangleSet::new(
+            (0..n)
+                .map(|i| {
+                    let x = if i % 3 == 0 { 7.0 } else { (i % 41) as f32 };
+                    Triangle::key_triangle(Vec3f::new(x, (i % 5) as f32, 0.0), 0.4)
+                })
+                .collect(),
+        )
+    }
+
+    fn assert_identical(a: &Bvh, b: &Bvh, what: &str) {
+        assert_eq!(a.nodes, b.nodes, "{what}: node arrays differ");
+        assert_eq!(a.prim_indices, b.prim_indices, "{what}: orders differ");
+    }
+
+    #[test]
+    fn pipeline_matches_one_shot_builders() {
+        for builder in [BuilderKind::Lbvh, BuilderKind::Sah] {
+            for n in [0usize, 1, 3, 17, 255, 1024, 5000] {
+                let prims = line_of_triangles(n);
+                let config = BuildConfig {
+                    builder,
+                    ..BuildConfig::default()
+                };
+                let reference = build(&prims, &config);
+                let staged = BuildPipeline::new(config).run(&prims).bvh;
+                staged.validate().expect("staged build valid");
+                assert_identical(&staged, &reference, &format!("{builder:?} n={n}"));
+            }
+        }
+    }
+
+    #[test]
+    fn pipeline_is_identical_across_worker_widths() {
+        for builder in [BuilderKind::Lbvh, BuilderKind::Sah] {
+            let prims = clustered_triangles(4096);
+            let config = BuildConfig {
+                builder,
+                ..BuildConfig::default()
+            };
+            let one = BuildPipeline::new(config).with_workers(1).run(&prims);
+            let eight = BuildPipeline::new(config).with_workers(8).run(&prims);
+            assert_identical(&one.bvh, &eight.bvh, &format!("{builder:?}"));
+            assert_eq!(one.subtree_count, eight.subtree_count);
+            assert!(one.subtree_count > 1, "the build must actually decompose");
+            assert_identical(
+                &one.bvh,
+                &build(&prims, &config),
+                &format!("{builder:?} vs one-shot"),
+            );
+        }
+    }
+
+    #[test]
+    fn subtree_target_changes_decomposition_but_not_the_tree() {
+        let prims = line_of_triangles(2048);
+        let config = BuildConfig::default();
+        let coarse = BuildPipeline::new(config)
+            .with_target_subtrees(4)
+            .run(&prims);
+        let fine = BuildPipeline::new(config)
+            .with_target_subtrees(256)
+            .run(&prims);
+        assert!(fine.subtree_count > coarse.subtree_count);
+        assert_identical(&coarse.bvh, &fine.bvh, "subtree target");
+    }
+
+    #[test]
+    fn duplicate_heavy_input_builds_identically() {
+        let prims = TriangleSet::new(
+            (0..512)
+                .map(|_| Triangle::key_triangle(Vec3f::new(3.0, 0.0, 0.0), 0.4))
+                .collect(),
+        );
+        for builder in [BuilderKind::Lbvh, BuilderKind::Sah] {
+            let config = BuildConfig {
+                builder,
+                ..BuildConfig::default()
+            };
+            let staged = BuildPipeline::new(config).run(&prims);
+            staged.bvh.validate().expect("valid");
+            assert_identical(&staged.bvh, &build(&prims, &config), "duplicates");
+        }
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        let config = BuildConfig::default();
+        let empty = BuildPipeline::new(config).run(&line_of_triangles(0));
+        assert_eq!(empty.bvh.node_count(), 0);
+        assert_eq!(empty.subtree_count, 0);
+        let one = BuildPipeline::new(config).run(&line_of_triangles(1));
+        assert_eq!(one.subtree_count, 1);
+        one.bvh.validate().expect("valid single-leaf build");
+    }
+
+    #[test]
+    fn iterative_builders_survive_max_depth_inputs() {
+        // max_leaf_size = 1 over clustered duplicates maximises depth; the
+        // explicit work stack must handle it without recursion.
+        let prims = clustered_triangles(1 << 15);
+        for builder in [BuilderKind::Lbvh, BuilderKind::Sah] {
+            let config = BuildConfig {
+                builder,
+                max_leaf_size: 1,
+                ..BuildConfig::default()
+            };
+            let staged = BuildPipeline::new(config).run(&prims);
+            staged.bvh.validate().expect("valid deep build");
+            assert_eq!(staged.bvh.primitive_count(), 1 << 15);
+        }
+    }
+}

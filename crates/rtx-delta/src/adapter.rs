@@ -24,8 +24,14 @@ pub struct DynamicAdapter {
 }
 
 impl DynamicAdapter {
-    /// Builds the dynamic index over the spec's columns with `config`.
-    pub fn build(spec: &IndexSpec<'_>, config: DynamicRtConfig) -> Result<Self, IndexError> {
+    /// Builds the dynamic index over the spec's columns with `config`. A
+    /// builder selection in the spec (the `"RXD:sah"` / `"RXD:lbvh"`
+    /// registry grammar) overrides the base index's BVH builder — for the
+    /// initial build and every compaction rebuild.
+    pub fn build(spec: &IndexSpec<'_>, mut config: DynamicRtConfig) -> Result<Self, IndexError> {
+        if let Some(builder) = spec.builder {
+            config.rx.builder = builder;
+        }
         let zeros;
         let values = match spec.values() {
             Some(v) => v,
@@ -44,6 +50,14 @@ impl DynamicAdapter {
     /// The wrapped dynamic index.
     pub fn inner(&self) -> &DynamicRtIndex {
         &self.index
+    }
+
+    /// The wrapped dynamic index, mutably — e.g. to
+    /// [`poll_compaction`](DynamicRtIndex::poll_compaction) /
+    /// [`wait_for_compaction`](DynamicRtIndex::wait_for_compaction) on a
+    /// background-compacting index.
+    pub fn inner_mut(&mut self) -> &mut DynamicRtIndex {
+        &mut self.index
     }
 
     /// The dynamic index always aggregates its owned values; strip the sums

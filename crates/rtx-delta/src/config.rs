@@ -100,6 +100,17 @@ pub struct DynamicRtConfig {
     pub rx: RtIndexConfig,
     /// Automatic-compaction thresholds.
     pub policy: CompactionPolicy,
+    /// Run triggered compactions in the background (two-generation mode):
+    /// the current delta is frozen, the new base is rebuilt on a background
+    /// thread while reads keep serving from (old base + frozen delta +
+    /// fresh delta), and the generations swap atomically once the rebuild
+    /// lands — writes stall only for the swap, never for the rebuild.
+    ///
+    /// Off by default: synchronous compaction keeps rowIDs densely
+    /// renumbered after every merge, which the sharded row mirror
+    /// (`rtx-shard`) relies on. Enable it for unsharded serving paths where
+    /// write-stall latency matters (see `rtx-serve`).
+    pub background: bool,
 }
 
 impl DynamicRtConfig {
@@ -112,6 +123,13 @@ impl DynamicRtConfig {
     /// Returns the configuration with a different compaction policy.
     pub fn with_policy(mut self, policy: CompactionPolicy) -> Self {
         self.policy = policy;
+        self
+    }
+
+    /// Returns the configuration with background (two-generation)
+    /// compaction enabled or disabled.
+    pub fn with_background_compaction(mut self, background: bool) -> Self {
+        self.background = background;
         self
     }
 }

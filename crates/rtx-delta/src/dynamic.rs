@@ -14,15 +14,39 @@
 //! Writes never touch the BVH: inserts append to the delta, deletes clear
 //! validity bits (base) or tombstone slots (delta). Once the configured
 //! [`CompactionPolicy`](crate::config::CompactionPolicy) trips, the live
-//! key set is merged and the base is
-//! rebuilt through the ordinary `optixAccelBuild` path — the same cost the
-//! paper charges for its "rebuild" update strategy — after which the delta
-//! and every tombstone are gone.
+//! key set is merged and the base is rebuilt through the ordinary
+//! `optixAccelBuild` path — the same cost the paper charges for its
+//! "rebuild" update strategy.
+//!
+//! ## Two-generation (background) compaction
+//!
+//! With [`DynamicRtConfig::background`] set, a triggered compaction does
+//! not stop the world. Instead the index **freezes** the current delta and
+//! snapshots the live entries, hands the snapshot to
+//! [`RtIndex::build_async`] on a background thread, and keeps serving:
+//!
+//! * **reads** fan out to *three* structures — old base (masked), frozen
+//!   delta, fresh delta — and reconcile exactly as before;
+//! * **inserts** land in the fresh delta;
+//! * **deletes** tombstone all three views and are additionally recorded
+//!   for replay, because the snapshot already left for the builder;
+//! * once the rebuild lands, the next write (or an explicit
+//!   [`DynamicRtIndex::poll_compaction`]) performs the **swap**: the new
+//!   base replaces old base + frozen delta, recorded deletes are replayed
+//!   onto its validity mask, and the fresh delta carries over as the new
+//!   generation's delta. Only this swap ever blocks a write.
+//!
+//! RowIDs follow the generation: snapshot rows renumber densely to their
+//! snapshot position at the swap (exactly like a synchronous compaction),
+//! while rows inserted during the rebuild keep their already-assigned IDs —
+//! `rtx_workloads::truth::DynamicOracle` mirrors this with its
+//! `begin_compaction` / `finish_compaction` pair.
 
 use gpu_baselines::{kernel as baseline_kernel, GROUP_SIZE};
 use gpu_device::{Device, DeviceBuffer};
 use optix_sim::LaunchMetrics;
-use rtindex_core::{BatchOutcome, LookupResult, RtIndex, RtIndexError, MISS};
+use rtindex_core::{BatchOutcome, LookupResult, PendingIndexBuild, RtIndex, RtIndexError, MISS};
+use rtx_bvh::BvhQuality;
 
 use crate::config::{CompactionTrigger, DynamicRtConfig};
 use crate::delta_buffer::{DeltaBuffer, DELTA_SLOT_BYTES};
@@ -32,7 +56,8 @@ use crate::delta_buffer::{DeltaBuffer, DELTA_SLOT_BYTES};
 pub struct CompactionEvent {
     /// Why the compaction ran.
     pub trigger: CompactionTrigger,
-    /// Live rows in the rebuilt base.
+    /// Live rows in the rebuilt base (excluding rows deleted while a
+    /// background rebuild was in flight).
     pub live_rows: usize,
     /// Delta entries merged into the new base.
     pub merged_delta_entries: usize,
@@ -40,6 +65,13 @@ pub struct CompactionEvent {
     pub dropped_base_tombstones: usize,
     /// Simulated device seconds of the BVH rebuild.
     pub simulated_build_s: f64,
+    /// Whether the rebuild ran on a background thread (two-generation
+    /// mode) rather than stop-the-world.
+    pub background: bool,
+    /// Quality of the rebuilt BVH (SAH cost, sibling overlap, …) — makes
+    /// rebuild quality visible after every compaction, not just at the
+    /// initial build.
+    pub quality: BvhQuality,
 }
 
 /// Result of one update batch (insert, delete or upsert).
@@ -50,10 +82,17 @@ pub struct UpdateOutcome {
     /// Rows deleted by the batch (base tombstones + delta removals).
     pub deleted_rows: usize,
     /// Simulated device seconds spent applying the batch (kernels plus a
-    /// compaction rebuild, when one triggered).
+    /// compaction rebuild, when one completed in this batch).
     pub simulated_time_s: f64,
-    /// The compaction this batch triggered, if any.
+    /// The compaction that **completed** during this batch: a synchronous
+    /// merge, or the swap of a background rebuild that landed. For a
+    /// background compaction the swap happens *before* the batch's
+    /// operations apply.
     pub compaction: Option<CompactionEvent>,
+    /// True when this batch *started* a background compaction (froze the
+    /// delta and kicked off the rebuild). The matching completion surfaces
+    /// in a later outcome's [`compaction`](UpdateOutcome::compaction).
+    pub compaction_began: bool,
 }
 
 /// Lifetime counters of a [`DynamicRtIndex`].
@@ -65,10 +104,32 @@ pub struct UpdateStats {
     pub deleted_rows: u64,
     /// Update batches applied.
     pub update_batches: u64,
-    /// Compactions performed.
+    /// Compactions performed (completed).
     pub compactions: u64,
     /// Simulated device seconds spent in update kernels and rebuilds.
     pub simulated_update_s: f64,
+}
+
+/// A background compaction between freeze and swap.
+struct InflightCompaction {
+    trigger: CompactionTrigger,
+    /// The delta generation frozen at trigger time. Still serves reads and
+    /// accepts tombstones; never accepts inserts.
+    frozen: DeltaBuffer,
+    /// Frozen-delta entries at freeze time (the merge size reported at the
+    /// swap).
+    merged_delta_entries: usize,
+    /// Base tombstones dropped by the merge (at freeze time).
+    dropped_base_tombstones: usize,
+    /// Rows in the snapshot handed to the builder.
+    snapshot_rows: usize,
+    /// Value column of the snapshot, uploaded at the swap.
+    values: Vec<u64>,
+    /// Keys deleted while the rebuild was in flight; replayed onto the new
+    /// base's validity mask at the swap (the snapshot predates them).
+    pending_deletes: Vec<u64>,
+    /// The rebuild running on the background thread.
+    build: PendingIndexBuild,
 }
 
 /// A dynamically updatable RT index: immutable [`RtIndex`] base, mutable
@@ -95,6 +156,19 @@ pub struct DynamicRtIndex {
     next_row: u32,
     stats: UpdateStats,
     last_compaction: Option<CompactionEvent>,
+    inflight: Option<InflightCompaction>,
+}
+
+impl std::fmt::Debug for InflightCompaction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("InflightCompaction")
+            .field("trigger", &self.trigger)
+            .field("snapshot_rows", &self.snapshot_rows)
+            .field("frozen_entries", &self.frozen.len())
+            .field("pending_deletes", &self.pending_deletes.len())
+            .field("finished", &self.build.is_finished())
+            .finish()
+    }
 }
 
 impl DynamicRtIndex {
@@ -126,6 +200,7 @@ impl DynamicRtIndex {
             next_row: u32::try_from(n).expect("base exceeds the rowID space"),
             stats: UpdateStats::default(),
             last_compaction: None,
+            inflight: None,
         })
     }
 
@@ -139,9 +214,10 @@ impl DynamicRtIndex {
         &self.device
     }
 
-    /// Live entries (base rows not tombstoned + delta entries).
+    /// Live entries (base rows not tombstoned + frozen and fresh delta
+    /// entries).
     pub fn len(&self) -> usize {
-        self.base.key_count() - self.dead_rows + self.delta.len()
+        self.base.key_count() - self.dead_rows + self.frozen_delta_len() + self.delta.len()
     }
 
     /// True when no live entry is indexed.
@@ -159,9 +235,21 @@ impl DynamicRtIndex {
         self.dead_rows
     }
 
-    /// Live entries buffered in the delta.
+    /// Live entries buffered in the (fresh) delta.
     pub fn delta_len(&self) -> usize {
         self.delta.len()
+    }
+
+    /// Live entries in the frozen delta of an in-flight background
+    /// compaction (0 when none is in flight).
+    pub fn frozen_delta_len(&self) -> usize {
+        self.inflight.as_ref().map_or(0, |c| c.frozen.len())
+    }
+
+    /// True while a background compaction rebuild is in flight (frozen
+    /// generation present, swap not performed yet).
+    pub fn compaction_in_flight(&self) -> bool {
+        self.inflight.is_some()
     }
 
     /// Lifetime update counters.
@@ -188,23 +276,36 @@ impl DynamicRtIndex {
         self.stats.compactions
     }
 
-    /// The most recent compaction, if any.
+    /// The most recent completed compaction, if any.
     pub fn last_compaction(&self) -> Option<&CompactionEvent> {
         self.last_compaction.as_ref()
     }
 
-    /// Device memory occupied by the whole dynamic index: base (BVH +
-    /// primitive buffer + key column), value column, validity bitmap and the
-    /// delta table.
+    /// Device memory occupied by the dynamic index's *serving* structures:
+    /// base (BVH + primitive buffer + key column), value column, validity
+    /// bitmap, the delta table and — during a background compaction — the
+    /// frozen delta table. The replacement base an in-flight background
+    /// rebuild is constructing (plus its build scratch) is **not** counted
+    /// here: it allocates against the shared device, so
+    /// [`device().memory()`](DynamicRtIndex::device) shows the true
+    /// double-footprint while a rebuild is in flight.
     pub fn memory_bytes(&self) -> u64 {
         self.base.total_memory_bytes()
             + self.base_values.size_bytes()
             + self.live_bitmap.size_bytes()
             + self.delta.memory_bytes()
+            + self
+                .inflight
+                .as_ref()
+                .map_or(0, |c| c.frozen.memory_bytes())
     }
 
     /// All live `(row, key, value)` entries in ascending row order — the
-    /// exact column a compaction (or an oracle) materialises.
+    /// exact column a compaction (or an oracle) materialises. Base rows
+    /// come first, then the frozen delta (when a background compaction is
+    /// in flight), then the fresh delta: each generation's rows were
+    /// assigned after the previous one's, so concatenation preserves
+    /// ascending order.
     pub fn live_entries(&self) -> Vec<(u32, u64, u64)> {
         let keys = self.base.keys();
         let values = self.base_values.as_slice();
@@ -212,6 +313,15 @@ impl DynamicRtIndex {
             .filter(|&row| self.live[row])
             .map(|row| (row as u32, keys[row], values[row]))
             .collect();
+        if let Some(inflight) = &self.inflight {
+            entries.extend(
+                inflight
+                    .frozen
+                    .entries_sorted_by_row()
+                    .iter()
+                    .map(|e| (e.row, e.key, e.value)),
+            );
+        }
         entries.extend(
             self.delta
                 .entries_sorted_by_row()
@@ -268,8 +378,11 @@ impl DynamicRtIndex {
         simulated
     }
 
-    /// Tombstones every live entry holding one of `keys`; no compaction
-    /// check. Returns the deleted row count and the simulated seconds.
+    /// Tombstones every live entry holding one of `keys` across all
+    /// generations (base mask, frozen delta, fresh delta); no compaction
+    /// check. When a background rebuild is in flight, the keys are also
+    /// recorded for replay onto the new base at the swap. Returns the
+    /// deleted row count and the simulated seconds.
     fn apply_delete(&mut self, keys: &[u64]) -> Result<(usize, f64), RtIndexError> {
         let mut simulated = 0.0;
         let mut deleted = 0usize;
@@ -286,6 +399,16 @@ impl DynamicRtIndex {
             }
         }
 
+        if let Some(inflight) = &mut self.inflight {
+            let (removed, frozen_sim) = inflight.frozen.delete_batch(keys);
+            simulated += frozen_sim;
+            deleted += removed.len();
+            // The snapshot already left for the builder: replay the keys on
+            // the rebuilt base at the swap. By-key replay is idempotent and
+            // covers both the base rows and the frozen entries above.
+            inflight.pending_deletes.extend_from_slice(keys);
+        }
+
         let (removed, delta_sim) = self.delta.delete_batch(keys);
         simulated += delta_sim;
         deleted += removed.len();
@@ -294,17 +417,29 @@ impl DynamicRtIndex {
     }
 
     /// Runs the policy once at the end of a public update batch, folding a
-    /// triggered compaction into the outcome.
+    /// triggered compaction (synchronous merge or background freeze) and a
+    /// pre-batch swap into the outcome.
     fn finish_batch(
         &mut self,
+        swapped: Option<CompactionEvent>,
         inserted_rows: usize,
         deleted_rows: usize,
         mut simulated: f64,
     ) -> UpdateOutcome {
         self.stats.update_batches += 1;
-        let compaction = self.maybe_compact();
-        if let Some(event) = compaction {
+        if let Some(event) = swapped {
             simulated += event.simulated_build_s;
+        }
+        let mut compaction = swapped;
+        let mut compaction_began = false;
+        match self.maybe_compact() {
+            Some(TriggeredCompaction::Synchronous(event)) => {
+                simulated += event.simulated_build_s;
+                debug_assert!(compaction.is_none(), "a swap implies background mode");
+                compaction = Some(event);
+            }
+            Some(TriggeredCompaction::Began) => compaction_began = true,
+            None => {}
         }
         self.stats.simulated_update_s += simulated;
         UpdateOutcome {
@@ -312,13 +447,14 @@ impl DynamicRtIndex {
             deleted_rows,
             simulated_time_s: simulated,
             compaction,
+            compaction_began,
         }
     }
 
     /// Inserts a batch of `(key, value)` rows. Every key is validated
     /// against the configured key mode up front, so a later compaction
     /// rebuild can never fail. Returns what the batch did, including the
-    /// compaction it may have triggered.
+    /// compaction it may have triggered or completed.
     ///
     /// Compaction runs at most once, after the whole batch is applied, so
     /// callers observing [`DynamicRtIndex::compaction_count`] between
@@ -336,8 +472,9 @@ impl DynamicRtIndex {
         }
         self.validate_keys(keys)?;
         self.validate_row_space(keys.len())?;
+        let swapped = self.poll_swap();
         let simulated = self.apply_insert(keys, values);
-        Ok(self.finish_batch(keys.len(), 0, simulated))
+        Ok(self.finish_batch(swapped, keys.len(), 0, simulated))
     }
 
     /// Deletes every live entry whose key appears in `keys` (all duplicates,
@@ -345,8 +482,9 @@ impl DynamicRtIndex {
     /// lookup — and tombstoned via the validity mask; delta hits are
     /// tombstoned in the hash table. Unknown keys are ignored.
     pub fn delete_batch(&mut self, keys: &[u64]) -> Result<UpdateOutcome, RtIndexError> {
+        let swapped = self.poll_swap();
         let (deleted, simulated) = self.apply_delete(keys)?;
-        Ok(self.finish_batch(0, deleted, simulated))
+        Ok(self.finish_batch(swapped, 0, deleted, simulated))
     }
 
     /// Upserts a batch: every key's existing entries (base and delta) are
@@ -365,30 +503,20 @@ impl DynamicRtIndex {
         }
         self.validate_keys(keys)?;
         self.validate_row_space(keys.len())?;
+        let swapped = self.poll_swap();
         let (deleted, delete_sim) = self.apply_delete(keys)?;
         let insert_sim = self.apply_insert(keys, values);
-        Ok(self.finish_batch(keys.len(), deleted, delete_sim + insert_sim))
+        Ok(self.finish_batch(swapped, keys.len(), deleted, delete_sim + insert_sim))
     }
 
-    /// Answers a batch of point lookups against the merged base + delta
-    /// view. Results carry the hit counts and value sums of all live
-    /// entries; `first_row` is the smallest qualifying rowID.
-    pub fn point_lookup_batch(&self, queries: &[u64]) -> Result<BatchOutcome, RtIndexError> {
-        let mut outcome = self.base.point_lookup_batch_masked(
-            queries,
-            Some(self.base_values.as_slice()),
-            Some(&self.live),
-        )?;
-
-        // Delta side: one hash-probe kernel over the same queries. An empty
-        // delta (e.g. right after a compaction) skips the kernel entirely —
-        // the host knows the entry count, so a real system would not launch.
-        if self.delta.is_empty() {
-            return Ok(outcome);
-        }
-        let working_set = self.delta.memory_bytes();
-        let delta = &self.delta;
-        let batch = baseline_kernel::run_lookup_kernel(&self.device, queries.len(), working_set, {
+    /// One delta-side hash-probe kernel over `queries`.
+    fn delta_point_kernel(
+        &self,
+        delta: &DeltaBuffer,
+        queries: &[u64],
+    ) -> gpu_baselines::BaselineBatch {
+        let working_set = delta.memory_bytes();
+        baseline_kernel::run_lookup_kernel(&self.device, queries.len(), working_set, {
             |ctx, classifier, idx| {
                 let key = queries[idx];
                 ctx.add_instructions(12); // hash + loop setup
@@ -414,30 +542,18 @@ impl DynamicRtIndex {
                     value_sum: sum,
                 }
             }
-        });
-
-        merge_delta_results(&mut outcome, &batch);
-        Ok(outcome)
+        })
     }
 
-    /// Answers a batch of inclusive range lookups `[lower, upper]` against
-    /// the merged base + delta view. The base side traces range rays; the
-    /// delta side scans its (small, unordered) table per query.
-    pub fn range_lookup_batch(&self, ranges: &[(u64, u64)]) -> Result<BatchOutcome, RtIndexError> {
-        let mut outcome = self.base.range_lookup_batch_masked(
-            ranges,
-            Some(self.base_values.as_slice()),
-            Some(&self.live),
-        )?;
-
-        // As for point lookups, an empty delta skips its kernel.
-        if self.delta.is_empty() {
-            return Ok(outcome);
-        }
-        let working_set = self.delta.memory_bytes();
-        let slot_bytes = self.delta.capacity() as u64 * DELTA_SLOT_BYTES;
-        let delta = &self.delta;
-        let batch = baseline_kernel::run_lookup_kernel(&self.device, ranges.len(), working_set, {
+    /// One delta-side scan kernel over `ranges`.
+    fn delta_range_kernel(
+        &self,
+        delta: &DeltaBuffer,
+        ranges: &[(u64, u64)],
+    ) -> gpu_baselines::BaselineBatch {
+        let working_set = delta.memory_bytes();
+        let slot_bytes = delta.capacity() as u64 * DELTA_SLOT_BYTES;
+        baseline_kernel::run_lookup_kernel(&self.device, ranges.len(), working_set, {
             |ctx, classifier, idx| {
                 let (lower, upper) = ranges[idx];
                 ctx.add_instructions(8);
@@ -460,27 +576,199 @@ impl DynamicRtIndex {
                     value_sum: sum,
                 }
             }
-        });
+        })
+    }
 
-        merge_delta_results(&mut outcome, &batch);
+    /// Answers a batch of point lookups against the merged view. Results
+    /// carry the hit counts and value sums of all live entries;
+    /// `first_row` is the smallest qualifying rowID. During a background
+    /// compaction the view spans old base + frozen delta + fresh delta.
+    pub fn point_lookup_batch(&self, queries: &[u64]) -> Result<BatchOutcome, RtIndexError> {
+        let mut outcome = self.base.point_lookup_batch_masked(
+            queries,
+            Some(self.base_values.as_slice()),
+            Some(&self.live),
+        )?;
+
+        // Delta side: one hash-probe kernel per non-empty delta generation.
+        // An empty delta (e.g. right after a compaction) skips its kernel
+        // entirely — the host knows the entry count, so a real system would
+        // not launch.
+        if let Some(inflight) = &self.inflight {
+            if !inflight.frozen.is_empty() {
+                let batch = self.delta_point_kernel(&inflight.frozen, queries);
+                merge_delta_results(&mut outcome, &batch);
+            }
+        }
+        if !self.delta.is_empty() {
+            let batch = self.delta_point_kernel(&self.delta, queries);
+            merge_delta_results(&mut outcome, &batch);
+        }
+        Ok(outcome)
+    }
+
+    /// Answers a batch of inclusive range lookups `[lower, upper]` against
+    /// the merged view. The base side traces range rays; each non-empty
+    /// delta generation scans its (small, unordered) table per query.
+    pub fn range_lookup_batch(&self, ranges: &[(u64, u64)]) -> Result<BatchOutcome, RtIndexError> {
+        let mut outcome = self.base.range_lookup_batch_masked(
+            ranges,
+            Some(self.base_values.as_slice()),
+            Some(&self.live),
+        )?;
+
+        if let Some(inflight) = &self.inflight {
+            if !inflight.frozen.is_empty() {
+                let batch = self.delta_range_kernel(&inflight.frozen, ranges);
+                merge_delta_results(&mut outcome, &batch);
+            }
+        }
+        if !self.delta.is_empty() {
+            let batch = self.delta_range_kernel(&self.delta, ranges);
+            merge_delta_results(&mut outcome, &batch);
+        }
         Ok(outcome)
     }
 
     /// Compacts if the policy says so.
-    fn maybe_compact(&mut self) -> Option<CompactionEvent> {
+    fn maybe_compact(&mut self) -> Option<TriggeredCompaction> {
+        // Never start a second compaction while one is rebuilding; the
+        // fresh delta keeps absorbing writes and the policy re-fires after
+        // the swap if it is still over budget.
+        if self.inflight.is_some() {
+            return None;
+        }
         let trigger =
             self.config
                 .policy
                 .trigger(self.delta.len(), self.base.key_count(), self.dead_rows)?;
-        Some(self.compact(trigger))
+        if self.config.background {
+            self.begin_background_compaction(trigger);
+            Some(TriggeredCompaction::Began)
+        } else {
+            Some(TriggeredCompaction::Synchronous(self.compact(trigger)))
+        }
     }
 
-    /// Unconditionally merges the delta into a rebuilt base.
+    /// Unconditionally merges every generation into a rebuilt base,
+    /// synchronously. If a background rebuild is in flight, its swap is
+    /// awaited first, then the remaining delta merges; the returned event
+    /// describes the final (synchronous) merge.
     pub fn compact_now(&mut self) -> CompactionEvent {
+        let _ = self.wait_for_compaction();
         self.compact(CompactionTrigger::Manual)
     }
 
+    /// Freezes the current delta and starts the background rebuild.
+    fn begin_background_compaction(&mut self, trigger: CompactionTrigger) {
+        debug_assert!(self.inflight.is_none());
+        let mut keys = Vec::with_capacity(self.len());
+        let mut values = Vec::with_capacity(self.len());
+        for (_, key, value) in self.live_entries() {
+            keys.push(key);
+            values.push(value);
+        }
+        let snapshot_rows = keys.len();
+        let frozen = std::mem::replace(&mut self.delta, DeltaBuffer::new(&self.device));
+        // Every key was validated at insert/build time, so the rebuild
+        // cannot fail on key range; any failure here is a logic error.
+        let build = RtIndex::build_async(&self.device, keys, self.config.rx)
+            .expect("background compaction rebuild");
+        self.inflight = Some(InflightCompaction {
+            trigger,
+            merged_delta_entries: frozen.len(),
+            dropped_base_tombstones: self.dead_rows,
+            frozen,
+            snapshot_rows,
+            values,
+            pending_deletes: Vec::new(),
+            build,
+        });
+    }
+
+    /// Swaps in a *finished* background rebuild, if any. Non-blocking: an
+    /// unfinished rebuild keeps serving from the frozen generation.
+    pub fn poll_compaction(&mut self) -> Option<CompactionEvent> {
+        let event = self.poll_swap()?;
+        self.stats.simulated_update_s += event.simulated_build_s;
+        Some(event)
+    }
+
+    /// Blocks until an in-flight background rebuild lands and swaps it in
+    /// (a real join on the builder thread, not a spin). Returns `None`
+    /// when no compaction is in flight.
+    pub fn wait_for_compaction(&mut self) -> Option<CompactionEvent> {
+        let inflight = self.inflight.take()?;
+        let event = self.swap_in(inflight);
+        self.stats.simulated_update_s += event.simulated_build_s;
+        Some(event)
+    }
+
+    /// Swaps in a finished rebuild without blocking. Returns `None` while
+    /// none is available. The caller accounts the simulated build time
+    /// (batch outcomes and stats differ).
+    fn poll_swap(&mut self) -> Option<CompactionEvent> {
+        if !self.inflight.as_ref()?.build.is_finished() {
+            return None;
+        }
+        let inflight = self.inflight.take().expect("checked above");
+        Some(self.swap_in(inflight))
+    }
+
+    /// The swap: replaces (old base + frozen delta) with the rebuilt base,
+    /// replaying deletes recorded during the rebuild onto the new validity
+    /// mask. The fresh delta and its rowIDs carry over unchanged. Blocks
+    /// until the rebuild completes (instant when the caller checked
+    /// `is_finished`).
+    fn swap_in(&mut self, inflight: InflightCompaction) -> CompactionEvent {
+        let new_base = inflight.build.wait();
+        debug_assert_eq!(new_base.key_count(), inflight.snapshot_rows);
+
+        let mut live = vec![true; inflight.snapshot_rows];
+        let mut dead_rows = 0usize;
+        if !inflight.pending_deletes.is_empty() {
+            let doomed: std::collections::HashSet<u64> =
+                inflight.pending_deletes.iter().copied().collect();
+            for (row, &key) in new_base.keys().iter().enumerate() {
+                if doomed.contains(&key) {
+                    live[row] = false;
+                    dead_rows += 1;
+                }
+            }
+        }
+
+        let simulated_build_s = new_base.build_metrics().simulated_time_s;
+        let quality = BvhQuality::measure(new_base.accel().bvh());
+        self.base = new_base;
+        self.base_values = self.device.upload(&inflight.values);
+        self.live_bitmap = self.device.alloc::<u8>(inflight.snapshot_rows.div_ceil(8));
+        self.live = live;
+        self.dead_rows = dead_rows;
+        // The fresh delta stays. When it still holds rows, their IDs above
+        // the snapshot remain valid, so the allocator cannot move; when it
+        // is empty, nothing lives above the snapshot and the allocator
+        // resets like a synchronous merge — without this, sustained churn
+        // under background compaction would leak the u32 rowID space.
+        if self.delta.is_empty() {
+            self.next_row = inflight.snapshot_rows as u32;
+        }
+
+        let event = CompactionEvent {
+            trigger: inflight.trigger,
+            live_rows: inflight.snapshot_rows - dead_rows,
+            merged_delta_entries: inflight.merged_delta_entries,
+            dropped_base_tombstones: inflight.dropped_base_tombstones,
+            simulated_build_s,
+            background: true,
+            quality,
+        };
+        self.stats.compactions += 1;
+        self.last_compaction = Some(event);
+        event
+    }
+
     fn compact(&mut self, trigger: CompactionTrigger) -> CompactionEvent {
+        debug_assert!(self.inflight.is_none(), "synchronous compaction only");
         let merged_delta_entries = self.delta.len();
         let dropped_base_tombstones = self.dead_rows;
 
@@ -499,6 +787,7 @@ impl DynamicRtIndex {
         let rebuilt =
             RtIndex::build(&self.device, &keys, self.config.rx).expect("compaction rebuild");
         let simulated_build_s = rebuilt.build_metrics().simulated_time_s;
+        let quality = BvhQuality::measure(rebuilt.accel().bvh());
 
         self.base = rebuilt;
         self.base_values = self.device.upload(&values);
@@ -514,11 +803,21 @@ impl DynamicRtIndex {
             merged_delta_entries,
             dropped_base_tombstones,
             simulated_build_s,
+            background: false,
+            quality,
         };
         self.stats.compactions += 1;
         self.last_compaction = Some(event);
         event
     }
+}
+
+/// What the end-of-batch policy check did.
+enum TriggeredCompaction {
+    /// A stop-the-world merge completed (background mode off).
+    Synchronous(CompactionEvent),
+    /// A background rebuild was started (two-generation mode).
+    Began,
 }
 
 /// Folds the delta-side partial results into the base outcome: counts and
@@ -542,4 +841,222 @@ fn merge_delta_results(outcome: &mut BatchOutcome, delta: &gpu_baselines::Baseli
         host_time: delta.host_time,
         ..Default::default()
     });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CompactionPolicy;
+    use rtx_workloads::truth::DynamicOracle;
+
+    fn background_config(max_delta_entries: usize) -> DynamicRtConfig {
+        DynamicRtConfig::default()
+            .with_policy(CompactionPolicy {
+                max_delta_entries,
+                max_delta_fraction: f64::INFINITY,
+                max_delete_ratio: f64::INFINITY,
+            })
+            .with_background_compaction(true)
+    }
+
+    fn assert_matches_oracle(index: &DynamicRtIndex, oracle: &DynamicOracle, queries: &[u64]) {
+        let out = index.point_lookup_batch(queries).expect("lookup");
+        for (&q, r) in queries.iter().zip(&out.results) {
+            assert_eq!(*r, oracle.point(q), "key {q}");
+        }
+    }
+
+    #[test]
+    fn background_compaction_serves_reads_during_rebuild_and_swaps_later() {
+        let device = Device::default_eval();
+        let keys: Vec<u64> = (0..256).collect();
+        let values: Vec<u64> = (0..256).map(|k| k * 10).collect();
+        let mut index =
+            DynamicRtIndex::build(&device, &keys, &values, background_config(16)).unwrap();
+        let mut oracle = DynamicOracle::new(&keys, &values);
+
+        // Trip the policy: the batch freezes the delta instead of stalling.
+        let fresh: Vec<u64> = (1000..1016).collect();
+        let fresh_values: Vec<u64> = fresh.iter().map(|k| k * 10).collect();
+        let outcome = index.insert_batch(&fresh, &fresh_values).unwrap();
+        oracle.insert_batch(&fresh, &fresh_values);
+        assert!(outcome.compaction_began, "policy must freeze in background");
+        assert!(outcome.compaction.is_none(), "nothing completed yet");
+        assert!(index.compaction_in_flight());
+        assert_eq!(index.frozen_delta_len(), 16);
+        assert_eq!(index.delta_len(), 0, "fresh generation starts empty");
+        oracle.begin_compaction();
+
+        // Reads during the rebuild serve the merged three-generation view.
+        let queries: Vec<u64> = (0..1100).step_by(7).collect();
+        assert_matches_oracle(&index, &oracle, &queries);
+        let ranges = [(0u64, 64u64), (900, 1200), (100, 90)];
+        let out = index.range_lookup_batch(&ranges).unwrap();
+        for (&(lo, hi), r) in ranges.iter().zip(&out.results) {
+            assert_eq!(*r, oracle.range(lo, hi), "range [{lo}, {hi}]");
+        }
+
+        // Writes during the rebuild: inserts land in the fresh delta,
+        // deletes tombstone every generation and are replayed at the swap.
+        // Each write may also be the one that lands the swap (rebuild speed
+        // is not deterministic), so mirror whatever the outcome reports, in
+        // the index's own order: swap before the batch's operations (it may
+        // reset the row allocator), freeze after them.
+        let mut swap_event = None;
+        let pre = |oracle: &mut DynamicOracle,
+                   swap_event: &mut Option<CompactionEvent>,
+                   outcome: &UpdateOutcome| {
+            if let Some(event) = outcome.compaction {
+                assert!(event.background);
+                oracle.finish_compaction();
+                *swap_event = Some(event);
+            }
+        };
+        let post = |oracle: &mut DynamicOracle, outcome: &UpdateOutcome| {
+            if outcome.compaction_began {
+                oracle.begin_compaction();
+            }
+        };
+        let out = index.insert_batch(&[2000, 2001], &[1, 2]).unwrap();
+        pre(&mut oracle, &mut swap_event, &out);
+        oracle.insert_batch(&[2000, 2001], &[1, 2]);
+        post(&mut oracle, &out);
+        let out = index.delete_batch(&[3, 1002, 2000]).unwrap();
+        pre(&mut oracle, &mut swap_event, &out);
+        oracle.delete_batch(&[3, 1002, 2000]);
+        post(&mut oracle, &out);
+        assert_matches_oracle(&index, &oracle, &queries);
+
+        // Claim the swap (if a write above did not already land it): rows
+        // renumber exactly like the oracle's two-phase mirror.
+        let event = swap_event.unwrap_or_else(|| {
+            let event = index.wait_for_compaction().expect("rebuild in flight");
+            oracle.finish_compaction();
+            event
+        });
+        assert!(event.background);
+        assert_eq!(event.merged_delta_entries, 16);
+        assert!(event.quality.sah_cost > 0.0, "rebuild quality is surfaced");
+        assert!(
+            (270..=272).contains(&event.live_rows),
+            "snapshot rows minus any snapshot keys deleted mid-rebuild, got {}",
+            event.live_rows
+        );
+        assert!(!index.compaction_in_flight());
+        assert_eq!(index.compaction_count(), 1);
+        assert_matches_oracle(&index, &oracle, &queries);
+
+        // Life goes on in the new generation (a new freeze may begin if the
+        // fresh delta is over budget again — mirror it).
+        let out = index.insert_batch(&[5000], &[50]).unwrap();
+        pre(&mut oracle, &mut swap_event, &out);
+        oracle.insert_batch(&[5000], &[50]);
+        post(&mut oracle, &out);
+        let out = index.delete_batch(&[10]).unwrap();
+        pre(&mut oracle, &mut swap_event, &out);
+        oracle.delete_batch(&[10]);
+        post(&mut oracle, &out);
+        assert_matches_oracle(&index, &oracle, &queries);
+    }
+
+    #[test]
+    fn compact_now_waits_for_the_inflight_rebuild_then_merges_everything() {
+        let device = Device::default_eval();
+        let keys: Vec<u64> = (0..64).collect();
+        let values = vec![7u64; 64];
+        let mut index =
+            DynamicRtIndex::build(&device, &keys, &values, background_config(8)).unwrap();
+        let began = index
+            .insert_batch(&(100..108).collect::<Vec<u64>>(), &[1; 8])
+            .unwrap();
+        assert!(began.compaction_began);
+        index.insert_batch(&[200], &[2]).unwrap();
+
+        let event = index.compact_now();
+        assert!(!event.background, "the final merge is synchronous");
+        assert_eq!(index.compaction_count(), 2, "swap + manual merge");
+        assert_eq!(index.delta_len(), 0);
+        assert_eq!(index.len(), 64 + 8 + 1);
+        assert_eq!(index.allocated_rows() as usize, index.len());
+        let out = index.point_lookup_batch(&[200]).unwrap();
+        assert_eq!(out.results[0].hit_count, 1);
+    }
+
+    #[test]
+    fn no_second_compaction_starts_while_one_is_in_flight() {
+        let device = Device::default_eval();
+        let keys: Vec<u64> = (0..512).collect();
+        let values = vec![1u64; 512];
+        let mut index =
+            DynamicRtIndex::build(&device, &keys, &values, background_config(4)).unwrap();
+        let first = index
+            .insert_batch(&[1000, 1001, 1002, 1003], &[0; 4])
+            .unwrap();
+        assert!(first.compaction_began);
+        assert!(index.compaction_in_flight());
+        // Far over budget again, but an in-flight rebuild defers the next
+        // trigger: a second freeze can only begin once the first swap has
+        // landed (which this very batch may perform).
+        let second = index
+            .insert_batch(&[2000, 2001, 2002, 2003], &[0; 4])
+            .unwrap();
+        assert!(
+            !second.compaction_began || second.compaction.is_some(),
+            "a second freeze requires the first swap to have landed"
+        );
+        index.wait_for_compaction();
+        index.compact_now();
+        assert!(!index.compaction_in_flight());
+        assert_eq!(index.len(), 512 + 8);
+        assert_eq!(index.delta_len(), 0);
+    }
+
+    #[test]
+    fn swap_resets_the_row_allocator_when_the_fresh_delta_is_empty() {
+        let device = Device::default_eval();
+        let keys: Vec<u64> = (0..128).collect();
+        let values = vec![0u64; 128];
+        let mut index =
+            DynamicRtIndex::build(&device, &keys, &values, background_config(8)).unwrap();
+        let mut oracle = DynamicOracle::new(&keys, &values);
+
+        // Trigger a freeze; nothing is inserted into the fresh generation,
+        // so the swap can reclaim the rowID space like a synchronous merge.
+        let fresh: Vec<u64> = (500..508).collect();
+        let out = index.insert_batch(&fresh, &[1; 8]).unwrap();
+        oracle.insert_batch(&fresh, &[1; 8]);
+        assert!(out.compaction_began);
+        oracle.begin_compaction();
+        index.wait_for_compaction().expect("rebuild in flight");
+        oracle.finish_compaction();
+        assert_eq!(index.allocated_rows(), 136, "allocator reset to snapshot");
+
+        // The next insert lands right after the snapshot, on both sides.
+        index.insert_batch(&[900], &[9]).unwrap();
+        oracle.insert_batch(&[900], &[9]);
+        assert_eq!(index.point_lookup_batch(&[900]).unwrap().results[0], {
+            oracle.point(900)
+        });
+        assert_eq!(oracle.point(900).first_row, 136);
+    }
+
+    #[test]
+    fn synchronous_compaction_reports_quality() {
+        let device = Device::default_eval();
+        let keys: Vec<u64> = (0..128).collect();
+        let values = vec![1u64; 128];
+        let mut index = DynamicRtIndex::build(
+            &device,
+            &keys,
+            &values,
+            DynamicRtConfig::default().with_policy(CompactionPolicy::never()),
+        )
+        .unwrap();
+        index.insert_batch(&[500, 501], &[5, 5]).unwrap();
+        let event = index.compact_now();
+        assert!(!event.background);
+        assert!(event.quality.sah_cost > 0.0);
+        assert!(event.quality.leaf_count > 0);
+        assert_eq!(event.live_rows, 130);
+    }
 }

@@ -16,6 +16,14 @@ fn print_usage() {
 }
 
 fn main() {
+    // Pin the worker-pool width unless the caller chose one: simulated
+    // build times scale with `worker_count()` since the staged pipeline,
+    // so gated metrics would otherwise vary with the host's core count.
+    // Set before any thread spawns (this binary is single-threaded here).
+    if std::env::var_os("RTX_WORKERS").is_none() {
+        std::env::set_var("RTX_WORKERS", "8");
+    }
+
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = ExperimentScale::tiny();
     // Applied after the loop so `--seed N --scale small` keeps the seed.

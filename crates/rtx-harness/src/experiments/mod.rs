@@ -5,6 +5,7 @@
 //! [`ExperimentScale`](crate::scale::ExperimentScale), plus a smoke test at
 //! tiny scale that checks the qualitative property the paper reports.
 
+pub mod build_pipeline;
 pub mod fig10;
 pub mod fig11;
 pub mod fig12;

@@ -54,6 +54,7 @@ pub fn build_all_indexes(
         keys,
         // One shared copy of the column serves every backend built below.
         values: values.map(std::sync::Arc::from),
+        builder: None,
     };
     registry_with(rx_config)
         .build_named(&PAPER_BACKENDS, &spec)

@@ -87,6 +87,7 @@ pub fn experiment_names() -> Vec<&'static str> {
         "update_throughput",
         "shard_scaling",
         "service_throughput",
+        "build_throughput",
     ]
 }
 
@@ -121,6 +122,7 @@ pub fn run_experiment(name: &str, scale: &ExperimentScale) -> Option<Vec<Table>>
         "update_throughput" => ex::update_throughput::run(scale),
         "shard_scaling" => ex::shard_scaling::run(scale),
         "service_throughput" => ex::service_throughput::run(scale),
+        "build_throughput" => ex::build_pipeline::run(scale),
         _ => return None,
     };
     Some(tables)

@@ -21,9 +21,13 @@
 //! Re-baselining: run
 //! `cargo run --release -p rtx-harness --bin perf-smoke -- --scale tiny --out bench/baseline.json`
 //! and commit the result. Checked-in values for *relative* gated metrics
-//! (the coalescing speedup) should be rounded **down** toward a
-//! conservative floor, so the gate tolerates slower CI hosts while still
-//! catching real regressions.
+//! should be rounded toward the conservative side — **down** for
+//! higher-is-better ratios (the coalescing speedup), **up** for
+//! lower-is-better ones (the compaction stall ratio) — so the gate
+//! tolerates slower CI hosts while still catching real regressions.
+//! Simulated build costs scale with the worker-pool width, so the
+//! `perf-smoke` binary pins `RTX_WORKERS=8` when unset (CI pins the same
+//! width); re-baseline under the same pin.
 //!
 //! The JSON schema is deliberately flat; writer and parser live here (the
 //! workspace builds offline — no serde):
@@ -42,6 +46,7 @@
 use rtx_query::{IndexSpec, QueryBatch};
 use rtx_workloads as wl;
 
+use crate::experiments::build_pipeline::{self, CompactionMode};
 use crate::experiments::service_throughput;
 use crate::indexes::{measure_points, registry};
 use crate::scale::ExperimentScale;
@@ -670,6 +675,74 @@ pub fn quick_suite(scale: &ExperimentScale) -> BenchReport {
         true,
         false,
     ));
+
+    // Staged-build gate: the pipeline's simulated throughput and its
+    // 8-vs-1-queue speedup are pure cost-model functions of the workload
+    // (the queue widths are explicit, not taken from the host), so they
+    // gate deterministically on any machine.
+    {
+        let cells = build_pipeline::run_build_scaling(&device, &keys);
+        let cell = |workers: usize| {
+            cells
+                .iter()
+                .find(|c| c.builder == "lbvh" && c.workers == workers)
+                .expect("lbvh sweep covers the width")
+        };
+        let (serial, wide) = (cell(1), cell(8));
+        metrics.push(metric(
+            "build_throughput",
+            "staged LBVH simulated build throughput, 8 queues",
+            "keys/s",
+            wide.throughput(),
+            true,
+            true,
+        ));
+        metrics.push(metric(
+            "build_throughput",
+            "staged build speedup, 8 vs 1 queues",
+            "x",
+            serial.sim_s / wide.sim_s,
+            true,
+            true,
+        ));
+    }
+
+    // Compaction-stall gate: host-relative (both modes timed on this
+    // machine); always measured at 2^14 keys so the rebuild dwarfs timer
+    // noise even when the suite runs at tiny scale.
+    {
+        let stall_scale = ExperimentScale {
+            keys_exp: scale.keys_exp.max(14),
+            ..*scale
+        };
+        let sync = build_pipeline::run_compaction_stall(&stall_scale, CompactionMode::Synchronous);
+        let background =
+            build_pipeline::run_compaction_stall(&stall_scale, CompactionMode::Background);
+        metrics.push(metric(
+            "build_throughput",
+            "compaction stall ratio, background vs sync p99",
+            "x",
+            background.p99() / sync.p99().max(1e-12),
+            false,
+            true,
+        ));
+        metrics.push(metric(
+            "build_throughput",
+            "sync compaction p99 write stall",
+            "ms",
+            sync.p99() * 1e3,
+            false,
+            false,
+        ));
+        metrics.push(metric(
+            "build_throughput",
+            "background compaction p99 write stall",
+            "ms",
+            background.p99() * 1e3,
+            false,
+            false,
+        ));
+    }
 
     BenchReport {
         scale: scale_name.to_string(),

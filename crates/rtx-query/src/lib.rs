@@ -57,8 +57,13 @@ pub use error::IndexError;
 pub use fuse::{FusedBatch, FusedSlice};
 pub use index::{SecondaryIndex, UpdatableIndex};
 pub use registry::{
-    IndexBuilder, IndexSpec, Registry, ShardedBuilder, UpdatableBuilder, UpdatableShardedBuilder,
+    parse_builder_name, IndexBuilder, IndexSpec, Registry, ShardedBuilder, UpdatableBuilder,
+    UpdatableShardedBuilder,
 };
+
+// The builder-selection grammar (`"RX:sah"`, `"RX:lbvh"`) names this enum;
+// re-exported so callers need not depend on `rtx-bvh` directly.
+pub use rtx_bvh::BuilderKind;
 pub use shard::{KeyRouter, Partitioning, ScatterPlan, ShardSpec};
 pub use types::{
     BatchOutcome, Capabilities, IndexBuildMetrics, LookupResult, QueryOutcome, UpdateReport, MISS,

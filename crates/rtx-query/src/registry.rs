@@ -5,11 +5,35 @@
 //! `register_*` function that installs its builder closures, and the
 //! harness composes them into the default registry holding all five
 //! backends.
+//!
+//! # Name grammar
+//!
+//! A backend name resolves in three steps, each handling one production of
+//! the grammar:
+//!
+//! ```text
+//! name        := backend [builder] [shard]
+//! backend     := "RX" | "HT" | "B+" | "SA" | "RXD" | <any registered name>
+//! builder     := ":sah" | ":lbvh"
+//! shard       := "@" <count> [":hash" | ":range"]
+//! ```
+//!
+//! 1. **verbatim** — a name registered exactly always wins (`"RX"`);
+//! 2. **sharding** — a name containing `@` parses as a
+//!    [`ShardSpec`] (`"RX@8"`, `"SA@4:range"`) when a sharding layer is
+//!    installed; the part before `@` resolves recursively, so builder
+//!    suffixes compose with sharding (`"RX:sah@8:range"`);
+//! 3. **builder selection** — a `:sah` / `:lbvh` suffix
+//!    ([`parse_builder_name`]) selects the acceleration-structure builder
+//!    and resolves the rest of the name recursively: `"RX:lbvh"`,
+//!    `"RXD:sah"`. The selection rides in [`IndexSpec::builder`]; backends
+//!    without a BVH (HT, B+, SA) ignore it.
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use gpu_device::Device;
+use rtx_bvh::BuilderKind;
 
 use crate::error::IndexError;
 use crate::index::{SecondaryIndex, UpdatableIndex};
@@ -31,6 +55,11 @@ pub struct IndexSpec<'a> {
     /// The optional value column, shared across every backend built from
     /// this spec.
     pub values: Option<Arc<[u64]>>,
+    /// Acceleration-structure builder override, set by a `:sah` / `:lbvh`
+    /// name suffix (see the [module docs](self) for the grammar) or by
+    /// [`IndexSpec::with_builder`]. `None` keeps the backend's configured
+    /// default; backends without a BVH ignore it.
+    pub builder: Option<BuilderKind>,
 }
 
 impl<'a> IndexSpec<'a> {
@@ -40,6 +69,7 @@ impl<'a> IndexSpec<'a> {
             device,
             keys,
             values: None,
+            builder: None,
         }
     }
 
@@ -50,7 +80,15 @@ impl<'a> IndexSpec<'a> {
             device,
             keys,
             values: Some(Arc::from(values)),
+            builder: None,
         }
+    }
+
+    /// Returns the spec with an explicit builder selection (the
+    /// programmatic equivalent of the `:sah` / `:lbvh` name suffix).
+    pub fn with_builder(mut self, builder: BuilderKind) -> Self {
+        self.builder = Some(builder);
+        self
     }
 
     /// The value column as a slice, if present.
@@ -174,8 +212,9 @@ impl Registry {
     ///
     /// A name the registry does not know verbatim is tried as a sharded
     /// spec (`"RX@8"`, see [`ShardSpec::parse`]) when a sharding layer is
-    /// installed. Truly unknown names fail with an error listing every
-    /// registered backend.
+    /// installed, then as a builder-suffixed name (`"RX:lbvh"`, see
+    /// [`parse_builder_name`] and the [module docs](self) grammar). Truly
+    /// unknown names fail with an error listing every registered backend.
     pub fn build(
         &self,
         name: &str,
@@ -190,13 +229,21 @@ impl Registry {
             self.validate_shard_spec(&shard_spec)?;
             return factory(self, &shard_spec, spec);
         }
+        // At most one builder suffix resolves: with a selection already in
+        // the spec, a further suffix (e.g. "RX:lbvh:sah") falls through to
+        // the unknown-backend error instead of silently picking one.
+        if spec.builder.is_none() {
+            if let Some((base, kind)) = parse_builder_name(name) {
+                return self.build(base, &spec.clone().with_builder(kind));
+            }
+        }
         Err(self.unknown(name))
     }
 
     /// Builds the updatable backend registered under `name` over `spec`,
-    /// resolving sharded specs (`"RXD@4"`) like
-    /// [`build`](Registry::build) does — every shard of an updatable
-    /// sharded backend must itself be updatable.
+    /// resolving sharded specs (`"RXD@4"`) and builder suffixes
+    /// (`"RXD:sah"`) like [`build`](Registry::build) does — every shard of
+    /// an updatable sharded backend must itself be updatable.
     pub fn build_updatable(
         &self,
         name: &str,
@@ -214,6 +261,11 @@ impl Registry {
                     .ok_or_else(|| self.unsharded(name))?;
                 self.validate_shard_spec(&shard_spec)?;
                 return factory(self, &shard_spec, spec);
+            }
+            if spec.builder.is_none() {
+                if let Some((base, kind)) = parse_builder_name(name) {
+                    return self.build_updatable(base, &spec.clone().with_builder(kind));
+                }
             }
         }
         Err(IndexError::UnknownBackend {
@@ -282,6 +334,22 @@ impl Registry {
             name: name.to_string(),
             known: self.backends().iter().map(|s| s.to_string()).collect(),
         }
+    }
+}
+
+/// Parses the builder-selection suffix of a backend name: `"RX:lbvh"` →
+/// `("RX", BuilderKind::Lbvh)`, `"RX:sah@8:range"` → shard handling strips
+/// nothing here, so the suffix must be last — see the [module docs](self)
+/// grammar. Returns `None` for names without a recognised suffix.
+pub fn parse_builder_name(name: &str) -> Option<(&str, BuilderKind)> {
+    let (base, suffix) = name.rsplit_once(':')?;
+    if base.is_empty() {
+        return None;
+    }
+    match suffix {
+        "sah" => Some((base, BuilderKind::Sah)),
+        "lbvh" => Some((base, BuilderKind::Lbvh)),
+        _ => None,
     }
 }
 
@@ -437,6 +505,66 @@ mod tests {
     }
 
     #[test]
+    fn builder_suffixes_parse_and_ride_the_spec() {
+        assert_eq!(parse_builder_name("RX:sah"), Some(("RX", BuilderKind::Sah)));
+        assert_eq!(
+            parse_builder_name("RX:lbvh"),
+            Some(("RX", BuilderKind::Lbvh))
+        );
+        assert_eq!(
+            parse_builder_name("RX@8:sah"),
+            Some(("RX@8", BuilderKind::Sah))
+        );
+        assert_eq!(parse_builder_name("RX"), None);
+        assert_eq!(parse_builder_name("RX:fast"), None);
+        assert_eq!(parse_builder_name(":sah"), None);
+
+        // A registry backend observes the selection through the spec.
+        let mut r = Registry::new();
+        r.register("PROBE", |spec| {
+            Ok(Box::new(NullIndex {
+                keys: match spec.builder {
+                    Some(BuilderKind::Sah) => 1,
+                    Some(BuilderKind::Lbvh) => 2,
+                    None => 0,
+                },
+            }) as Box<dyn SecondaryIndex>)
+        });
+        let device = Device::default_eval();
+        let spec = IndexSpec::keys_only(&device, &[]);
+        assert_eq!(r.build("PROBE", &spec).unwrap().key_count(), 0);
+        assert_eq!(r.build("PROBE:sah", &spec).unwrap().key_count(), 1);
+        assert_eq!(r.build("PROBE:lbvh", &spec).unwrap().key_count(), 2);
+        // Unknown bases still fail with the full backend listing.
+        let err = r.build("XX:sah", &spec).map(|_| ()).unwrap_err();
+        assert!(matches!(err, IndexError::UnknownBackend { .. }), "{err}");
+        // Only one builder suffix may resolve: a second is rejected, never
+        // silently dropped.
+        let err = r.build("PROBE:lbvh:sah", &spec).map(|_| ()).unwrap_err();
+        assert!(matches!(err, IndexError::UnknownBackend { .. }), "{err}");
+        let err = r
+            .build_updatable("PROBE:lbvh:sah", &spec)
+            .map(|_| ())
+            .unwrap_err();
+        assert!(matches!(err, IndexError::UnknownBackend { .. }), "{err}");
+
+        // The suffix composes with sharding: the inner resolution sees the
+        // builder via the spec handed to the factory.
+        r.set_sharded_builders(
+            Box::new(|registry, shard_spec, spec| registry.build(&shard_spec.backend, spec)),
+            Box::new(|_, shard_spec, _| {
+                Err(IndexError::Backend {
+                    backend: shard_spec.name(),
+                    message: "unused".into(),
+                })
+            }),
+        );
+        assert_eq!(r.build("PROBE:sah@4", &spec).unwrap().key_count(), 1);
+        assert_eq!(r.build("PROBE@4:sah", &spec).unwrap().key_count(), 1);
+        assert_eq!(r.build("PROBE@4:range:lbvh", &spec).unwrap().key_count(), 2);
+    }
+
+    #[test]
     fn build_supported_skips_unsupported_key_sets() {
         let device = Device::default_eval();
         let built = registry()
@@ -456,6 +584,7 @@ mod tests {
                     device: &device,
                     keys: &[1, 2],
                     values: Some(Arc::from(&[9u64][..])),
+                    builder: None,
                 },
             )
             .map(|_| ())

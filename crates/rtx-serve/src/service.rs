@@ -154,6 +154,9 @@ struct Counters {
     executed_ops: AtomicU64,
     write_batches: AtomicU64,
     peak_queued_ops: AtomicU64,
+    write_stall_ns_total: AtomicU64,
+    write_stall_ns_max: AtomicU64,
+    write_reorganisations: AtomicU64,
 }
 
 /// State shared between the client handles and the coalescer thread.
@@ -189,6 +192,17 @@ pub struct ServiceStats {
     /// Highest queue occupancy observed at any admission, in cost units
     /// (read ops / write rows, at least 1 per request).
     pub peak_queued_ops: u64,
+    /// Total nanoseconds the coalescer spent inside write applications —
+    /// the time the queue-order fence stalls every request queued behind a
+    /// write. A synchronous compaction shows up here as one huge stall; a
+    /// background compaction leaves only the swap.
+    pub write_stall_ns_total: u64,
+    /// Largest single write stall observed, in nanoseconds (the worst-case
+    /// fence wait a co-queued request could have experienced).
+    pub write_stall_ns_max: u64,
+    /// Structural reorganisations (compactions) reported by the backend
+    /// across all writes — completed merges and background swaps.
+    pub write_reorganisations: u64,
 }
 
 impl ServiceStats {
@@ -208,6 +222,19 @@ impl ServiceStats {
         }
         self.executed_ops as f64 / self.fused_submissions as f64
     }
+
+    /// Mean seconds one applied write stalled the queue.
+    pub fn mean_write_stall_s(&self) -> f64 {
+        if self.write_batches == 0 {
+            return 0.0;
+        }
+        self.write_stall_ns_total as f64 / 1e9 / self.write_batches as f64
+    }
+
+    /// Largest single write stall in seconds.
+    pub fn max_write_stall_s(&self) -> f64 {
+        self.write_stall_ns_max as f64 / 1e9
+    }
 }
 
 impl Shared {
@@ -222,6 +249,9 @@ impl Shared {
             executed_ops: c.executed_ops.load(Ordering::Relaxed),
             write_batches: c.write_batches.load(Ordering::Relaxed),
             peak_queued_ops: c.peak_queued_ops.load(Ordering::Relaxed),
+            write_stall_ns_total: c.write_stall_ns_total.load(Ordering::Relaxed),
+            write_stall_ns_max: c.write_stall_ns_max.load(Ordering::Relaxed),
+            write_reorganisations: c.write_reorganisations.load(Ordering::Relaxed),
         }
     }
 
@@ -529,11 +559,20 @@ fn run_coalescer(shared: &Shared, mut backend: ServiceBackend) {
         match drain(shared) {
             Drained::Shutdown => return,
             Drained::Write { op, reply } => {
+                // The apply is the queue-order fence: everything queued
+                // behind this write waits exactly this long. Surface it.
+                let start = Instant::now();
                 let result = backend.apply(op);
-                shared
-                    .counters
-                    .write_batches
-                    .fetch_add(1, Ordering::Relaxed);
+                let stall_ns = start.elapsed().as_nanos() as u64;
+                let c = &shared.counters;
+                c.write_batches.fetch_add(1, Ordering::Relaxed);
+                c.write_stall_ns_total
+                    .fetch_add(stall_ns, Ordering::Relaxed);
+                c.write_stall_ns_max.fetch_max(stall_ns, Ordering::Relaxed);
+                if let Ok(report) = &result {
+                    c.write_reorganisations
+                        .fetch_add(report.reorganisations, Ordering::Relaxed);
+                }
                 // A client that dropped its ticket abandoned the result.
                 let _ = reply.send(result);
             }
@@ -977,7 +1016,13 @@ mod tests {
             vec!["points:1", "points:1", "insert:2", "points:1"],
             "R1, then R2 cut short by the fence, then the write, then R3"
         );
-        assert_eq!(service.stats().write_batches, 1);
+        let stats = service.stats();
+        assert_eq!(stats.write_batches, 1);
+        assert!(stats.write_stall_ns_total > 0, "the fence wait is surfaced");
+        assert!(stats.write_stall_ns_max <= stats.write_stall_ns_total);
+        assert!(stats.mean_write_stall_s() > 0.0);
+        assert!(stats.max_write_stall_s() > 0.0);
+        assert_eq!(stats.write_reorganisations, 0, "the stub never compacts");
     }
 
     #[test]

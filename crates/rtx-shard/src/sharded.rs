@@ -290,6 +290,8 @@ impl ShardedIndex {
                     device: index.device,
                     keys: &keys,
                     values: values.map(Arc::from),
+                    // Builder selection propagates to every shard.
+                    builder: index.builder,
                 };
                 if updatable {
                     registry

@@ -194,12 +194,20 @@ pub type DynamicTruth = LookupResult;
 ///
 /// Drive the oracle in lockstep with the index under test and compare
 /// lookup answers; call [`DynamicOracle::compact`] whenever the index
-/// reports a compaction.
+/// reports a synchronous compaction, or the
+/// [`begin_compaction`](DynamicOracle::begin_compaction) /
+/// [`finish_compaction`](DynamicOracle::finish_compaction) pair around a
+/// *background* (two-generation) compaction: rows snapshotted at the freeze
+/// renumber densely to their snapshot position at the swap, while rows
+/// inserted during the rebuild keep their IDs.
 #[derive(Debug, Clone, Default)]
 pub struct DynamicOracle {
     /// Live entries in ascending row order.
     entries: Vec<(u32, u64, u64)>,
     next_row: u32,
+    /// Row renumbering of an in-flight background compaction: old row →
+    /// snapshot position, captured at the freeze and applied at the swap.
+    pending_renumber: Option<HashMap<u32, u32>>,
 }
 
 impl DynamicOracle {
@@ -218,6 +226,7 @@ impl DynamicOracle {
                 .map(|(row, (&k, &v))| (row as u32, k, v))
                 .collect(),
             next_row: keys.len() as u32,
+            pending_renumber: None,
         }
     }
 
@@ -282,13 +291,59 @@ impl DynamicOracle {
         }
     }
 
-    /// Mirrors a compaction: renumbers the live rows densely in preserved
-    /// order.
+    /// Mirrors a *synchronous* compaction: renumbers the live rows densely
+    /// in preserved order and resets the row allocator past them.
     pub fn compact(&mut self) {
+        self.pending_renumber = None;
         for (row, entry) in self.entries.iter_mut().enumerate() {
             entry.0 = row as u32;
         }
         self.next_row = self.entries.len() as u32;
+    }
+
+    /// Mirrors the *freeze* of a background compaction: captures the
+    /// snapshot renumbering (current rows → dense snapshot positions)
+    /// without applying it. Rows stay unchanged until
+    /// [`finish_compaction`](DynamicOracle::finish_compaction), exactly
+    /// like the index keeps serving old rowIDs while the rebuild runs.
+    pub fn begin_compaction(&mut self) {
+        self.pending_renumber = Some(
+            self.entries
+                .iter()
+                .enumerate()
+                .map(|(position, &(row, _, _))| (row, position as u32))
+                .collect(),
+        );
+    }
+
+    /// Mirrors the *swap* of a background compaction: snapshot rows
+    /// renumber to their snapshot position (entries deleted during the
+    /// rebuild simply dropped out) and rows inserted during the rebuild
+    /// keep their IDs — so the allocator moves only when nothing lives
+    /// above the snapshot, exactly like the index. A no-op when no
+    /// [`begin_compaction`](DynamicOracle::begin_compaction) is pending.
+    pub fn finish_compaction(&mut self) {
+        let Some(renumber) = self.pending_renumber.take() else {
+            return;
+        };
+        let mut all_snapshot = true;
+        for entry in &mut self.entries {
+            if let Some(&new_row) = renumber.get(&entry.0) {
+                entry.0 = new_row;
+            } else {
+                all_snapshot = false;
+            }
+        }
+        // Snapshot members were a prefix of the ascending entry order and
+        // renumber order-preservingly below every later row, so the vector
+        // stays ascending.
+        debug_assert!(self.entries.windows(2).all(|w| w[0].0 < w[1].0));
+        // Mirror of the index's allocator reset: when nothing lives above
+        // the snapshot (every in-flight insert was deleted again), the
+        // allocator resumes right after the snapshot rows.
+        if all_snapshot {
+            self.next_row = renumber.len() as u32;
+        }
     }
 
     /// Aggregate answer for a point lookup of `key`.
@@ -485,6 +540,33 @@ mod tests {
         // Next insert continues after the compacted tail.
         oracle.insert_batch(&[99], &[9]);
         assert_eq!(oracle.point(99).first_row, 4);
+    }
+
+    #[test]
+    fn dynamic_oracle_two_phase_compaction_renumbers_only_the_snapshot() {
+        let mut oracle = DynamicOracle::new(&[10, 20, 30, 40], &[1, 2, 3, 4]);
+        oracle.delete_batch(&[20]);
+        // Freeze: rows 0, 2, 3 are the snapshot (positions 0, 1, 2).
+        oracle.begin_compaction();
+        // During the rebuild: an insert keeps allocating high rows, a
+        // delete drops a snapshot member, and rows stay untouched.
+        oracle.insert_batch(&[50], &[5]);
+        assert_eq!(oracle.point(50).first_row, 4);
+        oracle.delete_batch(&[30]);
+        assert_eq!(oracle.point(10).first_row, 0);
+        assert_eq!(oracle.point(40).first_row, 3);
+        // Swap: snapshot members renumber to their snapshot position, the
+        // in-flight insert keeps its row, the allocator is untouched.
+        oracle.finish_compaction();
+        assert_eq!(oracle.point(10).first_row, 0);
+        assert_eq!(oracle.point(40).first_row, 2);
+        assert_eq!(oracle.point(50).first_row, 4);
+        assert_eq!(oracle.point(30).first_row, MISS, "deleted mid-rebuild");
+        oracle.insert_batch(&[60], &[6]);
+        assert_eq!(oracle.point(60).first_row, 5, "allocator continued");
+        // A second finish without a begin is a no-op.
+        oracle.finish_compaction();
+        assert_eq!(oracle.point(40).first_row, 2);
     }
 
     #[test]
