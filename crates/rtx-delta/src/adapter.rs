@@ -9,8 +9,8 @@
 //! answer the same batch identically.
 
 use rtx_query::{
-    BatchOutcome, Capabilities, IndexBuildMetrics, IndexError, IndexSpec, Registry, SecondaryIndex,
-    UpdatableIndex, UpdateReport,
+    BatchOutcome, Capabilities, IndexBuildMetrics, IndexError, IndexSpec, MemoryUsage, Registry,
+    SecondaryIndex, UpdatableIndex, UpdateReport,
 };
 
 use crate::config::DynamicRtConfig;
@@ -31,6 +31,12 @@ impl DynamicAdapter {
     pub fn build(spec: &IndexSpec<'_>, mut config: DynamicRtConfig) -> Result<Self, IndexError> {
         if let Some(builder) = spec.builder {
             config.rx.builder = builder;
+        }
+        // Under a durability wrapper the swap point of a background
+        // compaction must be an explicit, logged decision — the wrapper
+        // polls and records it; the index must not land swaps on its own.
+        if spec.durability.is_some() {
+            config.auto_swap = false;
         }
         let zeros;
         let values = match spec.values() {
@@ -106,6 +112,16 @@ impl SecondaryIndex for DynamicAdapter {
         self.has_values
     }
 
+    fn memory_usage(&self) -> MemoryUsage {
+        let (base_bytes, delta_bytes, tombstone_bytes) = self.index.memory_breakdown();
+        MemoryUsage {
+            base_bytes,
+            delta_bytes,
+            tombstone_bytes,
+            wal_buffer_bytes: 0,
+        }
+    }
+
     fn point_chunk(&self, queries: &[u64], fetch: bool) -> Result<BatchOutcome, IndexError> {
         let outcome = self.index.point_lookup_batch(queries)?;
         Ok(Self::strip_sums(outcome, fetch))
@@ -140,6 +156,50 @@ impl UpdatableIndex for DynamicAdapter {
 
     fn upsert(&mut self, keys: &[u64], values: &[u64]) -> Result<UpdateReport, IndexError> {
         Ok(report(self.index.upsert_batch(keys, values)?))
+    }
+
+    fn poll_reorganisation(&mut self) -> Result<u64, IndexError> {
+        Ok(self.index.poll_compaction().is_some() as u64)
+    }
+
+    fn await_reorganisation(&mut self) -> Result<u64, IndexError> {
+        Ok(self.index.wait_for_compaction().is_some() as u64)
+    }
+
+    fn reorganisation_in_flight(&self) -> bool {
+        self.index.compaction_in_flight()
+    }
+
+    fn compact(&mut self) -> Result<UpdateReport, IndexError> {
+        let event = self.index.compact_now();
+        Ok(UpdateReport {
+            inserted_rows: 0,
+            deleted_rows: 0,
+            simulated_time_s: event.simulated_build_s,
+            reorganisations: 1,
+        })
+    }
+
+    fn checkpoint_rows(&self) -> Option<Vec<(u64, u64)>> {
+        let ix = &self.index;
+        // The snapshot contract: a fresh build over exactly these columns
+        // reproduces the index. That holds only right after a compaction —
+        // no delta, no frozen generation, no tombstones, and a row
+        // allocator dense over the live rows.
+        let clean = ix.delta_len() == 0
+            && ix.frozen_delta_len() == 0
+            && !ix.compaction_in_flight()
+            && ix.dead_base_rows() == 0
+            && ix.allocated_rows() as usize == ix.len();
+        if !clean {
+            return None;
+        }
+        Some(
+            ix.live_entries()
+                .into_iter()
+                .map(|(_, key, value)| (key, value))
+                .collect(),
+        )
     }
 }
 

@@ -93,7 +93,7 @@ impl CompactionPolicy {
 }
 
 /// Complete configuration of a [`DynamicRtIndex`](crate::DynamicRtIndex).
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DynamicRtConfig {
     /// Configuration used for the immutable base index (and for every
     /// compaction rebuild).
@@ -111,6 +111,26 @@ pub struct DynamicRtConfig {
     /// (`rtx-shard`) relies on. Enable it for unsharded serving paths where
     /// write-stall latency matters (see `rtx-serve`).
     pub background: bool,
+    /// Land a completed background compaction automatically at the start of
+    /// the next update batch (the default). Durability wrappers turn this
+    /// *off* so the swap point becomes an explicit choice they make — and
+    /// log — via [`DynamicRtIndex::poll_compaction`]: replaying the same
+    /// batches with swaps forced at the logged positions then reproduces
+    /// the exact structural state, independent of background-thread timing.
+    ///
+    /// [`DynamicRtIndex::poll_compaction`]: crate::DynamicRtIndex::poll_compaction
+    pub auto_swap: bool,
+}
+
+impl Default for DynamicRtConfig {
+    fn default() -> Self {
+        DynamicRtConfig {
+            rx: RtIndexConfig::default(),
+            policy: CompactionPolicy::default(),
+            background: false,
+            auto_swap: true,
+        }
+    }
 }
 
 impl DynamicRtConfig {
@@ -130,6 +150,13 @@ impl DynamicRtConfig {
     /// compaction enabled or disabled.
     pub fn with_background_compaction(mut self, background: bool) -> Self {
         self.background = background;
+        self
+    }
+
+    /// Returns the configuration with automatic swap-landing enabled or
+    /// disabled (see [`DynamicRtConfig::auto_swap`]).
+    pub fn with_auto_swap(mut self, auto_swap: bool) -> Self {
+        self.auto_swap = auto_swap;
         self
     }
 }

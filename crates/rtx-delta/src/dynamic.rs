@@ -300,6 +300,21 @@ impl DynamicRtIndex {
                 .map_or(0, |c| c.frozen.memory_bytes())
     }
 
+    /// [`memory_bytes`](DynamicRtIndex::memory_bytes) split by structural
+    /// role: `(base, delta, tombstone)` bytes. The base covers the BVH,
+    /// primitive/key buffers and the value column; the delta covers the
+    /// fresh table plus a frozen generation when a background compaction is
+    /// in flight; the tombstone share is the validity bitmap.
+    pub fn memory_breakdown(&self) -> (u64, u64, u64) {
+        let base = self.base.total_memory_bytes() + self.base_values.size_bytes();
+        let delta = self.delta.memory_bytes()
+            + self
+                .inflight
+                .as_ref()
+                .map_or(0, |c| c.frozen.memory_bytes());
+        (base, delta, self.live_bitmap.size_bytes())
+    }
+
     /// All live `(row, key, value)` entries in ascending row order — the
     /// exact column a compaction (or an oracle) materialises. Base rows
     /// come first, then the frozen delta (when a background compaction is
@@ -472,7 +487,7 @@ impl DynamicRtIndex {
         }
         self.validate_keys(keys)?;
         self.validate_row_space(keys.len())?;
-        let swapped = self.poll_swap();
+        let swapped = self.auto_poll_swap();
         let simulated = self.apply_insert(keys, values);
         Ok(self.finish_batch(swapped, keys.len(), 0, simulated))
     }
@@ -482,7 +497,7 @@ impl DynamicRtIndex {
     /// lookup — and tombstoned via the validity mask; delta hits are
     /// tombstoned in the hash table. Unknown keys are ignored.
     pub fn delete_batch(&mut self, keys: &[u64]) -> Result<UpdateOutcome, RtIndexError> {
-        let swapped = self.poll_swap();
+        let swapped = self.auto_poll_swap();
         let (deleted, simulated) = self.apply_delete(keys)?;
         Ok(self.finish_batch(swapped, 0, deleted, simulated))
     }
@@ -503,7 +518,7 @@ impl DynamicRtIndex {
         }
         self.validate_keys(keys)?;
         self.validate_row_space(keys.len())?;
-        let swapped = self.poll_swap();
+        let swapped = self.auto_poll_swap();
         let (deleted, delete_sim) = self.apply_delete(keys)?;
         let insert_sim = self.apply_insert(keys, values);
         Ok(self.finish_batch(swapped, keys.len(), deleted, delete_sim + insert_sim))
@@ -702,6 +717,18 @@ impl DynamicRtIndex {
         let event = self.swap_in(inflight);
         self.stats.simulated_update_s += event.simulated_build_s;
         Some(event)
+    }
+
+    /// The automatic swap landing at the start of every update batch —
+    /// disabled under [`DynamicRtConfig::auto_swap`]` = false`, where a
+    /// durability wrapper controls (and logs) the swap points explicitly
+    /// through [`DynamicRtIndex::poll_compaction`].
+    fn auto_poll_swap(&mut self) -> Option<CompactionEvent> {
+        if self.config.auto_swap {
+            self.poll_swap()
+        } else {
+            None
+        }
     }
 
     /// Swaps in a finished rebuild without blocking. Returns `None` while

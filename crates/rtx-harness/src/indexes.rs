@@ -24,13 +24,16 @@ pub const DYNAMIC_BACKEND: &str = "RXD";
 /// the RX side (static base and dynamic wrapper) built under `rx_config`:
 /// `"HT"`, `"B+"`, `"SA"`, `"RX"` and the updatable `"RXD"` — plus the
 /// sharding layer, so sharded variants of any of them build by name
-/// (`"RX@8"`, `"SA@4:range"`, updatable `"RXD@2"`).
+/// (`"RX@8"`, `"SA@4:range"`, updatable `"RXD@2"`), and the durability
+/// layer, so a trailing `"+wal:<path>"` builds (or reopens) a WAL-backed
+/// persistent index (`"RXD+wal:/data/ix"`, `"RXD:sah@4:hash+wal:/data/ix"`).
 pub fn registry_with(rx_config: RtIndexConfig) -> Registry {
     let mut registry = Registry::new();
     gpu_baselines::register_baselines(&mut registry);
     register_rx(&mut registry, rx_config);
     register_dynamic(&mut registry, DynamicRtConfig::default().with_rx(rx_config));
     rtx_shard::install_sharding(&mut registry);
+    rtx_durable::install_durability(&mut registry);
     registry
 }
 
@@ -55,6 +58,7 @@ pub fn build_all_indexes(
         // One shared copy of the column serves every backend built below.
         values: values.map(std::sync::Arc::from),
         builder: None,
+        durability: None,
     };
     registry_with(rx_config)
         .build_named(&PAPER_BACKENDS, &spec)

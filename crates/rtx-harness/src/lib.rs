@@ -88,6 +88,7 @@ pub fn experiment_names() -> Vec<&'static str> {
         "shard_scaling",
         "service_throughput",
         "build_throughput",
+        "recovery_throughput",
     ]
 }
 
@@ -123,6 +124,7 @@ pub fn run_experiment(name: &str, scale: &ExperimentScale) -> Option<Vec<Table>>
         "shard_scaling" => ex::shard_scaling::run(scale),
         "service_throughput" => ex::service_throughput::run(scale),
         "build_throughput" => ex::build_pipeline::run(scale),
+        "recovery_throughput" => ex::recovery_throughput::run(scale),
         _ => return None,
     };
     Some(tables)

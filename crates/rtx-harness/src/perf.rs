@@ -744,6 +744,33 @@ pub fn quick_suite(scale: &ExperimentScale) -> BenchReport {
         ));
     }
 
+    // WAL replay throughput: absolute host wall-clock over a durable
+    // reopen, so it is recorded for the trajectory only (ungated; promote
+    // once it proves stable across runners).
+    {
+        let runs = crate::experiments::recovery_throughput::run_sweep(scale);
+        let (run, replayed_ops) = runs
+            .iter()
+            .rfind(|(r, _)| !r.checkpointed)
+            .expect("sweep has uncheckpointed runs");
+        metrics.push(metric(
+            "recovery_throughput",
+            "WAL replay host throughput, full log",
+            "ops/s",
+            run.replay_ops_per_s(*replayed_ops),
+            true,
+            false,
+        ));
+        metrics.push(metric(
+            "recovery_throughput",
+            "recovery host time, full log",
+            "ms",
+            run.recovery_s * 1e3,
+            false,
+            false,
+        ));
+    }
+
     BenchReport {
         scale: scale_name.to_string(),
         metrics,

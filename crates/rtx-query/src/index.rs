@@ -10,7 +10,10 @@ use optix_sim::LaunchMetrics;
 
 use crate::batch::{QueryBatch, QueryOp};
 use crate::error::IndexError;
-use crate::types::{BatchOutcome, Capabilities, IndexBuildMetrics, QueryOutcome, UpdateReport};
+use crate::types::{
+    BatchOutcome, Capabilities, DurableStats, IndexBuildMetrics, MemoryUsage, QueryOutcome,
+    UpdateReport,
+};
 
 /// A read-only secondary index over a `(key, optional value)` column pair.
 ///
@@ -40,6 +43,22 @@ pub trait SecondaryIndex: Send + Sync {
     /// Whether the index was built with a value column (required for
     /// batches submitted with [`QueryBatch::fetch_values`]).
     fn has_value_column(&self) -> bool;
+
+    /// Structural memory breakdown (base / delta / tombstones / WAL
+    /// buffer). The default attributes [`memory_bytes`] wholesale to the
+    /// base, which is correct for monolithic read-only backends; layered
+    /// backends override this with a real split.
+    ///
+    /// [`memory_bytes`]: SecondaryIndex::memory_bytes
+    fn memory_usage(&self) -> MemoryUsage {
+        MemoryUsage::base_only(self.memory_bytes())
+    }
+
+    /// Durability counters, or `None` for a memory-only index. Overridden
+    /// by WAL-backed wrappers.
+    fn durability_stats(&self) -> Option<DurableStats> {
+        None
+    }
 
     /// Executes one homogeneous chunk of point lookups.
     ///
@@ -180,6 +199,60 @@ pub trait UpdatableIndex: SecondaryIndex {
     /// Upserts a batch: every key's existing entries are deleted, then one
     /// fresh `(key, value)` row is inserted per pair.
     fn upsert(&mut self, keys: &[u64], values: &[u64]) -> Result<UpdateReport, IndexError>;
+
+    /// Lands any *completed* deferred reorganisation (e.g. a background
+    /// compaction whose swap is ready) without blocking, returning how many
+    /// landed. The default — for backends without deferred reorganisation —
+    /// lands nothing.
+    ///
+    /// Durable wrappers call this *before* logging each update batch so the
+    /// swap point becomes an explicit WAL record and replay can reproduce
+    /// the exact structural state.
+    fn poll_reorganisation(&mut self) -> Result<u64, IndexError> {
+        Ok(0)
+    }
+
+    /// Waits for any in-flight deferred reorganisation to complete and
+    /// lands it, returning how many landed. Default: nothing to wait for.
+    fn await_reorganisation(&mut self) -> Result<u64, IndexError> {
+        Ok(0)
+    }
+
+    /// True while a deferred reorganisation (background compaction rebuild)
+    /// is in flight but has not landed. Durable wrappers compare this
+    /// before and after a batch to detect the *freeze* point and annotate
+    /// their log. Default: never.
+    fn reorganisation_in_flight(&self) -> bool {
+        false
+    }
+
+    /// Forces a full synchronous reorganisation (merge delta + drop
+    /// tombstones), making the structural state canonical. Backends without
+    /// an explicit compaction report `UnsupportedOperation`.
+    fn compact(&mut self) -> Result<UpdateReport, IndexError> {
+        Err(IndexError::UnsupportedOperation {
+            backend: self.name().to_string(),
+            operation: "explicit compaction",
+        })
+    }
+
+    /// The live `(key, value)` rows in rowID order — but only when the
+    /// index is in a *clean* state: empty delta, no tombstones, rowIDs
+    /// dense `0..n`, so that a fresh build over exactly these columns
+    /// reproduces the index (the snapshot contract). Returns `None` in any
+    /// dirty state; callers compact first. Valueless indexes report 0
+    /// values. The default (`None`) marks a backend as non-snapshottable.
+    fn checkpoint_rows(&self) -> Option<Vec<(u64, u64)>> {
+        None
+    }
+
+    /// Asks a durable wrapper to snapshot now (compacting first if
+    /// needed) and truncate its WAL, returning the number of snapshots
+    /// written. A memory-only index has nothing to do. `rtx-serve` routes
+    /// `ClientHandle::checkpoint` here through the write fence.
+    fn checkpoint(&mut self) -> Result<u64, IndexError> {
+        Ok(0)
+    }
 }
 
 #[cfg(test)]

@@ -57,8 +57,8 @@ pub use error::IndexError;
 pub use fuse::{FusedBatch, FusedSlice};
 pub use index::{SecondaryIndex, UpdatableIndex};
 pub use registry::{
-    parse_builder_name, IndexBuilder, IndexSpec, Registry, ShardedBuilder, UpdatableBuilder,
-    UpdatableShardedBuilder,
+    parse_builder_name, parse_durable_name, DurabilitySpec, DurableBuilder, IndexBuilder,
+    IndexSpec, Registry, ShardedBuilder, UpdatableBuilder, UpdatableShardedBuilder,
 };
 
 // The builder-selection grammar (`"RX:sah"`, `"RX:lbvh"`) names this enum;
@@ -66,5 +66,6 @@ pub use registry::{
 pub use rtx_bvh::BuilderKind;
 pub use shard::{KeyRouter, Partitioning, ScatterPlan, ShardSpec};
 pub use types::{
-    BatchOutcome, Capabilities, IndexBuildMetrics, LookupResult, QueryOutcome, UpdateReport, MISS,
+    BatchOutcome, Capabilities, DurableStats, IndexBuildMetrics, LookupResult, MemoryUsage,
+    QueryOutcome, UpdateReport, MISS,
 };

@@ -12,12 +12,21 @@
 //! the grammar:
 //!
 //! ```text
-//! name        := backend [builder] [shard]
+//! name        := backend [builder] [shard] [durability]
 //! backend     := "RX" | "HT" | "B+" | "SA" | "RXD" | <any registered name>
 //! builder     := ":sah" | ":lbvh"
 //! shard       := "@" <count> [":hash" | ":range"]
+//! durability  := "+wal:" <path>
 //! ```
 //!
+//! 0. **durability** — a trailing `"+wal:<path>"` (the outermost
+//!    production: `"RXD+wal:/data/ix"`, `"RXD:sah@4:hash+wal:/data/ix"`)
+//!    strips the suffix, records the path in [`IndexSpec::durability`] and
+//!    delegates the whole build to the installed durable factory (see
+//!    [`Registry::set_durable_builder`]; `rtx-durable` provides the
+//!    canonical factory via its `install_durability` function), which
+//!    resolves the base name recursively and wraps it in a WAL-backed
+//!    persistent index;
 //! 1. **verbatim** — a name registered exactly always wins (`"RX"`);
 //! 2. **sharding** — a name containing `@` parses as a
 //!    [`ShardSpec`] (`"RX@8"`, `"SA@4:range"`) when a sharding layer is
@@ -30,6 +39,7 @@
 //!    without a BVH (HT, B+, SA) ignore it.
 
 use std::collections::BTreeMap;
+use std::path::PathBuf;
 use std::sync::Arc;
 
 use gpu_device::Device;
@@ -60,6 +70,29 @@ pub struct IndexSpec<'a> {
     /// [`IndexSpec::with_builder`]. `None` keeps the backend's configured
     /// default; backends without a BVH ignore it.
     pub builder: Option<BuilderKind>,
+    /// Durability request, set by a trailing `"+wal:<path>"` name suffix
+    /// (the outermost grammar production — see the [module docs](self)).
+    /// The durable factory reads the path; backends that see it set prepare
+    /// themselves for an external durability wrapper (e.g. RXD disables
+    /// autonomous background-compaction swaps so the wrapper controls the
+    /// exact swap points it logs).
+    pub durability: Option<DurabilitySpec>,
+}
+
+/// The durability request riding in [`IndexSpec::durability`]: where the
+/// WAL + snapshot directory lives.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DurabilitySpec {
+    /// Directory holding the WAL segments, snapshots and (for sharded
+    /// indexes) the manifest. Created on first use.
+    pub path: PathBuf,
+}
+
+impl DurabilitySpec {
+    /// A durability request rooted at `path`.
+    pub fn new(path: impl Into<PathBuf>) -> Self {
+        DurabilitySpec { path: path.into() }
+    }
 }
 
 impl<'a> IndexSpec<'a> {
@@ -70,6 +103,7 @@ impl<'a> IndexSpec<'a> {
             keys,
             values: None,
             builder: None,
+            durability: None,
         }
     }
 
@@ -81,6 +115,7 @@ impl<'a> IndexSpec<'a> {
             keys,
             values: Some(Arc::from(values)),
             builder: None,
+            durability: None,
         }
     }
 
@@ -88,6 +123,17 @@ impl<'a> IndexSpec<'a> {
     /// programmatic equivalent of the `:sah` / `:lbvh` name suffix).
     pub fn with_builder(mut self, builder: BuilderKind) -> Self {
         self.builder = Some(builder);
+        self
+    }
+
+    /// Returns the spec with a durability request attached (how the
+    /// `"+wal:<path>"` name production records its path). Building a
+    /// backend directly from such a spec does *not* wrap it — name
+    /// resolution through the `+wal:` suffix (or the `rtx-durable` API)
+    /// does; a bare backend seeing the request merely prepares itself for
+    /// an external durability wrapper.
+    pub fn with_durability(mut self, durability: DurabilitySpec) -> Self {
+        self.durability = Some(durability);
         self
     }
 
@@ -134,6 +180,16 @@ pub type UpdatableShardedBuilder = Box<
         + Sync,
 >;
 
+/// Factory resolving a `"+wal:<path>"`-suffixed name into a WAL-backed
+/// durable index. Receives the registry, the *base* name (everything
+/// before `+wal:`) and a spec whose [`IndexSpec::durability`] carries the
+/// path; it resolves the base recursively and wraps it.
+pub type DurableBuilder = Box<
+    dyn Fn(&Registry, &str, &IndexSpec<'_>) -> Result<Box<dyn UpdatableIndex>, IndexError>
+        + Send
+        + Sync,
+>;
+
 /// Builds any registered backend by name.
 #[derive(Default)]
 pub struct Registry {
@@ -141,6 +197,7 @@ pub struct Registry {
     updatable: BTreeMap<String, UpdatableBuilder>,
     sharded: Option<ShardedBuilder>,
     sharded_updatable: Option<UpdatableShardedBuilder>,
+    durable: Option<DurableBuilder>,
 }
 
 impl Registry {
@@ -198,6 +255,20 @@ impl Registry {
         self.sharded.is_some()
     }
 
+    /// Installs the durable-index factory: with it in place, any name with
+    /// a trailing `"+wal:<path>"` builds a WAL-backed persistent wrapper
+    /// over the base name's backend. `rtx-durable` provides the canonical
+    /// factory via its `install_durability` function.
+    pub fn set_durable_builder(&mut self, durable: DurableBuilder) {
+        self.durable = Some(durable);
+    }
+
+    /// True once [`set_durable_builder`](Registry::set_durable_builder)
+    /// has installed a durability layer.
+    pub fn supports_durability(&self) -> bool {
+        self.durable.is_some()
+    }
+
     /// Every registered backend name, sorted.
     pub fn backends(&self) -> Vec<&str> {
         self.builders.keys().map(String::as_str).collect()
@@ -221,6 +292,11 @@ impl Registry {
         spec: &IndexSpec<'_>,
     ) -> Result<Box<dyn SecondaryIndex>, IndexError> {
         spec.validate()?;
+        if let Some((base, path)) = parse_durable_name(name) {
+            return self
+                .build_durable(base, path, spec)
+                .map(|ix| ix as Box<dyn SecondaryIndex>);
+        }
         if let Some(builder) = self.builders.get(name) {
             return builder(spec);
         }
@@ -250,6 +326,9 @@ impl Registry {
         spec: &IndexSpec<'_>,
     ) -> Result<Box<dyn UpdatableIndex>, IndexError> {
         spec.validate()?;
+        if let Some((base, path)) = parse_durable_name(name) {
+            return self.build_durable(base, path, spec);
+        }
         if let Some(builder) = self.updatable.get(name) {
             return builder(spec);
         }
@@ -276,6 +355,34 @@ impl Registry {
                 .map(|s| s.to_string())
                 .collect(),
         })
+    }
+
+    /// Resolves a stripped `"+wal:"` production: records the path in the
+    /// spec and delegates to the installed durable factory.
+    fn build_durable(
+        &self,
+        base: &str,
+        path: &str,
+        spec: &IndexSpec<'_>,
+    ) -> Result<Box<dyn UpdatableIndex>, IndexError> {
+        let factory = self.durable.as_ref().ok_or_else(|| IndexError::Backend {
+            backend: format!("{base}+wal:{path}"),
+            message: format!(
+                "{base:?} requests durability but no durability layer is installed in this \
+                 registry (known backends: {})",
+                self.backends().join(", ")
+            ),
+        })?;
+        if base.is_empty() || path.is_empty() {
+            return Err(IndexError::Backend {
+                backend: format!("{base}+wal:{path}"),
+                message: "a durable spec needs both a backend name and a path \
+                          (\"<backend>+wal:<path>\")"
+                    .to_string(),
+            });
+        }
+        let spec = spec.clone().with_durability(DurabilitySpec::new(path));
+        factory(self, base, &spec)
     }
 
     fn validate_shard_spec(&self, spec: &ShardSpec) -> Result<(), IndexError> {
@@ -335,6 +442,14 @@ impl Registry {
             known: self.backends().iter().map(|s| s.to_string()).collect(),
         }
     }
+}
+
+/// Splits the durability suffix off a backend name: `"RXD+wal:/data/ix"` →
+/// `("RXD", "/data/ix")`, `"RXD:sah@4:hash+wal:/p"` →
+/// `("RXD:sah@4:hash", "/p")`. The *first* `"+wal:"` splits, so the base
+/// name can never contain the marker. Returns `None` for names without it.
+pub fn parse_durable_name(name: &str) -> Option<(&str, &str)> {
+    name.split_once("+wal:")
 }
 
 /// Parses the builder-selection suffix of a backend name: `"RX:lbvh"` →
@@ -565,6 +680,50 @@ mod tests {
     }
 
     #[test]
+    fn durable_suffix_routes_to_the_installed_factory() {
+        assert_eq!(
+            parse_durable_name("RXD+wal:/tmp/x"),
+            Some(("RXD", "/tmp/x"))
+        );
+        assert_eq!(
+            parse_durable_name("RXD:sah@4:hash+wal:/p"),
+            Some(("RXD:sah@4:hash", "/p"))
+        );
+        assert_eq!(parse_durable_name("RXD"), None);
+
+        let mut r = registry();
+        let device = Device::default_eval();
+        let spec = IndexSpec::keys_only(&device, &[1]);
+        assert!(!r.supports_durability());
+        let err = r.build("NULL+wal:/tmp/x", &spec).map(|_| ()).unwrap_err();
+        assert!(err.to_string().contains("no durability layer"), "{err}");
+
+        // A probe factory: verifies the stripped base name and the path
+        // riding in the spec reach the factory intact.
+        r.set_durable_builder(Box::new(|_, base, spec| {
+            let d = spec.durability.as_ref().expect("durability rides the spec");
+            Err(IndexError::Backend {
+                backend: base.to_string(),
+                message: format!("wal at {}", d.path.display()),
+            })
+        }));
+        assert!(r.supports_durability());
+        let err = r
+            .build_updatable("NULL+wal:/tmp/x", &spec)
+            .map(|_| ())
+            .unwrap_err();
+        assert!(err.to_string().contains("wal at /tmp/x"), "{err}");
+        let err = r.build("NULL+wal:/tmp/x", &spec).map(|_| ()).unwrap_err();
+        assert!(matches!(err, IndexError::Backend { backend, .. } if backend == "NULL"));
+
+        // Degenerate specs are rejected before the factory runs.
+        let err = r.build("NULL+wal:", &spec).map(|_| ()).unwrap_err();
+        assert!(err.to_string().contains("needs both"), "{err}");
+        let err = r.build_updatable("+wal:/p", &spec).map(|_| ()).unwrap_err();
+        assert!(err.to_string().contains("needs both"), "{err}");
+    }
+
+    #[test]
     fn build_supported_skips_unsupported_key_sets() {
         let device = Device::default_eval();
         let built = registry()
@@ -585,6 +744,7 @@ mod tests {
                     keys: &[1, 2],
                     values: Some(Arc::from(&[9u64][..])),
                     builder: None,
+                    durability: None,
                 },
             )
             .map(|_| ())

@@ -146,6 +146,92 @@ impl Capabilities {
     }
 }
 
+/// A structural breakdown of the device/host memory an index occupies,
+/// refining the single [`SecondaryIndex::memory_bytes`] number into the
+/// components an operator actually watches: the compacted base, the
+/// mutable delta, the tombstone bookkeeping, and (for durable wrappers)
+/// the WAL write buffer.
+///
+/// Backends without a given component report 0 for it; components sum
+/// across shards with [`MemoryUsage::add`].
+///
+/// [`SecondaryIndex::memory_bytes`]: crate::index::SecondaryIndex::memory_bytes
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemoryUsage {
+    /// Bytes of the immutable/compacted base structure (BVH + columns,
+    /// hash table, tree nodes, sorted array...).
+    pub base_bytes: u64,
+    /// Bytes of the mutable delta structures absorbing updates.
+    pub delta_bytes: u64,
+    /// Bytes of tombstone / liveness bookkeeping (bitmaps, mirrors).
+    pub tombstone_bytes: u64,
+    /// Bytes buffered by a durability layer ahead of the next fsync.
+    pub wal_buffer_bytes: u64,
+}
+
+impl MemoryUsage {
+    /// A usage report attributing everything to the base structure — the
+    /// correct shape for a monolithic read-only index.
+    pub fn base_only(bytes: u64) -> Self {
+        MemoryUsage {
+            base_bytes: bytes,
+            ..Default::default()
+        }
+    }
+
+    /// Total bytes across every component.
+    pub fn total(&self) -> u64 {
+        self.base_bytes + self.delta_bytes + self.tombstone_bytes + self.wal_buffer_bytes
+    }
+
+    /// Component-wise accumulation (used to sum shards).
+    pub fn add(&mut self, other: &MemoryUsage) {
+        self.base_bytes += other.base_bytes;
+        self.delta_bytes += other.delta_bytes;
+        self.tombstone_bytes += other.tombstone_bytes;
+        self.wal_buffer_bytes += other.wal_buffer_bytes;
+    }
+}
+
+/// Cumulative durability counters of a WAL-backed index, surfaced through
+/// [`SecondaryIndex::durability_stats`] and the service stats.
+///
+/// [`SecondaryIndex::durability_stats`]: crate::index::SecondaryIndex::durability_stats
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DurableStats {
+    /// Live WAL bytes on disk (records not yet truncated by a snapshot).
+    pub wal_bytes: u64,
+    /// fsync calls issued since open.
+    pub fsyncs: u64,
+    /// Snapshots written since open.
+    pub snapshots: u64,
+    /// Batch sequence number covered by the latest snapshot (0 before any).
+    pub last_snapshot_bsn: u64,
+    /// Bytes of the latest snapshot file (0 before any).
+    pub last_snapshot_bytes: u64,
+    /// Update batches replayed from the WAL by the most recent `open`.
+    pub replayed_batches: u64,
+}
+
+impl DurableStats {
+    /// Component-wise accumulation of per-shard stats; the snapshot frontier
+    /// reports the *oldest* shard snapshot (the recovery-relevant bound).
+    pub fn add(&mut self, other: &DurableStats) {
+        self.wal_bytes += other.wal_bytes;
+        self.fsyncs += other.fsyncs;
+        self.snapshots += other.snapshots;
+        self.last_snapshot_bsn = if self.last_snapshot_bsn == 0 {
+            other.last_snapshot_bsn
+        } else if other.last_snapshot_bsn == 0 {
+            self.last_snapshot_bsn
+        } else {
+            self.last_snapshot_bsn.min(other.last_snapshot_bsn)
+        };
+        self.last_snapshot_bytes += other.last_snapshot_bytes;
+        self.replayed_batches += other.replayed_batches;
+    }
+}
+
 /// Result of one batched update through
 /// [`UpdatableIndex`](crate::index::UpdatableIndex).
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -221,6 +307,50 @@ mod tests {
         assert_eq!(outcome.hit_count(), 2);
         assert_eq!(outcome.total_value_sum(), 12);
         assert_eq!(outcome.sim_ms(), 0.0);
+    }
+
+    #[test]
+    fn memory_usage_totals_and_sums() {
+        let mut a = MemoryUsage::base_only(100);
+        assert_eq!(a.total(), 100);
+        a.add(&MemoryUsage {
+            base_bytes: 10,
+            delta_bytes: 20,
+            tombstone_bytes: 30,
+            wal_buffer_bytes: 40,
+        });
+        assert_eq!(a.base_bytes, 110);
+        assert_eq!(a.total(), 200);
+    }
+
+    #[test]
+    fn durable_stats_sum_keeps_oldest_snapshot_frontier() {
+        let mut a = DurableStats {
+            wal_bytes: 10,
+            fsyncs: 2,
+            snapshots: 1,
+            last_snapshot_bsn: 7,
+            last_snapshot_bytes: 100,
+            replayed_batches: 3,
+        };
+        a.add(&DurableStats {
+            wal_bytes: 5,
+            fsyncs: 1,
+            snapshots: 1,
+            last_snapshot_bsn: 4,
+            last_snapshot_bytes: 50,
+            replayed_batches: 0,
+        });
+        assert_eq!(a.wal_bytes, 15);
+        assert_eq!(a.fsyncs, 3);
+        assert_eq!(a.last_snapshot_bsn, 4, "oldest shard frontier wins");
+        // A shard without any snapshot does not drag the frontier to 0...
+        a.add(&DurableStats::default());
+        assert_eq!(a.last_snapshot_bsn, 4);
+        // ...and a frontier appears once the first snapshotted shard sums in.
+        let mut b = DurableStats::default();
+        b.add(&a);
+        assert_eq!(b.last_snapshot_bsn, 4);
     }
 
     #[test]

@@ -28,11 +28,11 @@ use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use rtx_query::{
-    BatchOutcome, Capabilities, FusedBatch, IndexError, QueryBatch, SecondaryIndex, UpdatableIndex,
-    UpdateReport,
+    BatchOutcome, Capabilities, DurableStats, FusedBatch, IndexError, MemoryUsage, QueryBatch,
+    SecondaryIndex, UpdatableIndex, UpdateReport,
 };
 
 use crate::config::ServiceConfig;
@@ -48,6 +48,10 @@ enum WriteOp {
     Delete { keys: Vec<u64> },
     /// Delete every key's rows, then insert one fresh row per pair.
     Upsert { keys: Vec<u64>, values: Vec<u64> },
+    /// Ask a durable backend to snapshot and truncate its WAL. Travels
+    /// through the write fence so the snapshot captures exactly the
+    /// acknowledged prefix of the stream.
+    Checkpoint,
 }
 
 impl WriteOp {
@@ -57,8 +61,18 @@ impl WriteOp {
             WriteOp::Insert { keys, .. }
             | WriteOp::Delete { keys }
             | WriteOp::Upsert { keys, .. } => keys.len().max(1),
+            WriteOp::Checkpoint => 1,
         }
     }
+}
+
+/// What one applied write-fence operation produced.
+#[derive(Debug, Clone)]
+enum WriteOutcome {
+    /// The report of a data write.
+    Report(UpdateReport),
+    /// Snapshots written by a checkpoint.
+    Checkpoint(u64),
 }
 
 /// One queued client request.
@@ -69,7 +83,7 @@ enum Request {
     },
     Write {
         op: WriteOp,
-        reply: mpsc::Sender<Result<UpdateReport, IndexError>>,
+        reply: mpsc::Sender<Result<WriteOutcome, IndexError>>,
     },
 }
 
@@ -117,7 +131,7 @@ impl ServiceBackend {
         }
     }
 
-    fn apply(&mut self, op: WriteOp) -> Result<UpdateReport, IndexError> {
+    fn apply(&mut self, op: WriteOp) -> Result<WriteOutcome, IndexError> {
         match self {
             // Admission rejects writes on read-only services; this is the
             // defensive backstop, not a reachable path.
@@ -126,10 +140,25 @@ impl ServiceBackend {
                 operation: "updates",
             }),
             ServiceBackend::Updatable(ix) => match op {
-                WriteOp::Insert { keys, values } => ix.insert(&keys, &values),
-                WriteOp::Delete { keys } => ix.delete(&keys),
-                WriteOp::Upsert { keys, values } => ix.upsert(&keys, &values),
+                WriteOp::Insert { keys, values } => {
+                    ix.insert(&keys, &values).map(WriteOutcome::Report)
+                }
+                WriteOp::Delete { keys } => ix.delete(&keys).map(WriteOutcome::Report),
+                WriteOp::Upsert { keys, values } => {
+                    ix.upsert(&keys, &values).map(WriteOutcome::Report)
+                }
+                WriteOp::Checkpoint => ix.checkpoint().map(WriteOutcome::Checkpoint),
             },
+        }
+    }
+
+    /// The backend-side gauges mirrored into the service counters after
+    /// every fence operation: component-wise memory usage and (for durable
+    /// backends) the persistence stats.
+    fn gauges(&self) -> (MemoryUsage, Option<DurableStats>) {
+        match self {
+            ServiceBackend::ReadOnly(ix) => (ix.memory_usage(), ix.durability_stats()),
+            ServiceBackend::Updatable(ix) => (ix.memory_usage(), ix.durability_stats()),
         }
     }
 }
@@ -157,6 +186,17 @@ struct Counters {
     write_stall_ns_total: AtomicU64,
     write_stall_ns_max: AtomicU64,
     write_reorganisations: AtomicU64,
+    checkpoints: AtomicU64,
+    // Gauges mirrored from the backend after every fence operation (the
+    // coalescer owns the backend; clients read these copies).
+    wal_bytes: AtomicU64,
+    fsyncs: AtomicU64,
+    snapshots: AtomicU64,
+    last_snapshot_bsn: AtomicU64,
+    mem_base_bytes: AtomicU64,
+    mem_delta_bytes: AtomicU64,
+    mem_tombstone_bytes: AtomicU64,
+    mem_wal_buffer_bytes: AtomicU64,
 }
 
 /// State shared between the client handles and the coalescer thread.
@@ -203,6 +243,22 @@ pub struct ServiceStats {
     /// Structural reorganisations (compactions) reported by the backend
     /// across all writes — completed merges and background swaps.
     pub write_reorganisations: u64,
+    /// Checkpoints applied through the write fence
+    /// ([`ClientHandle::checkpoint`]).
+    pub checkpoints: u64,
+    /// Live WAL bytes of a durable backend, as of the last fence operation
+    /// (0 for memory-only backends).
+    pub wal_bytes: u64,
+    /// fsyncs issued by a durable backend since it opened.
+    pub fsyncs: u64,
+    /// Snapshots written by a durable backend since it opened.
+    pub snapshots: u64,
+    /// Batch sequence number covered by the latest snapshot (0 before
+    /// any; for sharded backends, the oldest shard snapshot).
+    pub last_snapshot_bsn: u64,
+    /// Component-wise memory usage of the backend, as of the last fence
+    /// operation (or service start for read-only backends).
+    pub memory: MemoryUsage,
 }
 
 impl ServiceStats {
@@ -252,7 +308,37 @@ impl Shared {
             write_stall_ns_total: c.write_stall_ns_total.load(Ordering::Relaxed),
             write_stall_ns_max: c.write_stall_ns_max.load(Ordering::Relaxed),
             write_reorganisations: c.write_reorganisations.load(Ordering::Relaxed),
+            checkpoints: c.checkpoints.load(Ordering::Relaxed),
+            wal_bytes: c.wal_bytes.load(Ordering::Relaxed),
+            fsyncs: c.fsyncs.load(Ordering::Relaxed),
+            snapshots: c.snapshots.load(Ordering::Relaxed),
+            last_snapshot_bsn: c.last_snapshot_bsn.load(Ordering::Relaxed),
+            memory: MemoryUsage {
+                base_bytes: c.mem_base_bytes.load(Ordering::Relaxed),
+                delta_bytes: c.mem_delta_bytes.load(Ordering::Relaxed),
+                tombstone_bytes: c.mem_tombstone_bytes.load(Ordering::Relaxed),
+                wal_buffer_bytes: c.mem_wal_buffer_bytes.load(Ordering::Relaxed),
+            },
         }
+    }
+
+    /// Copies the backend gauges into the shared counters.
+    fn refresh_gauges(&self, backend: &ServiceBackend) {
+        let (memory, durable) = backend.gauges();
+        let c = &self.counters;
+        c.mem_base_bytes.store(memory.base_bytes, Ordering::Relaxed);
+        c.mem_delta_bytes
+            .store(memory.delta_bytes, Ordering::Relaxed);
+        c.mem_tombstone_bytes
+            .store(memory.tombstone_bytes, Ordering::Relaxed);
+        c.mem_wal_buffer_bytes
+            .store(memory.wal_buffer_bytes, Ordering::Relaxed);
+        let durable = durable.unwrap_or_default();
+        c.wal_bytes.store(durable.wal_bytes, Ordering::Relaxed);
+        c.fsyncs.store(durable.fsyncs, Ordering::Relaxed);
+        c.snapshots.store(durable.snapshots, Ordering::Relaxed);
+        c.last_snapshot_bsn
+            .store(durable.last_snapshot_bsn, Ordering::Relaxed);
     }
 
     /// Admits one request into the queue (or rejects it), waking the
@@ -362,7 +448,33 @@ impl ClientHandle {
         self.submit(batch)?.wait()
     }
 
-    fn write(&self, op: WriteOp) -> Result<UpdateReport, ServeError> {
+    /// [`query`](ClientHandle::query) with bounded retries against
+    /// admission-control backpressure: an [`ServeError::Overloaded`]
+    /// rejection sleeps `backoff` (doubling per attempt) and resubmits, up
+    /// to `max_attempts` submissions in total. Every other outcome —
+    /// success or any other error — returns immediately; only the
+    /// retry-later rejection is retried.
+    pub fn query_with_retry(
+        &self,
+        batch: &QueryBatch,
+        max_attempts: usize,
+        backoff: Duration,
+    ) -> Result<BatchOutcome, ServeError> {
+        let mut backoff = backoff;
+        let mut attempt = 1;
+        loop {
+            match self.query(batch.clone()) {
+                Err(ServeError::Overloaded { .. }) if attempt < max_attempts => {
+                    std::thread::sleep(backoff);
+                    backoff = backoff.saturating_mul(2);
+                    attempt += 1;
+                }
+                outcome => return outcome,
+            }
+        }
+    }
+
+    fn write(&self, op: WriteOp) -> Result<WriteOutcome, ServeError> {
         if !self.shared.updatable {
             return Err(ServeError::ReadOnlyBackend {
                 backend: self.shared.backend_name.clone(),
@@ -376,11 +488,18 @@ impl ClientHandle {
         }
     }
 
+    fn data_write(&self, op: WriteOp) -> Result<UpdateReport, ServeError> {
+        match self.write(op)? {
+            WriteOutcome::Report(report) => Ok(report),
+            WriteOutcome::Checkpoint(_) => unreachable!("data writes reply with a report"),
+        }
+    }
+
     /// Inserts a batch of `(key, value)` rows. Blocks until the write is
     /// applied; it is fenced against every read queued before it and
     /// visible to every read queued after it.
     pub fn insert(&self, keys: &[u64], values: &[u64]) -> Result<UpdateReport, ServeError> {
-        self.write(WriteOp::Insert {
+        self.data_write(WriteOp::Insert {
             keys: keys.to_vec(),
             values: values.to_vec(),
         })
@@ -389,7 +508,7 @@ impl ClientHandle {
     /// Deletes every live row holding one of `keys` (fenced like
     /// [`insert`](ClientHandle::insert)).
     pub fn delete(&self, keys: &[u64]) -> Result<UpdateReport, ServeError> {
-        self.write(WriteOp::Delete {
+        self.data_write(WriteOp::Delete {
             keys: keys.to_vec(),
         })
     }
@@ -397,10 +516,22 @@ impl ClientHandle {
     /// Upserts a batch of `(key, value)` pairs (fenced like
     /// [`insert`](ClientHandle::insert)).
     pub fn upsert(&self, keys: &[u64], values: &[u64]) -> Result<UpdateReport, ServeError> {
-        self.write(WriteOp::Upsert {
+        self.data_write(WriteOp::Upsert {
             keys: keys.to_vec(),
             values: values.to_vec(),
         })
+    }
+
+    /// Asks a durable backend to snapshot and truncate its WAL, returning
+    /// the number of snapshots written. The request rides the write fence:
+    /// every read and write queued before it drains first, so the snapshot
+    /// captures exactly the acknowledged prefix of this service's stream.
+    /// A memory-only backend returns `Ok(0)`.
+    pub fn checkpoint(&self) -> Result<u64, ServeError> {
+        match self.write(WriteOp::Checkpoint)? {
+            WriteOutcome::Checkpoint(snapshots) => Ok(snapshots),
+            WriteOutcome::Report(_) => unreachable!("checkpoints reply with a snapshot count"),
+        }
     }
 
     /// Name of the backend the service wraps.
@@ -474,6 +605,8 @@ impl QueryService {
             updatable,
             counters: Counters::default(),
         });
+        // Seed the gauges so read-only services report their footprint too.
+        shared.refresh_gauges(&backend);
         let worker = std::thread::Builder::new()
             .name("rtx-serve-coalescer".to_string())
             .spawn({
@@ -547,7 +680,7 @@ enum Drained {
     },
     Write {
         op: WriteOp,
-        reply: mpsc::Sender<Result<UpdateReport, IndexError>>,
+        reply: mpsc::Sender<Result<WriteOutcome, IndexError>>,
     },
     Shutdown,
 }
@@ -561,18 +694,24 @@ fn run_coalescer(shared: &Shared, mut backend: ServiceBackend) {
             Drained::Write { op, reply } => {
                 // The apply is the queue-order fence: everything queued
                 // behind this write waits exactly this long. Surface it.
+                let is_checkpoint = matches!(op, WriteOp::Checkpoint);
                 let start = Instant::now();
                 let result = backend.apply(op);
                 let stall_ns = start.elapsed().as_nanos() as u64;
                 let c = &shared.counters;
-                c.write_batches.fetch_add(1, Ordering::Relaxed);
+                if is_checkpoint {
+                    c.checkpoints.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    c.write_batches.fetch_add(1, Ordering::Relaxed);
+                }
                 c.write_stall_ns_total
                     .fetch_add(stall_ns, Ordering::Relaxed);
                 c.write_stall_ns_max.fetch_max(stall_ns, Ordering::Relaxed);
-                if let Ok(report) = &result {
+                if let Ok(WriteOutcome::Report(report)) = &result {
                     c.write_reorganisations
                         .fetch_add(report.reorganisations, Ordering::Relaxed);
                 }
+                shared.refresh_gauges(&backend);
                 // A client that dropped its ticket abandoned the result.
                 let _ = reply.send(result);
             }
@@ -1094,6 +1233,73 @@ mod tests {
             ServeError::ShuttingDown
         );
         assert_eq!(h.insert(&[1], &[1]).unwrap_err(), ServeError::ShuttingDown);
+    }
+
+    #[test]
+    fn retry_with_backoff_rides_out_overload_but_not_other_errors() {
+        let config = ServiceConfig::new()
+            .with_linger(Duration::ZERO)
+            .with_max_queue_depth(2);
+        let (service, gate, _log) = stub_service(&[1], config);
+        let h = service.handle();
+
+        gate.hold();
+        let t1 = h.submit(QueryBatch::of_points(&[1])).unwrap();
+        gate.await_entered(1);
+        let t2 = h.submit(QueryBatch::of_points(&[1, 9])).unwrap();
+
+        // The queue is full: a single-attempt retry surfaces the overload.
+        let batch = QueryBatch::of_points(&[1]);
+        let err = h
+            .query_with_retry(&batch, 1, Duration::from_micros(50))
+            .unwrap_err();
+        assert!(matches!(err, ServeError::Overloaded { .. }));
+        // Non-retryable errors return immediately regardless of attempts.
+        let err = h
+            .query_with_retry(
+                &QueryBatch::of_points(&[1, 2, 3]),
+                100,
+                Duration::from_micros(50),
+            )
+            .unwrap_err();
+        assert!(matches!(err, ServeError::TooLarge { .. }));
+
+        // With attempts to spare, the retry rides the overload out.
+        let retrier = {
+            let (h, batch) = (h.clone(), batch.clone());
+            std::thread::spawn(move || h.query_with_retry(&batch, 1000, Duration::from_micros(50)))
+        };
+        gate.release();
+        assert_eq!(retrier.join().unwrap().unwrap().hit_count(), 1);
+        assert!(t1.wait().is_ok() && t2.wait().is_ok());
+        let stats = service.shutdown();
+        assert!(stats.rejected_batches >= 1, "the overload was observed");
+    }
+
+    #[test]
+    fn checkpoints_ride_the_fence_and_gauges_mirror_the_backend() {
+        let config = ServiceConfig::new().with_linger(Duration::ZERO);
+        let (service, _gate, log) = stub_service(&[1, 2], config);
+        let h = service.handle();
+
+        // The stub is memory-only: checkpoint is a fenced no-op (Ok(0)),
+        // not an error — callers need not know whether the backend under
+        // the service happens to be durable.
+        assert_eq!(h.checkpoint().unwrap(), 0);
+        h.insert(&[5], &[50]).unwrap();
+        assert_eq!(h.checkpoint().unwrap(), 0);
+        assert!(
+            !log.lock().unwrap().iter().any(|e| e.starts_with("points")),
+            "no reads involved"
+        );
+
+        let stats = service.shutdown();
+        assert_eq!(stats.checkpoints, 2);
+        assert_eq!(stats.write_batches, 1, "checkpoints are not data writes");
+        assert_eq!(stats.wal_bytes, 0, "memory-only backend has no WAL");
+        assert_eq!(stats.snapshots, 0);
+        assert_eq!(stats.memory.base_bytes, 16, "stub footprint mirrored");
+        assert_eq!(stats.memory.total(), 16);
     }
 
     #[test]

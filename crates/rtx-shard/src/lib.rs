@@ -51,7 +51,7 @@ pub mod partition;
 pub mod sharded;
 
 pub use partition::{HashPartitioner, RangePartitioner};
-pub use sharded::ShardedIndex;
+pub use sharded::{RouterConfig, ShardedIndex};
 
 use rtx_query::{Registry, SecondaryIndex, UpdatableIndex};
 

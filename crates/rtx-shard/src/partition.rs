@@ -94,6 +94,20 @@ impl RangePartitioner {
         RangePartitioner { bounds }
     }
 
+    /// Rebuilds a partitioner from previously captured
+    /// [`bounds`](Self::bounds) (e.g. a durability manifest), restoring the
+    /// exact routing of the original.
+    pub fn from_bounds(bounds: Vec<u64>) -> Self {
+        RangePartitioner { bounds }
+    }
+
+    /// The inclusive per-shard upper bounds (one fewer than the shard
+    /// count) — enough to reconstruct the partitioner with
+    /// [`from_bounds`](Self::from_bounds).
+    pub fn bounds(&self) -> &[u64] {
+        &self.bounds
+    }
+
     /// Boundaries cutting the full `u64` domain into `shards` equal spans.
     ///
     /// # Panics

@@ -28,12 +28,49 @@ use std::time::Instant;
 
 use gpu_device::executor::{parallel_map, parallel_tasks};
 use rtx_query::{
-    BatchOutcome, Capabilities, IndexBuildMetrics, IndexError, IndexSpec, KeyRouter, Partitioning,
-    QueryBatch, QueryOutcome, Registry, ScatterPlan, SecondaryIndex, ShardSpec, UpdatableIndex,
-    UpdateReport, MISS,
+    BatchOutcome, Capabilities, IndexBuildMetrics, IndexError, IndexSpec, KeyRouter, MemoryUsage,
+    Partitioning, QueryBatch, QueryOutcome, Registry, ScatterPlan, SecondaryIndex, ShardSpec,
+    UpdatableIndex, UpdateReport, MISS,
 };
 
 use crate::partition::{HashPartitioner, RangePartitioner};
+
+/// A serializable description of a [`KeyRouter`]: everything a durability
+/// manifest must persist to reconstruct the exact routing of a sharded
+/// index on recovery.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RouterConfig {
+    /// Hash partitioning over `shards` shards.
+    Hash {
+        /// Number of shards.
+        shards: usize,
+    },
+    /// Range partitioning with the captured per-shard upper bounds.
+    Range {
+        /// Inclusive upper bounds of every shard but the last.
+        bounds: Vec<u64>,
+    },
+}
+
+impl RouterConfig {
+    /// Number of shards the config routes over.
+    pub fn shard_count(&self) -> usize {
+        match self {
+            RouterConfig::Hash { shards } => *shards,
+            RouterConfig::Range { bounds } => bounds.len() + 1,
+        }
+    }
+
+    /// Instantiates the router the config describes.
+    pub fn router(&self) -> Box<dyn KeyRouter> {
+        match self {
+            RouterConfig::Hash { shards } => Box::new(HashPartitioner::new(*shards)),
+            RouterConfig::Range { bounds } => {
+                Box::new(RangePartitioner::from_bounds(bounds.clone()))
+            }
+        }
+    }
+}
 
 /// One shard's inner backend: read-only or updatable, depending on which
 /// registry path built it.
@@ -58,11 +95,15 @@ impl ShardBackend {
     }
 }
 
+/// One shard's local→global row mirror in recovered form: entry `local`
+/// holds `Some((key, global))` for a live row, `None` for a deleted one.
+pub type RecoveredRows = Vec<Option<(u64, u32)>>;
+
 /// The local→global row mirror of one shard (see the module docs): entry
 /// `local` holds the key and global rowID of the shard's local row, `None`
 /// once the row is deleted.
 struct ShardRows {
-    entries: Vec<Option<(u64, u32)>>,
+    entries: RecoveredRows,
 }
 
 impl ShardRows {
@@ -132,6 +173,9 @@ impl Shard {
 pub struct ShardedIndex {
     label: String,
     router: Box<dyn KeyRouter>,
+    /// The serializable description `router` was built from (persisted by
+    /// durability manifests, restored by [`ShardedIndex::from_parts`]).
+    router_config: RouterConfig,
     shards: Vec<Shard>,
     capabilities: Capabilities,
     has_values: bool,
@@ -266,12 +310,17 @@ impl ShardedIndex {
             });
         }
 
-        let router: Box<dyn KeyRouter> = match partitioning {
-            Partitioning::Hash => Box::new(HashPartitioner::new(backends.len())),
-            Partitioning::Range => {
-                Box::new(RangePartitioner::from_keys(index.keys, backends.len()))
-            }
+        let router_config = match partitioning {
+            Partitioning::Hash => RouterConfig::Hash {
+                shards: backends.len(),
+            },
+            Partitioning::Range => RouterConfig::Range {
+                bounds: RangePartitioner::from_keys(index.keys, backends.len())
+                    .bounds()
+                    .to_vec(),
+            },
         };
+        let router = router_config.router();
 
         let start = Instant::now();
         let scatter = scatter_build_columns(router.as_ref(), index);
@@ -290,8 +339,12 @@ impl ShardedIndex {
                     device: index.device,
                     keys: &keys,
                     values: values.map(Arc::from),
-                    // Builder selection propagates to every shard.
+                    // Builder selection propagates to every shard; so does
+                    // a durability request, which tells each inner backend
+                    // to prepare for the external wrapper (the wrapper owns
+                    // the WAL — inner backends never persist themselves).
                     builder: index.builder,
+                    durability: index.durability.clone(),
                 };
                 if updatable {
                     registry
@@ -334,11 +387,63 @@ impl ShardedIndex {
         Ok(ShardedIndex {
             label,
             router,
+            router_config,
             shards,
             capabilities,
             has_values: index.values.is_some(),
             build_metrics,
             next_row: index.keys.len() as u64,
+        })
+    }
+
+    /// Reassembles a sharded index from recovered parts: one updatable
+    /// inner backend plus its local→global row mirror per shard (mirror
+    /// entry `local` holds `Some((key, global))` for a live row, `None` for
+    /// a deleted one), the router the manifest captured, and the global row
+    /// counter at crash time. This is the recovery entry point of the
+    /// durability layer — each shard replays its own WAL in parallel, then
+    /// the parts snap together here.
+    pub fn from_parts(
+        label: String,
+        router_config: RouterConfig,
+        parts: Vec<(Box<dyn UpdatableIndex>, RecoveredRows)>,
+        has_values: bool,
+        next_row: u64,
+    ) -> Result<Self, IndexError> {
+        if parts.len() != router_config.shard_count() {
+            return Err(IndexError::Backend {
+                backend: label,
+                message: format!(
+                    "router expects {} shards but {} were recovered",
+                    router_config.shard_count(),
+                    parts.len()
+                ),
+            });
+        }
+        let shards: Vec<Shard> = parts
+            .into_iter()
+            .map(|(backend, entries)| Shard {
+                backend: ShardBackend::Write(backend),
+                rows: ShardRows { entries },
+            })
+            .collect();
+        let capabilities = shards
+            .iter()
+            .map(|s| s.backend.read().capabilities())
+            .reduce(and_capabilities)
+            .ok_or_else(|| IndexError::Backend {
+                backend: "from_parts".to_string(),
+                message: "shard count must be at least 1".to_string(),
+            })?;
+        Ok(ShardedIndex {
+            label,
+            router: router_config.router(),
+            router_config,
+            shards,
+            capabilities,
+            has_values,
+            build_metrics: IndexBuildMetrics::default(),
+            next_row,
         })
     }
 
@@ -362,6 +467,89 @@ impl ShardedIndex {
     /// The key router distributing lookups and updates over the shards.
     pub fn router(&self) -> &dyn KeyRouter {
         self.router.as_ref()
+    }
+
+    /// The serializable router description (persisted by durability
+    /// manifests, fed back to [`ShardedIndex::from_parts`] on recovery).
+    pub fn router_config(&self) -> &RouterConfig {
+        &self.router_config
+    }
+
+    /// The next global rowID an insert would be assigned (monotonic; never
+    /// reused even across deletes).
+    pub fn next_row(&self) -> u64 {
+        self.next_row
+    }
+
+    /// Lands every shard's completed deferred reorganisation without
+    /// blocking, returning the per-shard landed counts (and collapsing the
+    /// affected row mirrors). The durability layer calls this before
+    /// logging each update batch so per-shard swap points become explicit
+    /// WAL records.
+    pub fn poll_shard_reorganisations(&mut self) -> Result<Vec<u64>, IndexError> {
+        self.writable()?;
+        self.shards
+            .iter_mut()
+            .map(|shard| {
+                let landed = shard
+                    .backend
+                    .write()
+                    .expect("writability checked")
+                    .poll_reorganisation()?;
+                if landed > 0 {
+                    shard.rows.compact();
+                }
+                Ok(landed)
+            })
+            .collect()
+    }
+
+    /// Waits for every shard's in-flight reorganisation and lands it,
+    /// returning the per-shard landed counts.
+    pub fn await_shard_reorganisations(&mut self) -> Result<Vec<u64>, IndexError> {
+        self.writable()?;
+        self.shards
+            .iter_mut()
+            .map(|shard| {
+                let landed = shard
+                    .backend
+                    .write()
+                    .expect("writability checked")
+                    .await_reorganisation()?;
+                if landed > 0 {
+                    shard.rows.compact();
+                }
+                Ok(landed)
+            })
+            .collect()
+    }
+
+    /// The live `(key, value, global rowID)` triples of every shard, in
+    /// shard-local row order — but only when *every* shard is in the clean
+    /// state its [`UpdatableIndex::checkpoint_rows`] contract demands and
+    /// its row mirror agrees. This is what a sharded snapshot persists:
+    /// rebuilding shard `s` from its triples (keys+values as the build
+    /// columns, globals as the mirror) reproduces the shard exactly.
+    pub fn shard_checkpoint_rows(&self) -> Option<Vec<Vec<(u64, u64, u32)>>> {
+        self.shards
+            .iter()
+            .map(|shard| {
+                let rows = match &shard.backend {
+                    ShardBackend::Write(ix) => ix.checkpoint_rows()?,
+                    ShardBackend::Read(_) => return None,
+                };
+                let live: Vec<(u64, u32)> = shard.rows.entries.iter().copied().flatten().collect();
+                if live.len() != rows.len() {
+                    return None;
+                }
+                Some(
+                    rows.iter()
+                        .zip(live)
+                        .map(|(&(key, value), (_, global))| (key, value, global))
+                        .collect(),
+                )
+            })
+            .collect()
     }
 
     fn writable(&self) -> Result<(), IndexError> {
@@ -486,6 +674,18 @@ impl SecondaryIndex for ShardedIndex {
         self.build_metrics
     }
 
+    fn memory_usage(&self) -> MemoryUsage {
+        let mut usage = MemoryUsage::default();
+        for shard in &self.shards {
+            usage.add(&shard.backend.read().memory_usage());
+            // The local→global row mirror is sharding bookkeeping that
+            // exists to track liveness — account it with the tombstones.
+            usage.tombstone_bytes +=
+                (shard.rows.entries.len() * std::mem::size_of::<Option<(u64, u32)>>()) as u64;
+        }
+        usage
+    }
+
     fn capabilities(&self) -> Capabilities {
         self.capabilities
     }
@@ -602,5 +802,46 @@ impl UpdatableIndex for ShardedIndex {
             }
             Ok(report)
         })
+    }
+
+    fn poll_reorganisation(&mut self) -> Result<u64, IndexError> {
+        Ok(self.poll_shard_reorganisations()?.iter().sum())
+    }
+
+    fn await_reorganisation(&mut self) -> Result<u64, IndexError> {
+        Ok(self.await_shard_reorganisations()?.iter().sum())
+    }
+
+    fn reorganisation_in_flight(&self) -> bool {
+        self.shards.iter().any(|s| match &s.backend {
+            ShardBackend::Write(ix) => ix.reorganisation_in_flight(),
+            ShardBackend::Read(_) => false,
+        })
+    }
+
+    /// Forces a synchronous compaction of every shard (collapsing the row
+    /// mirrors with them) and merges the per-shard reports. Fails if any
+    /// shard's backend has no explicit compaction.
+    fn compact(&mut self) -> Result<UpdateReport, IndexError> {
+        self.writable()?;
+        let work: Vec<&mut Shard> = self.shards.iter_mut().collect();
+        let reports = parallel_map(work, |_, shard| -> Result<UpdateReport, IndexError> {
+            let report = shard
+                .backend
+                .write()
+                .expect("writability checked")
+                .compact()?;
+            shard.rows.compact();
+            Ok(report)
+        });
+        let mut merged = UpdateReport::default();
+        for report in reports {
+            let report: UpdateReport = report?;
+            merged.inserted_rows += report.inserted_rows;
+            merged.deleted_rows += report.deleted_rows;
+            merged.simulated_time_s += report.simulated_time_s;
+            merged.reorganisations += report.reorganisations;
+        }
+        Ok(merged)
     }
 }

@@ -7,6 +7,11 @@
 //! its own answers against the exact [`GroundTruth`] oracle, so the run
 //! proves correctness under concurrency, not just liveness.
 //!
+//! The queue is deliberately sized below the peak offered load, so
+//! admission control pushes back on some submissions; clients absorb the
+//! `Overloaded` rejections with `query_with_retry`'s bounded
+//! retry-with-backoff instead of failing.
+//!
 //! Run with: `cargo run --release --example concurrent_service`
 
 use rtindex::{registry, Device, IndexSpec, QueryBatch, QueryService, ServiceConfig};
@@ -37,7 +42,10 @@ fn main() {
         POINTS_PER_BATCH
     );
 
-    let service = QueryService::start(backend, ServiceConfig::default());
+    // A queue depth below the peak offered load (32 clients x 25 ops):
+    // submissions can bounce with `Overloaded` and must be retried.
+    let config = ServiceConfig::default().with_max_queue_depth(256);
+    let service = QueryService::start(backend, config);
     let started = std::time::Instant::now();
     std::thread::scope(|scope| {
         for client in 0..CLIENTS {
@@ -54,7 +62,11 @@ fn main() {
                         .range(lower, lower + 64)
                         .fetch_values(true);
                     let expected = truth.expected_batch(&batch);
-                    let out = handle.query(batch).expect("service answers");
+                    // Bounded retry-with-backoff: only `Overloaded` is
+                    // retried; real errors surface immediately.
+                    let out = handle
+                        .query_with_retry(&batch, 64, std::time::Duration::from_micros(200))
+                        .expect("service answers");
                     assert_eq!(
                         out.results, expected,
                         "client {client} round {round}: oracle-exact results"
@@ -80,6 +92,10 @@ fn main() {
         stats.mean_coalesced_batches(),
         stats.mean_fused_ops(),
         stats.peak_queued_ops
+    );
+    println!(
+        "backpressure: {} submissions bounced and were retried",
+        stats.rejected_batches
     );
     assert_eq!(stats.submitted_batches, CLIENTS * BATCHES_PER_CLIENT);
     assert_eq!(stats.coalesced_batches, stats.submitted_batches);

@@ -137,6 +137,7 @@ pub use optix_sim;
 pub use rtindex_core;
 pub use rtx_bvh;
 pub use rtx_delta;
+pub use rtx_durable;
 pub use rtx_harness;
 pub use rtx_math;
 pub use rtx_query;
@@ -154,10 +155,11 @@ pub use rtindex_core::{
 pub use rtx_delta::{
     CompactionEvent, CompactionPolicy, CompactionTrigger, DynamicRtConfig, DynamicRtIndex,
 };
+pub use rtx_durable::{DurableConfig, DurableIndex, FsyncPolicy};
 pub use rtx_harness::registry;
 pub use rtx_query::{
-    Capabilities, FusedBatch, IndexError, IndexSpec, Partitioning, QueryBatch, QueryOutcome,
-    Registry, SecondaryIndex, ShardSpec, UpdatableIndex,
+    Capabilities, DurableStats, FusedBatch, IndexError, IndexSpec, MemoryUsage, Partitioning,
+    QueryBatch, QueryOutcome, Registry, SecondaryIndex, ShardSpec, UpdatableIndex,
 };
 pub use rtx_serve::{
     ClientHandle, PendingQuery, QueryService, ServeError, ServiceConfig, ServiceStats,
