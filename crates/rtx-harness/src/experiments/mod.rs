@@ -20,6 +20,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod planner_selection;
 pub mod recovery_throughput;
 pub mod service_throughput;
 pub mod shard_scaling;

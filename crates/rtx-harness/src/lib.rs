@@ -89,6 +89,7 @@ pub fn experiment_names() -> Vec<&'static str> {
         "service_throughput",
         "build_throughput",
         "recovery_throughput",
+        "planner_selection",
     ]
 }
 
@@ -125,6 +126,7 @@ pub fn run_experiment(name: &str, scale: &ExperimentScale) -> Option<Vec<Table>>
         "service_throughput" => ex::service_throughput::run(scale),
         "build_throughput" => ex::build_pipeline::run(scale),
         "recovery_throughput" => ex::recovery_throughput::run(scale),
+        "planner_selection" => ex::planner_selection::run(scale),
         _ => return None,
     };
     Some(tables)

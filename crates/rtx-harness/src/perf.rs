@@ -676,6 +676,32 @@ pub fn quick_suite(scale: &ExperimentScale) -> BenchReport {
         false,
     ));
 
+    // Planner selection: the cost-based table planner against the worst
+    // single-index choice on the same mixed workload. Recorded ungated
+    // for the trajectory (the ratio is simulated-deterministic but young;
+    // promote once the table layer's cost model settles).
+    {
+        let runs = crate::experiments::planner_selection::run_arms(scale);
+        let (planner, worst) =
+            crate::experiments::planner_selection::planner_vs_worst_forced(&runs);
+        metrics.push(metric(
+            "planner_selection",
+            "planner-chosen simulated throughput",
+            "ops/s",
+            planner.sim_throughput(),
+            true,
+            false,
+        ));
+        metrics.push(metric(
+            "planner_selection",
+            "planner speedup vs worst forced index",
+            "x",
+            planner.sim_throughput() / worst.sim_throughput().max(1e-12),
+            true,
+            false,
+        ));
+    }
+
     // Staged-build gate: the pipeline's simulated throughput and its
     // 8-vs-1-queue speedup are pure cost-model functions of the workload
     // (the queue widths are explicit, not taken from the host), so they

@@ -25,7 +25,11 @@
 //!   name ("RX", "HT", "B+", "SA", "RXD"). Backend crates register their
 //!   builders at runtime (this crate cannot depend on them — they depend
 //!   on it); `rtx_harness::registry()` composes the default registry
-//!   holding all five.
+//!   holding all five;
+//! * [`TableSchema`] / [`IngestBatch`] / [`TableQuery`] /
+//!   [`ExplainPlan`] — the multi-column table vocabulary ([`table`]):
+//!   named columns with per-column index specs, CDC ingest operations and
+//!   multi-predicate queries, consumed by the `rtx-table` subsystem.
 //!
 //! The canonical result types ([`MISS`], [`LookupResult`],
 //! [`BatchOutcome`]) also live here and are re-exported by
@@ -50,6 +54,7 @@ pub mod fuse;
 pub mod index;
 pub mod registry;
 pub mod shard;
+pub mod table;
 pub mod types;
 
 pub use batch::{QueryBatch, QueryOp};
@@ -65,6 +70,10 @@ pub use registry::{
 // re-exported so callers need not depend on `rtx-bvh` directly.
 pub use rtx_bvh::BuilderKind;
 pub use shard::{KeyRouter, Partitioning, ScatterPlan, ShardSpec};
+pub use table::{
+    Candidate, ExplainPlan, IndexDef, IngestBatch, IngestOp, PlanChoice, Predicate, Record, Route,
+    TableQuery, TableSchema,
+};
 pub use types::{
     BatchOutcome, Capabilities, DurableStats, IndexBuildMetrics, LookupResult, MemoryUsage,
     QueryOutcome, UpdateReport, MISS,

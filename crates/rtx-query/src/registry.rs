@@ -37,6 +37,18 @@
 //!    and resolves the rest of the name recursively: `"RX:lbvh"`,
 //!    `"RXD:sah"`. The selection rides in [`IndexSpec::builder`]; backends
 //!    without a BVH (HT, B+, SA) ignore it.
+//!
+//! # Table specs
+//!
+//! The table layer reuses this grammar verbatim: every
+//! [`IndexDef::spec`](crate::table::IndexDef) of a
+//! [`TableSchema`](crate::table::TableSchema) is a name in the grammar
+//! above, resolved through [`Registry::build`] /
+//! [`Registry::build_updatable`] each time the table (re)builds that
+//! index. One table can therefore mix `"HT"`, `"RX:sah@4:hash"` and
+//! `"RXD+wal:<path>"` across its columns — anything the registry resolves
+//! is a valid per-column index spec. Use [`Registry::names`] to enumerate
+//! the candidate backends instead of hard-coding them.
 
 use std::collections::BTreeMap;
 use std::path::PathBuf;
@@ -277,6 +289,14 @@ impl Registry {
     /// Every registered updatable backend name, sorted.
     pub fn updatable_backends(&self) -> Vec<&str> {
         self.updatable.keys().map(String::as_str).collect()
+    }
+
+    /// Every registered backend name as an owned, sorted list — the
+    /// enumeration planners and examples iterate instead of hard-coding
+    /// backend names (the borrowing equivalent is
+    /// [`backends`](Registry::backends)).
+    pub fn names(&self) -> Vec<String> {
+        self.builders.keys().cloned().collect()
     }
 
     /// Builds the backend registered under `name` over `spec`.
@@ -561,6 +581,29 @@ mod tests {
             err.to_string().contains("NULL") && err.to_string().contains("PICKY"),
             "unknown-backend errors list every registered backend: {err}"
         );
+    }
+
+    #[test]
+    fn names_returns_owned_sorted_backend_names() {
+        let mut r = registry();
+        assert_eq!(r.names(), vec!["NULL".to_string(), "PICKY".to_string()]);
+        assert_eq!(
+            r.names(),
+            r.backends()
+                .iter()
+                .map(|s| s.to_string())
+                .collect::<Vec<_>>()
+        );
+        // Updatable registrations appear too (they register a read-only
+        // builder alongside), and the list stays sorted.
+        r.register_updatable("AAA", |spec| {
+            let keys = spec.keys.len();
+            Err::<Box<dyn UpdatableIndex>, _>(IndexError::Backend {
+                backend: "AAA".into(),
+                message: format!("{keys} keys"),
+            })
+        });
+        assert_eq!(r.names(), vec!["AAA", "NULL", "PICKY"]);
     }
 
     #[test]

@@ -1,0 +1,698 @@
+//! Table vocabulary: multi-column schemas, CDC ingest batches,
+//! multi-predicate queries and planner explain output.
+//!
+//! A *table* owns one row store (one `u64` column per named column, dense
+//! rowIDs) plus any number of named secondary indexes, each built over one
+//! column from a backend spec in the full registry
+//! [name grammar](crate::registry) — `"HT"`, `"RX:sah@4:hash"` and
+//! `"RXD+wal:<path>"` are all valid per-column specs. This module holds
+//! only the *vocabulary* shared by every layer (workloads generate
+//! [`IngestBatch`]es, the service surfaces [`ExplainPlan`]s); the table
+//! mechanics — row store, index fan-out, rollback, the planner itself —
+//! live in the `rtx-table` crate, which cannot host the types because
+//! `rtx-workloads` must not depend on it.
+//!
+//! Row identity follows the global-rowID scheme of the dynamic backends:
+//! an initial bulk load of `n` records occupies rowIDs `0..n`, every
+//! subsequent insert takes the next fresh rowID, and deletes leave holes
+//! (no implicit renumbering). Deletes and upserts key on the table's
+//! *primary column* — always the first column of the schema.
+
+use crate::batch::QueryOp;
+use crate::error::IndexError;
+
+/// One named secondary index of a table: an index `name`, the schema
+/// `column` it keys on, and the backend `spec` string it is built from
+/// (full [registry grammar](crate::registry)).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndexDef {
+    /// Unique index name within the table (used by plans and reports).
+    pub name: String,
+    /// The schema column the index keys on.
+    pub column: String,
+    /// Backend spec in the registry name grammar (`"HT"`,
+    /// `"RX:sah@4:hash"`, `"RXD+wal:/data/ix"`, …).
+    pub spec: String,
+}
+
+/// The shape of a table: named `u64` columns, an optional designated value
+/// column, and any number of named indexes.
+///
+/// The first column is the *primary* column: [`IngestOp::Delete`] and
+/// [`IngestOp::Upsert`] key on it. Several indexes may share a column
+/// (e.g. an `"HT"` and an `"RX"` over the same column, letting the
+/// planner pick per predicate), and columns may have no index at all
+/// (predicates on them fall back to a row-store scan).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableSchema {
+    /// Column names, in record order; `columns[0]` is the primary column.
+    pub columns: Vec<String>,
+    /// The column whose values every index serves for value-fetching
+    /// queries; `None` builds keys-only indexes.
+    pub value_column: Option<String>,
+    /// The table's indexes.
+    pub indexes: Vec<IndexDef>,
+}
+
+impl TableSchema {
+    /// A schema over the named columns with no value column and no
+    /// indexes yet.
+    pub fn new<I, S>(columns: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        TableSchema {
+            columns: columns.into_iter().map(Into::into).collect(),
+            value_column: None,
+            indexes: Vec::new(),
+        }
+    }
+
+    /// Designates the column whose values indexes serve to value-fetching
+    /// queries.
+    pub fn with_value_column(mut self, column: impl Into<String>) -> Self {
+        self.value_column = Some(column.into());
+        self
+    }
+
+    /// Adds a named index over `column` built from `spec`.
+    pub fn with_index(
+        mut self,
+        name: impl Into<String>,
+        column: impl Into<String>,
+        spec: impl Into<String>,
+    ) -> Self {
+        self.indexes.push(IndexDef {
+            name: name.into(),
+            column: column.into(),
+            spec: spec.into(),
+        });
+        self
+    }
+
+    /// The primary column's name (the delete/upsert key).
+    pub fn primary_column(&self) -> &str {
+        &self.columns[0]
+    }
+
+    /// Position of `column` in a record, or `None` for unknown names.
+    pub fn column_position(&self, column: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c == column)
+    }
+
+    /// The indexes keyed on `column`, in definition order.
+    pub fn indexes_on<'a>(&'a self, column: &'a str) -> impl Iterator<Item = &'a IndexDef> {
+        self.indexes.iter().filter(move |ix| ix.column == column)
+    }
+
+    /// Checks structural consistency: at least one column, unique
+    /// non-empty column and index names, and every referenced column
+    /// (index targets, the value column) declared.
+    pub fn validate(&self) -> Result<(), IndexError> {
+        let fail = |message: String| {
+            Err(IndexError::Backend {
+                backend: "table".to_string(),
+                message,
+            })
+        };
+        if self.columns.is_empty() {
+            return fail("a table needs at least one column".to_string());
+        }
+        for (i, column) in self.columns.iter().enumerate() {
+            if column.is_empty() {
+                return fail("column names must be non-empty".to_string());
+            }
+            if self.columns[..i].contains(column) {
+                return fail(format!("duplicate column name {column:?}"));
+            }
+        }
+        if let Some(value) = &self.value_column {
+            if self.column_position(value).is_none() {
+                return fail(format!("value column {value:?} is not a schema column"));
+            }
+        }
+        for (i, ix) in self.indexes.iter().enumerate() {
+            if ix.name.is_empty() {
+                return fail("index names must be non-empty".to_string());
+            }
+            if self.indexes[..i].iter().any(|other| other.name == ix.name) {
+                return fail(format!("duplicate index name {:?}", ix.name));
+            }
+            if self.column_position(&ix.column).is_none() {
+                return fail(format!(
+                    "index {:?} keys on unknown column {:?}",
+                    ix.name, ix.column
+                ));
+            }
+            if ix.spec.is_empty() {
+                return fail(format!("index {:?} has an empty backend spec", ix.name));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One CDC record: a `u64` per schema column, in schema order.
+pub type Record = Vec<u64>;
+
+/// One change-data-capture operation of an [`IngestBatch`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IngestOp {
+    /// Append a fresh record (takes the next rowID).
+    Insert(Record),
+    /// Delete every live record whose *primary* column holds the key.
+    Delete(u64),
+    /// Delete every record with the record's primary key, then insert the
+    /// record fresh.
+    Upsert(Record),
+}
+
+impl IngestOp {
+    /// The record's primary-column key (`record[0]`), or the delete key.
+    pub fn primary_key(&self) -> u64 {
+        match self {
+            IngestOp::Insert(record) | IngestOp::Upsert(record) => record[0],
+            IngestOp::Delete(key) => *key,
+        }
+    }
+
+    /// Short display name of the operation kind.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            IngestOp::Insert(_) => "insert",
+            IngestOp::Delete(_) => "delete",
+            IngestOp::Upsert(_) => "upsert",
+        }
+    }
+}
+
+/// An ordered batch of CDC operations, applied to a table and fanned out
+/// to every index atomically: either the whole batch lands or none of it
+/// does.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IngestBatch {
+    ops: Vec<IngestOp>,
+}
+
+impl IngestBatch {
+    /// An empty batch.
+    pub fn new() -> Self {
+        IngestBatch::default()
+    }
+
+    /// Appends an insert of `record`.
+    pub fn insert(mut self, record: Record) -> Self {
+        self.ops.push(IngestOp::Insert(record));
+        self
+    }
+
+    /// Appends a delete of every record whose primary key is `key`.
+    pub fn delete(mut self, key: u64) -> Self {
+        self.ops.push(IngestOp::Delete(key));
+        self
+    }
+
+    /// Appends an upsert of `record` (keyed on its primary column).
+    pub fn upsert(mut self, record: Record) -> Self {
+        self.ops.push(IngestOp::Upsert(record));
+        self
+    }
+
+    /// Appends an already-built operation.
+    pub fn push(mut self, op: IngestOp) -> Self {
+        self.ops.push(op);
+        self
+    }
+
+    /// The operations in application order.
+    pub fn ops(&self) -> &[IngestOp] {
+        &self.ops
+    }
+
+    /// Number of operations in the batch.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True when the batch holds no operations.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+/// One predicate of a [`TableQuery`], over a named column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Predicate {
+    /// Rows whose column equals `key`.
+    Point {
+        /// The predicated column.
+        column: String,
+        /// The key to match.
+        key: u64,
+    },
+    /// Rows whose column lies in `lower..=upper`.
+    Range {
+        /// The predicated column.
+        column: String,
+        /// Inclusive lower bound.
+        lower: u64,
+        /// Inclusive upper bound.
+        upper: u64,
+    },
+    /// Rows whose column's high bits equal `prefix` — i.e. all keys `k`
+    /// with `k >> low_bits == prefix`. Compiles to the contiguous range
+    /// `[prefix << low_bits, (prefix << low_bits) + 2^low_bits - 1]`; a
+    /// prefix too large for the key width matches nothing.
+    Prefix {
+        /// The predicated column.
+        column: String,
+        /// The fixed high bits.
+        prefix: u64,
+        /// Number of free low bits (0 makes this a point lookup).
+        low_bits: u32,
+    },
+}
+
+impl Predicate {
+    /// The predicated column's name.
+    pub fn column(&self) -> &str {
+        match self {
+            Predicate::Point { column, .. }
+            | Predicate::Range { column, .. }
+            | Predicate::Prefix { column, .. } => column,
+        }
+    }
+
+    /// Compiles the predicate to the single-column [`QueryOp`] an index on
+    /// its column executes. Prefixes with no free bits compile to points;
+    /// a prefix that overflows the key width compiles to the canonical
+    /// empty range `(1, 0)` (inverted ranges answer empty on every
+    /// backend).
+    pub fn as_op(&self) -> QueryOp {
+        match *self {
+            Predicate::Point { key, .. } => QueryOp::Point(key),
+            Predicate::Range { lower, upper, .. } => QueryOp::Range(lower, upper),
+            Predicate::Prefix {
+                prefix, low_bits, ..
+            } => {
+                if low_bits == 0 {
+                    return QueryOp::Point(prefix);
+                }
+                if low_bits >= 64 {
+                    return if prefix == 0 {
+                        QueryOp::Range(0, u64::MAX)
+                    } else {
+                        QueryOp::Range(1, 0)
+                    };
+                }
+                match prefix.checked_shl(low_bits) {
+                    Some(lower) if prefix >> (64 - low_bits) == 0 => {
+                        QueryOp::Range(lower, lower | ((1u64 << low_bits) - 1))
+                    }
+                    _ => QueryOp::Range(1, 0),
+                }
+            }
+        }
+    }
+
+    /// True when the compiled operation is a range lookup (and the serving
+    /// index therefore needs [`Capabilities::range_lookups`]).
+    ///
+    /// [`Capabilities::range_lookups`]: crate::types::Capabilities
+    pub fn needs_ranges(&self) -> bool {
+        matches!(self.as_op(), QueryOp::Range(..))
+    }
+
+    /// The largest key the compiled operation touches (planner input:
+    /// backends without [`Capabilities::full_64bit_keys`] cannot serve
+    /// keys above `u32::MAX`).
+    ///
+    /// [`Capabilities::full_64bit_keys`]: crate::types::Capabilities
+    pub fn max_key(&self) -> u64 {
+        match self.as_op() {
+            QueryOp::Point(key) => key,
+            QueryOp::Range(lower, upper) => upper.max(lower),
+        }
+    }
+}
+
+impl std::fmt::Display for Predicate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Predicate::Point { column, key } => write!(f, "{column} = {key}"),
+            Predicate::Range {
+                column,
+                lower,
+                upper,
+            } => write!(f, "{column} in [{lower}, {upper}]"),
+            Predicate::Prefix {
+                column,
+                prefix,
+                low_bits,
+            } => write!(f, "{column} >> {low_bits} = {prefix}"),
+        }
+    }
+}
+
+/// A multi-predicate query over a table: each predicate is answered
+/// independently (one [`LookupResult`] per predicate, `first_row` being
+/// the smallest matching table rowID), optionally fetching value sums
+/// from the schema's value column.
+///
+/// [`LookupResult`]: crate::types::LookupResult
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TableQuery {
+    predicates: Vec<Predicate>,
+    fetch_values: bool,
+}
+
+impl TableQuery {
+    /// An empty query.
+    pub fn new() -> Self {
+        TableQuery::default()
+    }
+
+    /// Adds a point predicate on `column`.
+    pub fn point(mut self, column: impl Into<String>, key: u64) -> Self {
+        self.predicates.push(Predicate::Point {
+            column: column.into(),
+            key,
+        });
+        self
+    }
+
+    /// Adds an inclusive range predicate on `column`.
+    pub fn range(mut self, column: impl Into<String>, lower: u64, upper: u64) -> Self {
+        self.predicates.push(Predicate::Range {
+            column: column.into(),
+            lower,
+            upper,
+        });
+        self
+    }
+
+    /// Adds a high-bits prefix predicate on `column`.
+    pub fn prefix(mut self, column: impl Into<String>, prefix: u64, low_bits: u32) -> Self {
+        self.predicates.push(Predicate::Prefix {
+            column: column.into(),
+            prefix,
+            low_bits,
+        });
+        self
+    }
+
+    /// Adds an already-built predicate.
+    pub fn predicate(mut self, predicate: Predicate) -> Self {
+        self.predicates.push(predicate);
+        self
+    }
+
+    /// Requests (or clears) value-sum fetching from the value column.
+    pub fn fetch_values(mut self, fetch: bool) -> Self {
+        self.fetch_values = fetch;
+        self
+    }
+
+    /// The predicates in submission order.
+    pub fn predicates(&self) -> &[Predicate] {
+        &self.predicates
+    }
+
+    /// Number of predicates.
+    pub fn len(&self) -> usize {
+        self.predicates.len()
+    }
+
+    /// True when the query holds no predicates.
+    pub fn is_empty(&self) -> bool {
+        self.predicates.is_empty()
+    }
+
+    /// Whether the query fetches value sums.
+    pub fn fetches_values(&self) -> bool {
+        self.fetch_values
+    }
+}
+
+/// Where the planner routed one predicate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Route {
+    /// Served by the named index.
+    Index {
+        /// The chosen index's name (from the schema).
+        index: String,
+        /// The backend spec the index was built from.
+        spec: String,
+    },
+    /// No index qualified: served by a full row-store scan.
+    Scan,
+}
+
+impl Route {
+    /// The chosen index name, or `None` for a scan.
+    pub fn index_name(&self) -> Option<&str> {
+        match self {
+            Route::Index { index, .. } => Some(index),
+            Route::Scan => None,
+        }
+    }
+}
+
+/// One index the planner considered for a predicate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Candidate {
+    /// The index's name.
+    pub index: String,
+    /// The backend spec the index was built from.
+    pub spec: String,
+    /// Whether the index can serve the predicate at all.
+    pub eligible: bool,
+    /// Estimated cost of serving the predicate there (simulated seconds
+    /// per operation, plus the memory tiebreak); infinite when ineligible.
+    pub cost: f64,
+    /// Why the index is (in)eligible or how its cost was derived.
+    pub detail: String,
+}
+
+/// The planner's decision for one predicate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanChoice {
+    /// The predicate being routed.
+    pub predicate: Predicate,
+    /// Every index on the predicate's column, scored.
+    pub candidates: Vec<Candidate>,
+    /// Where the predicate was routed.
+    pub route: Route,
+    /// One-line justification of the route.
+    pub reason: String,
+}
+
+/// The planner's decisions for a whole [`TableQuery`], one
+/// [`PlanChoice`] per predicate in submission order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ExplainPlan {
+    /// Per-predicate decisions.
+    pub choices: Vec<PlanChoice>,
+}
+
+impl ExplainPlan {
+    /// The index name predicate `i` was routed to, or `None` for a scan.
+    pub fn routed_index(&self, i: usize) -> Option<&str> {
+        self.choices[i].route.index_name()
+    }
+
+    /// Number of predicates that fell back to a row-store scan.
+    pub fn scan_fallbacks(&self) -> usize {
+        self.choices
+            .iter()
+            .filter(|c| c.route == Route::Scan)
+            .count()
+    }
+}
+
+impl std::fmt::Display for ExplainPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (i, choice) in self.choices.iter().enumerate() {
+            let route = match &choice.route {
+                Route::Index { index, spec } => format!("index {index} ({spec})"),
+                Route::Scan => "row-store scan".to_string(),
+            };
+            writeln!(f, "#{i} {} -> {route}: {}", choice.predicate, choice.reason)?;
+            for c in &choice.candidates {
+                writeln!(
+                    f,
+                    "    {} ({}): {} — {}",
+                    c.index,
+                    c.spec,
+                    if c.eligible {
+                        format!("cost {:.3e}", c.cost)
+                    } else {
+                        "ineligible".to_string()
+                    },
+                    c.detail
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> TableSchema {
+        TableSchema::new(["id", "ts", "val"])
+            .with_value_column("val")
+            .with_index("id_ht", "id", "HT")
+            .with_index("ts_rx", "ts", "RX")
+    }
+
+    #[test]
+    fn schema_validates_and_navigates() {
+        let s = schema();
+        s.validate().unwrap();
+        assert_eq!(s.primary_column(), "id");
+        assert_eq!(s.column_position("ts"), Some(1));
+        assert_eq!(s.column_position("nope"), None);
+        assert_eq!(s.indexes_on("id").count(), 1);
+        assert_eq!(s.indexes_on("val").count(), 0);
+    }
+
+    #[test]
+    fn schema_rejects_structural_mistakes() {
+        let broken: Vec<TableSchema> = vec![
+            TableSchema::new(Vec::<String>::new()),
+            TableSchema::new(["a", "a"]),
+            TableSchema::new(["a", ""]),
+            TableSchema::new(["a"]).with_value_column("b"),
+            TableSchema::new(["a"]).with_index("i", "b", "HT"),
+            TableSchema::new(["a"])
+                .with_index("i", "a", "HT")
+                .with_index("i", "a", "RX"),
+            TableSchema::new(["a"]).with_index("", "a", "HT"),
+            TableSchema::new(["a"]).with_index("i", "a", ""),
+        ];
+        for s in broken {
+            assert!(s.validate().is_err(), "accepted {s:?}");
+        }
+        // Two indexes on one column are fine — that is the planner's job.
+        TableSchema::new(["a"])
+            .with_index("fast", "a", "HT")
+            .with_index("wide", "a", "RX")
+            .validate()
+            .unwrap();
+    }
+
+    #[test]
+    fn ingest_batches_build_and_report() {
+        let batch = IngestBatch::new()
+            .insert(vec![1, 2, 3])
+            .delete(1)
+            .upsert(vec![4, 5, 6])
+            .push(IngestOp::Delete(9));
+        assert_eq!(batch.len(), 4);
+        assert!(!batch.is_empty());
+        assert_eq!(batch.ops()[0].primary_key(), 1);
+        assert_eq!(batch.ops()[2].primary_key(), 4);
+        assert_eq!(batch.ops()[3].kind(), "delete");
+        assert!(IngestBatch::new().is_empty());
+    }
+
+    #[test]
+    fn predicates_compile_to_query_ops() {
+        let p = Predicate::Point {
+            column: "id".into(),
+            key: 7,
+        };
+        assert_eq!(p.as_op(), QueryOp::Point(7));
+        assert!(!p.needs_ranges());
+        assert_eq!(p.max_key(), 7);
+
+        let r = Predicate::Range {
+            column: "ts".into(),
+            lower: 10,
+            upper: 20,
+        };
+        assert_eq!(r.as_op(), QueryOp::Range(10, 20));
+        assert!(r.needs_ranges());
+        assert_eq!(r.max_key(), 20);
+    }
+
+    #[test]
+    fn prefix_predicates_compile_to_contiguous_ranges() {
+        let prefix = |prefix, low_bits| Predicate::Prefix {
+            column: "k".into(),
+            prefix,
+            low_bits,
+        };
+        assert_eq!(prefix(5, 4).as_op(), QueryOp::Range(80, 95));
+        assert_eq!(prefix(3, 0).as_op(), QueryOp::Point(3));
+        assert_eq!(prefix(0, 64).as_op(), QueryOp::Range(0, u64::MAX));
+        // Prefixes past the key width match nothing: the canonical empty
+        // (inverted) range.
+        assert_eq!(prefix(1, 64).as_op(), QueryOp::Range(1, 0));
+        assert_eq!(prefix(u64::MAX, 8).as_op(), QueryOp::Range(1, 0));
+        assert_eq!(prefix(1, 63).as_op(), QueryOp::Range(1 << 63, u64::MAX));
+        assert!(prefix(5, 4).needs_ranges());
+        assert!(!prefix(5, 0).needs_ranges());
+    }
+
+    #[test]
+    fn queries_build_and_expose_predicates() {
+        let q = TableQuery::new()
+            .point("id", 3)
+            .range("ts", 0, 9)
+            .prefix("ts", 2, 3)
+            .fetch_values(true);
+        assert_eq!(q.len(), 3);
+        assert!(!q.is_empty());
+        assert!(q.fetches_values());
+        assert_eq!(q.predicates()[0].column(), "id");
+        assert_eq!(q.predicates()[1].as_op(), QueryOp::Range(0, 9));
+        assert!(TableQuery::new().is_empty());
+    }
+
+    #[test]
+    fn explain_plans_summarise_routes() {
+        let plan = ExplainPlan {
+            choices: vec![
+                PlanChoice {
+                    predicate: Predicate::Point {
+                        column: "id".into(),
+                        key: 1,
+                    },
+                    candidates: vec![Candidate {
+                        index: "id_ht".into(),
+                        spec: "HT".into(),
+                        eligible: true,
+                        cost: 1e-6,
+                        detail: "probe".into(),
+                    }],
+                    route: Route::Index {
+                        index: "id_ht".into(),
+                        spec: "HT".into(),
+                    },
+                    reason: "cheapest eligible index".into(),
+                },
+                PlanChoice {
+                    predicate: Predicate::Range {
+                        column: "val".into(),
+                        lower: 0,
+                        upper: 9,
+                    },
+                    candidates: vec![],
+                    route: Route::Scan,
+                    reason: "no index on column".into(),
+                },
+            ],
+        };
+        assert_eq!(plan.routed_index(0), Some("id_ht"));
+        assert_eq!(plan.routed_index(1), None);
+        assert_eq!(plan.scan_fallbacks(), 1);
+        let rendered = plan.to_string();
+        assert!(rendered.contains("id_ht"), "{rendered}");
+        assert!(rendered.contains("row-store scan"), "{rendered}");
+    }
+}

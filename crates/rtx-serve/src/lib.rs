@@ -23,7 +23,12 @@
 //! * **writes are serialized and fenced**: on an
 //!   [`UpdatableIndex`](rtx_query::UpdatableIndex) backend, a write batch
 //!   never overtakes reads queued before it and is fully visible to reads
-//!   queued after it.
+//!   queued after it;
+//! * a [`TableService`] applies the same queue discipline to a whole
+//!   multi-index [`Table`](rtx_table::Table): transactional CDC ingest
+//!   batches ride the write fence, queries run the table's cost-based
+//!   planner, and the planner's routing decisions surface in the service
+//!   counters ([`ServiceStats`]).
 //!
 //! ```
 //! use rtx_query::{IndexSpec, QueryBatch, Registry};
@@ -63,7 +68,9 @@
 pub mod config;
 pub mod error;
 pub mod service;
+pub mod table_service;
 
 pub use config::ServiceConfig;
 pub use error::ServeError;
-pub use service::{ClientHandle, PendingQuery, QueryService, ServiceStats};
+pub use service::{ClientHandle, PendingQuery, QueryService, RetryPolicy, ServiceStats};
+pub use table_service::{PendingTableQuery, TableClient, TableService};

@@ -172,28 +172,37 @@ struct Queue {
 }
 
 /// Monotonic service counters (updated with relaxed atomics; consistency
-/// across counters is best-effort, each counter alone is exact).
+/// across counters is best-effort, each counter alone is exact). Shared
+/// between [`QueryService`] and the table service
+/// ([`TableService`](crate::TableService)); counters a service never
+/// touches simply stay 0 in its [`ServiceStats`].
 #[derive(Default)]
-struct Counters {
-    submitted_batches: AtomicU64,
-    submitted_ops: AtomicU64,
-    rejected_batches: AtomicU64,
+pub(crate) struct Counters {
+    pub(crate) submitted_batches: AtomicU64,
+    pub(crate) submitted_ops: AtomicU64,
+    pub(crate) rejected_batches: AtomicU64,
     fused_submissions: AtomicU64,
     coalesced_batches: AtomicU64,
-    executed_ops: AtomicU64,
-    write_batches: AtomicU64,
-    peak_queued_ops: AtomicU64,
-    write_stall_ns_total: AtomicU64,
-    write_stall_ns_max: AtomicU64,
+    pub(crate) executed_ops: AtomicU64,
+    pub(crate) write_batches: AtomicU64,
+    pub(crate) peak_queued_ops: AtomicU64,
+    pub(crate) write_stall_ns_total: AtomicU64,
+    pub(crate) write_stall_ns_max: AtomicU64,
     write_reorganisations: AtomicU64,
     checkpoints: AtomicU64,
+    // Table-service counters (a plain QueryService leaves these 0).
+    pub(crate) planned_predicates: AtomicU64,
+    pub(crate) routed_predicates: AtomicU64,
+    pub(crate) scan_fallbacks: AtomicU64,
+    pub(crate) ingest_batches: AtomicU64,
+    pub(crate) ingest_rollbacks: AtomicU64,
     // Gauges mirrored from the backend after every fence operation (the
     // coalescer owns the backend; clients read these copies).
     wal_bytes: AtomicU64,
     fsyncs: AtomicU64,
     snapshots: AtomicU64,
     last_snapshot_bsn: AtomicU64,
-    mem_base_bytes: AtomicU64,
+    pub(crate) mem_base_bytes: AtomicU64,
     mem_delta_bytes: AtomicU64,
     mem_tombstone_bytes: AtomicU64,
     mem_wal_buffer_bytes: AtomicU64,
@@ -246,6 +255,19 @@ pub struct ServiceStats {
     /// Checkpoints applied through the write fence
     /// ([`ClientHandle::checkpoint`]).
     pub checkpoints: u64,
+    /// Predicates planned by a table service
+    /// ([`TableService`](crate::TableService)); 0 for a plain
+    /// [`QueryService`].
+    pub planned_predicates: u64,
+    /// Planned predicates routed to a secondary index.
+    pub routed_predicates: u64,
+    /// Planned predicates that fell back to a row-store scan.
+    pub scan_fallbacks: u64,
+    /// Table ingest batches applied through the write fence (including
+    /// rejected ones).
+    pub ingest_batches: u64,
+    /// Table ingest batches rejected and rolled back atomically.
+    pub ingest_rollbacks: u64,
     /// Live WAL bytes of a durable backend, as of the last fence operation
     /// (0 for memory-only backends).
     pub wal_bytes: u64,
@@ -293,9 +315,10 @@ impl ServiceStats {
     }
 }
 
-impl Shared {
-    fn stats(&self) -> ServiceStats {
-        let c = &self.counters;
+impl Counters {
+    /// A point-in-time snapshot.
+    pub(crate) fn snapshot(&self) -> ServiceStats {
+        let c = self;
         ServiceStats {
             submitted_batches: c.submitted_batches.load(Ordering::Relaxed),
             submitted_ops: c.submitted_ops.load(Ordering::Relaxed),
@@ -309,6 +332,11 @@ impl Shared {
             write_stall_ns_max: c.write_stall_ns_max.load(Ordering::Relaxed),
             write_reorganisations: c.write_reorganisations.load(Ordering::Relaxed),
             checkpoints: c.checkpoints.load(Ordering::Relaxed),
+            planned_predicates: c.planned_predicates.load(Ordering::Relaxed),
+            routed_predicates: c.routed_predicates.load(Ordering::Relaxed),
+            scan_fallbacks: c.scan_fallbacks.load(Ordering::Relaxed),
+            ingest_batches: c.ingest_batches.load(Ordering::Relaxed),
+            ingest_rollbacks: c.ingest_rollbacks.load(Ordering::Relaxed),
             wal_bytes: c.wal_bytes.load(Ordering::Relaxed),
             fsyncs: c.fsyncs.load(Ordering::Relaxed),
             snapshots: c.snapshots.load(Ordering::Relaxed),
@@ -320,6 +348,12 @@ impl Shared {
                 wal_buffer_bytes: c.mem_wal_buffer_bytes.load(Ordering::Relaxed),
             },
         }
+    }
+}
+
+impl Shared {
+    fn stats(&self) -> ServiceStats {
+        self.counters.snapshot()
     }
 
     /// Copies the backend gauges into the shared counters.
@@ -376,6 +410,83 @@ impl Shared {
         }
         self.work.notify_one();
         Ok(())
+    }
+}
+
+/// Retry behaviour against [`ServeError::Overloaded`] backpressure:
+/// exponential backoff with a hard delay ceiling and optional
+/// deterministic jitter.
+///
+/// The delay after the `n`-th rejected attempt is
+/// `initial_backoff * 2^(n-1)`, clamped to
+/// [`max_backoff`](RetryPolicy::max_backoff) — an uncapped doubling
+/// schedule reaches minutes after ~20 rejections, which turns transient
+/// overload into client-visible hangs. With a
+/// [`jitter_seed`](RetryPolicy::jitter_seed), each delay is scaled by a
+/// deterministic per-attempt factor in `[0.5, 1.0)` so co-rejected
+/// clients with different seeds spread out instead of retrying in
+/// lockstep; determinism keeps test runs and simulations reproducible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total submission attempts (at least 1); the last failure returns.
+    pub max_attempts: usize,
+    /// Delay slept after the first rejected attempt.
+    pub initial_backoff: Duration,
+    /// Ceiling the doubling schedule clamps to.
+    pub max_backoff: Duration,
+    /// Seed of the deterministic jitter; `None` sleeps the full delay.
+    pub jitter_seed: Option<u64>,
+}
+
+impl RetryPolicy {
+    /// A policy with the given attempt budget and initial delay, a
+    /// ceiling of 1024x the initial delay, and no jitter.
+    pub fn new(max_attempts: usize, initial_backoff: Duration) -> Self {
+        RetryPolicy {
+            max_attempts: max_attempts.max(1),
+            initial_backoff,
+            max_backoff: initial_backoff.saturating_mul(1024),
+            jitter_seed: None,
+        }
+    }
+
+    /// Sets the delay ceiling.
+    pub fn with_max_backoff(mut self, max_backoff: Duration) -> Self {
+        self.max_backoff = max_backoff;
+        self
+    }
+
+    /// Enables deterministic jitter under `seed` (e.g. a client ID).
+    pub fn with_jitter(mut self, seed: u64) -> Self {
+        self.jitter_seed = Some(seed);
+        self
+    }
+
+    /// The delay slept after the `attempt`-th rejected submission
+    /// (1-based): doubled, clamped, jittered.
+    pub fn delay(&self, attempt: usize) -> Duration {
+        let mut delay = self.initial_backoff;
+        for _ in 1..attempt {
+            if delay >= self.max_backoff {
+                break;
+            }
+            delay = delay.saturating_mul(2);
+        }
+        delay = delay.min(self.max_backoff);
+        match self.jitter_seed {
+            None => delay,
+            Some(seed) => {
+                // splitmix64 over (seed, attempt) → a factor in [0.5, 1.0).
+                let mut z = seed
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(attempt as u64);
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^= z >> 31;
+                let factor = 0.5 + (z >> 11) as f64 / (1u64 << 53) as f64 * 0.5;
+                delay.mul_f64(factor)
+            }
+        }
     }
 }
 
@@ -450,23 +561,35 @@ impl ClientHandle {
 
     /// [`query`](ClientHandle::query) with bounded retries against
     /// admission-control backpressure: an [`ServeError::Overloaded`]
-    /// rejection sleeps `backoff` (doubling per attempt) and resubmits, up
-    /// to `max_attempts` submissions in total. Every other outcome —
-    /// success or any other error — returns immediately; only the
-    /// retry-later rejection is retried.
+    /// rejection sleeps `backoff` (doubling per attempt, capped at
+    /// [`RetryPolicy::new`]'s default ceiling) and resubmits, up to
+    /// `max_attempts` submissions in total. Every other outcome — success
+    /// or any other error — returns immediately; only the retry-later
+    /// rejection is retried. Use
+    /// [`query_with_policy`](ClientHandle::query_with_policy) for a
+    /// custom delay ceiling or deterministic jitter.
     pub fn query_with_retry(
         &self,
         batch: &QueryBatch,
         max_attempts: usize,
         backoff: Duration,
     ) -> Result<BatchOutcome, ServeError> {
-        let mut backoff = backoff;
+        self.query_with_policy(batch, &RetryPolicy::new(max_attempts, backoff))
+    }
+
+    /// [`query`](ClientHandle::query) retried under `policy` (see
+    /// [`RetryPolicy`] for the backoff schedule). Only
+    /// [`ServeError::Overloaded`] is retried.
+    pub fn query_with_policy(
+        &self,
+        batch: &QueryBatch,
+        policy: &RetryPolicy,
+    ) -> Result<BatchOutcome, ServeError> {
         let mut attempt = 1;
         loop {
             match self.query(batch.clone()) {
-                Err(ServeError::Overloaded { .. }) if attempt < max_attempts => {
-                    std::thread::sleep(backoff);
-                    backoff = backoff.saturating_mul(2);
+                Err(ServeError::Overloaded { .. }) if attempt < policy.max_attempts => {
+                    std::thread::sleep(policy.delay(attempt));
                     attempt += 1;
                 }
                 outcome => return outcome,
@@ -1274,6 +1397,39 @@ mod tests {
         assert!(t1.wait().is_ok() && t2.wait().is_ok());
         let stats = service.shutdown();
         assert!(stats.rejected_batches >= 1, "the overload was observed");
+    }
+
+    #[test]
+    fn retry_delays_double_up_to_the_ceiling_with_deterministic_jitter() {
+        let policy = RetryPolicy::new(10, Duration::from_millis(10))
+            .with_max_backoff(Duration::from_millis(100));
+        assert_eq!(policy.delay(1), Duration::from_millis(10));
+        assert_eq!(policy.delay(2), Duration::from_millis(20));
+        assert_eq!(policy.delay(4), Duration::from_millis(80));
+        // The doubling clamps at the ceiling and stays there.
+        assert_eq!(policy.delay(5), Duration::from_millis(100));
+        assert_eq!(policy.delay(6), Duration::from_millis(100));
+        assert_eq!(policy.delay(1000), Duration::from_millis(100));
+        // The default ceiling bounds an uncapped schedule too.
+        let default = RetryPolicy::new(0, Duration::from_micros(50));
+        assert_eq!(default.max_attempts, 1, "attempt budget clamps to 1");
+        assert_eq!(default.delay(64), Duration::from_micros(50) * 1024);
+
+        // Jitter: deterministic per (seed, attempt), inside [0.5, 1.0)
+        // of the unjittered delay, and different across seeds.
+        let a = policy.with_jitter(7);
+        let b = policy.with_jitter(8);
+        for attempt in 1..=12 {
+            let full = policy.delay(attempt);
+            let jittered = a.delay(attempt);
+            assert_eq!(jittered, a.delay(attempt), "deterministic");
+            assert!(jittered >= full / 2 && jittered < full, "{jittered:?}");
+        }
+        assert_ne!(
+            (1..=12).map(|n| a.delay(n)).collect::<Vec<_>>(),
+            (1..=12).map(|n| b.delay(n)).collect::<Vec<_>>(),
+            "different seeds spread out"
+        );
     }
 
     #[test]

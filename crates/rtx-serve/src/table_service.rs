@@ -1,0 +1,501 @@
+//! The table service: a [`Table`] behind the same queue discipline as
+//! [`QueryService`](crate::QueryService).
+//!
+//! One worker thread owns the table and drains a bounded submission queue
+//! strictly in order, which is exactly the write fence the table's
+//! transactional ingest needs: an [`IngestBatch`] never overtakes queries
+//! queued before it and is fully visible (or fully rolled back) for every
+//! query queued after it. Queries run the table's cost-based planner, and
+//! the service mirrors the planner's routing decisions into its
+//! [`ServiceStats`] — planned predicates, index routes, scan fallbacks —
+//! next to the ingest counters.
+//!
+//! Admission control reuses the [`ServiceConfig`] knobs: a query costs its
+//! predicate count, an ingest batch its operation count (each at least 1),
+//! and submissions beyond [`ServiceConfig::max_queue_depth`] fail with
+//! [`ServeError::Overloaded`] backpressure.
+
+use std::collections::VecDeque;
+use std::sync::atomic::Ordering;
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use rtx_query::{IndexError, IngestBatch, TableQuery};
+use rtx_table::{IngestReport, Table, TableOutcome};
+
+use crate::config::ServiceConfig;
+use crate::error::ServeError;
+use crate::service::{Counters, ServiceStats};
+
+/// One queued table request.
+enum TableRequest {
+    Query {
+        query: TableQuery,
+        /// `Some(index)` forces every predicate through that index (the
+        /// forced arm of planner experiments).
+        forced: Option<String>,
+        reply: mpsc::Sender<Result<TableOutcome, IndexError>>,
+    },
+    Ingest {
+        batch: IngestBatch,
+        reply: mpsc::Sender<Result<IngestReport, IndexError>>,
+    },
+}
+
+impl TableRequest {
+    /// Queue-admission cost (predicates / CDC operations, at least 1).
+    fn cost(&self) -> usize {
+        match self {
+            TableRequest::Query { query, .. } => query.len().max(1),
+            TableRequest::Ingest { batch, .. } => batch.len().max(1),
+        }
+    }
+}
+
+struct TableQueue {
+    requests: VecDeque<TableRequest>,
+    queued_cost: usize,
+    shutdown: bool,
+}
+
+struct TableShared {
+    queue: Mutex<TableQueue>,
+    work: Condvar,
+    config: ServiceConfig,
+    counters: Counters,
+}
+
+impl TableShared {
+    /// Admits one request into the queue (or rejects it), waking the
+    /// worker on success — the same admission policy as the query
+    /// service's.
+    fn enqueue(&self, request: TableRequest) -> Result<(), ServeError> {
+        let cost = request.cost();
+        if cost > self.config.max_queue_depth {
+            return Err(ServeError::TooLarge {
+                ops: cost,
+                max_queue_depth: self.config.max_queue_depth,
+            });
+        }
+        {
+            let mut q = self.queue.lock().expect("table service queue poisoned");
+            if q.shutdown {
+                return Err(ServeError::ShuttingDown);
+            }
+            if q.queued_cost + cost > self.config.max_queue_depth {
+                self.counters
+                    .rejected_batches
+                    .fetch_add(1, Ordering::Relaxed);
+                return Err(ServeError::Overloaded {
+                    queued_ops: q.queued_cost,
+                    max_queue_depth: self.config.max_queue_depth,
+                });
+            }
+            q.queued_cost += cost;
+            self.counters
+                .peak_queued_ops
+                .fetch_max(q.queued_cost as u64, Ordering::Relaxed);
+            q.requests.push_back(request);
+        }
+        self.work.notify_one();
+        Ok(())
+    }
+}
+
+/// An admitted table query whose result has not been claimed yet.
+#[derive(Debug)]
+pub struct PendingTableQuery {
+    reply: mpsc::Receiver<Result<TableOutcome, IndexError>>,
+}
+
+impl PendingTableQuery {
+    /// Blocks until the worker has answered this submission.
+    pub fn wait(self) -> Result<TableOutcome, ServeError> {
+        match self.reply.recv() {
+            Ok(result) => result.map_err(ServeError::Index),
+            Err(mpsc::RecvError) => Err(ServeError::ShuttingDown),
+        }
+    }
+}
+
+/// A clonable client of a [`TableService`]: submits multi-predicate
+/// queries and transactional CDC ingest batches.
+#[derive(Clone)]
+pub struct TableClient {
+    shared: Arc<TableShared>,
+}
+
+impl TableClient {
+    /// Submits a query and returns a ticket to claim the result with.
+    pub fn submit(&self, query: TableQuery) -> Result<PendingTableQuery, ServeError> {
+        self.submit_inner(query, None)
+    }
+
+    fn submit_inner(
+        &self,
+        query: TableQuery,
+        forced: Option<String>,
+    ) -> Result<PendingTableQuery, ServeError> {
+        let ops = query.len() as u64;
+        let (tx, rx) = mpsc::channel();
+        self.shared.enqueue(TableRequest::Query {
+            query,
+            forced,
+            reply: tx,
+        })?;
+        self.shared
+            .counters
+            .submitted_batches
+            .fetch_add(1, Ordering::Relaxed);
+        self.shared
+            .counters
+            .submitted_ops
+            .fetch_add(ops, Ordering::Relaxed);
+        Ok(PendingTableQuery { reply: rx })
+    }
+
+    /// Submits a query and blocks until its result arrives. Every
+    /// predicate routes through the table's planner.
+    pub fn query(&self, query: TableQuery) -> Result<TableOutcome, ServeError> {
+        self.submit(query)?.wait()
+    }
+
+    /// [`query`](TableClient::query) with every predicate forced through
+    /// the named index; errors when the index cannot serve a predicate.
+    pub fn query_forced(&self, query: TableQuery, index: &str) -> Result<TableOutcome, ServeError> {
+        self.submit_inner(query, Some(index.to_string()))?.wait()
+    }
+
+    /// Applies a CDC batch atomically through the write fence: the batch
+    /// never overtakes queries queued before it, and queries queued after
+    /// it see it fully applied or (on rejection) fully rolled back.
+    /// Blocks until the batch is applied.
+    pub fn ingest(&self, batch: IngestBatch) -> Result<IngestReport, ServeError> {
+        let (tx, rx) = mpsc::channel();
+        self.shared
+            .enqueue(TableRequest::Ingest { batch, reply: tx })?;
+        match rx.recv() {
+            Ok(result) => result.map_err(ServeError::Index),
+            Err(mpsc::RecvError) => Err(ServeError::ShuttingDown),
+        }
+    }
+
+    /// A snapshot of the service counters.
+    pub fn stats(&self) -> ServiceStats {
+        self.shared.counters.snapshot()
+    }
+
+    /// Current queue occupancy in admission-cost units.
+    pub fn queued_ops(&self) -> usize {
+        self.shared
+            .queue
+            .lock()
+            .expect("table service queue poisoned")
+            .queued_cost
+    }
+}
+
+/// A [`Table`] served to any number of concurrent clients by one worker
+/// thread. See the [module docs](self) for the execution model.
+///
+/// Dropping the service signals shutdown, drains every queued request and
+/// joins the worker — already-admitted submissions are still answered,
+/// new ones are rejected with [`ServeError::ShuttingDown`].
+pub struct TableService {
+    shared: Arc<TableShared>,
+    worker: Option<JoinHandle<()>>,
+}
+
+impl TableService {
+    /// Starts a service owning `table`.
+    pub fn start(table: Table, config: ServiceConfig) -> Self {
+        let shared = Arc::new(TableShared {
+            queue: Mutex::new(TableQueue {
+                requests: VecDeque::new(),
+                queued_cost: 0,
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            config,
+            counters: Counters::default(),
+        });
+        shared
+            .counters
+            .mem_base_bytes
+            .store(table.memory_bytes(), Ordering::Relaxed);
+        let worker = std::thread::Builder::new()
+            .name("rtx-serve-table".to_string())
+            .spawn({
+                let shared = Arc::clone(&shared);
+                move || run_worker(&shared, table)
+            })
+            .expect("spawn table service worker");
+        TableService {
+            shared,
+            worker: Some(worker),
+        }
+    }
+
+    /// A new client handle (clonable, sendable across threads).
+    pub fn handle(&self) -> TableClient {
+        TableClient {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// A snapshot of the service counters.
+    pub fn stats(&self) -> ServiceStats {
+        self.shared.counters.snapshot()
+    }
+
+    /// Shuts the service down (draining the queue) and returns the final
+    /// counters.
+    pub fn shutdown(mut self) -> ServiceStats {
+        self.stop();
+        self.shared.counters.snapshot()
+    }
+
+    fn stop(&mut self) {
+        {
+            let mut q = self
+                .shared
+                .queue
+                .lock()
+                .expect("table service queue poisoned");
+            q.shutdown = true;
+        }
+        self.shared.work.notify_all();
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for TableService {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+impl std::fmt::Debug for TableService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TableService")
+            .field("config", &self.shared.config)
+            .finish()
+    }
+}
+
+/// The worker loop: drain one request at a time, strictly in queue order
+/// (the order itself is the fence), until shutdown *and* an empty queue.
+fn run_worker(shared: &TableShared, mut table: Table) {
+    loop {
+        let request = {
+            let mut q = shared.queue.lock().expect("table service queue poisoned");
+            loop {
+                if let Some(request) = q.requests.pop_front() {
+                    q.queued_cost -= request.cost();
+                    break request;
+                }
+                if q.shutdown {
+                    return;
+                }
+                q = shared.work.wait(q).expect("table service queue poisoned");
+            }
+        };
+        let c = &shared.counters;
+        match request {
+            TableRequest::Query {
+                query,
+                forced,
+                reply,
+            } => {
+                let result = match forced {
+                    Some(index) => table.query_forced(&query, &index),
+                    None => table.query(&query),
+                };
+                if let Ok(outcome) = &result {
+                    let planned = outcome.plan.choices.len() as u64;
+                    let scans = outcome.plan.scan_fallbacks() as u64;
+                    c.planned_predicates.fetch_add(planned, Ordering::Relaxed);
+                    c.routed_predicates
+                        .fetch_add(planned - scans, Ordering::Relaxed);
+                    c.scan_fallbacks.fetch_add(scans, Ordering::Relaxed);
+                    c.executed_ops.fetch_add(planned, Ordering::Relaxed);
+                }
+                let _ = reply.send(result);
+            }
+            TableRequest::Ingest { batch, reply } => {
+                // The apply is the fence: everything queued behind this
+                // batch waits exactly this long. Surface it like a write.
+                let start = Instant::now();
+                let result = table.ingest(&batch);
+                let stall_ns = start.elapsed().as_nanos() as u64;
+                c.ingest_batches.fetch_add(1, Ordering::Relaxed);
+                c.write_batches.fetch_add(1, Ordering::Relaxed);
+                c.write_stall_ns_total
+                    .fetch_add(stall_ns, Ordering::Relaxed);
+                c.write_stall_ns_max.fetch_max(stall_ns, Ordering::Relaxed);
+                if result.is_err() {
+                    c.ingest_rollbacks.fetch_add(1, Ordering::Relaxed);
+                }
+                c.mem_base_bytes
+                    .store(table.memory_bytes(), Ordering::Relaxed);
+                let _ = reply.send(result);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_device::Device;
+    use rtindex_core::RtIndexConfig;
+    use rtx_delta::DynamicRtConfig;
+    use rtx_query::{Record, Registry, TableSchema};
+
+    fn registry() -> Arc<Registry> {
+        let mut registry = Registry::new();
+        gpu_baselines::register_baselines(&mut registry);
+        rtindex_core::register_rx(&mut registry, RtIndexConfig::default());
+        rtx_delta::register_dynamic(
+            &mut registry,
+            DynamicRtConfig::default().with_rx(RtIndexConfig::default()),
+        );
+        Arc::new(registry)
+    }
+
+    fn table(records: &[Record]) -> Table {
+        let schema = TableSchema::new(["id", "ts", "amount"])
+            .with_value_column("amount")
+            .with_index("id_ht", "id", "HT")
+            .with_index("ts_rx", "ts", "RX")
+            .with_index("id_rxd", "id", "RXD");
+        Table::load(schema, &Device::default_eval(), registry(), records).unwrap()
+    }
+
+    fn seed_records(n: u64) -> Vec<Record> {
+        (0..n).map(|k| vec![k, k * 3 % 257, k * 7]).collect()
+    }
+
+    #[test]
+    fn queries_route_through_the_planner_and_counters_mirror_the_plan() {
+        let service = TableService::start(table(&seed_records(128)), ServiceConfig::new());
+        let h = service.handle();
+
+        let out = h
+            .query(
+                TableQuery::new()
+                    .point("id", 7)
+                    .range("ts", 0, 50)
+                    .range("amount", 0, 100) // unindexed → scan
+                    .fetch_values(true),
+            )
+            .unwrap();
+        assert_eq!(out.plan.routed_index(0), Some("id_ht"));
+        assert_eq!(out.plan.routed_index(1), Some("ts_rx"));
+        assert_eq!(out.plan.scan_fallbacks(), 1);
+        assert_eq!(out.results[0].hit_count, 1);
+
+        let forced = h
+            .query_forced(TableQuery::new().point("id", 7), "id_rxd")
+            .unwrap();
+        assert_eq!(forced.plan.routed_index(0), Some("id_rxd"));
+        assert_eq!(forced.results[0].first_row, out.results[0].first_row);
+
+        let stats = service.shutdown();
+        assert_eq!(stats.submitted_batches, 2);
+        assert_eq!(stats.submitted_ops, 4);
+        assert_eq!(stats.planned_predicates, 4);
+        assert_eq!(stats.routed_predicates, 3);
+        assert_eq!(stats.scan_fallbacks, 1);
+        assert_eq!(stats.executed_ops, 4);
+        assert_eq!(stats.ingest_batches, 0);
+        assert!(stats.memory.base_bytes > 0, "table footprint mirrored");
+    }
+
+    #[test]
+    fn ingest_is_fenced_and_rollbacks_are_counted() {
+        let service = TableService::start(table(&seed_records(64)), ServiceConfig::new());
+        let h = service.handle();
+
+        // Concurrent clients: readers poll a key while a writer upserts
+        // it; the fence guarantees every reader sees a consistent row.
+        let report = h
+            .ingest(IngestBatch::new().insert(vec![500, 1, 10]).delete(3))
+            .unwrap();
+        assert_eq!(report.inserted_rows, 1);
+        assert_eq!(report.deleted_rows, 1);
+        let out = h
+            .query(TableQuery::new().point("id", 500).point("id", 3))
+            .unwrap();
+        assert_eq!(out.results[0].hit_count, 1, "the insert is visible");
+        assert_eq!(out.results[1].hit_count, 0, "the delete is visible");
+
+        // A query larger than the queue is rejected as non-retryable.
+        let config = h.shared.config;
+        let mut big = TableQuery::new();
+        for _ in 0..=config.max_queue_depth {
+            big = big.point("id", 1);
+        }
+        assert!(matches!(h.query(big), Err(ServeError::TooLarge { .. })));
+
+        let threads: Vec<_> = (0..4)
+            .map(|c| {
+                let h = h.clone();
+                std::thread::spawn(move || {
+                    for i in 0..8u64 {
+                        let key = 1000 + c;
+                        h.ingest(IngestBatch::new().upsert(vec![key, i, i * 10]))
+                            .unwrap();
+                        let out = h.query(TableQuery::new().point("id", key)).unwrap();
+                        assert_eq!(out.results[0].hit_count, 1, "fenced upsert");
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+
+        let stats = service.shutdown();
+        assert_eq!(stats.ingest_batches, 33);
+        assert_eq!(stats.write_batches, 33);
+        assert_eq!(stats.ingest_rollbacks, 0);
+        assert!(stats.write_stall_ns_total > 0);
+
+        // The surviving handle is refused after shutdown.
+        assert_eq!(
+            h.query(TableQuery::new().point("id", 1)).unwrap_err(),
+            ServeError::ShuttingDown
+        );
+        assert_eq!(
+            h.ingest(IngestBatch::new().delete(1)).unwrap_err(),
+            ServeError::ShuttingDown
+        );
+    }
+
+    #[test]
+    fn rejected_batches_roll_back_behind_the_fence() {
+        // A B+-tree index makes duplicate primary keys a rejection.
+        let schema = TableSchema::new(["id", "ts"])
+            .with_index("id_bt", "id", "B+")
+            .with_index("id_rxd", "id", "RXD");
+        let records: Vec<Record> = (0..32u64).map(|k| vec![k, k * 2]).collect();
+        let table = Table::load(schema, &Device::default_eval(), registry(), &records).unwrap();
+        let service = TableService::start(table, ServiceConfig::new());
+        let h = service.handle();
+
+        let err = h
+            .ingest(IngestBatch::new().insert(vec![99, 0]).insert(vec![5, 0]))
+            .unwrap_err();
+        assert!(matches!(err, ServeError::Index(_)), "{err}");
+        // Atomic: the first insert rolled back with the second.
+        let out = h.query(TableQuery::new().point("id", 99)).unwrap();
+        assert_eq!(out.results[0].hit_count, 0);
+        let stats = service.shutdown();
+        assert_eq!(stats.ingest_batches, 1);
+        assert_eq!(stats.ingest_rollbacks, 1);
+    }
+}

@@ -1,0 +1,387 @@
+//! The cost-based predicate planner.
+//!
+//! Routing works in two stages:
+//!
+//! 1. **Eligibility** — an index can serve a predicate only when it keys
+//!    on the predicate's column and its [`Capabilities`] cover the
+//!    compiled operation: range (and prefix) predicates need
+//!    `range_lookups`, keys above `u32::MAX` need `full_64bit_keys`, and
+//!    value-fetching queries need the index to carry the value column.
+//! 2. **Cost** — every eligible index carries a *calibration probe* cost,
+//!    measured by executing a small fixed-size batch against the live
+//!    index after each (re)build and dividing the simulated launch time by
+//!    the operation count. The cheapest probe cost wins; ties break first
+//!    on [`MemoryUsage::total`] (prefer the smaller structure), then on
+//!    the index name (deterministic plans).
+//!
+//! A predicate with no eligible index falls back to a full row-store
+//! scan — the scan is a fallback, never a cost competitor, so an
+//! available index is always preferred. Every decision (all candidates,
+//! their costs or ineligibility reasons, the route and its justification)
+//! is recorded in the returned [`ExplainPlan`].
+//!
+//! [`Capabilities`]: rtx_query::Capabilities
+//! [`MemoryUsage::total`]: rtx_query::MemoryUsage::total
+
+use rtx_query::{
+    Candidate, ExplainPlan, IndexError, PlanChoice, QueryBatch, Route, SecondaryIndex, TableQuery,
+    TableSchema,
+};
+
+/// Calibrated per-operation costs of one index, measured by
+/// [`Planner::calibrate`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ProbeCost {
+    /// Simulated seconds per point lookup.
+    pub point_s: f64,
+    /// Simulated seconds per range lookup; `None` when the index has no
+    /// range capability.
+    pub range_s: Option<f64>,
+}
+
+/// What the planner sees of one table index (a borrowed snapshot built by
+/// the table each time it plans).
+#[derive(Debug, Clone)]
+pub(crate) struct CandidateView<'a> {
+    /// The index's schema name.
+    pub name: &'a str,
+    /// The backend spec it was built from.
+    pub spec: &'a str,
+    /// The schema column it keys on.
+    pub column: &'a str,
+    /// The backend's capability flags.
+    pub caps: rtx_query::Capabilities,
+    /// Whether the backend carries the value column.
+    pub has_values: bool,
+    /// Live total memory footprint (the cost tiebreak).
+    pub memory: u64,
+    /// Calibrated probe costs.
+    pub probe: ProbeCost,
+}
+
+/// Scores predicates against index candidates and records its decisions
+/// (see the [module docs](self) for the cost model).
+#[derive(Debug, Clone, Copy)]
+pub struct Planner {
+    /// Operations per calibration probe batch. Larger probes amortise the
+    /// fixed launch overhead, making per-operation costs comparable across
+    /// backends.
+    pub probe_ops: usize,
+    /// Modeled simulated cost of scanning one live row on the fallback
+    /// path (charged to query metrics when a predicate routes to a scan).
+    pub scan_cost_per_row_s: f64,
+}
+
+impl Default for Planner {
+    fn default() -> Self {
+        Planner {
+            probe_ops: 64,
+            scan_cost_per_row_s: 1e-9,
+        }
+    }
+}
+
+impl Planner {
+    /// Measures an index's per-operation probe costs: one point batch and
+    /// (when supported) one range batch of [`probe_ops`](Planner::probe_ops)
+    /// operations drawn from `sample_keys` (the index's own keys, so
+    /// probes exercise the hit path).
+    pub fn calibrate(
+        &self,
+        index: &dyn SecondaryIndex,
+        sample_keys: &[u64],
+    ) -> Result<ProbeCost, IndexError> {
+        let fallback = [0u64];
+        let sample: &[u64] = if sample_keys.is_empty() {
+            &fallback
+        } else {
+            sample_keys
+        };
+        let ops = self.probe_ops.max(1);
+        let points: Vec<u64> = sample.iter().copied().cycle().take(ops).collect();
+        let point_out = index.execute(&QueryBatch::of_points(&points))?;
+        let point_s = point_out.metrics.simulated_time_s / ops as f64;
+
+        let range_s = if index.capabilities().range_lookups {
+            let ranges: Vec<(u64, u64)> =
+                points.iter().map(|&k| (k, k.saturating_add(15))).collect();
+            let range_out = index.execute(&QueryBatch::of_ranges(&ranges))?;
+            Some(range_out.metrics.simulated_time_s / ops as f64)
+        } else {
+            None
+        };
+        Ok(ProbeCost { point_s, range_s })
+    }
+
+    /// Plans every predicate of `query` against the candidate views,
+    /// choosing the cheapest eligible index per predicate and falling back
+    /// to a row-store scan when none qualifies.
+    pub(crate) fn plan(
+        &self,
+        query: &TableQuery,
+        schema: &TableSchema,
+        views: &[CandidateView<'_>],
+    ) -> Result<ExplainPlan, IndexError> {
+        let mut choices = Vec::with_capacity(query.len());
+        for predicate in query.predicates() {
+            if schema.column_position(predicate.column()).is_none() {
+                return Err(IndexError::Backend {
+                    backend: "table".to_string(),
+                    message: format!("predicate on unknown column {:?}", predicate.column()),
+                });
+            }
+            let scored: Vec<(Candidate, u64)> = views
+                .iter()
+                .filter(|v| v.column == predicate.column())
+                .map(|v| (self.score(v, predicate, query.fetches_values()), v.memory))
+                .collect();
+            let best = scored
+                .iter()
+                .filter(|(c, _)| c.eligible)
+                .min_by(|(a, a_mem), (b, b_mem)| {
+                    a.cost
+                        .total_cmp(&b.cost)
+                        .then_with(|| a_mem.cmp(b_mem))
+                        .then_with(|| a.index.cmp(&b.index))
+                })
+                .map(|(c, _)| c.clone());
+            let candidates: Vec<Candidate> = scored.into_iter().map(|(c, _)| c).collect();
+            let (route, reason) = match best {
+                Some(c) => (
+                    Route::Index {
+                        index: c.index.clone(),
+                        spec: c.spec.clone(),
+                    },
+                    format!(
+                        "cheapest of {} eligible candidate(s) at {:.3e} s/op",
+                        candidates.iter().filter(|c| c.eligible).count(),
+                        c.cost
+                    ),
+                ),
+                None if candidates.is_empty() => (
+                    Route::Scan,
+                    format!("no index on column {:?}", predicate.column()),
+                ),
+                None => (
+                    Route::Scan,
+                    "no eligible index (capability mismatch)".to_string(),
+                ),
+            };
+            choices.push(PlanChoice {
+                predicate: predicate.clone(),
+                candidates,
+                route,
+                reason,
+            });
+        }
+        Ok(ExplainPlan { choices })
+    }
+
+    /// Plans every predicate through the single named index, erroring when
+    /// the index does not exist, keys on the wrong column, or cannot serve
+    /// a predicate — the forced-index arm of planner experiments.
+    pub(crate) fn plan_forced(
+        &self,
+        query: &TableQuery,
+        views: &[CandidateView<'_>],
+        index: &str,
+    ) -> Result<ExplainPlan, IndexError> {
+        let view = views
+            .iter()
+            .find(|v| v.name == index)
+            .ok_or_else(|| IndexError::Backend {
+                backend: "table".to_string(),
+                message: format!("no index named {index:?}"),
+            })?;
+        let mut choices = Vec::with_capacity(query.len());
+        for predicate in query.predicates() {
+            if view.column != predicate.column() {
+                return Err(IndexError::Backend {
+                    backend: "table".to_string(),
+                    message: format!(
+                        "index {index:?} keys on column {:?}, not {:?}",
+                        view.column,
+                        predicate.column()
+                    ),
+                });
+            }
+            let candidate = self.score(view, predicate, query.fetches_values());
+            if !candidate.eligible {
+                return Err(IndexError::Backend {
+                    backend: "table".to_string(),
+                    message: format!(
+                        "index {index:?} cannot serve {predicate}: {}",
+                        candidate.detail
+                    ),
+                });
+            }
+            choices.push(PlanChoice {
+                predicate: predicate.clone(),
+                route: Route::Index {
+                    index: candidate.index.clone(),
+                    spec: candidate.spec.clone(),
+                },
+                candidates: vec![candidate],
+                reason: "forced".to_string(),
+            });
+        }
+        Ok(ExplainPlan { choices })
+    }
+
+    /// Scores one candidate for one predicate: eligibility plus the probe
+    /// cost of the compiled operation kind.
+    fn score(
+        &self,
+        view: &CandidateView<'_>,
+        predicate: &rtx_query::Predicate,
+        fetch_values: bool,
+    ) -> Candidate {
+        let ineligible = |detail: String| Candidate {
+            index: view.name.to_string(),
+            spec: view.spec.to_string(),
+            eligible: false,
+            cost: f64::INFINITY,
+            detail,
+        };
+        if predicate.needs_ranges() && !view.caps.range_lookups {
+            return ineligible("no range-lookup capability".to_string());
+        }
+        if predicate.max_key() > u64::from(u32::MAX) && !view.caps.full_64bit_keys {
+            return ineligible("32-bit keys only".to_string());
+        }
+        if fetch_values && !view.has_values {
+            return ineligible("no value column".to_string());
+        }
+        let cost = if predicate.needs_ranges() {
+            // Eligibility above guarantees the range probe ran.
+            view.probe.range_s.unwrap_or(f64::INFINITY)
+        } else {
+            view.probe.point_s
+        };
+        Candidate {
+            index: view.name.to_string(),
+            spec: view.spec.to_string(),
+            eligible: true,
+            cost,
+            detail: format!("probe {:.3e} s/op, {} B resident", cost, view.memory),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtx_query::Capabilities;
+
+    fn view<'a>(
+        name: &'a str,
+        column: &'a str,
+        caps: Capabilities,
+        point_s: f64,
+        range_s: Option<f64>,
+        memory: u64,
+    ) -> CandidateView<'a> {
+        CandidateView {
+            name,
+            spec: name,
+            column,
+            caps,
+            has_values: true,
+            memory,
+            probe: ProbeCost { point_s, range_s },
+        }
+    }
+
+    fn caps(ranges: bool) -> Capabilities {
+        Capabilities {
+            range_lookups: ranges,
+            duplicate_keys: true,
+            full_64bit_keys: true,
+            updates: false,
+        }
+    }
+
+    #[test]
+    fn cheapest_eligible_index_wins_and_decisions_are_recorded() {
+        let schema = TableSchema::new(["k"]);
+        let views = vec![
+            view("ht", "k", caps(false), 1e-8, None, 100),
+            view("rx", "k", caps(true), 5e-8, Some(2e-7), 200),
+        ];
+        let planner = Planner::default();
+
+        let plan = planner
+            .plan(&TableQuery::new().point("k", 3), &schema, &views)
+            .unwrap();
+        assert_eq!(plan.routed_index(0), Some("ht"));
+        assert_eq!(plan.choices[0].candidates.len(), 2);
+
+        // Ranges disqualify the point-only index.
+        let plan = planner
+            .plan(&TableQuery::new().range("k", 0, 9), &schema, &views)
+            .unwrap();
+        assert_eq!(plan.routed_index(0), Some("rx"));
+        assert!(!plan.choices[0].candidates[0].eligible);
+    }
+
+    #[test]
+    fn capability_gaps_fall_back_to_scan() {
+        let schema = TableSchema::new(["k", "other"]);
+        let narrow = Capabilities {
+            full_64bit_keys: false,
+            ..caps(true)
+        };
+        let views = vec![view("bt", "k", narrow, 1e-8, Some(1e-8), 10)];
+        let planner = Planner::default();
+
+        // 64-bit key on a 32-bit index: scan.
+        let plan = planner
+            .plan(&TableQuery::new().point("k", u64::MAX), &schema, &views)
+            .unwrap();
+        assert_eq!(plan.routed_index(0), None);
+        assert_eq!(plan.scan_fallbacks(), 1);
+
+        // Unindexed column: scan with the no-index reason.
+        let plan = planner
+            .plan(&TableQuery::new().point("other", 1), &schema, &views)
+            .unwrap();
+        assert_eq!(plan.routed_index(0), None);
+        assert!(plan.choices[0].reason.contains("no index"));
+
+        // Unknown column: an error, not a silent scan.
+        assert!(planner
+            .plan(&TableQuery::new().point("nope", 1), &schema, &views)
+            .is_err());
+    }
+
+    #[test]
+    fn memory_breaks_probe_ties_deterministically() {
+        let schema = TableSchema::new(["k"]);
+        let views = vec![
+            view("big", "k", caps(false), 1e-8, None, 500),
+            view("small", "k", caps(false), 1e-8, None, 50),
+        ];
+        let plan = Planner::default()
+            .plan(&TableQuery::new().point("k", 1), &schema, &views)
+            .unwrap();
+        assert_eq!(plan.routed_index(0), Some("small"));
+    }
+
+    #[test]
+    fn forced_plans_validate_the_target_index() {
+        let views = vec![
+            view("ht", "k", caps(false), 1e-8, None, 100),
+            view("rx", "k", caps(true), 5e-8, Some(2e-7), 200),
+        ];
+        let planner = Planner::default();
+        let q = TableQuery::new().point("k", 3);
+        let plan = planner.plan_forced(&q, &views, "rx").unwrap();
+        assert_eq!(plan.routed_index(0), Some("rx"));
+        assert_eq!(plan.choices[0].reason, "forced");
+
+        // Ranges through the point-only index, or unknown names: errors.
+        let ranged = TableQuery::new().range("k", 0, 9);
+        assert!(planner.plan_forced(&ranged, &views, "ht").is_err());
+        assert!(planner.plan_forced(&q, &views, "nope").is_err());
+    }
+}

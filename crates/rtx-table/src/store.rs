@@ -1,0 +1,235 @@
+//! The SoA row store a table owns.
+//!
+//! Rows live in structure-of-arrays form: one slot-indexed `u64` array per
+//! schema column. A row's *slot is its table rowID* — the store never
+//! renumbers, so rowIDs follow the global scheme of the dynamic backends:
+//! a bulk load of `n` records occupies rowIDs `0..n`, every later insert
+//! takes the next fresh rowID, and deletes leave dead slots behind.
+//! Secondary-index `first_row` answers translate into this space and stay
+//! comparable across every index of the table.
+//!
+//! The store keeps its own hash over the primary column (deletes and
+//! upserts key on it), so CDC deletes resolve without scanning.
+
+use std::collections::HashMap;
+
+use rtx_query::{IndexError, LookupResult, QueryOp};
+
+/// Slot-is-rowID SoA row storage (see the [module docs](self)).
+#[derive(Debug, Clone, Default)]
+pub struct RowStore {
+    /// One slot-indexed array per schema column.
+    columns: Vec<Vec<u64>>,
+    /// Liveness per slot (`false` = deleted).
+    live: Vec<bool>,
+    live_count: usize,
+    /// Primary-column key → live slots holding it, ascending.
+    primary: HashMap<u64, Vec<u32>>,
+}
+
+impl RowStore {
+    /// An empty store with `num_columns` columns.
+    pub fn new(num_columns: usize) -> Self {
+        RowStore {
+            columns: vec![Vec::new(); num_columns],
+            live: Vec::new(),
+            live_count: 0,
+            primary: HashMap::new(),
+        }
+    }
+
+    /// Number of schema columns.
+    pub fn num_columns(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Number of live rows.
+    pub fn live_count(&self) -> usize {
+        self.live_count
+    }
+
+    /// Number of slots ever allocated (live + dead).
+    pub fn slot_count(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Appends a record, returning its rowID. The record must hold exactly
+    /// one value per column; the rowID space is bounded by the `u32` rowID
+    /// encoding of [`LookupResult`] (the top value is the `MISS` marker).
+    pub fn insert(&mut self, record: &[u64]) -> Result<u32, IndexError> {
+        if record.len() != self.columns.len() {
+            return Err(IndexError::Backend {
+                backend: "table".to_string(),
+                message: format!(
+                    "record holds {} values but the table has {} columns",
+                    record.len(),
+                    self.columns.len()
+                ),
+            });
+        }
+        let slot = self.live.len();
+        if slot >= rtx_query::MISS as usize {
+            return Err(IndexError::CapacityOverflow {
+                backend: "table".to_string(),
+                keys: slot + 1,
+                limit: rtx_query::MISS as u64,
+            });
+        }
+        for (column, &value) in self.columns.iter_mut().zip(record) {
+            column.push(value);
+        }
+        self.live.push(true);
+        self.live_count += 1;
+        self.primary.entry(record[0]).or_default().push(slot as u32);
+        Ok(slot as u32)
+    }
+
+    /// Deletes every live row whose primary column holds `key`, returning
+    /// their rowIDs (ascending). Absent keys delete nothing.
+    pub fn delete_primary(&mut self, key: u64) -> Vec<u32> {
+        let slots = self.primary.remove(&key).unwrap_or_default();
+        for &slot in &slots {
+            debug_assert!(self.live[slot as usize]);
+            self.live[slot as usize] = false;
+        }
+        self.live_count -= slots.len();
+        slots
+    }
+
+    /// The value of `column` at a live or dead `slot`.
+    pub fn value_at(&self, column: usize, slot: u32) -> u64 {
+        self.columns[column][slot as usize]
+    }
+
+    /// True when `slot` holds a live row.
+    pub fn is_live(&self, slot: u32) -> bool {
+        self.live[slot as usize]
+    }
+
+    /// The live values of `column` with their rowIDs, ascending by rowID —
+    /// exactly the build input of a fresh index over that column.
+    pub fn column_live(&self, column: usize) -> (Vec<u64>, Vec<u32>) {
+        let mut keys = Vec::with_capacity(self.live_count);
+        let mut rows = Vec::with_capacity(self.live_count);
+        for (slot, &live) in self.live.iter().enumerate() {
+            if live {
+                keys.push(self.columns[column][slot]);
+                rows.push(slot as u32);
+            }
+        }
+        (keys, rows)
+    }
+
+    /// Answers one compiled predicate by scanning every live row:
+    /// `first_row` is the smallest matching rowID, `value_sum` (when
+    /// `fetch` is set and a value column exists) the wrapping sum of the
+    /// value column over the matches. The planner's fallback route.
+    pub fn scan(
+        &self,
+        column: usize,
+        op: QueryOp,
+        value_column: Option<usize>,
+        fetch: bool,
+    ) -> LookupResult {
+        let mut result = LookupResult::miss();
+        for (slot, &live) in self.live.iter().enumerate() {
+            if !live {
+                continue;
+            }
+            let key = self.columns[column][slot];
+            let hit = match op {
+                QueryOp::Point(query) => key == query,
+                QueryOp::Range(lower, upper) => lower <= key && key <= upper,
+            };
+            if hit {
+                result.first_row = result.first_row.min(slot as u32);
+                result.hit_count += 1;
+                if fetch {
+                    if let Some(vc) = value_column {
+                        result.value_sum = result.value_sum.wrapping_add(self.columns[vc][slot]);
+                    }
+                }
+            }
+        }
+        result
+    }
+
+    /// Approximate host bytes the store occupies.
+    pub fn memory_bytes(&self) -> u64 {
+        let slots = self.live.len() as u64;
+        slots * (self.columns.len() as u64 * 8 + 1) + self.primary.len() as u64 * 16
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtx_query::MISS;
+
+    fn store() -> RowStore {
+        let mut s = RowStore::new(3);
+        for r in [[1u64, 10, 100], [2, 20, 200], [1, 30, 300], [3, 20, 400]] {
+            s.insert(&r).unwrap();
+        }
+        s
+    }
+
+    #[test]
+    fn slots_are_rowids_and_deletes_leave_holes() {
+        let mut s = store();
+        assert_eq!((s.live_count(), s.slot_count()), (4, 4));
+        // Primary key 1 occupies rowIDs 0 and 2.
+        assert_eq!(s.delete_primary(1), vec![0, 2]);
+        assert_eq!((s.live_count(), s.slot_count()), (2, 4));
+        assert!(!s.is_live(0) && s.is_live(1) && !s.is_live(2));
+        // Absent keys delete nothing; re-deleting is a no-op.
+        assert!(s.delete_primary(1).is_empty());
+        assert!(s.delete_primary(99).is_empty());
+        // A reinserted key takes a fresh rowID past the holes.
+        assert_eq!(s.insert(&[1, 40, 500]).unwrap(), 4);
+        assert_eq!(s.delete_primary(1), vec![4]);
+    }
+
+    #[test]
+    fn column_live_skips_dead_slots_in_rowid_order() {
+        let mut s = store();
+        s.delete_primary(2);
+        let (keys, rows) = s.column_live(1);
+        assert_eq!(keys, vec![10, 30, 20]);
+        assert_eq!(rows, vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn scans_answer_points_ranges_and_value_sums() {
+        let mut s = store();
+        let point = s.scan(0, QueryOp::Point(1), Some(2), true);
+        assert_eq!(
+            (point.first_row, point.hit_count, point.value_sum),
+            (0, 2, 400)
+        );
+        let range = s.scan(1, QueryOp::Range(20, 30), Some(2), true);
+        assert_eq!(
+            (range.first_row, range.hit_count, range.value_sum),
+            (1, 3, 900)
+        );
+        // Misses and fetch-less scans.
+        assert_eq!(s.scan(0, QueryOp::Point(9), Some(2), true).first_row, MISS);
+        assert_eq!(
+            s.scan(1, QueryOp::Range(20, 30), Some(2), false).value_sum,
+            0
+        );
+        // Dead rows stop matching.
+        s.delete_primary(2);
+        let range = s.scan(1, QueryOp::Range(20, 30), Some(2), true);
+        assert_eq!((range.first_row, range.hit_count), (2, 2));
+    }
+
+    #[test]
+    fn record_arity_is_enforced() {
+        let mut s = RowStore::new(2);
+        assert!(s.insert(&[1]).is_err());
+        assert!(s.insert(&[1, 2, 3]).is_err());
+        assert_eq!(s.insert(&[1, 2]).unwrap(), 0);
+        assert!(s.memory_bytes() > 0);
+    }
+}

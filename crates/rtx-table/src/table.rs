@@ -1,0 +1,710 @@
+//! The table: row store + index fan-out + transactional CDC ingest.
+//!
+//! # Ingest atomicity
+//!
+//! [`Table::ingest`] applies a CDC batch with all-or-nothing semantics.
+//! Operations stream into the row store and — where possible — as *deltas*
+//! into updatable indexes; everything else is rebuilt from the live row
+//! store at the end of the batch:
+//!
+//! * **Inserts** are always delta-exact: every updatable index absorbs
+//!   `insert(key_on_its_column, value)` and appends to its row mirror.
+//! * **Deletes** key on the primary column. An updatable index *on the
+//!   primary column* absorbs them exactly (`delete(key)` removes exactly
+//!   the doomed rows). On any other column the index-level delete would
+//!   also kill surviving rows that share the doomed row's key, so the
+//!   index is marked for rebuild instead.
+//! * **Read-only indexes** (RX, HT, B+, SA, and their sharded variants)
+//!   cannot absorb deltas at all; they rebuild from the live row store
+//!   after every mutating batch.
+//!
+//! If any sub-operation fails — an index rejecting a batch (e.g. the
+//! B+-tree refusing a duplicate key on rebuild) — the table restores the
+//! pre-batch row store and rebuilds every index that absorbed deltas or
+//! was already rebuilt, reproducing the exact pre-batch logical state
+//! before the error surfaces. Callers never observe a half-applied batch.
+//!
+//! # Row mirrors
+//!
+//! Each index answers `first_row` in its own local rowID space; the table
+//! keeps a per-index mirror (`local → (key, table rowID)`, the same
+//! protocol `rtx-shard` uses per shard) and translates every result into
+//! table rowIDs. Monolithic dynamic backends renumber their local space
+//! densely when a reorganisation lands, so the mirror compacts whenever an
+//! update report carries `reorganisations > 0`; *sharded* backends keep
+//! their outer rowID space stable across inner reorganisations (their own
+//! per-shard mirrors absorb the renumbering), so mirrors over sharded
+//! specs never compact.
+//!
+//! # Durable index specs
+//!
+//! A spec containing `"+wal:<path>"` treats that directory as
+//! *table-private*: every (re)build wipes it first, because the durable
+//! layer's open-or-create semantics would otherwise recover stale state
+//! from an earlier build instead of indexing the current rows. Between
+//! rebuilds the WAL logs delta updates as usual; whole-table recovery
+//! from WAL directories is out of scope here.
+
+use std::sync::Arc;
+
+use gpu_device::Device;
+use optix_sim::LaunchMetrics;
+use rtx_query::{
+    parse_durable_name, ExplainPlan, IndexDef, IndexError, IndexSpec, IngestBatch, IngestOp,
+    LookupResult, QueryBatch, QueryOp, Record, Registry, Route, SecondaryIndex, ShardSpec,
+    TableQuery, TableSchema, UpdatableIndex, MISS,
+};
+
+use crate::planner::{CandidateView, Planner, ProbeCost};
+use crate::store::RowStore;
+
+/// A built table index: read-only backends rebuild per ingest batch,
+/// updatable ones absorb deltas where exact (see the [module docs](self)).
+enum Backend {
+    ReadOnly(Box<dyn SecondaryIndex>),
+    Updatable(Box<dyn UpdatableIndex>),
+}
+
+impl Backend {
+    fn as_index(&self) -> &dyn SecondaryIndex {
+        match self {
+            Backend::ReadOnly(ix) => ix.as_ref(),
+            Backend::Updatable(ix) => ix.as_ref(),
+        }
+    }
+}
+
+/// Local-rowID → `(key, table rowID)` mirror, one per index (the
+/// `rtx-shard` row-mirror protocol).
+#[derive(Debug, Clone, Default)]
+struct Mirror {
+    entries: Vec<Option<(u64, u32)>>,
+}
+
+impl Mirror {
+    fn dense(keys: &[u64], rows: &[u32]) -> Self {
+        Mirror {
+            entries: keys.iter().zip(rows).map(|(&k, &r)| Some((k, r))).collect(),
+        }
+    }
+
+    fn append(&mut self, key: u64, row: u32) {
+        self.entries.push(Some((key, row)));
+    }
+
+    fn delete_key(&mut self, key: u64) {
+        for entry in &mut self.entries {
+            if matches!(entry, Some((k, _)) if *k == key) {
+                *entry = None;
+            }
+        }
+    }
+
+    fn compact(&mut self) {
+        self.entries.retain(Option::is_some);
+    }
+
+    fn global(&self, local: u32) -> u32 {
+        self.entries[local as usize]
+            .expect("index answered a rowID its mirror holds as deleted")
+            .1
+    }
+
+    fn sample_keys(&self, count: usize) -> Vec<u64> {
+        self.entries
+            .iter()
+            .filter_map(|e| e.map(|(k, _)| k))
+            .take(count)
+            .collect()
+    }
+}
+
+struct IndexState {
+    def: IndexDef,
+    column: usize,
+    backend: Backend,
+    mirror: Mirror,
+    /// False for sharded specs, whose outer rowIDs survive inner
+    /// reorganisations (see the [module docs](self)).
+    compact_mirror_on_reorg: bool,
+    probe: ProbeCost,
+}
+
+/// What one successful [`Table::ingest`] did.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct IngestReport {
+    /// Rows appended to the row store.
+    pub inserted_rows: u64,
+    /// Rows deleted from the row store.
+    pub deleted_rows: u64,
+    /// Delta operations absorbed by updatable indexes.
+    pub delta_ops: u64,
+    /// Indexes rebuilt from the live row store.
+    pub rebuilt_indexes: u64,
+    /// Simulated time of the deltas and rebuilds.
+    pub simulated_time_s: f64,
+}
+
+/// Lifetime counters of a table.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TableStats {
+    /// Ingest batches submitted (including rejected ones).
+    pub ingest_batches: u64,
+    /// Ingest batches rejected and rolled back.
+    pub rolled_back_batches: u64,
+    /// Rows ever inserted.
+    pub inserted_rows: u64,
+    /// Rows ever deleted.
+    pub deleted_rows: u64,
+    /// Delta operations absorbed by updatable indexes.
+    pub delta_ops: u64,
+    /// Index rebuilds (initial builds excluded).
+    pub index_rebuilds: u64,
+}
+
+/// The answer to one [`TableQuery`]: a [`LookupResult`] per predicate
+/// (with `first_row` in *table* rowID space), merged launch metrics, and
+/// the plan that produced it.
+#[derive(Debug, Clone)]
+pub struct TableOutcome {
+    /// One result per predicate, in submission order.
+    pub results: Vec<LookupResult>,
+    /// Merged simulated/host launch metrics of every routed batch.
+    pub metrics: LaunchMetrics,
+    /// The planner's routing decisions.
+    pub plan: ExplainPlan,
+}
+
+impl TableOutcome {
+    /// Total hits across all predicates.
+    pub fn hit_count(&self) -> u64 {
+        self.results.iter().map(|r| u64::from(r.hit_count)).sum()
+    }
+
+    /// Total simulated execution time in milliseconds.
+    pub fn sim_ms(&self) -> f64 {
+        self.metrics.simulated_time_s * 1e3
+    }
+}
+
+/// A multi-index table: one SoA row store plus N named indexes built from
+/// per-column registry specs, with transactional CDC ingest and a
+/// cost-based predicate planner. See the [module docs](self) for the
+/// ingest atomicity protocol and the [planner docs](crate::planner) for
+/// the cost model.
+pub struct Table {
+    schema: TableSchema,
+    device: Device,
+    registry: Arc<Registry>,
+    planner: Planner,
+    store: RowStore,
+    indexes: Vec<IndexState>,
+    value_pos: Option<usize>,
+    stats: TableStats,
+}
+
+impl Table {
+    /// Creates an empty table over `schema`, building every index (over
+    /// zero rows) up front so spec errors surface immediately.
+    pub fn create(
+        schema: TableSchema,
+        device: &Device,
+        registry: Arc<Registry>,
+    ) -> Result<Self, IndexError> {
+        Table::load(schema, device, registry, &[])
+    }
+
+    /// Creates a table bulk-loaded with `records` (occupying rowIDs
+    /// `0..records.len()`), building every index over them.
+    pub fn load(
+        schema: TableSchema,
+        device: &Device,
+        registry: Arc<Registry>,
+        records: &[Record],
+    ) -> Result<Self, IndexError> {
+        schema.validate()?;
+        let value_pos = schema
+            .value_column
+            .as_ref()
+            .map(|c| schema.column_position(c).expect("validated"));
+        let mut store = RowStore::new(schema.columns.len());
+        for record in records {
+            store.insert(record)?;
+        }
+        let planner = Planner::default();
+        let mut indexes = Vec::with_capacity(schema.indexes.len());
+        for def in &schema.indexes {
+            let column = schema.column_position(&def.column).expect("validated");
+            indexes.push(build_index_state(
+                device, &registry, &store, value_pos, &planner, def, column,
+            )?);
+        }
+        Ok(Table {
+            schema,
+            device: device.clone(),
+            registry,
+            planner,
+            store,
+            indexes,
+            value_pos,
+            stats: TableStats::default(),
+        })
+    }
+
+    /// The table's schema.
+    pub fn schema(&self) -> &TableSchema {
+        &self.schema
+    }
+
+    /// Number of live rows.
+    pub fn row_count(&self) -> usize {
+        self.store.live_count()
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> TableStats {
+        self.stats
+    }
+
+    /// The planner's configuration.
+    pub fn planner(&self) -> &Planner {
+        &self.planner
+    }
+
+    /// The index names, in schema order.
+    pub fn index_names(&self) -> Vec<&str> {
+        self.indexes.iter().map(|s| s.def.name.as_str()).collect()
+    }
+
+    /// The built backend behind the named index (for metadata inspection:
+    /// capabilities, memory usage, build metrics).
+    pub fn index_backend(&self, name: &str) -> Option<&dyn SecondaryIndex> {
+        self.indexes
+            .iter()
+            .find(|s| s.def.name == name)
+            .map(|s| s.backend.as_index())
+    }
+
+    /// Total resident bytes: row store plus every index's
+    /// [`MemoryUsage::total`](rtx_query::MemoryUsage::total).
+    pub fn memory_bytes(&self) -> u64 {
+        self.store.memory_bytes()
+            + self
+                .indexes
+                .iter()
+                .map(|s| s.backend.as_index().memory_usage().total())
+                .sum::<u64>()
+    }
+
+    /// Applies a CDC batch atomically (see the [module docs](self)): on
+    /// success every index reflects the batch; on error the pre-batch
+    /// state is restored before the error returns.
+    pub fn ingest(&mut self, batch: &IngestBatch) -> Result<IngestReport, IndexError> {
+        self.stats.ingest_batches += 1;
+        if batch.is_empty() {
+            return Ok(IngestReport::default());
+        }
+        let saved = self.store.clone();
+        let mut touched = vec![false; self.indexes.len()];
+        let mut needs_rebuild = vec![false; self.indexes.len()];
+        let mut report = IngestReport::default();
+        match self.apply_batch(batch, &mut touched, &mut needs_rebuild, &mut report) {
+            Ok(()) => {
+                self.stats.inserted_rows += report.inserted_rows;
+                self.stats.deleted_rows += report.deleted_rows;
+                self.stats.delta_ops += report.delta_ops;
+                self.stats.index_rebuilds += report.rebuilt_indexes;
+                Ok(report)
+            }
+            Err(err) => {
+                self.stats.rolled_back_batches += 1;
+                if let Err(rollback_err) = self.rollback(saved, &touched) {
+                    return Err(IndexError::Backend {
+                        backend: "table".to_string(),
+                        message: format!(
+                            "ingest failed ({err}) and rollback failed too: {rollback_err}"
+                        ),
+                    });
+                }
+                Err(err)
+            }
+        }
+    }
+
+    fn apply_batch(
+        &mut self,
+        batch: &IngestBatch,
+        touched: &mut [bool],
+        needs_rebuild: &mut [bool],
+        report: &mut IngestReport,
+    ) -> Result<(), IndexError> {
+        for op in batch.ops() {
+            match op {
+                IngestOp::Insert(record) => {
+                    self.apply_insert(record, touched, needs_rebuild, report)?;
+                }
+                IngestOp::Delete(key) => {
+                    self.apply_delete(*key, touched, needs_rebuild, report)?;
+                }
+                IngestOp::Upsert(record) => {
+                    self.apply_delete(record[0], touched, needs_rebuild, report)?;
+                    self.apply_insert(record, touched, needs_rebuild, report)?;
+                }
+            }
+        }
+        if report.inserted_rows == 0 && report.deleted_rows == 0 {
+            // Nothing changed (e.g. only deletes of absent keys): the
+            // live rows are untouched, so rebuilds would be no-ops.
+            return Ok(());
+        }
+        for i in 0..self.indexes.len() {
+            let rebuild =
+                needs_rebuild[i] || matches!(self.indexes[i].backend, Backend::ReadOnly(_));
+            if !rebuild {
+                // Delta'd indexes keep their structure; refresh the probe
+                // costs so the planner sees the post-batch state.
+                if touched[i] {
+                    let sample = self.indexes[i].mirror.sample_keys(16);
+                    self.indexes[i].probe = self
+                        .planner
+                        .calibrate(self.indexes[i].backend.as_index(), &sample)?;
+                }
+                continue;
+            }
+            let def = self.indexes[i].def.clone();
+            let column = self.indexes[i].column;
+            let state = build_index_state(
+                &self.device,
+                &self.registry,
+                &self.store,
+                self.value_pos,
+                &self.planner,
+                &def,
+                column,
+            )?;
+            report.simulated_time_s += state.backend.as_index().build_metrics().simulated_time_s;
+            self.indexes[i] = state;
+            touched[i] = true;
+            report.rebuilt_indexes += 1;
+        }
+        Ok(())
+    }
+
+    fn apply_insert(
+        &mut self,
+        record: &Record,
+        touched: &mut [bool],
+        needs_rebuild: &mut [bool],
+        report: &mut IngestReport,
+    ) -> Result<(), IndexError> {
+        let row = self.store.insert(record)?;
+        report.inserted_rows += 1;
+        let value = self.value_pos.map(|p| record[p]).unwrap_or(0);
+        for (i, state) in self.indexes.iter_mut().enumerate() {
+            if needs_rebuild[i] {
+                continue;
+            }
+            if let Backend::Updatable(ix) = &mut state.backend {
+                let key = record[state.column];
+                let update = ix.insert(&[key], &[value])?;
+                state.mirror.append(key, row);
+                touched[i] = true;
+                report.delta_ops += 1;
+                report.simulated_time_s += update.simulated_time_s;
+                if update.reorganisations > 0 && state.compact_mirror_on_reorg {
+                    state.mirror.compact();
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn apply_delete(
+        &mut self,
+        key: u64,
+        touched: &mut [bool],
+        needs_rebuild: &mut [bool],
+        report: &mut IngestReport,
+    ) -> Result<(), IndexError> {
+        let doomed = self.store.delete_primary(key);
+        report.deleted_rows += doomed.len() as u64;
+        for (i, state) in self.indexes.iter_mut().enumerate() {
+            if needs_rebuild[i] {
+                continue;
+            }
+            if let Backend::Updatable(ix) = &mut state.backend {
+                if state.column == 0 {
+                    // Delta-exact: the index keys on the primary column,
+                    // so deleting `key` there removes exactly the doomed
+                    // rows.
+                    let update = ix.delete(&[key])?;
+                    state.mirror.delete_key(key);
+                    touched[i] = true;
+                    report.delta_ops += 1;
+                    report.simulated_time_s += update.simulated_time_s;
+                    if update.reorganisations > 0 && state.compact_mirror_on_reorg {
+                        state.mirror.compact();
+                    }
+                } else if !doomed.is_empty() {
+                    // An index-level delete on this column would also kill
+                    // surviving rows sharing the doomed rows' keys —
+                    // rebuild from the row store at batch end instead.
+                    needs_rebuild[i] = true;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Restores the pre-batch row store and rebuilds every index that
+    /// absorbed deltas or was rebuilt mid-batch.
+    fn rollback(&mut self, saved: RowStore, touched: &[bool]) -> Result<(), IndexError> {
+        self.store = saved;
+        for (i, &was_touched) in touched.iter().enumerate() {
+            if !was_touched {
+                continue;
+            }
+            let def = self.indexes[i].def.clone();
+            let column = self.indexes[i].column;
+            self.indexes[i] = build_index_state(
+                &self.device,
+                &self.registry,
+                &self.store,
+                self.value_pos,
+                &self.planner,
+                &def,
+                column,
+            )?;
+        }
+        Ok(())
+    }
+
+    /// Plans `query` without executing it.
+    pub fn explain(&self, query: &TableQuery) -> Result<ExplainPlan, IndexError> {
+        self.check_fetch(query)?;
+        self.planner
+            .plan(query, &self.schema, &self.candidate_views())
+    }
+
+    /// Plans and executes `query`: each predicate routes to the cheapest
+    /// eligible index (or a row-store scan) and answers with `first_row`
+    /// translated into table rowID space.
+    pub fn query(&self, query: &TableQuery) -> Result<TableOutcome, IndexError> {
+        let plan = self.explain(query)?;
+        self.execute_plan(query, plan)
+    }
+
+    /// Executes `query` with every predicate forced through the named
+    /// index (the forced arm of planner experiments); errors when the
+    /// index cannot serve a predicate.
+    pub fn query_forced(
+        &self,
+        query: &TableQuery,
+        index: &str,
+    ) -> Result<TableOutcome, IndexError> {
+        self.check_fetch(query)?;
+        let plan = self
+            .planner
+            .plan_forced(query, &self.candidate_views(), index)?;
+        self.execute_plan(query, plan)
+    }
+
+    fn check_fetch(&self, query: &TableQuery) -> Result<(), IndexError> {
+        if query.fetches_values() && self.value_pos.is_none() {
+            return Err(IndexError::NoValueColumn {
+                backend: "table".to_string(),
+            });
+        }
+        Ok(())
+    }
+
+    fn candidate_views(&self) -> Vec<CandidateView<'_>> {
+        self.indexes
+            .iter()
+            .map(|s| {
+                let ix = s.backend.as_index();
+                CandidateView {
+                    name: &s.def.name,
+                    spec: &s.def.spec,
+                    column: &s.def.column,
+                    caps: ix.capabilities(),
+                    has_values: ix.has_value_column(),
+                    memory: ix.memory_usage().total(),
+                    probe: s.probe,
+                }
+            })
+            .collect()
+    }
+
+    fn execute_plan(
+        &self,
+        query: &TableQuery,
+        plan: ExplainPlan,
+    ) -> Result<TableOutcome, IndexError> {
+        let fetch = query.fetches_values();
+        let mut results = vec![LookupResult::miss(); query.len()];
+        let mut metrics = LaunchMetrics::default();
+        // Predicates routed to the same index fuse into one batch (fewer
+        // simulated launches); scans answer immediately.
+        let mut groups: Vec<(&str, Vec<usize>, Vec<QueryOp>)> = Vec::new();
+        for (slot, (predicate, choice)) in query.predicates().iter().zip(&plan.choices).enumerate()
+        {
+            match &choice.route {
+                Route::Scan => {
+                    let column = self
+                        .schema
+                        .column_position(predicate.column())
+                        .expect("planned predicates reference known columns");
+                    results[slot] =
+                        self.store
+                            .scan(column, predicate.as_op(), self.value_pos, fetch);
+                    metrics.simulated_time_s +=
+                        self.planner.scan_cost_per_row_s * self.store.live_count() as f64;
+                }
+                Route::Index { index, .. } => {
+                    match groups.iter_mut().find(|(name, ..)| name == index) {
+                        Some((_, slots, ops)) => {
+                            slots.push(slot);
+                            ops.push(predicate.as_op());
+                        }
+                        None => groups.push((index, vec![slot], vec![predicate.as_op()])),
+                    }
+                }
+            }
+        }
+        for (name, slots, ops) in groups {
+            let state = self
+                .indexes
+                .iter()
+                .find(|s| s.def.name == name)
+                .expect("plans route to existing indexes");
+            let mut batch = QueryBatch::new();
+            for op in ops {
+                batch = match op {
+                    QueryOp::Point(key) => batch.point(key),
+                    QueryOp::Range(lower, upper) => batch.range(lower, upper),
+                };
+            }
+            let outcome = state
+                .backend
+                .as_index()
+                .execute(&batch.fetch_values(fetch))?;
+            metrics.merge(&outcome.metrics);
+            for (slot, mut result) in slots.into_iter().zip(outcome.results) {
+                if result.first_row != MISS {
+                    result.first_row = state.mirror.global(result.first_row);
+                }
+                results[slot] = result;
+            }
+        }
+        Ok(TableOutcome {
+            results,
+            metrics,
+            plan,
+        })
+    }
+}
+
+impl std::fmt::Debug for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Table")
+            .field("columns", &self.schema.columns)
+            .field("indexes", &self.index_names())
+            .field("live_rows", &self.store.live_count())
+            .finish()
+    }
+}
+
+/// Builds (or rebuilds) one index from the live row store: fresh dense
+/// mirror, calibrated probe costs, durable directories wiped first (see
+/// the [module docs](self)).
+fn build_index_state(
+    device: &Device,
+    registry: &Registry,
+    store: &RowStore,
+    value_pos: Option<usize>,
+    planner: &Planner,
+    def: &IndexDef,
+    column: usize,
+) -> Result<IndexState, IndexError> {
+    wipe_durable_dir(&def.spec)?;
+    let (keys, rows) = store.column_live(column);
+    let values: Option<Vec<u64>> =
+        value_pos.map(|vp| rows.iter().map(|&r| store.value_at(vp, r)).collect());
+    let spec = match &values {
+        Some(v) => IndexSpec::with_values(device, &keys, v),
+        None => IndexSpec::keys_only(device, &keys),
+    };
+    let backend = match registry.build_updatable(&def.spec, &spec) {
+        Ok(ix) => Backend::Updatable(ix),
+        // Not updatable under this registry (or not updatable at all):
+        // build read-only. Genuine build failures resurface here.
+        Err(_) => Backend::ReadOnly(registry.build(&def.spec, &spec)?),
+    };
+    let probe = planner.calibrate(backend.as_index(), &keys)?;
+    Ok(IndexState {
+        def: def.clone(),
+        column,
+        backend,
+        mirror: Mirror::dense(&keys, &rows),
+        compact_mirror_on_reorg: rowids_renumber_on_reorg(&def.spec),
+        probe,
+    })
+}
+
+/// Whether the backend's rowID space renumbers when an update report
+/// carries `reorganisations > 0`. Monolithic dynamic backends renumber
+/// densely; sharded specs keep stable outer rowIDs (their per-shard
+/// mirrors absorb the renumbering).
+fn rowids_renumber_on_reorg(spec: &str) -> bool {
+    let base = parse_durable_name(spec).map(|(b, _)| b).unwrap_or(spec);
+    ShardSpec::parse(base).is_none()
+}
+
+/// Resets the WAL directory of a `"+wal:<path>"` spec before a build, so
+/// the durable layer creates fresh state instead of recovering a previous
+/// build's rows. No-op for non-durable specs and absent directories.
+fn wipe_durable_dir(spec: &str) -> Result<(), IndexError> {
+    if let Some((_, path)) = parse_durable_name(spec) {
+        match std::fs::remove_dir_all(path) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => {
+                return Err(IndexError::Backend {
+                    backend: spec.to_string(),
+                    message: format!("failed to reset WAL directory {path:?}: {e}"),
+                })
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mirrors_translate_append_delete_and_compact() {
+        let mut m = Mirror::dense(&[10, 20, 10], &[0, 1, 2]);
+        assert_eq!(m.global(1), 1);
+        m.append(30, 7);
+        assert_eq!(m.global(3), 7);
+        m.delete_key(10);
+        assert_eq!(m.global(1), 1);
+        m.compact();
+        // Survivors renumber densely: locals 0,1 now map to rows 1,7.
+        assert_eq!((m.global(0), m.global(1)), (1, 7));
+        assert_eq!(m.sample_keys(8), vec![20, 30]);
+    }
+
+    #[test]
+    fn sharded_specs_keep_stable_outer_rowids() {
+        assert!(rowids_renumber_on_reorg("RXD"));
+        assert!(rowids_renumber_on_reorg("RXD+wal:/tmp/x"));
+        assert!(rowids_renumber_on_reorg("RXD:sah"));
+        assert!(!rowids_renumber_on_reorg("RXD@4"));
+        assert!(!rowids_renumber_on_reorg("RXD:sah@4:hash"));
+        assert!(!rowids_renumber_on_reorg("RXD@2+wal:/tmp/x"));
+    }
+}

@@ -1,0 +1,340 @@
+//! End-to-end table tests against the full backend registry: the
+//! acceptance scenario (HT + RX + RXD answering mixed point+range
+//! queries oracle-exactly with the expected routing), CDC streams vs the
+//! scan oracle, atomic rollback of rejected batches, durable and sharded
+//! index specs, and forced-index execution.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use gpu_device::Device;
+use rtindex_core::RtIndexConfig;
+use rtx_delta::DynamicRtConfig;
+use rtx_query::{IngestBatch, Registry, Route, TableQuery, TableSchema};
+use rtx_table::Table;
+use rtx_workloads::{
+    ingest_batches, table_queries, table_records, TableOracle, TableQueryConfig,
+    TableWorkloadConfig,
+};
+
+fn registry() -> Arc<Registry> {
+    let mut registry = Registry::new();
+    gpu_baselines::register_baselines(&mut registry);
+    rtindex_core::register_rx(&mut registry, RtIndexConfig::default());
+    rtx_delta::register_dynamic(
+        &mut registry,
+        DynamicRtConfig::default().with_rx(RtIndexConfig::default()),
+    );
+    rtx_shard::install_sharding(&mut registry);
+    rtx_durable::install_durability(&mut registry);
+    Arc::new(registry)
+}
+
+fn schema() -> TableSchema {
+    TableSchema::new(["id", "ts", "amount"])
+        .with_value_column("amount")
+        .with_index("id_ht", "id", "HT")
+        .with_index("ts_rx", "ts", "RX")
+        .with_index("id_rxd", "id", "RXD")
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "rtx-table-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ))
+}
+
+/// Asserts every query answers exactly what the oracle scans out.
+fn assert_matches_oracle(
+    table: &Table,
+    oracle: &TableOracle,
+    queries: &[TableQuery],
+    context: &str,
+) {
+    for (qi, query) in queries.iter().enumerate() {
+        let got = table.query(query).expect("query executes");
+        let want = oracle.expected_query(table.schema(), query);
+        assert_eq!(got.results.len(), want.len());
+        for (pi, (g, w)) in got.results.iter().zip(&want).enumerate() {
+            assert_eq!(
+                (g.first_row, g.hit_count, g.value_sum),
+                (w.first_row, w.hit_count, w.value_sum),
+                "{context}: query {qi} predicate {pi} ({})",
+                query.predicates()[pi]
+            );
+        }
+    }
+}
+
+fn query_stream(seed: u64) -> Vec<TableQuery> {
+    table_queries(&TableQueryConfig {
+        queries: 25,
+        predicates_per_query: 3,
+        point_columns: vec!["id".into(), "ts".into()],
+        range_columns: vec!["ts".into(), "amount".into()],
+        key_domain: 512,
+        range_span: 32,
+        fetch_values: true,
+        seed,
+    })
+}
+
+#[test]
+fn acceptance_mixed_query_routes_and_answers_exactly() {
+    let device = Device::default_eval();
+    let records = table_records(3, 512, 512, 1);
+    let oracle = TableOracle::load(3, &records);
+    let table = Table::load(schema(), &device, registry(), &records).expect("table builds");
+    assert_eq!(table.row_count(), 512);
+    assert_eq!(table.index_names(), vec!["id_ht", "ts_rx", "id_rxd"]);
+    assert!(table.memory_bytes() > 0);
+
+    // One mixed query: a point on `id`, a range on `ts`, and a range on
+    // the unindexed `amount` column.
+    let query = TableQuery::new()
+        .point("id", records[7][0])
+        .range("ts", 100, 260)
+        .range("amount", 0, 50)
+        .fetch_values(true);
+    let out = table.query(&query).expect("mixed query executes");
+
+    // Routing: the point goes to the hash table (cheapest point probe),
+    // the range to RX (the hash table has no range capability), and the
+    // unindexed column falls back to a row-store scan.
+    assert_eq!(out.plan.routed_index(0), Some("id_ht"), "{}", out.plan);
+    assert_eq!(out.plan.routed_index(1), Some("ts_rx"), "{}", out.plan);
+    assert!(matches!(out.plan.choices[2].route, Route::Scan));
+    assert_eq!(out.plan.scan_fallbacks(), 1);
+
+    // Answers: oracle-exact, including the scan fallback.
+    let want = oracle.expected_query(table.schema(), &query);
+    for (g, w) in out.results.iter().zip(&want) {
+        assert_eq!(
+            (g.first_row, g.hit_count, g.value_sum),
+            (w.first_row, w.hit_count, w.value_sum)
+        );
+    }
+    assert!(out.metrics.simulated_time_s > 0.0);
+    assert!(out.sim_ms() > 0.0);
+
+    // And a whole generated stream stays oracle-exact.
+    assert_matches_oracle(&table, &oracle, &query_stream(2), "static load");
+}
+
+#[test]
+fn cdc_ingest_stream_stays_oracle_exact() {
+    let device = Device::default_eval();
+    let records = table_records(3, 256, 512, 3);
+    let mut oracle = TableOracle::load(3, &records);
+    let mut table = Table::load(schema(), &device, registry(), &records).expect("table builds");
+
+    let batches = ingest_batches(&TableWorkloadConfig {
+        key_domain: 512,
+        ..TableWorkloadConfig::uniform(3, 8, 24, 4)
+    });
+    for (bi, batch) in batches.iter().enumerate() {
+        let report = table.ingest(batch).expect("batch applies");
+        oracle.apply_batch(batch);
+        assert_eq!(table.row_count(), oracle.row_count(), "batch {bi}");
+        // Read-only indexes rebuild on every mutating batch; the
+        // updatable RXD absorbs inserts (and primary-column deletes) as
+        // deltas.
+        if report.inserted_rows > 0 {
+            assert!(report.delta_ops > 0, "batch {bi}: {report:?}");
+        }
+        assert_matches_oracle(&table, &oracle, &query_stream(100 + bi as u64), "cdc");
+    }
+    let stats = table.stats();
+    assert_eq!(stats.ingest_batches, batches.len() as u64);
+    assert_eq!(stats.rolled_back_batches, 0);
+    assert!(stats.inserted_rows > 0 && stats.deleted_rows > 0);
+    assert!(stats.delta_ops > 0 && stats.index_rebuilds > 0);
+}
+
+#[test]
+fn rejected_batch_rolls_back_atomically() {
+    let device = Device::default_eval();
+    // Unique primary keys so the B+-tree (which refuses duplicate keys)
+    // builds; it rides along as a second index next to the updatable RXD.
+    let records: Vec<Vec<u64>> = (0..128u64).map(|k| vec![k, k * 3 % 101, k * 7]).collect();
+    let schema = TableSchema::new(["id", "ts", "amount"])
+        .with_value_column("amount")
+        .with_index("id_bt", "id", "B+")
+        .with_index("id_rxd", "id", "RXD")
+        .with_index("ts_rx", "ts", "RX");
+    let oracle = TableOracle::load(3, &records);
+    let mut table = Table::load(schema, &device, registry(), &records).expect("table builds");
+
+    // A batch that first does legitimate work (deltas land in RXD, rows
+    // land in the store) and then inserts a duplicate `id`, which the
+    // B+-tree rejects at rebuild time.
+    let poisoned = IngestBatch::new()
+        .insert(vec![500, 1, 10])
+        .delete(3)
+        .insert(vec![42, 2, 20]); // id 42 already exists → B+ rejects
+    let err = table.ingest(&poisoned).expect_err("B+ rejects duplicates");
+    let msg = err.to_string();
+    assert!(msg.contains("B+") || msg.contains("duplicate"), "{msg}");
+
+    // All-or-nothing: the pre-batch state is fully restored.
+    assert_eq!(table.row_count(), 128);
+    let stats = table.stats();
+    assert_eq!(stats.ingest_batches, 1);
+    assert_eq!(stats.rolled_back_batches, 1);
+    let probe = TableQuery::new()
+        .point("id", 3) // the delete rolled back: still present
+        .point("id", 500) // the insert rolled back: still absent
+        .point("id", 42)
+        .range("ts", 0, 100)
+        .fetch_values(true);
+    assert_matches_oracle(&table, &oracle, &[probe], "after rollback");
+
+    // A clean batch afterwards applies normally.
+    let ok = IngestBatch::new().delete(42).insert(vec![42, 9, 90]);
+    table.ingest(&ok).expect("clean batch applies");
+    assert_eq!(table.row_count(), 128);
+    let got = table
+        .query(&TableQuery::new().point("id", 42).fetch_values(true))
+        .unwrap();
+    assert_eq!(got.results[0].hit_count, 1);
+    assert_eq!(got.results[0].value_sum, 90);
+}
+
+#[test]
+fn durable_and_sharded_specs_serve_the_table() {
+    let device = Device::default_eval();
+    let dir = temp_dir("wal");
+    let _ = std::fs::remove_dir_all(&dir);
+    let spec = format!("RXD+wal:{}", dir.display());
+    let schema = TableSchema::new(["id", "ts", "amount"])
+        .with_value_column("amount")
+        .with_index("id_wal", "id", spec)
+        .with_index("ts_sharded", "ts", "RXD@2");
+    let records = table_records(3, 200, 256, 7);
+    let mut oracle = TableOracle::load(3, &records);
+    let mut table =
+        Table::load(schema.clone(), &device, registry(), &records).expect("table builds");
+    assert!(dir.exists(), "the WAL directory materialises");
+
+    let batches = ingest_batches(&TableWorkloadConfig {
+        key_domain: 256,
+        ..TableWorkloadConfig::uniform(3, 6, 16, 8)
+    });
+    for (bi, batch) in batches.iter().enumerate() {
+        table.ingest(batch).expect("batch applies");
+        oracle.apply_batch(batch);
+        let queries = table_queries(&TableQueryConfig {
+            queries: 10,
+            predicates_per_query: 2,
+            point_columns: vec!["id".into()],
+            range_columns: vec!["ts".into()],
+            key_domain: 256,
+            range_span: 24,
+            fetch_values: true,
+            seed: 40 + bi as u64,
+        });
+        assert_matches_oracle(&table, &oracle, &queries, "durable+sharded");
+    }
+
+    // Rebuilding the same schema at the same path must not recover the
+    // previous table's rows: the directory is table-private and wiped.
+    let fresh = Table::load(schema, &device, registry(), &[]).expect("rebuild at same path");
+    assert_eq!(fresh.row_count(), 0);
+    let out = fresh
+        .query(&TableQuery::new().point("id", records[0][0]))
+        .unwrap();
+    assert_eq!(out.results[0].hit_count, 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn forced_execution_matches_the_planner_and_validates_targets() {
+    let device = Device::default_eval();
+    let records = table_records(3, 300, 512, 9);
+    let table = Table::load(schema(), &device, registry(), &records).expect("table builds");
+
+    // Point-on-id queries can be forced through either id index; both
+    // must agree with the planner-chosen route.
+    for key in [records[0][0], records[10][0], 9999] {
+        let query = TableQuery::new().point("id", key).fetch_values(true);
+        let planned = table.query(&query).unwrap();
+        for index in ["id_ht", "id_rxd"] {
+            let forced = table.query_forced(&query, index).unwrap();
+            assert_eq!(forced.plan.routed_index(0), Some(index));
+            assert_eq!(
+                (forced.results[0].first_row, forced.results[0].hit_count),
+                (planned.results[0].first_row, planned.results[0].hit_count),
+                "forced {index} vs planned"
+            );
+        }
+    }
+
+    // Forcing an index that cannot serve the predicate is an error, not a
+    // silent fallback.
+    let range = TableQuery::new().range("ts", 0, 100);
+    assert!(table.query_forced(&range, "id_ht").is_err(), "wrong column");
+    let point = TableQuery::new().point("id", 1);
+    assert!(table.query_forced(&point, "ts_rx").is_err(), "wrong column");
+    assert!(table.query_forced(&point, "nope").is_err(), "unknown index");
+    // HT has no range capability even on its own column.
+    let id_range = TableQuery::new().range("id", 0, 100);
+    assert!(table.query_forced(&id_range, "id_ht").is_err());
+    let forced_range = table.query_forced(&id_range, "id_rxd").unwrap();
+    let planned_range = table.query(&id_range).unwrap();
+    assert_eq!(
+        forced_range.results[0].hit_count,
+        planned_range.results[0].hit_count
+    );
+}
+
+#[test]
+fn prefix_predicates_compile_to_ranges() {
+    let device = Device::default_eval();
+    let records: Vec<Vec<u64>> = (0..64u64).map(|k| vec![k, 0x40 + k, k]).collect();
+    let oracle = TableOracle::load(3, &records);
+    let table = Table::load(schema(), &device, registry(), &records).expect("table builds");
+    // prefix 0x1 over the low 6 bits of `ts` = the range [0x40, 0x7F].
+    let query = TableQuery::new()
+        .prefix("ts", 0x1, 6)
+        .prefix("id", 5, 0) // zero low bits = an exact point
+        .fetch_values(true);
+    let out = table.query(&query).unwrap();
+    assert_eq!(out.plan.routed_index(0), Some("ts_rx"));
+    let want = oracle.expected_query(table.schema(), &query);
+    assert_eq!(out.results[0].hit_count, want[0].hit_count);
+    assert_eq!(out.results[0].hit_count, 64); // 0x40..=0x7F covers all rows
+    assert_eq!((out.results[1].first_row, out.results[1].hit_count), (5, 1));
+}
+
+#[test]
+fn empty_tables_build_every_index_and_answer_misses() {
+    let device = Device::default_eval();
+    let table = Table::create(schema(), &device, registry()).expect("empty table builds");
+    assert_eq!(table.row_count(), 0);
+    let out = table
+        .query(
+            &TableQuery::new()
+                .point("id", 1)
+                .range("ts", 0, 1 << 10)
+                .fetch_values(true),
+        )
+        .unwrap();
+    assert!(out.results.iter().all(|r| r.hit_count == 0));
+
+    // fetch_values on a value-less schema is rejected up front.
+    let bare = TableSchema::new(["k"]).with_index("k_rx", "k", "RX");
+    let table = Table::create(bare, &device, registry()).expect("value-less table builds");
+    assert!(table
+        .query(&TableQuery::new().point("k", 1).fetch_values(true))
+        .is_err());
+    assert!(
+        table
+            .query(&TableQuery::new().point("k", 1))
+            .unwrap()
+            .results[0]
+            .hit_count
+            == 0
+    );
+}

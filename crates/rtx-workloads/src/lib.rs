@@ -18,7 +18,12 @@
 //!   (uniform and Zipf-skewed) for the dynamic-update layer,
 //! * [`truth`] — ground-truth answers (hit sets and value sums) computed
 //!   with plain hash maps, used to verify every index implementation —
-//!   including [`truth::DynamicOracle`] for dynamic workloads.
+//!   including [`truth::DynamicOracle`] for dynamic workloads,
+//! * [`tables`] — multi-column record streams, CDC
+//!   [`IngestBatch`](rtx_query::IngestBatch) generators, mixed
+//!   multi-predicate [`TableQuery`](rtx_query::TableQuery) streams, and
+//!   the scan-based [`tables::TableOracle`] that verifies the table
+//!   layer.
 //!
 //! All generators take an explicit seed and are fully deterministic so that
 //! experiments are reproducible.
@@ -26,6 +31,7 @@
 pub mod keyset;
 pub mod lookups;
 pub mod mixed;
+pub mod tables;
 pub mod truth;
 pub mod zipf;
 
@@ -34,5 +40,9 @@ pub use lookups::{
     point_lookups, point_lookups_with_hit_rate, point_lookups_zipf, range_lookups, split_batches,
 };
 pub use mixed::{apply_mixed_op, mixed_ops, MixedOp, MixedWorkloadConfig};
+pub use tables::{
+    ingest_batches, table_queries, table_records, TableOracle, TableQueryConfig,
+    TableWorkloadConfig,
+};
 pub use truth::{DynamicOracle, DynamicTruth, GroundTruth};
 pub use zipf::ZipfSampler;

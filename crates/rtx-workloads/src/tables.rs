@@ -1,0 +1,437 @@
+//! Multi-column table workloads and the table oracle.
+//!
+//! The table layer (`rtx-table`) needs workloads one level above the
+//! single-column generators: streams of multi-column records arriving as
+//! CDC [`IngestBatch`]es, mixed multi-predicate [`TableQuery`] traffic,
+//! and a naive reference — [`TableOracle`] — that answers any predicate
+//! by scanning its live records, following the exact rowID rules of the
+//! table's row store (bulk load occupies `0..n`, inserts take the next
+//! fresh rowID, deletes key on the primary column and leave holes,
+//! upserts delete-then-insert).
+//!
+//! Verification pairs a generated stream with the oracle: apply every
+//! batch to both the table and the oracle, and compare every query
+//! answer.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rtx_query::{
+    IngestBatch, IngestOp, LookupResult, Predicate, QueryOp, Record, TableQuery, TableSchema,
+};
+
+/// A scan-based reference table: live `(rowID, record)` entries kept in
+/// ascending rowID order.
+#[derive(Debug, Clone)]
+pub struct TableOracle {
+    columns: usize,
+    entries: Vec<(u32, Record)>,
+    next_row: u32,
+}
+
+impl TableOracle {
+    /// An empty oracle over `columns` columns.
+    pub fn new(columns: usize) -> Self {
+        TableOracle {
+            columns,
+            entries: Vec::new(),
+            next_row: 0,
+        }
+    }
+
+    /// An oracle bulk-loaded with `records` (rowIDs `0..records.len()`).
+    pub fn load(columns: usize, records: &[Record]) -> Self {
+        let mut oracle = TableOracle::new(columns);
+        for record in records {
+            oracle.insert(record);
+        }
+        oracle
+    }
+
+    fn insert(&mut self, record: &Record) {
+        assert_eq!(record.len(), self.columns, "record arity");
+        self.entries.push((self.next_row, record.clone()));
+        self.next_row += 1;
+    }
+
+    fn delete(&mut self, key: u64) {
+        self.entries.retain(|(_, record)| record[0] != key);
+    }
+
+    /// Applies one CDC operation under the table's rowID rules.
+    pub fn apply(&mut self, op: &IngestOp) {
+        match op {
+            IngestOp::Insert(record) => self.insert(record),
+            IngestOp::Delete(key) => self.delete(*key),
+            IngestOp::Upsert(record) => {
+                self.delete(record[0]);
+                self.insert(record);
+            }
+        }
+    }
+
+    /// Applies a whole batch in order.
+    pub fn apply_batch(&mut self, batch: &IngestBatch) {
+        for op in batch.ops() {
+            self.apply(op);
+        }
+    }
+
+    /// Number of live rows.
+    pub fn row_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// The live records in rowID order.
+    pub fn live_records(&self) -> Vec<Record> {
+        self.entries.iter().map(|(_, r)| r.clone()).collect()
+    }
+
+    /// Answers one predicate by scanning: smallest matching rowID,
+    /// match count, and (when `fetch` is set and the schema designates a
+    /// value column) the wrapping value sum.
+    pub fn expected(
+        &self,
+        schema: &TableSchema,
+        predicate: &Predicate,
+        fetch: bool,
+    ) -> LookupResult {
+        let column = schema
+            .column_position(predicate.column())
+            .expect("predicate on a schema column");
+        let value_column = schema
+            .value_column
+            .as_ref()
+            .map(|c| schema.column_position(c).expect("validated schema"));
+        let op = predicate.as_op();
+        let mut result = LookupResult::miss();
+        for (row, record) in &self.entries {
+            let key = record[column];
+            let hit = match op {
+                QueryOp::Point(query) => key == query,
+                QueryOp::Range(lower, upper) => lower <= key && key <= upper,
+            };
+            if hit {
+                result.first_row = result.first_row.min(*row);
+                result.hit_count += 1;
+                if fetch {
+                    if let Some(vc) = value_column {
+                        result.value_sum = result.value_sum.wrapping_add(record[vc]);
+                    }
+                }
+            }
+        }
+        result
+    }
+
+    /// Answers a whole query, one result per predicate.
+    pub fn expected_query(&self, schema: &TableSchema, query: &TableQuery) -> Vec<LookupResult> {
+        query
+            .predicates()
+            .iter()
+            .map(|p| self.expected(schema, p, query.fetches_values()))
+            .collect()
+    }
+}
+
+/// Shape of a generated CDC record stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableWorkloadConfig {
+    /// Columns per record (the first is the primary column).
+    pub columns: usize,
+    /// Number of [`IngestBatch`]es to generate.
+    pub batches: usize,
+    /// Operations per batch.
+    pub ops_per_batch: usize,
+    /// Relative weight of inserts.
+    pub insert_weight: f64,
+    /// Relative weight of deletes.
+    pub delete_weight: f64,
+    /// Relative weight of upserts.
+    pub upsert_weight: f64,
+    /// Every column value is drawn from `0..key_domain`.
+    pub key_domain: u64,
+    /// Stream seed.
+    pub seed: u64,
+}
+
+impl TableWorkloadConfig {
+    /// An update-heavy default mix (50% inserts, 30% deletes, 20%
+    /// upserts) over `columns`-wide records.
+    pub fn uniform(columns: usize, batches: usize, ops_per_batch: usize, seed: u64) -> Self {
+        TableWorkloadConfig {
+            columns,
+            batches,
+            ops_per_batch,
+            insert_weight: 0.5,
+            delete_weight: 0.3,
+            upsert_weight: 0.2,
+            key_domain: 1 << 12,
+            seed,
+        }
+    }
+}
+
+/// Deterministic multi-column records for a bulk load: `rows` records of
+/// `columns` values each, every value uniform in `0..key_domain`.
+pub fn table_records(columns: usize, rows: usize, key_domain: u64, seed: u64) -> Vec<Record> {
+    assert!(columns > 0 && key_domain > 0);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5441_424C_4552_4543);
+    (0..rows)
+        .map(|_| (0..columns).map(|_| rng.gen_range(0..key_domain)).collect())
+        .collect()
+}
+
+/// Generates the CDC stream described by `config`: a sequence of
+/// [`IngestBatch`]es whose deletes and upserts naturally mix hits (keys
+/// inserted earlier) and misses.
+pub fn ingest_batches(config: &TableWorkloadConfig) -> Vec<IngestBatch> {
+    assert!(config.columns > 0, "records need at least one column");
+    assert!(
+        config.batches > 0 && config.ops_per_batch > 0,
+        "the stream needs at least one operation"
+    );
+    assert!(config.key_domain > 0, "the key domain must be non-empty");
+    let weights = [
+        config.insert_weight,
+        config.delete_weight,
+        config.upsert_weight,
+    ];
+    assert!(
+        weights.iter().all(|w| *w >= 0.0) && weights.iter().sum::<f64>() > 0.0,
+        "operation weights must be non-negative and not all zero"
+    );
+    let total_weight: f64 = weights.iter().sum();
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0x494E_4745_5354_4344);
+    let record = |rng: &mut StdRng| -> Record {
+        (0..config.columns)
+            .map(|_| rng.gen_range(0..config.key_domain))
+            .collect()
+    };
+    (0..config.batches)
+        .map(|_| {
+            let mut batch = IngestBatch::new();
+            for _ in 0..config.ops_per_batch {
+                let mut pick = rng.gen_range(0.0..total_weight);
+                let mut kind = weights.len() - 1;
+                for (i, w) in weights.iter().enumerate() {
+                    if pick < *w {
+                        kind = i;
+                        break;
+                    }
+                    pick -= w;
+                }
+                batch = match kind {
+                    0 => batch.insert(record(&mut rng)),
+                    1 => batch.delete(rng.gen_range(0..config.key_domain)),
+                    _ => batch.upsert(record(&mut rng)),
+                };
+            }
+            batch
+        })
+        .collect()
+}
+
+/// Shape of a generated multi-predicate query stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableQueryConfig {
+    /// Number of queries.
+    pub queries: usize,
+    /// Predicates per query.
+    pub predicates_per_query: usize,
+    /// Columns receiving point predicates (empty disables points).
+    pub point_columns: Vec<String>,
+    /// Columns receiving range predicates (empty disables ranges).
+    pub range_columns: Vec<String>,
+    /// Keys are drawn from `0..key_domain`.
+    pub key_domain: u64,
+    /// Span of generated ranges (`upper = lower + span - 1`).
+    pub range_span: u64,
+    /// Whether queries fetch value sums.
+    pub fetch_values: bool,
+    /// Stream seed.
+    pub seed: u64,
+}
+
+/// Generates the mixed point+range query stream described by `config`,
+/// alternating evenly between point and range predicates (columns drawn
+/// uniformly from the respective lists).
+pub fn table_queries(config: &TableQueryConfig) -> Vec<TableQuery> {
+    assert!(
+        config.queries > 0 && config.predicates_per_query > 0,
+        "the stream needs at least one predicate"
+    );
+    assert!(
+        !config.point_columns.is_empty() || !config.range_columns.is_empty(),
+        "at least one predicate column list must be non-empty"
+    );
+    assert!(config.key_domain > 0 && config.range_span >= 1);
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0x5459_5051_5245_4453);
+    (0..config.queries)
+        .map(|_| {
+            let mut query = TableQuery::new().fetch_values(config.fetch_values);
+            for _ in 0..config.predicates_per_query {
+                let want_point = if config.range_columns.is_empty() {
+                    true
+                } else if config.point_columns.is_empty() {
+                    false
+                } else {
+                    rng.gen_range(0..2u32) == 0
+                };
+                if want_point {
+                    let column =
+                        &config.point_columns[rng.gen_range(0..config.point_columns.len())];
+                    query = query.point(column.clone(), rng.gen_range(0..config.key_domain));
+                } else {
+                    let column =
+                        &config.range_columns[rng.gen_range(0..config.range_columns.len())];
+                    let max_lower = config.key_domain.saturating_sub(config.range_span);
+                    let lower = rng.gen_range(0..config.key_domain).min(max_lower);
+                    query = query.range(column.clone(), lower, lower + config.range_span - 1);
+                }
+            }
+            query
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtx_query::MISS;
+
+    fn schema() -> TableSchema {
+        TableSchema::new(["id", "ts", "amount"]).with_value_column("amount")
+    }
+
+    #[test]
+    fn oracle_follows_table_rowid_rules() {
+        let records: Vec<Record> = vec![vec![1, 10, 100], vec![2, 20, 200], vec![1, 30, 300]];
+        let mut oracle = TableOracle::load(3, &records);
+        assert_eq!(oracle.row_count(), 3);
+
+        let point = |key| Predicate::Point {
+            column: "id".into(),
+            key,
+        };
+        let r = oracle.expected(&schema(), &point(1), true);
+        assert_eq!((r.first_row, r.hit_count, r.value_sum), (0, 2, 400));
+
+        // Delete keys on the primary column; rowIDs of survivors persist.
+        oracle.apply(&IngestOp::Delete(1));
+        let r = oracle.expected(&schema(), &point(2), false);
+        assert_eq!((r.first_row, r.hit_count), (1, 1));
+        // Inserts take fresh rowIDs past everything ever allocated.
+        oracle.apply(&IngestOp::Insert(vec![5, 50, 500]));
+        let r = oracle.expected(&schema(), &point(5), false);
+        assert_eq!(r.first_row, 3);
+        // Upsert = delete all copies + one fresh insert.
+        oracle.apply(&IngestOp::Upsert(vec![2, 60, 600]));
+        let r = oracle.expected(&schema(), &point(2), true);
+        assert_eq!((r.first_row, r.hit_count, r.value_sum), (4, 1, 600));
+        // Misses and ranges.
+        assert_eq!(oracle.expected(&schema(), &point(9), false).first_row, MISS);
+        let range = Predicate::Range {
+            column: "ts".into(),
+            lower: 50,
+            upper: 60,
+        };
+        let r = oracle.expected(&schema(), &range, true);
+        assert_eq!((r.hit_count, r.value_sum), (2, 1100));
+    }
+
+    #[test]
+    fn ingest_streams_are_deterministic_and_mixed() {
+        let config = TableWorkloadConfig::uniform(3, 20, 16, 11);
+        let batches = ingest_batches(&config);
+        assert_eq!(batches.len(), 20);
+        assert!(batches.iter().all(|b| b.len() == 16));
+        assert_eq!(batches, ingest_batches(&config));
+        let kinds: std::collections::HashSet<&str> = batches
+            .iter()
+            .flat_map(|b| b.ops().iter().map(|op| op.kind()))
+            .collect();
+        assert_eq!(kinds.len(), 3, "all op kinds appear: {kinds:?}");
+
+        // Arity matches the configured column count.
+        for batch in &batches {
+            for op in batch.ops() {
+                if let IngestOp::Insert(r) | IngestOp::Upsert(r) = op {
+                    assert_eq!(r.len(), 3);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn query_streams_respect_column_lists_and_domains() {
+        let config = TableQueryConfig {
+            queries: 50,
+            predicates_per_query: 3,
+            point_columns: vec!["id".into()],
+            range_columns: vec!["ts".into()],
+            key_domain: 256,
+            range_span: 16,
+            fetch_values: true,
+            seed: 5,
+        };
+        let queries = table_queries(&config);
+        assert_eq!(queries.len(), 50);
+        assert_eq!(queries, table_queries(&config));
+        let mut points = 0usize;
+        let mut ranges = 0usize;
+        for q in &queries {
+            assert_eq!(q.len(), 3);
+            assert!(q.fetches_values());
+            for p in q.predicates() {
+                match p {
+                    Predicate::Point { column, key } => {
+                        assert_eq!(column, "id");
+                        assert!(*key < 256);
+                        points += 1;
+                    }
+                    Predicate::Range {
+                        column,
+                        lower,
+                        upper,
+                    } => {
+                        assert_eq!(column, "ts");
+                        assert!(lower <= upper && *upper < 256 + config.range_span);
+                        assert_eq!(upper - lower + 1, config.range_span);
+                        ranges += 1;
+                    }
+                    Predicate::Prefix { .. } => unreachable!(),
+                }
+            }
+        }
+        assert!(points > 0 && ranges > 0, "{points} points, {ranges} ranges");
+
+        // Single-kind configurations stay single-kind.
+        let only_points = table_queries(&TableQueryConfig {
+            range_columns: Vec::new(),
+            ..config.clone()
+        });
+        assert!(only_points
+            .iter()
+            .flat_map(|q| q.predicates())
+            .all(|p| matches!(p, Predicate::Point { .. })));
+    }
+
+    #[test]
+    fn oracle_tracks_a_generated_stream() {
+        let records = table_records(3, 64, 128, 3);
+        assert_eq!(records, table_records(3, 64, 128, 3));
+        let mut oracle = TableOracle::load(3, &records);
+        for batch in ingest_batches(&TableWorkloadConfig {
+            key_domain: 128,
+            ..TableWorkloadConfig::uniform(3, 10, 8, 4)
+        }) {
+            oracle.apply_batch(&batch);
+        }
+        // The stream deletes and inserts; the oracle stays consistent.
+        let live = oracle.live_records();
+        assert_eq!(live.len(), oracle.row_count());
+        let q = TableQuery::new().range("id", 0, 127).fetch_values(false);
+        let got = oracle.expected_query(&schema(), &q);
+        assert_eq!(got[0].hit_count as usize, live.len());
+    }
+}

@@ -57,6 +57,7 @@
 //! | [`rtx_workloads`] | workload generators and ground-truth oracles |
 //! | [`rtx_shard`] | the sharded execution layer: partition any backend, scatter/gather batches |
 //! | [`rtx_serve`] | the concurrent query service: cross-client coalescing, admission control, fenced writes |
+//! | [`rtx_table`] | the multi-index table layer: SoA row store, transactional CDC ingest, cost-based planner |
 //! | [`rtx_harness`] | the experiment harness reproducing every table and figure |
 //!
 //! ## Sharding
@@ -109,6 +110,37 @@
 //! assert_eq!(service.stats().submitted_batches, 8);
 //! ```
 //!
+//! ## Tables & planning
+//!
+//! A [`Table`] owns a multi-column row store plus any number of named
+//! indexes built from per-column registry specs; CDC [`IngestBatch`]es
+//! apply transactionally across all of them, and a cost-based planner
+//! routes each [`TableQuery`] predicate to the cheapest eligible index
+//! (recording its reasoning in an [`ExplainPlan`]):
+//!
+//! ```
+//! use std::sync::Arc;
+//! use rtindex::{registry, Device, IngestBatch, Table, TableQuery, TableSchema};
+//!
+//! let schema = TableSchema::new(["id", "ts", "amount"])
+//!     .with_value_column("amount")
+//!     .with_index("id_ht", "id", "HT")     // points → hash table
+//!     .with_index("ts_rx", "ts", "RX");    // ranges → raytracing index
+//! let records: Vec<Vec<u64>> = (0..512).map(|k| vec![k, k * 3, k * 7]).collect();
+//! let mut table =
+//!     Table::load(schema, &Device::default_eval(), Arc::new(registry()), &records).unwrap();
+//!
+//! table
+//!     .ingest(&IngestBatch::new().upsert(vec![7, 9999, 70]).delete(8))
+//!     .unwrap();
+//! let out = table
+//!     .query(&TableQuery::new().point("id", 7).range("ts", 0, 300).fetch_values(true))
+//!     .unwrap();
+//! assert_eq!(out.plan.routed_index(0), Some("id_ht"));
+//! assert_eq!(out.plan.routed_index(1), Some("ts_rx"));
+//! assert_eq!(out.results[0].value_sum, 70);
+//! ```
+//!
 //! ## Dynamic updates
 //!
 //! The `"RXD"` backend layers a mutable delta (GPU hash buffer + tombstones)
@@ -143,6 +175,7 @@ pub use rtx_math;
 pub use rtx_query;
 pub use rtx_serve;
 pub use rtx_shard;
+pub use rtx_table;
 pub use rtx_workloads;
 
 // The most commonly used items, flattened for convenience.
@@ -158,13 +191,16 @@ pub use rtx_delta::{
 pub use rtx_durable::{DurableConfig, DurableIndex, FsyncPolicy};
 pub use rtx_harness::registry;
 pub use rtx_query::{
-    Capabilities, DurableStats, FusedBatch, IndexError, IndexSpec, MemoryUsage, Partitioning,
-    QueryBatch, QueryOutcome, Registry, SecondaryIndex, ShardSpec, UpdatableIndex,
+    Capabilities, DurableStats, ExplainPlan, FusedBatch, IndexDef, IndexError, IndexSpec,
+    IngestBatch, IngestOp, MemoryUsage, Partitioning, Predicate, QueryBatch, QueryOutcome, Record,
+    Registry, Route, SecondaryIndex, ShardSpec, TableQuery, TableSchema, UpdatableIndex,
 };
 pub use rtx_serve::{
-    ClientHandle, PendingQuery, QueryService, ServeError, ServiceConfig, ServiceStats,
+    ClientHandle, PendingQuery, PendingTableQuery, QueryService, RetryPolicy, ServeError,
+    ServiceConfig, ServiceStats, TableClient, TableService,
 };
 pub use rtx_shard::{install_sharding, HashPartitioner, RangePartitioner, ShardedIndex};
+pub use rtx_table::{IngestReport, Planner, Table, TableOutcome, TableStats};
 
 #[cfg(test)]
 mod tests {

@@ -1,0 +1,226 @@
+//! Property-based tests of the multi-index table layer: random CDC streams
+//! and mixed queries against the [`TableOracle`], including a capped stub
+//! backend that starts rejecting rebuilds mid-stream to exercise the
+//! all-or-nothing rollback path.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use rtindex::gpu_baselines::{register_baselines, GpuIndexAdapter, WarpHashTable};
+use rtindex::rtindex_core::register_rx;
+use rtindex::rtx_delta::register_dynamic;
+use rtindex::{
+    Device, DynamicRtConfig, IndexError, IngestBatch, IngestOp, Registry, RtIndexConfig,
+    SecondaryIndex, Table, TableQuery, TableSchema,
+};
+use rtx_workloads::TableOracle;
+
+/// The registry every table here builds from: the baselines, RX and RXD.
+fn registry() -> Registry {
+    let mut registry = Registry::new();
+    register_baselines(&mut registry);
+    register_rx(&mut registry, RtIndexConfig::default());
+    register_dynamic(
+        &mut registry,
+        DynamicRtConfig::default().with_rx(RtIndexConfig::default()),
+    );
+    registry
+}
+
+/// Registers `"CAP"`: a hash-table stub that refuses to (re)build over more
+/// than `cap` keys, turning table growth into a mid-stream rejection.
+fn register_capped(registry: &mut Registry, cap: usize) {
+    registry.register("CAP", move |spec| {
+        if spec.keys.len() > cap {
+            return Err(IndexError::UnsupportedKeySet {
+                backend: "CAP".into(),
+                reason: format!(
+                    "{} keys exceed the stub's capacity of {cap}",
+                    spec.keys.len()
+                ),
+            });
+        }
+        let inner = WarpHashTable::build(spec.device, spec.keys)?;
+        Ok(Box::new(GpuIndexAdapter::new(inner, spec)) as Box<dyn SecondaryIndex>)
+    });
+}
+
+/// The three-index schema used throughout: points land on the hash
+/// backends, `ts` ranges on RX.
+fn schema() -> TableSchema {
+    TableSchema::new(["id", "ts", "amount"])
+        .with_value_column("amount")
+        .with_index("id_ht", "id", "HT")
+        .with_index("ts_rx", "ts", "RX")
+        .with_index("id_rxd", "id", "RXD")
+}
+
+/// Decodes a generated `(kind, key, ts, amount)` tuple into a CDC op.
+fn decode_op(op: &(u8, u64, u64, u64)) -> IngestOp {
+    let &(kind, key, ts, amount) = op;
+    match kind % 3 {
+        0 => IngestOp::Insert(vec![key, ts, amount]),
+        1 => IngestOp::Delete(key),
+        _ => IngestOp::Upsert(vec![key, ts, amount]),
+    }
+}
+
+fn decode_batch(ops: &[(u8, u64, u64, u64)]) -> IngestBatch {
+    ops.iter()
+        .fold(IngestBatch::new(), |batch, op| batch.push(decode_op(op)))
+}
+
+/// Builds the mixed point + range queries for one generated tuple.
+fn decode_query(&(pk, rlo, rw): &(u64, u64, u64)) -> TableQuery {
+    TableQuery::new()
+        .point("id", pk)
+        .range("ts", rlo, rlo + rw)
+        .fetch_values(true)
+}
+
+/// Asserts the table answers `query` exactly as the oracle does.
+fn assert_oracle_exact(table: &Table, oracle: &TableOracle, query: &TableQuery) {
+    let out = table.query(query).expect("planned query");
+    let expected = oracle.expected_query(table.schema(), query);
+    assert_eq!(out.results.len(), expected.len());
+    for (i, (got, want)) in out.results.iter().zip(&expected).enumerate() {
+        assert_eq!(got.first_row, want.first_row, "predicate {i}");
+        assert_eq!(got.hit_count, want.hit_count, "predicate {i}");
+        assert_eq!(got.value_sum, want.value_sum, "predicate {i}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random CDC streams keep a three-index table oracle-exact: after every
+    /// batch, mixed point + range queries answer exactly what a scan of the
+    /// oracle's live rows answers, and the `ts` range routes to RX.
+    #[test]
+    fn prop_cdc_stream_stays_oracle_exact(
+        records in prop::collection::vec((0u64..64, 0u64..256, 0u64..100), 0..32),
+        batches in prop::collection::vec(
+            prop::collection::vec((0u8..3, 0u64..64, 0u64..256, 0u64..100), 1..8),
+            1..5,
+        ),
+        queries in prop::collection::vec((0u64..80, 0u64..300, 0u64..48), 1..4),
+    ) {
+        let device = Device::default_eval();
+        let records: Vec<Vec<u64>> =
+            records.iter().map(|&(k, t, a)| vec![k, t, a]).collect();
+        let mut table =
+            Table::load(schema(), &device, Arc::new(registry()), &records).expect("load");
+        let mut oracle = TableOracle::load(3, &records);
+
+        for ops in &batches {
+            let batch = decode_batch(ops);
+            table.ingest(&batch).expect("cdc batch");
+            oracle.apply_batch(&batch);
+            prop_assert_eq!(table.row_count(), oracle.row_count());
+            for q in &queries {
+                let query = decode_query(q);
+                assert_oracle_exact(&table, &oracle, &query);
+                let plan = table.explain(&query).expect("explain");
+                prop_assert_eq!(plan.routed_index(1), Some("ts_rx"));
+            }
+        }
+    }
+
+    /// With a capped stub as a fourth index, batches that grow the table past
+    /// the cap are rejected mid-stream — and every rejection rolls the row
+    /// store and all four indexes back to a state that still answers
+    /// oracle-exactly.
+    #[test]
+    fn prop_rejected_batches_roll_back_atomically(
+        records in prop::collection::vec((0u64..48, 0u64..256, 0u64..100), 0..12),
+        batches in prop::collection::vec(
+            prop::collection::vec((0u8..3, 0u64..48, 0u64..256, 0u64..100), 1..10),
+            2..6,
+        ),
+        queries in prop::collection::vec((0u64..64, 0u64..300, 0u64..48), 1..3),
+    ) {
+        let device = Device::default_eval();
+        let mut registry = registry();
+        register_capped(&mut registry, 16);
+        let schema = schema().with_index("id_cap", "id", "CAP");
+        let records: Vec<Vec<u64>> = records
+            .iter()
+            .map(|&(k, t, a)| vec![k, t, a])
+            .take(16) // the initial build itself must fit under the cap
+            .collect();
+        let mut table =
+            Table::load(schema, &device, Arc::new(registry), &records).expect("load");
+        let mut oracle = TableOracle::load(3, &records);
+
+        for ops in &batches {
+            let batch = decode_batch(ops);
+            let before = table.row_count();
+            match table.ingest(&batch) {
+                // Accepted: the oracle follows.
+                Ok(_) => oracle.apply_batch(&batch),
+                // Rejected: the table must be exactly where it was.
+                Err(err) => {
+                    prop_assert!(err.to_string().contains("capacity"), "{}", err);
+                    prop_assert_eq!(table.row_count(), before);
+                }
+            }
+            prop_assert_eq!(table.row_count(), oracle.row_count());
+            for q in &queries {
+                assert_oracle_exact(&table, &oracle, &decode_query(q));
+            }
+        }
+    }
+}
+
+/// Deterministic companion: a stream that *must* cross the cap mid-way is
+/// rejected exactly at the boundary, the rollback restores the pre-batch
+/// answers, and a shrinking batch is accepted again afterwards.
+#[test]
+fn capped_stub_rejects_mid_stream_then_recovers() {
+    let device = Device::default_eval();
+    let mut registry = registry();
+    register_capped(&mut registry, 12);
+    let schema = schema().with_index("id_cap", "id", "CAP");
+    let records: Vec<Vec<u64>> = (0..10u64).map(|k| vec![k, k * 2, k * 3]).collect();
+    let mut table = Table::load(schema, &device, Arc::new(registry), &records).expect("load");
+    let mut oracle = TableOracle::load(3, &records);
+
+    // Batch 1 (10 -> 12 rows) fits exactly; batch 2 (12 -> 14) must reject.
+    let growing = |base: u64| {
+        IngestBatch::new()
+            .insert(vec![base, base, base])
+            .insert(vec![base + 1, base + 1, base + 1])
+    };
+    table.ingest(&growing(100)).expect("fits under the cap");
+    oracle.apply_batch(&growing(100));
+
+    let err = table.ingest(&growing(200)).expect_err("over the cap");
+    assert!(err.to_string().contains("capacity"), "{err}");
+    assert_eq!(table.row_count(), oracle.row_count());
+    assert_eq!(table.stats().rolled_back_batches, 1);
+
+    // The rolled-back rows are invisible everywhere, including the value sum.
+    let probe = TableQuery::new()
+        .point("id", 200)
+        .range("ts", 0, 512)
+        .fetch_values(true);
+    let out = table.query(&probe).expect("post-rollback query");
+    let expected = oracle.expected_query(table.schema(), &probe);
+    assert!(!out.results[0].is_hit(), "rolled-back insert must be gone");
+    assert_eq!(out.results[1].hit_count, expected[1].hit_count);
+    assert_eq!(out.results[1].value_sum, expected[1].value_sum);
+
+    // Shrink below the cap and the table accepts writes again.
+    let shrink = IngestBatch::new()
+        .delete(0)
+        .delete(1)
+        .insert(vec![300, 300, 300]);
+    table.ingest(&shrink).expect("fits again after the deletes");
+    oracle.apply_batch(&shrink);
+    assert_eq!(table.row_count(), oracle.row_count());
+    let out = table.query(&probe).expect("recovered query");
+    assert_eq!(
+        out.results[1].hit_count,
+        oracle.expected_query(table.schema(), &probe)[1].hit_count
+    );
+}
