@@ -110,7 +110,7 @@ impl<T: GpuIndex> SecondaryIndex for GpuIndexAdapter<T> {
             .range_lookup_batch(&self.device, ranges, self.values(fetch))
             .map(convert)
             .ok_or_else(|| IndexError::UnsupportedOperation {
-                backend: self.name().to_string(),
+                backend: self.name().to_string().into(),
                 operation: "range lookups",
             })
     }

@@ -71,7 +71,7 @@ impl std::error::Error for BPlusTreeError {}
 impl From<BPlusTreeError> for rtx_query::IndexError {
     fn from(err: BPlusTreeError) -> Self {
         rtx_query::IndexError::UnsupportedKeySet {
-            backend: "B+".to_string(),
+            backend: "B+".to_string().into(),
             reason: err.to_string(),
         }
     }

@@ -75,7 +75,7 @@ impl WarpHashTable {
         let start = std::time::Instant::now();
         if keys.len() as u64 >= MISS as u64 {
             return Err(IndexError::CapacityOverflow {
-                backend: "HT".to_string(),
+                backend: "HT".to_string().into(),
                 keys: keys.len(),
                 limit: MISS as u64 - 1,
             });

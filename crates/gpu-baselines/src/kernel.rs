@@ -38,26 +38,18 @@ where
         let l2 = device.spec().l2_bytes;
         let chunks: Vec<&mut [BaselineLookupResult]> = results.chunks_mut(chunk).collect();
 
-        let partials = crossbeam::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(workers);
-            for (w, out_chunk) in chunks.into_iter().enumerate() {
-                let body = &body;
-                handles.push(scope.spawn(move |_| {
-                    let start_idx = w * chunk;
-                    let mut ctx = ThreadCtx::new();
-                    let mut classifier = AccessClassifier::new(l2, working_set_bytes);
-                    for (j, slot) in out_chunk.iter_mut().enumerate() {
-                        *slot = body(&mut ctx, &mut classifier, start_idx + j);
-                    }
-                    ctx.stats
-                }));
+        // Runs on the shared gpu-device worker pool: each claimant owns one
+        // contiguous result chunk, mirroring a CUDA block writing its slice
+        // of the output buffer.
+        let partials = gpu_device::parallel_map(chunks, |w, out_chunk| {
+            let start_idx = w * chunk;
+            let mut ctx = ThreadCtx::new();
+            let mut classifier = AccessClassifier::new(l2, working_set_bytes);
+            for (j, slot) in out_chunk.iter_mut().enumerate() {
+                *slot = body(&mut ctx, &mut classifier, start_idx + j);
             }
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("baseline lookup worker panicked"))
-                .collect::<Vec<_>>()
-        })
-        .expect("baseline lookup scope panicked");
+            ctx.stats
+        });
 
         for p in partials {
             merged.merge(&p);

@@ -37,7 +37,7 @@ impl SortedArray {
         let start = std::time::Instant::now();
         if keys.len() as u64 >= MISS as u64 {
             return Err(IndexError::CapacityOverflow {
-                backend: "SA".to_string(),
+                backend: "SA".to_string().into(),
                 keys: keys.len(),
                 limit: MISS as u64 - 1,
             });

@@ -12,14 +12,18 @@
 //! [`parallel_tasks`] and [`parallel_map`] — so that callers above the kernel
 //! layer (the sharded execution layer, the simulated pipeline) reuse the same
 //! width policy and scheduling instead of re-implementing scoped-thread
-//! plumbing per call site. Note that each call spawns its own scoped workers
-//! (bounded by [`worker_count`]); there is no process-global pool, so
-//! *nested* calls — a sharded batch whose shards each launch kernels —
-//! multiply and may oversubscribe the machine up to `worker_count²` threads.
-//! The OS scheduler keeps that work-conserving, but for timing-sensitive
-//! runs bound the width explicitly via `RTX_WORKERS`.
+//! plumbing per call site. The helpers run on one **persistent, process-wide
+//! pool** of parked worker threads: a call publishes its fan-out to the pool,
+//! participates in draining it from the calling thread, and blocks until
+//! every task has finished. Spawning threads per call — the previous
+//! design — cost tens of microseconds per submission and dominated the
+//! host query path (a sharded execute fans out twice: once per shard, once
+//! per kernel chunk). With the shared pool a fan-out costs two mutex
+//! acquisitions and at most `worker_count - 1` futex wakes. Each call's
+//! *width* is still bounded by [`worker_count`] (so `RTX_WORKERS` keeps
+//! timing runs reproducible); nested calls draw helpers from the same pool
+//! and degrade to inline execution instead of oversubscribing the machine.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use crate::profiler::KernelStats;
@@ -99,16 +103,222 @@ pub fn worker_count() -> usize {
         .min(DEFAULT_WORKER_CAP)
 }
 
-/// Runs `tasks` independent jobs on the worker pool and returns their
-/// results in task order.
+/// The persistent helper-thread pool behind [`parallel_tasks`].
+///
+/// A fan-out lives on the **submitting thread's stack**; only a raw pointer
+/// to it travels through the pool's queue. Soundness rests on a strict
+/// protocol:
+///
+/// 1. a worker may dereference a queued pointer only while holding the
+///    queue lock (the submitter cannot have returned: it must take that
+///    same lock to retract its entry before unwinding its stack);
+/// 2. a worker that wants to help *attaches* (bumps `attached`) under the
+///    queue lock, and the submitter blocks until `attached == 0` **and**
+///    every claimed task has finished before returning;
+/// 3. every task body — on workers and on the submitter — runs under
+///    `catch_unwind`, so an unwinding stack can never race a helper that
+///    still borrows it; the first panic payload is re-thrown by the
+///    submitter once the fan-out has fully quiesced.
+mod pool {
+    use std::collections::VecDeque;
+    use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Condvar, Mutex, OnceLock};
+
+    /// One published fan-out: `run(i)` for every `i in 0..tasks`, claimed
+    /// via an atomic cursor by the submitter and any attached helpers.
+    struct Fanout {
+        /// The type-erased task body, borrowed from the submitter's stack
+        /// (lifetime upheld by the attach/retract protocol above).
+        run: *const (dyn Fn(usize) + Sync),
+        tasks: usize,
+        /// Next unclaimed task index (may overshoot `tasks`).
+        next: AtomicUsize,
+        /// Tasks that have finished running (panicked ones included).
+        finished: AtomicUsize,
+        /// Helper slots still open — `worker_count() - 1` at submission, so
+        /// the configured width bounds each call's concurrency.
+        helper_slots: AtomicUsize,
+        /// Helpers currently attached (mutated under `gate`).
+        attached: Mutex<usize>,
+        /// Wakes the submitter when the last task finishes or the last
+        /// helper detaches.
+        quiesced: Condvar,
+        /// First panic payload observed by any claimant.
+        panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    }
+
+    /// Queue entry. The raw pointer is only dereferenced under the pool
+    /// queue lock or after attaching — see the module protocol.
+    struct FanoutPtr(*const Fanout);
+    unsafe impl Send for FanoutPtr {}
+
+    struct Pool {
+        queue: Mutex<VecDeque<FanoutPtr>>,
+        work: Condvar,
+    }
+
+    impl Fanout {
+        /// Claims and runs tasks until the cursor is exhausted, recording
+        /// completions and capturing the first panic.
+        fn drain(&self) {
+            let run = unsafe { &*self.run };
+            loop {
+                let i = self.next.fetch_add(1, Ordering::Relaxed);
+                if i >= self.tasks {
+                    return;
+                }
+                if let Err(payload) = catch_unwind(AssertUnwindSafe(|| run(i))) {
+                    let mut slot = self.panic.lock().expect("panic slot poisoned");
+                    slot.get_or_insert(payload);
+                }
+                let done = self.finished.fetch_add(1, Ordering::AcqRel) + 1;
+                if done == self.tasks {
+                    // Lock-then-notify so a submitter between its check and
+                    // its wait cannot miss the wakeup.
+                    let _gate = self.attached.lock().expect("fanout gate poisoned");
+                    self.quiesced.notify_all();
+                }
+            }
+        }
+    }
+
+    /// The process-wide pool, spawned on first use with one thread per
+    /// available core (bounded by the worker cap). Threads park on the
+    /// queue condvar and live for the rest of the process.
+    fn pool() -> &'static Pool {
+        static POOL: OnceLock<&'static Pool> = OnceLock::new();
+        POOL.get_or_init(|| {
+            let pool: &'static Pool = Box::leak(Box::new(Pool {
+                queue: Mutex::new(VecDeque::new()),
+                work: Condvar::new(),
+            }));
+            let threads = std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+                .min(super::MAX_WORKERS);
+            for i in 0..threads {
+                std::thread::Builder::new()
+                    .name(format!("gpu-pool-{i}"))
+                    .spawn(move || worker_loop(pool))
+                    .expect("spawn pool worker");
+            }
+            pool
+        })
+    }
+
+    fn worker_loop(pool: &'static Pool) {
+        let mut queue = pool.queue.lock().expect("pool queue poisoned");
+        loop {
+            // Find a fan-out worth helping: pop entries whose tasks are all
+            // claimed or whose helper slots are spent, attach to the first
+            // live one (deref is sound: we hold the queue lock).
+            let fanout = loop {
+                match queue.front() {
+                    None => break None,
+                    Some(entry) => {
+                        let fanout = unsafe { &*entry.0 };
+                        if fanout.next.load(Ordering::Relaxed) >= fanout.tasks
+                            || fanout
+                                .helper_slots
+                                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |s| {
+                                    s.checked_sub(1)
+                                })
+                                .is_err()
+                        {
+                            queue.pop_front();
+                            continue;
+                        }
+                        *fanout.attached.lock().expect("fanout gate poisoned") += 1;
+                        break Some(fanout);
+                    }
+                }
+            };
+            let Some(fanout) = fanout else {
+                queue = pool.work.wait(queue).expect("pool queue poisoned");
+                continue;
+            };
+            drop(queue);
+
+            fanout.drain();
+            {
+                let mut attached = fanout.attached.lock().expect("fanout gate poisoned");
+                *attached -= 1;
+                fanout.quiesced.notify_all();
+                // The notify happens under the gate: once the submitter
+                // observes `attached == 0` this helper no longer touches
+                // the fan-out.
+            }
+
+            queue = pool.queue.lock().expect("pool queue poisoned");
+        }
+    }
+
+    /// Publishes `run` over `0..tasks` to the pool, drains it from the
+    /// calling thread alongside at most `width - 1` pool helpers, and
+    /// returns once every task has finished. Panics in any task are
+    /// re-thrown here after the fan-out has quiesced.
+    pub(super) fn run_fanout(tasks: usize, width: usize, run: &(dyn Fn(usize) + Sync)) {
+        // Erase the borrow's lifetime for storage in the queue; the
+        // attach/retract protocol guarantees no claimant outlives the call.
+        let run: &'static (dyn Fn(usize) + Sync) =
+            unsafe { std::mem::transmute::<&_, &'static _>(run) };
+        let fanout = Fanout {
+            run,
+            tasks,
+            next: AtomicUsize::new(0),
+            finished: AtomicUsize::new(0),
+            helper_slots: AtomicUsize::new(width.saturating_sub(1)),
+            attached: Mutex::new(0),
+            quiesced: Condvar::new(),
+            panic: Mutex::new(None),
+        };
+        let pool = pool();
+        {
+            let mut queue = pool.queue.lock().expect("pool queue poisoned");
+            queue.push_back(FanoutPtr(&fanout));
+        }
+        for _ in 0..width.saturating_sub(1) {
+            pool.work.notify_one();
+        }
+
+        fanout.drain();
+
+        // Retract the queue entry (if no helper consumed it) so no new
+        // helper can attach, then wait for the attached ones to finish.
+        {
+            let mut queue = pool.queue.lock().expect("pool queue poisoned");
+            let this = &fanout as *const Fanout;
+            queue.retain(|entry| !std::ptr::eq(entry.0, this));
+        }
+        {
+            let mut attached = fanout.attached.lock().expect("fanout gate poisoned");
+            while *attached != 0 || fanout.finished.load(Ordering::Acquire) != fanout.tasks {
+                attached = fanout
+                    .quiesced
+                    .wait(attached)
+                    .expect("fanout gate poisoned");
+            }
+        }
+        let payload = fanout.panic.lock().expect("panic slot poisoned").take();
+        if let Some(payload) = payload {
+            resume_unwind(payload);
+        }
+    }
+}
+
+/// Runs `tasks` independent jobs on the shared worker pool and returns
+/// their results in task order.
 ///
 /// At most [`worker_count`] jobs run concurrently *per call*; remaining
-/// jobs are pulled from a shared counter as workers free up, so
+/// jobs are pulled from a shared counter as claimants free up, so
 /// heterogeneous task costs balance dynamically (important when tasks are
 /// per-shard sub-batches of very different sizes). With a single worker —
 /// or a single task — the jobs run inline on the calling thread without
-/// spawning. Nested calls each spawn their own scoped workers (see the
-/// module docs on oversubscription).
+/// touching the pool. The calling thread always participates in draining
+/// its own fan-out, so a call makes progress even when every pool thread
+/// is busy; nested calls therefore compose without deadlock (they simply
+/// degrade toward inline execution under pool pressure).
 pub fn parallel_tasks<R, F>(tasks: usize, run: F) -> Vec<R>
 where
     R: Send,
@@ -123,21 +333,10 @@ where
     }
 
     let results: Vec<Mutex<Option<R>>> = (0..tasks).map(|_| Mutex::new(None)).collect();
-    let next = AtomicUsize::new(0);
-    crossbeam::thread::scope(|scope| {
-        for _ in 0..workers {
-            let (results, next, run) = (&results, &next, &run);
-            scope.spawn(move |_| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= tasks {
-                    break;
-                }
-                let r = run(i);
-                *results[i].lock().expect("task slot poisoned") = Some(r);
-            });
-        }
-    })
-    .expect("task scope panicked");
+    pool::run_fanout(tasks, workers, &|i| {
+        let r = run(i);
+        *results[i].lock().expect("task slot poisoned") = Some(r);
+    });
 
     results
         .into_iter()

@@ -133,7 +133,7 @@ impl From<RtIndexError> for rtx_query::IndexError {
     fn from(err: RtIndexError) -> Self {
         match err {
             RtIndexError::KeyOutOfRange { .. } => rtx_query::IndexError::UnsupportedKeySet {
-                backend: "RX".to_string(),
+                backend: "RX".to_string().into(),
                 reason: err.to_string(),
             },
             RtIndexError::ValueColumnLengthMismatch { expected, actual } => {
@@ -144,12 +144,12 @@ impl From<RtIndexError> for rtx_query::IndexError {
                 requested,
                 limit,
             } => rtx_query::IndexError::CapacityOverflow {
-                backend: "RX".to_string(),
+                backend: "RX".to_string().into(),
                 keys: requested as usize,
                 limit: limit.saturating_sub(allocated),
             },
             other => rtx_query::IndexError::Backend {
-                backend: "RX".to_string(),
+                backend: "RX".to_string().into(),
                 message: other.to_string(),
             },
         }

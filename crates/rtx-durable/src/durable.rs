@@ -27,8 +27,9 @@
 use std::path::{Path, PathBuf};
 
 use rtx_query::{
-    BatchOutcome, Capabilities, DurableStats, IndexBuildMetrics, IndexError, IndexSpec,
-    MemoryUsage, QueryBatch, QueryOutcome, Registry, SecondaryIndex, UpdatableIndex, UpdateReport,
+    BatchOutcome, Capabilities, DurableStats, ExecArena, IndexBuildMetrics, IndexError, IndexSpec,
+    MemoryUsage, QueryBatch, QueryOps, QueryOutcome, Registry, SecondaryIndex, UpdatableIndex,
+    UpdateReport,
 };
 
 use crate::config::DurableConfig;
@@ -124,7 +125,7 @@ impl DurableIndex {
         let (snapshot, snapshot_bytes) = read_latest_snapshot(dir)
             .map_err(|e| io_err(&label, e))?
             .ok_or_else(|| IndexError::Backend {
-                backend: label.clone(),
+                backend: label.clone().into(),
                 message: format!("no intact snapshot found in {}", dir.display()),
             })?;
         let (keys, values) = snapshot.columns();
@@ -263,7 +264,7 @@ impl DurableIndex {
             .inner
             .checkpoint_rows()
             .ok_or_else(|| IndexError::Backend {
-                backend: self.label.clone(),
+                backend: self.label.clone().into(),
                 message: "index did not reach a clean state after compaction; cannot snapshot"
                     .to_string(),
             })?;
@@ -449,6 +450,22 @@ impl SecondaryIndex for DurableIndex {
     /// preserved rather than flattened through the chunk hooks.
     fn execute(&self, batch: &QueryBatch) -> Result<QueryOutcome, IndexError> {
         self.inner.execute(batch)
+    }
+
+    fn execute_in(
+        &self,
+        batch: &QueryBatch,
+        arena: &mut ExecArena,
+    ) -> Result<QueryOutcome, IndexError> {
+        self.inner.execute_in(batch, arena)
+    }
+
+    fn execute_ops_in(
+        &self,
+        ops: &QueryOps,
+        arena: &mut ExecArena,
+    ) -> Result<QueryOutcome, IndexError> {
+        self.inner.execute_ops_in(ops, arena)
     }
 }
 

@@ -62,7 +62,7 @@ use record::{put_u32, Reader};
 /// Converts an I/O failure into the backend error of the durable wrapper.
 pub(crate) fn io_err(label: &str, e: io::Error) -> IndexError {
     IndexError::Backend {
-        backend: label.to_string(),
+        backend: label.to_string().into(),
         message: format!("I/O error: {e}"),
     }
 }
@@ -100,7 +100,7 @@ pub fn open_or_create(
         .durability
         .as_ref()
         .ok_or_else(|| IndexError::Backend {
-            backend: label.clone(),
+            backend: label.clone().into(),
             message: "the spec carries no durability path (use the \"+wal:<path>\" name \
                       production or IndexSpec::with_durability)"
                 .to_string(),
@@ -112,7 +112,7 @@ pub fn open_or_create(
         Some(meta) => {
             if !spec.keys.is_empty() {
                 return Err(IndexError::Backend {
-                    backend: label,
+                    backend: label.into(),
                     message: format!(
                         "refusing to rebuild over existing durable state at {}; reopen with \
                          empty build columns (the snapshot + WAL are the truth) or point the \
@@ -123,7 +123,7 @@ pub fn open_or_create(
             }
             if meta.base != base {
                 return Err(IndexError::Backend {
-                    backend: label,
+                    backend: label.into(),
                     message: format!(
                         "durable state at {} belongs to backend {:?}, not {:?}",
                         dir.display(),

@@ -37,9 +37,9 @@ use std::sync::Arc;
 
 use gpu_device::executor::parallel_map;
 use rtx_query::{
-    BatchOutcome, Capabilities, DurableStats, IndexBuildMetrics, IndexError, IndexSpec,
-    MemoryUsage, QueryBatch, QueryOutcome, Registry, SecondaryIndex, ShardSpec, UpdatableIndex,
-    UpdateReport, MISS,
+    BatchOutcome, Capabilities, DurableStats, ExecArena, IndexBuildMetrics, IndexError, IndexSpec,
+    MemoryUsage, QueryBatch, QueryOps, QueryOutcome, Registry, SecondaryIndex, ShardSpec,
+    UpdatableIndex, UpdateReport, MISS,
 };
 use rtx_shard::{RouterConfig, ShardedIndex};
 
@@ -100,7 +100,7 @@ impl ShardedDurableIndex {
     ) -> Result<Self, IndexError> {
         let label = durable_label(base);
         let shard_spec = ShardSpec::parse(base).ok_or_else(|| IndexError::Backend {
-            backend: label.clone(),
+            backend: label.clone().into(),
             message: format!("{base:?} is not a sharded spec"),
         })?;
         let inner = ShardedIndex::build_updatable(registry, &shard_spec, spec)?;
@@ -108,7 +108,7 @@ impl ShardedDurableIndex {
         let shard_rows = inner
             .shard_checkpoint_rows()
             .ok_or_else(|| IndexError::Backend {
-                backend: label.clone(),
+                backend: label.clone().into(),
                 message: "freshly built shards are not in a clean state; cannot snapshot"
                     .to_string(),
             })?;
@@ -151,7 +151,7 @@ impl ShardedDurableIndex {
     ) -> Result<Self, IndexError> {
         let label = durable_label(base);
         let shard_spec = ShardSpec::parse(base).ok_or_else(|| IndexError::Backend {
-            backend: label.clone(),
+            backend: label.clone().into(),
             message: format!("{base:?} is not a sharded spec"),
         })?;
 
@@ -161,7 +161,7 @@ impl ShardedDurableIndex {
         let (root, _) = read_latest_snapshot(&dir.join(ROOT_SUBDIR))
             .map_err(|e| io_err(&label, e))?
             .ok_or_else(|| IndexError::Backend {
-                backend: label.clone(),
+                backend: label.clone().into(),
                 message: format!("no intact root checkpoint in {}", dir.display()),
             })?;
         let (journal, commits) = WriteAheadLog::open(&dir.join(JOURNAL_SUBDIR), &config, None)
@@ -244,7 +244,7 @@ impl ShardedDurableIndex {
     fn check_capacity(&self, incoming: usize) -> Result<(), IndexError> {
         if self.inner.next_row() + incoming as u64 >= MISS as u64 {
             return Err(IndexError::CapacityOverflow {
-                backend: self.label.clone(),
+                backend: self.label.clone().into(),
                 keys: incoming,
                 limit: (MISS as u64 - 1).saturating_sub(self.inner.next_row()),
             });
@@ -360,7 +360,7 @@ impl ShardedDurableIndex {
             .inner
             .shard_checkpoint_rows()
             .ok_or_else(|| IndexError::Backend {
-                backend: self.label.clone(),
+                backend: self.label.clone().into(),
                 message: "shards did not reach a clean state after compaction; cannot snapshot"
                     .to_string(),
             })?;
@@ -443,14 +443,14 @@ fn recover_shard(
     let (snapshot, _) = read_latest_snapshot(dir)
         .map_err(|e| io_err(&label, e))?
         .ok_or_else(|| IndexError::Backend {
-            backend: label.clone(),
+            backend: label.clone().into(),
             message: format!("no intact shard snapshot in {}", dir.display()),
         })?;
     let snapshot_globals = snapshot
         .globals
         .clone()
         .ok_or_else(|| IndexError::Backend {
-            backend: label.clone(),
+            backend: label.clone().into(),
             message: "shard snapshot carries no global rowIDs".to_string(),
         })?;
     let (keys, values) = snapshot.columns();
@@ -536,7 +536,7 @@ fn require_globals<'a>(
     label: &str,
 ) -> Result<&'a [u32], IndexError> {
     globals.as_deref().ok_or_else(|| IndexError::Backend {
-        backend: label.to_string(),
+        backend: label.to_string().into(),
         message: "per-shard insert record carries no global rowIDs".to_string(),
     })
 }
@@ -615,6 +615,22 @@ impl SecondaryIndex for ShardedDurableIndex {
     /// execution, global rowID translation).
     fn execute(&self, batch: &QueryBatch) -> Result<QueryOutcome, IndexError> {
         self.inner.execute(batch)
+    }
+
+    fn execute_in(
+        &self,
+        batch: &QueryBatch,
+        arena: &mut ExecArena,
+    ) -> Result<QueryOutcome, IndexError> {
+        self.inner.execute_in(batch, arena)
+    }
+
+    fn execute_ops_in(
+        &self,
+        ops: &QueryOps,
+        arena: &mut ExecArena,
+    ) -> Result<QueryOutcome, IndexError> {
+        self.inner.execute_ops_in(ops, arena)
     }
 }
 

@@ -150,6 +150,186 @@ impl QueryBatch {
     }
 }
 
+/// Structure-of-arrays layout of a mixed lookup stream.
+///
+/// A [`QueryBatch`] stores one `QueryOp` enum per operation, which the
+/// executor must regroup into homogeneous point/range runs on every
+/// execution. `QueryOps` does that regrouping **once, at build/fuse time**:
+/// point keys and range bounds live in separate dense vectors, and the
+/// original submission order is kept in a packed order-tag bitmap (bit set =
+/// range). Executors consume the dense vectors directly; result scatter uses
+/// the bitmap to walk slots in submission order without touching an enum.
+///
+/// All mutators work in place so a service can keep one `QueryOps` alive and
+/// [`clear`](QueryOps::clear) it between submissions — steady state
+/// re-fusing allocates nothing.
+///
+/// ```
+/// use rtx_query::{QueryBatch, QueryOps, QueryOp};
+///
+/// let mut ops = QueryOps::new();
+/// ops.push_point(7);
+/// ops.push_range(10, 19);
+/// ops.append_batch(&QueryBatch::new().points([1, 2]));
+/// assert_eq!(ops.len(), 4);
+/// assert_eq!(ops.points(), &[7, 1, 2]);
+/// assert_eq!(ops.ranges(), &[(10, 19)]);
+/// assert_eq!(ops.iter().nth(1), Some(QueryOp::Range(10, 19)));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct QueryOps {
+    points: Vec<u64>,
+    ranges: Vec<(u64, u64)>,
+    /// Packed order tags: bit `i % 64` of word `i / 64` is set when the
+    /// operation at submission slot `i` is a range lookup.
+    tags: Vec<u64>,
+    len: usize,
+    fetch_values: bool,
+    chunk_size: Option<usize>,
+}
+
+impl QueryOps {
+    /// An empty op stream.
+    pub fn new() -> Self {
+        QueryOps::default()
+    }
+
+    /// Builds the SoA layout from an enum-stream batch in one pass.
+    pub fn from_batch(batch: &QueryBatch) -> Self {
+        let mut ops = QueryOps::new();
+        ops.append_batch(batch);
+        ops.fetch_values = batch.fetches_values();
+        ops.chunk_size = batch.chunk_size();
+        ops
+    }
+
+    fn push_tag(&mut self, is_range: bool) {
+        let word = self.len / 64;
+        if word == self.tags.len() {
+            self.tags.push(0);
+        }
+        if is_range {
+            self.tags[word] |= 1u64 << (self.len % 64);
+        }
+        self.len += 1;
+    }
+
+    /// Appends one point lookup at the next submission slot.
+    pub fn push_point(&mut self, key: u64) {
+        self.points.push(key);
+        self.push_tag(false);
+    }
+
+    /// Appends one inclusive range lookup at the next submission slot.
+    pub fn push_range(&mut self, lower: u64, upper: u64) {
+        self.ranges.push((lower, upper));
+        self.push_tag(true);
+    }
+
+    /// Appends every operation of `batch`, preserving its order — the fuse
+    /// primitive, mirroring [`QueryBatch::append_ops`]. Only the operations
+    /// are taken; `batch`'s fetch/chunk settings are the caller's to
+    /// reconcile.
+    pub fn append_batch(&mut self, batch: &QueryBatch) {
+        for op in batch.ops() {
+            match *op {
+                QueryOp::Point(key) => self.push_point(key),
+                QueryOp::Range(lower, upper) => self.push_range(lower, upper),
+            }
+        }
+    }
+
+    /// Empties the stream, keeping every buffer's capacity.
+    pub fn clear(&mut self) {
+        self.points.clear();
+        self.ranges.clear();
+        self.tags.clear();
+        self.len = 0;
+    }
+
+    /// Sets the value-fetch flag in place.
+    pub fn set_fetch_values(&mut self, fetch: bool) {
+        self.fetch_values = fetch;
+    }
+
+    /// Sets the per-launch chunk bound in place (0 = unbounded).
+    pub fn set_chunk_size(&mut self, chunk_size: usize) {
+        self.chunk_size = (chunk_size > 0).then_some(chunk_size);
+    }
+
+    /// The point keys, dense, in submission order among points.
+    pub fn points(&self) -> &[u64] {
+        &self.points
+    }
+
+    /// The inclusive range bounds, dense, in submission order among ranges.
+    pub fn ranges(&self) -> &[(u64, u64)] {
+        &self.ranges
+    }
+
+    /// True when the operation at submission slot `slot` is a range lookup.
+    pub fn is_range(&self, slot: usize) -> bool {
+        debug_assert!(slot < self.len);
+        self.tags[slot / 64] & (1u64 << (slot % 64)) != 0
+    }
+
+    /// Total number of operations.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the stream holds no operation.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of point lookups.
+    pub fn point_count(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Number of range lookups.
+    pub fn range_count(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// Whether a value fetch was requested.
+    pub fn fetches_values(&self) -> bool {
+        self.fetch_values
+    }
+
+    /// The configured chunk size, or `None` for unbounded launches.
+    pub fn chunk_size(&self) -> Option<usize> {
+        self.chunk_size
+    }
+
+    /// The operations in submission order, re-materialized as enums.
+    pub fn iter(&self) -> impl Iterator<Item = QueryOp> + '_ {
+        let mut points = self.points.iter();
+        let mut ranges = self.ranges.iter();
+        (0..self.len).map(move |slot| {
+            if self.is_range(slot) {
+                let &(lower, upper) = ranges.next().expect("tag bitmap out of sync");
+                QueryOp::Range(lower, upper)
+            } else {
+                QueryOp::Point(*points.next().expect("tag bitmap out of sync"))
+            }
+        })
+    }
+
+    /// Rebuilds an enum-stream [`QueryBatch`] (a compatibility escape hatch
+    /// for callers that still speak the AoS layout; allocates).
+    pub fn to_batch(&self) -> QueryBatch {
+        let mut batch = QueryBatch {
+            ops: Vec::with_capacity(self.len),
+            fetch_values: self.fetch_values,
+            chunk_size: self.chunk_size,
+        };
+        batch.ops.extend(self.iter());
+        batch
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -198,5 +378,66 @@ mod tests {
     fn chunk_size_zero_means_unbounded() {
         assert_eq!(QueryBatch::new().with_chunk_size(0).chunk_size(), None);
         assert_eq!(QueryBatch::new().with_chunk_size(7).chunk_size(), Some(7));
+    }
+
+    #[test]
+    fn soa_round_trips_mixed_streams() {
+        let batch = QueryBatch::new()
+            .range(5, 9)
+            .point(1)
+            .ranges([(0, 0), (2, 4)])
+            .points([8, 9])
+            .fetch_values(true)
+            .with_chunk_size(3);
+        let ops = QueryOps::from_batch(&batch);
+        assert_eq!(ops.len(), 6);
+        assert_eq!(ops.point_count(), 3);
+        assert_eq!(ops.range_count(), 3);
+        assert_eq!(ops.points(), &[1, 8, 9]);
+        assert_eq!(ops.ranges(), &[(5, 9), (0, 0), (2, 4)]);
+        assert!(ops.is_range(0) && !ops.is_range(1) && ops.is_range(3));
+        assert!(ops.fetches_values());
+        assert_eq!(ops.chunk_size(), Some(3));
+        assert_eq!(ops.iter().collect::<Vec<_>>(), batch.ops());
+        assert_eq!(ops.to_batch(), batch);
+    }
+
+    #[test]
+    fn soa_tag_bitmap_spans_words() {
+        let mut ops = QueryOps::new();
+        for i in 0..200u64 {
+            if i % 3 == 0 {
+                ops.push_range(i, i + 1);
+            } else {
+                ops.push_point(i);
+            }
+        }
+        assert_eq!(ops.len(), 200);
+        for slot in 0..200 {
+            assert_eq!(ops.is_range(slot), slot % 3 == 0, "slot {slot}");
+        }
+        let cap_before = ops.points.capacity();
+        ops.clear();
+        assert!(ops.is_empty());
+        assert_eq!(ops.points.capacity(), cap_before, "clear keeps capacity");
+        // Refill after clear re-derives tags from scratch.
+        ops.push_point(42);
+        ops.push_range(1, 2);
+        assert!(!ops.is_range(0) && ops.is_range(1));
+        assert_eq!(
+            ops.iter().collect::<Vec<_>>(),
+            &[QueryOp::Point(42), QueryOp::Range(1, 2)]
+        );
+    }
+
+    #[test]
+    fn soa_in_place_settings() {
+        let mut ops = QueryOps::new();
+        ops.set_fetch_values(true);
+        ops.set_chunk_size(0);
+        assert!(ops.fetches_values());
+        assert_eq!(ops.chunk_size(), None);
+        ops.set_chunk_size(16);
+        assert_eq!(ops.chunk_size(), Some(16));
     }
 }

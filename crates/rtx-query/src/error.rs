@@ -1,8 +1,14 @@
 //! The unified error type of the backend-agnostic query API.
 
+use std::sync::Arc;
+
 /// Errors reported when building or querying a secondary index through the
 /// unified API. Backend-native error types convert into this one (each
 /// backend crate provides the `From` impl for its own error).
+///
+/// Backend names are carried as `Arc<str>`: services intern their backend's
+/// name once and hot rejection paths (admission control, unsupported-traffic
+/// prechecks) clone a pointer instead of a `String`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum IndexError {
     /// The registry holds no builder under the requested name.
@@ -19,7 +25,7 @@ pub enum IndexError {
     /// inapplicable baselines from its experiments.
     UnsupportedKeySet {
         /// Backend that rejected the key set.
-        backend: String,
+        backend: Arc<str>,
         /// Human-readable reason.
         reason: String,
     },
@@ -27,7 +33,7 @@ pub enum IndexError {
     /// lookups on the hash table).
     UnsupportedOperation {
         /// Backend that rejected the operation.
-        backend: String,
+        backend: Arc<str>,
         /// The rejected operation.
         operation: &'static str,
     },
@@ -35,7 +41,7 @@ pub enum IndexError {
     /// exhaust the 32-bit rowID space or overflow a capacity computation).
     CapacityOverflow {
         /// Backend that rejected the build.
-        backend: String,
+        backend: Arc<str>,
         /// Number of keys submitted.
         keys: usize,
         /// The largest supported key count.
@@ -52,13 +58,13 @@ pub enum IndexError {
     /// value column.
     NoValueColumn {
         /// Backend the batch was submitted to.
-        backend: String,
+        backend: Arc<str>,
     },
     /// A backend-specific failure that has no structured representation in
     /// the unified API.
     Backend {
         /// Backend that failed.
-        backend: String,
+        backend: Arc<str>,
         /// The backend's error message.
         message: String,
     },

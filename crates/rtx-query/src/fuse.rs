@@ -4,10 +4,24 @@
 //! The paper's index wins by amortising fixed per-launch costs over large
 //! batches, but service traffic arrives as many *small* per-client
 //! submissions. [`FusedBatch`] is the pure bookkeeping for coalescing them:
-//! it concatenates client batches while remembering each client's slice
-//! (offset, length, whether that client asked for a value fetch), exposes
-//! the fused [`QueryBatch`], and [`split`](FusedBatch::split)s the fused
-//! [`QueryOutcome`] back into one [`BatchOutcome`] per client.
+//! it concatenates client batches — directly into the SoA [`QueryOps`]
+//! layout the executor consumes, so the enum stream is regrouped exactly
+//! once, at fuse time — while remembering each client's slice (offset,
+//! length, whether that client asked for a value fetch), and scatters the
+//! fused [`QueryOutcome`] back per client.
+//!
+//! Two scatter flavours exist:
+//!
+//! * [`split`](FusedBatch::split) — one owned [`BatchOutcome`] per client
+//!   (copies every client's result slice; the original coalescer path);
+//! * [`split_shared`](FusedBatch::split_shared) — one [`SharedOutcome`] per
+//!   client: an `Arc` of the *whole* fused outcome plus that client's
+//!   [`FusedSlice`] view. Nothing is copied on the coalescer thread; each
+//!   client materializes (or just reads) its own slice on its own thread.
+//!
+//! A service holds one `FusedBatch` for its whole lifetime and
+//! [`clear`](FusedBatch::clear)s it between cycles — steady-state fusion
+//! allocates nothing.
 //!
 //! Fusion and splitting are deliberately free of threads and channels — the
 //! concurrent service in `rtx-serve` layers those on top — so the
@@ -15,13 +29,15 @@
 //! alone`) is testable in isolation and holds on every backend.
 //!
 //! Value-fetch semantics: the fused batch requests a value fetch when *any*
-//! fused client did, and the split zeroes `value_sum` for the slices that
+//! fused client did, and the scatter zeroes `value_sum` for the slices that
 //! did not ask — exactly what those clients would have received submitting
 //! alone. A caller fusing value-fetching batches must therefore ensure the
 //! backend has a value column (the service checks this at admission).
 
-use crate::batch::QueryBatch;
-use crate::types::{BatchOutcome, QueryOutcome};
+use std::sync::Arc;
+
+use crate::batch::{QueryBatch, QueryOps};
+use crate::types::{BatchOutcome, LookupResult, QueryOutcome};
 
 /// One client's slice of a [`FusedBatch`]: where its operations landed in
 /// the fused submission and what it asked for.
@@ -35,8 +51,8 @@ pub struct FusedSlice {
     pub fetch_values: bool,
 }
 
-/// Accumulates client [`QueryBatch`]es into one fused submission and splits
-/// the fused outcome back per client.
+/// Accumulates client [`QueryBatch`]es into one fused SoA submission and
+/// splits the fused outcome back per client.
 ///
 /// ```
 /// use rtx_query::{FusedBatch, QueryBatch};
@@ -46,15 +62,12 @@ pub struct FusedSlice {
 /// let b = fusion.push(&QueryBatch::of_points(&[1, 2, 3]).fetch_values(true));
 /// assert_eq!((a, b), (0, 1));
 /// assert_eq!(fusion.op_count(), 5);
-/// assert!(fusion.batch().fetches_values(), "any client fetching => fused fetch");
+/// assert!(fusion.ops().fetches_values(), "any client fetching => fused fetch");
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct FusedBatch {
-    batch: QueryBatch,
+    ops: QueryOps,
     slices: Vec<FusedSlice>,
-    /// Total fused operations — survives [`take_batch`](FusedBatch::take_batch)
-    /// so a later [`split`](FusedBatch::split) can still check the outcome.
-    ops: usize,
 }
 
 impl FusedBatch {
@@ -64,21 +77,28 @@ impl FusedBatch {
     }
 
     /// Appends one client batch and returns its slice index (the position
-    /// its [`BatchOutcome`] will occupy in [`split`](FusedBatch::split)'s
-    /// result).
+    /// its outcome will occupy in [`split`](FusedBatch::split) /
+    /// [`split_shared`](FusedBatch::split_shared) results).
     pub fn push(&mut self, client: &QueryBatch) -> usize {
-        let offset = self.ops;
-        self.batch.append_ops(client);
-        if client.fetches_values() && !self.batch.fetches_values() {
-            self.batch = std::mem::take(&mut self.batch).fetch_values(true);
+        let offset = self.ops.len();
+        self.ops.append_batch(client);
+        if client.fetches_values() {
+            self.ops.set_fetch_values(true);
         }
-        self.ops += client.len();
         self.slices.push(FusedSlice {
             offset,
             len: client.len(),
             fetch_values: client.fetches_values(),
         });
         self.slices.len() - 1
+    }
+
+    /// Empties the fusion for the next coalescing cycle, keeping every
+    /// buffer's capacity (and resetting the fused value-fetch flag).
+    pub fn clear(&mut self) {
+        self.ops.clear();
+        self.ops.set_fetch_values(false);
+        self.slices.clear();
     }
 
     /// Number of fused client batches.
@@ -88,7 +108,7 @@ impl FusedBatch {
 
     /// Total operations across all fused clients.
     pub fn op_count(&self) -> usize {
-        self.ops
+        self.ops.len()
     }
 
     /// True when no client batch has been fused yet (an all-empty fusion of
@@ -102,25 +122,21 @@ impl FusedBatch {
         &self.slices
     }
 
-    /// The fused submission: every client's operations concatenated in push
-    /// order, fetching values when any client asked. Chunking is the
-    /// executor's policy, not the clients' — apply it via
-    /// [`QueryBatch::with_chunk_size`] after
-    /// [`take_batch`](FusedBatch::take_batch) (or on a clone of this).
-    pub fn batch(&self) -> &QueryBatch {
-        &self.batch
+    /// The fused submission in executor-ready SoA form: every client's
+    /// operations concatenated in push order, fetching values when any
+    /// client asked. Execute it via
+    /// [`SecondaryIndex::execute_ops_in`](crate::SecondaryIndex::execute_ops_in).
+    pub fn ops(&self) -> &QueryOps {
+        &self.ops
     }
 
-    /// Moves the fused submission out without copying its operations (the
-    /// executor's hot path — a fusion can hold tens of thousands of
-    /// operations). The slice bookkeeping stays valid: a later
-    /// [`split`](FusedBatch::split) of the taken batch's outcome works as
-    /// before; [`batch`](FusedBatch::batch) is empty afterwards.
-    pub fn take_batch(&mut self) -> QueryBatch {
-        std::mem::take(&mut self.batch)
+    /// Sets the per-launch chunk bound on the fused submission — chunking
+    /// is the executor's policy, not the clients' (0 = unbounded).
+    pub fn set_chunk_size(&mut self, chunk_size: usize) {
+        self.ops.set_chunk_size(chunk_size);
     }
 
-    /// Splits the outcome of executing the fused batch back into one
+    /// Splits the outcome of executing the fused batch back into one owned
     /// [`BatchOutcome`] per client, in push order. Slices that did not
     /// request a value fetch get their `value_sum`s zeroed (what they would
     /// have seen submitting alone). Every per-client outcome carries the
@@ -132,28 +148,114 @@ impl FusedBatch {
     /// Panics when `outcome` does not hold one result per fused operation
     /// (an executor bug, not a caller mistake).
     pub fn split(&self, outcome: &QueryOutcome) -> Vec<BatchOutcome> {
-        assert_eq!(
-            outcome.results.len(),
-            self.ops,
-            "fused outcome holds {} results for {} fused operations",
-            outcome.results.len(),
-            self.ops
-        );
+        self.check_len(outcome);
         self.slices
             .iter()
-            .map(|slice| {
-                let mut results = outcome.results[slice.offset..slice.offset + slice.len].to_vec();
-                if !slice.fetch_values {
-                    for r in &mut results {
-                        r.value_sum = 0;
-                    }
-                }
-                BatchOutcome {
-                    results,
-                    metrics: outcome.metrics.clone(),
-                }
+            .map(|slice| materialize_slice(outcome, *slice))
+            .collect()
+    }
+
+    /// Splits the fused outcome into zero-copy [`SharedOutcome`] views, one
+    /// per client in push order. The outcome is moved behind a single `Arc`;
+    /// each view pairs it with that client's [`FusedSlice`]. Nothing is
+    /// cloned here — result copies (if a client wants an owned
+    /// [`BatchOutcome`]) happen in [`SharedOutcome::materialize`], on the
+    /// client's own thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `outcome` does not hold one result per fused operation.
+    pub fn split_shared(&self, outcome: QueryOutcome) -> Vec<SharedOutcome> {
+        self.check_len(&outcome);
+        let outcome = Arc::new(outcome);
+        self.slices
+            .iter()
+            .map(|slice| SharedOutcome {
+                outcome: Arc::clone(&outcome),
+                slice: *slice,
             })
             .collect()
+    }
+
+    fn check_len(&self, outcome: &QueryOutcome) {
+        assert_eq!(
+            outcome.results.len(),
+            self.ops.len(),
+            "fused outcome holds {} results for {} fused operations",
+            outcome.results.len(),
+            self.ops.len()
+        );
+    }
+}
+
+/// One client's zero-copy view of a fused execution: the whole fused
+/// [`QueryOutcome`] behind a shared `Arc` plus the client's [`FusedSlice`].
+///
+/// The coalescer hands one of these per client over the reply channel —
+/// cloning an `Arc` and a 3-word slice descriptor instead of the client's
+/// result `Vec`. Clients read through [`results`](SharedOutcome::results)
+/// (zero-copy; `value_sum`s are only meaningful when the client fetched) or
+/// convert to an owned [`BatchOutcome`] with
+/// [`materialize`](SharedOutcome::materialize).
+#[derive(Debug, Clone)]
+pub struct SharedOutcome {
+    outcome: Arc<QueryOutcome>,
+    slice: FusedSlice,
+}
+
+impl SharedOutcome {
+    /// Wraps a whole (unfused) outcome as one client's view — the
+    /// uncoalesced fast path where a single client owns the execution.
+    pub fn whole(outcome: QueryOutcome, fetch_values: bool) -> Self {
+        let slice = FusedSlice {
+            offset: 0,
+            len: outcome.results.len(),
+            fetch_values,
+        };
+        SharedOutcome {
+            outcome: Arc::new(outcome),
+            slice,
+        }
+    }
+
+    /// The client's slice descriptor within the fused submission.
+    pub fn slice(&self) -> FusedSlice {
+        self.slice
+    }
+
+    /// The client's results, zero-copy. When the client did not request a
+    /// value fetch the `value_sum` fields may carry sums computed for *other*
+    /// fused clients — [`materialize`](SharedOutcome::materialize) strips
+    /// them; callers reading this view directly should ignore `value_sum`
+    /// unless [`slice().fetch_values`](SharedOutcome::slice) is set.
+    pub fn results(&self) -> &[LookupResult] {
+        &self.outcome.results[self.slice.offset..self.slice.offset + self.slice.len]
+    }
+
+    /// Launch metrics of the whole fused execution that answered this
+    /// client.
+    pub fn metrics(&self) -> &optix_sim::LaunchMetrics {
+        &self.outcome.metrics
+    }
+
+    /// Copies this client's slice into an owned [`BatchOutcome`], zeroing
+    /// `value_sum` when the client did not request a value fetch — identical
+    /// to what [`FusedBatch::split`] would have produced for this slice.
+    pub fn materialize(&self) -> BatchOutcome {
+        materialize_slice(&self.outcome, self.slice)
+    }
+}
+
+fn materialize_slice(outcome: &QueryOutcome, slice: FusedSlice) -> BatchOutcome {
+    let mut results = outcome.results[slice.offset..slice.offset + slice.len].to_vec();
+    if !slice.fetch_values {
+        for r in &mut results {
+            r.value_sum = 0;
+        }
+    }
+    BatchOutcome {
+        results,
+        metrics: outcome.metrics.clone(),
     }
 }
 
@@ -183,7 +285,7 @@ mod tests {
         assert_eq!(fusion.op_count(), 3);
         assert!(!fusion.is_empty());
         assert_eq!(
-            fusion.batch().ops(),
+            fusion.ops().iter().collect::<Vec<_>>(),
             &[QueryOp::Point(1), QueryOp::Range(5, 9), QueryOp::Point(7)]
         );
         assert_eq!(
@@ -206,17 +308,17 @@ mod tests {
                 },
             ]
         );
-        assert!(!fusion.batch().fetches_values());
+        assert!(!fusion.ops().fetches_values());
     }
 
     #[test]
     fn any_fetching_client_makes_the_fusion_fetch() {
         let mut fusion = FusedBatch::new();
         fusion.push(&QueryBatch::new().point(1));
-        assert!(!fusion.batch().fetches_values());
+        assert!(!fusion.ops().fetches_values());
         fusion.push(&QueryBatch::new().point(2).fetch_values(true));
         fusion.push(&QueryBatch::new().point(3));
-        assert!(fusion.batch().fetches_values());
+        assert!(fusion.ops().fetches_values());
         // The operations survived the flag change.
         assert_eq!(fusion.op_count(), 3);
     }
@@ -250,28 +352,62 @@ mod tests {
     }
 
     #[test]
-    fn take_batch_moves_ops_out_but_split_still_works() {
+    fn split_shared_views_agree_with_owned_split() {
         let mut fusion = FusedBatch::new();
-        fusion.push(&QueryBatch::new().point(1));
+        fusion.push(&QueryBatch::new().point(1).point(2)); // no fetch
+        fusion.push(&QueryBatch::new()); // empty client
         fusion.push(&QueryBatch::new().range(0, 9).fetch_values(true));
-        let fused = fusion.take_batch().with_chunk_size(4);
-        assert_eq!(fused.len(), 2);
-        assert!(fused.fetches_values());
-        assert!(fusion.batch().is_empty(), "the operations moved out");
-        assert_eq!(fusion.op_count(), 2, "the bookkeeping did not");
-        assert_eq!(fusion.client_count(), 2);
-
         let outcome = QueryOutcome {
-            results: vec![result(5, 1, 50), result(0, 10, 99)],
+            results: vec![result(0, 1, 10), result(MISS, 0, 0), result(2, 4, 99)],
+            metrics: optix_sim::LaunchMetrics {
+                simulated_time_s: 2.0,
+                ..Default::default()
+            },
+        };
+        let owned = fusion.split(&outcome);
+        let shared = fusion.split_shared(outcome);
+        assert_eq!(shared.len(), 3);
+        for (view, want) in shared.iter().zip(&owned) {
+            let got = view.materialize();
+            assert_eq!(got.results, want.results);
+            assert_eq!(view.results().len(), want.results.len());
+            assert_eq!(view.metrics().simulated_time_s, 2.0);
+        }
+        // The zero-copy view of the non-fetching client still exposes the
+        // raw fused sum; only materialize strips it.
+        assert_eq!(shared[0].results()[0].value_sum, 10);
+        assert_eq!(shared[0].materialize().results[0].value_sum, 0);
+        // One Arc shared across all three views.
+        assert_eq!(Arc::strong_count(&shared[0].outcome), 3);
+    }
+
+    #[test]
+    fn whole_outcome_wraps_without_fusion() {
+        let outcome = QueryOutcome {
+            results: vec![result(3, 1, 7)],
             ..Default::default()
         };
-        let per_client = fusion.split(&outcome);
-        assert_eq!(
-            per_client[0].results[0],
-            result(5, 1, 0),
-            "no fetch: stripped"
-        );
-        assert_eq!(per_client[1].results[0], result(0, 10, 99));
+        let view = SharedOutcome::whole(outcome, false);
+        assert_eq!(view.slice().len, 1);
+        assert_eq!(view.results()[0].first_row, 3);
+        assert_eq!(view.materialize().results[0].value_sum, 0, "no fetch");
+    }
+
+    #[test]
+    fn clear_resets_for_the_next_cycle_keeping_capacity() {
+        let mut fusion = FusedBatch::new();
+        fusion.push(&QueryBatch::of_points(&[1, 2, 3]).fetch_values(true));
+        fusion.set_chunk_size(2);
+        assert!(fusion.ops().fetches_values());
+        fusion.clear();
+        assert!(fusion.is_empty());
+        assert_eq!(fusion.op_count(), 0);
+        assert!(!fusion.ops().fetches_values(), "fetch flag resets");
+        assert_eq!(fusion.ops().chunk_size(), Some(2), "chunk policy persists");
+        // Refuse works after clear.
+        fusion.push(&QueryBatch::new().range(4, 5));
+        assert_eq!(fusion.op_count(), 1);
+        assert_eq!(fusion.slices()[0].offset, 0);
     }
 
     #[test]

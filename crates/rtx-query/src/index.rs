@@ -8,7 +8,8 @@
 
 use optix_sim::LaunchMetrics;
 
-use crate::batch::{QueryBatch, QueryOp};
+use crate::arena::ExecArena;
+use crate::batch::{QueryBatch, QueryOp, QueryOps};
 use crate::error::IndexError;
 use crate::types::{
     BatchOutcome, Capabilities, DurableStats, IndexBuildMetrics, MemoryUsage, QueryOutcome,
@@ -81,28 +82,38 @@ pub trait SecondaryIndex: Send + Sync {
     /// Executes a mixed batch: point and range lookups in one submission,
     /// with an optional value fetch.
     ///
-    /// The default implementation regroups the operations into homogeneous
-    /// runs, splits each run into chunks of at most
-    /// [`QueryBatch::chunk_size`] operations, executes the chunks through
-    /// the backend hooks, merges their metrics and scatters the per-chunk
-    /// results back into submission order.
+    /// Equivalent to [`execute_in`](SecondaryIndex::execute_in) with a
+    /// fresh throwaway [`ExecArena`]; callers on a hot path should hold an
+    /// arena and call `execute_in` directly to skip the per-submission
+    /// scratch allocations.
     fn execute(&self, batch: &QueryBatch) -> Result<QueryOutcome, IndexError> {
-        if batch.fetches_values() && !self.has_value_column() {
-            return Err(IndexError::NoValueColumn {
-                backend: self.name().to_string(),
-            });
-        }
+        self.execute_in(batch, &mut ExecArena::new())
+    }
 
-        let mut point_slots: Vec<usize> = Vec::new();
-        let mut point_keys: Vec<u64> = Vec::new();
-        let mut range_slots: Vec<usize> = Vec::new();
-        let mut range_bounds: Vec<(u64, u64)> = Vec::new();
+    /// Executes a mixed batch using caller-provided scratch.
+    ///
+    /// The default implementation regroups the operations into homogeneous
+    /// runs inside `arena` (cleared and refilled — reuse is always safe),
+    /// splits each run into chunks of at most [`QueryBatch::chunk_size`]
+    /// operations, executes the chunks through the backend hooks —
+    /// **concurrently** over the [`gpu_device`] worker pool when a run
+    /// splits into ≥ 2 chunks — then merges their metrics and scatters the
+    /// per-chunk results back into submission order. Scatter is by
+    /// submission slot, so concurrent chunk execution cannot reorder
+    /// results; chunk metrics are merged in chunk order so the outcome is
+    /// bit-identical to sequential execution.
+    fn execute_in(
+        &self,
+        batch: &QueryBatch,
+        arena: &mut ExecArena,
+    ) -> Result<QueryOutcome, IndexError> {
+        arena.clear();
         let mut has_range_op = false;
         for (slot, op) in batch.ops().iter().enumerate() {
             match *op {
                 QueryOp::Point(key) => {
-                    point_slots.push(slot);
-                    point_keys.push(key);
+                    arena.point_slots.push(slot);
+                    arena.point_keys.push(key);
                 }
                 QueryOp::Range(lower, upper) => {
                     has_range_op = true;
@@ -111,61 +122,155 @@ pub trait SecondaryIndex: Send + Sync {
                     // every backend instead of reaching backend-dependent
                     // handling.
                     if lower <= upper {
-                        range_slots.push(slot);
-                        range_bounds.push((lower, upper));
+                        arena.range_slots.push(slot);
+                        arena.range_bounds.push((lower, upper));
                     }
                 }
             }
         }
-        if has_range_op && !self.capabilities().range_lookups {
-            return Err(IndexError::UnsupportedOperation {
-                backend: self.name().to_string(),
-                operation: "range lookups",
-            });
-        }
-
-        let chunk = batch.chunk_size().unwrap_or(usize::MAX);
-        let fetch = batch.fetches_values();
-        let mut outcome = QueryOutcome {
-            // Pre-fill with misses so a (buggy) backend that under-reports
-            // can never leave a slot looking like a hit of rowID 0 — and
-            // under-reporting is caught below regardless.
-            results: vec![crate::types::LookupResult::miss(); batch.len()],
-            metrics: LaunchMetrics::default(),
-        };
-        scatter_chunks(self.name(), &point_slots, &mut outcome, chunk, |lo, hi| {
-            self.point_chunk(&point_keys[lo..hi], fetch)
-        })?;
-        scatter_chunks(self.name(), &range_slots, &mut outcome, chunk, |lo, hi| {
-            self.range_chunk(&range_bounds[lo..hi], fetch)
-        })?;
-        Ok(outcome)
+        execute_grouped(
+            self,
+            arena,
+            batch.len(),
+            has_range_op,
+            batch.fetches_values(),
+            batch.chunk_size(),
+        )
     }
+
+    /// Executes a pre-grouped SoA op stream ([`QueryOps`]) using
+    /// caller-provided scratch. Same semantics as
+    /// [`execute_in`](SecondaryIndex::execute_in); the dense point-key run
+    /// is copied into the arena wholesale and only the order-tag bitmap is
+    /// walked to derive the slot maps, so no per-op enum dispatch happens
+    /// on the execution path.
+    fn execute_ops_in(
+        &self,
+        ops: &QueryOps,
+        arena: &mut ExecArena,
+    ) -> Result<QueryOutcome, IndexError> {
+        arena.clear();
+        arena.point_keys.extend_from_slice(ops.points());
+        let bounds = ops.ranges();
+        let mut next_range = 0usize;
+        for slot in 0..ops.len() {
+            if ops.is_range(slot) {
+                let (lower, upper) = bounds[next_range];
+                next_range += 1;
+                // Inverted ranges stay pre-filled misses (see `execute_in`).
+                if lower <= upper {
+                    arena.range_slots.push(slot);
+                    arena.range_bounds.push((lower, upper));
+                }
+            } else {
+                arena.point_slots.push(slot);
+            }
+        }
+        execute_grouped(
+            self,
+            arena,
+            ops.len(),
+            ops.range_count() > 0,
+            ops.fetches_values(),
+            ops.chunk_size(),
+        )
+    }
+}
+
+/// The shared mixed-batch execution core: validates the request against the
+/// backend's capabilities, then runs the point and range runs grouped in
+/// `arena` and scatters their results into one submission-order outcome.
+fn execute_grouped<I: SecondaryIndex + ?Sized>(
+    index: &I,
+    arena: &ExecArena,
+    total_ops: usize,
+    has_range_op: bool,
+    fetch: bool,
+    chunk_size: Option<usize>,
+) -> Result<QueryOutcome, IndexError> {
+    if fetch && !index.has_value_column() {
+        return Err(IndexError::NoValueColumn {
+            backend: index.name().into(),
+        });
+    }
+    if has_range_op && !index.capabilities().range_lookups {
+        return Err(IndexError::UnsupportedOperation {
+            backend: index.name().into(),
+            operation: "range lookups",
+        });
+    }
+
+    let chunk = chunk_size.unwrap_or(usize::MAX);
+    let mut outcome = QueryOutcome {
+        // Pre-fill with misses so a (buggy) backend that under-reports
+        // can never leave a slot looking like a hit of rowID 0 — and
+        // under-reporting is caught below regardless.
+        results: vec![crate::types::LookupResult::miss(); total_ops],
+        metrics: LaunchMetrics::default(),
+    };
+    scatter_chunks(
+        index.name(),
+        &arena.point_slots,
+        &mut outcome,
+        chunk,
+        |lo, hi| index.point_chunk(&arena.point_keys[lo..hi], fetch),
+    )?;
+    scatter_chunks(
+        index.name(),
+        &arena.range_slots,
+        &mut outcome,
+        chunk,
+        |lo, hi| index.range_chunk(&arena.range_bounds[lo..hi], fetch),
+    )?;
+    Ok(outcome)
 }
 
 /// Runs one homogeneous operation run in chunks of at most `chunk`
 /// operations, scattering every chunk's results into the submission-order
-/// `slots` of `outcome` and merging the launch metrics. A backend whose
-/// chunk hook returns the wrong number of results is an error, not silent
-/// data loss — `SecondaryIndex` is a public trait, so this contract is
-/// enforced in release builds too.
+/// `slots` of `outcome` and merging the launch metrics.
+///
+/// A run that splits into ≥ 2 chunks executes them concurrently on the
+/// shared [`gpu_device`] worker pool; because each chunk's results land in
+/// its own submission slots and metrics are merged in chunk order after all
+/// chunks return, the outcome is identical to sequential execution. Errors
+/// are reported in chunk order so failure behaviour is deterministic too.
+///
+/// A backend whose chunk hook returns the wrong number of results is an
+/// error, not silent data loss — `SecondaryIndex` is a public trait, so
+/// this contract is enforced in release builds too.
 fn scatter_chunks<F>(
     backend: &str,
     slots: &[usize],
     outcome: &mut QueryOutcome,
     chunk: usize,
-    mut run: F,
+    run: F,
 ) -> Result<(), IndexError>
 where
-    F: FnMut(usize, usize) -> Result<BatchOutcome, IndexError>,
+    F: Fn(usize, usize) -> Result<BatchOutcome, IndexError> + Sync,
 {
-    let mut lo = 0;
-    while lo < slots.len() {
+    if slots.is_empty() {
+        return Ok(());
+    }
+    let chunks = slots.len().div_ceil(chunk.max(1));
+    let parts: Vec<Result<BatchOutcome, IndexError>> = if chunks >= 2 {
+        gpu_device::parallel_tasks(chunks, |c| {
+            let lo = c * chunk;
+            let hi = slots.len().min(lo + chunk);
+            run(lo, hi)
+        })
+    } else {
+        vec![run(0, slots.len())]
+    };
+
+    // Sequential scatter + metric merge in chunk order keeps the outcome
+    // (and any error) deterministic regardless of execution interleaving.
+    let mut lo = 0usize;
+    for part in parts {
         let hi = slots.len().min(lo.saturating_add(chunk));
-        let part = run(lo, hi)?;
+        let part = part?;
         if part.results.len() != hi - lo {
             return Err(IndexError::Backend {
-                backend: backend.to_string(),
+                backend: backend.into(),
                 message: format!(
                     "chunk returned {} results for {} operations",
                     part.results.len(),
@@ -231,7 +336,7 @@ pub trait UpdatableIndex: SecondaryIndex {
     /// an explicit compaction report `UnsupportedOperation`.
     fn compact(&mut self) -> Result<UpdateReport, IndexError> {
         Err(IndexError::UnsupportedOperation {
-            backend: self.name().to_string(),
+            backend: self.name().to_string().into(),
             operation: "explicit compaction",
         })
     }

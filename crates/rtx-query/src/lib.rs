@@ -8,9 +8,11 @@
 //! dynamic delta index) are driven through:
 //!
 //! * [`SecondaryIndex`] — the read-only backend trait: mixed-batch
-//!   [`execute`](SecondaryIndex::execute), memory/build metadata and
-//!   [`Capabilities`] flags (range lookups, duplicate keys, 64-bit keys,
-//!   updates);
+//!   [`execute`](SecondaryIndex::execute) plus the allocation-free hot-path
+//!   variants [`execute_in`](SecondaryIndex::execute_in) /
+//!   [`execute_ops_in`](SecondaryIndex::execute_ops_in) over a reusable
+//!   [`ExecArena`], memory/build metadata and [`Capabilities`] flags
+//!   (range lookups, duplicate keys, 64-bit keys, updates);
 //! * [`UpdatableIndex`] — the write extension (batched insert / delete /
 //!   upsert);
 //! * [`QueryBatch`] — one submission mixing point lookups, range lookups
@@ -48,6 +50,7 @@
 //! assert_eq!(batch.len(), 4);
 //! ```
 
+pub mod arena;
 pub mod batch;
 pub mod error;
 pub mod fuse;
@@ -57,9 +60,10 @@ pub mod shard;
 pub mod table;
 pub mod types;
 
-pub use batch::{QueryBatch, QueryOp};
+pub use arena::{ArenaPool, ExecArena};
+pub use batch::{QueryBatch, QueryOp, QueryOps};
 pub use error::IndexError;
-pub use fuse::{FusedBatch, FusedSlice};
+pub use fuse::{FusedBatch, FusedSlice, SharedOutcome};
 pub use index::{SecondaryIndex, UpdatableIndex};
 pub use registry::{
     parse_builder_name, parse_durable_name, DurabilitySpec, DurableBuilder, IndexBuilder,

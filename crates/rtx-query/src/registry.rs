@@ -386,7 +386,7 @@ impl Registry {
         spec: &IndexSpec<'_>,
     ) -> Result<Box<dyn UpdatableIndex>, IndexError> {
         let factory = self.durable.as_ref().ok_or_else(|| IndexError::Backend {
-            backend: format!("{base}+wal:{path}"),
+            backend: format!("{base}+wal:{path}").into(),
             message: format!(
                 "{base:?} requests durability but no durability layer is installed in this \
                  registry (known backends: {})",
@@ -395,7 +395,7 @@ impl Registry {
         })?;
         if base.is_empty() || path.is_empty() {
             return Err(IndexError::Backend {
-                backend: format!("{base}+wal:{path}"),
+                backend: format!("{base}+wal:{path}").into(),
                 message: "a durable spec needs both a backend name and a path \
                           (\"<backend>+wal:<path>\")"
                     .to_string(),
@@ -408,7 +408,7 @@ impl Registry {
     fn validate_shard_spec(&self, spec: &ShardSpec) -> Result<(), IndexError> {
         if spec.shards == 0 {
             return Err(IndexError::Backend {
-                backend: spec.name(),
+                backend: spec.name().into(),
                 message: "shard count must be at least 1".to_string(),
             });
         }
@@ -417,7 +417,7 @@ impl Registry {
 
     fn unsharded(&self, name: &str) -> IndexError {
         IndexError::Backend {
-            backend: name.to_string(),
+            backend: name.to_string().into(),
             message: format!(
                 "{name:?} is a sharded spec but no sharding layer is installed in this \
                  registry (known backends: {})",
@@ -633,7 +633,7 @@ mod tests {
             }),
             Box::new(|_, shard_spec, _| {
                 Err(IndexError::Backend {
-                    backend: shard_spec.name(),
+                    backend: shard_spec.name().into(),
                     message: "updatable shards unsupported here".into(),
                 })
             }),
@@ -712,7 +712,7 @@ mod tests {
             Box::new(|registry, shard_spec, spec| registry.build(&shard_spec.backend, spec)),
             Box::new(|_, shard_spec, _| {
                 Err(IndexError::Backend {
-                    backend: shard_spec.name(),
+                    backend: shard_spec.name().into(),
                     message: "unused".into(),
                 })
             }),
@@ -746,7 +746,7 @@ mod tests {
         r.set_durable_builder(Box::new(|_, base, spec| {
             let d = spec.durability.as_ref().expect("durability rides the spec");
             Err(IndexError::Backend {
-                backend: base.to_string(),
+                backend: base.into(),
                 message: format!("wal at {}", d.path.display()),
             })
         }));
@@ -757,7 +757,7 @@ mod tests {
             .unwrap_err();
         assert!(err.to_string().contains("wal at /tmp/x"), "{err}");
         let err = r.build("NULL+wal:/tmp/x", &spec).map(|_| ()).unwrap_err();
-        assert!(matches!(err, IndexError::Backend { backend, .. } if backend == "NULL"));
+        assert!(matches!(err, IndexError::Backend { backend, .. } if &*backend == "NULL"));
 
         // Degenerate specs are rejected before the factory runs.
         let err = r.build("NULL+wal:", &spec).map(|_| ()).unwrap_err();

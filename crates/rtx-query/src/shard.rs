@@ -19,7 +19,7 @@
 //! * **inverted ranges** (`lower > upper`) are routed nowhere and gather as
 //!   the uniform empty result.
 
-use crate::batch::{QueryBatch, QueryOp};
+use crate::batch::{QueryBatch, QueryOp, QueryOps};
 use crate::types::{BatchOutcome, LookupResult, QueryOutcome};
 
 /// How a sharded backend distributes the key space over its shards.
@@ -137,16 +137,23 @@ pub trait KeyRouter: Send + Sync {
     fn shards_of_range(&self, lower: u64, upper: u64) -> Vec<(usize, (u64, u64))>;
 }
 
-/// The scatter side of a sharded execution: one sub-batch per shard plus the
-/// submission-order slot each sub-operation answers, so the gather can merge
-/// per-shard outcomes back into one [`QueryOutcome`].
-#[derive(Debug, Clone)]
+/// The scatter side of a sharded execution: one SoA sub-batch
+/// ([`QueryOps`]) per shard plus the submission-order slot each
+/// sub-operation answers, so the gather can merge per-shard outcomes back
+/// into one [`QueryOutcome`].
+///
+/// Plans are reusable: [`replan`](ScatterPlan::replan) /
+/// [`replan_ops`](ScatterPlan::replan_ops) clear and refill an existing
+/// plan in place, keeping every per-shard buffer's capacity — a sharded
+/// executor pools its plans and replans submissions allocation-free at
+/// steady state.
+#[derive(Debug, Clone, Default)]
 pub struct ScatterPlan {
     /// Number of operations in the planned batch.
     submitted_ops: usize,
     /// One sub-batch per shard (possibly empty). Value-fetch and chunk-size
     /// settings are inherited from the planned batch.
-    sub_batches: Vec<QueryBatch>,
+    sub_ops: Vec<QueryOps>,
     /// For each shard, the originating slot of each of its sub-operations.
     slots: Vec<Vec<usize>>,
 }
@@ -156,43 +163,79 @@ impl ScatterPlan {
     /// shard, ranges go wherever the router sends them, inverted ranges go
     /// nowhere (their slots gather as the empty result).
     pub fn plan(batch: &QueryBatch, router: &dyn KeyRouter) -> ScatterPlan {
+        let mut plan = ScatterPlan::default();
+        plan.replan(batch, router);
+        plan
+    }
+
+    /// Re-plans `batch` into this plan in place (see [`plan`](ScatterPlan::plan)
+    /// for the routing rules), reusing every buffer.
+    pub fn replan(&mut self, batch: &QueryBatch, router: &dyn KeyRouter) {
+        self.replan_iter(
+            batch.ops().iter().copied(),
+            batch.len(),
+            batch.fetches_values(),
+            batch.chunk_size(),
+            router,
+        );
+    }
+
+    /// Re-plans an SoA op stream into this plan in place.
+    pub fn replan_ops(&mut self, ops: &QueryOps, router: &dyn KeyRouter) {
+        self.replan_iter(
+            ops.iter(),
+            ops.len(),
+            ops.fetches_values(),
+            ops.chunk_size(),
+            router,
+        );
+    }
+
+    fn replan_iter<I: Iterator<Item = QueryOp>>(
+        &mut self,
+        ops: I,
+        len: usize,
+        fetch_values: bool,
+        chunk_size: Option<usize>,
+        router: &dyn KeyRouter,
+    ) {
         let shards = router.shard_count();
-        let mut sub_batches = vec![QueryBatch::new(); shards];
-        let mut slots = vec![Vec::new(); shards];
-        for (slot, op) in batch.ops().iter().enumerate() {
-            match *op {
+        self.sub_ops.resize_with(shards, QueryOps::new);
+        self.sub_ops.truncate(shards);
+        self.slots.resize_with(shards, Vec::new);
+        self.slots.truncate(shards);
+        for sub in &mut self.sub_ops {
+            sub.clear();
+            sub.set_fetch_values(fetch_values);
+            sub.set_chunk_size(chunk_size.unwrap_or(0));
+        }
+        for shard_slots in &mut self.slots {
+            shard_slots.clear();
+        }
+        self.submitted_ops = len;
+        for (slot, op) in ops.enumerate() {
+            match op {
                 QueryOp::Point(key) => {
                     let s = router.shard_of_point(key);
-                    sub_batches[s] = std::mem::take(&mut sub_batches[s]).point(key);
-                    slots[s].push(slot);
+                    self.sub_ops[s].push_point(key);
+                    self.slots[s].push(slot);
                 }
                 QueryOp::Range(lower, upper) => {
                     if lower > upper {
                         continue;
                     }
                     for (s, (sub_lower, sub_upper)) in router.shards_of_range(lower, upper) {
-                        sub_batches[s] =
-                            std::mem::take(&mut sub_batches[s]).range(sub_lower, sub_upper);
-                        slots[s].push(slot);
+                        self.sub_ops[s].push_range(sub_lower, sub_upper);
+                        self.slots[s].push(slot);
                     }
                 }
             }
         }
-        for sub in &mut sub_batches {
-            *sub = std::mem::take(sub)
-                .fetch_values(batch.fetches_values())
-                .with_chunk_size(batch.chunk_size().unwrap_or(0));
-        }
-        ScatterPlan {
-            submitted_ops: batch.len(),
-            sub_batches,
-            slots,
-        }
     }
 
-    /// The per-shard sub-batches, indexed by shard.
-    pub fn sub_batches(&self) -> &[QueryBatch] {
-        &self.sub_batches
+    /// The per-shard SoA sub-batches, indexed by shard.
+    pub fn sub_ops(&self) -> &[QueryOps] {
+        &self.sub_ops
     }
 
     /// The originating submission-order slots of shard `s`'s sub-operations.
@@ -202,7 +245,7 @@ impl ScatterPlan {
 
     /// Number of shards with a non-empty sub-batch.
     pub fn active_shards(&self) -> usize {
-        self.sub_batches.iter().filter(|b| !b.is_empty()).count()
+        self.sub_ops.iter().filter(|b| !b.is_empty()).count()
     }
 
     /// Gathers per-shard outcomes (one per shard, in shard order, already
@@ -218,7 +261,7 @@ impl ScatterPlan {
     pub fn gather(&self, outcomes: Vec<BatchOutcome>) -> QueryOutcome {
         assert_eq!(
             outcomes.len(),
-            self.sub_batches.len(),
+            self.sub_ops.len(),
             "gather needs one outcome per shard"
         );
         let mut merged = QueryOutcome {
@@ -340,22 +383,55 @@ mod tests {
             .fetch_values(true)
             .with_chunk_size(7);
         let plan = ScatterPlan::plan(&batch, &router);
-        assert_eq!(plan.sub_batches().len(), 4);
+        assert_eq!(plan.sub_ops().len(), 4);
         assert_eq!(plan.active_shards(), 4);
-        assert_eq!(
-            plan.sub_batches()[0].ops(),
-            &[QueryOp::Point(5), QueryOp::Range(90, 99)]
-        );
-        assert_eq!(plan.sub_batches()[1].ops(), &[QueryOp::Range(100, 199)]);
-        assert_eq!(plan.sub_batches()[2].ops(), &[QueryOp::Range(200, 210)]);
-        assert_eq!(plan.sub_batches()[3].ops(), &[QueryOp::Point(399)]);
+        let sub = |s: usize| plan.sub_ops()[s].iter().collect::<Vec<_>>();
+        assert_eq!(sub(0), &[QueryOp::Point(5), QueryOp::Range(90, 99)]);
+        assert_eq!(sub(1), &[QueryOp::Range(100, 199)]);
+        assert_eq!(sub(2), &[QueryOp::Range(200, 210)]);
+        assert_eq!(sub(3), &[QueryOp::Point(399)]);
         assert_eq!(plan.slots(0), &[0, 1]);
         assert_eq!(plan.slots(1), &[1]);
         assert_eq!(plan.slots(2), &[1]);
         assert_eq!(plan.slots(3), &[2]);
-        for sub in plan.sub_batches() {
+        for sub in plan.sub_ops() {
             assert!(sub.fetches_values());
             assert_eq!(sub.chunk_size(), Some(7));
+        }
+    }
+
+    #[test]
+    fn replanning_reuses_buffers_and_matches_a_fresh_plan() {
+        let router = SpanRouter {
+            shards: 4,
+            domain: 400,
+        };
+        let big = QueryBatch::new()
+            .points((0..100).map(|i| i * 4))
+            .range(90, 210)
+            .fetch_values(true);
+        let small = QueryBatch::new().point(5).range(50, 10).with_chunk_size(3);
+        let mut plan = ScatterPlan::plan(&big, &router);
+        plan.replan(&small, &router);
+        let fresh = ScatterPlan::plan(&small, &router);
+        assert_eq!(plan.submitted_ops, fresh.submitted_ops);
+        for s in 0..4 {
+            assert_eq!(
+                plan.sub_ops()[s].iter().collect::<Vec<_>>(),
+                fresh.sub_ops()[s].iter().collect::<Vec<_>>()
+            );
+            assert_eq!(plan.slots(s), fresh.slots(s));
+            assert!(!plan.sub_ops()[s].fetches_values(), "flags re-derived");
+            assert_eq!(plan.sub_ops()[s].chunk_size(), Some(3));
+        }
+        // Replanning from the SoA form agrees with the enum form.
+        let mut from_ops = ScatterPlan::default();
+        from_ops.replan_ops(&QueryOps::from_batch(&small), &router);
+        for s in 0..4 {
+            assert_eq!(
+                from_ops.sub_ops()[s].iter().collect::<Vec<_>>(),
+                fresh.sub_ops()[s].iter().collect::<Vec<_>>()
+            );
         }
     }
 
@@ -365,11 +441,11 @@ mod tests {
         let batch = QueryBatch::new().range(10, 20).point(4);
         let plan = ScatterPlan::plan(&batch, &router);
         for s in 0..3 {
-            assert!(plan.sub_batches()[s]
-                .ops()
-                .contains(&QueryOp::Range(10, 20)));
+            assert!(plan.sub_ops()[s]
+                .iter()
+                .any(|op| op == QueryOp::Range(10, 20)));
         }
-        assert_eq!(plan.sub_batches()[1].ops()[1], QueryOp::Point(4));
+        assert_eq!(plan.sub_ops()[1].iter().nth(1), Some(QueryOp::Point(4)));
         assert_eq!(plan.slots(1), &[0, 1]);
     }
 

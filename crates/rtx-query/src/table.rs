@@ -112,7 +112,7 @@ impl TableSchema {
     pub fn validate(&self) -> Result<(), IndexError> {
         let fail = |message: String| {
             Err(IndexError::Backend {
-                backend: "table".to_string(),
+                backend: "table".to_string().into(),
                 message,
             })
         };

@@ -31,8 +31,9 @@ pub enum ServeError {
     },
     /// A write was submitted to a service over a read-only backend.
     ReadOnlyBackend {
-        /// Name of the backend the service wraps.
-        backend: String,
+        /// Name of the backend the service wraps (interned — cloning this
+        /// error clones a pointer, not the name).
+        backend: std::sync::Arc<str>,
     },
     /// The service is shutting down (or has stopped) and admits no new
     /// submissions.

@@ -31,9 +31,14 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use rtx_query::{
-    BatchOutcome, Capabilities, DurableStats, FusedBatch, IndexError, MemoryUsage, QueryBatch,
-    SecondaryIndex, UpdatableIndex, UpdateReport,
+    BatchOutcome, Capabilities, DurableStats, ExecArena, FusedBatch, IndexError, MemoryUsage,
+    QueryBatch, QueryOps, QueryOutcome, SecondaryIndex, SharedOutcome, UpdatableIndex,
+    UpdateReport,
 };
+
+/// The reply side of one admitted read: a zero-copy view of the fused
+/// outcome (or the fused failure).
+type ReadReply = mpsc::Sender<Result<SharedOutcome, IndexError>>;
 
 use crate::config::ServiceConfig;
 use crate::error::ServeError;
@@ -78,8 +83,10 @@ enum WriteOutcome {
 /// One queued client request.
 enum Request {
     Read {
-        batch: QueryBatch,
-        reply: mpsc::Sender<Result<BatchOutcome, IndexError>>,
+        /// Shared with the submitting client so retries re-enqueue a
+        /// pointer instead of re-cloning the operations.
+        batch: Arc<QueryBatch>,
+        reply: ReadReply,
     },
     Write {
         op: WriteOp,
@@ -124,10 +131,14 @@ impl ServiceBackend {
         }
     }
 
-    fn execute(&self, batch: &QueryBatch) -> Result<BatchOutcome, IndexError> {
+    fn execute_ops_in(
+        &self,
+        ops: &QueryOps,
+        arena: &mut ExecArena,
+    ) -> Result<QueryOutcome, IndexError> {
         match self {
-            ServiceBackend::ReadOnly(ix) => ix.execute(batch),
-            ServiceBackend::Updatable(ix) => ix.execute(batch),
+            ServiceBackend::ReadOnly(ix) => ix.execute_ops_in(ops, arena),
+            ServiceBackend::Updatable(ix) => ix.execute_ops_in(ops, arena),
         }
     }
 
@@ -136,7 +147,7 @@ impl ServiceBackend {
             // Admission rejects writes on read-only services; this is the
             // defensive backstop, not a reachable path.
             ServiceBackend::ReadOnly(ix) => Err(IndexError::UnsupportedOperation {
-                backend: ix.name().to_string(),
+                backend: ix.name().into(),
                 operation: "updates",
             }),
             ServiceBackend::Updatable(ix) => match op {
@@ -214,7 +225,7 @@ struct Shared {
     /// Wakes the coalescer when requests arrive or shutdown is signalled.
     work: Condvar,
     config: ServiceConfig,
-    backend_name: String,
+    backend_name: Arc<str>,
     capabilities: Capabilities,
     has_value_column: bool,
     updatable: bool,
@@ -496,12 +507,22 @@ impl RetryPolicy {
 /// discards it).
 #[derive(Debug)]
 pub struct PendingQuery {
-    reply: mpsc::Receiver<Result<BatchOutcome, IndexError>>,
+    reply: mpsc::Receiver<Result<SharedOutcome, IndexError>>,
 }
 
 impl PendingQuery {
-    /// Blocks until the coalescer has answered this submission.
+    /// Blocks until the coalescer has answered this submission, returning
+    /// an owned copy of this client's results. The copy happens here, on
+    /// the client's thread — the coalescer hands over a zero-copy view
+    /// ([`wait_shared`](PendingQuery::wait_shared) exposes it directly).
     pub fn wait(self) -> Result<BatchOutcome, ServeError> {
+        self.wait_shared().map(|view| view.materialize())
+    }
+
+    /// Blocks until the coalescer has answered, returning the zero-copy
+    /// [`SharedOutcome`] view of the fused execution — no result copy at
+    /// all, for clients that only read their slice.
+    pub fn wait_shared(self) -> Result<SharedOutcome, ServeError> {
         match self.reply.recv() {
             Ok(result) => result.map_err(ServeError::Index),
             // The coalescer drains the queue before exiting, so a closed
@@ -525,12 +546,12 @@ impl ClientHandle {
     fn precheck(&self, batch: &QueryBatch) -> Result<(), ServeError> {
         if batch.fetches_values() && !self.shared.has_value_column {
             return Err(ServeError::Index(IndexError::NoValueColumn {
-                backend: self.shared.backend_name.clone(),
+                backend: Arc::clone(&self.shared.backend_name),
             }));
         }
         if batch.range_count() > 0 && !self.shared.capabilities.range_lookups {
             return Err(ServeError::Index(IndexError::UnsupportedOperation {
-                backend: self.shared.backend_name.clone(),
+                backend: Arc::clone(&self.shared.backend_name),
                 operation: "range lookups",
             }));
         }
@@ -539,6 +560,13 @@ impl ClientHandle {
 
     /// Submits a read batch and returns a ticket to claim the result with.
     pub fn submit(&self, batch: QueryBatch) -> Result<PendingQuery, ServeError> {
+        self.submit_shared(Arc::new(batch))
+    }
+
+    /// [`submit`](ClientHandle::submit) for a batch already behind an
+    /// `Arc` — enqueues a pointer clone, so resubmitting the same batch
+    /// (retry loops) never copies its operations.
+    pub fn submit_shared(&self, batch: Arc<QueryBatch>) -> Result<PendingQuery, ServeError> {
         self.precheck(&batch)?;
         let ops = batch.len() as u64;
         let (tx, rx) = mpsc::channel();
@@ -585,9 +613,15 @@ impl ClientHandle {
         batch: &QueryBatch,
         policy: &RetryPolicy,
     ) -> Result<BatchOutcome, ServeError> {
+        // One copy up front into an Arc; every (re)submission after a
+        // backpressure rejection clones the pointer, not the operations.
+        let batch = Arc::new(batch.clone());
         let mut attempt = 1;
         loop {
-            match self.query(batch.clone()) {
+            let outcome = self
+                .submit_shared(Arc::clone(&batch))
+                .and_then(|pending| pending.wait());
+            match outcome {
                 Err(ServeError::Overloaded { .. }) if attempt < policy.max_attempts => {
                     std::thread::sleep(policy.delay(attempt));
                     attempt += 1;
@@ -600,7 +634,7 @@ impl ClientHandle {
     fn write(&self, op: WriteOp) -> Result<WriteOutcome, ServeError> {
         if !self.shared.updatable {
             return Err(ServeError::ReadOnlyBackend {
-                backend: self.shared.backend_name.clone(),
+                backend: Arc::clone(&self.shared.backend_name),
             });
         }
         let (tx, rx) = mpsc::channel();
@@ -722,7 +756,7 @@ impl QueryService {
             }),
             work: Condvar::new(),
             config,
-            backend_name: backend.name().to_string(),
+            backend_name: backend.name().into(),
             capabilities: backend.capabilities(),
             has_value_column: backend.has_value_column(),
             updatable,
@@ -795,12 +829,10 @@ impl std::fmt::Debug for QueryService {
     }
 }
 
-/// One drained unit of work: a fused run of reads, or one write.
+/// One drained unit of work: a fused run of reads (left in the caller's
+/// fusion/reply buffers), or one write.
 enum Drained {
-    Reads {
-        fusion: FusedBatch,
-        replies: Vec<mpsc::Sender<Result<BatchOutcome, IndexError>>>,
-    },
+    Reads,
     Write {
         op: WriteOp,
         reply: mpsc::Sender<Result<WriteOutcome, IndexError>>,
@@ -811,8 +843,16 @@ enum Drained {
 /// The coalescer loop: drain → fuse → execute → scatter, strictly in queue
 /// order, until shutdown *and* an empty queue.
 fn run_coalescer(shared: &Shared, mut backend: ServiceBackend) {
+    // The coalescer's working set lives for the whole service: the fusion,
+    // the reply buffer and the execution arena are cleared between cycles
+    // but never reallocated — steady-state coalescing is allocation-free
+    // apart from the result buffer handed to the clients.
+    let mut fusion = FusedBatch::new();
+    fusion.set_chunk_size(shared.config.chunk_size);
+    let mut replies: Vec<ReadReply> = Vec::new();
+    let mut arena = ExecArena::new();
     loop {
-        match drain(shared) {
+        match drain(shared, &mut fusion, &mut replies) {
             Drained::Shutdown => return,
             Drained::Write { op, reply } => {
                 // The apply is the queue-order fence: everything queued
@@ -838,27 +878,22 @@ fn run_coalescer(shared: &Shared, mut backend: ServiceBackend) {
                 // A client that dropped its ticket abandoned the result.
                 let _ = reply.send(result);
             }
-            Drained::Reads {
-                mut fusion,
-                replies,
-            } => {
-                // take_batch moves the fused operations out without a copy
-                // (this is the hot path); the fusion keeps the slice
-                // bookkeeping the split below needs.
-                let fused = fusion
-                    .take_batch()
-                    .with_chunk_size(shared.config.chunk_size);
-                let outcome = backend.execute(&fused);
+            Drained::Reads => {
+                // The fused operations are already in executor-ready SoA
+                // form; execution reuses the coalescer's arena and the
+                // scatter hands each client an Arc'd view of the one fused
+                // outcome — no per-client result copy on this thread.
+                let outcome = backend.execute_ops_in(fusion.ops(), &mut arena);
                 let c = &shared.counters;
                 c.fused_submissions.fetch_add(1, Ordering::Relaxed);
                 c.coalesced_batches
                     .fetch_add(replies.len() as u64, Ordering::Relaxed);
                 c.executed_ops
-                    .fetch_add(fused.len() as u64, Ordering::Relaxed);
+                    .fetch_add(fusion.op_count() as u64, Ordering::Relaxed);
                 match outcome {
                     Ok(out) => {
-                        for (slice, reply) in fusion.split(&out).into_iter().zip(&replies) {
-                            let _ = reply.send(Ok(slice));
+                        for (view, reply) in fusion.split_shared(out).into_iter().zip(&replies) {
+                            let _ = reply.send(Ok(view));
                         }
                     }
                     // A backend failure on the fused batch is every fused
@@ -876,8 +911,13 @@ fn run_coalescer(shared: &Shared, mut backend: ServiceBackend) {
 
 /// Blocks until work is available, then drains the next unit: reads fuse up
 /// to the coalesce cap (lingering for late arrivals), the first write cuts
-/// the fusion short (the fence), a leading write is taken alone.
-fn drain(shared: &Shared) -> Drained {
+/// the fusion short (the fence), a leading write is taken alone. Fused
+/// reads accumulate into the caller's persistent `fusion` / `replies`
+/// buffers (cleared here first), so steady-state draining allocates
+/// nothing.
+fn drain(shared: &Shared, fusion: &mut FusedBatch, replies: &mut Vec<ReadReply>) -> Drained {
+    fusion.clear();
+    replies.clear();
     let mut q = shared.queue.lock().expect("service queue poisoned");
     loop {
         if !q.requests.is_empty() {
@@ -889,8 +929,6 @@ fn drain(shared: &Shared) -> Drained {
         q = shared.work.wait(q).expect("service queue poisoned");
     }
 
-    let mut fusion = FusedBatch::new();
-    let mut replies = Vec::new();
     let deadline = Instant::now() + shared.config.linger;
     loop {
         // Pop as many consecutive reads as fit under the coalesce cap.
@@ -955,7 +993,7 @@ fn drain(shared: &Shared) -> Drained {
             break;
         }
     }
-    Drained::Reads { fusion, replies }
+    Drained::Reads
 }
 
 #[cfg(test)]

@@ -23,14 +23,14 @@
 //! yields the global first row.
 
 use std::collections::HashSet;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use gpu_device::executor::{parallel_map, parallel_tasks};
 use rtx_query::{
-    BatchOutcome, Capabilities, IndexBuildMetrics, IndexError, IndexSpec, KeyRouter, MemoryUsage,
-    Partitioning, QueryBatch, QueryOutcome, Registry, ScatterPlan, SecondaryIndex, ShardSpec,
-    UpdatableIndex, UpdateReport, MISS,
+    ArenaPool, BatchOutcome, Capabilities, ExecArena, IndexBuildMetrics, IndexError, IndexSpec,
+    KeyRouter, MemoryUsage, Partitioning, QueryBatch, QueryOps, QueryOutcome, Registry,
+    ScatterPlan, SecondaryIndex, ShardSpec, UpdatableIndex, UpdateReport, MISS,
 };
 
 use crate::partition::{HashPartitioner, RangePartitioner};
@@ -171,7 +171,8 @@ impl Shard {
 /// [`install_sharding`](crate::install_sharding) ran) or directly via
 /// [`ShardedIndex::build`] / [`ShardedIndex::build_mixed`].
 pub struct ShardedIndex {
-    label: String,
+    /// Interned so hot error paths clone a pointer, not a String.
+    label: Arc<str>,
     router: Box<dyn KeyRouter>,
     /// The serializable description `router` was built from (persisted by
     /// durability manifests, restored by [`ShardedIndex::from_parts`]).
@@ -183,6 +184,9 @@ pub struct ShardedIndex {
     /// Next global rowID handed to an insert (u64 so the overflow check is
     /// trivial; valid rowIDs stay below [`MISS`]).
     next_row: u64,
+    /// Pooled scatter plans, replanned in place per submission.
+    plan_pool: Mutex<Vec<ScatterPlan>>,
+    arena_pool: ArenaPool,
 }
 
 impl std::fmt::Debug for ShardedIndex {
@@ -298,13 +302,13 @@ impl ShardedIndex {
     ) -> Result<Self, IndexError> {
         if backends.is_empty() {
             return Err(IndexError::Backend {
-                backend: label,
+                backend: label.into(),
                 message: "shard count must be at least 1".to_string(),
             });
         }
         if index.keys.len() as u64 >= MISS as u64 {
             return Err(IndexError::CapacityOverflow {
-                backend: label,
+                backend: label.into(),
                 keys: index.keys.len(),
                 limit: MISS as u64 - 1,
             });
@@ -385,7 +389,7 @@ impl ShardedIndex {
         };
 
         Ok(ShardedIndex {
-            label,
+            label: label.into(),
             router,
             router_config,
             shards,
@@ -393,6 +397,8 @@ impl ShardedIndex {
             has_values: index.values.is_some(),
             build_metrics,
             next_row: index.keys.len() as u64,
+            plan_pool: Mutex::new(Vec::new()),
+            arena_pool: ArenaPool::new(),
         })
     }
 
@@ -412,7 +418,7 @@ impl ShardedIndex {
     ) -> Result<Self, IndexError> {
         if parts.len() != router_config.shard_count() {
             return Err(IndexError::Backend {
-                backend: label,
+                backend: label.into(),
                 message: format!(
                     "router expects {} shards but {} were recovered",
                     router_config.shard_count(),
@@ -432,11 +438,11 @@ impl ShardedIndex {
             .map(|s| s.backend.read().capabilities())
             .reduce(and_capabilities)
             .ok_or_else(|| IndexError::Backend {
-                backend: "from_parts".to_string(),
+                backend: "from_parts".into(),
                 message: "shard count must be at least 1".to_string(),
             })?;
         Ok(ShardedIndex {
-            label,
+            label: label.into(),
             router: router_config.router(),
             router_config,
             shards,
@@ -444,6 +450,8 @@ impl ShardedIndex {
             has_values,
             build_metrics: IndexBuildMetrics::default(),
             next_row,
+            plan_pool: Mutex::new(Vec::new()),
+            arena_pool: ArenaPool::new(),
         })
     }
 
@@ -559,7 +567,7 @@ impl ShardedIndex {
             .any(|s| matches!(s.backend, ShardBackend::Read(_)))
         {
             return Err(IndexError::UnsupportedOperation {
-                backend: self.label.clone(),
+                backend: Arc::clone(&self.label),
                 operation: "updates",
             });
         }
@@ -576,7 +584,7 @@ impl ShardedIndex {
     ) -> Result<Vec<UpdateRoute>, IndexError> {
         if assign_rows && self.next_row + keys.len() as u64 >= MISS as u64 {
             return Err(IndexError::CapacityOverflow {
-                backend: self.label.clone(),
+                backend: Arc::clone(&self.label),
                 keys: keys.len(),
                 limit: (MISS as u64 - 1).saturating_sub(self.next_row),
             });
@@ -630,6 +638,64 @@ impl ShardedIndex {
             merged.reorganisations += report.reorganisations;
         }
         Ok(merged)
+    }
+
+    /// The uniform sharded-execution prechecks (same errors the provided
+    /// trait executor raises, with the sharded label).
+    fn validate(&self, fetches_values: bool, has_range_op: bool) -> Result<(), IndexError> {
+        if fetches_values && !self.has_values {
+            return Err(IndexError::NoValueColumn {
+                backend: Arc::clone(&self.label),
+            });
+        }
+        if has_range_op && !self.capabilities.range_lookups {
+            return Err(IndexError::UnsupportedOperation {
+                backend: Arc::clone(&self.label),
+                operation: "range lookups",
+            });
+        }
+        Ok(())
+    }
+
+    fn check_out_plan(&self) -> ScatterPlan {
+        self.plan_pool
+            .lock()
+            .expect("plan pool poisoned")
+            .pop()
+            .unwrap_or_default()
+    }
+
+    fn check_in_plan(&self, plan: ScatterPlan) {
+        self.plan_pool
+            .lock()
+            .expect("plan pool poisoned")
+            .push(plan);
+    }
+
+    /// Executes a ready scatter plan: every non-empty shard sub-batch runs
+    /// concurrently on the worker pool through a pooled arena, outcomes are
+    /// translated to global rowIDs and gathered into submission order.
+    fn execute_planned(&self, plan: &ScatterPlan) -> Result<QueryOutcome, IndexError> {
+        let outcomes = parallel_tasks(self.shards.len(), |s| {
+            let sub = &plan.sub_ops()[s];
+            if sub.is_empty() {
+                return Ok(QueryOutcome::default());
+            }
+            let shard = &self.shards[s];
+            let mut arena = self.arena_pool.check_out();
+            let result = shard
+                .backend
+                .read()
+                .execute_ops_in(sub, &mut arena)
+                .map(|out| shard.translate(out));
+            self.arena_pool.check_in(arena);
+            result
+        });
+        let mut gathered = Vec::with_capacity(outcomes.len());
+        for outcome in outcomes {
+            gathered.push(outcome?);
+        }
+        Ok(plan.gather(gathered))
     }
 
     fn check_value_batch(&self, keys: &[u64], values: &[u64]) -> Result<(), IndexError> {
@@ -706,42 +772,44 @@ impl SecondaryIndex for ShardedIndex {
         self.execute(&QueryBatch::of_ranges(ranges).fetch_values(fetch_values))
     }
 
-    /// Scatter/gather execution: the batch is planned into per-shard
+    /// Scatter/gather execution: the batch is planned into per-shard SoA
     /// sub-batches which run concurrently on the worker pool; outcomes are
     /// translated to global rowIDs and gathered back into submission order
     /// with merged metrics. Results are identical to executing the batch on
     /// the equivalent unsharded backend.
-    fn execute(&self, batch: &QueryBatch) -> Result<QueryOutcome, IndexError> {
-        if batch.fetches_values() && !self.has_values {
-            return Err(IndexError::NoValueColumn {
-                backend: self.label.clone(),
-            });
-        }
-        if batch.range_count() > 0 && !self.capabilities.range_lookups {
-            return Err(IndexError::UnsupportedOperation {
-                backend: self.label.clone(),
-                operation: "range lookups",
-            });
-        }
+    ///
+    /// The scatter plan comes from this index's plan pool (replanned in
+    /// place) and every shard task executes through a pooled [`ExecArena`],
+    /// so steady-state sharded execution reuses all of its scratch. The
+    /// caller's `arena` is not used — the per-shard pool is the sharded
+    /// equivalent.
+    fn execute_in(
+        &self,
+        batch: &QueryBatch,
+        _arena: &mut ExecArena,
+    ) -> Result<QueryOutcome, IndexError> {
+        self.validate(batch.fetches_values(), batch.range_count() > 0)?;
+        let mut plan = self.check_out_plan();
+        plan.replan(batch, self.router.as_ref());
+        let result = self.execute_planned(&plan);
+        self.check_in_plan(plan);
+        result
+    }
 
-        let plan = ScatterPlan::plan(batch, self.router.as_ref());
-        let outcomes = parallel_tasks(self.shards.len(), |s| {
-            let sub = &plan.sub_batches()[s];
-            if sub.is_empty() {
-                return Ok(QueryOutcome::default());
-            }
-            let shard = &self.shards[s];
-            shard
-                .backend
-                .read()
-                .execute(sub)
-                .map(|out| shard.translate(out))
-        });
-        let mut gathered = Vec::with_capacity(outcomes.len());
-        for outcome in outcomes {
-            gathered.push(outcome?);
-        }
-        Ok(plan.gather(gathered))
+    /// SoA entry point — identical to
+    /// [`execute_in`](SecondaryIndex::execute_in) but replans straight from
+    /// the [`QueryOps`] stream.
+    fn execute_ops_in(
+        &self,
+        ops: &QueryOps,
+        _arena: &mut ExecArena,
+    ) -> Result<QueryOutcome, IndexError> {
+        self.validate(ops.fetches_values(), ops.range_count() > 0)?;
+        let mut plan = self.check_out_plan();
+        plan.replan_ops(ops, self.router.as_ref());
+        let result = self.execute_planned(&plan);
+        self.check_in_plan(plan);
+        result
     }
 }
 

@@ -126,7 +126,7 @@ impl Planner {
         for predicate in query.predicates() {
             if schema.column_position(predicate.column()).is_none() {
                 return Err(IndexError::Backend {
-                    backend: "table".to_string(),
+                    backend: "table".to_string().into(),
                     message: format!("predicate on unknown column {:?}", predicate.column()),
                 });
             }
@@ -190,14 +190,14 @@ impl Planner {
             .iter()
             .find(|v| v.name == index)
             .ok_or_else(|| IndexError::Backend {
-                backend: "table".to_string(),
+                backend: "table".to_string().into(),
                 message: format!("no index named {index:?}"),
             })?;
         let mut choices = Vec::with_capacity(query.len());
         for predicate in query.predicates() {
             if view.column != predicate.column() {
                 return Err(IndexError::Backend {
-                    backend: "table".to_string(),
+                    backend: "table".to_string().into(),
                     message: format!(
                         "index {index:?} keys on column {:?}, not {:?}",
                         view.column,
@@ -208,7 +208,7 @@ impl Planner {
             let candidate = self.score(view, predicate, query.fetches_values());
             if !candidate.eligible {
                 return Err(IndexError::Backend {
-                    backend: "table".to_string(),
+                    backend: "table".to_string().into(),
                     message: format!(
                         "index {index:?} cannot serve {predicate}: {}",
                         candidate.detail

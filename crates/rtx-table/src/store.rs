@@ -59,7 +59,7 @@ impl RowStore {
     pub fn insert(&mut self, record: &[u64]) -> Result<u32, IndexError> {
         if record.len() != self.columns.len() {
             return Err(IndexError::Backend {
-                backend: "table".to_string(),
+                backend: "table".to_string().into(),
                 message: format!(
                     "record holds {} values but the table has {} columns",
                     record.len(),
@@ -70,7 +70,7 @@ impl RowStore {
         let slot = self.live.len();
         if slot >= rtx_query::MISS as usize {
             return Err(IndexError::CapacityOverflow {
-                backend: "table".to_string(),
+                backend: "table".to_string().into(),
                 keys: slot + 1,
                 limit: rtx_query::MISS as u64,
             });

@@ -320,7 +320,7 @@ impl Table {
                 self.stats.rolled_back_batches += 1;
                 if let Err(rollback_err) = self.rollback(saved, &touched) {
                     return Err(IndexError::Backend {
-                        backend: "table".to_string(),
+                        backend: "table".to_string().into(),
                         message: format!(
                             "ingest failed ({err}) and rollback failed too: {rollback_err}"
                         ),
@@ -512,7 +512,7 @@ impl Table {
     fn check_fetch(&self, query: &TableQuery) -> Result<(), IndexError> {
         if query.fetches_values() && self.value_pos.is_none() {
             return Err(IndexError::NoValueColumn {
-                backend: "table".to_string(),
+                backend: "table".to_string().into(),
             });
         }
         Ok(())
@@ -671,7 +671,7 @@ fn wipe_durable_dir(spec: &str) -> Result<(), IndexError> {
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
             Err(e) => {
                 return Err(IndexError::Backend {
-                    backend: spec.to_string(),
+                    backend: spec.to_string().into(),
                     message: format!("failed to reset WAL directory {path:?}: {e}"),
                 })
             }

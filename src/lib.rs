@@ -191,9 +191,10 @@ pub use rtx_delta::{
 pub use rtx_durable::{DurableConfig, DurableIndex, FsyncPolicy};
 pub use rtx_harness::registry;
 pub use rtx_query::{
-    Capabilities, DurableStats, ExplainPlan, FusedBatch, IndexDef, IndexError, IndexSpec,
-    IngestBatch, IngestOp, MemoryUsage, Partitioning, Predicate, QueryBatch, QueryOutcome, Record,
-    Registry, Route, SecondaryIndex, ShardSpec, TableQuery, TableSchema, UpdatableIndex,
+    Capabilities, DurableStats, ExecArena, ExplainPlan, FusedBatch, IndexDef, IndexError,
+    IndexSpec, IngestBatch, IngestOp, MemoryUsage, Partitioning, Predicate, QueryBatch, QueryOps,
+    QueryOutcome, Record, Registry, Route, SecondaryIndex, ShardSpec, SharedOutcome, TableQuery,
+    TableSchema, UpdatableIndex,
 };
 pub use rtx_serve::{
     ClientHandle, PendingQuery, PendingTableQuery, QueryService, RetryPolicy, ServeError,

@@ -10,7 +10,10 @@
 //! or sharded), and backends without range support must fail range
 //! submissions uniformly (HT, plain or sharded).
 
-use rtindex::{registry, Device, IndexError, IndexSpec, QueryBatch, SecondaryIndex};
+use proptest::prelude::*;
+use rtindex::{
+    registry, Device, ExecArena, IndexError, IndexSpec, QueryBatch, QueryOps, SecondaryIndex,
+};
 use rtx_workloads as wl;
 use rtx_workloads::GroundTruth;
 
@@ -160,6 +163,106 @@ fn all_backends_agree_with_the_oracle_on_every_key_set() {
         assert_eq!(attempted, 10, "{set_name}: five plain + five sharded");
         let expected = if has_duplicates || has_64bit { 8 } else { 10 };
         assert_eq!(served, expected, "{set_name}: backend coverage");
+    }
+}
+
+// The three execution entry points are one semantics: `execute`,
+// `execute_in` with a dirty reused arena, and `execute_ops_in` over the
+// pre-fused SoA form must return identical results and identical
+// deterministic metrics (or the identical error) on every backend, plain
+// and sharded. The arena is shared across every backend and every case so
+// state leakage between submissions would be caught immediately.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn prop_arena_and_soa_paths_match_fresh_execute(
+        keys in prop::collection::vec(0u64..800, 1..120),
+        points in prop::collection::vec(0u64..1000, 0..40),
+        ranges in prop::collection::vec((0u64..1000, 0u64..64), 0..12),
+        invert in prop::collection::vec(any::<bool>(), 0..12),
+        fetch in any::<bool>(),
+        chunk in 0usize..40,
+    ) {
+        let device = Device::default_eval();
+        let registry = registry();
+        let values = wl::value_column(keys.len(), 42);
+        let spec = IndexSpec::with_values(&device, &keys, &values);
+
+        // Interleave points and ranges so the SoA order-tag bitmap is
+        // genuinely exercised; flip some ranges to inverted (empty).
+        let ranges: Vec<(u64, u64)> = ranges
+            .iter()
+            .enumerate()
+            .map(|(i, &(l, w))| {
+                if invert.get(i) == Some(&true) {
+                    (l + w + 1, l) // lower > upper: uniformly empty
+                } else {
+                    (l, l + w)
+                }
+            })
+            .collect();
+        let mut batch = QueryBatch::new().fetch_values(fetch);
+        for i in 0..points.len().max(ranges.len()) {
+            if i < points.len() {
+                batch = batch.point(points[i]);
+            }
+            if let Some(&(lower, upper)) = ranges.get(i) {
+                batch = batch.range(lower, upper);
+            }
+        }
+        if chunk > 0 {
+            batch = batch.with_chunk_size(chunk);
+        }
+        let ops = QueryOps::from_batch(&batch);
+        prop_assert_eq!(ops.len(), batch.len());
+
+        let mut arena = ExecArena::new();
+        let all_names = registry
+            .backends()
+            .into_iter()
+            .map(str::to_string)
+            .chain(SHARDED_BACKENDS.iter().map(|s| s.to_string()));
+        for name in all_names {
+            let Ok(ix) = registry.build(&name, &spec) else {
+                continue; // B+ rejecting duplicate keys, checked elsewhere
+            };
+            let base = ix.execute(&batch);
+            let with_arena = ix.execute_in(&batch, &mut arena);
+            let from_ops = ix.execute_ops_in(&ops, &mut arena);
+            match base {
+                Ok(want) => {
+                    let got = with_arena.expect("execute_in must succeed when execute does");
+                    prop_assert_eq!(&got.results, &want.results, "{}: execute_in results", &name);
+                    prop_assert_eq!(
+                        got.metrics.kernel.kernel_launches,
+                        want.metrics.kernel.kernel_launches,
+                        "{}: execute_in launches", &name
+                    );
+                    prop_assert_eq!(
+                        got.metrics.simulated_time_s,
+                        want.metrics.simulated_time_s,
+                        "{}: execute_in simulated time", &name
+                    );
+                    let got = from_ops.expect("execute_ops_in must succeed when execute does");
+                    prop_assert_eq!(&got.results, &want.results, "{}: execute_ops_in results", &name);
+                    prop_assert_eq!(
+                        got.metrics.kernel.kernel_launches,
+                        want.metrics.kernel.kernel_launches,
+                        "{}: execute_ops_in launches", &name
+                    );
+                    prop_assert_eq!(
+                        got.metrics.simulated_time_s,
+                        want.metrics.simulated_time_s,
+                        "{}: execute_ops_in simulated time", &name
+                    );
+                }
+                Err(want) => {
+                    prop_assert_eq!(with_arena.unwrap_err(), want.clone(), "{}: execute_in error", &name);
+                    prop_assert_eq!(from_ops.unwrap_err(), want, "{}: execute_ops_in error", &name);
+                }
+            }
+        }
     }
 }
 
