@@ -8,9 +8,10 @@
 
 use gpu_device::{Device, DeviceBuffer};
 
-use crate::common::{BaselineBatch, BaselineBuildMetrics, BaselineLookupResult, GpuIndex, MISS};
+use crate::common::{BaselineBatch, BaselineBuildMetrics, GpuIndex};
 use crate::kernel::{fetch_value, run_lookup_kernel};
 use crate::radix_sort::radix_sort_pairs;
+use rtx_query::{LookupResult, MISS};
 
 /// Entries per node (the paper's baseline traverses in groups of 16 threads).
 pub const NODE_FANOUT: usize = 16;
@@ -259,7 +260,7 @@ impl GpuIndex for BPlusTree {
             |ctx, classifier, idx| {
                 let query = queries[idx];
                 if query > u32::MAX as u64 {
-                    return BaselineLookupResult::miss();
+                    return LookupResult::miss();
                 }
                 let key = query as u32;
                 ctx.add_instructions(6);
@@ -272,14 +273,14 @@ impl GpuIndex for BPlusTree {
                     ctx.add_instructions(NODE_FANOUT as u64 * 6);
                 });
                 let node = &self.nodes[leaf as usize];
-                let mut result = BaselineLookupResult::miss();
+                let mut result = LookupResult::miss();
                 if let Some(pos) = node.keys.iter().position(|&k| k == key) {
                     let row = node.payloads[pos];
                     let mut sum = 0u64;
                     if let Some(values) = values {
                         fetch_value(ctx, classifier, values, row, &mut sum);
                     }
-                    result = BaselineLookupResult {
+                    result = LookupResult {
                         first_row: row,
                         hit_count: 1,
                         value_sum: sum,
@@ -304,7 +305,7 @@ impl GpuIndex for BPlusTree {
             |ctx, classifier, idx| {
                 let (lower, upper) = ranges[idx];
                 if lower > upper || lower > u32::MAX as u64 {
-                    return BaselineLookupResult::miss();
+                    return LookupResult::miss();
                 }
                 let lower = lower as u32;
                 let upper = upper.min(u32::MAX as u64) as u32;
@@ -347,9 +348,9 @@ impl GpuIndex for BPlusTree {
                     leaf = node.next_leaf;
                 }
                 if hit_count == 0 {
-                    BaselineLookupResult::miss()
+                    LookupResult::miss()
                 } else {
-                    BaselineLookupResult {
+                    LookupResult {
                         first_row,
                         hit_count,
                         value_sum: sum,

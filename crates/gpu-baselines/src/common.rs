@@ -3,19 +3,15 @@
 use gpu_device::{Device, KernelStats};
 
 // The miss sentinel and per-lookup result type are shared with RX and live
-// in `rtx-query`; the old `gpu_baselines` names remain as re-exports.
-pub use rtx_query::MISS;
-
-/// Result of a single lookup within a batch (mirrors the result-array
-/// semantics of the paper's methodology). Alias of the canonical
-/// [`rtx_query::LookupResult`].
-pub type BaselineLookupResult = rtx_query::LookupResult;
+// in `rtx-query` (the canonical home; the historical `gpu_baselines`
+// re-exports are gone).
+use rtx_query::LookupResult;
 
 /// Result of a batched lookup against a baseline index.
 #[derive(Debug, Clone, Default)]
 pub struct BaselineBatch {
     /// One result per lookup, in submission order.
-    pub results: Vec<BaselineLookupResult>,
+    pub results: Vec<LookupResult>,
     /// Merged hardware counters of the lookup kernel.
     pub kernel: KernelStats,
     /// Simulated device time of the kernel.
@@ -102,13 +98,14 @@ pub trait GpuIndex: Send + Sync {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rtx_query::MISS;
 
     #[test]
     fn miss_constructor_and_predicates() {
-        let m = BaselineLookupResult::miss();
+        let m = LookupResult::miss();
         assert_eq!(m.first_row, MISS);
         assert!(!m.is_hit());
-        let h = BaselineLookupResult {
+        let h = LookupResult {
             first_row: 3,
             hit_count: 2,
             value_sum: 10,
@@ -120,13 +117,13 @@ mod tests {
     fn batch_aggregations() {
         let batch = BaselineBatch {
             results: vec![
-                BaselineLookupResult {
+                LookupResult {
                     first_row: 0,
                     hit_count: 1,
                     value_sum: 5,
                 },
-                BaselineLookupResult::miss(),
-                BaselineLookupResult {
+                LookupResult::miss(),
+                LookupResult {
                     first_row: 2,
                     hit_count: 3,
                     value_sum: 7,
@@ -141,12 +138,12 @@ mod tests {
     #[test]
     fn batch_merge_concatenates() {
         let mut a = BaselineBatch {
-            results: vec![BaselineLookupResult::miss()],
+            results: vec![LookupResult::miss()],
             simulated_time_s: 1.0,
             ..Default::default()
         };
         let b = BaselineBatch {
-            results: vec![BaselineLookupResult {
+            results: vec![LookupResult {
                 first_row: 1,
                 hit_count: 1,
                 value_sum: 2,

@@ -14,8 +14,9 @@
 use gpu_device::{Device, KernelStats};
 use rtx_query::IndexError;
 
-use crate::common::{BaselineBatch, BaselineBuildMetrics, BaselineLookupResult, GpuIndex, MISS};
+use crate::common::{BaselineBatch, BaselineBuildMetrics, GpuIndex};
 use crate::kernel::{fetch_value, run_lookup_kernel};
+use rtx_query::{LookupResult, MISS};
 
 /// Number of slots probed together by one cooperative group.
 pub const GROUP_SIZE: usize = 8;
@@ -267,9 +268,9 @@ impl GpuIndex for WarpHashTable {
                     }
                 }
                 if hit_count == 0 {
-                    BaselineLookupResult::miss()
+                    LookupResult::miss()
                 } else {
-                    BaselineLookupResult {
+                    LookupResult {
                         first_row,
                         hit_count,
                         value_sum: sum,

@@ -8,7 +8,8 @@
 
 use gpu_device::{AccessClassifier, Device, KernelStats, ThreadCtx};
 
-use crate::common::{BaselineBatch, BaselineLookupResult};
+use crate::common::BaselineBatch;
+use rtx_query::LookupResult;
 
 /// Runs a lookup kernel of `width` logical threads.
 ///
@@ -22,10 +23,10 @@ pub fn run_lookup_kernel<F>(
     body: F,
 ) -> BaselineBatch
 where
-    F: Fn(&mut ThreadCtx, &mut AccessClassifier, usize) -> BaselineLookupResult + Sync,
+    F: Fn(&mut ThreadCtx, &mut AccessClassifier, usize) -> LookupResult + Sync,
 {
     let start = std::time::Instant::now();
-    let mut results = vec![BaselineLookupResult::miss(); width];
+    let mut results = vec![LookupResult::miss(); width];
     let mut merged = KernelStats {
         threads_launched: width as u64,
         kernel_launches: 1,
@@ -36,7 +37,7 @@ where
         let workers = gpu_device::executor::worker_count().min(width);
         let chunk = width.div_ceil(workers);
         let l2 = device.spec().l2_bytes;
-        let chunks: Vec<&mut [BaselineLookupResult]> = results.chunks_mut(chunk).collect();
+        let chunks: Vec<&mut [LookupResult]> = results.chunks_mut(chunk).collect();
 
         // Runs on the shared gpu-device worker pool: each claimant owns one
         // contiguous result chunk, mirroring a CUDA block writing its slice
@@ -98,7 +99,7 @@ mod tests {
         let device = Device::default_eval();
         let batch = run_lookup_kernel(&device, 1000, 1 << 10, |ctx, _cl, idx| {
             ctx.add_instructions(1);
-            BaselineLookupResult {
+            LookupResult {
                 first_row: idx as u32,
                 hit_count: 1,
                 value_sum: idx as u64,
@@ -118,7 +119,7 @@ mod tests {
     #[test]
     fn empty_kernel_is_safe() {
         let device = Device::default_eval();
-        let batch = run_lookup_kernel(&device, 0, 0, |_, _, _| BaselineLookupResult::miss());
+        let batch = run_lookup_kernel(&device, 0, 0, |_, _, _| LookupResult::miss());
         assert!(batch.results.is_empty());
         assert_eq!(batch.kernel.threads_launched, 0);
     }
@@ -131,7 +132,7 @@ mod tests {
             let mut sum = 0;
             fetch_value(ctx, cl, &values, 0, &mut sum);
             fetch_value(ctx, cl, &values, 2, &mut sum);
-            BaselineLookupResult {
+            LookupResult {
                 first_row: 0,
                 hit_count: 2,
                 value_sum: sum,

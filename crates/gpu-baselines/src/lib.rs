@@ -30,7 +30,7 @@ pub mod sorted_array;
 
 pub use adapter::{register_baselines, GpuIndexAdapter};
 pub use bplus_tree::{BPlusTree, BPlusTreeError};
-pub use common::{BaselineBatch, BaselineBuildMetrics, BaselineLookupResult, GpuIndex, MISS};
+pub use common::{BaselineBatch, BaselineBuildMetrics, GpuIndex};
 pub use hash_table::{slot_hash, WarpHashTable, GROUP_SIZE, TARGET_LOAD_FACTOR};
 pub use radix_sort::{radix_sort_pairs, RadixSortMetrics};
 pub use sorted_array::SortedArray;

@@ -11,9 +11,10 @@
 use gpu_device::{Device, DeviceBuffer};
 use rtx_query::IndexError;
 
-use crate::common::{BaselineBatch, BaselineBuildMetrics, BaselineLookupResult, GpuIndex, MISS};
+use crate::common::{BaselineBatch, BaselineBuildMetrics, GpuIndex};
 use crate::kernel::{fetch_value, run_lookup_kernel};
 use crate::radix_sort::radix_sort_pairs;
+use rtx_query::{LookupResult, MISS};
 
 /// The sorted-array baseline.
 #[derive(Debug)]
@@ -151,9 +152,9 @@ impl GpuIndex for SortedArray {
                     pos += 1;
                 }
                 if hit_count == 0 {
-                    BaselineLookupResult::miss()
+                    LookupResult::miss()
                 } else {
-                    BaselineLookupResult {
+                    LookupResult {
                         first_row,
                         hit_count,
                         value_sum: sum,
@@ -177,7 +178,7 @@ impl GpuIndex for SortedArray {
             |ctx, classifier, idx| {
                 let (lower, upper) = ranges[idx];
                 if lower > upper {
-                    return BaselineLookupResult::miss();
+                    return LookupResult::miss();
                 }
                 ctx.add_instructions(8);
                 let mut probes = 0u64;
@@ -210,9 +211,9 @@ impl GpuIndex for SortedArray {
                     pos += 1;
                 }
                 if hit_count == 0 {
-                    BaselineLookupResult::miss()
+                    LookupResult::miss()
                 } else {
-                    BaselineLookupResult {
+                    LookupResult {
                         first_row,
                         hit_count,
                         value_sum: sum,

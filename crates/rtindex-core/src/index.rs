@@ -25,10 +25,10 @@ use crate::error::RtIndexError;
 use crate::key_mode::KeyMode;
 use crate::ray_strategy::{point_lookup_ray, range_lookup_rays};
 
-// The result types are shared by every backend and live in `rtx-query`;
-// they are re-exported here so existing `rtindex_core::{MISS, ...}` paths
-// keep working.
-pub use rtx_query::{BatchOutcome, LookupResult, MISS};
+// The result types are shared by every backend and live in `rtx-query`,
+// the single canonical path (the historical `rtindex_core::{MISS, ...}`
+// re-exports are gone).
+use rtx_query::{BatchOutcome, LookupResult, MISS};
 
 /// The RTIndeX secondary index.
 #[derive(Debug)]

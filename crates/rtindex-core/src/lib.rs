@@ -45,7 +45,7 @@ pub use adapter::{register_rx, RxAdapter};
 pub use config::RtIndexConfig;
 pub use decomposition::Decomposition;
 pub use error::RtIndexError;
-pub use index::{BatchOutcome, LookupResult, PendingIndexBuild, RtIndex, MISS};
+pub use index::{PendingIndexBuild, RtIndex};
 pub use key_mode::KeyMode;
 pub use ray_strategy::{PointRayStrategy, RangeRayStrategy};
 pub use typed::TypedRtIndex;

@@ -10,7 +10,8 @@ use rtx_math::key_encode::IndexableKey;
 
 use crate::config::RtIndexConfig;
 use crate::error::RtIndexError;
-use crate::index::{BatchOutcome, RtIndex};
+use crate::index::RtIndex;
+use rtx_query::BatchOutcome;
 
 /// A secondary index over a column of `K` values, built by converting each
 /// value to its order-preserving `u64` key.

@@ -45,8 +45,9 @@
 use gpu_baselines::{kernel as baseline_kernel, GROUP_SIZE};
 use gpu_device::{Device, DeviceBuffer};
 use optix_sim::LaunchMetrics;
-use rtindex_core::{BatchOutcome, LookupResult, PendingIndexBuild, RtIndex, RtIndexError, MISS};
+use rtindex_core::{PendingIndexBuild, RtIndex, RtIndexError};
 use rtx_bvh::BvhQuality;
+use rtx_query::{BatchOutcome, LookupResult, MISS};
 
 use crate::config::{CompactionTrigger, DynamicRtConfig};
 use crate::delta_buffer::{DeltaBuffer, DELTA_SLOT_BYTES};
@@ -551,7 +552,7 @@ impl DynamicRtIndex {
                     probed * GROUP_SIZE as u64 * DELTA_SLOT_BYTES,
                 );
                 ctx.add_instructions(probed * GROUP_SIZE as u64);
-                gpu_baselines::BaselineLookupResult {
+                LookupResult {
                     first_row,
                     hit_count,
                     value_sum: sum,
@@ -585,7 +586,7 @@ impl DynamicRtIndex {
                 // The scan streams the whole table once.
                 classifier.access(ctx, u64::MAX, slot_bytes);
                 ctx.add_instructions(delta.capacity() as u64);
-                gpu_baselines::BaselineLookupResult {
+                LookupResult {
                     first_row,
                     hit_count,
                     value_sum: sum,

@@ -64,7 +64,8 @@ pub use dynamic::{CompactionEvent, DynamicRtIndex, UpdateOutcome, UpdateStats};
 mod tests {
     use super::*;
     use gpu_device::Device;
-    use rtindex_core::{RtIndex, RtIndexError, MISS};
+    use rtindex_core::{RtIndex, RtIndexError};
+    use rtx_query::MISS;
 
     fn device() -> Device {
         Device::default_eval()
@@ -89,7 +90,7 @@ mod tests {
         let out = index.point_lookup_batch(&[0, 50, 200, 201, 999]).unwrap();
         assert_eq!(
             out.results[0],
-            rtindex_core::LookupResult {
+            rtx_query::LookupResult {
                 first_row: 0,
                 hit_count: 1,
                 value_sum: 0

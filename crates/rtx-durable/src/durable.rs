@@ -135,6 +135,10 @@ impl DurableIndex {
             values: values.map(std::sync::Arc::from),
             builder: spec.builder,
             durability: spec.durability.clone(),
+            // Composite schemas wrap outside the durable layer; the inner
+            // rebuild always happens in the encoded key space.
+            key_schema: None,
+            rows: None,
         };
         let mut inner = registry.build_updatable(base, &inner_spec)?;
         let has_values = inner.has_value_column();

@@ -460,6 +460,10 @@ fn recover_shard(
         values: values.map(Arc::from),
         builder: spec.builder,
         durability: spec.durability.clone(),
+        // Composite schemas wrap outside the durable layer; shard rebuilds
+        // happen in the encoded key space.
+        key_schema: None,
+        rows: None,
     };
     let mut ix = registry.build_updatable(backend, &inner_spec)?;
     let mut mirror: Vec<Option<(u64, u32)>> = snapshot

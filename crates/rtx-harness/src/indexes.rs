@@ -59,6 +59,8 @@ pub fn build_all_indexes(
         values: values.map(std::sync::Arc::from),
         builder: None,
         durability: None,
+        key_schema: None,
+        rows: None,
     };
     registry_with(rx_config)
         .build_named(&PAPER_BACKENDS, &spec)

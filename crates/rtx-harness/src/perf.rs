@@ -801,6 +801,54 @@ pub fn quick_suite(scale: &ExperimentScale) -> BenchReport {
         ));
     }
 
+    // Composite-key overhead: the typed `{u64}` identity schema (the
+    // composite layer's direct codec over the same RX build) against the
+    // raw path, host wall-clock over the same point batch. The encoding
+    // is the identity so the target ratio is 1.0; host timings vary per
+    // runner, so both metrics record ungated for the trajectory.
+    {
+        use rtx_query::{KeyValue, TypedBatch};
+        let raw = registry.build("RX", &spec).expect("RX");
+        let typed = registry.build("RX{u64}", &spec).expect("RX{u64}");
+        let raw_batch = QueryBatch::of_points(&queries).fetch_values(true);
+        let typed_batch = queries
+            .iter()
+            .fold(TypedBatch::new(), |b, &k| b.point([KeyValue::U64(k)]))
+            .fetch_values(true);
+        raw.execute(&raw_batch).expect("raw warmup");
+        typed.execute_typed(&typed_batch).expect("typed warmup");
+        let reps = 5;
+        let start = std::time::Instant::now();
+        for _ in 0..reps {
+            raw.execute(&raw_batch).expect("raw points");
+        }
+        let raw_s = start.elapsed().as_secs_f64();
+        let start = std::time::Instant::now();
+        for _ in 0..reps {
+            typed.execute_typed(&typed_batch).expect("typed points");
+        }
+        let typed_s = start.elapsed().as_secs_f64();
+        let ops = (queries.len() * reps) as f64;
+        let typed_tp = ops / typed_s.max(1e-12);
+        let raw_tp = ops / raw_s.max(1e-12);
+        metrics.push(metric(
+            "composite_overhead",
+            "typed {u64} host throughput",
+            "ops/s",
+            typed_tp,
+            true,
+            false,
+        ));
+        metrics.push(metric(
+            "composite_overhead",
+            "typed vs raw host throughput ratio",
+            "x",
+            typed_tp / raw_tp.max(1e-12),
+            true,
+            false,
+        ));
+    }
+
     BenchReport {
         scale: scale_name.to_string(),
         metrics,

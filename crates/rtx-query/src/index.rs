@@ -11,6 +11,7 @@ use optix_sim::LaunchMetrics;
 use crate::arena::ExecArena;
 use crate::batch::{QueryBatch, QueryOp, QueryOps};
 use crate::error::IndexError;
+use crate::keys::{KeySchema, KeyTuple, TypedBatch};
 use crate::types::{
     BatchOutcome, Capabilities, DurableStats, IndexBuildMetrics, MemoryUsage, QueryOutcome,
     UpdateReport,
@@ -59,6 +60,31 @@ pub trait SecondaryIndex: Send + Sync {
     /// by WAL-backed wrappers.
     fn durability_stats(&self) -> Option<DurableStats> {
         None
+    }
+
+    /// The typed key schema of this index, or `None` for a raw-`u64` index
+    /// (whose implicit schema is `{u64}`). Overridden by the composite
+    /// wrapper; plain backends never carry one.
+    fn key_schema(&self) -> Option<&KeySchema> {
+        None
+    }
+
+    /// Executes a typed batch: point, range and prefix-range operations
+    /// over the index's [`KeySchema`], compiled into encoded `u64`
+    /// operations before any backend hook runs.
+    ///
+    /// The default compiles against [`key_schema`](SecondaryIndex::key_schema)
+    /// (falling back to the implicit `{u64}` schema), which covers every
+    /// single-limb direct-codec schema on every backend; wide multi-limb
+    /// schemas need the dictionary state held by the composite wrapper,
+    /// which overrides this, so reaching the default with one is an error
+    /// telling the caller to build through the registry.
+    fn execute_typed(&self, batch: &TypedBatch) -> Result<QueryOutcome, IndexError> {
+        let compiled = match self.key_schema() {
+            Some(schema) => schema.compile(batch)?,
+            None => KeySchema::raw_u64().compile(batch)?,
+        };
+        self.execute(&compiled)
     }
 
     /// Executes one homogeneous chunk of point lookups.
@@ -305,6 +331,37 @@ pub trait UpdatableIndex: SecondaryIndex {
     /// fresh `(key, value)` row is inserted per pair.
     fn upsert(&mut self, keys: &[u64], values: &[u64]) -> Result<UpdateReport, IndexError>;
 
+    /// Inserts a batch of typed `(tuple, value)` rows, encoding each tuple
+    /// against the index's schema first. The default covers direct-codec
+    /// schemas (including the implicit `{u64}`); the composite wrapper
+    /// overrides it to allocate dictionary slots for wide schemas.
+    fn insert_rows(
+        &mut self,
+        rows: &[KeyTuple],
+        values: &[u64],
+    ) -> Result<UpdateReport, IndexError> {
+        let keys = typed_write_schema(self).encode_rows(rows)?;
+        self.insert(&keys, values)
+    }
+
+    /// Deletes every live entry matching one of the typed tuples. Unknown
+    /// tuples are ignored, mirroring [`delete`](UpdatableIndex::delete).
+    fn delete_rows(&mut self, rows: &[KeyTuple]) -> Result<UpdateReport, IndexError> {
+        let keys = typed_write_schema(self).encode_rows(rows)?;
+        self.delete(&keys)
+    }
+
+    /// Upserts a batch of typed `(tuple, value)` rows (see
+    /// [`upsert`](UpdatableIndex::upsert)).
+    fn upsert_rows(
+        &mut self,
+        rows: &[KeyTuple],
+        values: &[u64],
+    ) -> Result<UpdateReport, IndexError> {
+        let keys = typed_write_schema(self).encode_rows(rows)?;
+        self.upsert(&keys, values)
+    }
+
     /// Lands any *completed* deferred reorganisation (e.g. a background
     /// compaction whose swap is ready) without blocking, returning how many
     /// landed. The default — for backends without deferred reorganisation —
@@ -358,6 +415,15 @@ pub trait UpdatableIndex: SecondaryIndex {
     fn checkpoint(&mut self) -> Result<u64, IndexError> {
         Ok(0)
     }
+}
+
+/// The schema the provided typed-write defaults encode against: the
+/// index's own schema, or the implicit `{u64}` for legacy indexes.
+fn typed_write_schema<I: UpdatableIndex + ?Sized>(index: &I) -> KeySchema {
+    index
+        .key_schema()
+        .cloned()
+        .unwrap_or_else(KeySchema::raw_u64)
 }
 
 #[cfg(test)]

@@ -33,9 +33,16 @@
 //!   named columns with per-column index specs, CDC ingest operations and
 //!   multi-predicate queries, consumed by the `rtx-table` subsystem.
 //!
+//! * [`KeySchema`] / [`TypedBatch`] — typed composite keys ([`keys`]):
+//!   multi-column `u8/u16/u32/u64/i64/str<N>` schemas, order-preserving
+//!   byte encoding, and typed point / range / prefix-range queries that
+//!   compile into the 1-D `u64` key space before any backend sees them
+//!   (the [`composite`] wrapper handles multi-limb schemas).
+//!
 //! The canonical result types ([`MISS`], [`LookupResult`],
-//! [`BatchOutcome`]) also live here and are re-exported by
-//! `rtindex-core` and `gpu-baselines` for backwards compatibility.
+//! [`BatchOutcome`]) live here and **only** here — the historical
+//! re-exports from `rtindex-core` and `gpu-baselines` were removed once
+//! every caller migrated (see the DESIGN.md migration note).
 //!
 //! ```
 //! use rtx_query::QueryBatch;
@@ -52,9 +59,11 @@
 
 pub mod arena;
 pub mod batch;
+pub mod composite;
 pub mod error;
 pub mod fuse;
 pub mod index;
+pub mod keys;
 pub mod registry;
 pub mod shard;
 pub mod table;
@@ -62,12 +71,17 @@ pub mod types;
 
 pub use arena::{ArenaPool, ExecArena};
 pub use batch::{QueryBatch, QueryOp, QueryOps};
+pub use composite::{parse_schema_name, CompositeIndex};
 pub use error::IndexError;
 pub use fuse::{FusedBatch, FusedSlice, SharedOutcome};
 pub use index::{SecondaryIndex, UpdatableIndex};
+pub use keys::{
+    ColumnType, EncodedKey, EncodedRange, KeyBound, KeySchema, KeyTuple, KeyValue, TypedBatch,
+    TypedOp,
+};
 pub use registry::{
     parse_builder_name, parse_durable_name, DurabilitySpec, DurableBuilder, IndexBuilder,
-    IndexSpec, Registry, ShardedBuilder, UpdatableBuilder, UpdatableShardedBuilder,
+    IndexSpec, Registry, ShardedBuilder, SpecName, UpdatableBuilder, UpdatableShardedBuilder,
 };
 
 // The builder-selection grammar (`"RX:sah"`, `"RX:lbvh"`) names this enum;

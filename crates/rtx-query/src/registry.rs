@@ -8,17 +8,27 @@
 //!
 //! # Name grammar
 //!
-//! A backend name resolves in three steps, each handling one production of
+//! A backend name resolves in four steps, each handling one production of
 //! the grammar:
 //!
 //! ```text
-//! name        := backend [builder] [shard] [durability]
+//! name        := backend [builder] [shard] [schema] [durability]
 //! backend     := "RX" | "HT" | "B+" | "SA" | "RXD" | <any registered name>
 //! builder     := ":sah" | ":lbvh"
 //! shard       := "@" <count> [":hash" | ":range"]
+//! schema      := "{" column ("," column)* "}"
+//! column      := "u8" | "u16" | "u32" | "u64" | "i64" | "str" <bytes>
 //! durability  := "+wal:" <path>
 //! ```
 //!
+//! −1. **key schema** — a brace-enclosed column list anywhere in the name
+//!    (canonically after the shard production:
+//!    `"RX:sah@4:hash{u32,u32,str16}"`) is stripped *first* and wraps the
+//!    whole resolution in a typed composite-key layer (see
+//!    [`crate::composite`] and [`KeySchema`]); the
+//!    remaining productions resolve below it, so sharding and durability
+//!    operate on the *encoded* key space. A schema set programmatically via
+//!    [`IndexSpec::with_schema`] behaves identically;
 //! 0. **durability** — a trailing `"+wal:<path>"` (the outermost
 //!    production: `"RXD+wal:/data/ix"`, `"RXD:sah@4:hash+wal:/data/ix"`)
 //!    strips the suffix, records the path in [`IndexSpec::durability`] and
@@ -51,15 +61,18 @@
 //! the candidate backends instead of hard-coding them.
 
 use std::collections::BTreeMap;
+use std::fmt;
 use std::path::PathBuf;
 use std::sync::Arc;
 
 use gpu_device::Device;
 use rtx_bvh::BuilderKind;
 
+use crate::composite;
 use crate::error::IndexError;
 use crate::index::{SecondaryIndex, UpdatableIndex};
-use crate::shard::ShardSpec;
+use crate::keys::{KeySchema, KeyTuple};
+use crate::shard::{Partitioning, ShardSpec};
 
 /// What to build an index over: the device and the column pair. The
 /// position of a key in `keys` is its rowID; `values`, when present, must
@@ -89,6 +102,19 @@ pub struct IndexSpec<'a> {
     /// autonomous background-compaction swaps so the wrapper controls the
     /// exact swap points it logs).
     pub durability: Option<DurabilitySpec>,
+    /// Typed key schema, set by a `"{u32,u32,str16}"` brace production in
+    /// the name or by [`IndexSpec::with_schema`]. With a schema present the
+    /// registry wraps the build in a composite-key layer (see the
+    /// [module docs](self) grammar); without one the spec describes the
+    /// legacy raw-`u64` key column.
+    pub key_schema: Option<KeySchema>,
+    /// Typed key tuples, one per row, for composite builds (the typed
+    /// counterpart of `keys`; exactly one of the two may be non-empty).
+    /// Required for wide multi-limb schemas, whose raw `u64` image is
+    /// dictionary-assigned; optional for single-limb schemas, where raw
+    /// `keys` are accepted as pre-encoded. Shared behind an [`Arc`] like
+    /// the value column.
+    pub rows: Option<Arc<[KeyTuple]>>,
 }
 
 /// The durability request riding in [`IndexSpec::durability`]: where the
@@ -116,6 +142,8 @@ impl<'a> IndexSpec<'a> {
             values: None,
             builder: None,
             durability: None,
+            key_schema: None,
+            rows: None,
         }
     }
 
@@ -128,7 +156,51 @@ impl<'a> IndexSpec<'a> {
             values: Some(Arc::from(values)),
             builder: None,
             durability: None,
+            key_schema: None,
+            rows: None,
         }
+    }
+
+    /// A spec over typed key tuples without values: each row is one tuple
+    /// matching `schema` column for column (the composite counterpart of
+    /// [`keys_only`](IndexSpec::keys_only)).
+    pub fn typed(device: &'a Device, schema: KeySchema, rows: &[KeyTuple]) -> Self {
+        IndexSpec {
+            device,
+            keys: &[],
+            values: None,
+            builder: None,
+            durability: None,
+            key_schema: Some(schema),
+            rows: Some(Arc::from(rows)),
+        }
+    }
+
+    /// A spec over typed key tuples with a value column (the composite
+    /// counterpart of [`with_values`](IndexSpec::with_values)).
+    pub fn typed_with_values(
+        device: &'a Device,
+        schema: KeySchema,
+        rows: &[KeyTuple],
+        values: &[u64],
+    ) -> Self {
+        IndexSpec {
+            device,
+            keys: &[],
+            values: Some(Arc::from(values)),
+            builder: None,
+            durability: None,
+            key_schema: Some(schema),
+            rows: Some(Arc::from(rows)),
+        }
+    }
+
+    /// Returns the spec with a typed key schema attached (the programmatic
+    /// equivalent of the `"{...}"` brace production in a name). When a name
+    /// also carries a brace production the two must agree.
+    pub fn with_schema(mut self, schema: KeySchema) -> Self {
+        self.key_schema = Some(schema);
+        self
     }
 
     /// Returns the spec with an explicit builder selection (the
@@ -154,14 +226,146 @@ impl<'a> IndexSpec<'a> {
         self.values.as_deref()
     }
 
+    /// Number of rows the spec describes: typed tuples when present,
+    /// otherwise raw keys.
+    pub fn row_count(&self) -> usize {
+        match &self.rows {
+            Some(rows) => rows.len(),
+            None => self.keys.len(),
+        }
+    }
+
     fn validate(&self) -> Result<(), IndexError> {
+        if self.rows.is_some() && !self.keys.is_empty() {
+            return Err(IndexError::Backend {
+                backend: "spec".into(),
+                message: "a spec may carry raw keys or typed rows, not both".to_string(),
+            });
+        }
         if let Some(values) = &self.values {
-            if values.len() != self.keys.len() {
+            if values.len() != self.row_count() {
                 return Err(IndexError::ValueColumnLengthMismatch {
-                    expected: self.keys.len(),
+                    expected: self.row_count(),
                     actual: values.len(),
                 });
             }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for IndexSpec<'_> {
+    /// The grammar productions riding this spec — builder suffix, key
+    /// schema, durability — in canonical order. Append to a backend name
+    /// to reprint a full spec name for logs or `ExplainPlan` (or go
+    /// through [`SpecName`] to round-trip shard counts too).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(builder) = self.builder {
+            write!(f, ":{}", builder_suffix(builder))?;
+        }
+        if let Some(schema) = &self.key_schema {
+            write!(f, "{schema}")?;
+        }
+        if let Some(durability) = &self.durability {
+            write!(f, "+wal:{}", durability.path.display())?;
+        }
+        Ok(())
+    }
+}
+
+/// The name suffix of a builder selection (inverse of
+/// [`parse_builder_name`]).
+fn builder_suffix(builder: BuilderKind) -> &'static str {
+    match builder {
+        BuilderKind::Sah => "sah",
+        BuilderKind::Lbvh => "lbvh",
+    }
+}
+
+/// A fully parsed spec name: every production of the registry grammar as a
+/// structured value, with a [`Display`](fmt::Display) that reprints the
+/// canonical name — so `SpecName::parse(s).to_string()` resolves to the
+/// same index as `s` for every grammatical name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecName {
+    /// The registered backend name (`"RX"`, `"HT"`, ...).
+    pub backend: String,
+    /// Builder selection (`":sah"` / `":lbvh"`), if any.
+    pub builder: Option<BuilderKind>,
+    /// Shard count and partitioning (`"@4:range"`), if sharded.
+    pub shard: Option<(usize, Partitioning)>,
+    /// Typed key schema (`"{u32,u32,str16}"`), if composite.
+    pub schema: Option<KeySchema>,
+    /// WAL directory (`"+wal:<path>"`), if durable.
+    pub wal: Option<PathBuf>,
+}
+
+impl SpecName {
+    /// Parses a name of the registry grammar into its productions. Accepts
+    /// every order [`Registry::build`] accepts (builder before or after the
+    /// shard production, schema anywhere); [`Display`](fmt::Display)
+    /// reprints the canonical order.
+    pub fn parse(name: &str) -> Result<SpecName, IndexError> {
+        let (rest, wal) = match parse_durable_name(name) {
+            Some((base, path)) => (base.to_string(), Some(PathBuf::from(path))),
+            None => (name.to_string(), None),
+        };
+        let (rest, schema) = match composite::parse_schema_name(&rest)? {
+            Some((rest, schema)) => (rest, Some(schema)),
+            None => (rest, None),
+        };
+        let (rest, shard) = match ShardSpec::parse(&rest) {
+            Some(spec) => (spec.backend.clone(), Some((spec.shards, spec.partitioning))),
+            None => (rest, None),
+        };
+        let (backend, builder, shard) = match parse_builder_name(&rest) {
+            // The builder suffix may follow the shard production
+            // ("RX@4:sah"); in that case the shard spec hides inside the
+            // builder's base.
+            Some((base, kind)) => match (&shard, ShardSpec::parse(base)) {
+                (None, Some(spec)) => (
+                    spec.backend.clone(),
+                    Some(kind),
+                    Some((spec.shards, spec.partitioning)),
+                ),
+                _ => (base.to_string(), Some(kind), shard),
+            },
+            None => (rest, None, shard),
+        };
+        if backend.is_empty() {
+            return Err(IndexError::Backend {
+                backend: name.to_string().into(),
+                message: "a spec name needs a backend before its suffix productions".to_string(),
+            });
+        }
+        Ok(SpecName {
+            backend,
+            builder,
+            shard,
+            schema,
+            wal,
+        })
+    }
+}
+
+impl fmt::Display for SpecName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.backend)?;
+        if let Some(builder) = self.builder {
+            write!(f, ":{}", builder_suffix(builder))?;
+        }
+        if let Some((count, partitioning)) = self.shard {
+            write!(f, "@{count}")?;
+            // Hash is the default and prints bare, matching `ShardSpec`.
+            if partitioning == Partitioning::Range {
+                write!(f, ":range")?;
+            }
+        }
+        if let Some(schema) = &self.schema {
+            write!(f, "{schema}")?;
+        }
+        if let Some(wal) = &self.wal {
+            write!(f, "+wal:{}", wal.display())?;
         }
         Ok(())
     }
@@ -301,17 +505,35 @@ impl Registry {
 
     /// Builds the backend registered under `name` over `spec`.
     ///
-    /// A name the registry does not know verbatim is tried as a sharded
-    /// spec (`"RX@8"`, see [`ShardSpec::parse`]) when a sharding layer is
+    /// A `"{...}"` key-schema production in the name (or a schema attached
+    /// via [`IndexSpec::with_schema`]) wraps the whole build in a typed
+    /// composite-key layer first (see the [module docs](self) grammar). A
+    /// name the registry does not know verbatim is tried as a sharded spec
+    /// (`"RX@8"`, see [`ShardSpec::parse`]) when a sharding layer is
     /// installed, then as a builder-suffixed name (`"RX:lbvh"`, see
-    /// [`parse_builder_name`] and the [module docs](self) grammar). Truly
-    /// unknown names fail with an error listing every registered backend.
+    /// [`parse_builder_name`]). Truly unknown names fail with an error
+    /// listing every registered backend.
     pub fn build(
         &self,
         name: &str,
         spec: &IndexSpec<'_>,
     ) -> Result<Box<dyn SecondaryIndex>, IndexError> {
         spec.validate()?;
+        match self.extract_schema(name, spec)? {
+            Some((rest, schema)) => composite::build_read_only(self, &rest, spec, schema),
+            None => self.build_base(name, spec),
+        }
+    }
+
+    /// The schema-free resolution core behind [`build`](Registry::build):
+    /// durability, verbatim, sharding, then builder-suffix recursion. The
+    /// composite layer calls this with a schema-stripped name and spec so
+    /// the inner backends never re-wrap.
+    pub(crate) fn build_base(
+        &self,
+        name: &str,
+        spec: &IndexSpec<'_>,
+    ) -> Result<Box<dyn SecondaryIndex>, IndexError> {
         if let Some((base, path)) = parse_durable_name(name) {
             return self
                 .build_durable(base, path, spec)
@@ -330,22 +552,36 @@ impl Registry {
         // the unknown-backend error instead of silently picking one.
         if spec.builder.is_none() {
             if let Some((base, kind)) = parse_builder_name(name) {
-                return self.build(base, &spec.clone().with_builder(kind));
+                return self.build_base(base, &spec.clone().with_builder(kind));
             }
         }
         Err(self.unknown(name))
     }
 
     /// Builds the updatable backend registered under `name` over `spec`,
-    /// resolving sharded specs (`"RXD@4"`) and builder suffixes
-    /// (`"RXD:sah"`) like [`build`](Registry::build) does — every shard of
-    /// an updatable sharded backend must itself be updatable.
+    /// resolving key schemas (`"RXD{u32,u32}"`), sharded specs (`"RXD@4"`)
+    /// and builder suffixes (`"RXD:sah"`) like [`build`](Registry::build)
+    /// does — every shard of an updatable sharded backend must itself be
+    /// updatable.
     pub fn build_updatable(
         &self,
         name: &str,
         spec: &IndexSpec<'_>,
     ) -> Result<Box<dyn UpdatableIndex>, IndexError> {
         spec.validate()?;
+        match self.extract_schema(name, spec)? {
+            Some((rest, schema)) => composite::build_updatable(self, &rest, spec, schema),
+            None => self.build_base_updatable(name, spec),
+        }
+    }
+
+    /// Schema-free core behind [`build_updatable`](Registry::build_updatable)
+    /// (see [`build_base`](Registry::build_base)).
+    pub(crate) fn build_base_updatable(
+        &self,
+        name: &str,
+        spec: &IndexSpec<'_>,
+    ) -> Result<Box<dyn UpdatableIndex>, IndexError> {
         if let Some((base, path)) = parse_durable_name(name) {
             return self.build_durable(base, path, spec);
         }
@@ -363,7 +599,7 @@ impl Registry {
             }
             if spec.builder.is_none() {
                 if let Some((base, kind)) = parse_builder_name(name) {
-                    return self.build_updatable(base, &spec.clone().with_builder(kind));
+                    return self.build_base_updatable(base, &spec.clone().with_builder(kind));
                 }
             }
         }
@@ -375,6 +611,43 @@ impl Registry {
                 .map(|s| s.to_string())
                 .collect(),
         })
+    }
+
+    /// Resolves the key-schema production for a build: a brace production
+    /// in the name wins (and must agree with any schema riding the spec);
+    /// otherwise the spec's own schema applies to the whole name. Typed
+    /// rows without any schema are an error — they cannot be interpreted.
+    fn extract_schema(
+        &self,
+        name: &str,
+        spec: &IndexSpec<'_>,
+    ) -> Result<Option<(String, KeySchema)>, IndexError> {
+        if let Some((rest, schema)) = composite::parse_schema_name(name)? {
+            if let Some(attached) = &spec.key_schema {
+                if *attached != schema {
+                    return Err(IndexError::Backend {
+                        backend: name.to_string().into(),
+                        message: format!(
+                            "the name carries schema {schema} but the spec carries {attached}; \
+                             they must agree"
+                        ),
+                    });
+                }
+            }
+            return Ok(Some((rest, schema)));
+        }
+        if let Some(schema) = &spec.key_schema {
+            return Ok(Some((name.to_string(), schema.clone())));
+        }
+        if spec.rows.is_some() {
+            return Err(IndexError::Backend {
+                backend: name.to_string().into(),
+                message: "typed rows need a key schema (a {...} name production or \
+                          IndexSpec::with_schema)"
+                    .to_string(),
+            });
+        }
+        Ok(None)
     }
 
     /// Resolves a stripped `"+wal:"` production: records the path in the
@@ -788,6 +1061,8 @@ mod tests {
                     values: Some(Arc::from(&[9u64][..])),
                     builder: None,
                     durability: None,
+                    key_schema: None,
+                    rows: None,
                 },
             )
             .map(|_| ())

@@ -19,20 +19,42 @@
 //! *primary column* — always the first column of the schema.
 
 use crate::batch::QueryOp;
+use crate::composite::parse_schema_name;
 use crate::error::IndexError;
+use crate::keys::{KeyBound, KeyValue, TypedOp};
 
-/// One named secondary index of a table: an index `name`, the schema
-/// `column` it keys on, and the backend `spec` string it is built from
-/// (full [registry grammar](crate::registry)).
+/// One named secondary index of a table: an index `name`, the ordered
+/// schema `columns` it keys on, and the backend `spec` string it is built
+/// from (full [registry grammar](crate::registry)).
+///
+/// A single-column definition behaves exactly as before; a multi-column
+/// definition builds a *composite* index whose key is the order-preserving
+/// encoding of the column tuple (see [`KeySchema`](crate::keys::KeySchema)).
+/// The spec may carry an explicit brace schema (`"HT{u32,u32}"`); without
+/// one every key column defaults to `u64`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct IndexDef {
     /// Unique index name within the table (used by plans and reports).
     pub name: String,
-    /// The schema column the index keys on.
-    pub column: String,
+    /// The schema columns the index keys on, leading column first.
+    pub columns: Vec<String>,
     /// Backend spec in the registry name grammar (`"HT"`,
-    /// `"RX:sah@4:hash"`, `"RXD+wal:/data/ix"`, …).
+    /// `"RX:sah@4:hash"`, `"RXD+wal:/data/ix"`, `"B+{u32,u32}"`, …).
     pub spec: String,
+}
+
+impl IndexDef {
+    /// The leading key column (the full key for single-column indexes).
+    pub fn column(&self) -> &str {
+        &self.columns[0]
+    }
+
+    /// True when the index keys on more than one column or its spec
+    /// carries an explicit brace schema — either way the backend is built
+    /// through the composite (typed) path.
+    pub fn is_composite(&self) -> bool {
+        self.columns.len() > 1 || self.spec.contains('{')
+    }
 }
 
 /// The shape of a table: named `u64` columns, an optional designated value
@@ -76,7 +98,7 @@ impl TableSchema {
         self
     }
 
-    /// Adds a named index over `column` built from `spec`.
+    /// Adds a named single-column index over `column` built from `spec`.
     pub fn with_index(
         mut self,
         name: impl Into<String>,
@@ -85,7 +107,28 @@ impl TableSchema {
     ) -> Self {
         self.indexes.push(IndexDef {
             name: name.into(),
-            column: column.into(),
+            columns: vec![column.into()],
+            spec: spec.into(),
+        });
+        self
+    }
+
+    /// Adds a named composite index over the ordered `columns`, built from
+    /// `spec` (which may carry an explicit `{...}` key schema; without one
+    /// every column defaults to `u64`).
+    pub fn with_composite_index<I, S>(
+        mut self,
+        name: impl Into<String>,
+        columns: I,
+        spec: impl Into<String>,
+    ) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.indexes.push(IndexDef {
+            name: name.into(),
+            columns: columns.into_iter().map(Into::into).collect(),
             spec: spec.into(),
         });
         self
@@ -101,9 +144,10 @@ impl TableSchema {
         self.columns.iter().position(|c| c == column)
     }
 
-    /// The indexes keyed on `column`, in definition order.
+    /// The indexes whose *leading* key column is `column`, in definition
+    /// order (composite indexes serve predicates on their leading column).
     pub fn indexes_on<'a>(&'a self, column: &'a str) -> impl Iterator<Item = &'a IndexDef> {
-        self.indexes.iter().filter(move |ix| ix.column == column)
+        self.indexes.iter().filter(move |ix| ix.column() == column)
     }
 
     /// Checks structural consistency: at least one column, unique
@@ -139,14 +183,39 @@ impl TableSchema {
             if self.indexes[..i].iter().any(|other| other.name == ix.name) {
                 return fail(format!("duplicate index name {:?}", ix.name));
             }
-            if self.column_position(&ix.column).is_none() {
-                return fail(format!(
-                    "index {:?} keys on unknown column {:?}",
-                    ix.name, ix.column
-                ));
+            if ix.columns.is_empty() {
+                return fail(format!("index {:?} keys on no columns", ix.name));
+            }
+            for (j, column) in ix.columns.iter().enumerate() {
+                if self.column_position(column).is_none() {
+                    return fail(format!(
+                        "index {:?} keys on unknown column {column:?}",
+                        ix.name
+                    ));
+                }
+                if ix.columns[..j].contains(column) {
+                    return fail(format!("index {:?} repeats key column {column:?}", ix.name));
+                }
             }
             if ix.spec.is_empty() {
                 return fail(format!("index {:?} has an empty backend spec", ix.name));
+            }
+            // A brace schema in the spec must cover the key columns one for
+            // one (the registry would reject the arity mismatch anyway, but
+            // failing at schema validation is friendlier).
+            match parse_schema_name(&ix.spec) {
+                Ok(Some((_, schema))) if schema.columns().len() != ix.columns.len() => {
+                    return fail(format!(
+                        "index {:?} keys on {} column(s) but its spec schema {schema} has {}",
+                        ix.name,
+                        ix.columns.len(),
+                        schema.columns().len()
+                    ));
+                }
+                Ok(_) => {}
+                Err(err) => {
+                    return fail(format!("index {:?} has a malformed spec: {err}", ix.name));
+                }
             }
         }
         Ok(())
@@ -272,67 +341,201 @@ pub enum Predicate {
         /// Number of free low bits (0 makes this a point lookup).
         low_bits: u32,
     },
+    /// A tuple prefix-range over several columns: the first `prefix.len()`
+    /// columns are bound to exact values, and — when `range` is set — the
+    /// next column to an inclusive range ("all rows where a=5, b∈\[10,20\]").
+    /// `columns.len()` must equal `prefix.len()` plus one when `range` is
+    /// set; a composite index whose leading key columns match serves this
+    /// as one encoded prefix-range lookup.
+    Composite {
+        /// The predicated columns, in index key order.
+        columns: Vec<String>,
+        /// Exact values of the leading `prefix.len()` columns.
+        prefix: Vec<u64>,
+        /// Inclusive bounds on the column after the prefix, if any.
+        range: Option<(u64, u64)>,
+    },
 }
 
 impl Predicate {
-    /// The predicated column's name.
+    /// The predicated (leading) column's name.
     pub fn column(&self) -> &str {
         match self {
             Predicate::Point { column, .. }
             | Predicate::Range { column, .. }
             | Predicate::Prefix { column, .. } => column,
+            Predicate::Composite { columns, .. } => &columns[0],
         }
     }
 
+    /// Every predicated column, leading column first.
+    pub fn columns(&self) -> Vec<&str> {
+        match self {
+            Predicate::Composite { columns, .. } => columns.iter().map(String::as_str).collect(),
+            other => vec![other.column()],
+        }
+    }
+
+    /// Checks the predicate's internal shape (composite arity bookkeeping);
+    /// scalar predicates are always well-formed.
+    pub fn validate(&self) -> Result<(), IndexError> {
+        let Predicate::Composite {
+            columns,
+            prefix,
+            range,
+        } = self
+        else {
+            return Ok(());
+        };
+        let fail = |message: String| {
+            Err(IndexError::Backend {
+                backend: "table".to_string().into(),
+                message,
+            })
+        };
+        if columns.is_empty() {
+            return fail("a composite predicate needs at least one column".to_string());
+        }
+        let expected = prefix.len() + usize::from(range.is_some());
+        if columns.len() != expected {
+            return fail(format!(
+                "composite predicate names {} column(s) but binds {expected} \
+                 ({} equality value(s){})",
+                columns.len(),
+                prefix.len(),
+                if range.is_some() {
+                    " plus one range"
+                } else {
+                    ""
+                },
+            ));
+        }
+        Ok(())
+    }
+
     /// Compiles the predicate to the single-column [`QueryOp`] an index on
-    /// its column executes. Prefixes with no free bits compile to points;
-    /// a prefix that overflows the key width compiles to the canonical
-    /// empty range `(1, 0)` (inverted ranges answer empty on every
-    /// backend).
-    pub fn as_op(&self) -> QueryOp {
-        match *self {
-            Predicate::Point { key, .. } => QueryOp::Point(key),
-            Predicate::Range { lower, upper, .. } => QueryOp::Range(lower, upper),
+    /// its column executes, or `None` when no single-column operation is
+    /// equivalent (multi-column composite predicates). Prefixes with no
+    /// free bits compile to points; a prefix that overflows the key width
+    /// compiles to the canonical empty range `(1, 0)` (inverted ranges
+    /// answer empty on every backend). Single-column composite predicates
+    /// compile to the obvious point or range.
+    pub fn as_op(&self) -> Option<QueryOp> {
+        match self {
+            Predicate::Point { key, .. } => Some(QueryOp::Point(*key)),
+            Predicate::Range { lower, upper, .. } => Some(QueryOp::Range(*lower, *upper)),
             Predicate::Prefix {
                 prefix, low_bits, ..
             } => {
+                let (prefix, low_bits) = (*prefix, *low_bits);
                 if low_bits == 0 {
-                    return QueryOp::Point(prefix);
+                    return Some(QueryOp::Point(prefix));
                 }
                 if low_bits >= 64 {
-                    return if prefix == 0 {
+                    return Some(if prefix == 0 {
                         QueryOp::Range(0, u64::MAX)
                     } else {
                         QueryOp::Range(1, 0)
-                    };
+                    });
                 }
-                match prefix.checked_shl(low_bits) {
+                Some(match prefix.checked_shl(low_bits) {
                     Some(lower) if prefix >> (64 - low_bits) == 0 => {
                         QueryOp::Range(lower, lower | ((1u64 << low_bits) - 1))
                     }
                     _ => QueryOp::Range(1, 0),
+                })
+            }
+            Predicate::Composite { prefix, range, .. } => match (prefix.as_slice(), range) {
+                ([key], None) => Some(QueryOp::Point(*key)),
+                ([], Some((lower, upper))) => Some(QueryOp::Range(*lower, *upper)),
+                _ => None,
+            },
+        }
+    }
+
+    /// Compiles the predicate to the [`TypedOp`] an index keyed on the
+    /// ordered `index_columns` executes, or `None` when the predicate's
+    /// column sequence is not a prefix of the index's key columns. Scalar
+    /// predicates bind the index's *leading* column (equality or bounds,
+    /// remaining columns unconstrained); composite predicates bind the
+    /// leading `columns.len()` columns.
+    pub fn as_typed_op(&self, index_columns: &[String]) -> Option<TypedOp> {
+        let leading = index_columns.first()?;
+        match self {
+            Predicate::Point { column, key } => (column == leading).then(|| TypedOp::Prefix {
+                prefix: vec![KeyValue::U64(*key)],
+                lower: KeyBound::Unbounded,
+                upper: KeyBound::Unbounded,
+            }),
+            Predicate::Range { column, .. } | Predicate::Prefix { column, .. } => {
+                if column != leading {
+                    return None;
                 }
+                // `as_op` canonicalizes bit-prefixes; inverted (empty)
+                // ranges survive compilation as encoded empties.
+                Some(match self.as_op().expect("scalar predicates compile") {
+                    QueryOp::Point(key) => TypedOp::Prefix {
+                        prefix: vec![KeyValue::U64(key)],
+                        lower: KeyBound::Unbounded,
+                        upper: KeyBound::Unbounded,
+                    },
+                    QueryOp::Range(lower, upper) => TypedOp::Prefix {
+                        prefix: Vec::new(),
+                        lower: KeyBound::Included(KeyValue::U64(lower)),
+                        upper: KeyBound::Included(KeyValue::U64(upper)),
+                    },
+                })
+            }
+            Predicate::Composite {
+                columns,
+                prefix,
+                range,
+            } => {
+                if columns.len() > index_columns.len()
+                    || columns.iter().zip(index_columns).any(|(p, ix)| p != ix)
+                {
+                    return None;
+                }
+                let (lower, upper) = match range {
+                    Some((lower, upper)) => (
+                        KeyBound::Included(KeyValue::U64(*lower)),
+                        KeyBound::Included(KeyValue::U64(*upper)),
+                    ),
+                    None => (KeyBound::Unbounded, KeyBound::Unbounded),
+                };
+                Some(TypedOp::Prefix {
+                    prefix: prefix.iter().map(|&v| KeyValue::U64(v)).collect(),
+                    lower,
+                    upper,
+                })
             }
         }
     }
 
-    /// True when the compiled operation is a range lookup (and the serving
-    /// index therefore needs [`Capabilities::range_lookups`]).
+    /// True when the compiled single-column operation is a range lookup
+    /// (and the serving index therefore needs
+    /// [`Capabilities::range_lookups`]). Only meaningful where [`as_op`]
+    /// applies — for multi-column composite predicates the planner decides
+    /// against the index's key schema instead.
     ///
+    /// [`as_op`]: Predicate::as_op
     /// [`Capabilities::range_lookups`]: crate::types::Capabilities
     pub fn needs_ranges(&self) -> bool {
-        matches!(self.as_op(), QueryOp::Range(..))
+        matches!(self.as_op(), Some(QueryOp::Range(..)))
     }
 
-    /// The largest key the compiled operation touches (planner input:
-    /// backends without [`Capabilities::full_64bit_keys`] cannot serve
-    /// keys above `u32::MAX`).
+    /// The largest key the compiled single-column operation touches
+    /// (planner input: backends without [`Capabilities::full_64bit_keys`]
+    /// cannot serve keys above `u32::MAX`). Conservatively `u64::MAX` for
+    /// multi-column composite predicates, whose encoded width the planner
+    /// judges from the index's key schema.
     ///
     /// [`Capabilities::full_64bit_keys`]: crate::types::Capabilities
     pub fn max_key(&self) -> u64 {
         match self.as_op() {
-            QueryOp::Point(key) => key,
-            QueryOp::Range(lower, upper) => upper.max(lower),
+            Some(QueryOp::Point(key)) => key,
+            Some(QueryOp::Range(lower, upper)) => upper.max(lower),
+            None => u64::MAX,
         }
     }
 }
@@ -351,6 +554,29 @@ impl std::fmt::Display for Predicate {
                 prefix,
                 low_bits,
             } => write!(f, "{column} >> {low_bits} = {prefix}"),
+            Predicate::Composite {
+                columns,
+                prefix,
+                range,
+            } => {
+                for (i, (column, value)) in columns.iter().zip(prefix).enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{column} = {value}")?;
+                }
+                if let Some((lower, upper)) = range {
+                    if !prefix.is_empty() {
+                        write!(f, ", ")?;
+                    }
+                    write!(
+                        f,
+                        "{} in [{lower}, {upper}]",
+                        columns.last().expect("validated composite")
+                    )?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -398,6 +624,47 @@ impl TableQuery {
             column: column.into(),
             prefix,
             low_bits,
+        });
+        self
+    }
+
+    /// Adds a composite equality predicate: the named columns (in index
+    /// key order) each bound to the matching value of `prefix`. With every
+    /// key column of a composite index named, this is a tuple point
+    /// lookup; with a strict leading subset it matches every row sharing
+    /// the prefix.
+    pub fn prefix_tuple<I, S>(mut self, columns: I, prefix: Vec<u64>) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.predicates.push(Predicate::Composite {
+            columns: columns.into_iter().map(Into::into).collect(),
+            prefix,
+            range: None,
+        });
+        self
+    }
+
+    /// Adds a composite prefix-range predicate: all but the last named
+    /// column bound to the matching value of `prefix` (which must hold one
+    /// value fewer than `columns`), the last column to `lower..=upper` —
+    /// "all rows where a=5, b∈\[10,20\]".
+    pub fn prefix_range<I, S>(
+        mut self,
+        columns: I,
+        prefix: Vec<u64>,
+        lower: u64,
+        upper: u64,
+    ) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.predicates.push(Predicate::Composite {
+            columns: columns.into_iter().map(Into::into).collect(),
+            prefix,
+            range: Some((lower, upper)),
         });
         self
     }
@@ -606,7 +873,7 @@ mod tests {
             column: "id".into(),
             key: 7,
         };
-        assert_eq!(p.as_op(), QueryOp::Point(7));
+        assert_eq!(p.as_op(), Some(QueryOp::Point(7)));
         assert!(!p.needs_ranges());
         assert_eq!(p.max_key(), 7);
 
@@ -615,7 +882,7 @@ mod tests {
             lower: 10,
             upper: 20,
         };
-        assert_eq!(r.as_op(), QueryOp::Range(10, 20));
+        assert_eq!(r.as_op(), Some(QueryOp::Range(10, 20)));
         assert!(r.needs_ranges());
         assert_eq!(r.max_key(), 20);
     }
@@ -627,14 +894,17 @@ mod tests {
             prefix,
             low_bits,
         };
-        assert_eq!(prefix(5, 4).as_op(), QueryOp::Range(80, 95));
-        assert_eq!(prefix(3, 0).as_op(), QueryOp::Point(3));
-        assert_eq!(prefix(0, 64).as_op(), QueryOp::Range(0, u64::MAX));
+        assert_eq!(prefix(5, 4).as_op(), Some(QueryOp::Range(80, 95)));
+        assert_eq!(prefix(3, 0).as_op(), Some(QueryOp::Point(3)));
+        assert_eq!(prefix(0, 64).as_op(), Some(QueryOp::Range(0, u64::MAX)));
         // Prefixes past the key width match nothing: the canonical empty
         // (inverted) range.
-        assert_eq!(prefix(1, 64).as_op(), QueryOp::Range(1, 0));
-        assert_eq!(prefix(u64::MAX, 8).as_op(), QueryOp::Range(1, 0));
-        assert_eq!(prefix(1, 63).as_op(), QueryOp::Range(1 << 63, u64::MAX));
+        assert_eq!(prefix(1, 64).as_op(), Some(QueryOp::Range(1, 0)));
+        assert_eq!(prefix(u64::MAX, 8).as_op(), Some(QueryOp::Range(1, 0)));
+        assert_eq!(
+            prefix(1, 63).as_op(),
+            Some(QueryOp::Range(1 << 63, u64::MAX))
+        );
         assert!(prefix(5, 4).needs_ranges());
         assert!(!prefix(5, 0).needs_ranges());
     }
@@ -650,8 +920,163 @@ mod tests {
         assert!(!q.is_empty());
         assert!(q.fetches_values());
         assert_eq!(q.predicates()[0].column(), "id");
-        assert_eq!(q.predicates()[1].as_op(), QueryOp::Range(0, 9));
+        assert_eq!(q.predicates()[1].as_op(), Some(QueryOp::Range(0, 9)));
         assert!(TableQuery::new().is_empty());
+    }
+
+    #[test]
+    fn composite_schemas_validate_key_columns() {
+        TableSchema::new(["a", "b", "c"])
+            .with_composite_index("ab", ["a", "b"], "HT")
+            .with_composite_index("abc", ["a", "b", "c"], "B+{u32,u32,u32}")
+            .validate()
+            .unwrap();
+        let broken = [
+            TableSchema::new(["a"]).with_composite_index("i", Vec::<String>::new(), "HT"),
+            TableSchema::new(["a", "b"]).with_composite_index("i", ["a", "nope"], "HT"),
+            TableSchema::new(["a", "b"]).with_composite_index("i", ["a", "a"], "HT"),
+            // Spec schema arity must match the key-column count.
+            TableSchema::new(["a", "b"]).with_composite_index("i", ["a", "b"], "HT{u32}"),
+            TableSchema::new(["a", "b"]).with_composite_index("i", ["a", "b"], "HT{u32,u32"),
+        ];
+        for s in broken {
+            assert!(s.validate().is_err(), "accepted {s:?}");
+        }
+    }
+
+    #[test]
+    fn composite_predicates_validate_and_compile() {
+        let index_columns: Vec<String> = vec!["a".into(), "b".into(), "c".into()];
+
+        let tuple = Predicate::Composite {
+            columns: vec!["a".into(), "b".into()],
+            prefix: vec![5, 10],
+            range: None,
+        };
+        tuple.validate().unwrap();
+        assert_eq!(tuple.column(), "a");
+        assert_eq!(tuple.columns(), vec!["a", "b"]);
+        assert_eq!(tuple.as_op(), None);
+        assert_eq!(tuple.max_key(), u64::MAX);
+        assert_eq!(tuple.to_string(), "a = 5, b = 10");
+        match tuple.as_typed_op(&index_columns) {
+            Some(TypedOp::Prefix { prefix, .. }) => {
+                assert_eq!(prefix, vec![KeyValue::U64(5), KeyValue::U64(10)]);
+            }
+            other => panic!("expected a prefix op, got {other:?}"),
+        }
+
+        let ranged = Predicate::Composite {
+            columns: vec!["a".into(), "b".into()],
+            prefix: vec![5],
+            range: Some((10, 20)),
+        };
+        ranged.validate().unwrap();
+        assert_eq!(ranged.to_string(), "a = 5, b in [10, 20]");
+        match ranged.as_typed_op(&index_columns) {
+            Some(TypedOp::Prefix {
+                prefix,
+                lower,
+                upper,
+            }) => {
+                assert_eq!(prefix, vec![KeyValue::U64(5)]);
+                assert_eq!(lower, KeyBound::Included(KeyValue::U64(10)));
+                assert_eq!(upper, KeyBound::Included(KeyValue::U64(20)));
+            }
+            other => panic!("expected a prefix op, got {other:?}"),
+        }
+        // Column sequences that are not a leading prefix of the index: no op.
+        assert!(ranged
+            .as_typed_op(&["b".to_string(), "a".to_string()])
+            .is_none());
+        assert!(ranged.as_typed_op(&["a".to_string()]).is_none());
+
+        // Single-column composites degrade to scalar ops.
+        let single = Predicate::Composite {
+            columns: vec!["a".into()],
+            prefix: vec![7],
+            range: None,
+        };
+        assert_eq!(single.as_op(), Some(QueryOp::Point(7)));
+
+        // Arity mismatches are rejected.
+        let broken = Predicate::Composite {
+            columns: vec!["a".into(), "b".into()],
+            prefix: vec![5],
+            range: None,
+        };
+        assert!(broken.validate().is_err());
+        assert!(Predicate::Composite {
+            columns: Vec::new(),
+            prefix: Vec::new(),
+            range: None,
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn scalar_predicates_compile_to_typed_leading_column_ops() {
+        let index_columns: Vec<String> = vec!["a".into(), "b".into()];
+        let point = Predicate::Point {
+            column: "a".into(),
+            key: 9,
+        };
+        match point.as_typed_op(&index_columns) {
+            Some(TypedOp::Prefix {
+                prefix,
+                lower: KeyBound::Unbounded,
+                upper: KeyBound::Unbounded,
+            }) => assert_eq!(prefix, vec![KeyValue::U64(9)]),
+            other => panic!("expected an unbounded prefix, got {other:?}"),
+        }
+        let range = Predicate::Range {
+            column: "a".into(),
+            lower: 3,
+            upper: 8,
+        };
+        match range.as_typed_op(&index_columns) {
+            Some(TypedOp::Prefix {
+                prefix,
+                lower,
+                upper,
+            }) => {
+                assert!(prefix.is_empty());
+                assert_eq!(lower, KeyBound::Included(KeyValue::U64(3)));
+                assert_eq!(upper, KeyBound::Included(KeyValue::U64(8)));
+            }
+            other => panic!("expected a bounded prefix, got {other:?}"),
+        }
+        // Wrong leading column: no typed op.
+        let off = Predicate::Point {
+            column: "b".into(),
+            key: 1,
+        };
+        assert!(off.as_typed_op(&index_columns).is_none());
+    }
+
+    #[test]
+    fn query_builders_cover_composite_forms() {
+        let q = TableQuery::new()
+            .prefix_tuple(["a", "b"], vec![1, 2])
+            .prefix_range(["a", "b"], vec![1], 5, 9);
+        assert_eq!(q.len(), 2);
+        assert_eq!(
+            q.predicates()[0],
+            Predicate::Composite {
+                columns: vec!["a".into(), "b".into()],
+                prefix: vec![1, 2],
+                range: None,
+            }
+        );
+        assert_eq!(
+            q.predicates()[1],
+            Predicate::Composite {
+                columns: vec!["a".into(), "b".into()],
+                prefix: vec![1],
+                range: Some((5, 9)),
+            }
+        );
     }
 
     #[test]

@@ -498,4 +498,48 @@ mod tests {
         assert_eq!(stats.ingest_batches, 1);
         assert_eq!(stats.ingest_rollbacks, 1);
     }
+
+    #[test]
+    fn composite_predicates_are_served_and_fenced() {
+        let schema = TableSchema::new(["id", "region", "ts", "amount"])
+            .with_value_column("amount")
+            .with_index("id_rxd", "id", "RXD")
+            .with_composite_index("region_ts", ["region", "ts"], "SA{u32,u32}");
+        let records: Vec<Record> = (0..96u64).map(|k| vec![k, k % 4, k * 5 % 128, k]).collect();
+        let table = Table::load(schema, &Device::default_eval(), registry(), &records).unwrap();
+        let service = TableService::start(table, ServiceConfig::new());
+        let h = service.handle();
+
+        // A composite prefix range routes to the composite index, never a
+        // scan, and sums the fetched values of exactly the matching rows.
+        let query = TableQuery::new()
+            .prefix_range(["region", "ts"], vec![1], 0, 60)
+            .prefix_tuple(["region", "ts"], vec![2, 10])
+            .fetch_values(true);
+        let out = h.query(query.clone()).unwrap();
+        assert_eq!(out.plan.routed_index(0), Some("region_ts"));
+        assert_eq!(out.plan.routed_index(1), Some("region_ts"));
+        assert_eq!(out.plan.scan_fallbacks(), 0);
+        let expected: (u32, u64) = records
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r[1] == 1 && r[2] <= 60)
+            .fold((0, 0), |(n, sum), (_, r)| (n + 1, sum + r[3]));
+        assert_eq!(
+            (out.results[0].hit_count, out.results[0].value_sum),
+            expected
+        );
+        // (region, ts) = (2, 10) pins exactly row 2 in this data set.
+        assert_eq!((out.results[1].first_row, out.results[1].hit_count), (2, 1));
+
+        // Ingest behind the fence: the composite index rebuilds and the
+        // fresh row is immediately visible to a prefix query.
+        h.ingest(IngestBatch::new().insert(vec![500, 9, 9, 1]))
+            .unwrap();
+        let out = h
+            .query(TableQuery::new().prefix_tuple(["region"], vec![9]))
+            .unwrap();
+        assert_eq!(out.results[0].hit_count, 1);
+        service.shutdown();
+    }
 }

@@ -349,6 +349,10 @@ impl ShardedIndex {
                     // the WAL — inner backends never persist themselves).
                     builder: index.builder,
                     durability: index.durability.clone(),
+                    // Composite schemas wrap *outside* the shard layer, so
+                    // inner shards always see schema-free specs.
+                    key_schema: None,
+                    rows: None,
                 };
                 if updatable {
                     registry

@@ -24,8 +24,8 @@
 //! [`MemoryUsage::total`]: rtx_query::MemoryUsage::total
 
 use rtx_query::{
-    Candidate, ExplainPlan, IndexError, PlanChoice, QueryBatch, Route, SecondaryIndex, TableQuery,
-    TableSchema,
+    Candidate, EncodedRange, ExplainPlan, IndexError, KeySchema, PlanChoice, QueryBatch, Route,
+    SecondaryIndex, TableQuery, TableSchema,
 };
 
 /// Calibrated per-operation costs of one index, measured by
@@ -47,8 +47,12 @@ pub(crate) struct CandidateView<'a> {
     pub name: &'a str,
     /// The backend spec it was built from.
     pub spec: &'a str,
-    /// The schema column it keys on.
-    pub column: &'a str,
+    /// The ordered schema columns it keys on (one entry for classic
+    /// single-column indexes).
+    pub columns: &'a [String],
+    /// The typed key schema for composite indexes; `None` for the
+    /// zero-overhead raw-`u64` path.
+    pub schema: Option<&'a KeySchema>,
     /// The backend's capability flags.
     pub caps: rtx_query::Capabilities,
     /// Whether the backend carries the value column.
@@ -124,15 +128,21 @@ impl Planner {
     ) -> Result<ExplainPlan, IndexError> {
         let mut choices = Vec::with_capacity(query.len());
         for predicate in query.predicates() {
-            if schema.column_position(predicate.column()).is_none() {
-                return Err(IndexError::Backend {
-                    backend: "table".to_string().into(),
-                    message: format!("predicate on unknown column {:?}", predicate.column()),
-                });
+            predicate.validate()?;
+            for column in predicate.columns() {
+                if schema.column_position(column).is_none() {
+                    return Err(IndexError::Backend {
+                        backend: "table".to_string().into(),
+                        message: format!("predicate on unknown column {column:?}"),
+                    });
+                }
             }
+            // Every index whose *leading* key column matches is a
+            // candidate: composite indexes serve leading-column scalar
+            // predicates as encoded prefixes.
             let scored: Vec<(Candidate, u64)> = views
                 .iter()
-                .filter(|v| v.column == predicate.column())
+                .filter(|v| v.columns.first().map(String::as_str) == Some(predicate.column()))
                 .map(|v| (self.score(v, predicate, query.fetches_values()), v.memory))
                 .collect();
             let best = scored
@@ -195,12 +205,13 @@ impl Planner {
             })?;
         let mut choices = Vec::with_capacity(query.len());
         for predicate in query.predicates() {
-            if view.column != predicate.column() {
+            predicate.validate()?;
+            if view.columns.first().map(String::as_str) != Some(predicate.column()) {
                 return Err(IndexError::Backend {
                     backend: "table".to_string().into(),
                     message: format!(
-                        "index {index:?} keys on column {:?}, not {:?}",
-                        view.column,
+                        "index {index:?} keys on column(s) {:?}, not {:?}",
+                        view.columns,
                         predicate.column()
                     ),
                 });
@@ -229,7 +240,10 @@ impl Planner {
     }
 
     /// Scores one candidate for one predicate: eligibility plus the probe
-    /// cost of the compiled operation kind.
+    /// cost of the compiled operation kind. Composite (typed) indexes
+    /// compile the predicate against their key schema — equality over every
+    /// key column is a point lookup, anything shorter an encoded range —
+    /// and pay a limb factor for wider keys.
     fn score(
         &self,
         view: &CandidateView<'_>,
@@ -243,39 +257,101 @@ impl Planner {
             cost: f64::INFINITY,
             detail,
         };
-        if predicate.needs_ranges() && !view.caps.range_lookups {
-            return ineligible("no range-lookup capability".to_string());
-        }
-        if predicate.max_key() > u64::from(u32::MAX) && !view.caps.full_64bit_keys {
-            return ineligible("32-bit keys only".to_string());
-        }
-        if fetch_values && !view.has_values {
-            return ineligible("no value column".to_string());
-        }
-        let cost = if predicate.needs_ranges() {
-            // Eligibility above guarantees the range probe ran.
-            view.probe.range_s.unwrap_or(f64::INFINITY)
-        } else {
-            view.probe.point_s
-        };
-        Candidate {
+        let eligible = |cost: f64, detail: String| Candidate {
             index: view.name.to_string(),
             spec: view.spec.to_string(),
             eligible: true,
             cost,
-            detail: format!("probe {:.3e} s/op, {} B resident", cost, view.memory),
+            detail,
+        };
+        if fetch_values && !view.has_values {
+            return ineligible("no value column".to_string());
         }
+        let Some(schema) = view.schema else {
+            // Zero-overhead raw-u64 path: the predicate must compile to a
+            // single-column operation on the key column.
+            if predicate.as_op().is_none() {
+                return ineligible(
+                    "single-column index cannot serve a multi-column predicate".to_string(),
+                );
+            }
+            if predicate.needs_ranges() && !view.caps.range_lookups {
+                return ineligible("no range-lookup capability".to_string());
+            }
+            if predicate.max_key() > u64::from(u32::MAX) && !view.caps.full_64bit_keys {
+                return ineligible("32-bit keys only".to_string());
+            }
+            let cost = if predicate.needs_ranges() {
+                // Eligibility above guarantees the range probe ran.
+                view.probe.range_s.unwrap_or(f64::INFINITY)
+            } else {
+                view.probe.point_s
+            };
+            return eligible(
+                cost,
+                format!("probe {:.3e} s/op, {} B resident", cost, view.memory),
+            );
+        };
+        let Some(op) = predicate.as_typed_op(view.columns) else {
+            return ineligible(format!(
+                "key columns {:?} do not cover the predicate's columns",
+                view.columns
+            ));
+        };
+        let compiled = match schema.compile_op(&op) {
+            Ok(compiled) => compiled,
+            Err(err) => {
+                return ineligible(format!("predicate does not encode under {schema}: {err}"))
+            }
+        };
+        // Anything short of full-arity equality compiles to an encoded
+        // range (empties execute as inverted ranges on the same path).
+        let is_point = matches!(compiled, EncodedRange::Point(_));
+        if !is_point && !view.caps.range_lookups {
+            return ineligible("no range-lookup capability (prefix needs an encoded range)".into());
+        }
+        // Direct single-limb schemas hit the backend with the raw encoded
+        // key, which occupies the high bytes of the limb; dictionary-mapped
+        // schemas probe mapped keys the build already validated.
+        if schema.limbs() == 1 && !view.caps.full_64bit_keys {
+            let max_encoded = match &compiled {
+                EncodedRange::Point(k) => k.limb(0),
+                EncodedRange::Range(_, hi) => hi.limb(0),
+                EncodedRange::Empty => 0,
+            };
+            if max_encoded > u64::from(u32::MAX) {
+                return ineligible("32-bit keys only (encoded key overflows)".to_string());
+            }
+        }
+        let base = if is_point {
+            view.probe.point_s
+        } else {
+            view.probe.range_s.unwrap_or(f64::INFINITY)
+        };
+        let limbs = schema.limbs();
+        let cost = base * limbs as f64;
+        eligible(
+            cost,
+            format!(
+                "probe {base:.3e} s/op × {limbs} limb(s) under {schema}, {} B resident",
+                view.memory
+            ),
+        )
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rtx_query::Capabilities;
+    use rtx_query::{Capabilities, ColumnType};
+
+    fn k() -> Vec<String> {
+        vec!["k".to_string()]
+    }
 
     fn view<'a>(
         name: &'a str,
-        column: &'a str,
+        columns: &'a [String],
         caps: Capabilities,
         point_s: f64,
         range_s: Option<f64>,
@@ -284,11 +360,27 @@ mod tests {
         CandidateView {
             name,
             spec: name,
-            column,
+            columns,
+            schema: None,
             caps,
             has_values: true,
             memory,
             probe: ProbeCost { point_s, range_s },
+        }
+    }
+
+    fn typed_view<'a>(
+        name: &'a str,
+        columns: &'a [String],
+        schema: &'a KeySchema,
+        caps: Capabilities,
+        point_s: f64,
+        range_s: Option<f64>,
+        memory: u64,
+    ) -> CandidateView<'a> {
+        CandidateView {
+            schema: Some(schema),
+            ..view(name, columns, caps, point_s, range_s, memory)
         }
     }
 
@@ -304,9 +396,10 @@ mod tests {
     #[test]
     fn cheapest_eligible_index_wins_and_decisions_are_recorded() {
         let schema = TableSchema::new(["k"]);
+        let k = k();
         let views = vec![
-            view("ht", "k", caps(false), 1e-8, None, 100),
-            view("rx", "k", caps(true), 5e-8, Some(2e-7), 200),
+            view("ht", &k, caps(false), 1e-8, None, 100),
+            view("rx", &k, caps(true), 5e-8, Some(2e-7), 200),
         ];
         let planner = Planner::default();
 
@@ -331,7 +424,8 @@ mod tests {
             full_64bit_keys: false,
             ..caps(true)
         };
-        let views = vec![view("bt", "k", narrow, 1e-8, Some(1e-8), 10)];
+        let k = k();
+        let views = vec![view("bt", &k, narrow, 1e-8, Some(1e-8), 10)];
         let planner = Planner::default();
 
         // 64-bit key on a 32-bit index: scan.
@@ -357,9 +451,10 @@ mod tests {
     #[test]
     fn memory_breaks_probe_ties_deterministically() {
         let schema = TableSchema::new(["k"]);
+        let k = k();
         let views = vec![
-            view("big", "k", caps(false), 1e-8, None, 500),
-            view("small", "k", caps(false), 1e-8, None, 50),
+            view("big", &k, caps(false), 1e-8, None, 500),
+            view("small", &k, caps(false), 1e-8, None, 50),
         ];
         let plan = Planner::default()
             .plan(&TableQuery::new().point("k", 1), &schema, &views)
@@ -369,9 +464,10 @@ mod tests {
 
     #[test]
     fn forced_plans_validate_the_target_index() {
+        let k = k();
         let views = vec![
-            view("ht", "k", caps(false), 1e-8, None, 100),
-            view("rx", "k", caps(true), 5e-8, Some(2e-7), 200),
+            view("ht", &k, caps(false), 1e-8, None, 100),
+            view("rx", &k, caps(true), 5e-8, Some(2e-7), 200),
         ];
         let planner = Planner::default();
         let q = TableQuery::new().point("k", 3);
@@ -383,5 +479,143 @@ mod tests {
         let ranged = TableQuery::new().range("k", 0, 9);
         assert!(planner.plan_forced(&ranged, &views, "ht").is_err());
         assert!(planner.plan_forced(&q, &views, "nope").is_err());
+    }
+
+    fn ab() -> Vec<String> {
+        vec!["a".to_string(), "b".to_string()]
+    }
+
+    #[test]
+    fn composite_predicates_route_to_matching_composite_indexes() {
+        let table = TableSchema::new(["a", "b"]);
+        let ab = ab();
+        let wide = KeySchema::new(vec![ColumnType::U32, ColumnType::U32]).unwrap();
+        let views = vec![typed_view(
+            "ab",
+            &ab,
+            &wide,
+            caps(true),
+            1e-8,
+            Some(2e-8),
+            100,
+        )];
+        let planner = Planner::default();
+
+        // A prefix-range over (a, b) routes as one encoded range.
+        let q = TableQuery::new().prefix_range(["a", "b"], vec![5], 10, 20);
+        let plan = planner.plan(&q, &table, &views).unwrap();
+        assert_eq!(plan.routed_index(0), Some("ab"));
+        assert!(plan.choices[0].candidates[0].detail.contains("{u32,u32}"));
+
+        // A scalar point on the leading column is served as a prefix.
+        let plan = planner
+            .plan(&TableQuery::new().point("a", 5), &table, &views)
+            .unwrap();
+        assert_eq!(plan.routed_index(0), Some("ab"));
+
+        // A predicate on the trailing column alone cannot use the index.
+        let plan = planner
+            .plan(&TableQuery::new().point("b", 5), &table, &views)
+            .unwrap();
+        assert_eq!(plan.routed_index(0), None);
+
+        // Column order matters: (b, a) is not a prefix of (a, b).
+        let q = TableQuery::new().prefix_tuple(["b", "a"], vec![1, 2]);
+        let plan = planner.plan(&q, &table, &views).unwrap();
+        assert_eq!(plan.routed_index(0), None);
+
+        // Malformed composite predicates error instead of planning.
+        let q = TableQuery::new().prefix_tuple(["a", "b"], vec![1]);
+        assert!(planner.plan(&q, &table, &views).is_err());
+        let q = TableQuery::new().prefix_tuple(["a", "nope"], vec![1, 2]);
+        assert!(planner.plan(&q, &table, &views).is_err());
+    }
+
+    #[test]
+    fn composite_point_vs_range_capabilities_and_key_widths() {
+        let table = TableSchema::new(["a", "b"]);
+        let ab = ab();
+        let wide = KeySchema::new(vec![ColumnType::U32, ColumnType::U32]).unwrap();
+        // A point-only backend without 64-bit keys (the B+ shape).
+        let narrow = Capabilities {
+            range_lookups: true,
+            duplicate_keys: true,
+            full_64bit_keys: false,
+            updates: false,
+        };
+        let views = vec![typed_view("ab", &ab, &wide, narrow, 1e-8, Some(2e-8), 100)];
+        let planner = Planner::default();
+
+        // Full-arity equality with a zero leading column encodes below
+        // u32::MAX: a genuine point lookup, eligible.
+        let q = TableQuery::new().prefix_tuple(["a", "b"], vec![0, 5]);
+        let plan = planner.plan(&q, &table, &views).unwrap();
+        assert_eq!(plan.routed_index(0), Some("ab"));
+
+        // A non-zero leading column pushes the encoded key past 32 bits.
+        let q = TableQuery::new().prefix_tuple(["a", "b"], vec![1, 5]);
+        let plan = planner.plan(&q, &table, &views).unwrap();
+        assert_eq!(plan.routed_index(0), None);
+        assert!(plan.choices[0].candidates[0].detail.contains("encoded key"));
+
+        // Values too large for the declared column type do not encode.
+        let q = TableQuery::new().prefix_tuple(["a", "b"], vec![0, u64::MAX]);
+        let plan = planner.plan(&q, &table, &views).unwrap();
+        assert!(!plan.choices[0].candidates[0].eligible);
+
+        // A partial prefix needs range capability.
+        let point_only = Capabilities {
+            range_lookups: false,
+            ..caps(false)
+        };
+        let views = vec![typed_view("ab", &ab, &wide, point_only, 1e-8, None, 100)];
+        let q = TableQuery::new().prefix_tuple(["a"], vec![0]);
+        let plan = planner.plan(&q, &table, &views).unwrap();
+        assert_eq!(plan.routed_index(0), None);
+        assert!(plan.choices[0].candidates[0].detail.contains("range"));
+    }
+
+    #[test]
+    fn wider_schemas_pay_a_limb_cost_factor() {
+        let table = TableSchema::new(["a", "b"]);
+        let ab = ab();
+        let one_limb = KeySchema::new(vec![ColumnType::U32, ColumnType::U32]).unwrap();
+        let two_limb = KeySchema::new(vec![ColumnType::U64, ColumnType::U64]).unwrap();
+        assert_eq!((one_limb.limbs(), two_limb.limbs()), (1, 2));
+        let views = vec![
+            typed_view("wide", &ab, &two_limb, caps(true), 1e-8, Some(2e-8), 100),
+            typed_view("narrow", &ab, &one_limb, caps(true), 1e-8, Some(2e-8), 100),
+        ];
+        let q = TableQuery::new().prefix_range(["a", "b"], vec![0], 1, 2);
+        let plan = Planner::default().plan(&q, &table, &views).unwrap();
+        // Same probe cost, but the two-limb schema doubles it.
+        assert_eq!(plan.routed_index(0), Some("narrow"));
+        let by_name = |name: &str| {
+            plan.choices[0]
+                .candidates
+                .iter()
+                .find(|c| c.index == name)
+                .unwrap()
+                .cost
+        };
+        assert!(by_name("wide") > by_name("narrow"));
+    }
+
+    #[test]
+    fn single_column_indexes_reject_multi_column_predicates() {
+        let table = TableSchema::new(["a", "b"]);
+        let a = vec!["a".to_string()];
+        let views = vec![view("plain", &a, caps(true), 1e-8, Some(2e-8), 100)];
+        let q = TableQuery::new().prefix_tuple(["a", "b"], vec![1, 2]);
+        let plan = Planner::default().plan(&q, &table, &views).unwrap();
+        assert_eq!(plan.routed_index(0), None);
+        assert!(plan.choices[0].candidates[0]
+            .detail
+            .contains("multi-column"));
+
+        // But a single-column composite predicate degrades to a scalar op.
+        let q = TableQuery::new().prefix_tuple(["a"], vec![1]);
+        let plan = Planner::default().plan(&q, &table, &views).unwrap();
+        assert_eq!(plan.routed_index(0), Some("plain"));
     }
 }

@@ -120,6 +120,62 @@ impl RowStore {
         (keys, rows)
     }
 
+    /// The live tuples over the named `columns` with their rowIDs,
+    /// ascending by rowID — the build input of a fresh composite index.
+    pub fn tuples_live(&self, columns: &[usize]) -> (Vec<Vec<u64>>, Vec<u32>) {
+        let mut tuples = Vec::with_capacity(self.live_count);
+        let mut rows = Vec::with_capacity(self.live_count);
+        for (slot, &live) in self.live.iter().enumerate() {
+            if live {
+                tuples.push(columns.iter().map(|&c| self.columns[c][slot]).collect());
+                rows.push(slot as u32);
+            }
+        }
+        (tuples, rows)
+    }
+
+    /// Answers one composite prefix-range predicate by scanning every live
+    /// row: the leading `prefix.len()` of `columns` must hold the matching
+    /// prefix value, and — when `range` is set — the next column must lie
+    /// in the inclusive bounds. The scan fallback for composite predicates
+    /// no index can serve.
+    pub fn scan_composite(
+        &self,
+        columns: &[usize],
+        prefix: &[u64],
+        range: Option<(u64, u64)>,
+        value_column: Option<usize>,
+        fetch: bool,
+    ) -> LookupResult {
+        let mut result = LookupResult::miss();
+        for (slot, &live) in self.live.iter().enumerate() {
+            if !live {
+                continue;
+            }
+            let equal = prefix
+                .iter()
+                .zip(columns)
+                .all(|(&want, &c)| self.columns[c][slot] == want);
+            let bounded = match range {
+                Some((lower, upper)) => {
+                    let key = self.columns[columns[prefix.len()]][slot];
+                    lower <= key && key <= upper
+                }
+                None => true,
+            };
+            if equal && bounded {
+                result.first_row = result.first_row.min(slot as u32);
+                result.hit_count += 1;
+                if fetch {
+                    if let Some(vc) = value_column {
+                        result.value_sum = result.value_sum.wrapping_add(self.columns[vc][slot]);
+                    }
+                }
+            }
+        }
+        result
+    }
+
     /// Answers one compiled predicate by scanning every live row:
     /// `first_row` is the smallest matching rowID, `value_sum` (when
     /// `fetch` is set and a value column exists) the wrapping sum of the
@@ -222,6 +278,34 @@ mod tests {
         s.delete_primary(2);
         let range = s.scan(1, QueryOp::Range(20, 30), Some(2), true);
         assert_eq!((range.first_row, range.hit_count), (2, 2));
+    }
+
+    #[test]
+    fn composite_scans_and_tuple_projections() {
+        let mut s = store();
+        let (tuples, rows) = s.tuples_live(&[0, 1]);
+        assert_eq!(
+            tuples,
+            vec![vec![1, 10], vec![2, 20], vec![1, 30], vec![3, 20]]
+        );
+        assert_eq!(rows, vec![0, 1, 2, 3]);
+        // Prefix equality on the leading column.
+        let r = s.scan_composite(&[0, 1], &[1], None, Some(2), true);
+        assert_eq!((r.first_row, r.hit_count, r.value_sum), (0, 2, 400));
+        // Prefix plus a range on the next column.
+        let r = s.scan_composite(&[0, 1], &[1], Some((20, 40)), Some(2), true);
+        assert_eq!((r.first_row, r.hit_count, r.value_sum), (2, 1, 300));
+        // Full-tuple point.
+        let r = s.scan_composite(&[0, 1], &[2, 20], None, None, false);
+        assert_eq!((r.first_row, r.hit_count), (1, 1));
+        // Empty prefix: a bare range on the leading column.
+        let r = s.scan_composite(&[1], &[], Some((20, 30)), Some(2), true);
+        assert_eq!((r.hit_count, r.value_sum), (3, 900));
+        // Dead rows stop matching and tuples skip them.
+        s.delete_primary(1);
+        let r = s.scan_composite(&[0, 1], &[1], None, None, false);
+        assert_eq!(r.first_row, MISS);
+        assert_eq!(s.tuples_live(&[0, 1]).1, vec![1, 3]);
     }
 
     #[test]

@@ -50,9 +50,10 @@ use std::sync::Arc;
 use gpu_device::Device;
 use optix_sim::LaunchMetrics;
 use rtx_query::{
-    parse_durable_name, ExplainPlan, IndexDef, IndexError, IndexSpec, IngestBatch, IngestOp,
-    LookupResult, QueryBatch, QueryOp, Record, Registry, Route, SecondaryIndex, ShardSpec,
-    TableQuery, TableSchema, UpdatableIndex, MISS,
+    parse_durable_name, parse_schema_name, ColumnType, ExplainPlan, IndexDef, IndexError,
+    IndexSpec, IngestBatch, IngestOp, KeySchema, KeyTuple, KeyValue, LookupResult, Predicate,
+    QueryBatch, QueryOp, Record, Registry, Route, SecondaryIndex, ShardSpec, TableQuery,
+    TableSchema, TypedBatch, TypedOp, UpdatableIndex, MISS,
 };
 
 use crate::planner::{CandidateView, Planner, ProbeCost};
@@ -121,7 +122,11 @@ impl Mirror {
 
 struct IndexState {
     def: IndexDef,
-    column: usize,
+    /// Positions of the key columns in the row store, leading first.
+    columns: Vec<usize>,
+    /// The typed key schema for composite indexes; `None` keeps the
+    /// zero-overhead raw-`u64` path for classic single-column indexes.
+    schema: Option<KeySchema>,
     backend: Backend,
     mirror: Mirror,
     /// False for sharded specs, whose outer rowIDs survive inner
@@ -234,9 +239,13 @@ impl Table {
         let planner = Planner::default();
         let mut indexes = Vec::with_capacity(schema.indexes.len());
         for def in &schema.indexes {
-            let column = schema.column_position(&def.column).expect("validated");
+            let columns: Vec<usize> = def
+                .columns
+                .iter()
+                .map(|c| schema.column_position(c).expect("validated"))
+                .collect();
             indexes.push(build_index_state(
-                device, &registry, &store, value_pos, &planner, def, column,
+                device, &registry, &store, value_pos, &planner, def, &columns,
             )?);
         }
         Ok(Table {
@@ -372,7 +381,7 @@ impl Table {
                 continue;
             }
             let def = self.indexes[i].def.clone();
-            let column = self.indexes[i].column;
+            let columns = self.indexes[i].columns.clone();
             let state = build_index_state(
                 &self.device,
                 &self.registry,
@@ -380,7 +389,7 @@ impl Table {
                 self.value_pos,
                 &self.planner,
                 &def,
-                column,
+                &columns,
             )?;
             report.simulated_time_s += state.backend.as_index().build_metrics().simulated_time_s;
             self.indexes[i] = state;
@@ -405,7 +414,10 @@ impl Table {
                 continue;
             }
             if let Backend::Updatable(ix) = &mut state.backend {
-                let key = record[state.column];
+                // Composite indexes are always read-only at the table layer
+                // (they rebuild per batch), so updatable states key on
+                // exactly one column.
+                let key = record[state.columns[0]];
                 let update = ix.insert(&[key], &[value])?;
                 state.mirror.append(key, row);
                 touched[i] = true;
@@ -433,7 +445,7 @@ impl Table {
                 continue;
             }
             if let Backend::Updatable(ix) = &mut state.backend {
-                if state.column == 0 {
+                if state.columns == [0] {
                     // Delta-exact: the index keys on the primary column,
                     // so deleting `key` there removes exactly the doomed
                     // rows.
@@ -465,7 +477,7 @@ impl Table {
                 continue;
             }
             let def = self.indexes[i].def.clone();
-            let column = self.indexes[i].column;
+            let columns = self.indexes[i].columns.clone();
             self.indexes[i] = build_index_state(
                 &self.device,
                 &self.registry,
@@ -473,7 +485,7 @@ impl Table {
                 self.value_pos,
                 &self.planner,
                 &def,
-                column,
+                &columns,
             )?;
         }
         Ok(())
@@ -526,7 +538,8 @@ impl Table {
                 CandidateView {
                     name: &s.def.name,
                     spec: &s.def.spec,
-                    column: &s.def.column,
+                    columns: &s.def.columns,
+                    schema: s.schema.as_ref(),
                     caps: ix.capabilities(),
                     has_values: ix.has_value_column(),
                     memory: ix.memory_usage().total(),
@@ -545,29 +558,53 @@ impl Table {
         let mut results = vec![LookupResult::miss(); query.len()];
         let mut metrics = LaunchMetrics::default();
         // Predicates routed to the same index fuse into one batch (fewer
-        // simulated launches); scans answer immediately.
-        let mut groups: Vec<(&str, Vec<usize>, Vec<QueryOp>)> = Vec::new();
+        // simulated launches); scans answer immediately. Composite (typed)
+        // indexes collect typed prefix operations, everything else the raw
+        // single-u64 operations of the zero-overhead path.
+        enum GroupOps {
+            Raw(Vec<QueryOp>),
+            Typed(Vec<TypedOp>),
+        }
+        let mut groups: Vec<(&str, Vec<usize>, GroupOps)> = Vec::new();
         for (slot, (predicate, choice)) in query.predicates().iter().zip(&plan.choices).enumerate()
         {
             match &choice.route {
                 Route::Scan => {
-                    let column = self
-                        .schema
-                        .column_position(predicate.column())
-                        .expect("planned predicates reference known columns");
-                    results[slot] =
-                        self.store
-                            .scan(column, predicate.as_op(), self.value_pos, fetch);
+                    results[slot] = self.scan_predicate(predicate, fetch);
                     metrics.simulated_time_s +=
                         self.planner.scan_cost_per_row_s * self.store.live_count() as f64;
                 }
                 Route::Index { index, .. } => {
-                    match groups.iter_mut().find(|(name, ..)| name == index) {
-                        Some((_, slots, ops)) => {
-                            slots.push(slot);
-                            ops.push(predicate.as_op());
+                    let state = self
+                        .indexes
+                        .iter()
+                        .find(|s| s.def.name == *index)
+                        .expect("plans route to existing indexes");
+                    let at = match groups.iter().position(|(name, ..)| name == index) {
+                        Some(at) => {
+                            groups[at].1.push(slot);
+                            at
                         }
-                        None => groups.push((index, vec![slot], vec![predicate.as_op()])),
+                        None => {
+                            let ops = match state.schema {
+                                Some(_) => GroupOps::Typed(Vec::new()),
+                                None => GroupOps::Raw(Vec::new()),
+                            };
+                            groups.push((index, vec![slot], ops));
+                            groups.len() - 1
+                        }
+                    };
+                    match &mut groups[at].2 {
+                        GroupOps::Raw(ops) => ops.push(
+                            predicate
+                                .as_op()
+                                .expect("the planner only routes compilable predicates"),
+                        ),
+                        GroupOps::Typed(ops) => ops.push(
+                            predicate
+                                .as_typed_op(&state.def.columns)
+                                .expect("the planner only routes covered predicates"),
+                        ),
                     }
                 }
             }
@@ -578,17 +615,28 @@ impl Table {
                 .iter()
                 .find(|s| s.def.name == name)
                 .expect("plans route to existing indexes");
-            let mut batch = QueryBatch::new();
-            for op in ops {
-                batch = match op {
-                    QueryOp::Point(key) => batch.point(key),
-                    QueryOp::Range(lower, upper) => batch.range(lower, upper),
-                };
-            }
-            let outcome = state
-                .backend
-                .as_index()
-                .execute(&batch.fetch_values(fetch))?;
+            let outcome = match ops {
+                GroupOps::Raw(ops) => {
+                    let mut batch = QueryBatch::new();
+                    for op in ops {
+                        batch = match op {
+                            QueryOp::Point(key) => batch.point(key),
+                            QueryOp::Range(lower, upper) => batch.range(lower, upper),
+                        };
+                    }
+                    state
+                        .backend
+                        .as_index()
+                        .execute(&batch.fetch_values(fetch))?
+                }
+                GroupOps::Typed(ops) => {
+                    let mut batch = TypedBatch::new().fetch_values(fetch);
+                    for op in ops {
+                        batch = batch.op(op);
+                    }
+                    state.backend.as_index().execute_typed(&batch)?
+                }
+            };
             metrics.merge(&outcome.metrics);
             for (slot, mut result) in slots.into_iter().zip(outcome.results) {
                 if result.first_row != MISS {
@@ -602,6 +650,40 @@ impl Table {
             metrics,
             plan,
         })
+    }
+
+    /// Answers one predicate on the scan fallback path.
+    fn scan_predicate(&self, predicate: &Predicate, fetch: bool) -> LookupResult {
+        if let Predicate::Composite {
+            columns,
+            prefix,
+            range,
+        } = predicate
+        {
+            let positions: Vec<usize> = columns
+                .iter()
+                .map(|c| {
+                    self.schema
+                        .column_position(c)
+                        .expect("planned predicates reference known columns")
+                })
+                .collect();
+            return self
+                .store
+                .scan_composite(&positions, prefix, *range, self.value_pos, fetch);
+        }
+        let column = self
+            .schema
+            .column_position(predicate.column())
+            .expect("planned predicates reference known columns");
+        self.store.scan(
+            column,
+            predicate
+                .as_op()
+                .expect("scalar predicates compile to single-column ops"),
+            self.value_pos,
+            fetch,
+        )
     }
 }
 
@@ -617,7 +699,10 @@ impl std::fmt::Debug for Table {
 
 /// Builds (or rebuilds) one index from the live row store: fresh dense
 /// mirror, calibrated probe costs, durable directories wiped first (see
-/// the [module docs](self)).
+/// the [module docs](self)). Composite definitions build through the
+/// registry's typed path and always come back read-only — table deltas
+/// speak raw single-`u64` keys, which a composite index rejects, so they
+/// rebuild per mutating batch instead.
 fn build_index_state(
     device: &Device,
     registry: &Registry,
@@ -625,10 +710,13 @@ fn build_index_state(
     value_pos: Option<usize>,
     planner: &Planner,
     def: &IndexDef,
-    column: usize,
+    columns: &[usize],
 ) -> Result<IndexState, IndexError> {
     wipe_durable_dir(&def.spec)?;
-    let (keys, rows) = store.column_live(column);
+    if def.is_composite() {
+        return build_composite_state(device, registry, store, value_pos, planner, def, columns);
+    }
+    let (keys, rows) = store.column_live(columns[0]);
     let values: Option<Vec<u64>> =
         value_pos.map(|vp| rows.iter().map(|&r| store.value_at(vp, r)).collect());
     let spec = match &values {
@@ -644,9 +732,75 @@ fn build_index_state(
     let probe = planner.calibrate(backend.as_index(), &keys)?;
     Ok(IndexState {
         def: def.clone(),
-        column,
+        columns: columns.to_vec(),
+        schema: None,
         backend,
         mirror: Mirror::dense(&keys, &rows),
+        compact_mirror_on_reorg: rowids_renumber_on_reorg(&def.spec),
+        probe,
+    })
+}
+
+/// The composite arm of [`build_index_state`]: projects the key columns
+/// into typed tuples, resolves the key schema (explicit `{...}` in the
+/// spec, else all-`u64`), and builds read-only through the registry.
+fn build_composite_state(
+    device: &Device,
+    registry: &Registry,
+    store: &RowStore,
+    value_pos: Option<usize>,
+    planner: &Planner,
+    def: &IndexDef,
+    columns: &[usize],
+) -> Result<IndexState, IndexError> {
+    let schema = match parse_schema_name(&def.spec)? {
+        Some((_, schema)) => schema,
+        None => KeySchema::new(vec![ColumnType::U64; columns.len()])?,
+    };
+    // TableSchema::validate checked arity; column types must be unsigned
+    // because table columns hold raw u64 values.
+    for column in schema.columns() {
+        if matches!(column, ColumnType::I64 | ColumnType::Str(_)) {
+            return Err(IndexError::Backend {
+                backend: def.spec.clone().into(),
+                message: format!(
+                    "table columns are u64, so composite index {:?} cannot use \
+                     column type {column} — declare u8/u16/u32/u64",
+                    def.name
+                ),
+            });
+        }
+    }
+    let (raw_tuples, rows) = store.tuples_live(columns);
+    let tuples: Vec<KeyTuple> = raw_tuples
+        .iter()
+        .map(|t| t.iter().map(|&v| KeyValue::U64(v)).collect())
+        .collect();
+    let values: Option<Vec<u64>> =
+        value_pos.map(|vp| rows.iter().map(|&r| store.value_at(vp, r)).collect());
+    let spec = match &values {
+        Some(v) => IndexSpec::typed_with_values(device, schema.clone(), &tuples, v),
+        None => IndexSpec::typed(device, schema.clone(), &tuples),
+    };
+    let backend = Backend::ReadOnly(registry.build(&def.spec, &spec)?);
+    // Calibration probes run in the backend's raw key domain: the encoded
+    // keys themselves for direct (single-limb) schemas; for dictionary-
+    // mapped schemas the probes miss, which still measures launch cost.
+    let probe_keys = if schema.limbs() == 1 {
+        schema.encode_rows(&tuples)?
+    } else {
+        Vec::new()
+    };
+    let probe = planner.calibrate(backend.as_index(), &probe_keys)?;
+    // The mirror's key slot holds the leading column value; composite
+    // indexes never take the delta path, so it only translates rowIDs.
+    let leading: Vec<u64> = raw_tuples.iter().map(|t| t[0]).collect();
+    Ok(IndexState {
+        def: def.clone(),
+        columns: columns.to_vec(),
+        schema: Some(schema),
+        backend,
+        mirror: Mirror::dense(&leading, &rows),
         compact_mirror_on_reorg: rowids_renumber_on_reorg(&def.spec),
         probe,
     })
@@ -657,6 +811,10 @@ fn build_index_state(
 /// densely; sharded specs keep stable outer rowIDs (their per-shard
 /// mirrors absorb the renumbering).
 fn rowids_renumber_on_reorg(spec: &str) -> bool {
+    // Brace schemas sit anywhere in the name; strip them before looking
+    // for the shard production.
+    let stripped = parse_schema_name(spec).ok().flatten().map(|(rest, _)| rest);
+    let spec = stripped.as_deref().unwrap_or(spec);
     let base = parse_durable_name(spec).map(|(b, _)| b).unwrap_or(spec);
     ShardSpec::parse(base).is_none()
 }

@@ -338,3 +338,110 @@ fn empty_tables_build_every_index_and_answer_misses() {
             == 0
     );
 }
+
+#[test]
+fn composite_indexes_route_and_answer_prefix_queries() {
+    let device = Device::default_eval();
+    // [id, region, ts, amount]: regions group the rows, ts spreads inside
+    // each region, ids are unique.
+    let records: Vec<Vec<u64>> = (0..400u64)
+        .map(|i| vec![i, i % 8, (i * 37) % 512, i * 3 + 1])
+        .collect();
+    let schema = TableSchema::new(["id", "region", "ts", "amount"])
+        .with_value_column("amount")
+        .with_index("id_ht", "id", "HT")
+        .with_composite_index("region_ts", ["region", "ts"], "RX{u32,u32}")
+        .with_composite_index("region_ts_sa", ["region", "ts"], "SA");
+    let mut oracle = TableOracle::load(4, &records);
+    let mut table =
+        Table::load(schema, &device, registry(), &records).expect("composite table builds");
+    assert_eq!(
+        table.index_names(),
+        vec!["id_ht", "region_ts", "region_ts_sa"]
+    );
+
+    // One query spanning every composite form: a full-tuple point, a pure
+    // prefix, a prefix range, a bare range on the leading column, plus a
+    // scalar point that the composite indexes serve as an encoded prefix.
+    let query = TableQuery::new()
+        .prefix_tuple(["region", "ts"], vec![records[11][1], records[11][2]])
+        .prefix_tuple(["region"], vec![3])
+        .prefix_range(["region", "ts"], vec![3], 100, 300)
+        .prefix_range(["region"], vec![], 2, 5)
+        .point("region", 6)
+        .fetch_values(true);
+    let out = table.query(&query).expect("composite query executes");
+
+    // Every predicate keys on `region`, which only the composite indexes
+    // lead on — nothing may fall back to a scan.
+    assert_eq!(out.plan.scan_fallbacks(), 0, "{}", out.plan);
+    for (pi, choice) in out.plan.choices.iter().enumerate() {
+        assert!(
+            matches!(choice.route, Route::Index { .. }),
+            "predicate {pi} routed {}",
+            out.plan
+        );
+    }
+
+    let want = oracle.expected_query(table.schema(), &query);
+    for (pi, (g, w)) in out.results.iter().zip(&want).enumerate() {
+        assert_eq!(
+            (g.first_row, g.hit_count, g.value_sum),
+            (w.first_row, w.hit_count, w.value_sum),
+            "predicate {pi} ({})",
+            query.predicates()[pi]
+        );
+    }
+
+    // A composite predicate over columns no index leads on scans instead.
+    let scan_query = TableQuery::new()
+        .prefix_range(["ts", "amount"], vec![100], 0, u64::MAX)
+        .fetch_values(true);
+    let out = table.query(&scan_query).expect("scan fallback executes");
+    assert_eq!(out.plan.scan_fallbacks(), 1);
+    let want = oracle.expected_query(table.schema(), &scan_query);
+    assert_eq!(
+        (out.results[0].first_row, out.results[0].hit_count),
+        (want[0].first_row, want[0].hit_count)
+    );
+
+    // Forcing each composite index must agree with the planner's pick.
+    let forced_query = TableQuery::new()
+        .prefix_range(["region", "ts"], vec![5], 50, 450)
+        .fetch_values(true);
+    let planned = table.query(&forced_query).unwrap();
+    for index in ["region_ts", "region_ts_sa"] {
+        let forced = table.query_forced(&forced_query, index).unwrap();
+        assert_eq!(forced.plan.routed_index(0), Some(index));
+        assert_eq!(forced.results, planned.results, "forced {index}");
+    }
+    // Forcing the single-column hash index onto a multi-column predicate
+    // is an error, not a silent fallback.
+    assert!(table.query_forced(&forced_query, "id_ht").is_err());
+
+    // CDC ingest: composite indexes rebuild each mutating batch and stay
+    // oracle-exact through inserts and primary-key deletes.
+    let batches = ingest_batches(&TableWorkloadConfig {
+        key_domain: 512,
+        ..TableWorkloadConfig::uniform(4, 6, 20, 11)
+    });
+    for (bi, batch) in batches.iter().enumerate() {
+        table.ingest(batch).expect("batch applies");
+        oracle.apply_batch(batch);
+        assert_eq!(table.row_count(), oracle.row_count(), "batch {bi}");
+        let probe = TableQuery::new()
+            .prefix_tuple(["region"], vec![bi as u64 % 8])
+            .prefix_range(["region", "ts"], vec![(bi as u64 + 3) % 8], 0, 256)
+            .fetch_values(true);
+        let got = table.query(&probe).expect("post-ingest query");
+        let want = oracle.expected_query(table.schema(), &probe);
+        for (pi, (g, w)) in got.results.iter().zip(&want).enumerate() {
+            assert_eq!(
+                (g.first_row, g.hit_count, g.value_sum),
+                (w.first_row, w.hit_count, w.value_sum),
+                "batch {bi} predicate {pi}"
+            );
+        }
+    }
+    assert!(table.stats().index_rebuilds > 0);
+}

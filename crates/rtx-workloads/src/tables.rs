@@ -88,29 +88,56 @@ impl TableOracle {
 
     /// Answers one predicate by scanning: smallest matching rowID,
     /// match count, and (when `fetch` is set and the schema designates a
-    /// value column) the wrapping value sum.
+    /// value column) the wrapping value sum. Composite predicates match a
+    /// record when every prefix column holds its exact value and — when a
+    /// range is set — the next column lies inside the inclusive bounds.
     pub fn expected(
         &self,
         schema: &TableSchema,
         predicate: &Predicate,
         fetch: bool,
     ) -> LookupResult {
-        let column = schema
-            .column_position(predicate.column())
-            .expect("predicate on a schema column");
+        let positions: Vec<usize> = predicate
+            .columns()
+            .iter()
+            .map(|c| {
+                schema
+                    .column_position(c)
+                    .expect("predicate on a schema column")
+            })
+            .collect();
         let value_column = schema
             .value_column
             .as_ref()
             .map(|c| schema.column_position(c).expect("validated schema"));
-        let op = predicate.as_op();
+        let hit = |record: &Record| -> bool {
+            match predicate {
+                Predicate::Composite { prefix, range, .. } => {
+                    let equal = prefix
+                        .iter()
+                        .zip(&positions)
+                        .all(|(&want, &c)| record[c] == want);
+                    let bounded = match range {
+                        Some((lower, upper)) => {
+                            let key = record[positions[prefix.len()]];
+                            *lower <= key && key <= *upper
+                        }
+                        None => true,
+                    };
+                    equal && bounded
+                }
+                scalar => {
+                    let key = record[positions[0]];
+                    match scalar.as_op().expect("scalar predicates compile") {
+                        QueryOp::Point(query) => key == query,
+                        QueryOp::Range(lower, upper) => lower <= key && key <= upper,
+                    }
+                }
+            }
+        };
         let mut result = LookupResult::miss();
         for (row, record) in &self.entries {
-            let key = record[column];
-            let hit = match op {
-                QueryOp::Point(query) => key == query,
-                QueryOp::Range(lower, upper) => lower <= key && key <= upper,
-            };
-            if hit {
+            if hit(record) {
                 result.first_row = result.first_row.min(*row);
                 result.hit_count += 1;
                 if fetch {
@@ -340,6 +367,35 @@ mod tests {
     }
 
     #[test]
+    fn oracle_answers_composite_predicates() {
+        let records: Vec<Record> = vec![
+            vec![1, 10, 100],
+            vec![1, 20, 200],
+            vec![2, 10, 300],
+            vec![1, 30, 400],
+        ];
+        let oracle = TableOracle::load(3, &records);
+        let composite = |prefix: Vec<u64>, range: Option<(u64, u64)>| Predicate::Composite {
+            columns: vec!["id".into(), "ts".into()][..prefix.len() + usize::from(range.is_some())]
+                .to_vec(),
+            prefix,
+            range,
+        };
+        // Full tuple equality.
+        let r = oracle.expected(&schema(), &composite(vec![1, 20], None), true);
+        assert_eq!((r.first_row, r.hit_count, r.value_sum), (1, 1, 200));
+        // Prefix equality plus a range on the next column.
+        let r = oracle.expected(&schema(), &composite(vec![1], Some((15, 35))), true);
+        assert_eq!((r.first_row, r.hit_count, r.value_sum), (1, 2, 600));
+        // Prefix-only equality.
+        let r = oracle.expected(&schema(), &composite(vec![1], None), false);
+        assert_eq!((r.first_row, r.hit_count), (0, 3));
+        // Misses.
+        let r = oracle.expected(&schema(), &composite(vec![9, 9], None), false);
+        assert_eq!(r.first_row, MISS);
+    }
+
+    #[test]
     fn ingest_streams_are_deterministic_and_mixed() {
         let config = TableWorkloadConfig::uniform(3, 20, 16, 11);
         let batches = ingest_batches(&config);
@@ -399,7 +455,7 @@ mod tests {
                         assert_eq!(upper - lower + 1, config.range_span);
                         ranges += 1;
                     }
-                    Predicate::Prefix { .. } => unreachable!(),
+                    other => unreachable!("unexpected predicate kind {other:?}"),
                 }
             }
         }

@@ -182,8 +182,8 @@ pub use rtx_workloads;
 pub use gpu_baselines::{BPlusTree, GpuIndex, SortedArray, WarpHashTable};
 pub use gpu_device::{Device, DeviceSpec};
 pub use rtindex_core::{
-    BatchOutcome, Decomposition, KeyMode, LookupResult, PointRayStrategy, PrimitiveKind,
-    RangeRayStrategy, RtIndex, RtIndexConfig, RtIndexError, TypedRtIndex, MISS,
+    Decomposition, KeyMode, PointRayStrategy, PrimitiveKind, RangeRayStrategy, RtIndex,
+    RtIndexConfig, RtIndexError, TypedRtIndex,
 };
 pub use rtx_delta::{
     CompactionEvent, CompactionPolicy, CompactionTrigger, DynamicRtConfig, DynamicRtIndex,
@@ -191,10 +191,11 @@ pub use rtx_delta::{
 pub use rtx_durable::{DurableConfig, DurableIndex, FsyncPolicy};
 pub use rtx_harness::registry;
 pub use rtx_query::{
-    Capabilities, DurableStats, ExecArena, ExplainPlan, FusedBatch, IndexDef, IndexError,
-    IndexSpec, IngestBatch, IngestOp, MemoryUsage, Partitioning, Predicate, QueryBatch, QueryOps,
-    QueryOutcome, Record, Registry, Route, SecondaryIndex, ShardSpec, SharedOutcome, TableQuery,
-    TableSchema, UpdatableIndex,
+    BatchOutcome, Capabilities, ColumnType, CompositeIndex, DurableStats, ExecArena, ExplainPlan,
+    FusedBatch, IndexDef, IndexError, IndexSpec, IngestBatch, IngestOp, KeyBound, KeySchema,
+    KeyTuple, KeyValue, LookupResult, MemoryUsage, Partitioning, Predicate, QueryBatch, QueryOps,
+    QueryOutcome, Record, Registry, Route, SecondaryIndex, ShardSpec, SharedOutcome, SpecName,
+    TableQuery, TableSchema, TypedBatch, TypedOp, UpdatableIndex, MISS,
 };
 pub use rtx_serve::{
     ClientHandle, PendingQuery, PendingTableQuery, QueryService, RetryPolicy, ServeError,

@@ -1,0 +1,446 @@
+//! Composite-key conformance: typed batches against every backend — plain,
+//! sharded and durable — answered oracle-exact under multi-column schemas.
+//!
+//! The oracle here is deliberately *logical*: tuples are matched by
+//! column-wise typed comparison (unsigned, signed, byte-string), never by
+//! encoding. Agreement with the backends therefore proves the
+//! order-preserving encoding end to end — a tuple range answered through
+//! 8-byte direct keys or a 32-byte dictionary must equal the answer a
+//! human would derive from the typed tuples.
+//!
+//! Coverage mirrors `trait_conformance.rs`:
+//! - a 2-column direct schema (`{u32,u32}`, one limb) on all five plain
+//!   backends and the five sharded variants;
+//! - a 3-column direct schema (`{u16,u16,u16}`);
+//! - a wide dictionary schema (`{u32,i64,str16}`, four limbs) with
+//!   negative signed values and string columns;
+//! - a durable `+wal:` reopen of a dictionary-mapped composite index, the
+//!   KEYDICT sidecar reloading alongside the WAL replay.
+//!
+//! Per-backend expectations: B+ rejects *direct* composite builds as
+//! unsupported key sets (encoded keys occupy the high bytes, overflowing
+//! its 32-bit key domain) but serves *wide* schemas (dictionary-mapped
+//! keys are small); HT serves full-arity points but rejects every
+//! range-compiled op uniformly.
+
+use std::cmp::Ordering;
+
+use proptest::prelude::*;
+use rtindex::{
+    registry, Device, IndexError, IndexSpec, KeyBound, KeySchema, KeyTuple, KeyValue, LookupResult,
+    SecondaryIndex, SpecName, TypedBatch, TypedOp, MISS,
+};
+
+/// The sharded variants from the raw-key conformance suite, reused under
+/// brace schemas (canonical grammar position: after the shard production).
+const SHARDED_BACKENDS: [&str; 5] = ["RX@3", "HT@2", "B+@2", "SA@4:range", "RXD@2:range"];
+
+// ---------------------------------------------------------------------------
+// The logical oracle: typed column-wise comparison, no encoding anywhere.
+// ---------------------------------------------------------------------------
+
+fn cmp_value(a: &KeyValue, b: &KeyValue) -> Ordering {
+    match (a, b) {
+        (KeyValue::U64(x), KeyValue::U64(y)) => x.cmp(y),
+        (KeyValue::I64(x), KeyValue::I64(y)) => x.cmp(y),
+        (KeyValue::Str(x), KeyValue::Str(y)) => x.as_bytes().cmp(y.as_bytes()),
+        _ => panic!("oracle compared mismatched column types: {a} vs {b}"),
+    }
+}
+
+fn cmp_tuple(a: &[KeyValue], b: &[KeyValue]) -> Ordering {
+    for (x, y) in a.iter().zip(b) {
+        match cmp_value(x, y) {
+            Ordering::Equal => continue,
+            other => return other,
+        }
+    }
+    Ordering::Equal
+}
+
+fn bound_holds(value: &KeyValue, lower: &KeyBound, upper: &KeyBound) -> bool {
+    let above = match lower {
+        KeyBound::Unbounded => true,
+        KeyBound::Included(v) => cmp_value(value, v) != Ordering::Less,
+        KeyBound::Excluded(v) => cmp_value(value, v) == Ordering::Greater,
+    };
+    let below = match upper {
+        KeyBound::Unbounded => true,
+        KeyBound::Included(v) => cmp_value(value, v) != Ordering::Greater,
+        KeyBound::Excluded(v) => cmp_value(value, v) == Ordering::Less,
+    };
+    above && below
+}
+
+fn op_matches(op: &TypedOp, tuple: &[KeyValue]) -> bool {
+    match op {
+        TypedOp::Point(t) => t.as_slice() == tuple,
+        TypedOp::Range(lower, upper) => {
+            cmp_tuple(lower, tuple) != Ordering::Greater
+                && cmp_tuple(tuple, upper) != Ordering::Greater
+        }
+        TypedOp::Prefix {
+            prefix,
+            lower,
+            upper,
+        } => {
+            if tuple[..prefix.len()] != prefix[..] {
+                return false;
+            }
+            match tuple.get(prefix.len()) {
+                Some(next) => bound_holds(next, lower, upper),
+                None => true, // full-arity prefix: pure equality
+            }
+        }
+    }
+}
+
+/// Brute-force expected results for a typed batch over the stored tuples:
+/// `first_row` is the smallest matching rowID, `value_sum` the wrapping sum
+/// when fetching.
+fn expected_typed(batch: &TypedBatch, tuples: &[KeyTuple], values: &[u64]) -> Vec<LookupResult> {
+    batch
+        .ops()
+        .iter()
+        .map(|op| {
+            let mut result = LookupResult::miss();
+            for (row, tuple) in tuples.iter().enumerate() {
+                if op_matches(op, tuple) {
+                    result.first_row = result.first_row.min(row as u32);
+                    result.hit_count += 1;
+                    if batch.fetches_values() {
+                        result.value_sum = result.value_sum.wrapping_add(values[row]);
+                    }
+                }
+            }
+            result
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Tuple generators.
+// ---------------------------------------------------------------------------
+
+/// `{u32,u32}` tuples: ~`n / 23` rows per leading-column group, second
+/// column unique.
+fn pair_tuples(n: usize) -> Vec<KeyTuple> {
+    (0..n as u64)
+        .map(|i| vec![KeyValue::U64((i * 7919) % 23), KeyValue::U64(i)])
+        .collect()
+}
+
+/// `{u16,u16,u16}` tuples: two grouping columns then a unique tail.
+fn triple_tuples(n: usize) -> Vec<KeyTuple> {
+    (0..n as u64)
+        .map(|i| {
+            vec![
+                KeyValue::U64(i % 7),
+                KeyValue::U64((i * 31) % 11),
+                KeyValue::U64(i),
+            ]
+        })
+        .collect()
+}
+
+/// `{u32,i64,str16}` tuples: grouped leading column, signed values crossing
+/// zero, unique string tail.
+fn wide_tuples(n: usize) -> Vec<KeyTuple> {
+    (0..n as i64)
+        .map(|i| {
+            vec![
+                KeyValue::U64((i % 13) as u64),
+                KeyValue::I64(i * 17 - n as i64),
+                KeyValue::Str(format!("name-{i:04}")),
+            ]
+        })
+        .collect()
+}
+
+fn value_column(n: usize) -> Vec<u64> {
+    (0..n as u64).map(|i| i * 1_000 + 7).collect()
+}
+
+// ---------------------------------------------------------------------------
+// The conformance check.
+// ---------------------------------------------------------------------------
+
+/// Point-only typed batch: every fourth stored tuple plus misses made by
+/// bumping the last column past any stored value.
+fn point_batch(tuples: &[KeyTuple]) -> TypedBatch {
+    let mut batch = TypedBatch::new().fetch_values(true);
+    for tuple in tuples.iter().step_by(4) {
+        batch = batch.point(tuple.clone());
+    }
+    for tuple in tuples.iter().step_by(97) {
+        let mut miss = tuple.clone();
+        *miss.last_mut().unwrap() = match miss.last().unwrap() {
+            KeyValue::U64(_) => KeyValue::U64(u64::from(u16::MAX)),
+            KeyValue::I64(v) => KeyValue::I64(v.wrapping_add(1_000_000)),
+            // Stays inside the narrowest str<N> column used here and never
+            // collides with a generated value (those start with a letter
+            // below 'z').
+            KeyValue::Str(s) => KeyValue::Str(format!("z{}", &s[..s.len().min(7)])),
+        };
+        batch = batch.point(miss);
+    }
+    batch
+}
+
+/// Mixed prefix/range batch over the leading-column groups: pure prefixes,
+/// inclusive / exclusive prefix ranges, a full-tuple range, an inverted
+/// (empty) range and an absent prefix group.
+fn range_batch(tuples: &[KeyTuple], groups: u64) -> TypedBatch {
+    let mut batch = TypedBatch::new().fetch_values(true);
+    for g in 0..groups {
+        batch = batch.prefix([KeyValue::U64(g)]);
+    }
+    // Bounds on the column after the prefix: the generators keep column 1
+    // unsigned in the direct schemas and signed in the wide schema.
+    let second = |t: &KeyTuple| t[1].clone();
+    let sorted_seconds = {
+        let mut s: Vec<KeyValue> = tuples.iter().map(second).collect();
+        s.sort_by(cmp_value);
+        s
+    };
+    if let (Some(lo), Some(hi)) = (sorted_seconds.first(), sorted_seconds.last()) {
+        batch = batch
+            .prefix_range([KeyValue::U64(1)], lo.clone()..=hi.clone())
+            .prefix_range([KeyValue::U64(2)], lo.clone()..hi.clone())
+            .prefix_range(
+                [KeyValue::U64(3)],
+                (KeyBound::Excluded(lo.clone()), KeyBound::Unbounded),
+            );
+    }
+    let mut lo_tuple = tuples[0].clone();
+    let mut hi_tuple = tuples[tuples.len() / 2].clone();
+    if cmp_tuple(&lo_tuple, &hi_tuple) == Ordering::Greater {
+        std::mem::swap(&mut lo_tuple, &mut hi_tuple);
+    }
+    batch = batch.range(lo_tuple.clone(), hi_tuple.clone());
+    batch = batch.range(hi_tuple, lo_tuple.clone()); // inverted unless equal
+    batch.prefix([KeyValue::U64(groups + 50)]) // absent group
+}
+
+fn composite_check(
+    label: &str,
+    ix: &dyn SecondaryIndex,
+    schema: &KeySchema,
+    tuples: &[KeyTuple],
+    values: &[u64],
+    groups: u64,
+) {
+    assert_eq!(ix.key_count(), tuples.len(), "{label}: key count");
+    assert_eq!(ix.key_schema(), Some(schema), "{label}: schema surfaced");
+
+    // Full-arity points compile to encoded points: every backend serves
+    // them, including HT.
+    let points = point_batch(tuples);
+    let out = ix.execute_typed(&points).expect("typed point batch");
+    assert_eq!(
+        out.results,
+        expected_typed(&points, tuples, values),
+        "{label}: typed points"
+    );
+
+    let mixed = range_batch(tuples, groups);
+    if ix.capabilities().range_lookups {
+        let out = ix.execute_typed(&mixed).expect("typed mixed batch");
+        assert_eq!(
+            out.results,
+            expected_typed(&mixed, tuples, values),
+            "{label}: typed prefixes and ranges"
+        );
+        let absent = out.results.last().expect("non-empty batch");
+        assert_eq!(absent.first_row, MISS, "{label}: absent prefix is a miss");
+
+        let chunked = ix.execute_typed(&mixed.clone().with_chunk_size(5)).unwrap();
+        assert_eq!(chunked.results, out.results, "{label}: chunked == whole");
+    } else {
+        let err = ix.execute_typed(&mixed).map(|_| ()).unwrap_err();
+        assert!(
+            matches!(err, IndexError::UnsupportedOperation { operation, .. }
+                if operation == "range lookups"),
+            "{label}: range rejection must be uniform"
+        );
+    }
+}
+
+/// Runs one schema over the five plain backends and five sharded variants.
+/// B+ may reject the build — only as an unsupported key set, and only when
+/// `bplus_rejects` says the schema's encoded image overflows 32-bit keys.
+fn run_schema(schema_text: &str, tuples: Vec<KeyTuple>, groups: u64, bplus_rejects: bool) {
+    let device = Device::default_eval();
+    let registry = registry();
+    let schema = KeySchema::parse(schema_text).expect("schema parses");
+    let values = value_column(tuples.len());
+    let spec = IndexSpec::typed_with_values(&device, schema.clone(), &tuples, &values);
+
+    let mut served = 0;
+    let all_names = registry
+        .backends()
+        .into_iter()
+        .map(str::to_string)
+        .chain(SHARDED_BACKENDS.iter().map(|s| s.to_string()));
+    for base in all_names {
+        let name = format!("{base}{schema_text}");
+        match registry.build(&name, &spec) {
+            Ok(ix) => {
+                served += 1;
+                assert_eq!(ix.name(), name, "{name}: display name");
+                composite_check(&name, ix.as_ref(), &schema, &tuples, &values, groups);
+            }
+            Err(err) => {
+                assert!(
+                    err.is_unsupported_key_set(),
+                    "{name}: build may only fail as unsupported, got {err}"
+                );
+                assert!(
+                    base.starts_with("B+") && bplus_rejects,
+                    "{name}: only B+ rejects, and only direct composite schemas"
+                );
+            }
+        }
+    }
+    assert_eq!(served, if bplus_rejects { 8 } else { 10 }, "{schema_text}");
+}
+
+#[test]
+fn two_column_direct_schema_conforms_on_every_backend() {
+    // {u32,u32} packs into one limb: the direct codec, no dictionary.
+    // Encoded keys occupy the high bytes, so B+ (32-bit key domain)
+    // rejects the build — plain and sharded alike.
+    run_schema("{u32,u32}", pair_tuples(600), 23, true);
+}
+
+#[test]
+fn three_column_direct_schema_conforms_on_every_backend() {
+    run_schema("{u16,u16,u16}", triple_tuples(500), 7, true);
+}
+
+#[test]
+fn wide_dictionary_schema_conforms_on_every_backend() {
+    // {u32,i64,str16} spans 28 raw bytes → a 32-byte bucket, four limbs:
+    // the dictionary codec. Mapped keys are dense and small, so every
+    // backend serves the build — including B+.
+    run_schema("{u32,i64,str16}", wide_tuples(400), 13, false);
+}
+
+#[test]
+fn durable_composite_index_reopens_with_its_key_dictionary() {
+    let device = Device::default_eval();
+    let registry = registry();
+    let dir = std::env::temp_dir().join(format!("rtx-composite-wal-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // {u32,str8} spans 12 raw bytes → a 16-byte bucket, two limbs: the
+    // dictionary codec, persisted in the KEYDICT sidecar next to the WAL.
+    let schema = KeySchema::parse("{u32,str8}").unwrap();
+    let name = format!("RXD{schema}+wal:{}", dir.display());
+    let tuple = |g: u64, s: &str| vec![KeyValue::U64(g), KeyValue::Str(s.to_string())];
+
+    let mut tuples: Vec<KeyTuple> = (0..200u64)
+        .map(|i| tuple(i % 5, &format!("row{i:03}")))
+        .collect();
+    let mut values = value_column(tuples.len());
+
+    // First life: bulk build, then typed writes that grow the dictionary.
+    {
+        let spec = IndexSpec::typed_with_values(&device, schema.clone(), &tuples, &values);
+        let mut ix = registry.build_updatable(&name, &spec).expect("first life");
+
+        let fresh: Vec<KeyTuple> = (0..40u64)
+            .map(|i| tuple(7, &format!("new{i:02}")))
+            .collect();
+        let fresh_values: Vec<u64> = (0..40u64).map(|i| i + 5).collect();
+        ix.insert_rows(&fresh, &fresh_values).unwrap();
+        tuples.extend(fresh.iter().cloned());
+        values.extend(fresh_values.iter().copied());
+
+        // Deleting an unknown tuple is a no-op and must not grow the dict.
+        ix.delete_rows(&[tuple(99, "ghost")]).unwrap();
+
+        let batch = TypedBatch::new()
+            .prefix([KeyValue::U64(7)])
+            .point(tuple(7, "new00"))
+            .fetch_values(true);
+        let out = ix.execute_typed(&batch).unwrap();
+        assert_eq!(out.results, expected_typed(&batch, &tuples, &values));
+    }
+
+    // Second life: reopen from disk. The WAL replays the inner index; the
+    // sidecar restores the tuple dictionary — typed queries keep working.
+    {
+        let spec = IndexSpec::keys_only(&device, &[]);
+        let ix = registry.build_updatable(&name, &spec).expect("reopen");
+        assert_eq!(ix.key_count(), tuples.len(), "reopened key count");
+        assert_eq!(ix.key_schema(), Some(&schema));
+
+        let batch = TypedBatch::new()
+            .prefix([KeyValue::U64(7)])
+            .prefix([KeyValue::U64(3)])
+            .point(tuple(7, "new13"))
+            .point(tuple(99, "ghost")) // never inserted: a miss
+            .fetch_values(true);
+        let out = ix.execute_typed(&batch).unwrap();
+        let want = expected_typed(&batch, &tuples, &values);
+        assert_eq!(out.results, want, "reopened answers");
+        assert!(out.results[0].is_hit() && out.results[2].is_hit());
+        assert!(!out.results[3].is_hit());
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------------
+// Satellite: IndexSpec names round-trip the full registry grammar.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every name the grammar can produce parses into a `SpecName` whose
+    /// `Display` reprints it canonically — and reparsing the display is a
+    /// fixed point.
+    #[test]
+    fn prop_spec_names_round_trip_parse_and_display(
+        backend_i in 0usize..5,
+        builder_i in 0usize..3,
+        shard_kind in 0usize..4,
+        shard_n in 1usize..17,
+        // (type selector, str width): widths are capped so four columns
+        // never exceed the 32-byte raw-width limit.
+        column_picks in prop::collection::vec((0usize..6, 1usize..9), 0usize..4),
+        durable in any::<bool>(),
+    ) {
+        const BACKENDS: [&str; 5] = ["RX", "HT", "B+", "SA", "RXD"];
+        const BUILDERS: [&str; 3] = ["", ":sah", ":lbvh"];
+        const TYPES: [&str; 5] = ["u8", "u16", "u32", "u64", "i64"];
+        let backend = BACKENDS[backend_i];
+        let builder = BUILDERS[builder_i];
+        let shard = match shard_kind {
+            0 => String::new(),
+            1 => format!("@{shard_n}"),
+            2 => format!("@{shard_n}:hash"),
+            _ => format!("@{shard_n}:range"),
+        };
+        let columns: Vec<String> = column_picks
+            .iter()
+            .map(|&(t, n)| if t < 5 { TYPES[t].to_string() } else { format!("str{n}") })
+            .collect();
+        let schema = if columns.is_empty() {
+            String::new()
+        } else {
+            format!("{{{}}}", columns.join(","))
+        };
+        let wal = if durable { "+wal:/tmp/rtx-spec-roundtrip" } else { "" };
+        let name = format!("{backend}{builder}{shard}{schema}{wal}");
+        let parsed = SpecName::parse(&name).expect("grammar name parses");
+        // Hash partitioning is the default and prints bare — the one
+        // normalization Display applies; everything else is verbatim.
+        let canonical = format!("{backend}{builder}{}{schema}{wal}", shard.replace(":hash", ""));
+        prop_assert_eq!(parsed.to_string(), canonical, "display reprints canonically");
+        let reparsed = SpecName::parse(&parsed.to_string()).expect("display reparses");
+        prop_assert_eq!(parsed, reparsed, "parse∘display is a fixed point");
+    }
+}

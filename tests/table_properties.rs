@@ -224,3 +224,63 @@ fn capped_stub_rejects_mid_stream_then_recovers() {
         oracle.expected_query(table.schema(), &probe)[1].hit_count
     );
 }
+
+/// Decodes a generated `(kind, region, lo, width)` tuple into one composite
+/// query form: a full-tuple point, a pure prefix, or a prefix range.
+fn decode_composite_query(&(kind, region, lo, width): &(u8, u64, u64, u64)) -> TableQuery {
+    let query = TableQuery::new().fetch_values(true);
+    match kind % 3 {
+        0 => query.prefix_tuple(["region", "ts"], vec![region, lo]),
+        1 => query.prefix_tuple(["region"], vec![region]),
+        _ => query.prefix_range(["region", "ts"], vec![region], lo, lo + width),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random CDC streams keep a table with *composite* `(region, ts)`
+    /// indexes oracle-exact across every composite query form, and no
+    /// composite predicate ever falls back to a scan (both composite
+    /// indexes lead on `region`).
+    #[test]
+    fn prop_composite_indexes_stay_oracle_exact_through_cdc(
+        records in prop::collection::vec((0u64..48, 0u64..8, 0u64..256, 0u64..100), 0..24),
+        batches in prop::collection::vec(
+            prop::collection::vec(((0u8..3, 0u64..48), (0u64..8, 0u64..256, 0u64..100)), 1..8),
+            1..4,
+        ),
+        queries in prop::collection::vec((0u8..3, 0u64..10, 0u64..300, 0u64..64), 1..4),
+    ) {
+        let device = Device::default_eval();
+        let schema = TableSchema::new(["id", "region", "ts", "amount"])
+            .with_value_column("amount")
+            .with_index("id_ht", "id", "HT")
+            .with_composite_index("rt_rx", ["region", "ts"], "RX{u32,u32}")
+            .with_composite_index("rt_sa", ["region", "ts"], "SA");
+        let records: Vec<Vec<u64>> =
+            records.iter().map(|&(k, r, t, a)| vec![k, r, t, a]).collect();
+        let mut table =
+            Table::load(schema, &device, Arc::new(registry()), &records).expect("load");
+        let mut oracle = TableOracle::load(4, &records);
+
+        for ops in &batches {
+            let batch = ops.iter().fold(IngestBatch::new(), |b, &((kind, k), (r, t, a))| {
+                b.push(match kind % 3 {
+                    0 => IngestOp::Insert(vec![k, r, t, a]),
+                    1 => IngestOp::Delete(k),
+                    _ => IngestOp::Upsert(vec![k, r, t, a]),
+                })
+            });
+            table.ingest(&batch).expect("cdc batch");
+            oracle.apply_batch(&batch);
+            prop_assert_eq!(table.row_count(), oracle.row_count());
+            for q in &queries {
+                let query = decode_composite_query(q);
+                assert_oracle_exact(&table, &oracle, &query);
+                let plan = table.explain(&query).expect("explain");
+                prop_assert_eq!(plan.scan_fallbacks(), 0, "{}", &plan);
+            }
+        }
+    }
+}
