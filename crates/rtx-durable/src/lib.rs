@@ -208,6 +208,14 @@ impl Meta {
                     record::put_u64(&mut body, b);
                 }
             }
+            Some(RouterConfig::WeightedHash { shards, slots }) => {
+                body.push(2);
+                record::put_u64(&mut body, *shards as u64);
+                record::put_u64(&mut body, slots.len() as u64);
+                for &slot in slots {
+                    record::put_u64(&mut body, slot as u64);
+                }
+            }
         }
         let mut file = Vec::with_capacity(body.len() + 16);
         put_u32(&mut file, META_MAGIC);
@@ -241,6 +249,20 @@ impl Meta {
                 1 => {
                     let n = b.u64()? as usize;
                     RouterConfig::Range { bounds: b.u64s(n)? }
+                }
+                2 => {
+                    let shards = b.u64()? as usize;
+                    let n = b.u64()? as usize;
+                    let slots: Vec<u32> = b
+                        .u64s(n)?
+                        .into_iter()
+                        .map(u32::try_from)
+                        .collect::<Result<_, _>>()
+                        .ok()?;
+                    if slots.iter().any(|&s| s as usize >= shards.max(1)) {
+                        return None;
+                    }
+                    RouterConfig::WeightedHash { shards, slots }
                 }
                 _ => return None,
             })
@@ -304,6 +326,12 @@ mod tests {
             Some(RouterConfig::Hash { shards: 4 }),
             Some(RouterConfig::Range {
                 bounds: vec![100, 200, 300],
+            }),
+            Some(RouterConfig::WeightedHash {
+                shards: 3,
+                slots: (0..rtx_shard::WEIGHTED_HASH_SLOTS as u32)
+                    .map(|i| i % 3)
+                    .collect(),
             }),
         ] {
             let meta = Meta {

@@ -87,6 +87,7 @@ pub fn experiment_names() -> Vec<&'static str> {
         "update_throughput",
         "shard_scaling",
         "service_throughput",
+        "service_latency",
         "build_throughput",
         "recovery_throughput",
         "planner_selection",
@@ -124,6 +125,7 @@ pub fn run_experiment(name: &str, scale: &ExperimentScale) -> Option<Vec<Table>>
         "update_throughput" => ex::update_throughput::run(scale),
         "shard_scaling" => ex::shard_scaling::run(scale),
         "service_throughput" => ex::service_throughput::run(scale),
+        "service_latency" => ex::service_latency::run(scale),
         "build_throughput" => ex::build_pipeline::run(scale),
         "recovery_throughput" => ex::recovery_throughput::run(scale),
         "planner_selection" => ex::planner_selection::run(scale),

@@ -12,6 +12,7 @@ use crate::arena::ExecArena;
 use crate::batch::{QueryBatch, QueryOp, QueryOps};
 use crate::error::IndexError;
 use crate::keys::{KeySchema, KeyTuple, TypedBatch};
+use crate::shard::{RebalanceReport, ShardLoad};
 use crate::types::{
     BatchOutcome, Capabilities, DurableStats, IndexBuildMetrics, MemoryUsage, QueryOutcome,
     UpdateReport,
@@ -59,6 +60,14 @@ pub trait SecondaryIndex: Send + Sync {
     /// Durability counters, or `None` for a memory-only index. Overridden
     /// by WAL-backed wrappers.
     fn durability_stats(&self) -> Option<DurableStats> {
+        None
+    }
+
+    /// Per-shard load snapshot (op and row counters), or `None` for an
+    /// unsharded backend. Overridden by the sharded wrapper; the service
+    /// layer polls this to surface a load-imbalance ratio and drive
+    /// hot-shard rebalancing.
+    fn shard_load(&self) -> Option<ShardLoad> {
         None
     }
 
@@ -414,6 +423,17 @@ pub trait UpdatableIndex: SecondaryIndex {
     /// `ClientHandle::checkpoint` here through the write fence.
     fn checkpoint(&mut self) -> Result<u64, IndexError> {
         Ok(0)
+    }
+
+    /// Rebalances row placement across shards when the backend detects a
+    /// sustained load imbalance (see
+    /// [`shard_load`](SecondaryIndex::shard_load)), migrating rows from hot
+    /// shards to cold ones while preserving every global rowID. The default
+    /// — for unsharded backends — has nothing to move and reports an empty
+    /// pass. `rtx-serve` calls this through the write fence, so reads never
+    /// observe a half-migrated layout.
+    fn rebalance_shards(&mut self) -> Result<RebalanceReport, IndexError> {
+        Ok(RebalanceReport::default())
     }
 }
 

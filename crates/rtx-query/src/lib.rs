@@ -87,7 +87,7 @@ pub use registry::{
 // The builder-selection grammar (`"RX:sah"`, `"RX:lbvh"`) names this enum;
 // re-exported so callers need not depend on `rtx-bvh` directly.
 pub use rtx_bvh::BuilderKind;
-pub use shard::{KeyRouter, Partitioning, ScatterPlan, ShardSpec};
+pub use shard::{KeyRouter, Partitioning, RebalanceReport, ScatterPlan, ShardLoad, ShardSpec};
 pub use table::{
     Candidate, ExplainPlan, IndexDef, IngestBatch, IngestOp, PlanChoice, Predicate, Record, Route,
     TableQuery, TableSchema,

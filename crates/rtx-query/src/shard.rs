@@ -44,6 +44,76 @@ impl Partitioning {
     }
 }
 
+/// Per-shard load snapshot of a sharded backend: how many primitive
+/// operations each shard has served and how many live rows it holds.
+///
+/// Returned by [`SecondaryIndex::shard_load`](crate::SecondaryIndex::shard_load)
+/// (`None` on unsharded backends) and consumed by the hot-shard detection in
+/// `rtx-serve` / `rtx-shard`: a sustained [`imbalance_ratio`] above a
+/// threshold marks the [`hottest_shard`] as a rebalance candidate.
+///
+/// [`imbalance_ratio`]: ShardLoad::imbalance_ratio
+/// [`hottest_shard`]: ShardLoad::hottest_shard
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ShardLoad {
+    /// Primitive operations routed to each shard (point/range lookups plus
+    /// routed update rows) since the backend was built or its counters were
+    /// last reset by a rebalance pass.
+    pub ops: Vec<u64>,
+    /// Live rows currently owned by each shard.
+    pub rows: Vec<u64>,
+}
+
+impl ShardLoad {
+    /// Number of shards in the snapshot.
+    pub fn shard_count(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Total operations across all shards.
+    pub fn total_ops(&self) -> u64 {
+        self.ops.iter().sum()
+    }
+
+    /// Ratio of the hottest shard's op count to the per-shard mean: `1.0`
+    /// is perfectly balanced, `shard_count()` is everything-on-one-shard.
+    /// Returns `0.0` while no operations have been observed (never NaN).
+    pub fn imbalance_ratio(&self) -> f64 {
+        let total = self.total_ops();
+        if total == 0 || self.ops.is_empty() {
+            return 0.0;
+        }
+        let max = *self.ops.iter().max().expect("non-empty") as f64;
+        let mean = total as f64 / self.ops.len() as f64;
+        max / mean
+    }
+
+    /// Index of the shard that served the most operations; `None` while no
+    /// operations have been observed.
+    pub fn hottest_shard(&self) -> Option<usize> {
+        if self.total_ops() == 0 {
+            return None;
+        }
+        self.ops
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, ops)| ops)
+            .map(|(shard, _)| shard)
+    }
+}
+
+/// What one shard-rebalance pass did: how many rows migrated between shards
+/// and how many inner reorganisations (delta compactions) the migration
+/// batches triggered. `moved_rows == 0` means the pass decided the layout
+/// was already acceptable (or the backend has no shards to move).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RebalanceReport {
+    /// Rows migrated from a donor shard to a receiver shard.
+    pub moved_rows: u64,
+    /// Inner structural reorganisations triggered by the migration batches.
+    pub reorganisations: u64,
+}
+
 /// A parsed sharded-backend name: the inner backend, the shard count and the
 /// partitioning strategy.
 ///

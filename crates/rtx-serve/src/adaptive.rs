@@ -1,0 +1,265 @@
+//! Adaptive coalescer linger: scale the wait-for-arrivals window with the
+//! observed arrival rate and queue depth instead of paying one fixed
+//! linger on every drain.
+//!
+//! A fixed linger is tuned for exactly one traffic level. Under heavy
+//! concurrent load it is too long (the fusion fills long before the
+//! deadline, and a backlog should never wait at all); under sparse
+//! open-loop traffic it is pure added latency (nothing else is going to
+//! arrive, yet every drain holds its batch for the full window). The
+//! policy here closes both ends:
+//!
+//! * the coalescer feeds the policy each drain's *observed arrivals*
+//!   ([`LingerPolicy::observe`]) and it keeps an exponentially weighted
+//!   arrival rate;
+//! * at drain time ([`LingerPolicy::linger`]) the policy estimates how
+//!   long filling the remaining fusion budget would take at that rate and
+//!   lingers exactly that long, clamped between
+//!   [`floor`](AdaptiveLingerConfig::floor) and
+//!   [`ceiling`](AdaptiveLingerConfig::ceiling);
+//! * a queue already holding [`target_ops`](AdaptiveLingerConfig::target_ops)
+//!   (backlog), or traffic too sparse to ever fill the budget inside the
+//!   ceiling, both collapse to the floor — draining immediately beats
+//!   holding admitted operations hostage.
+//!
+//! The policy is pure state over explicit nanosecond timestamps — no
+//! clock is read here, so tests drive it with a simulated clock.
+
+use std::time::Duration;
+
+/// Tuning of the adaptive linger policy (see the [module docs](self)).
+/// Plugged into a service via
+/// [`ServiceConfig::with_adaptive_linger`](crate::ServiceConfig::with_adaptive_linger).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdaptiveLingerConfig {
+    /// Shortest linger ever chosen — the drain overhead floor. Also the
+    /// answer whenever lingering cannot help (backlog, or near-idle
+    /// traffic).
+    pub floor: Duration,
+    /// Longest linger ever chosen, no matter how slowly the fusion budget
+    /// would fill.
+    pub ceiling: Duration,
+    /// The fused-submission size the policy aims for: it lingers only as
+    /// long as filling this many operations should take at the observed
+    /// arrival rate.
+    pub target_ops: usize,
+}
+
+impl Default for AdaptiveLingerConfig {
+    fn default() -> Self {
+        AdaptiveLingerConfig {
+            floor: Duration::from_micros(10),
+            ceiling: Duration::from_micros(500),
+            target_ops: 1024,
+        }
+    }
+}
+
+impl AdaptiveLingerConfig {
+    /// The default policy bounds.
+    pub fn new() -> Self {
+        AdaptiveLingerConfig::default()
+    }
+
+    /// Sets the linger floor.
+    pub fn with_floor(mut self, floor: Duration) -> Self {
+        self.floor = floor;
+        self
+    }
+
+    /// Sets the linger ceiling (clamped to at least the floor).
+    pub fn with_ceiling(mut self, ceiling: Duration) -> Self {
+        self.ceiling = ceiling.max(self.floor);
+        self
+    }
+
+    /// Sets the fusion-size target (clamped to at least 1).
+    pub fn with_target_ops(mut self, ops: usize) -> Self {
+        self.target_ops = ops.max(1);
+        self
+    }
+}
+
+/// Weight of the newest observation in the arrival-rate average. One
+/// drain's burst moves the estimate, a sustained shift dominates it within
+/// a handful of drains.
+const EWMA_ALPHA: f64 = 0.2;
+
+/// The adaptive linger state owned by the coalescer thread: an
+/// exponentially weighted arrival rate over explicit timestamps, and the
+/// per-drain linger decision derived from it.
+#[derive(Debug, Clone)]
+pub struct LingerPolicy {
+    config: AdaptiveLingerConfig,
+    /// Smoothed arrival rate in operations per nanosecond.
+    rate: f64,
+    last_observed_ns: Option<u64>,
+}
+
+impl LingerPolicy {
+    /// A fresh policy: no traffic observed, so the first drains linger at
+    /// the floor until a rate estimate exists.
+    pub fn new(config: AdaptiveLingerConfig) -> Self {
+        LingerPolicy {
+            config,
+            rate: 0.0,
+            last_observed_ns: None,
+        }
+    }
+
+    /// The configured bounds.
+    pub fn config(&self) -> AdaptiveLingerConfig {
+        self.config
+    }
+
+    /// Folds one drain's observation — `arrived_ops` operations admitted
+    /// since the previous call, as of the caller's clock reading `now_ns` —
+    /// into the arrival-rate average. Non-advancing clocks are ignored
+    /// (rate spikes to infinity otherwise).
+    pub fn observe(&mut self, now_ns: u64, arrived_ops: u64) {
+        let Some(last) = self.last_observed_ns else {
+            self.last_observed_ns = Some(now_ns);
+            return;
+        };
+        if now_ns <= last {
+            return;
+        }
+        let instant_rate = arrived_ops as f64 / (now_ns - last) as f64;
+        self.rate = EWMA_ALPHA * instant_rate + (1.0 - EWMA_ALPHA) * self.rate;
+        self.last_observed_ns = Some(now_ns);
+    }
+
+    /// The smoothed arrival rate, in operations per second.
+    pub fn ops_per_second(&self) -> f64 {
+        self.rate * 1e9
+    }
+
+    /// The linger for a drain that starts with `queue_depth` operations
+    /// already admitted. See the [module docs](self) for the three
+    /// regimes (backlog, paced, sparse).
+    pub fn linger(&self, queue_depth: usize) -> Duration {
+        let config = &self.config;
+        if queue_depth >= config.target_ops {
+            return config.floor;
+        }
+        let deficit = (config.target_ops - queue_depth) as f64;
+        // Time to fill the deficit at the observed rate. A zero rate
+        // divides to infinity, which the sparse-traffic branch handles.
+        let fill_ns = deficit / self.rate.max(f64::MIN_POSITIVE);
+        if fill_ns > config.ceiling.as_nanos() as f64 {
+            // Too sparse to fill inside the ceiling: lingering buys
+            // latency, not fusion.
+            return config.floor;
+        }
+        Duration::from_nanos(fill_ns as u64).clamp(config.floor, config.ceiling)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy(floor_us: u64, ceiling_us: u64, target: usize) -> LingerPolicy {
+        LingerPolicy::new(
+            AdaptiveLingerConfig::new()
+                .with_floor(Duration::from_micros(floor_us))
+                .with_ceiling(Duration::from_micros(ceiling_us))
+                .with_target_ops(target),
+        )
+    }
+
+    /// Drives the policy with a constant simulated arrival rate until the
+    /// EWMA settles, continuing from wherever its clock already is.
+    fn settle(policy: &mut LingerPolicy, ops_per_tick: u64, tick_ns: u64) {
+        let mut now = policy.last_observed_ns.unwrap_or(0);
+        for _ in 0..200u64 {
+            now += tick_ns;
+            policy.observe(now, ops_per_tick);
+        }
+    }
+
+    #[test]
+    fn fresh_policy_lingers_at_the_floor() {
+        let policy = policy(10, 500, 1024);
+        assert_eq!(policy.linger(0), Duration::from_micros(10));
+        assert_eq!(policy.ops_per_second(), 0.0);
+    }
+
+    #[test]
+    fn backlog_skips_the_linger_entirely() {
+        let mut policy = policy(10, 500, 256);
+        // Even under heavy observed traffic, a full queue drains at once.
+        settle(&mut policy, 1000, 1000);
+        assert_eq!(policy.linger(256), Duration::from_micros(10));
+        assert_eq!(policy.linger(100_000), Duration::from_micros(10));
+    }
+
+    #[test]
+    fn paced_traffic_lingers_proportionally_to_the_deficit() {
+        let mut policy = policy(10, 500, 1000);
+        // 1 op per µs: filling 1000 ops takes ~1ms — above the 500µs
+        // ceiling, so the policy refuses to wait at all.
+        settle(&mut policy, 1, 1_000);
+        assert_eq!(policy.linger(0), Duration::from_micros(10));
+
+        // 10 ops per µs: 1000 ops in ~100µs — linger lands there, and the
+        // linger shrinks as the queue pre-fills.
+        settle(&mut policy, 10, 1_000);
+        let deep = policy.linger(0);
+        assert!(
+            deep >= Duration::from_micros(80) && deep <= Duration::from_micros(120),
+            "expected ~100us, got {deep:?}"
+        );
+        let half = policy.linger(500);
+        assert!(half < deep, "a half-full queue waits less: {half:?}");
+        assert!(half >= Duration::from_micros(10));
+    }
+
+    #[test]
+    fn sparse_then_bursty_traffic_moves_the_estimate_both_ways() {
+        let mut policy = policy(20, 400, 512);
+        settle(&mut policy, 0, 1_000);
+        assert_eq!(policy.linger(0), Duration::from_micros(20), "idle → floor");
+
+        // A sustained burst raises the rate until the fill-time estimate
+        // drops inside the ceiling (~5 ops/µs fills 512 ops in ~100µs).
+        settle(&mut policy, 5, 1_000);
+        let lingering = policy.linger(0);
+        assert!(
+            lingering > Duration::from_micros(20) && lingering <= Duration::from_micros(400),
+            "burst traffic lingers inside the bounds: {lingering:?}"
+        );
+
+        // Going idle again decays the rate back to the floor regime.
+        settle(&mut policy, 0, 1_000);
+        assert_eq!(policy.linger(0), Duration::from_micros(20));
+    }
+
+    #[test]
+    fn extreme_rates_clamp_to_the_bounds() {
+        let mut policy = policy(10, 500, 1 << 20);
+        // Absurdly fast arrivals: fill time rounds below the floor.
+        settle(&mut policy, 1 << 30, 1);
+        assert_eq!(policy.linger(0), Duration::from_micros(10));
+    }
+
+    #[test]
+    fn non_advancing_clock_is_ignored() {
+        let mut policy = policy(10, 500, 1024);
+        policy.observe(1_000, 0);
+        policy.observe(1_000, u64::MAX); // same instant: dropped
+        policy.observe(500, u64::MAX); // backwards: dropped
+        assert_eq!(policy.ops_per_second(), 0.0);
+        assert_eq!(policy.linger(0), Duration::from_micros(10));
+    }
+
+    #[test]
+    fn config_builder_clamps_degenerate_bounds() {
+        let config = AdaptiveLingerConfig::new()
+            .with_floor(Duration::from_micros(100))
+            .with_ceiling(Duration::from_micros(50))
+            .with_target_ops(0);
+        assert_eq!(config.ceiling, Duration::from_micros(100));
+        assert_eq!(config.target_ops, 1);
+    }
+}

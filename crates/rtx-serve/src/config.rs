@@ -2,6 +2,54 @@
 
 use std::time::Duration;
 
+use crate::adaptive::AdaptiveLingerConfig;
+
+/// When the coalescer rebalances a sharded backend's hot shards (see
+/// [`ServiceConfig::with_rebalance`]). Both thresholds must hold — enough
+/// observed traffic for the per-shard counters to mean something, *and* a
+/// sustained imbalance worth paying a migration for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RebalanceConfig {
+    /// Operations the shard counters must have accumulated since the last
+    /// rebalance before another is considered (a rebalance resets them, so
+    /// this doubles as the minimum spacing between passes).
+    pub min_ops: u64,
+    /// Trigger threshold on the load-imbalance ratio (hottest shard over
+    /// mean), in permille: `1500` fires once one shard carries 1.5x its
+    /// fair share.
+    pub max_imbalance_permille: u64,
+}
+
+impl Default for RebalanceConfig {
+    fn default() -> Self {
+        RebalanceConfig {
+            min_ops: 1 << 14,
+            max_imbalance_permille: 1500,
+        }
+    }
+}
+
+impl RebalanceConfig {
+    /// The default thresholds.
+    pub fn new() -> Self {
+        RebalanceConfig::default()
+    }
+
+    /// Sets the minimum observed ops between rebalance passes (clamped to
+    /// at least 1).
+    pub fn with_min_ops(mut self, ops: u64) -> Self {
+        self.min_ops = ops.max(1);
+        self
+    }
+
+    /// Sets the imbalance trigger in permille (clamped to at least 1000 —
+    /// a ratio below 1.0x never occurs).
+    pub fn with_max_imbalance_permille(mut self, permille: u64) -> Self {
+        self.max_imbalance_permille = permille.max(1000);
+        self
+    }
+}
+
 /// Configuration of a [`QueryService`](crate::QueryService).
 ///
 /// The three policies interact the way they do in any batching front-end:
@@ -34,6 +82,16 @@ pub struct ServiceConfig {
     /// are not meaningful once batches fuse). Zero means unbounded
     /// launches.
     pub chunk_size: usize,
+    /// When set, the fixed [`linger`](ServiceConfig::linger) is replaced by
+    /// the adaptive policy: the per-drain linger scales with the observed
+    /// arrival rate and queue depth between the policy's floor and ceiling
+    /// (see [`AdaptiveLingerConfig`]).
+    pub adaptive_linger: Option<AdaptiveLingerConfig>,
+    /// When set (and the backend is an updatable sharded index), the
+    /// coalescer watches the per-shard load counters between fused
+    /// submissions and migrates rows off sustained hot shards through the
+    /// write fence (see [`RebalanceConfig`]).
+    pub rebalance: Option<RebalanceConfig>,
 }
 
 impl Default for ServiceConfig {
@@ -43,6 +101,8 @@ impl Default for ServiceConfig {
             max_coalesce_ops: 1 << 16,
             linger: Duration::from_micros(200),
             chunk_size: 0,
+            adaptive_linger: None,
+            rebalance: None,
         }
     }
 }
@@ -74,6 +134,18 @@ impl ServiceConfig {
     /// Sets the fused-batch chunk size (0 = unbounded).
     pub fn with_chunk_size(mut self, chunk_size: usize) -> Self {
         self.chunk_size = chunk_size;
+        self
+    }
+
+    /// Replaces the fixed linger with the adaptive policy.
+    pub fn with_adaptive_linger(mut self, policy: AdaptiveLingerConfig) -> Self {
+        self.adaptive_linger = Some(policy);
+        self
+    }
+
+    /// Enables hot-shard rebalancing with the given thresholds.
+    pub fn with_rebalance(mut self, rebalance: RebalanceConfig) -> Self {
+        self.rebalance = Some(rebalance);
         self
     }
 }

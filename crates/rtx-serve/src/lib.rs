@@ -65,12 +65,14 @@
 //! }
 //! ```
 
+pub mod adaptive;
 pub mod config;
 pub mod error;
 pub mod service;
 pub mod table_service;
 
-pub use config::ServiceConfig;
+pub use adaptive::{AdaptiveLingerConfig, LingerPolicy};
+pub use config::{RebalanceConfig, ServiceConfig};
 pub use error::ServeError;
 pub use service::{ClientHandle, PendingQuery, QueryService, RetryPolicy, ServiceStats};
 pub use table_service::{PendingTableQuery, TableClient, TableService};

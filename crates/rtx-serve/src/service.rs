@@ -32,14 +32,15 @@ use std::time::{Duration, Instant};
 
 use rtx_query::{
     BatchOutcome, Capabilities, DurableStats, ExecArena, FusedBatch, IndexError, MemoryUsage,
-    QueryBatch, QueryOps, QueryOutcome, SecondaryIndex, SharedOutcome, UpdatableIndex,
-    UpdateReport,
+    QueryBatch, QueryOps, QueryOutcome, RebalanceReport, SecondaryIndex, ShardLoad, SharedOutcome,
+    UpdatableIndex, UpdateReport,
 };
 
 /// The reply side of one admitted read: a zero-copy view of the fused
 /// outcome (or the fused failure).
 type ReadReply = mpsc::Sender<Result<SharedOutcome, IndexError>>;
 
+use crate::adaptive::LingerPolicy;
 use crate::config::ServiceConfig;
 use crate::error::ServeError;
 
@@ -172,6 +173,23 @@ impl ServiceBackend {
             ServiceBackend::Updatable(ix) => (ix.memory_usage(), ix.durability_stats()),
         }
     }
+
+    /// Per-shard load counters of a sharded backend (`None` otherwise).
+    fn shard_load(&self) -> Option<ShardLoad> {
+        match self {
+            ServiceBackend::ReadOnly(ix) => ix.shard_load(),
+            ServiceBackend::Updatable(ix) => ix.shard_load(),
+        }
+    }
+
+    /// Hot-shard rebalance on an updatable sharded backend; `None` on
+    /// read-only services or backends without shards to move.
+    fn rebalance_shards(&mut self) -> Option<RebalanceReport> {
+        match self {
+            ServiceBackend::ReadOnly(_) => None,
+            ServiceBackend::Updatable(ix) => ix.rebalance_shards().ok(),
+        }
+    }
 }
 
 /// The submission queue, protected by [`Shared::queue`].
@@ -201,6 +219,13 @@ pub(crate) struct Counters {
     pub(crate) write_stall_ns_max: AtomicU64,
     write_reorganisations: AtomicU64,
     checkpoints: AtomicU64,
+    linger_ns_total: AtomicU64,
+    linger_decisions: AtomicU64,
+    rebalances: AtomicU64,
+    rebalanced_rows: AtomicU64,
+    /// Gauge: the sharded backend's load-imbalance ratio in permille, as
+    /// of the last load check (0 for unsharded backends).
+    shard_imbalance_permille: AtomicU64,
     // Table-service counters (a plain QueryService leaves these 0).
     pub(crate) planned_predicates: AtomicU64,
     pub(crate) routed_predicates: AtomicU64,
@@ -266,6 +291,21 @@ pub struct ServiceStats {
     /// Checkpoints applied through the write fence
     /// ([`ClientHandle::checkpoint`]).
     pub checkpoints: u64,
+    /// Total nanoseconds of linger *budget* the coalescer chose across its
+    /// drains (fixed config: the configured linger each time; adaptive:
+    /// whatever the policy picked). Actual waits are at most this — a
+    /// filled fusion stops early.
+    pub linger_ns_total: u64,
+    /// Drains a linger budget was chosen for.
+    pub linger_decisions: u64,
+    /// Hot-shard rebalance passes triggered through the write fence.
+    pub rebalances: u64,
+    /// Rows migrated between shards across those passes.
+    pub rebalanced_rows: u64,
+    /// Load-imbalance ratio of the sharded backend in permille (hottest
+    /// shard over mean; 1000 = perfectly balanced) as of the last check —
+    /// 0 for unsharded backends or before any traffic.
+    pub shard_imbalance_permille: u64,
     /// Predicates planned by a table service
     /// ([`TableService`](crate::TableService)); 0 for a plain
     /// [`QueryService`].
@@ -312,7 +352,8 @@ impl ServiceStats {
         self.executed_ops as f64 / self.fused_submissions as f64
     }
 
-    /// Mean seconds one applied write stalled the queue.
+    /// Mean seconds one applied write stalled the queue. 0.0 when no write
+    /// was applied (never a 0/0 NaN).
     pub fn mean_write_stall_s(&self) -> f64 {
         if self.write_batches == 0 {
             return 0.0;
@@ -320,9 +361,24 @@ impl ServiceStats {
         self.write_stall_ns_total as f64 / 1e9 / self.write_batches as f64
     }
 
-    /// Largest single write stall in seconds.
+    /// Largest single write stall in seconds (0.0 when no write was
+    /// applied).
     pub fn max_write_stall_s(&self) -> f64 {
         self.write_stall_ns_max as f64 / 1e9
+    }
+
+    /// Mean linger budget per drain in seconds. 0.0 before any drain.
+    pub fn mean_linger_s(&self) -> f64 {
+        if self.linger_decisions == 0 {
+            return 0.0;
+        }
+        self.linger_ns_total as f64 / 1e9 / self.linger_decisions as f64
+    }
+
+    /// The sharded backend's load-imbalance ratio (hottest shard over
+    /// mean) as of the last check; 0.0 for unsharded backends.
+    pub fn shard_imbalance_ratio(&self) -> f64 {
+        self.shard_imbalance_permille as f64 / 1000.0
     }
 }
 
@@ -343,6 +399,11 @@ impl Counters {
             write_stall_ns_max: c.write_stall_ns_max.load(Ordering::Relaxed),
             write_reorganisations: c.write_reorganisations.load(Ordering::Relaxed),
             checkpoints: c.checkpoints.load(Ordering::Relaxed),
+            linger_ns_total: c.linger_ns_total.load(Ordering::Relaxed),
+            linger_decisions: c.linger_decisions.load(Ordering::Relaxed),
+            rebalances: c.rebalances.load(Ordering::Relaxed),
+            rebalanced_rows: c.rebalanced_rows.load(Ordering::Relaxed),
+            shard_imbalance_permille: c.shard_imbalance_permille.load(Ordering::Relaxed),
             planned_predicates: c.planned_predicates.load(Ordering::Relaxed),
             routed_predicates: c.routed_predicates.load(Ordering::Relaxed),
             scan_fallbacks: c.scan_fallbacks.load(Ordering::Relaxed),
@@ -840,6 +901,14 @@ enum Drained {
     Shutdown,
 }
 
+/// The adaptive-linger state owned by the coalescer thread: the pure
+/// policy plus the real clock and op-counter cursor that feed it.
+struct AdaptiveState {
+    policy: LingerPolicy,
+    started: Instant,
+    seen_ops: u64,
+}
+
 /// The coalescer loop: drain → fuse → execute → scatter, strictly in queue
 /// order, until shutdown *and* an empty queue.
 fn run_coalescer(shared: &Shared, mut backend: ServiceBackend) {
@@ -851,8 +920,13 @@ fn run_coalescer(shared: &Shared, mut backend: ServiceBackend) {
     fusion.set_chunk_size(shared.config.chunk_size);
     let mut replies: Vec<ReadReply> = Vec::new();
     let mut arena = ExecArena::new();
+    let mut adaptive = shared.config.adaptive_linger.map(|config| AdaptiveState {
+        policy: LingerPolicy::new(config),
+        started: Instant::now(),
+        seen_ops: 0,
+    });
     loop {
-        match drain(shared, &mut fusion, &mut replies) {
+        match drain(shared, &mut fusion, &mut replies, &mut adaptive) {
             Drained::Shutdown => return,
             Drained::Write { op, reply } => {
                 // The apply is the queue-order fence: everything queued
@@ -877,6 +951,7 @@ fn run_coalescer(shared: &Shared, mut backend: ServiceBackend) {
                 shared.refresh_gauges(&backend);
                 // A client that dropped its ticket abandoned the result.
                 let _ = reply.send(result);
+                maybe_rebalance(shared, &mut backend);
             }
             Drained::Reads => {
                 // The fused operations are already in executor-ready SoA
@@ -904,8 +979,37 @@ fn run_coalescer(shared: &Shared, mut backend: ServiceBackend) {
                         }
                     }
                 }
+                maybe_rebalance(shared, &mut backend);
             }
         }
+    }
+}
+
+/// Between drained units the coalescer owns the backend exclusively — the
+/// natural write fence — so this is where a sharded backend's hot shards
+/// are checked and, past the configured thresholds, rebalanced. The load
+/// gauge refreshes on every check; the migration itself only fires once
+/// enough traffic accumulated *and* the imbalance crossed the trigger
+/// (the pass resets the shard counters, which spaces the passes out).
+fn maybe_rebalance(shared: &Shared, backend: &mut ServiceBackend) {
+    let Some(config) = shared.config.rebalance else {
+        return;
+    };
+    let Some(load) = backend.shard_load() else {
+        return;
+    };
+    let permille = (load.imbalance_ratio() * 1000.0) as u64;
+    let c = &shared.counters;
+    c.shard_imbalance_permille
+        .store(permille, Ordering::Relaxed);
+    if load.total_ops() < config.min_ops || permille < config.max_imbalance_permille {
+        return;
+    }
+    if let Some(report) = backend.rebalance_shards() {
+        c.rebalances.fetch_add(1, Ordering::Relaxed);
+        c.rebalanced_rows
+            .fetch_add(report.moved_rows, Ordering::Relaxed);
+        shared.refresh_gauges(backend);
     }
 }
 
@@ -915,7 +1019,12 @@ fn run_coalescer(shared: &Shared, mut backend: ServiceBackend) {
 /// reads accumulate into the caller's persistent `fusion` / `replies`
 /// buffers (cleared here first), so steady-state draining allocates
 /// nothing.
-fn drain(shared: &Shared, fusion: &mut FusedBatch, replies: &mut Vec<ReadReply>) -> Drained {
+fn drain(
+    shared: &Shared,
+    fusion: &mut FusedBatch,
+    replies: &mut Vec<ReadReply>,
+    adaptive: &mut Option<AdaptiveState>,
+) -> Drained {
     fusion.clear();
     replies.clear();
     let mut q = shared.queue.lock().expect("service queue poisoned");
@@ -929,7 +1038,29 @@ fn drain(shared: &Shared, fusion: &mut FusedBatch, replies: &mut Vec<ReadReply>)
         q = shared.work.wait(q).expect("service queue poisoned");
     }
 
-    let deadline = Instant::now() + shared.config.linger;
+    // The linger budget for this drain: the fixed configured window, or —
+    // adaptively — what the policy derives from the arrivals observed
+    // since the last drain and the current queue depth.
+    let linger = match adaptive {
+        None => shared.config.linger,
+        Some(state) => {
+            let now_ns = state.started.elapsed().as_nanos() as u64;
+            let total = shared.counters.submitted_ops.load(Ordering::Relaxed);
+            let arrived = total.saturating_sub(state.seen_ops);
+            state.seen_ops = total;
+            state.policy.observe(now_ns, arrived);
+            state.policy.linger(q.queued_cost)
+        }
+    };
+    shared
+        .counters
+        .linger_ns_total
+        .fetch_add(linger.as_nanos() as u64, Ordering::Relaxed);
+    shared
+        .counters
+        .linger_decisions
+        .fetch_add(1, Ordering::Relaxed);
+    let deadline = Instant::now() + linger;
     loop {
         // Pop as many consecutive reads as fit under the coalesce cap.
         let mut full = false;
@@ -1523,5 +1654,113 @@ mod tests {
             *log.lock().unwrap(),
             vec!["points:1", "points:3", "points:3"]
         );
+    }
+
+    #[test]
+    fn empty_stats_helpers_return_zero_not_nan() {
+        // A fresh service (or default snapshot) has every denominator at
+        // 0 — the helpers must answer 0, never NaN.
+        let stats = ServiceStats::default();
+        assert_eq!(stats.mean_coalesced_batches(), 0.0);
+        assert_eq!(stats.mean_fused_ops(), 0.0);
+        assert_eq!(stats.mean_write_stall_s(), 0.0);
+        assert_eq!(stats.max_write_stall_s(), 0.0);
+        assert_eq!(stats.mean_linger_s(), 0.0);
+        assert_eq!(stats.shard_imbalance_ratio(), 0.0);
+
+        let (service, _gate, _log) =
+            stub_service(&[1], ServiceConfig::new().with_linger(Duration::ZERO));
+        let live = service.stats();
+        assert!(!live.mean_write_stall_s().is_nan());
+        assert_eq!(live.mean_write_stall_s(), 0.0);
+        assert_eq!(live.mean_linger_s(), 0.0);
+    }
+
+    #[test]
+    fn adaptive_linger_service_answers_exactly_and_tracks_decisions() {
+        let config = ServiceConfig::new().with_adaptive_linger(
+            crate::AdaptiveLingerConfig::new()
+                .with_floor(Duration::ZERO)
+                .with_ceiling(Duration::from_micros(100))
+                .with_target_ops(64),
+        );
+        let (service, gate, _log) = stub_service(&[1, 2, 3, 4], config);
+        let h = service.handle();
+
+        gate.hold();
+        let t1 = h.submit(QueryBatch::of_points(&[1])).unwrap();
+        gate.await_entered(1);
+        let t2 = h.submit(QueryBatch::of_points(&[2, 9])).unwrap();
+        let t3 = h.submit(QueryBatch::new().range(1, 3)).unwrap();
+        gate.release();
+
+        assert_eq!(t1.wait().unwrap().hit_count(), 1);
+        let o2 = t2.wait().unwrap();
+        assert!(o2.results[0].is_hit() && !o2.results[1].is_hit());
+        assert_eq!(t3.wait().unwrap().results[0].hit_count, 3);
+
+        let stats = service.shutdown();
+        assert!(stats.linger_decisions >= 2, "one budget per drain");
+        // The policy's ceiling bounds every chosen budget.
+        assert!(
+            stats.linger_ns_total <= stats.linger_decisions * 100_000,
+            "budgets stay under the ceiling: {stats:?}"
+        );
+        assert!(!stats.mean_linger_s().is_nan());
+    }
+
+    #[test]
+    fn service_rebalances_a_hot_sharded_backend_behind_the_fence() {
+        use gpu_device::Device;
+        use rtx_query::{IndexSpec, Registry};
+
+        let mut registry = Registry::new();
+        rtx_delta::register_dynamic(&mut registry, rtx_delta::DynamicRtConfig::default());
+        rtx_shard::install_sharding(&mut registry);
+        let device = Device::default_eval();
+        let keys: Vec<u64> = (0..2000).collect();
+        let values: Vec<u64> = keys.iter().map(|k| k * 3).collect();
+        let backend = registry
+            .build_updatable("RXD@4", &IndexSpec::with_values(&device, &keys, &values))
+            .unwrap();
+
+        let config = ServiceConfig::new()
+            .with_linger(Duration::ZERO)
+            .with_rebalance(
+                crate::RebalanceConfig::new()
+                    .with_min_ops(256)
+                    .with_max_imbalance_permille(1200),
+            );
+        let service = QueryService::start_updatable(backend, config);
+        let h = service.handle();
+
+        // Hammer one key: its shard accumulates nearly all routed ops.
+        let hot = QueryBatch::of_points(&[42; 64]);
+        for _ in 0..8 {
+            assert_eq!(h.query(hot.clone()).unwrap().hit_count(), 64);
+        }
+        // Answers stay exact across the (fenced) migration, reads and
+        // writes alike.
+        let out = h
+            .query(
+                QueryBatch::new()
+                    .points([0, 42, 1999, 77_777])
+                    .range(100, 199)
+                    .fetch_values(true),
+            )
+            .unwrap();
+        assert_eq!(out.hit_count(), 3 + 1);
+        assert_eq!(out.results[1].first_row, 42);
+        assert_eq!(out.results[4].hit_count, 100);
+        h.insert(&[5000], &[15000]).unwrap();
+        assert!(h.query(QueryBatch::of_points(&[5000])).unwrap().results[0].is_hit());
+
+        let stats = service.shutdown();
+        assert!(
+            stats.rebalances >= 1,
+            "sustained imbalance must trigger a pass: {stats:?}"
+        );
+        assert!(stats.rebalanced_rows > 0, "{stats:?}");
+        assert!(stats.shard_imbalance_permille > 0, "gauge populated");
     }
 }

@@ -21,6 +21,12 @@
 //!   gather in submission order, global rowID translation, merged metrics —
 //!   and routes `UpdatableIndex` batches through the same partitioner when
 //!   every shard is updatable;
+//! * [`ShardedIndex::rebalance`] migrates rows off hot shards while the
+//!   index stays live: per-shard op counters detect sustained imbalance,
+//!   hash routing upgrades to a [`WeightedHashPartitioner`] slot table (or
+//!   range bounds recompute as load-weighted quantiles), and the moved rows
+//!   keep their global rowIDs so results stay oracle-exact across the
+//!   migration;
 //! * [`install_sharding`] hooks the layer into a
 //!   [`Registry`], after which *names* become sharded
 //!   backends: `"RX@8"`, `"SA@4:range"`, `"RXD@2"` build through the same
@@ -50,7 +56,9 @@
 pub mod partition;
 pub mod sharded;
 
-pub use partition::{HashPartitioner, RangePartitioner};
+pub use partition::{
+    HashPartitioner, RangePartitioner, WeightedHashPartitioner, WEIGHTED_HASH_SLOTS,
+};
 pub use sharded::{RouterConfig, ShardedIndex};
 
 use rtx_query::{Registry, SecondaryIndex, UpdatableIndex};
@@ -348,6 +356,157 @@ mod tests {
                 .unwrap();
             assert_eq!(out.hit_count(), 0, "{name}");
         }
+    }
+
+    #[test]
+    fn rebalance_stays_oracle_exact_across_an_online_migration() {
+        // The core hot-shard guarantee: migrate rows between shards while
+        // the index is live, and every result — global rowIDs included —
+        // stays exactly what the unsharded oracle answers, before and
+        // after, and for writes that land through the new layout.
+        let device = Device::default_eval();
+        let registry = registry();
+        let keys: Vec<u64> = (0..900).collect();
+        let values: Vec<u64> = (0..900).map(|v| v * 7 + 3).collect();
+        let spec = IndexSpec::with_values(&device, &keys, &values);
+        let oracle = DynamicOracle::new(&keys, &values);
+
+        for shard_spec in [ShardSpec::hash("RXD", 4), ShardSpec::range("RXD", 3)] {
+            let name = shard_spec.name();
+            let mut ix = ShardedIndex::build_updatable(&registry, &shard_spec, &spec).unwrap();
+            let mut shadow = oracle.clone();
+
+            // Hammer two keys so their shard dominates the op counters.
+            let hot: Vec<u64> = [17u64, 23].iter().flat_map(|&k| [k; 64]).collect();
+            for _ in 0..8 {
+                ix.execute(&QueryBatch::of_points(&hot)).unwrap();
+            }
+            let load = ix.load();
+            assert_eq!(load.shard_count(), shard_spec.shards, "{name}");
+            assert_eq!(load.rows.iter().sum::<u64>(), 900, "{name}");
+            assert!(
+                load.imbalance_ratio() > 1.5,
+                "{name}: hot traffic must skew the counters, got {}",
+                load.imbalance_ratio()
+            );
+
+            let report = ix.rebalance().unwrap();
+            assert!(report.moved_rows > 0, "{name}: rows must migrate");
+            assert_eq!(ix.load().total_ops(), 0, "{name}: counters reset");
+            assert_eq!(ix.key_count(), 900, "{name}: no row lost");
+
+            // Results are untouched by the migration.
+            let batch = mixed_batch(&keys, 41);
+            assert_eq!(
+                ix.execute(&batch).unwrap().results,
+                shadow.expected_batch(&batch),
+                "{name}: post-migration results"
+            );
+
+            // Writes route through the new layout and stay oracle-exact.
+            let ins: Vec<u64> = (2000..2080).collect();
+            let ins_v: Vec<u64> = ins.iter().map(|k| k * 5).collect();
+            ix.insert(&ins, &ins_v).unwrap();
+            shadow.insert_batch(&ins, &ins_v);
+            let del: Vec<u64> = (0..60).chain(2000..2020).collect();
+            ix.delete(&del).unwrap();
+            shadow.delete_batch(&del);
+
+            let batch = QueryBatch::new()
+                .points((0..100).chain(1990..2090))
+                .range(10, 80)
+                .range(2040, 2400)
+                .fetch_values(true);
+            assert_eq!(
+                ix.execute(&batch).unwrap().results,
+                shadow.expected_batch(&batch),
+                "{name}: post-migration writes"
+            );
+
+            // A second pass with the counters already balanced (reads now
+            // spread by the migrated layout) must not thrash: it either
+            // moves nothing or keeps exactness all the same.
+            let report = ix.rebalance().unwrap();
+            let batch = mixed_batch(&keys, 43);
+            assert_eq!(
+                ix.execute(&batch).unwrap().results,
+                shadow.expected_batch(&batch),
+                "{name}: after second rebalance ({report:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn rebalance_handles_valueless_and_degenerate_shapes() {
+        let device = Device::default_eval();
+        let registry = registry();
+
+        // Valueless rows migrate too (checkpoint triples carry zero
+        // values, exactly like the durable replay path).
+        let keys: Vec<u64> = (0..400).collect();
+        let spec = IndexSpec::keys_only(&device, &keys);
+        let mut ix =
+            ShardedIndex::build_updatable(&registry, &ShardSpec::hash("RXD", 4), &spec).unwrap();
+        let hot = [5u64; 256];
+        ix.execute(&QueryBatch::of_points(&hot)).unwrap();
+        let report = ix.rebalance().unwrap();
+        assert!(report.moved_rows > 0);
+        let out = ix
+            .execute(&QueryBatch::new().points(0..420u64).range(100, 199))
+            .unwrap();
+        assert_eq!(out.hit_count(), 400 + 1, "all keys survive the migration");
+        assert_eq!(out.results.last().unwrap().hit_count, 100);
+
+        // A single shard has nowhere to move rows: an empty report.
+        let mut ix =
+            ShardedIndex::build_updatable(&registry, &ShardSpec::hash("RXD", 1), &spec).unwrap();
+        ix.execute(&QueryBatch::of_points(&hot)).unwrap();
+        assert_eq!(
+            ix.rebalance().unwrap(),
+            rtx_query::RebalanceReport::default()
+        );
+
+        // No observed ops and uniform placement: nothing to do, and a
+        // read-only sharded build rejects the operation outright.
+        let mut ix =
+            ShardedIndex::build_updatable(&registry, &ShardSpec::hash("RXD", 4), &spec).unwrap();
+        ix.rebalance().unwrap();
+        let batch = QueryBatch::of_points(&[5, 399, 7777]);
+        let out = ix.execute(&batch).unwrap();
+        assert_eq!(out.hit_count(), 2);
+        let mut read_only =
+            ShardedIndex::build(&registry, &ShardSpec::hash("SA", 2), &spec).unwrap();
+        assert!(matches!(
+            read_only.rebalance(),
+            Err(IndexError::UnsupportedOperation { .. })
+        ));
+    }
+
+    #[test]
+    fn shard_load_counts_routed_ops_and_surfaces_through_the_trait() {
+        let device = Device::default_eval();
+        let registry = registry();
+        let keys = wl::dense_shuffled(600, 51);
+        let spec = IndexSpec::keys_only(&device, &keys);
+        let ix = registry.build("RX@4", &spec).unwrap();
+
+        // Monolithic backends report no shard load; sharded ones do.
+        let mono = registry.build("RX", &spec).unwrap();
+        assert!(mono.shard_load().is_none());
+        let load = ix.shard_load().expect("sharded index reports load");
+        assert_eq!(load.total_ops(), 0);
+        assert_eq!(load.imbalance_ratio(), 0.0, "no traffic yet");
+        assert!(load.hottest_shard().is_none());
+
+        ix.execute(&QueryBatch::of_points(&[1, 2, 3, 4, 5]))
+            .unwrap();
+        ix.execute(&QueryBatch::new().range(0, 599)).unwrap();
+        let load = ix.shard_load().expect("sharded index reports load");
+        // 5 points + the broadcast range (one op per shard).
+        assert_eq!(load.total_ops(), 5 + 4);
+        assert!(load.imbalance_ratio() >= 1.0);
+        assert!(load.hottest_shard().is_some());
+        assert_eq!(load.rows.iter().sum::<u64>(), 600);
     }
 
     #[test]

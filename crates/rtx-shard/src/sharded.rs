@@ -23,17 +23,21 @@
 //! yields the global first row.
 
 use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use gpu_device::executor::{parallel_map, parallel_tasks};
 use rtx_query::{
     ArenaPool, BatchOutcome, Capabilities, ExecArena, IndexBuildMetrics, IndexError, IndexSpec,
-    KeyRouter, MemoryUsage, Partitioning, QueryBatch, QueryOps, QueryOutcome, Registry,
-    ScatterPlan, SecondaryIndex, ShardSpec, UpdatableIndex, UpdateReport, MISS,
+    KeyRouter, MemoryUsage, Partitioning, QueryBatch, QueryOps, QueryOutcome, RebalanceReport,
+    Registry, ScatterPlan, SecondaryIndex, ShardLoad, ShardSpec, UpdatableIndex, UpdateReport,
+    MISS,
 };
 
-use crate::partition::{HashPartitioner, RangePartitioner};
+use crate::partition::{
+    HashPartitioner, RangePartitioner, WeightedHashPartitioner, WEIGHTED_HASH_SLOTS,
+};
 
 /// A serializable description of a [`KeyRouter`]: everything a durability
 /// manifest must persist to reconstruct the exact routing of a sharded
@@ -50,6 +54,14 @@ pub enum RouterConfig {
         /// Inclusive upper bounds of every shard but the last.
         bounds: Vec<u64>,
     },
+    /// Weighted hash partitioning through an explicit slot-to-shard table
+    /// (what hash routing becomes after the first hot-shard rebalance).
+    WeightedHash {
+        /// Number of shards.
+        shards: usize,
+        /// Slot-to-shard table of length [`WEIGHTED_HASH_SLOTS`].
+        slots: Vec<u32>,
+    },
 }
 
 impl RouterConfig {
@@ -58,6 +70,7 @@ impl RouterConfig {
         match self {
             RouterConfig::Hash { shards } => *shards,
             RouterConfig::Range { bounds } => bounds.len() + 1,
+            RouterConfig::WeightedHash { shards, .. } => *shards,
         }
     }
 
@@ -67,6 +80,9 @@ impl RouterConfig {
             RouterConfig::Hash { shards } => Box::new(HashPartitioner::new(*shards)),
             RouterConfig::Range { bounds } => {
                 Box::new(RangePartitioner::from_bounds(bounds.clone()))
+            }
+            RouterConfig::WeightedHash { shards, slots } => {
+                Box::new(WeightedHashPartitioner::from_slots(slots.clone(), *shards))
             }
         }
     }
@@ -149,6 +165,9 @@ impl ShardRows {
 struct Shard {
     backend: ShardBackend,
     rows: ShardRows,
+    /// Primitive operations routed to this shard (lookups plus update rows)
+    /// since build or the last rebalance — the hot-shard detection signal.
+    ops: AtomicU64,
 }
 
 impl Shard {
@@ -184,6 +203,11 @@ pub struct ShardedIndex {
     /// Next global rowID handed to an insert (u64 so the overflow check is
     /// trivial; valid rowIDs stay below [`MISS`]).
     next_row: u64,
+    /// Per-slot op counters under hash-family routing (length
+    /// [`WEIGHTED_HASH_SLOTS`]), `None` under range routing. The per-shard
+    /// counters say *that* a shard is hot; these say *which* hash slots
+    /// make it hot — what a rebalance pass needs to move the right rows.
+    slot_ops: Option<Vec<AtomicU64>>,
     /// Pooled scatter plans, replanned in place per submission.
     plan_pool: Mutex<Vec<ScatterPlan>>,
     arena_pool: ArenaPool,
@@ -198,6 +222,22 @@ impl std::fmt::Debug for ShardedIndex {
             .field("capabilities", &self.capabilities)
             .finish()
     }
+}
+
+/// Per-slot op counters for a router family: hash-family routing tracks
+/// every point key's hash slot so a rebalance pass knows which slots carry
+/// the traffic; range routing has no slots (its pass reweights keys by
+/// shard-level op density instead).
+fn slot_counters(config: &RouterConfig) -> Option<Vec<AtomicU64>> {
+    matches!(
+        config,
+        RouterConfig::Hash { .. } | RouterConfig::WeightedHash { .. }
+    )
+    .then(|| {
+        (0..WEIGHTED_HASH_SLOTS)
+            .map(|_| AtomicU64::new(0))
+            .collect()
+    })
 }
 
 /// Routes every `(key, value)` of the build column to its shard, keeping
@@ -368,6 +408,7 @@ impl ShardedIndex {
             shards.push(Shard {
                 backend: backend?,
                 rows: ShardRows::new(assigned),
+                ops: AtomicU64::new(0),
             });
         }
 
@@ -395,6 +436,7 @@ impl ShardedIndex {
         Ok(ShardedIndex {
             label: label.into(),
             router,
+            slot_ops: slot_counters(&router_config),
             router_config,
             shards,
             capabilities,
@@ -435,6 +477,7 @@ impl ShardedIndex {
             .map(|(backend, entries)| Shard {
                 backend: ShardBackend::Write(backend),
                 rows: ShardRows { entries },
+                ops: AtomicU64::new(0),
             })
             .collect();
         let capabilities = shards
@@ -448,6 +491,7 @@ impl ShardedIndex {
         Ok(ShardedIndex {
             label: label.into(),
             router: router_config.router(),
+            slot_ops: slot_counters(&router_config),
             router_config,
             shards,
             capabilities,
@@ -564,6 +608,291 @@ impl ShardedIndex {
             .collect()
     }
 
+    /// Per-shard load snapshot: operations routed since build (or the last
+    /// [`rebalance`](Self::rebalance), which resets the counters) plus the
+    /// live row count of every shard.
+    pub fn load(&self) -> ShardLoad {
+        ShardLoad {
+            ops: self
+                .shards
+                .iter()
+                .map(|s| s.ops.load(Ordering::Relaxed))
+                .collect(),
+            rows: self
+                .shards
+                .iter()
+                .map(|s| s.backend.read().key_count() as u64)
+                .collect(),
+        }
+    }
+
+    /// Migrates rows from hot shards to cold ones based on the observed
+    /// per-shard op counters, preserving every global rowID (so results —
+    /// rowIDs included — stay oracle-exact across the migration).
+    ///
+    /// Mechanism by partitioning family:
+    ///
+    /// * **hash** routing switches to a weighted slot table
+    ///   ([`WeightedHashPartitioner`]) and reassigns individual hash slots
+    ///   — weighted by their *observed per-slot op counts* — from the
+    ///   hottest shard to the coldest until their load gap closes;
+    /// * **range** routing recomputes its bounds as *load-weighted*
+    ///   quantiles of the live keys (each key weighted by its shard's ops
+    ///   per row), splitting hot spans and merging cold ones.
+    ///
+    /// Rows whose owner changes are tombstone-deleted from the donor and
+    /// re-inserted into the receiver with their original global rowIDs. A
+    /// receiver ingests its *entire* new row set in global-rowID order (so
+    /// its local→global mirror stays monotone — range `first_row`
+    /// translation depends on that); the bulk structural rebuild this
+    /// triggers rides each inner backend's two-generation background
+    /// compaction, so reads keep serving from the old generation while the
+    /// new one builds and writes only stall at the swap. Callers running a
+    /// service route this through the write fence (`rtx-serve` does).
+    ///
+    /// Per-shard op counters reset afterwards, starting a fresh observation
+    /// window. Read-only sharded indexes report `UnsupportedOperation`;
+    /// single-shard and non-snapshottable backends report an empty pass.
+    pub fn rebalance(&mut self) -> Result<RebalanceReport, IndexError> {
+        self.writable()?;
+        if self.shards.len() < 2 {
+            return Ok(RebalanceReport::default());
+        }
+        // Land anything in flight so every row mirror is dense, then
+        // snapshot the live triples — compacting first when a shard is
+        // dirty (delta entries or tombstones outstanding).
+        self.await_shard_reorganisations()?;
+        let mut reorganisations = 0u64;
+        let triples = match self.shard_checkpoint_rows() {
+            Some(t) => t,
+            None => {
+                match self.compact() {
+                    Ok(report) => reorganisations += report.reorganisations,
+                    Err(IndexError::UnsupportedOperation { .. }) => {
+                        return Ok(RebalanceReport::default())
+                    }
+                    Err(e) => return Err(e),
+                }
+                match self.shard_checkpoint_rows() {
+                    Some(t) => t,
+                    None => return Ok(RebalanceReport::default()),
+                }
+            }
+        };
+
+        let new_config = match self.rebalanced_config(&triples) {
+            Some(config) => config,
+            None => {
+                self.reset_shard_ops();
+                return Ok(RebalanceReport {
+                    moved_rows: 0,
+                    reorganisations,
+                });
+            }
+        };
+        let new_router = new_config.router();
+
+        // Plan every live row's new owner.
+        let shard_count = self.shards.len();
+        let mut outgoing: Vec<Vec<u64>> = vec![Vec::new(); shard_count];
+        let mut incoming: Vec<Vec<(u64, u64, u32)>> = vec![Vec::new(); shard_count];
+        let mut moved_rows = 0u64;
+        for (s, rows) in triples.iter().enumerate() {
+            for &(key, value, global) in rows {
+                let owner = new_router.shard_of_point(key);
+                if owner != s {
+                    outgoing[s].push(key);
+                    incoming[owner].push((key, value, global));
+                    moved_rows += 1;
+                }
+            }
+        }
+
+        // Per-shard migration plans: donors tombstone the moved keys;
+        // receivers re-ingest their full new row set sorted by global
+        // rowID so the mirror stays monotone.
+        enum Plan {
+            Keep,
+            Shrink {
+                doomed: HashSet<u64>,
+            },
+            Rebuild {
+                doomed: HashSet<u64>,
+                rows: Vec<(u64, u64, u32)>,
+            },
+        }
+        let plans: Vec<Plan> = (0..shard_count)
+            .map(|s| {
+                if incoming[s].is_empty() && outgoing[s].is_empty() {
+                    Plan::Keep
+                } else if incoming[s].is_empty() {
+                    Plan::Shrink {
+                        doomed: outgoing[s].iter().copied().collect(),
+                    }
+                } else {
+                    let leaving: HashSet<u64> = outgoing[s].iter().copied().collect();
+                    let mut rows: Vec<(u64, u64, u32)> = triples[s]
+                        .iter()
+                        .filter(|(key, _, _)| !leaving.contains(key))
+                        .copied()
+                        .chain(std::mem::take(&mut incoming[s]))
+                        .collect();
+                    rows.sort_unstable_by_key(|&(_, _, global)| global);
+                    Plan::Rebuild {
+                        doomed: triples[s].iter().map(|&(key, _, _)| key).collect(),
+                        rows,
+                    }
+                }
+            })
+            .collect();
+
+        let work: Vec<(&mut Shard, Plan)> = self.shards.iter_mut().zip(plans).collect();
+        let reports = parallel_map(work, |_, (shard, plan)| -> Result<u64, IndexError> {
+            let Shard { backend, rows, .. } = shard;
+            let writer = backend.write().expect("writability checked");
+            match plan {
+                Plan::Keep => Ok(0),
+                Plan::Shrink { doomed } => {
+                    let batch: Vec<u64> = doomed.iter().copied().collect();
+                    let report = writer.delete(&batch)?;
+                    rows.delete(&doomed);
+                    if report.reorganisations > 0 {
+                        rows.compact();
+                    }
+                    Ok(report.reorganisations)
+                }
+                Plan::Rebuild {
+                    doomed,
+                    rows: new_rows,
+                } => {
+                    let mut reorganisations = 0;
+                    let batch: Vec<u64> = doomed.iter().copied().collect();
+                    let report = writer.delete(&batch)?;
+                    rows.delete(&doomed);
+                    reorganisations += report.reorganisations;
+                    if report.reorganisations > 0 {
+                        rows.compact();
+                    }
+                    let keys: Vec<u64> = new_rows.iter().map(|&(key, _, _)| key).collect();
+                    let values: Vec<u64> = new_rows.iter().map(|&(_, value, _)| value).collect();
+                    let globals: Vec<u32> = new_rows.iter().map(|&(_, _, global)| global).collect();
+                    let report = writer.insert(&keys, &values)?;
+                    rows.append(&keys, &globals);
+                    reorganisations += report.reorganisations;
+                    if report.reorganisations > 0 {
+                        rows.compact();
+                    }
+                    Ok(reorganisations)
+                }
+            }
+        });
+        for report in reports {
+            reorganisations += report?;
+        }
+
+        self.router = new_router;
+        self.router_config = new_config;
+        self.reset_shard_ops();
+        Ok(RebalanceReport {
+            moved_rows,
+            reorganisations,
+        })
+    }
+
+    fn reset_shard_ops(&self) {
+        for shard in &self.shards {
+            shard.ops.store(0, Ordering::Relaxed);
+        }
+        if let Some(slot_ops) = &self.slot_ops {
+            for slot in slot_ops {
+                slot.store(0, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Computes the load-balanced router description from the observed op
+    /// counters and the live triples, or `None` when nothing would change
+    /// (already balanced, or no data to balance on).
+    fn rebalanced_config(&self, triples: &[Vec<(u64, u64, u32)>]) -> Option<RouterConfig> {
+        let shard_count = self.shards.len();
+        let live_rows: usize = triples.iter().map(Vec::len).sum();
+        if live_rows == 0 {
+            return None;
+        }
+        let ops: Vec<u64> = self
+            .shards
+            .iter()
+            .map(|s| s.ops.load(Ordering::Relaxed))
+            .collect();
+        let total_ops: u64 = ops.iter().sum();
+        // Shard-level op density (ops per live row): the weight a row
+        // carries into a recomputed *range* layout. Hash routing uses the
+        // finer per-slot histogram below instead. With no observations yet
+        // every row weighs the same (pure placement balancing).
+        let density: Vec<f64> = (0..shard_count)
+            .map(|s| {
+                let rows = triples[s].len() as f64;
+                if total_ops == 0 {
+                    1.0
+                } else if rows == 0.0 {
+                    0.0
+                } else {
+                    ops[s] as f64 / rows
+                }
+            })
+            .collect();
+
+        match &self.router_config {
+            RouterConfig::Range { bounds } => {
+                let new_bounds = weighted_range_bounds(triples, &density, shard_count)?;
+                (new_bounds != *bounds).then_some(RouterConfig::Range { bounds: new_bounds })
+            }
+            RouterConfig::Hash { .. } | RouterConfig::WeightedHash { .. } => {
+                let mut slots = match &self.router_config {
+                    RouterConfig::WeightedHash { slots, .. } => slots.clone(),
+                    // First rebalance of a plain-hash index: start from the
+                    // balanced table (identical routing whenever the shard
+                    // count divides the slot count; see the partitioner).
+                    _ => WeightedHashPartitioner::balanced(shard_count)
+                        .slots()
+                        .to_vec(),
+                };
+                // The observed per-slot histogram is the weight vector:
+                // it says *which* slots carry the traffic, so the table
+                // moves the genuinely hot slots. (Smearing a shard's ops
+                // uniformly over its residents makes every slot of a hot
+                // shard look equally warm — the pass then shuffles cold
+                // slots while the hot key stays put and never converges.)
+                // Rows keep a small placement weight so untouched slots
+                // still spread storage; with no observations at all the
+                // pass degenerates to pure placement balancing.
+                let observed: Vec<u64> = match &self.slot_ops {
+                    Some(slot_ops) => slot_ops.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
+                    None => vec![0; WEIGHTED_HASH_SLOTS],
+                };
+                let observed_total: u64 = observed.iter().sum();
+                let row_weight = if observed_total == 0 {
+                    1.0
+                } else {
+                    0.1 * observed_total as f64 / live_rows as f64
+                };
+                let mut weight: Vec<f64> = observed.iter().map(|&ops| ops as f64).collect();
+                for rows in triples {
+                    for &(key, _, _) in rows {
+                        weight[WeightedHashPartitioner::slot_of_key(key)] += row_weight;
+                    }
+                }
+                let changed = rebalance_slot_table(&mut slots, &weight, shard_count);
+                (changed || matches!(self.router_config, RouterConfig::Hash { .. })).then_some(
+                    RouterConfig::WeightedHash {
+                        shards: shard_count,
+                        slots,
+                    },
+                )
+            }
+        }
+    }
+
     fn writable(&self) -> Result<(), IndexError> {
         if self
             .shards
@@ -596,6 +925,13 @@ impl ShardedIndex {
         let mut routes: Vec<UpdateRoute> = (0..self.shards.len())
             .map(|_| UpdateRoute::default())
             .collect();
+        // Update rows count toward slot heat exactly like lookups do —
+        // mirroring the per-shard op counters, which track both.
+        if let Some(slot_ops) = &self.slot_ops {
+            for &key in keys {
+                slot_ops[WeightedHashPartitioner::slot_of_key(key)].fetch_add(1, Ordering::Relaxed);
+            }
+        }
         for (i, &key) in keys.iter().enumerate() {
             let route = &mut routes[self.router.shard_of_point(key)];
             route.keys.push(key);
@@ -630,6 +966,9 @@ impl ShardedIndex {
             if route.keys.is_empty() {
                 return Ok(UpdateReport::default());
             }
+            shard
+                .ops
+                .fetch_add(route.keys.len() as u64, Ordering::Relaxed);
             let writer = shard.backend.write().expect("writability checked");
             apply(writer, &mut shard.rows, route)
         });
@@ -686,6 +1025,16 @@ impl ShardedIndex {
                 return Ok(QueryOutcome::default());
             }
             let shard = &self.shards[s];
+            shard.ops.fetch_add(sub.len() as u64, Ordering::Relaxed);
+            // Point keys also feed the per-slot histogram (each slot maps
+            // to exactly one shard, so these adds never contend across the
+            // parallel shard tasks). Ranges broadcast and carry no slot.
+            if let Some(slot_ops) = &self.slot_ops {
+                for &key in sub.points() {
+                    slot_ops[WeightedHashPartitioner::slot_of_key(key)]
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+            }
             let mut arena = self.arena_pool.check_out();
             let result = shard
                 .backend
@@ -719,6 +1068,106 @@ struct UpdateRoute {
     keys: Vec<u64>,
     values: Vec<u64>,
     globals: Vec<u32>,
+}
+
+/// Reassigns hash slots from the hottest shard to the coldest until their
+/// load gap closes (or no single-slot move improves it). Each move picks
+/// the hot shard's slot whose weight is closest to half the gap — such a
+/// move strictly shrinks the pair's squared-load sum, so the loop cannot
+/// cycle. Returns whether any slot moved.
+fn rebalance_slot_table(slots: &mut [u32], weight: &[f64], shards: usize) -> bool {
+    let mut load = vec![0f64; shards];
+    for (slot, &owner) in slots.iter().enumerate() {
+        load[owner as usize] += weight[slot];
+    }
+    let total: f64 = load.iter().sum();
+    if total <= 0.0 {
+        return false;
+    }
+    let mean = total / shards as f64;
+    let mut changed = false;
+    for _ in 0..4 * WEIGHTED_HASH_SLOTS {
+        let (hot, _) = argmax(&load);
+        let (cold, _) = argmin(&load);
+        let gap = load[hot] - load[cold];
+        if gap <= 0.10 * mean {
+            break;
+        }
+        // The best single-slot move: weight strictly inside (0, gap) —
+        // anything heavier would just swap which shard is hot — closest
+        // to gap/2 (the perfect split).
+        let mut best: Option<(usize, f64)> = None;
+        for (slot, &w) in weight.iter().enumerate() {
+            if slots[slot] as usize == hot && w > 0.0 && w < gap {
+                let score = (gap - 2.0 * w).abs();
+                if best.is_none_or(|(_, s)| score < s) {
+                    best = Some((slot, score));
+                }
+            }
+        }
+        let Some((slot, _)) = best else { break };
+        load[hot] -= weight[slot];
+        load[cold] += weight[slot];
+        slots[slot] = cold as u32;
+        changed = true;
+    }
+    changed
+}
+
+fn argmax(xs: &[f64]) -> (usize, f64) {
+    xs.iter().copied().enumerate().fold(
+        (0, f64::MIN),
+        |acc, (i, x)| if x > acc.1 { (i, x) } else { acc },
+    )
+}
+
+fn argmin(xs: &[f64]) -> (usize, f64) {
+    xs.iter().copied().enumerate().fold(
+        (0, f64::MAX),
+        |acc, (i, x)| if x < acc.1 { (i, x) } else { acc },
+    )
+}
+
+/// Range bounds as *load-weighted* quantiles of the live keys: every key
+/// carries its current shard's op density, and the inclusive upper bounds
+/// cut the cumulative weight into `shards` equal spans. Duplicate keys are
+/// grouped before cutting (they share a shard whatever the bounds say), so
+/// a bound never splits a key. `None` when no weight was observed.
+fn weighted_range_bounds(
+    triples: &[Vec<(u64, u64, u32)>],
+    density: &[f64],
+    shards: usize,
+) -> Option<Vec<u64>> {
+    let mut keyed: Vec<(u64, f64)> = triples
+        .iter()
+        .enumerate()
+        .flat_map(|(s, rows)| rows.iter().map(move |&(key, _, _)| (key, density[s])))
+        .collect();
+    keyed.sort_unstable_by_key(|&(key, _)| key);
+    let total: f64 = keyed.iter().map(|&(_, w)| w).sum();
+    if total <= 0.0 {
+        return None;
+    }
+    let mut bounds = Vec::with_capacity(shards - 1);
+    let mut acc = 0.0;
+    let mut i = 0;
+    while i < keyed.len() {
+        let key = keyed[i].0;
+        while i < keyed.len() && keyed[i].0 == key {
+            acc += keyed[i].1;
+            i += 1;
+        }
+        while bounds.len() < shards - 1 && acc >= (bounds.len() + 1) as f64 * total / shards as f64
+        {
+            bounds.push(key);
+        }
+    }
+    // Fewer heavy key groups than shards: the trailing shards stay empty.
+    let last = keyed.last().map_or(0, |&(key, _)| key);
+    while bounds.len() < shards - 1 {
+        bounds.push(last);
+    }
+    Some(bounds)
 }
 
 impl SecondaryIndex for ShardedIndex {
@@ -758,6 +1207,10 @@ impl SecondaryIndex for ShardedIndex {
 
     fn capabilities(&self) -> Capabilities {
         self.capabilities
+    }
+
+    fn shard_load(&self) -> Option<ShardLoad> {
+        Some(self.load())
     }
 
     fn has_value_column(&self) -> bool {
@@ -889,6 +1342,10 @@ impl UpdatableIndex for ShardedIndex {
             ShardBackend::Write(ix) => ix.reorganisation_in_flight(),
             ShardBackend::Read(_) => false,
         })
+    }
+
+    fn rebalance_shards(&mut self) -> Result<RebalanceReport, IndexError> {
+        self.rebalance()
     }
 
     /// Forces a synchronous compaction of every shard (collapsing the row

@@ -1,0 +1,212 @@
+//! Open-loop arrival processes for latency experiments.
+//!
+//! Throughput experiments are *closed-loop*: each client submits its next
+//! batch as soon as the previous one returns, so the offered load adapts to
+//! the service and latency never builds a queue. Measuring tail latency
+//! requires the opposite — an *open-loop* driver that submits on a fixed
+//! schedule regardless of completions, so a slow service accumulates
+//! backlog exactly as a production ingress would.
+//!
+//! [`ArrivalSchedule`] is that schedule: a deterministic, seeded sequence of
+//! arrival offsets from an experiment's start instant. The Poisson
+//! constructor draws exponential inter-arrival gaps (the classic open-loop
+//! model); the paced constructor spaces events evenly. [`OpenLoopDriver`]
+//! walks a schedule against a real clock, sleeping until each deadline.
+//!
+//! Schedules are pure data — the simulated-clock unit tests in `rtx-serve`
+//! and the wall-clock harness in `rtx-harness` share the same sequences.
+
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic open-loop arrival schedule: monotone offsets (from an
+/// arbitrary start instant) at which events fire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArrivalSchedule {
+    /// Arrival offsets in nanoseconds, non-decreasing.
+    offsets_ns: Vec<u64>,
+}
+
+impl ArrivalSchedule {
+    /// Poisson process: `count` arrivals with exponential inter-arrival gaps
+    /// of mean `mean_gap`, drawn deterministically from `seed`. Individual
+    /// gaps are capped at 20x the mean so one extreme draw cannot dominate
+    /// a short experiment.
+    pub fn poisson(count: usize, mean_gap: Duration, seed: u64) -> Self {
+        let mean_ns = mean_gap.as_nanos() as f64;
+        assert!(mean_ns > 0.0, "the mean inter-arrival gap must be positive");
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x4152_5249_5641_4C53);
+        let mut now = 0u64;
+        let offsets_ns = (0..count)
+            .map(|_| {
+                let u: f64 = rng.gen_range(0.0..1.0);
+                // Inverse-CDF exponential draw; (1 - u) in (0, 1].
+                let gap = (-(1.0 - u).ln() * mean_ns).min(20.0 * mean_ns);
+                now = now.saturating_add(gap as u64);
+                now
+            })
+            .collect();
+        ArrivalSchedule { offsets_ns }
+    }
+
+    /// Evenly paced arrivals: event `i` fires at `(i + 1) * gap`.
+    pub fn paced(count: usize, gap: Duration) -> Self {
+        let gap_ns = gap.as_nanos() as u64;
+        ArrivalSchedule {
+            offsets_ns: (1..=count as u64).map(|i| i * gap_ns).collect(),
+        }
+    }
+
+    /// Number of scheduled arrivals.
+    pub fn len(&self) -> usize {
+        self.offsets_ns.len()
+    }
+
+    /// True when no arrivals are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.offsets_ns.is_empty()
+    }
+
+    /// Offset of arrival `i` from the schedule's start.
+    pub fn offset(&self, i: usize) -> Duration {
+        Duration::from_nanos(self.offsets_ns[i])
+    }
+
+    /// All offsets from the schedule's start, in order.
+    pub fn offsets(&self) -> impl Iterator<Item = Duration> + '_ {
+        self.offsets_ns.iter().map(|&ns| Duration::from_nanos(ns))
+    }
+
+    /// Offset of the last arrival (the schedule's span); zero when empty.
+    pub fn span(&self) -> Duration {
+        Duration::from_nanos(self.offsets_ns.last().copied().unwrap_or(0))
+    }
+
+    /// Mean inter-arrival gap actually realised by the schedule; zero when
+    /// fewer than one arrival is scheduled.
+    pub fn mean_gap(&self) -> Duration {
+        if self.offsets_ns.is_empty() {
+            return Duration::ZERO;
+        }
+        Duration::from_nanos(self.span().as_nanos() as u64 / self.offsets_ns.len() as u64)
+    }
+}
+
+/// Walks an [`ArrivalSchedule`] against the real clock: each
+/// [`wait_next`](OpenLoopDriver::wait_next) call sleeps until the next
+/// scheduled arrival and returns its index — never earlier, and without
+/// skipping events when the driver falls behind (late events fire
+/// immediately, preserving the open-loop backlog).
+#[derive(Debug)]
+pub struct OpenLoopDriver {
+    schedule: ArrivalSchedule,
+    start: Instant,
+    next: usize,
+}
+
+impl OpenLoopDriver {
+    /// Starts the schedule's clock now.
+    pub fn start(schedule: ArrivalSchedule) -> Self {
+        OpenLoopDriver {
+            schedule,
+            start: Instant::now(),
+            next: 0,
+        }
+    }
+
+    /// The instant the experiment's clock started.
+    pub fn started_at(&self) -> Instant {
+        self.start
+    }
+
+    /// Blocks until the next scheduled arrival and returns its index, or
+    /// `None` when the schedule is exhausted.
+    pub fn wait_next(&mut self) -> Option<usize> {
+        if self.next >= self.schedule.len() {
+            return None;
+        }
+        let i = self.next;
+        self.next += 1;
+        let deadline = self.start + self.schedule.offset(i);
+        loop {
+            let now = Instant::now();
+            if now >= deadline {
+                return Some(i);
+            }
+            let remaining = deadline - now;
+            if remaining > Duration::from_micros(200) {
+                std::thread::sleep(remaining - Duration::from_micros(100));
+            } else {
+                std::thread::yield_now();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_schedules_are_deterministic_and_monotone() {
+        let a = ArrivalSchedule::poisson(5_000, Duration::from_micros(10), 9);
+        let b = ArrivalSchedule::poisson(5_000, Duration::from_micros(10), 9);
+        assert_eq!(a, b);
+        assert_ne!(
+            a,
+            ArrivalSchedule::poisson(5_000, Duration::from_micros(10), 10)
+        );
+        let offsets: Vec<Duration> = a.offsets().collect();
+        assert!(offsets.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(a.len(), 5_000);
+    }
+
+    #[test]
+    fn poisson_mean_gap_tracks_the_target() {
+        let target = Duration::from_micros(50);
+        let schedule = ArrivalSchedule::poisson(20_000, target, 3);
+        let mean = schedule.mean_gap().as_nanos() as f64;
+        let want = target.as_nanos() as f64;
+        assert!(
+            (mean - want).abs() < 0.1 * want,
+            "realised mean {mean}ns vs target {want}ns"
+        );
+    }
+
+    #[test]
+    fn paced_schedules_are_exact() {
+        let schedule = ArrivalSchedule::paced(4, Duration::from_millis(2));
+        let offsets: Vec<Duration> = schedule.offsets().collect();
+        assert_eq!(
+            offsets,
+            vec![
+                Duration::from_millis(2),
+                Duration::from_millis(4),
+                Duration::from_millis(6),
+                Duration::from_millis(8),
+            ]
+        );
+        assert_eq!(schedule.span(), Duration::from_millis(8));
+        assert_eq!(schedule.mean_gap(), Duration::from_millis(2));
+        assert!(ArrivalSchedule::paced(0, Duration::from_millis(1)).is_empty());
+    }
+
+    #[test]
+    fn driver_fires_every_event_no_earlier_than_scheduled() {
+        let schedule = ArrivalSchedule::paced(5, Duration::from_micros(300));
+        let mut driver = OpenLoopDriver::start(schedule.clone());
+        let mut fired = Vec::new();
+        while let Some(i) = driver.wait_next() {
+            let elapsed = driver.started_at().elapsed();
+            assert!(
+                elapsed >= schedule.offset(i),
+                "event {i} fired at {elapsed:?}, scheduled {:?}",
+                schedule.offset(i)
+            );
+            fired.push(i);
+        }
+        assert_eq!(fired, vec![0, 1, 2, 3, 4]);
+    }
+}

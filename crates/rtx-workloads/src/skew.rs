@@ -1,0 +1,453 @@
+//! Skewed traffic generators for heavy-traffic experiments.
+//!
+//! The static workloads in [`crate::lookups`] draw keys uniformly; real
+//! services see the opposite: a handful of keys (or tenants) receiving most
+//! of the traffic. This module generates such streams deterministically so
+//! the sharding and service layers can be exercised — and gated — under
+//! realistic hot-spot pressure:
+//!
+//! * [`SkewProfile`] — the key-popularity model shared by every generator:
+//!   uniform, Zipf-by-rank (reusing [`ZipfSampler`]), or an explicit hot set
+//!   (`hot_keys` ranks absorb `hot_weight` of the traffic);
+//! * [`skewed_point_lookups`] — read batches whose queried keys follow a
+//!   profile over an indexed key set;
+//! * [`skewed_mixed_ops`] — interleaved insert/delete/upsert/lookup streams
+//!   (the [`crate::mixed`] engine) with profile-driven key choice;
+//! * [`multi_tenant_ops`] — per-tenant operation streams over disjoint key
+//!   stripes, with Zipf-skewed traffic *across* tenants and an inner profile
+//!   *within* each tenant's stripe.
+//!
+//! All generators are pure functions of their configuration (seed included).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::mixed::{mixed_ops_with, MixedOp, MixedWorkloadConfig};
+use crate::zipf::ZipfSampler;
+
+/// Key-popularity model used by the skewed generators: how a *rank* in
+/// `0..domain` is chosen (generators then map ranks onto keys).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SkewProfile {
+    /// Every rank equally likely.
+    Uniform,
+    /// Zipf-distributed ranks: rank `i` drawn with probability proportional
+    /// to `1 / (i + 1)^theta`.
+    Zipfian {
+        /// Skew parameter (0 = uniform, ~1 = classic web traffic).
+        theta: f64,
+    },
+    /// An explicit hot set: the first `hot_keys` ranks jointly absorb
+    /// `hot_weight` of the traffic (uniformly within the set); the remaining
+    /// traffic spreads uniformly over the whole domain.
+    HotSet {
+        /// Number of hot ranks (clamped to the domain).
+        hot_keys: usize,
+        /// Fraction of draws taken from the hot set, in `[0, 1]`.
+        hot_weight: f64,
+    },
+}
+
+impl SkewProfile {
+    /// Zipf profile with the given `theta`.
+    pub fn zipfian(theta: f64) -> Self {
+        assert!(theta >= 0.0, "zipf theta must be non-negative");
+        SkewProfile::Zipfian { theta }
+    }
+
+    /// Hot-set profile: `hot_keys` ranks receive `hot_weight` of all draws.
+    pub fn hot_set(hot_keys: usize, hot_weight: f64) -> Self {
+        assert!(hot_keys > 0, "a hot set needs at least one key");
+        assert!(
+            (0.0..=1.0).contains(&hot_weight),
+            "hot_weight must lie in [0, 1]"
+        );
+        SkewProfile::HotSet {
+            hot_keys,
+            hot_weight,
+        }
+    }
+
+    /// Builds the stateful rank picker for a domain of `domain` ranks.
+    fn picker(&self, domain: usize, seed: u64) -> RankPicker {
+        assert!(domain > 0, "skewed draws need a non-empty domain");
+        match *self {
+            SkewProfile::Uniform => RankPicker::Uniform {
+                domain: domain as u64,
+            },
+            SkewProfile::Zipfian { theta } if theta > 0.0 => {
+                RankPicker::Zipf(Box::new(ZipfSampler::new(domain, theta, seed)))
+            }
+            SkewProfile::Zipfian { .. } => RankPicker::Uniform {
+                domain: domain as u64,
+            },
+            SkewProfile::HotSet {
+                hot_keys,
+                hot_weight,
+            } => RankPicker::Hot {
+                hot: hot_keys.min(domain) as u64,
+                domain: domain as u64,
+                hot_weight,
+            },
+        }
+    }
+}
+
+/// Stateful rank generator compiled from a [`SkewProfile`].
+enum RankPicker {
+    Uniform {
+        domain: u64,
+    },
+    Zipf(Box<ZipfSampler>),
+    Hot {
+        hot: u64,
+        domain: u64,
+        hot_weight: f64,
+    },
+}
+
+impl RankPicker {
+    fn draw(&mut self, rng: &mut StdRng) -> u64 {
+        match self {
+            RankPicker::Uniform { domain } => rng.gen_range(0..*domain),
+            RankPicker::Zipf(sampler) => sampler.sample() as u64,
+            RankPicker::Hot {
+                hot,
+                domain,
+                hot_weight,
+            } => {
+                if rng.gen_range(0.0..1.0) < *hot_weight {
+                    rng.gen_range(0..*hot)
+                } else {
+                    rng.gen_range(0..*domain)
+                }
+            }
+        }
+    }
+}
+
+/// Point-lookup batch whose queried keys follow `profile` over `keys`
+/// (rank 0 = `keys[0]`, so the front of the slice is the hot end).
+pub fn skewed_point_lookups(
+    keys: &[u64],
+    count: usize,
+    profile: &SkewProfile,
+    seed: u64,
+) -> Vec<u64> {
+    assert!(!keys.is_empty(), "skewed lookups need a non-empty key set");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x534B_4557_5054_5353);
+    let mut picker = profile.picker(keys.len(), seed);
+    (0..count)
+        .map(|_| keys[picker.draw(&mut rng) as usize])
+        .collect()
+}
+
+/// Mixed insert/delete/upsert/lookup stream (the [`crate::mixed`] engine)
+/// whose key choice follows `profile` over the config's `key_domain`; the
+/// config's own `zipf_theta` is ignored.
+pub fn skewed_mixed_ops(config: &MixedWorkloadConfig, profile: &SkewProfile) -> Vec<MixedOp> {
+    let mut picker = profile.picker(config.key_domain as usize, config.seed);
+    mixed_ops_with(config, move |rng| picker.draw(rng))
+}
+
+/// Shape of a multi-tenant operation stream: `tenants` disjoint key stripes
+/// of `keys_per_tenant` keys each, traffic Zipf-skewed across tenants by
+/// `tenant_theta`, keys within a stripe drawn by `within`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MultiTenantConfig {
+    /// Number of tenants (key stripes).
+    pub tenants: usize,
+    /// Keys per tenant stripe; tenant `t` owns
+    /// `[t * keys_per_tenant, (t + 1) * keys_per_tenant)`.
+    pub keys_per_tenant: u64,
+    /// Zipf skew of traffic across tenants (0 = uniform tenants).
+    pub tenant_theta: f64,
+    /// Key-popularity profile within each tenant's stripe.
+    pub within: SkewProfile,
+    /// Total primitive operations across all batches.
+    pub total_ops: usize,
+    /// Primitive operations per batch (each batch belongs to one tenant).
+    pub batch_size: usize,
+    /// Fraction of batches that are writes (inserts/deletes/upserts).
+    pub write_fraction: f64,
+    /// Span of generated range lookups (clamped inside the stripe).
+    pub range_span: u64,
+    /// Seed of the stream.
+    pub seed: u64,
+}
+
+impl MultiTenantConfig {
+    /// A read-heavy default: 20% writes, hot-set skew inside each stripe,
+    /// moderate tenant skew.
+    pub fn new(tenants: usize, keys_per_tenant: u64, total_ops: usize, seed: u64) -> Self {
+        MultiTenantConfig {
+            tenants,
+            keys_per_tenant,
+            tenant_theta: 0.9,
+            within: SkewProfile::zipfian(1.1),
+            total_ops,
+            batch_size: (total_ops / 32).clamp(1, 512),
+            write_fraction: 0.2,
+            range_span: 8,
+            seed,
+        }
+    }
+
+    /// The key stripe `[start, end)` owned by tenant `t`.
+    pub fn tenant_span(&self, tenant: usize) -> (u64, u64) {
+        assert!(tenant < self.tenants, "tenant out of range");
+        let start = tenant as u64 * self.keys_per_tenant;
+        (start, start + self.keys_per_tenant)
+    }
+
+    /// The tenant owning `key`, or `None` outside every stripe.
+    pub fn tenant_of_key(&self, key: u64) -> Option<usize> {
+        let tenant = (key / self.keys_per_tenant) as usize;
+        (tenant < self.tenants).then_some(tenant)
+    }
+}
+
+/// One batch of a multi-tenant stream: the issuing tenant and its operation
+/// (every key of `op` lies inside the tenant's stripe).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantOp {
+    /// The tenant that issued the batch.
+    pub tenant: usize,
+    /// The batched operation, keys within the tenant's stripe.
+    pub op: MixedOp,
+}
+
+/// Generates the multi-tenant stream described by `config`: each batch picks
+/// a tenant (Zipf over tenants), a kind (write with `write_fraction`, else
+/// 80/20 point/range lookups) and keys within the tenant's stripe.
+pub fn multi_tenant_ops(config: &MultiTenantConfig) -> Vec<TenantOp> {
+    assert!(config.tenants > 0, "need at least one tenant");
+    assert!(
+        config.keys_per_tenant > 0,
+        "tenant stripes must be non-empty"
+    );
+    assert!(config.total_ops > 0, "need at least one operation");
+    assert!(config.batch_size > 0, "batches must be non-empty");
+    assert!(
+        (0.0..=1.0).contains(&config.write_fraction),
+        "write_fraction must lie in [0, 1]"
+    );
+    assert!(config.range_span >= 1, "ranges must span at least one key");
+
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0x4D54_454E_414E_5453);
+    let mut tenant_picker = (config.tenant_theta > 0.0 && config.tenants > 1).then(|| {
+        ZipfSampler::new(
+            config.tenants,
+            config.tenant_theta,
+            config.seed ^ 0x7445_6E61,
+        )
+    });
+    // Lazily built per-tenant rank pickers so each stripe gets its own
+    // deterministic skew state.
+    let mut pickers: Vec<Option<RankPicker>> = (0..config.tenants).map(|_| None).collect();
+
+    let mut ops = Vec::new();
+    let mut remaining = config.total_ops;
+    while remaining > 0 {
+        let batch = config.batch_size.min(remaining);
+        remaining -= batch;
+
+        let tenant = match &mut tenant_picker {
+            Some(sampler) => sampler.sample(),
+            None => rng.gen_range(0..config.tenants as u64) as usize,
+        };
+        let (start, end) = config.tenant_span(tenant);
+        let span = end - start;
+        let picker = pickers[tenant].get_or_insert_with(|| {
+            config.within.picker(
+                span as usize,
+                config.seed ^ (tenant as u64).wrapping_mul(0x9E37),
+            )
+        });
+        let mut draw = |rng: &mut StdRng| start + picker.draw(rng);
+
+        let op = if rng.gen_range(0.0..1.0) < config.write_fraction {
+            match rng.gen_range(0..3u32) {
+                0 => MixedOp::Insert(
+                    (0..batch)
+                        .map(|_| (draw(&mut rng), rng.gen_range(0..1_000_000u64)))
+                        .collect(),
+                ),
+                1 => MixedOp::Delete((0..batch).map(|_| draw(&mut rng)).collect()),
+                _ => MixedOp::Upsert(
+                    (0..batch)
+                        .map(|_| (draw(&mut rng), rng.gen_range(0..1_000_000u64)))
+                        .collect(),
+                ),
+            }
+        } else if rng.gen_range(0.0..1.0) < 0.8 {
+            MixedOp::PointLookups((0..batch).map(|_| draw(&mut rng)).collect())
+        } else {
+            MixedOp::RangeLookups(
+                (0..batch)
+                    .map(|_| {
+                        let max_lower = end - 1 - (config.range_span - 1).min(span - 1);
+                        let lower = draw(&mut rng).min(max_lower);
+                        (lower, (lower + config.range_span - 1).min(end - 1))
+                    })
+                    .collect(),
+            )
+        };
+        ops.push(TenantOp { tenant, op });
+    }
+    ops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::{HashMap, HashSet};
+
+    #[test]
+    fn skewed_lookups_are_deterministic_and_in_domain() {
+        let keys: Vec<u64> = (100..1100).collect();
+        for profile in [
+            SkewProfile::Uniform,
+            SkewProfile::zipfian(1.2),
+            SkewProfile::hot_set(10, 0.9),
+        ] {
+            let a = skewed_point_lookups(&keys, 5_000, &profile, 42);
+            let b = skewed_point_lookups(&keys, 5_000, &profile, 42);
+            assert_eq!(a, b, "{profile:?}");
+            assert_ne!(a, skewed_point_lookups(&keys, 5_000, &profile, 43));
+            assert!(a.iter().all(|k| (100..1100).contains(k)), "{profile:?}");
+        }
+    }
+
+    #[test]
+    fn hot_set_concentrates_traffic_on_the_front_ranks() {
+        let keys: Vec<u64> = (0..10_000).collect();
+        let profile = SkewProfile::hot_set(16, 0.9);
+        let draws = skewed_point_lookups(&keys, 20_000, &profile, 7);
+        let hot_hits = draws.iter().filter(|&&k| k < 16).count();
+        // ~90% hot weight plus the uniform tail landing in the hot range.
+        assert!(
+            hot_hits as f64 > 0.85 * draws.len() as f64,
+            "hot set received only {hot_hits}/{}",
+            draws.len()
+        );
+    }
+
+    #[test]
+    fn zipf_profile_touches_fewer_distinct_keys_than_uniform() {
+        let keys: Vec<u64> = (0..8_192).collect();
+        let distinct = |profile: &SkewProfile| {
+            skewed_point_lookups(&keys, 20_000, profile, 5)
+                .into_iter()
+                .collect::<HashSet<_>>()
+                .len()
+        };
+        assert!(distinct(&SkewProfile::zipfian(1.5)) < distinct(&SkewProfile::Uniform) / 2);
+    }
+
+    #[test]
+    fn skewed_mixed_ops_cover_the_requested_count_deterministically() {
+        let config = MixedWorkloadConfig::uniform(8_000, 4_096, 11);
+        let profile = SkewProfile::hot_set(64, 0.8);
+        let ops = skewed_mixed_ops(&config, &profile);
+        assert_eq!(ops.iter().map(MixedOp::len).sum::<usize>(), 8_000);
+        assert_eq!(ops, skewed_mixed_ops(&config, &profile));
+
+        // The hot set dominates key traffic.
+        let mut hot = 0usize;
+        let mut total = 0usize;
+        for op in &ops {
+            let keys: Vec<u64> = match op {
+                MixedOp::Insert(b) | MixedOp::Upsert(b) => b.iter().map(|&(k, _)| k).collect(),
+                MixedOp::Delete(b) | MixedOp::PointLookups(b) => b.clone(),
+                MixedOp::RangeLookups(b) => b.iter().map(|&(l, _)| l).collect(),
+            };
+            total += keys.len();
+            hot += keys.iter().filter(|&&k| k < 64).count();
+        }
+        assert!(
+            hot as f64 > 0.7 * total as f64,
+            "hot keys got {hot}/{total} draws"
+        );
+    }
+
+    #[test]
+    fn multi_tenant_streams_are_deterministic_and_skewed_across_tenants() {
+        let config = MultiTenantConfig::new(8, 1_000, 20_000, 17);
+        let ops = multi_tenant_ops(&config);
+        assert_eq!(ops.iter().map(|t| t.op.len()).sum::<usize>(), 20_000);
+        assert_eq!(ops, multi_tenant_ops(&config));
+
+        let mut per_tenant: HashMap<usize, usize> = HashMap::new();
+        for t in &ops {
+            *per_tenant.entry(t.tenant).or_default() += t.op.len();
+        }
+        let hottest = *per_tenant.values().max().unwrap();
+        let mean = 20_000 / config.tenants;
+        assert!(
+            hottest > 2 * mean,
+            "tenant skew too weak: hottest {hottest}, mean {mean}"
+        );
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(24))]
+
+        /// Every operation of a multi-tenant stream touches only keys owned
+        /// by its issuing tenant, for arbitrary stream shapes.
+        #[test]
+        fn prop_multi_tenant_streams_partition_cleanly_by_tenant(
+            tenants in 1usize..7,
+            keys_per_tenant in 1u64..300,
+            total_ops in 1usize..4_000,
+            write_fraction in 0.0f64..1.0,
+            seed in 0u64..10_000,
+        ) {
+            let config = MultiTenantConfig {
+                write_fraction,
+                ..MultiTenantConfig::new(tenants, keys_per_tenant, total_ops, seed)
+            };
+            for t in multi_tenant_ops(&config) {
+                let (start, end) = config.tenant_span(t.tenant);
+                let keys: Vec<u64> = match &t.op {
+                    MixedOp::Insert(b) | MixedOp::Upsert(b) => {
+                        b.iter().map(|&(k, _)| k).collect()
+                    }
+                    MixedOp::Delete(b) | MixedOp::PointLookups(b) => b.clone(),
+                    MixedOp::RangeLookups(b) => {
+                        b.iter().flat_map(|&(l, u)| [l, u]).collect()
+                    }
+                };
+                for k in keys {
+                    proptest::prop_assert!(
+                        (start..end).contains(&k),
+                        "tenant {} drew key {k} outside [{start}, {end})",
+                        t.tenant
+                    );
+                    proptest::prop_assert_eq!(config.tenant_of_key(k), Some(t.tenant));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn multi_tenant_range_lookups_stay_inside_the_stripe() {
+        let config = MultiTenantConfig {
+            write_fraction: 0.0,
+            range_span: 64,
+            keys_per_tenant: 20, // span smaller than stripes: must clamp
+            ..MultiTenantConfig::new(4, 20, 4_000, 23)
+        };
+        for t in multi_tenant_ops(&config) {
+            let (start, end) = config.tenant_span(t.tenant);
+            if let MixedOp::RangeLookups(b) = &t.op {
+                for &(l, u) in b {
+                    assert!(
+                        l <= u && l >= start && u < end,
+                        "[{l}, {u}] vs [{start}, {end})"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -115,6 +115,30 @@ mod tests {
     }
 
     #[test]
+    fn rank_frequency_is_monotone_under_skew() {
+        // Empirical frequencies must decay with rank: bucket the 64 ranks
+        // into 8 octiles and require strictly fewer draws per octile as
+        // rank grows (300k draws keep the ordering far outside noise).
+        let mut sampler = ZipfSampler::new(64, 1.2, 5);
+        let mut counts = [0usize; 64];
+        for rank in sampler.sample_many(300_000) {
+            counts[rank] += 1;
+        }
+        let octiles: Vec<usize> = counts.chunks(8).map(|c| c.iter().sum()).collect();
+        assert!(
+            octiles.windows(2).all(|w| w[0] > w[1]),
+            "octile draw counts must strictly decrease with rank: {octiles:?}"
+        );
+        // And the hottest rank beats the coldest outright.
+        assert!(
+            counts[0] > counts[63] * 10,
+            "{} vs {}",
+            counts[0],
+            counts[63]
+        );
+    }
+
+    #[test]
     fn deterministic_given_seed() {
         let a = ZipfSampler::new(50, 1.0, 7).sample_many(100);
         let b = ZipfSampler::new(50, 1.0, 7).sample_many(100);

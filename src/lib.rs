@@ -194,14 +194,17 @@ pub use rtx_query::{
     BatchOutcome, Capabilities, ColumnType, CompositeIndex, DurableStats, ExecArena, ExplainPlan,
     FusedBatch, IndexDef, IndexError, IndexSpec, IngestBatch, IngestOp, KeyBound, KeySchema,
     KeyTuple, KeyValue, LookupResult, MemoryUsage, Partitioning, Predicate, QueryBatch, QueryOps,
-    QueryOutcome, Record, Registry, Route, SecondaryIndex, ShardSpec, SharedOutcome, SpecName,
-    TableQuery, TableSchema, TypedBatch, TypedOp, UpdatableIndex, MISS,
+    QueryOutcome, RebalanceReport, Record, Registry, Route, SecondaryIndex, ShardLoad, ShardSpec,
+    SharedOutcome, SpecName, TableQuery, TableSchema, TypedBatch, TypedOp, UpdatableIndex, MISS,
 };
 pub use rtx_serve::{
-    ClientHandle, PendingQuery, PendingTableQuery, QueryService, RetryPolicy, ServeError,
-    ServiceConfig, ServiceStats, TableClient, TableService,
+    AdaptiveLingerConfig, ClientHandle, PendingQuery, PendingTableQuery, QueryService,
+    RebalanceConfig, RetryPolicy, ServeError, ServiceConfig, ServiceStats, TableClient,
+    TableService,
 };
-pub use rtx_shard::{install_sharding, HashPartitioner, RangePartitioner, ShardedIndex};
+pub use rtx_shard::{
+    install_sharding, HashPartitioner, RangePartitioner, ShardedIndex, WeightedHashPartitioner,
+};
 pub use rtx_table::{IngestReport, Planner, Table, TableOutcome, TableStats};
 
 #[cfg(test)]
